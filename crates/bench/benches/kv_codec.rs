@@ -1,0 +1,39 @@
+//! Criterion microbenchmarks for the KV quantization codec.
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ts_common::{seeded_rng, ModelSpec};
+use ts_kvcache::codec::{KvCodec, KvWirePrecision};
+use ts_kvcache::quant::{quantize, QuantBits};
+use ts_kvcache::synthetic::generate_kv;
+
+fn bench_quantize(c: &mut Criterion) {
+    let model = ModelSpec::llama_7b();
+    let kv = generate_kv(&model, 64, &mut seeded_rng(1));
+    let mut group = c.benchmark_group("quantize");
+    group.throughput(Throughput::Bytes((kv.values.len() * 4) as u64));
+    for bits in [QuantBits::Int4, QuantBits::Int8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}bit", bits.bits())),
+            &bits,
+            |b, &bits| b.iter(|| quantize(&kv.values, bits, 64)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_codec_round_trip(c: &mut Criterion) {
+    let model = ModelSpec::llama_7b();
+    let kv = generate_kv(&model, 64, &mut seeded_rng(2));
+    let codec = KvCodec::new(model, KvWirePrecision::DEFAULT_COMPRESSED);
+    c.bench_function("codec_encode_decode", |b| {
+        b.iter(|| {
+            let wire = codec.encode(&kv.values);
+            codec.decode(&wire).unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_quantize, bench_codec_round_trip);
+criterion_main!(benches);

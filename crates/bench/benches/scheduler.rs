@@ -1,0 +1,128 @@
+//! Criterion microbenchmarks for the two-level scheduler: full tabu runs at
+//! three cluster sizes (the Figure 10 quantity) plus the lower-level pieces.
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use thunderserve_core::parallel::deduce_parallel_config;
+use thunderserve_core::{Scheduler, SchedulerConfig};
+use ts_cluster::presets;
+use ts_common::{GpuId, ModelSpec, Phase, SimDuration, SloSpec};
+use ts_workload::spec;
+
+fn slo() -> SloSpec {
+    SloSpec::new(
+        SimDuration::from_millis(400 * 8),
+        SimDuration::from_millis(30 * 8),
+        SimDuration::from_secs(48),
+    )
+}
+
+fn bench_full_schedule(c: &mut Criterion) {
+    let model = ModelSpec::llama_30b();
+    let w = spec::coding(2.0);
+    let s = slo();
+    let mut group = c.benchmark_group("schedule");
+    group.sample_size(10);
+    for n in [8usize, 16, 32] {
+        let cluster = match n {
+            8 => presets::network_case_cluster(presets::ETH_40GBPS),
+            16 => presets::a5000_cluster(16),
+            _ => presets::paper_cloud_cluster(),
+        };
+        let model = if n == 16 { ModelSpec::llama_13b() } else { model.clone() };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut cfg = SchedulerConfig::fast();
+            cfg.seed = 1;
+            let sched = Scheduler::new(cfg);
+            b.iter(|| sched.schedule(&cluster, &model, &w, &s).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_config(c: &mut Criterion) {
+    let cluster = presets::paper_cloud_cluster();
+    let model = ModelSpec::llama_30b();
+    let w = spec::coding(2.0);
+    let cfg = SchedulerConfig::default();
+    let gpus: Vec<GpuId> = (16..24).map(GpuId).collect(); // the 8xA40 node
+    c.bench_function("deduce_parallel_config_8gpu", |b| {
+        b.iter(|| {
+            deduce_parallel_config(&cluster, &model, &gpus, Phase::Prefill, &w, &cfg).unwrap()
+        })
+    });
+}
+
+fn bench_estimator(c: &mut Criterion) {
+    use ts_costmodel::ReplicaCostModel;
+    use ts_sim::config::SimConfig;
+    use ts_sim::estimate::pair_estimates;
+
+    let cluster = presets::paper_cloud_cluster();
+    let model = ModelSpec::llama_30b();
+    let w = spec::coding(2.0);
+    let cfg = SchedulerConfig::default();
+    // 4 prefill (A40 pairs) + 2 decode (3090Ti quads) replicas
+    let group = |phase, gpus: Vec<u32>| {
+        thunderserve_core::parallel::deduce_parallel_config(
+            &cluster,
+            &model,
+            &gpus.into_iter().map(GpuId).collect::<Vec<_>>(),
+            phase,
+            &w,
+            &cfg,
+        )
+        .unwrap()
+    };
+    let prefill: Vec<ReplicaCostModel> = [(16..18), (18..20), (20..22), (22..24)]
+        .into_iter()
+        .map(|r| {
+            let g = group(Phase::Prefill, r.collect());
+            ReplicaCostModel::new(&cluster, &model, &g, &cfg.params).unwrap()
+        })
+        .collect();
+    let decode: Vec<ReplicaCostModel> = [(24..28), (28..32)]
+        .into_iter()
+        .map(|r| {
+            let g = group(Phase::Decode, r.collect());
+            ReplicaCostModel::new(&cluster, &model, &g, &cfg.params).unwrap()
+        })
+        .collect();
+    let sim_cfg = SimConfig::new(model.clone());
+    let s = slo();
+    c.bench_function("pair_estimates_4x2", |b| {
+        b.iter(|| pair_estimates(&cluster, &sim_cfg, &prefill, &decode, &w, &s))
+    });
+}
+
+fn bench_calibration(c: &mut Criterion) {
+    use ts_costmodel::calibration::{fit, PrefillObservation};
+    use ts_costmodel::ModelParams;
+
+    let model = ModelSpec::llama_7b();
+    let gpu = presets::paper_inhouse_cluster().gpu(GpuId(0)).spec();
+    let obs: Vec<PrefillObservation> = [512u64, 1024, 2048, 4096]
+        .iter()
+        .map(|&bt| PrefillObservation {
+            batch_tokens: bt,
+            avg_context: bt,
+            latency_s: 0.2 + bt as f64 * 1e-4,
+        })
+        .collect();
+    let mut group = c.benchmark_group("calibration");
+    group.sample_size(10);
+    group.bench_function("grid_fit_4pts", |b| {
+        b.iter(|| fit(&model, gpu, &obs, &[], ModelParams::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_full_schedule,
+    bench_parallel_config,
+    bench_estimator,
+    bench_calibration
+);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion microbenchmarks for the discrete-event engine.
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ts_bench::exps::network::disaggregated_plan;
+use ts_cluster::presets;
+use ts_common::{ModelSpec, SimDuration};
+use ts_sim::config::SimConfig;
+use ts_sim::engine::Simulation;
+use ts_workload::{generator::generate, spec};
+
+fn bench_engine(c: &mut Criterion) {
+    let cluster = presets::network_case_cluster(presets::ETH_40GBPS);
+    let model = ModelSpec::llama_30b();
+    let plan = disaggregated_plan(&model);
+    let mut group = c.benchmark_group("simulate");
+    group.sample_size(10);
+    for secs in [30u64, 120] {
+        let reqs = generate(&spec::coding(2.0), SimDuration::from_secs(secs), 1);
+        group.bench_with_input(BenchmarkId::from_parameter(secs), &secs, |b, _| {
+            b.iter(|| {
+                Simulation::new(&cluster, &plan, SimConfig::new(model.clone()))
+                    .unwrap()
+                    .run(&reqs)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion microbenchmarks for the optimization primitives.
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ts_solver::clustering::cluster_by_bandwidth;
+use ts_solver::routing_dp::best_stage_order;
+use ts_solver::transport::solve_orchestration;
+
+fn bench_transport(c: &mut Criterion) {
+    let mut group = c.benchmark_group("orchestration_lp");
+    for (m, n) in [(4usize, 4usize), (8, 8), (12, 12)] {
+        let d: Vec<Vec<f64>> = (0..m)
+            .map(|i| (0..n).map(|j| ((i * 7 + j * 3) % 10) as f64 / 10.0).collect())
+            .collect();
+        let row = vec![2.0 / m as f64; m];
+        let col = vec![2.0 / n as f64; n];
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{n}")),
+            &(m, n),
+            |b, _| b.iter(|| solve_orchestration(&d, &row, &col).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_routing_dp(c: &mut Criterion) {
+    for n in [8usize, 12] {
+        let bw: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..n).map(|j| ((i * 13 + j * 5) % 31 + 1) as f64).collect())
+            .collect();
+        c.bench_function(&format!("routing_dp_{n}"), |b| {
+            b.iter(|| best_stage_order(&bw).unwrap())
+        });
+    }
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let n = 32;
+    let bw: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| if i / 4 == j / 4 { 16e9 } else { 1.25e9 })
+                .collect()
+        })
+        .collect();
+    c.bench_function("hierarchical_clustering_32", |b| {
+        b.iter(|| cluster_by_bandwidth(&bw, 12).unwrap())
+    });
+}
+
+fn bench_modi_vs_simplex(c: &mut Criterion) {
+    use ts_solver::transport_classic::solve_balanced;
+    let m = 6;
+    let n = 6;
+    let costs: Vec<Vec<f64>> = (0..m)
+        .map(|i| (0..n).map(|j| ((i * 7 + j * 3) % 23 + 1) as f64).collect())
+        .collect();
+    let supply = vec![10.0; m];
+    let demand = vec![10.0; n];
+    c.bench_function("transport_modi_6x6", |b| {
+        b.iter(|| solve_balanced(&costs, &supply, &demand).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_transport,
+    bench_routing_dp,
+    bench_clustering,
+    bench_modi_vs_simplex
+);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Regenerates every table and figure of the ThunderServe paper on the
+//! simulated substrate.
+//!
+//! ```text
+//! reproduce [--exp <id>] [--quick] [--list]
+//! ```
+
+use std::time::Instant;
+use ts_bench::all_experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let list = args.iter().any(|a| a == "--list");
+    let exp_filter = args
+        .iter()
+        .position(|a| a == "--exp")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let exps = all_experiments();
+    if list {
+        for e in &exps {
+            println!("{:8} {}", e.id, e.title);
+        }
+        return;
+    }
+    let mut ran = 0;
+    for e in &exps {
+        if let Some(f) = &exp_filter {
+            if e.id != f {
+                continue;
+            }
+        }
+        let start = Instant::now();
+        println!("==================================================================");
+        println!("[{}] {}", e.id, e.title);
+        println!("==================================================================");
+        let report = (e.run)(quick);
+        println!("{report}");
+        println!("({} finished in {:.1}s)\n", e.id, start.elapsed().as_secs_f64());
+        ran += 1;
+    }
+    if ran == 0 {
+        eprintln!("no experiment matched; use --list to see ids");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,137 @@
+//! Figure 12: ablation of KV-cache compression and orchestration.
+//!
+//! Three configurations on the cloud: full ThunderServe (4-bit KV +
+//! orchestrated routing), no compression (fp16 KV), and no orchestration
+//! (random/uniform dispatching) — the paper reports ~1.3× per-request
+//! overhead without compression and a further large degradation with random
+//! dispatch.
+
+use crate::harness::{self, base_slo_30b};
+use crate::table::Table;
+use thunderserve_core::config::SchedulerConfig;
+use thunderserve_core::orchestrate::orchestrate;
+use ts_cluster::presets;
+use ts_common::{DeploymentPlan, ModelSpec, RoutingMatrix, SloKind, SloSpec};
+use ts_kvcache::codec::KvWirePrecision;
+use ts_sim::config::SimConfig;
+use ts_workload::WorkloadSpec;
+
+/// Replaces the plan's routing with uniform (un-orchestrated) dispatch.
+fn without_orchestration(plan: &DeploymentPlan) -> DeploymentPlan {
+    let (p, d) = plan.phase_ratio();
+    DeploymentPlan::new(plan.groups.clone(), RoutingMatrix::uniform(p, d))
+        .expect("uniform routing is valid")
+}
+
+/// Re-orchestrates the same groups with fp16-aware KV costs: disabling
+/// compression in the *system* also changes the routing the system would
+/// compute, so the ablation must keep the pipeline consistent.
+fn reorchestrate_f16(
+    cluster: &ts_cluster::Cluster,
+    model: &ModelSpec,
+    plan: &DeploymentPlan,
+    workload: &WorkloadSpec,
+    slo: &SloSpec,
+) -> DeploymentPlan {
+    let mut cfg = SchedulerConfig::default();
+    cfg.kv_precision = KvWirePrecision::F16;
+    orchestrate(cluster, model, plan.groups.clone(), workload, slo, &cfg)
+        .expect("re-orchestration is feasible")
+        .plan
+}
+
+/// Runs the ablation for both workloads.
+pub fn run(quick: bool) -> String {
+    let cluster = presets::paper_cloud_cluster();
+    let model = ModelSpec::llama_30b();
+    let slo = base_slo_30b().scaled(8.0);
+    let mut out = String::from("Figure 12: KV compression & orchestration ablation\n\n");
+    for &(wname, is_coding) in &[("coding", true), ("conversation", false)] {
+        let w = if is_coding {
+            ts_workload::spec::coding(2.0)
+        } else {
+            ts_workload::spec::conversation(2.0)
+        };
+        let plan = harness::thunderserve_plan(&cluster, &model, &w, &slo, 42, quick).unwrap();
+        let reqs = harness::trace(&w, quick, 11);
+        let full = harness::run_phase_split(
+            &cluster,
+            &plan,
+            SimConfig::new(model.clone()),
+            &reqs,
+        )
+        .unwrap();
+        let f16_plan = reorchestrate_f16(&cluster, &model, &plan, &w, &slo);
+        let no_comp = harness::run_phase_split(
+            &cluster,
+            &f16_plan,
+            SimConfig::new(model.clone()).with_f16_kv(),
+            &reqs,
+        )
+        .unwrap();
+        let uniform = without_orchestration(&plan);
+        let no_orch = harness::run_phase_split(
+            &cluster,
+            &uniform,
+            SimConfig::new(model.clone()).with_f16_kv(),
+            &reqs,
+        )
+        .unwrap();
+        let mut t = Table::new(vec!["configuration", "mean E2E (s)", "joint SLO att."]);
+        for (name, m) in [
+            ("ThunderServe", &full),
+            ("- KV compression", &no_comp),
+            ("- compression - orchestration", &no_orch),
+        ] {
+            t.row(vec![
+                name.into(),
+                format!(
+                    "{:.2}",
+                    m.mean_latency(SloKind::E2e).unwrap().as_secs_f64()
+                ),
+                format!("{:.3}", m.joint_attainment(&slo)),
+            ]);
+        }
+        out.push_str(&format!("{wname} workload:\n{}\n", t.render()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn each_ablation_hurts() {
+        // Coding stresses the KV path hardest (long prompts => big caches);
+        // conversation's decode-dominated E2E can mask the compression term.
+        let cluster = presets::paper_cloud_cluster();
+        let model = ModelSpec::llama_30b();
+        let slo = base_slo_30b().scaled(8.0);
+        let w = ts_workload::spec::coding(2.0);
+        let plan = harness::thunderserve_plan(&cluster, &model, &w, &slo, 42, true).unwrap();
+        let reqs = harness::trace(&w, true, 11);
+        let e2e = |cfg: SimConfig, p: &DeploymentPlan| {
+            harness::run_phase_split(&cluster, p, cfg, &reqs)
+                .unwrap()
+                .mean_latency(SloKind::E2e)
+                .unwrap()
+                .as_secs_f64()
+        };
+        let full = e2e(SimConfig::new(model.clone()), &plan);
+        let f16_plan = reorchestrate_f16(&cluster, &model, &plan, &w, &slo);
+        let no_comp = e2e(SimConfig::new(model.clone()).with_f16_kv(), &f16_plan);
+        let no_orch = e2e(
+            SimConfig::new(model.clone()).with_f16_kv(),
+            &without_orchestration(&plan),
+        );
+        assert!(
+            no_comp >= full * 0.999,
+            "removing compression should not help: {no_comp} vs {full}"
+        );
+        assert!(
+            no_orch >= no_comp * 0.999,
+            "removing orchestration should not help: {no_orch} vs {no_comp}"
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Figure 13 (Appendix C): inter-connection bandwidth heatmaps for the
+//! cloud and in-house environments, rendered as character maps.
+
+use ts_cluster::{presets, Cluster};
+
+fn heatmap(cluster: &Cluster) -> String {
+    let m = cluster.bandwidth_matrix();
+    // bucket bandwidths into glyphs: ' ' < '.' < ':' < 'o' < '#' < '@'
+    let glyph = |bw: f64| -> char {
+        if bw >= 100e9 {
+            '@'
+        } else if bw >= 10e9 {
+            '#'
+        } else if bw >= 4e9 {
+            'o'
+        } else if bw >= 2e9 {
+            ':'
+        } else if bw >= 1e9 {
+            '.'
+        } else {
+            ' '
+        }
+    };
+    let mut out = String::new();
+    for row in &m {
+        for &v in row {
+            out.push(glyph(v));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders both heatmaps plus summary statistics.
+pub fn run(_quick: bool) -> String {
+    let cloud = presets::paper_cloud_cluster();
+    let inhouse = presets::paper_inhouse_cluster();
+    let stats = |c: &Cluster| -> (f64, f64, usize) {
+        let m = c.bandwidth_matrix();
+        let mut lo = f64::INFINITY;
+        let mut hi: f64 = 0.0;
+        let mut distinct = std::collections::BTreeSet::new();
+        for (i, row) in m.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                if i != j {
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                    distinct.insert(v as u64);
+                }
+            }
+        }
+        (lo, hi, distinct.len())
+    };
+    let (clo, chi, cn) = stats(&cloud);
+    let (ilo, ihi, inn) = stats(&inhouse);
+    format!(
+        "Figure 13: inter-GPU bandwidth heatmaps\n\n\
+         Cloud (32 GPUs, glyphs: ' '<1GB/s '.'<2 ':'<4 'o'<10 '#'<100 '@'>=100):\n{}\n\
+         cloud off-diagonal: {:.1}-{:.1} GB/s, {cn} distinct levels (heterogeneous)\n\n\
+         In-house (8xA100 NVLink):\n{}\n\
+         in-house off-diagonal: {:.0}-{:.0} GB/s, {inn} distinct level (uniform)\n",
+        heatmap(&cloud),
+        clo / 1e9,
+        chi / 1e9,
+        heatmap(&inhouse),
+        ilo / 1e9,
+        ihi / 1e9,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn cloud_is_heterogeneous_inhouse_uniform() {
+        let out = super::run(true);
+        assert!(out.contains("heterogeneous"));
+        assert!(out.contains("1 distinct level (uniform)"));
+    }
+}

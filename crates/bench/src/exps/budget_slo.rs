@@ -1,0 +1,88 @@
+//! Figure 8: cost-efficiency — ThunderServe on the 32-GPU cloud rig versus
+//! DistServe-like and vLLM-like on the 8×A100 in-house box, at (nearly) the
+//! same hourly budget.
+
+use crate::harness::{self, base_slo_30b, min_scale_cell};
+use crate::table::Table;
+use ts_cluster::presets;
+use ts_common::{ModelSpec, SloKind};
+
+/// Runs the same-budget comparison.
+pub fn run(quick: bool) -> String {
+    let cloud = presets::paper_cloud_cluster();
+    let inhouse = presets::paper_inhouse_cluster();
+    let model = ModelSpec::llama_30b();
+    let base = base_slo_30b();
+    let rates: &[f64] = if quick { &[2.5] } else { &[2.0, 4.0, 6.0] };
+    let mut out = format!(
+        "Figure 8: same-budget comparison (cloud ${:.2}/hr vs in-house ${:.2}/hr)\n\n",
+        cloud.price_per_hour(),
+        inhouse.price_per_hour()
+    );
+    for &(wname, is_coding) in &[("coding", true), ("conversation", false)] {
+        let mut t = Table::new(vec![
+            "rate",
+            "system",
+            "TTFT@90",
+            "TPOT@90",
+            "E2E@90",
+            "E2E@99",
+        ]);
+        for &rate in rates {
+            let w = if is_coding {
+                ts_workload::spec::coding(rate)
+            } else {
+                ts_workload::spec::conversation(rate)
+            };
+            let slo = base.scaled(8.0);
+            let ts = harness::run_thunderserve(&cloud, &model, &w, &slo, quick, 17).unwrap();
+            let ds = harness::run_distserve(&inhouse, &model, &w, &slo, quick, 17).unwrap();
+            let vl = harness::run_vllm(&inhouse, &model, &w, quick, 17).unwrap();
+            for (name, m) in [
+                ("ThunderServe(cloud)", &ts),
+                ("DistServe(in-house)", &ds),
+                ("vLLM(in-house)", &vl),
+            ] {
+                t.row(vec![
+                    format!("{rate:.1}"),
+                    name.into(),
+                    min_scale_cell(m, &base, SloKind::Ttft, 0.9),
+                    min_scale_cell(m, &base, SloKind::Tpot, 0.9),
+                    min_scale_cell(m, &base, SloKind::E2e, 0.9),
+                    min_scale_cell(m, &base, SloKind::E2e, 0.99),
+                ]);
+            }
+        }
+        out.push_str(&format!("{wname} workload:\n{}\n", t.render()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 8's claim at high load: more replicas on the cloud beat the
+    /// 4-replica A100 box on E2E deadlines for the same budget.
+    #[test]
+    fn cloud_wins_at_high_rate() {
+        let cloud = presets::paper_cloud_cluster();
+        let inhouse = presets::paper_inhouse_cluster();
+        let model = ModelSpec::llama_30b();
+        let base = base_slo_30b();
+        let w = ts_workload::spec::coding(3.0);
+        let ts = harness::run_thunderserve(&cloud, &model, &w, &base.scaled(8.0), true, 9)
+            .unwrap();
+        let vl = harness::run_vllm(&inhouse, &model, &w, true, 9).unwrap();
+        let ts_scale = ts
+            .min_scale_for(&base, SloKind::E2e, 0.9, harness::SLO_SCALES)
+            .unwrap_or(f64::INFINITY);
+        let vl_scale = vl
+            .min_scale_for(&base, SloKind::E2e, 0.9, harness::SLO_SCALES)
+            .unwrap_or(f64::INFINITY);
+        assert!(
+            ts_scale <= vl_scale,
+            "cloud ThunderServe {ts_scale}x should beat in-house vLLM {vl_scale}x at 3 req/s"
+        );
+    }
+}

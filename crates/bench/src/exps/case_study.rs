@@ -1,0 +1,75 @@
+//! Table 3 (+ Appendix F): the deployment plans the scheduler discovers for
+//! the coding and conversation workloads on the 32-GPU cloud.
+
+use crate::harness::{base_slo_30b, thunderserve_plan};
+use crate::table::Table;
+use ts_cluster::{presets, Cluster};
+use ts_common::{DeploymentPlan, ModelSpec};
+
+fn describe(cluster: &Cluster, plan: &DeploymentPlan) -> Table {
+    let mut t = Table::new(vec!["GPU configuration", "strategy", "phase", "layers/stage"]);
+    for g in &plan.groups {
+        let mut counts: std::collections::BTreeMap<&str, usize> = Default::default();
+        for gpu in g.gpus() {
+            *counts.entry(cluster.gpu(gpu).model.short_name()).or_default() += 1;
+        }
+        let config = counts
+            .iter()
+            .map(|(m, c)| format!("{c}x{m}"))
+            .collect::<Vec<_>>()
+            .join("+");
+        let layers = g
+            .stages
+            .iter()
+            .map(|s| s.layers.to_string())
+            .collect::<Vec<_>>()
+            .join("/");
+        t.row(vec![
+            config,
+            g.parallel.to_string(),
+            g.phase.to_string(),
+            layers,
+        ]);
+    }
+    t
+}
+
+/// Prints the discovered plans for both workloads.
+pub fn run(quick: bool) -> String {
+    let cluster = presets::paper_cloud_cluster();
+    let model = ModelSpec::llama_30b();
+    let slo = base_slo_30b().scaled(8.0);
+    let mut out = String::from("Table 3: model deployments discovered by ThunderServe\n\n");
+    for &(wname, is_coding, rate) in &[("coding", true, 3.0), ("conversation", false, 3.0)] {
+        let w = if is_coding {
+            ts_workload::spec::coding(rate)
+        } else {
+            ts_workload::spec::conversation(rate)
+        };
+        let plan = thunderserve_plan(&cluster, &model, &w, &slo, 42, quick).unwrap();
+        let (p, d) = plan.phase_ratio();
+        out.push_str(&format!(
+            "{wname} workload — {p} prefill : {d} decode replicas, {} GPUs used\n{}\n",
+            plan.num_gpus(),
+            describe(&cluster, &plan).render()
+        ));
+    }
+    out.push_str(
+        "ThunderServe assigns compute-rich GPUs (A40) to prefill and \
+         bandwidth-rich GPUs (3090Ti) to decode, with more prefill replicas \
+         for coding and more decode replicas for conversation.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn report_contains_both_workloads() {
+        let out = super::run(true);
+        assert!(out.contains("coding workload"));
+        assert!(out.contains("conversation workload"));
+        assert!(out.contains("prefill"));
+        assert!(out.contains("decode"));
+    }
+}

@@ -1,0 +1,39 @@
+//! Table 1: GPU specifications and pricing.
+
+use crate::table::Table;
+use ts_cluster::GpuModel;
+
+/// Prints the catalog (Table 1).
+pub fn run(_quick: bool) -> String {
+    let mut t = Table::new(vec![
+        "GPU",
+        "Mem BW",
+        "Peak FP16",
+        "Memory",
+        "Price/hr",
+        "FLOPs/byte",
+    ]);
+    for m in GpuModel::ALL {
+        let s = m.spec();
+        t.row(vec![
+            m.short_name().into(),
+            format!("{:.0} GB/s", s.mem_bandwidth / 1e9),
+            format!("{:.1} TFLOPS", s.peak_fp16_flops / 1e12),
+            format!("{} GB", s.memory_bytes >> 30),
+            format!("${:.3}", s.price_per_hour),
+            format!("{:.0}", s.compute_intensity()),
+        ]);
+    }
+    format!("Table 1: GPU specifications and pricing\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn lists_all_five_gpus() {
+        let out = super::run(true);
+        for name in ["A100", "A6000", "A5000", "A40", "3090Ti"] {
+            assert!(out.contains(name), "missing {name}");
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Figure 7: SLO attainment on the heterogeneous cloud, ThunderServe vs the
+//! HexGen-like baseline, for TTFT / TPOT / E2E across request rates.
+//!
+//! Reported as the paper does: for each rate, the minimum SLO scale (latency
+//! deadline multiple) at which each system reaches 90% and 99% attainment.
+
+use crate::harness::{self, base_slo_30b, min_scale_cell};
+use crate::table::Table;
+use ts_cluster::presets;
+use ts_common::{ModelSpec, SloKind};
+
+/// Runs the cloud comparison.
+pub fn run(quick: bool) -> String {
+    let cluster = presets::paper_cloud_cluster();
+    let model = ModelSpec::llama_30b();
+    let base = base_slo_30b();
+    let rates: &[f64] = if quick { &[2.5] } else { &[2.0, 4.0, 6.0] };
+    let mut out = String::from(
+        "Figure 7: min SLO scale for 90%/99% attainment on the cloud \
+         (ThunderServe vs HexGen-like)\n\n",
+    );
+    for &(wname, is_coding) in &[("coding", true), ("conversation", false)] {
+        let mut t = Table::new(vec![
+            "rate",
+            "system",
+            "TTFT@90",
+            "TPOT@90",
+            "E2E@90",
+            "E2E@99",
+        ]);
+        let mut curves = String::new();
+        for &rate in rates {
+            let w = if is_coding {
+                ts_workload::spec::coding(rate)
+            } else {
+                ts_workload::spec::conversation(rate)
+            };
+            let slo = base.scaled(8.0);
+            let ts = harness::run_thunderserve(&cluster, &model, &w, &slo, quick, 42).unwrap();
+            let hx = harness::run_hexgen(&cluster, &model, &w, quick, 42).unwrap();
+            curves.push_str(&format!("rate {rate:.1} req/s:\n"));
+            for (name, m) in [("ThunderServe", &ts), ("HexGen-like", &hx)] {
+                t.row(vec![
+                    format!("{rate:.1}"),
+                    name.into(),
+                    min_scale_cell(m, &base, SloKind::Ttft, 0.9),
+                    min_scale_cell(m, &base, SloKind::Tpot, 0.9),
+                    min_scale_cell(m, &base, SloKind::E2e, 0.9),
+                    min_scale_cell(m, &base, SloKind::E2e, 0.99),
+                ]);
+                curves.push_str(&curve_line(name, m, &base));
+            }
+        }
+        out.push_str(&format!("{wname} workload:\n{}\n", t.render()));
+        out.push_str(&curves);
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a compact E2E attainment-vs-scale series (the figure's curves).
+fn curve_line(name: &str, m: &ts_sim::metrics::Metrics, base: &ts_common::SloSpec) -> String {
+    let pts = m.attainment_curve(base, SloKind::E2e, &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0]);
+    let series: Vec<String> = pts.iter().map(|(s, a)| format!("{s}x:{a:.2}")).collect();
+    format!("  E2E curve {name:12} {}\n", series.join(" "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_common::SloSpec;
+
+    /// Core Figure 7 claim: ThunderServe needs a lower (or equal) E2E
+    /// deadline than the HexGen-like baseline at the same rate.
+    #[test]
+    fn thunderserve_beats_hexgen_on_e2e_deadline() {
+        let cluster = presets::paper_cloud_cluster();
+        let model = ModelSpec::llama_30b();
+        let base: SloSpec = base_slo_30b();
+        let w = ts_workload::spec::coding(2.0);
+        let ts =
+            harness::run_thunderserve(&cluster, &model, &w, &base.scaled(8.0), true, 5).unwrap();
+        let hx = harness::run_hexgen(&cluster, &model, &w, true, 5).unwrap();
+        let ts_scale = ts
+            .min_scale_for(&base, SloKind::E2e, 0.9, harness::SLO_SCALES)
+            .unwrap_or(f64::INFINITY);
+        let hx_scale = hx
+            .min_scale_for(&base, SloKind::E2e, 0.9, harness::SLO_SCALES)
+            .unwrap_or(f64::INFINITY);
+        assert!(
+            ts_scale <= hx_scale,
+            "ThunderServe E2E deadline {ts_scale}x should be <= HexGen {hx_scale}x"
+        );
+    }
+}

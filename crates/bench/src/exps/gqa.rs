@@ -1,0 +1,99 @@
+//! Grouped-query attention extension (beyond the paper's figures).
+//!
+//! The paper's KV-transfer problem is sized by MHA-era caches (LLaMA-30B
+//! carries ~1.6 MB of KV per token). Modern GQA/MQA models shrink that by
+//! the head-group factor, which changes the phase-splitting calculus on slow
+//! links: this experiment serves an MHA model and a GQA variant of the same
+//! architecture across the 5 Gbps cross-datacenter link of Appendix H and
+//! shows the link stops being the bottleneck.
+
+use crate::harness;
+use crate::table::Table;
+use ts_cluster::presets;
+use ts_common::{ModelSpec, SloKind};
+use ts_sim::config::SimConfig;
+
+use super::network::disaggregated_plan;
+
+/// LLaMA-30B with 4 KV heads instead of 52 (a 13x smaller KV cache).
+pub fn llama_30b_gqa() -> ModelSpec {
+    let mut m = ModelSpec::llama_30b();
+    m.name = "llama-30b-gqa4".into();
+    m.num_kv_heads = 4;
+    m
+}
+
+/// Runs the MHA vs GQA comparison on the slow link.
+pub fn run(quick: bool) -> String {
+    let cluster = presets::network_case_cluster(presets::ETH_5GBPS);
+    let w = ts_workload::spec::fixed(1024, 64, 2.2);
+    let reqs = harness::trace(&w, quick, 17);
+
+    let mut t = Table::new(vec![
+        "model",
+        "KV bytes/token",
+        "mean E2E (s)",
+        "tokens/s",
+    ]);
+    let mut results = Vec::new();
+    for model in [ModelSpec::llama_30b(), llama_30b_gqa()] {
+        let plan = disaggregated_plan(&model);
+        let m = harness::run_phase_split(&cluster, &plan, SimConfig::new(model.clone()), &reqs)
+            .unwrap();
+        results.push(m.throughput_tokens());
+        t.row(vec![
+            model.name.clone(),
+            format!("{:.2} MB", model.kv_bytes_per_token() as f64 / 1e6),
+            format!(
+                "{:.2}",
+                t_last(&m).unwrap_or(0.0)
+            ),
+            format!("{:.0}", m.throughput_tokens()),
+        ]);
+    }
+    format!(
+        "GQA extension: cross-instance phase splitting at 5 Gbps\n\
+         (A40 prefill → 3090Ti decode, 1024 in / 64 out @2.2 req/s)\n\n{}\n\
+         A 13x smaller KV cache ({}x throughput here) makes cross-datacenter \
+         disaggregation viable where the paper's MHA-era models needed the \
+         4-bit codec or topology changes.\n",
+        t.render(),
+        (results[1] / results[0].max(1e-9) * 10.0).round() / 10.0,
+    )
+}
+
+fn t_last(m: &ts_sim::metrics::Metrics) -> Option<f64> {
+    m.mean_latency(SloKind::E2e).map(|d| d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gqa_rescues_the_slow_link() {
+        let cluster = presets::network_case_cluster(presets::ETH_5GBPS);
+        let w = ts_workload::spec::fixed(1024, 64, 2.2);
+        let reqs = harness::trace(&w, true, 17);
+        let run = |model: ModelSpec| {
+            let plan = disaggregated_plan(&model);
+            harness::run_phase_split(&cluster, &plan, SimConfig::new(model), &reqs)
+                .unwrap()
+                .throughput_tokens()
+        };
+        let mha = run(ModelSpec::llama_30b());
+        let gqa = run(llama_30b_gqa());
+        assert!(
+            gqa > mha * 1.2,
+            "GQA throughput {gqa:.0} should clearly beat MHA {mha:.0} at 5 Gbps"
+        );
+    }
+
+    #[test]
+    fn gqa_kv_is_13x_smaller() {
+        let mha = ModelSpec::llama_30b();
+        let gqa = llama_30b_gqa();
+        let ratio = mha.kv_bytes_per_token() as f64 / gqa.kv_bytes_per_token() as f64;
+        assert!((ratio - 13.0).abs() < 0.1, "ratio {ratio}");
+    }
+}

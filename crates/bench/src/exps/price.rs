@@ -1,0 +1,44 @@
+//! Figure 1: prefill and decode prices for a single request (512 in / 16
+//! out) on the 3090Ti and A40.
+
+use crate::table::Table;
+use ts_cluster::GpuModel;
+use ts_common::ModelSpec;
+use ts_costmodel::{price::request_price, ModelParams};
+
+/// Regenerates the Figure 1 bars.
+pub fn run(_quick: bool) -> String {
+    let model = ModelSpec::llama_7b();
+    let params = ModelParams::default();
+    let mut t = Table::new(vec!["GPU", "prefill $/1k req", "decode $/1k req", "total"]);
+    let mut lines = Vec::new();
+    for gpu in [GpuModel::Rtx3090Ti, GpuModel::A40] {
+        let p = request_price(&model, gpu.spec(), 512, 16, &params);
+        t.row(vec![
+            gpu.short_name().into(),
+            format!("${:.4}", p.prefill * 1000.0),
+            format!("${:.4}", p.decode * 1000.0),
+            format!("${:.4}", p.total() * 1000.0),
+        ]);
+        lines.push((gpu, p));
+    }
+    let (ti, a40) = (&lines[0].1, &lines[1].1);
+    format!(
+        "Figure 1: per-request phase prices (LLaMA-7B, 512 in / 16 out)\n{}\n\
+         A40 prefill is {:.2}x cheaper than 3090Ti; 3090Ti decode is {:.2}x cheaper than A40.\n",
+        t.render(),
+        ti.prefill / a40.prefill,
+        a40.decode / ti.decode,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn report_shows_both_gpus_and_claims() {
+        let out = super::run(true);
+        assert!(out.contains("3090Ti"));
+        assert!(out.contains("A40"));
+        assert!(out.contains("cheaper"));
+    }
+}

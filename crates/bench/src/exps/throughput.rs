@@ -1,0 +1,80 @@
+//! Figure 9: system throughput, scaled by ThunderServe's.
+
+use crate::harness::{self, base_slo_30b};
+use crate::table::Table;
+use ts_cluster::presets;
+use ts_common::ModelSpec;
+
+/// Runs the throughput comparison under saturating load.
+pub fn run(quick: bool) -> String {
+    let cloud = presets::paper_cloud_cluster();
+    let inhouse = presets::paper_inhouse_cluster();
+    let model = ModelSpec::llama_30b();
+    let slo = base_slo_30b().scaled(16.0);
+    // Saturating arrival rate: throughput is limited by the systems, not the
+    // trace.
+    let rate = 6.0;
+    let mut out = String::from("Figure 9: throughput scaled by ThunderServe's\n\n");
+    for &(wname, is_coding) in &[("coding", true), ("conversation", false)] {
+        let w = if is_coding {
+            ts_workload::spec::coding(rate)
+        } else {
+            ts_workload::spec::conversation(rate)
+        };
+        let ts = harness::run_thunderserve(&cloud, &model, &w, &slo, quick, 23).unwrap();
+        let hx = harness::run_hexgen(&cloud, &model, &w, quick, 23).unwrap();
+        let ds = harness::run_distserve(&inhouse, &model, &w, &slo, quick, 23).unwrap();
+        let vl = harness::run_vllm(&inhouse, &model, &w, quick, 23).unwrap();
+        let base_t = ts.throughput_tokens();
+        let mut t = Table::new(vec!["system", "tokens/s", "relative"]);
+        for (name, m) in [
+            ("ThunderServe(cloud)", &ts),
+            ("HexGen-like(cloud)", &hx),
+            ("DistServe(in-house)", &ds),
+            ("vLLM(in-house)", &vl),
+        ] {
+            t.row(vec![
+                name.into(),
+                format!("{:.0}", m.throughput_tokens()),
+                format!("{:.2}x", m.throughput_tokens() / base_t),
+            ]);
+        }
+        out.push_str(&format!("{wname} workload (rate {rate} req/s):\n{}\n", t.render()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thunderserve_throughput_leads_baselines() {
+        let cloud = presets::paper_cloud_cluster();
+        let inhouse = presets::paper_inhouse_cluster();
+        let model = ModelSpec::llama_30b();
+        let slo = base_slo_30b().scaled(16.0);
+        let w = ts_workload::spec::coding(6.0);
+        // full-budget scheduling: the trimmed search can land on clearly
+        // suboptimal plans at saturating load
+        let ts = harness::run_thunderserve(&cloud, &model, &w, &slo, false, 3).unwrap();
+        let hx = harness::run_hexgen(&cloud, &model, &w, false, 3).unwrap();
+        let ds = harness::run_distserve(&inhouse, &model, &w, &slo, false, 3).unwrap();
+        assert!(
+            ts.throughput_tokens() >= hx.throughput_tokens() * 0.95,
+            "ThunderServe {:.0} should be >= HexGen-like {:.0}",
+            ts.throughput_tokens(),
+            hx.throughput_tokens()
+        );
+        // Under a pure roofline substrate the A100 box is hardware-superior
+        // at this budget (see EXPERIMENTS.md), so we assert ThunderServe
+        // stays within a modest factor of the in-house DistServe rather than
+        // strictly ahead (the paper's testbed showed 1.5x the other way).
+        assert!(
+            ts.throughput_tokens() >= ds.throughput_tokens() * 0.5,
+            "ThunderServe {:.0} should be within 2x of DistServe {:.0}",
+            ts.throughput_tokens(),
+            ds.throughput_tokens()
+        );
+    }
+}

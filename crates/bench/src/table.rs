@@ -1,0 +1,118 @@
+//! Minimal fixed-width text tables for experiment reports.
+
+/// A simple text table builder.
+///
+/// ```
+/// let mut t = ts_bench::table::Table::new(vec!["GPU", "price"]);
+/// t.row(vec!["A40".into(), "$0.403".into()]);
+/// let s = t.render();
+/// assert!(s.contains("A40"));
+/// assert!(s.contains("price"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; short rows are padded with empty cells.
+    pub fn row(&mut self, cells: Vec<String>) {
+        let mut cells = cells;
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders to an aligned ASCII table.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let sep: String = widths
+            .iter()
+            .map(|w| format!("-{}-", "-".repeat(*w)))
+            .collect::<Vec<_>>()
+            .join("+");
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .take(cols)
+                .map(|(i, c)| format!(" {:<w$} ", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("|")
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with 3 significant decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a float as a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["a", "long-header"]);
+        t.row(vec!["xxxxxx".into(), "1".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert!(lines[1].chars().all(|c| c == '-' || c == '+'));
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.row(vec!["1".into()]);
+        assert!(t.render().lines().count() == 3);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(pct(0.912), "91.2%");
+    }
+}

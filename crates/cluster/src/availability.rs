@@ -1,0 +1,101 @@
+//! Availability events for dynamic-cluster experiments.
+//!
+//! Cloud resources are unstable (§3.4): nodes fail heartbeats, spot instances
+//! are preempted, and capacity is added back later. A [`ClusterEvent`] is a
+//! timestamped change to the availability mask of a [`crate::Cluster`]; the
+//! runtime replays a script of these events to drive the Figure 11
+//! experiment (4 of 32 GPUs going offline).
+
+use serde::{Deserialize, Serialize};
+use ts_common::{GpuId, NodeId, Result, SimTime};
+
+use crate::topology::Cluster;
+
+/// What changed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A whole node went offline (heartbeat timeout).
+    NodeDown(NodeId),
+    /// Specific GPUs went offline.
+    GpusDown(Vec<GpuId>),
+    /// Specific GPUs came (back) online.
+    GpusUp(Vec<GpuId>),
+}
+
+/// A timestamped availability change.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterEvent {
+    /// When the change is observed.
+    pub at: SimTime,
+    /// The change itself.
+    pub kind: EventKind,
+}
+
+impl ClusterEvent {
+    /// Creates an event.
+    pub fn new(at: SimTime, kind: EventKind) -> Self {
+        ClusterEvent { at, kind }
+    }
+
+    /// Applies this event to a cluster's availability mask.
+    ///
+    /// # Errors
+    /// Propagates [`ts_common::Error::InvalidConfig`] for unknown ids.
+    pub fn apply(&self, cluster: &mut Cluster) -> Result<()> {
+        match &self.kind {
+            EventKind::NodeDown(n) => cluster.deactivate_node(*n),
+            EventKind::GpusDown(ids) => cluster.deactivate_gpus(ids),
+            EventKind::GpusUp(ids) => cluster.activate_gpus(ids),
+        }
+    }
+}
+
+/// Sorts a script of events by time (stable), so it can be replayed in order.
+pub fn sort_script(events: &mut [ClusterEvent]) {
+    events.sort_by_key(|e| e.at);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::GpuModel;
+    use crate::topology::ClusterBuilder;
+
+    fn cluster() -> Cluster {
+        ClusterBuilder::new()
+            .node("a", GpuModel::A5000, 2)
+            .node("b", GpuModel::A5000, 2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn node_down_then_gpus_up() {
+        let mut c = cluster();
+        ClusterEvent::new(SimTime::ZERO, EventKind::NodeDown(NodeId(1)))
+            .apply(&mut c)
+            .unwrap();
+        assert_eq!(c.num_gpus(), 2);
+        ClusterEvent::new(SimTime::from_micros(5), EventKind::GpusUp(vec![GpuId(2)]))
+            .apply(&mut c)
+            .unwrap();
+        assert_eq!(c.num_gpus(), 3);
+    }
+
+    #[test]
+    fn script_sorts_by_time() {
+        let mut script = vec![
+            ClusterEvent::new(SimTime::from_micros(10), EventKind::GpusDown(vec![GpuId(0)])),
+            ClusterEvent::new(SimTime::ZERO, EventKind::GpusDown(vec![GpuId(1)])),
+        ];
+        sort_script(&mut script);
+        assert_eq!(script[0].at, SimTime::ZERO);
+    }
+
+    #[test]
+    fn unknown_node_errors() {
+        let mut c = cluster();
+        let e = ClusterEvent::new(SimTime::ZERO, EventKind::NodeDown(NodeId(9)));
+        assert!(e.apply(&mut c).is_err());
+    }
+}

@@ -1,0 +1,31 @@
+//! # ts-cluster
+//!
+//! GPU catalog, cluster topology and pricing for heterogeneous cloud serving.
+//!
+//! This crate models the *hardware substrate* of the ThunderServe paper:
+//! the five GPU models of Table 1 with their peak FP16 throughput, memory
+//! bandwidth, memory capacity and hourly rental price ([`catalog`]); clusters
+//! of nodes holding those GPUs together with a pairwise inter-GPU bandwidth /
+//! latency matrix ([`topology`]); the paper's two experimental environments
+//! ([`presets`]); and availability bookkeeping for node-failure experiments
+//! ([`availability`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use ts_cluster::presets;
+//!
+//! let cloud = presets::paper_cloud_cluster();
+//! assert_eq!(cloud.num_gpus(), 32);
+//! // Table 1 per-GPU prices sum to ~$11.3/hr for the heterogeneous rig
+//! assert!((cloud.price_per_hour() - 11.328).abs() < 0.01);
+//! ```
+
+pub mod availability;
+pub mod catalog;
+pub mod presets;
+pub mod topology;
+
+pub use availability::{ClusterEvent, EventKind};
+pub use catalog::{GpuModel, GpuSpec};
+pub use topology::{Cluster, ClusterBuilder, Gpu, LinkClass, Node};

@@ -1,0 +1,73 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the ThunderServe stack.
+///
+/// The variants are deliberately coarse: each one carries a human-readable
+/// message describing the exact failure, and the variant itself tells the
+/// caller which subsystem rejected the operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A configuration value was structurally invalid (zero degree, empty
+    /// group, inconsistent dimensions, ...).
+    InvalidConfig(String),
+    /// A deployment plan referenced resources that do not exist or violated
+    /// a feasibility constraint (e.g. insufficient aggregate GPU memory).
+    Infeasible(String),
+    /// An optimization routine failed to find a solution (e.g. an unbounded
+    /// or infeasible linear program).
+    SolverFailed(String),
+    /// The simulator was driven with inconsistent inputs (e.g. a plan with
+    /// no decode replicas while requests demand decoding).
+    Simulation(String),
+    /// A capacity limit was exceeded (KV-cache blocks, queue bounds, ...).
+    CapacityExceeded(String),
+    /// The runtime could not complete an operation (channel closed, replica
+    /// missing, double shutdown, ...).
+    Runtime(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            Error::Infeasible(m) => write!(f, "infeasible deployment: {m}"),
+            Error::SolverFailed(m) => write!(f, "solver failed: {m}"),
+            Error::Simulation(m) => write!(f, "simulation error: {m}"),
+            Error::CapacityExceeded(m) => write!(f, "capacity exceeded: {m}"),
+            Error::Runtime(m) => write!(f, "runtime error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = Error::InvalidConfig("tp must be positive".into());
+        let s = e.to_string();
+        assert!(s.starts_with("invalid configuration"));
+        assert!(s.contains("tp must be positive"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn implements_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(Error::SolverFailed("lp unbounded".into()));
+        assert!(e.to_string().contains("unbounded"));
+    }
+}

@@ -1,0 +1,47 @@
+//! # ts-common
+//!
+//! Shared vocabulary types for the ThunderServe serving stack.
+//!
+//! This crate defines the small, dependency-free data model that every other
+//! crate in the workspace builds on: identifiers ([`GpuId`], [`RequestId`]),
+//! simulated time ([`SimTime`], [`SimDuration`]), model descriptions
+//! ([`ModelSpec`]), inference phases ([`Phase`]), parallelism configurations
+//! ([`ParallelConfig`]), serving requests ([`Request`]), service-level
+//! objectives ([`SloSpec`]) and the deployment-plan data model
+//! ([`DeploymentPlan`]) produced by the scheduler and consumed by the
+//! simulator and runtime.
+//!
+//! # Examples
+//!
+//! ```
+//! use ts_common::{ModelSpec, ParallelConfig, Phase};
+//!
+//! let model = ModelSpec::llama_30b();
+//! assert!(model.param_count() > 30_000_000_000 / 2); // ~32.5B params
+//! let pc = ParallelConfig::new(2, 2).unwrap();
+//! assert_eq!(pc.world_size(), 4);
+//! assert_eq!(Phase::Prefill.opposite(), Phase::Decode);
+//! ```
+
+pub mod error;
+pub mod ids;
+pub mod model;
+pub mod parallel;
+pub mod phase;
+pub mod plan;
+pub mod plan_io;
+pub mod request;
+pub mod rng;
+pub mod slo;
+pub mod time;
+
+pub use error::{Error, Result};
+pub use ids::{GpuId, GroupId, NodeId, RequestId};
+pub use model::{DType, ModelSpec};
+pub use parallel::ParallelConfig;
+pub use phase::Phase;
+pub use plan::{DeploymentPlan, GroupSpec, RoutingMatrix, StageSpec};
+pub use request::Request;
+pub use rng::seeded_rng;
+pub use slo::{SloKind, SloSpec};
+pub use time::{SimDuration, SimTime};

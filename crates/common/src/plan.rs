@@ -1,0 +1,380 @@
+//! The deployment-plan data model.
+//!
+//! A [`DeploymentPlan`] is the scheduler's output and the simulator/runtime's
+//! input. It captures the four components of §3.1 of the paper:
+//!
+//! 1. **Group construction** — which GPUs form each model serving group;
+//! 2. **Phase designation** — whether each group serves prefill or decode;
+//! 3. **Parallel configuration** — the `(TP, PP)` layout, the per-stage GPU
+//!    assignment and the (possibly non-uniform) pipeline layer partition;
+//! 4. **Orchestration** — the routing matrix dispatching request flow across
+//!    (prefill, decode) replica pairs.
+
+use crate::{Error, GpuId, ParallelConfig, Phase, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// One pipeline stage: the tensor-parallel set of GPUs executing a contiguous
+/// slice of layers.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StageSpec {
+    /// GPUs sharding this stage's layers (length == TP degree).
+    pub gpus: Vec<GpuId>,
+    /// Number of transformer layers assigned to this stage.
+    pub layers: usize,
+}
+
+/// One model serving group: a model replica with a designated phase.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GroupSpec {
+    /// The phase this replica serves.
+    pub phase: Phase,
+    /// Parallel configuration summary.
+    pub parallel: ParallelConfig,
+    /// Pipeline stages in execution order. `stages.len() == parallel.pp()`
+    /// and each stage holds `parallel.tp()` GPUs.
+    pub stages: Vec<StageSpec>,
+}
+
+impl GroupSpec {
+    /// Creates a group and validates its internal consistency.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidConfig`] if the stage shape does not match the
+    /// parallel configuration, a GPU appears twice, or any stage has zero
+    /// layers.
+    pub fn new(phase: Phase, parallel: ParallelConfig, stages: Vec<StageSpec>) -> Result<Self> {
+        if stages.len() != parallel.pp() {
+            return Err(Error::InvalidConfig(format!(
+                "expected {} stages, got {}",
+                parallel.pp(),
+                stages.len()
+            )));
+        }
+        let mut seen = BTreeSet::new();
+        for (i, st) in stages.iter().enumerate() {
+            if st.gpus.len() != parallel.tp() {
+                return Err(Error::InvalidConfig(format!(
+                    "stage {i} has {} GPUs, expected TP={}",
+                    st.gpus.len(),
+                    parallel.tp()
+                )));
+            }
+            if st.layers == 0 {
+                return Err(Error::InvalidConfig(format!("stage {i} has zero layers")));
+            }
+            for &g in &st.gpus {
+                if !seen.insert(g) {
+                    return Err(Error::InvalidConfig(format!("GPU {g} appears twice")));
+                }
+            }
+        }
+        Ok(GroupSpec {
+            phase,
+            parallel,
+            stages,
+        })
+    }
+
+    /// All GPUs of the group, stage by stage.
+    pub fn gpus(&self) -> impl Iterator<Item = GpuId> + '_ {
+        self.stages.iter().flat_map(|s| s.gpus.iter().copied())
+    }
+
+    /// Number of GPUs in the group.
+    #[inline]
+    pub fn num_gpus(&self) -> usize {
+        self.parallel.world_size()
+    }
+
+    /// Total layers across stages.
+    #[inline]
+    pub fn total_layers(&self) -> usize {
+        self.stages.iter().map(|s| s.layers).sum()
+    }
+
+    /// Returns a copy with the opposite phase designation (the tabu "flip"
+    /// move and the core of lightweight rescheduling).
+    pub fn flipped(&self) -> GroupSpec {
+        GroupSpec {
+            phase: self.phase.opposite(),
+            ..self.clone()
+        }
+    }
+}
+
+/// Routing fractions between prefill and decode replicas.
+///
+/// `rates[i][j]` is the fraction of the total incoming request stream that is
+/// prefilled by prefill replica `i` and decoded by decode replica `j`; all
+/// entries are non-negative and sum to 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutingMatrix {
+    rates: Vec<Vec<f64>>,
+}
+
+impl RoutingMatrix {
+    /// Builds a routing matrix, validating shape and mass.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidConfig`] if the matrix is empty or ragged, any
+    /// entry is negative/non-finite, or the entries do not sum to 1 (±1e-6).
+    pub fn new(rates: Vec<Vec<f64>>) -> Result<Self> {
+        if rates.is_empty() || rates[0].is_empty() {
+            return Err(Error::InvalidConfig("empty routing matrix".into()));
+        }
+        let cols = rates[0].len();
+        let mut total = 0.0;
+        for row in &rates {
+            if row.len() != cols {
+                return Err(Error::InvalidConfig("ragged routing matrix".into()));
+            }
+            for &v in row {
+                if !v.is_finite() || v < -1e-12 {
+                    return Err(Error::InvalidConfig(format!("bad routing rate {v}")));
+                }
+                total += v;
+            }
+        }
+        if (total - 1.0).abs() > 1e-6 {
+            return Err(Error::InvalidConfig(format!(
+                "routing rates sum to {total}, expected 1"
+            )));
+        }
+        Ok(RoutingMatrix { rates })
+    }
+
+    /// Uniform routing over `m` prefill and `n` decode replicas.
+    ///
+    /// # Panics
+    /// Panics if `m` or `n` is zero.
+    pub fn uniform(m: usize, n: usize) -> Self {
+        assert!(m > 0 && n > 0, "uniform routing needs at least one replica per phase");
+        let v = 1.0 / (m * n) as f64;
+        RoutingMatrix {
+            rates: vec![vec![v; n]; m],
+        }
+    }
+
+    /// Number of prefill replicas (rows).
+    #[inline]
+    pub fn num_prefill(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Number of decode replicas (columns).
+    #[inline]
+    pub fn num_decode(&self) -> usize {
+        self.rates[0].len()
+    }
+
+    /// Routing fraction for the pair `(i, j)`.
+    ///
+    /// # Panics
+    /// Panics if `i` or `j` is out of bounds.
+    #[inline]
+    pub fn rate(&self, i: usize, j: usize) -> f64 {
+        self.rates[i][j]
+    }
+
+    /// Total fraction handled by prefill replica `i` (the paper's `X_i`).
+    pub fn prefill_share(&self, i: usize) -> f64 {
+        self.rates[i].iter().sum()
+    }
+
+    /// Total fraction handled by decode replica `j`.
+    pub fn decode_share(&self, j: usize) -> f64 {
+        self.rates.iter().map(|r| r[j]).sum()
+    }
+
+    /// The raw matrix.
+    pub fn rates(&self) -> &[Vec<f64>] {
+        &self.rates
+    }
+}
+
+/// A complete deployment plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeploymentPlan {
+    /// All model serving groups (both phases).
+    pub groups: Vec<GroupSpec>,
+    /// Orchestration across (prefill, decode) pairs. Row/column order follows
+    /// [`DeploymentPlan::prefill_indices`] / [`DeploymentPlan::decode_indices`].
+    pub routing: RoutingMatrix,
+}
+
+impl DeploymentPlan {
+    /// Builds a plan, checking that routing dimensions match the phase
+    /// designation and no GPU is used by two groups.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidConfig`] on dimension mismatch or GPU reuse,
+    /// and [`Error::Infeasible`] if either phase has no replicas.
+    pub fn new(groups: Vec<GroupSpec>, routing: RoutingMatrix) -> Result<Self> {
+        let m = groups.iter().filter(|g| g.phase == Phase::Prefill).count();
+        let n = groups.iter().filter(|g| g.phase == Phase::Decode).count();
+        if m == 0 || n == 0 {
+            return Err(Error::Infeasible(format!(
+                "plan needs both phases, got {m} prefill / {n} decode groups"
+            )));
+        }
+        if routing.num_prefill() != m || routing.num_decode() != n {
+            return Err(Error::InvalidConfig(format!(
+                "routing is {}x{}, phases are {m}x{n}",
+                routing.num_prefill(),
+                routing.num_decode()
+            )));
+        }
+        let mut seen = BTreeSet::new();
+        for g in &groups {
+            for gpu in g.gpus() {
+                if !seen.insert(gpu) {
+                    return Err(Error::InvalidConfig(format!(
+                        "GPU {gpu} assigned to multiple groups"
+                    )));
+                }
+            }
+        }
+        Ok(DeploymentPlan { groups, routing })
+    }
+
+    /// Indices (into `groups`) of the prefill replicas, in routing-row order.
+    pub fn prefill_indices(&self) -> Vec<usize> {
+        self.indices_of(Phase::Prefill)
+    }
+
+    /// Indices (into `groups`) of the decode replicas, in routing-column order.
+    pub fn decode_indices(&self) -> Vec<usize> {
+        self.indices_of(Phase::Decode)
+    }
+
+    fn indices_of(&self, phase: Phase) -> Vec<usize> {
+        self.groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.phase == phase)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Total number of GPUs used by the plan.
+    pub fn num_gpus(&self) -> usize {
+        self.groups.iter().map(GroupSpec::num_gpus).sum()
+    }
+
+    /// The prefill-to-decode replica ratio, e.g. `(8, 4)` for Table 3's
+    /// coding plan.
+    pub fn phase_ratio(&self) -> (usize, usize) {
+        (
+            self.prefill_indices().len(),
+            self.decode_indices().len(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stage(ids: &[u32], layers: usize) -> StageSpec {
+        StageSpec {
+            gpus: ids.iter().map(|&i| GpuId(i)).collect(),
+            layers,
+        }
+    }
+
+    fn group(phase: Phase, tp: usize, pp: usize, first_gpu: u32, layers: usize) -> GroupSpec {
+        let stages = (0..pp)
+            .map(|s| {
+                let base = first_gpu + (s * tp) as u32;
+                stage(
+                    &(base..base + tp as u32).collect::<Vec<_>>(),
+                    layers / pp,
+                )
+            })
+            .collect();
+        GroupSpec::new(phase, ParallelConfig::new(tp, pp).unwrap(), stages).unwrap()
+    }
+
+    #[test]
+    fn group_rejects_shape_mismatch() {
+        let err = GroupSpec::new(
+            Phase::Prefill,
+            ParallelConfig::new(2, 1).unwrap(),
+            vec![stage(&[0], 32)],
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn group_rejects_duplicate_gpu() {
+        let err = GroupSpec::new(
+            Phase::Prefill,
+            ParallelConfig::new(2, 1).unwrap(),
+            vec![stage(&[0, 0], 32)],
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn group_rejects_zero_layers() {
+        let err = GroupSpec::new(
+            Phase::Prefill,
+            ParallelConfig::new(1, 1).unwrap(),
+            vec![stage(&[0], 0)],
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn flipped_changes_only_phase() {
+        let g = group(Phase::Prefill, 2, 2, 0, 32);
+        let f = g.flipped();
+        assert_eq!(f.phase, Phase::Decode);
+        assert_eq!(f.stages, g.stages);
+    }
+
+    #[test]
+    fn routing_must_sum_to_one() {
+        assert!(RoutingMatrix::new(vec![vec![0.5, 0.4]]).is_err());
+        assert!(RoutingMatrix::new(vec![vec![0.5, 0.5]]).is_ok());
+    }
+
+    #[test]
+    fn uniform_routing_shares() {
+        let r = RoutingMatrix::uniform(2, 4);
+        assert!((r.prefill_share(0) - 0.5).abs() < 1e-12);
+        assert!((r.decode_share(3) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plan_requires_both_phases() {
+        let groups = vec![group(Phase::Prefill, 1, 1, 0, 32)];
+        let err = DeploymentPlan::new(groups, RoutingMatrix::uniform(1, 1));
+        assert!(matches!(err, Err(Error::Infeasible(_))));
+    }
+
+    #[test]
+    fn plan_detects_gpu_reuse() {
+        let groups = vec![
+            group(Phase::Prefill, 1, 1, 0, 32),
+            group(Phase::Decode, 1, 1, 0, 32), // same GPU 0
+        ];
+        let err = DeploymentPlan::new(groups, RoutingMatrix::uniform(1, 1));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn plan_exposes_phase_indices() {
+        let groups = vec![
+            group(Phase::Decode, 1, 1, 0, 32),
+            group(Phase::Prefill, 1, 1, 1, 32),
+            group(Phase::Decode, 1, 1, 2, 32),
+        ];
+        let plan = DeploymentPlan::new(groups, RoutingMatrix::uniform(1, 2)).unwrap();
+        assert_eq!(plan.prefill_indices(), vec![1]);
+        assert_eq!(plan.decode_indices(), vec![0, 2]);
+        assert_eq!(plan.phase_ratio(), (1, 2));
+        assert_eq!(plan.num_gpus(), 3);
+    }
+}

@@ -1,0 +1,253 @@
+//! Human-readable (de)serialization of deployment plans.
+//!
+//! The runtime hands plans between the scheduler, operators and tools; this
+//! module defines a stable line-oriented text format so plans can be saved,
+//! inspected, diffed and replayed without a JSON dependency:
+//!
+//! ```text
+//! thunderserve-plan v1
+//! group prefill tp=2 pp=2
+//! stage layers=20 gpus=0,1
+//! stage layers=20 gpus=2,3
+//! group decode tp=4 pp=1
+//! stage layers=40 gpus=4,5,6,7
+//! routing 1x1
+//! 1
+//! ```
+
+use crate::{
+    DeploymentPlan, Error, GpuId, GroupSpec, ParallelConfig, Phase, Result, RoutingMatrix,
+    StageSpec,
+};
+use std::fmt::Write as _;
+
+/// Magic first line of the format.
+pub const HEADER: &str = "thunderserve-plan v1";
+
+/// Renders a plan to the text format.
+pub fn to_text(plan: &DeploymentPlan) -> String {
+    let mut out = String::new();
+    out.push_str(HEADER);
+    out.push('\n');
+    for g in &plan.groups {
+        let _ = writeln!(
+            out,
+            "group {} tp={} pp={}",
+            g.phase,
+            g.parallel.tp(),
+            g.parallel.pp()
+        );
+        for st in &g.stages {
+            let gpus = st
+                .gpus
+                .iter()
+                .map(|g| g.0.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            let _ = writeln!(out, "stage layers={} gpus={}", st.layers, gpus);
+        }
+    }
+    let r = &plan.routing;
+    let _ = writeln!(out, "routing {}x{}", r.num_prefill(), r.num_decode());
+    for i in 0..r.num_prefill() {
+        let row = (0..r.num_decode())
+            .map(|j| format!("{:.12}", r.rate(i, j)))
+            .collect::<Vec<_>>()
+            .join(" ");
+        out.push_str(&row);
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a plan from the text format.
+///
+/// # Errors
+/// Returns [`Error::InvalidConfig`] describing the first malformed line, and
+/// propagates the structural validation of [`DeploymentPlan::new`].
+pub fn from_text(text: &str) -> Result<DeploymentPlan> {
+    let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty());
+    let bad = |msg: String| Error::InvalidConfig(format!("plan parse: {msg}"));
+
+    if lines.next() != Some(HEADER) {
+        return Err(bad(format!("missing header {HEADER:?}")));
+    }
+
+    let mut groups: Vec<GroupSpec> = Vec::new();
+    let mut current: Option<(Phase, usize, usize, Vec<StageSpec>)> = None;
+    let mut routing: Option<RoutingMatrix> = None;
+
+    let finish_group =
+        |g: Option<(Phase, usize, usize, Vec<StageSpec>)>, groups: &mut Vec<GroupSpec>| -> Result<()> {
+            if let Some((phase, tp, pp, stages)) = g {
+                groups.push(GroupSpec::new(phase, ParallelConfig::new(tp, pp)?, stages)?);
+            }
+            Ok(())
+        };
+
+    let mut rows_needed = 0usize;
+    let mut cols = 0usize;
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+
+    while let Some(line) = lines.next() {
+        if rows_needed > 0 {
+            let row: Vec<f64> = line
+                .split_whitespace()
+                .map(|v| v.parse().map_err(|_| bad(format!("bad rate {v:?}"))))
+                .collect::<Result<_>>()?;
+            if row.len() != cols {
+                return Err(bad(format!("routing row has {} cells, want {cols}", row.len())));
+            }
+            rows.push(row);
+            rows_needed -= 1;
+            if rows_needed == 0 {
+                routing = Some(RoutingMatrix::new(std::mem::take(&mut rows))?);
+            }
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("group") => {
+                finish_group(current.take(), &mut groups)?;
+                let phase = match parts.next() {
+                    Some("prefill") => Phase::Prefill,
+                    Some("decode") => Phase::Decode,
+                    other => return Err(bad(format!("bad phase {other:?}"))),
+                };
+                let tp = parse_kv(parts.next(), "tp").map_err(bad)?;
+                let pp = parse_kv(parts.next(), "pp").map_err(bad)?;
+                current = Some((phase, tp, pp, Vec::new()));
+            }
+            Some("stage") => {
+                let (_, _, _, stages) = current
+                    .as_mut()
+                    .ok_or_else(|| bad("stage before any group".into()))?;
+                let layers = parse_kv(parts.next(), "layers").map_err(bad)?;
+                let gpus_str = parts
+                    .next()
+                    .and_then(|s| s.strip_prefix("gpus="))
+                    .ok_or_else(|| bad("stage missing gpus=".into()))?;
+                let gpus: Vec<GpuId> = gpus_str
+                    .split(',')
+                    .map(|v| {
+                        v.parse::<u32>()
+                            .map(GpuId)
+                            .map_err(|_| bad(format!("bad gpu id {v:?}")))
+                    })
+                    .collect::<Result<_>>()?;
+                stages.push(StageSpec { gpus, layers });
+            }
+            Some("routing") => {
+                finish_group(current.take(), &mut groups)?;
+                let dims = parts
+                    .next()
+                    .ok_or_else(|| bad("routing missing dims".into()))?;
+                let (m, n) = dims
+                    .split_once('x')
+                    .ok_or_else(|| bad(format!("bad routing dims {dims:?}")))?;
+                rows_needed = m.parse().map_err(|_| bad(format!("bad rows {m:?}")))?;
+                cols = n.parse().map_err(|_| bad(format!("bad cols {n:?}")))?;
+                if rows_needed == 0 || cols == 0 {
+                    return Err(bad("routing dims must be positive".into()));
+                }
+            }
+            other => return Err(bad(format!("unexpected token {other:?}"))),
+        }
+    }
+    if rows_needed > 0 {
+        return Err(bad("truncated routing matrix".into()));
+    }
+    let routing = routing.ok_or_else(|| bad("missing routing section".into()))?;
+    DeploymentPlan::new(groups, routing)
+}
+
+fn parse_kv(token: Option<&str>, key: &str) -> std::result::Result<usize, String> {
+    token
+        .and_then(|t| t.strip_prefix(key))
+        .and_then(|t| t.strip_prefix('='))
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| format!("expected {key}=<n>, got {token:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_plan() -> DeploymentPlan {
+        let stage = |ids: &[u32], layers: usize| StageSpec {
+            gpus: ids.iter().map(|&i| GpuId(i)).collect(),
+            layers,
+        };
+        let groups = vec![
+            GroupSpec::new(
+                Phase::Prefill,
+                ParallelConfig::new(2, 2).unwrap(),
+                vec![stage(&[0, 1], 25), stage(&[2, 3], 15)],
+            )
+            .unwrap(),
+            GroupSpec::new(
+                Phase::Decode,
+                ParallelConfig::new(4, 1).unwrap(),
+                vec![stage(&[4, 5, 6, 7], 40)],
+            )
+            .unwrap(),
+        ];
+        let routing = RoutingMatrix::new(vec![vec![1.0]]).unwrap();
+        DeploymentPlan::new(groups, routing).unwrap()
+    }
+
+    #[test]
+    fn round_trips() {
+        let plan = sample_plan();
+        let text = to_text(&plan);
+        let back = from_text(&text).unwrap();
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn round_trips_fractional_routing() {
+        let stage = |id: u32| StageSpec {
+            gpus: vec![GpuId(id)],
+            layers: 40,
+        };
+        let g = |phase, id| {
+            GroupSpec::new(phase, ParallelConfig::SINGLE, vec![stage(id)]).unwrap()
+        };
+        let plan = DeploymentPlan::new(
+            vec![
+                g(Phase::Prefill, 0),
+                g(Phase::Decode, 1),
+                g(Phase::Decode, 2),
+            ],
+            RoutingMatrix::new(vec![vec![0.125, 0.875]]).unwrap(),
+        )
+        .unwrap();
+        let back = from_text(&to_text(&plan)).unwrap();
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        assert!(from_text("").is_err());
+        assert!(from_text("not a plan").is_err());
+        let good = to_text(&sample_plan());
+        // corrupt the header
+        assert!(from_text(&good.replace("v1", "v9")).is_err());
+        // truncate the routing matrix
+        let truncated: String = good.lines().take(good.lines().count() - 1).collect::<Vec<_>>().join("\n");
+        assert!(from_text(&truncated).is_err());
+        // bad gpu id
+        assert!(from_text(&good.replace("gpus=0,1", "gpus=0,x")).is_err());
+        // stage before group
+        assert!(from_text(&format!("{HEADER}\nstage layers=1 gpus=0")).is_err());
+    }
+
+    #[test]
+    fn text_is_stable_and_readable() {
+        let text = to_text(&sample_plan());
+        assert!(text.starts_with(HEADER));
+        assert!(text.contains("group prefill tp=2 pp=2"));
+        assert!(text.contains("stage layers=25 gpus=0,1"));
+        assert!(text.contains("routing 1x1"));
+    }
+}

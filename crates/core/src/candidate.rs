@@ -1,0 +1,303 @@
+//! Tabu-search candidates: group constructions with phase designations.
+//!
+//! A [`Candidate`] is a solution to the upper-level problem — a partition of
+//! the available GPUs into serving groups, each designated prefill or
+//! decode. The four neighbourhood moves of §3.2 (flip / split / merge /
+//! move) operate on candidates; canonical hashing feeds the tabu list.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use ts_cluster::Cluster;
+use ts_common::{GpuId, Phase};
+
+/// One serving group of a candidate solution.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CandidateGroup {
+    /// Member GPUs, kept sorted.
+    pub gpus: Vec<GpuId>,
+    /// Designated phase.
+    pub phase: Phase,
+}
+
+impl CandidateGroup {
+    /// Creates a group, sorting its GPUs.
+    pub fn new(mut gpus: Vec<GpuId>, phase: Phase) -> Self {
+        gpus.sort_unstable();
+        CandidateGroup { gpus, phase }
+    }
+}
+
+/// An upper-level solution: a partition of the GPUs plus phase designations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Candidate {
+    /// The serving groups. Order is irrelevant; hashing canonicalizes.
+    pub groups: Vec<CandidateGroup>,
+}
+
+impl Candidate {
+    /// Creates a candidate from groups.
+    pub fn new(groups: Vec<CandidateGroup>) -> Self {
+        Candidate { groups }
+    }
+
+    /// Total GPUs across groups.
+    pub fn num_gpus(&self) -> usize {
+        self.groups.iter().map(|g| g.gpus.len()).sum()
+    }
+
+    /// Number of groups per phase `(prefill, decode)`.
+    pub fn phase_counts(&self) -> (usize, usize) {
+        let p = self
+            .groups
+            .iter()
+            .filter(|g| g.phase == Phase::Prefill)
+            .count();
+        (p, self.groups.len() - p)
+    }
+
+    /// Whether both phases are represented.
+    pub fn has_both_phases(&self) -> bool {
+        let (p, d) = self.phase_counts();
+        p > 0 && d > 0
+    }
+
+    /// Canonical hash (order-independent) for the tabu list.
+    pub fn canonical_hash(&self) -> u64 {
+        let mut keys: Vec<(Vec<GpuId>, Phase)> = self
+            .groups
+            .iter()
+            .map(|g| (g.gpus.clone(), g.phase))
+            .collect();
+        keys.sort();
+        let mut h = DefaultHasher::new();
+        keys.hash(&mut h);
+        h.finish()
+    }
+
+    /// Flips the phase of group `idx` (the "flipping phase designation"
+    /// move).
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of bounds.
+    pub fn flip(&self, idx: usize) -> Candidate {
+        let mut c = self.clone();
+        c.groups[idx].phase = c.groups[idx].phase.opposite();
+        c
+    }
+
+    /// Splits group `idx` at ratio `r ∈ (0,1)`, assigning phases randomly
+    /// (the "splitting a group into two" move). GPUs are ordered by
+    /// (model, node) before the cut so each half stays as uniform as
+    /// possible. Returns `None` if the group has fewer than 2 GPUs or the
+    /// cut would be empty.
+    pub fn split<R: Rng>(
+        &self,
+        cluster: &Cluster,
+        idx: usize,
+        r: f64,
+        rng: &mut R,
+    ) -> Option<Candidate> {
+        let g = &self.groups[idx];
+        if g.gpus.len() < 2 {
+            return None;
+        }
+        let mut ordered = g.gpus.clone();
+        ordered.sort_by_key(|&id| {
+            let gpu = cluster.gpu(id);
+            (gpu.model, gpu.node, id)
+        });
+        let cut = ((g.gpus.len() as f64) * r).floor() as usize;
+        if cut == 0 || cut == g.gpus.len() {
+            return None;
+        }
+        let (a, b) = ordered.split_at(cut);
+        let mut c = self.clone();
+        c.groups[idx] = CandidateGroup::new(a.to_vec(), random_phase(rng));
+        c.groups
+            .push(CandidateGroup::new(b.to_vec(), random_phase(rng)));
+        Some(c)
+    }
+
+    /// Merges groups `a` and `b` (the "merging two groups into one" move).
+    /// Returns `None` if `a == b`.
+    ///
+    /// # Panics
+    /// Panics if either index is out of bounds.
+    pub fn merge<R: Rng>(&self, a: usize, b: usize, rng: &mut R) -> Option<Candidate> {
+        if a == b {
+            return None;
+        }
+        let mut c = self.clone();
+        let (lo, hi) = (a.min(b), a.max(b));
+        let removed = c.groups.remove(hi);
+        let mut gpus = c.groups[lo].gpus.clone();
+        gpus.extend(removed.gpus);
+        c.groups[lo] = CandidateGroup::new(gpus, random_phase(rng));
+        Some(c)
+    }
+
+    /// Moves `m` GPUs of one (randomly chosen) model type from group `from`
+    /// to group `to` (the "moving GPUs between groups" move). Returns `None`
+    /// if impossible (same group, or `from` would become empty).
+    pub fn move_gpus<R: Rng>(
+        &self,
+        cluster: &Cluster,
+        from: usize,
+        to: usize,
+        rng: &mut R,
+    ) -> Option<Candidate> {
+        if from == to || self.groups[from].gpus.len() < 2 {
+            return None;
+        }
+        let g = &self.groups[from];
+        // pick a model type present in `from`
+        let mut models: Vec<_> = g.gpus.iter().map(|&id| cluster.gpu(id).model).collect();
+        models.sort_unstable();
+        models.dedup();
+        let model = *models.choose(rng)?;
+        let of_type: Vec<GpuId> = g
+            .gpus
+            .iter()
+            .copied()
+            .filter(|&id| cluster.gpu(id).model == model)
+            .collect();
+        let max_move = of_type.len().min(g.gpus.len() - 1);
+        if max_move == 0 {
+            return None;
+        }
+        let m = rng.gen_range(1..=max_move);
+        let moved: Vec<GpuId> = of_type[..m].to_vec();
+        let mut c = self.clone();
+        c.groups[from] = CandidateGroup::new(
+            g.gpus
+                .iter()
+                .copied()
+                .filter(|id| !moved.contains(id))
+                .collect(),
+            g.phase,
+        );
+        let mut to_gpus = c.groups[to].gpus.clone();
+        to_gpus.extend(moved);
+        c.groups[to] = CandidateGroup::new(to_gpus, c.groups[to].phase);
+        Some(c)
+    }
+
+    /// Checks the partition invariant: the groups exactly cover `expected`
+    /// with no duplicates.
+    pub fn is_partition_of(&self, expected: &[GpuId]) -> bool {
+        let mut all: Vec<GpuId> = self
+            .groups
+            .iter()
+            .flat_map(|g| g.gpus.iter().copied())
+            .collect();
+        all.sort_unstable();
+        let mut exp = expected.to_vec();
+        exp.sort_unstable();
+        all == exp
+    }
+}
+
+fn random_phase<R: Rng>(rng: &mut R) -> Phase {
+    if rng.gen_bool(0.5) {
+        Phase::Prefill
+    } else {
+        Phase::Decode
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_cluster::{ClusterBuilder, GpuModel};
+    use ts_common::seeded_rng;
+
+    fn cluster() -> Cluster {
+        ClusterBuilder::new()
+            .node("a", GpuModel::A40, 4)
+            .node("b", GpuModel::Rtx3090Ti, 4)
+            .build()
+            .unwrap()
+    }
+
+    fn ids(v: &[u32]) -> Vec<GpuId> {
+        v.iter().map(|&i| GpuId(i)).collect()
+    }
+
+    fn base() -> Candidate {
+        Candidate::new(vec![
+            CandidateGroup::new(ids(&[0, 1, 2, 3]), Phase::Prefill),
+            CandidateGroup::new(ids(&[4, 5, 6, 7]), Phase::Decode),
+        ])
+    }
+
+    #[test]
+    fn hash_is_order_independent() {
+        let a = base();
+        let b = Candidate::new(vec![a.groups[1].clone(), a.groups[0].clone()]);
+        assert_eq!(a.canonical_hash(), b.canonical_hash());
+        let c = a.flip(0);
+        assert_ne!(a.canonical_hash(), c.canonical_hash());
+    }
+
+    #[test]
+    fn flip_changes_one_phase() {
+        let c = base().flip(1);
+        assert_eq!(c.groups[1].phase, Phase::Prefill);
+        assert_eq!(c.groups[0].phase, Phase::Prefill);
+        assert!(!c.has_both_phases());
+    }
+
+    #[test]
+    fn split_preserves_partition() {
+        let cl = cluster();
+        let mut rng = seeded_rng(1);
+        let c = base().split(&cl, 0, 0.5, &mut rng).unwrap();
+        assert_eq!(c.groups.len(), 3);
+        assert!(c.is_partition_of(&ids(&[0, 1, 2, 3, 4, 5, 6, 7])));
+        assert_eq!(c.groups[0].gpus.len(), 2);
+    }
+
+    #[test]
+    fn split_rejects_degenerate_cuts() {
+        let cl = cluster();
+        let mut rng = seeded_rng(2);
+        assert!(base().split(&cl, 0, 0.0, &mut rng).is_none());
+        let single = Candidate::new(vec![
+            CandidateGroup::new(ids(&[0]), Phase::Prefill),
+            CandidateGroup::new(ids(&[1]), Phase::Decode),
+        ]);
+        assert!(single.split(&cl, 0, 0.5, &mut rng).is_none());
+    }
+
+    #[test]
+    fn merge_preserves_partition() {
+        let mut rng = seeded_rng(3);
+        let c = base().merge(0, 1, &mut rng).unwrap();
+        assert_eq!(c.groups.len(), 1);
+        assert!(c.is_partition_of(&ids(&[0, 1, 2, 3, 4, 5, 6, 7])));
+        assert!(base().merge(1, 1, &mut rng).is_none());
+    }
+
+    #[test]
+    fn move_gpus_preserves_partition_and_type() {
+        let cl = cluster();
+        let mut rng = seeded_rng(4);
+        let c = base().move_gpus(&cl, 0, 1, &mut rng).unwrap();
+        assert!(c.is_partition_of(&ids(&[0, 1, 2, 3, 4, 5, 6, 7])));
+        assert!(!c.groups[0].gpus.is_empty());
+        assert!(c.groups[1].gpus.len() > 4);
+        // moved GPUs are all A40 (group 0 is all-A40)
+        for &id in &c.groups[1].gpus {
+            let m = cl.gpu(id).model;
+            assert!(m == GpuModel::A40 || m == GpuModel::Rtx3090Ti);
+        }
+    }
+
+    #[test]
+    fn phase_counts() {
+        assert_eq!(base().phase_counts(), (1, 1));
+        assert!(base().has_both_phases());
+    }
+}

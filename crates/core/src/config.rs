@@ -1,0 +1,82 @@
+//! Scheduler configuration.
+
+use ts_costmodel::ModelParams;
+use ts_kvcache::codec::KvWirePrecision;
+
+/// Tuning knobs for the two-level scheduler.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Tabu search steps (`N_step` in Algorithm 1).
+    pub n_step: usize,
+    /// Neighbours evaluated per step (`N_nghb`).
+    pub n_nghb: usize,
+    /// Tabu memory length (`N_mem`).
+    pub n_mem: usize,
+    /// RNG seed for all stochastic choices.
+    pub seed: u64,
+    /// Cost-model parameters.
+    pub params: ModelParams,
+    /// KV wire precision assumed when estimating transfer costs.
+    pub kv_precision: KvWirePrecision,
+    /// Maximum pipeline depth considered by Algorithm 2.
+    pub max_pp: usize,
+    /// Maximum tensor-parallel degree considered by Algorithm 2.
+    pub max_tp: usize,
+    /// Ablation switch: restrict neighbourhood construction to the flip
+    /// move only (the lightweight-rescheduling move set).
+    pub flip_only_moves: bool,
+    /// Ablation switch: replace the hierarchical-clustering seed with a
+    /// random contiguous partition.
+    pub random_init: bool,
+    /// Ablation switch: disable the hardware-affinity tie-breaker.
+    pub disable_affinity_tiebreak: bool,
+}
+
+impl Default for SchedulerConfig {
+    /// The paper's defaults: `N_step = 100`, `N_nghb = 10`, `N_mem = 5`.
+    fn default() -> Self {
+        SchedulerConfig {
+            n_step: 100,
+            n_nghb: 10,
+            n_mem: 5,
+            seed: 0,
+            params: ModelParams::default(),
+            kv_precision: KvWirePrecision::DEFAULT_COMPRESSED,
+            max_pp: 8,
+            max_tp: 8,
+            flip_only_moves: false,
+            random_init: false,
+            disable_affinity_tiebreak: false,
+        }
+    }
+}
+
+impl SchedulerConfig {
+    /// A trimmed configuration for tests and doctests (fewer steps).
+    pub fn fast() -> Self {
+        SchedulerConfig {
+            n_step: 12,
+            n_nghb: 6,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_algorithm_1() {
+        let c = SchedulerConfig::default();
+        assert_eq!(c.n_step, 100);
+        assert_eq!(c.n_nghb, 10);
+        assert_eq!(c.n_mem, 5);
+    }
+
+    #[test]
+    fn fast_is_smaller() {
+        let c = SchedulerConfig::fast();
+        assert!(c.n_step < SchedulerConfig::default().n_step);
+    }
+}

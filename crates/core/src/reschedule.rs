@@ -1,0 +1,353 @@
+//! Lightweight and full rescheduling (§3.4).
+//!
+//! When the workload shifts or GPUs fail, the deployment plan must adapt.
+//! *Full* rescheduling reruns the whole two-level search and reloads model
+//! weights (minutes of service interruption); *lightweight* rescheduling
+//! keeps group construction and parallel configurations frozen, explores
+//! only phase flips with a reduced tabu search, and re-solves orchestration
+//! — no parameter movement, so the adjustment is effectively free.
+
+use crate::config::SchedulerConfig;
+use crate::orchestrate::{orchestrate, phase_affinity};
+use crate::scheduler::Scheduler;
+use std::collections::VecDeque;
+use ts_cluster::Cluster;
+use ts_common::{
+    seeded_rng, DeploymentPlan, Error, GroupSpec, ModelSpec, Phase, Result, SimDuration, SloSpec,
+};
+use ts_costmodel::replica::{ReplicaCostModel, DISK_BANDWIDTH};
+use ts_workload::WorkloadSpec;
+use rand::Rng;
+
+/// Result of a rescheduling operation.
+#[derive(Debug, Clone)]
+pub struct RescheduleOutcome {
+    /// The adjusted plan.
+    pub plan: DeploymentPlan,
+    /// Estimated overall attainment of the adjusted plan.
+    pub estimated_attainment: f64,
+    /// Wall-clock seconds spent searching.
+    pub search_time: f64,
+    /// Modeled service interruption for weight (re)loading. Zero for
+    /// lightweight rescheduling — phases flip in place, no weights move.
+    pub reload_time: SimDuration,
+}
+
+/// Lightweight rescheduling: drops groups that lost GPUs, then runs a
+/// flip-only tabu search with frozen parallel configurations and re-solves
+/// orchestration.
+///
+/// # Errors
+/// Returns [`Error::Infeasible`] if fewer than two groups survive the
+/// failure or no feasible phase designation exists.
+pub fn lightweight_reschedule(
+    cluster: &Cluster,
+    model: &ModelSpec,
+    current: &DeploymentPlan,
+    workload: &WorkloadSpec,
+    slo: &SloSpec,
+    cfg: &SchedulerConfig,
+) -> Result<RescheduleOutcome> {
+    let start = std::time::Instant::now();
+    // Keep only groups whose GPUs are all still active.
+    let surviving: Vec<GroupSpec> = current
+        .groups
+        .iter()
+        .filter(|g| g.gpus().all(|id| cluster.is_active(id)))
+        .cloned()
+        .collect();
+    if surviving.len() < 2 {
+        return Err(Error::Infeasible(format!(
+            "only {} groups survive; need 2",
+            surviving.len()
+        )));
+    }
+
+    // Flip-only tabu search (the other move kinds are disabled in
+    // lightweight mode).
+    let mut rng = seeded_rng(ts_common::rng::derive_seed(cfg.seed, 0x11F7));
+    let evaluate = |groups: &[GroupSpec]| -> Option<f64> {
+        let affinity = phase_affinity(cluster, groups);
+        orchestrate(cluster, model, groups.to_vec(), workload, slo, cfg)
+            .ok()
+            .map(|o| o.score + 1e-4 * affinity)
+    };
+
+    let mut x = surviving.clone();
+    ensure_both_phases(&mut x);
+    let mut best = x.clone();
+    let mut best_score = evaluate(&x).unwrap_or(f64::NEG_INFINITY);
+    let mut tabu: VecDeque<Vec<Phase>> = VecDeque::new();
+
+    for _ in 0..cfg.n_step.min(40) {
+        let mut step_best: Option<(f64, Vec<GroupSpec>)> = None;
+        for _ in 0..cfg.n_nghb {
+            let idx = rng.gen_range(0..x.len());
+            let mut n = x.clone();
+            n[idx] = n[idx].flipped();
+            let phases: Vec<Phase> = n.iter().map(|g| g.phase).collect();
+            if tabu.contains(&phases) || !has_both_phases(&n) {
+                continue;
+            }
+            let Some(score) = evaluate(&n) else { continue };
+            if step_best.as_ref().map(|(s, _)| score > *s).unwrap_or(true) {
+                step_best = Some((score, n));
+            }
+        }
+        if let Some((score, n)) = step_best {
+            tabu.push_back(n.iter().map(|g| g.phase).collect());
+            while tabu.len() > cfg.n_mem {
+                tabu.pop_front();
+            }
+            if score > best_score {
+                best_score = score;
+                best = n.clone();
+            }
+            x = n;
+        }
+    }
+
+    let orch = orchestrate(cluster, model, best, workload, slo, cfg)?;
+    Ok(RescheduleOutcome {
+        plan: orch.plan,
+        estimated_attainment: orch.score,
+        search_time: start.elapsed().as_secs_f64(),
+        reload_time: SimDuration::ZERO,
+    })
+}
+
+/// Full rescheduling: rerun the entire two-level search from scratch and
+/// model the weight-reload interruption (the slowest replica's load time at
+/// [`DISK_BANDWIDTH`]).
+///
+/// # Errors
+/// Propagates scheduler failures.
+pub fn full_reschedule(
+    cluster: &Cluster,
+    model: &ModelSpec,
+    workload: &WorkloadSpec,
+    slo: &SloSpec,
+    cfg: &SchedulerConfig,
+) -> Result<RescheduleOutcome> {
+    let start = std::time::Instant::now();
+    let result = Scheduler::new(cfg.clone()).schedule(cluster, model, workload, slo)?;
+    let reload_time = result
+        .plan
+        .groups
+        .iter()
+        .filter_map(|g| ReplicaCostModel::new(cluster, model, g, &cfg.params).ok())
+        .map(|rcm| rcm.weight_load_time(DISK_BANDWIDTH))
+        .max()
+        .unwrap_or(SimDuration::ZERO);
+    Ok(RescheduleOutcome {
+        plan: result.plan,
+        estimated_attainment: result.estimated_attainment,
+        search_time: start.elapsed().as_secs_f64(),
+        reload_time,
+    })
+}
+
+/// "No rescheduling": keep the surviving groups, their phases **and** the
+/// old routing matrix — dead rows/columns are pruned and the remaining mass
+/// renormalized, exactly what a router does when replicas stop answering.
+/// Used as the Figure 11 control arm.
+///
+/// # Errors
+/// Returns [`Error::Infeasible`] if a phase loses all its replicas.
+pub fn no_reschedule(
+    cluster: &Cluster,
+    model: &ModelSpec,
+    current: &DeploymentPlan,
+    workload: &WorkloadSpec,
+    slo: &SloSpec,
+    cfg: &SchedulerConfig,
+) -> Result<RescheduleOutcome> {
+    let alive =
+        |g: &GroupSpec| -> bool { g.gpus().all(|id| cluster.is_active(id)) };
+    let surviving: Vec<GroupSpec> = current.groups.iter().filter(|g| alive(g)).cloned().collect();
+    if !has_both_phases(&surviving) {
+        return Err(Error::Infeasible(
+            "a phase lost all replicas; no-reschedule cannot serve".into(),
+        ));
+    }
+    // Prune the old routing matrix to the surviving replicas and renormalize.
+    let old_p = current.prefill_indices();
+    let old_d = current.decode_indices();
+    let keep_rows: Vec<usize> = old_p
+        .iter()
+        .enumerate()
+        .filter(|(_, &gi)| alive(&current.groups[gi]))
+        .map(|(r, _)| r)
+        .collect();
+    let keep_cols: Vec<usize> = old_d
+        .iter()
+        .enumerate()
+        .filter(|(_, &gi)| alive(&current.groups[gi]))
+        .map(|(c, _)| c)
+        .collect();
+    let mut rates: Vec<Vec<f64>> = keep_rows
+        .iter()
+        .map(|&r| keep_cols.iter().map(|&c| current.routing.rate(r, c)).collect())
+        .collect();
+    let total: f64 = rates.iter().flatten().sum();
+    let routing = if total > 1e-12 {
+        for row in rates.iter_mut() {
+            for v in row.iter_mut() {
+                *v /= total;
+            }
+        }
+        ts_common::RoutingMatrix::new(rates)?
+    } else {
+        ts_common::RoutingMatrix::uniform(keep_rows.len(), keep_cols.len())
+    };
+    let plan = DeploymentPlan::new(surviving, routing)?;
+    // Estimate attainment of the kept plan for reporting purposes only.
+    let sim_cfg = crate::orchestrate::sim_config(model, cfg);
+    let est = ts_sim::estimate::estimate_attainment(cluster, &plan, &sim_cfg, workload, slo)?;
+    Ok(RescheduleOutcome {
+        plan,
+        estimated_attainment: est.overall,
+        search_time: 0.0,
+        reload_time: SimDuration::ZERO,
+    })
+}
+
+fn has_both_phases(groups: &[GroupSpec]) -> bool {
+    groups.iter().any(|g| g.phase == Phase::Prefill)
+        && groups.iter().any(|g| g.phase == Phase::Decode)
+}
+
+fn ensure_both_phases(groups: &mut [GroupSpec]) {
+    if groups.iter().all(|g| g.phase == Phase::Prefill) {
+        let last = groups.len() - 1;
+        groups[last] = groups[last].flipped();
+    } else if groups.iter().all(|g| g.phase == Phase::Decode) {
+        groups[0] = groups[0].flipped();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SchedulerConfig;
+    use ts_cluster::presets;
+    use ts_common::NodeId;
+    use ts_workload::spec;
+
+    fn slo() -> SloSpec {
+        SloSpec::new(
+            SimDuration::from_secs(2),
+            SimDuration::from_millis(200),
+            SimDuration::from_secs(30),
+        )
+    }
+
+    fn schedule_cloud() -> (ts_cluster::Cluster, ModelSpec, DeploymentPlan, SchedulerConfig)
+    {
+        let cluster = presets::paper_cloud_cluster();
+        let model = ModelSpec::llama_30b();
+        let mut cfg = SchedulerConfig::fast();
+        cfg.seed = 21;
+        let r = Scheduler::new(cfg.clone())
+            .schedule(&cluster, &model, &spec::coding(2.5), &slo())
+            .unwrap();
+        (cluster, model, r.plan, cfg)
+    }
+
+    #[test]
+    fn lightweight_survives_node_failure() {
+        let (mut cluster, model, plan, cfg) = schedule_cloud();
+        cluster.deactivate_node(NodeId(6)).unwrap(); // lose a 3090Ti box
+        let out = lightweight_reschedule(
+            &cluster,
+            &model,
+            &plan,
+            &spec::coding(2.5),
+            &slo(),
+            &cfg,
+        )
+        .unwrap();
+        assert!(out.reload_time.is_zero(), "lightweight must not reload");
+        assert!(out.estimated_attainment > 0.0);
+        for g in &out.plan.groups {
+            for gpu in g.gpus() {
+                assert!(cluster.is_active(gpu));
+            }
+        }
+    }
+
+    #[test]
+    fn lightweight_adapts_to_workload_shift() {
+        let (cluster, model, plan, cfg) = schedule_cloud();
+        // Shift from coding to conversation: lightweight rescheduling should
+        // not decrease the estimated attainment vs. keeping the plan as-is,
+        // judged by the same estimator on both resulting plans.
+        let conv = spec::conversation(2.5);
+        let keep = no_reschedule(&cluster, &model, &plan, &conv, &slo(), &cfg).unwrap();
+        let light =
+            lightweight_reschedule(&cluster, &model, &plan, &conv, &slo(), &cfg).unwrap();
+        let sim_cfg = crate::orchestrate::sim_config(&model, &cfg);
+        let score = |p: &DeploymentPlan| {
+            ts_sim::estimate::estimate_attainment(&cluster, p, &sim_cfg, &conv, &slo())
+                .unwrap()
+                .overall
+        };
+        let s_keep = score(&keep.plan);
+        let s_light = score(&light.plan);
+        assert!(
+            s_light >= s_keep - 0.05,
+            "lightweight {s_light} vs keep {s_keep}"
+        );
+    }
+
+    #[test]
+    fn full_reschedule_models_reload_cost() {
+        let cluster = presets::paper_cloud_cluster();
+        let model = ModelSpec::llama_30b();
+        let mut cfg = SchedulerConfig::fast();
+        cfg.seed = 23;
+        let out = full_reschedule(&cluster, &model, &spec::conversation(2.5), &slo(), &cfg)
+            .unwrap();
+        // Reloading ~65GB at 1.2GB/s, sharded: tens of seconds at least.
+        assert!(
+            out.reload_time.as_secs_f64() > 5.0,
+            "reload {} too small",
+            out.reload_time
+        );
+    }
+
+    #[test]
+    fn lightweight_is_much_faster_than_full() {
+        let (mut cluster, model, plan, mut cfg) = schedule_cloud();
+        cfg.n_step = 30;
+        cluster.deactivate_node(NodeId(1)).unwrap();
+        let w = spec::coding(2.5);
+        let t0 = std::time::Instant::now();
+        let _light = lightweight_reschedule(&cluster, &model, &plan, &w, &slo(), &cfg).unwrap();
+        let light_t = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        let _full = full_reschedule(&cluster, &model, &w, &slo(), &cfg).unwrap();
+        let full_t = t1.elapsed();
+        assert!(
+            light_t.as_secs_f64() < full_t.as_secs_f64(),
+            "lightweight {light_t:?} should beat full {full_t:?}"
+        );
+    }
+
+    #[test]
+    fn no_reschedule_fails_when_phase_lost() {
+        let (mut cluster, model, plan, cfg) = schedule_cloud();
+        // Kill every node hosting decode groups.
+        let decode_nodes: Vec<NodeId> = plan
+            .decode_indices()
+            .iter()
+            .flat_map(|&gi| plan.groups[gi].gpus())
+            .map(|g| cluster.gpu(g).node)
+            .collect();
+        for n in decode_nodes {
+            cluster.deactivate_node(n).unwrap();
+        }
+        let res = no_reschedule(&cluster, &model, &plan, &spec::coding(2.5), &slo(), &cfg);
+        assert!(res.is_err());
+    }
+}

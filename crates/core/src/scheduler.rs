@@ -1,0 +1,165 @@
+//! The top-level scheduler facade.
+
+use crate::config::SchedulerConfig;
+use crate::tabu::{TabuSearch, TracePoint};
+use ts_cluster::Cluster;
+use ts_common::{DeploymentPlan, ModelSpec, Result, SloSpec};
+use ts_workload::WorkloadSpec;
+
+/// Output of a full scheduling run.
+#[derive(Debug, Clone)]
+pub struct ScheduleResult {
+    /// The deployment plan to instantiate.
+    pub plan: DeploymentPlan,
+    /// Estimated overall SLO attainment of the plan.
+    pub estimated_attainment: f64,
+    /// Tabu convergence trajectory (Figure 10).
+    pub trajectory: Vec<TracePoint>,
+    /// Lower-level evaluations performed.
+    pub evaluations: usize,
+    /// Wall-clock scheduling time in seconds.
+    pub elapsed: f64,
+}
+
+/// The ThunderServe scheduler: wraps the two-level optimization behind a
+/// single call.
+#[derive(Debug, Clone, Default)]
+pub struct Scheduler {
+    cfg: SchedulerConfig,
+}
+
+impl Scheduler {
+    /// Creates a scheduler with the given configuration.
+    pub fn new(cfg: SchedulerConfig) -> Self {
+        Scheduler { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.cfg
+    }
+
+    /// Produces a deployment plan for `model` on the cluster's active GPUs
+    /// under the given workload and SLO.
+    ///
+    /// # Errors
+    /// Returns [`ts_common::Error::Infeasible`] if no feasible phase-split
+    /// deployment exists (e.g. memory for fewer than two replicas).
+    pub fn schedule(
+        &self,
+        cluster: &Cluster,
+        model: &ModelSpec,
+        workload: &WorkloadSpec,
+        slo: &SloSpec,
+    ) -> Result<ScheduleResult> {
+        let start = std::time::Instant::now();
+        let mut search = TabuSearch::new(cluster, model, workload, slo, &self.cfg);
+        let result = search.search()?;
+        Ok(ScheduleResult {
+            plan: result.best.plan,
+            estimated_attainment: result.best.score,
+            trajectory: result.trajectory,
+            evaluations: result.evaluations,
+            elapsed: start.elapsed().as_secs_f64(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_cluster::presets;
+    use ts_common::{Phase, SimDuration};
+    use ts_workload::spec;
+
+    fn slo() -> SloSpec {
+        // Calibrated to LLaMA-30B on cloud-class GPUs (the paper scales SLOs
+        // to multiples of reference execution latency).
+        SloSpec::new(
+            SimDuration::from_secs(5),
+            SimDuration::from_millis(300),
+            SimDuration::from_secs(60),
+        )
+    }
+
+    #[test]
+    fn coding_workload_prefers_prefill_replicas() {
+        // The paper's Table 3 shape: the coding workload (long prompts,
+        // short outputs) gets at least as many prefill as decode replicas;
+        // conversation skews toward decode.
+        let cluster = presets::paper_cloud_cluster();
+        let model = ModelSpec::llama_30b();
+        let mut cfg = SchedulerConfig::default();
+        cfg.n_step = 60;
+        cfg.seed = 11;
+        let s = Scheduler::new(cfg);
+        let coding = s
+            .schedule(&cluster, &model, &spec::coding(3.0), &slo())
+            .unwrap();
+        let conv = s
+            .schedule(&cluster, &model, &spec::conversation(3.0), &slo())
+            .unwrap();
+        let (cp, cd) = coding.plan.phase_ratio();
+        let (vp, vd) = conv.plan.phase_ratio();
+        assert!(cp > cd, "coding should have more prefill groups: {cp}:{cd}");
+        let coding_ratio = cp as f64 / cd as f64;
+        let conv_ratio = vp as f64 / vd as f64;
+        assert!(
+            coding_ratio >= conv_ratio,
+            "coding prefill:decode ratio {cp}:{cd} should be >= conversation {vp}:{vd}"
+        );
+    }
+
+    #[test]
+    fn cloud_plan_hosts_many_replicas() {
+        // §5.3: the 32-GPU cloud rig hosts far more replicas than the 4 the
+        // A100 box can.
+        let cluster = presets::paper_cloud_cluster();
+        let model = ModelSpec::llama_30b();
+        let mut cfg = SchedulerConfig::default();
+        cfg.n_step = 60;
+        cfg.seed = 13;
+        let s = Scheduler::new(cfg);
+        let r = s
+            .schedule(&cluster, &model, &spec::coding(3.0), &slo())
+            .unwrap();
+        assert!(
+            r.plan.groups.len() >= 6,
+            "expected many replicas, got {}",
+            r.plan.groups.len()
+        );
+        assert!(r.plan.num_gpus() <= 32);
+    }
+
+    #[test]
+    fn prefill_groups_favor_compute_decode_groups_favor_bandwidth() {
+        // §5.3: A40s (compute-rich) should mostly prefill; 3090Ti
+        // (bandwidth-rich) should mostly decode.
+        let cluster = presets::paper_cloud_cluster();
+        let model = ModelSpec::llama_30b();
+        let mut cfg = SchedulerConfig::default();
+        cfg.n_step = 60;
+        cfg.seed = 17;
+        let s = Scheduler::new(cfg);
+        let r = s
+            .schedule(&cluster, &model, &spec::coding(3.0), &slo())
+            .unwrap();
+        let mut a40_prefill = 0usize;
+        let mut a40_total = 0usize;
+        for g in &r.plan.groups {
+            for gpu in g.gpus() {
+                if cluster.gpu(gpu).model == ts_cluster::GpuModel::A40 {
+                    a40_total += 1;
+                    if g.phase == Phase::Prefill {
+                        a40_prefill += 1;
+                    }
+                }
+            }
+        }
+        assert!(a40_total > 0);
+        assert!(
+            a40_prefill * 2 >= a40_total,
+            "most A40s should prefill: {a40_prefill}/{a40_total}"
+        );
+    }
+}

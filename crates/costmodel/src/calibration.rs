@@ -1,0 +1,210 @@
+//! Cost-model calibration from measured execution times.
+//!
+//! The paper's cost model (after HexGen) is *profiled*: the real system
+//! measures prefill/decode latencies on each GPU type and fits its model to
+//! them. This module provides the same fitting step for our roofline: given
+//! observed `(batch, latency)` points — from a real deployment, a trace, or
+//! another simulator — recover the [`ModelParams`] efficiency factors by
+//! grid-searched least squares on relative error.
+
+use crate::roofline::{decode_step_time, prefill_time, StageHardware};
+use crate::ModelParams;
+use ts_cluster::GpuSpec;
+use ts_common::ModelSpec;
+
+/// One observed prefill execution: `batch_tokens` prompt tokens took
+/// `latency_s` seconds on a single GPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrefillObservation {
+    /// Total batched prompt tokens.
+    pub batch_tokens: u64,
+    /// Mean context length of the batch.
+    pub avg_context: u64,
+    /// Measured wall-clock seconds.
+    pub latency_s: f64,
+}
+
+/// One observed decode step: a batch of `batch` sequences at mean context
+/// `avg_context` took `latency_s` seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecodeObservation {
+    /// Concurrent sequences.
+    pub batch: u64,
+    /// Mean context length.
+    pub avg_context: u64,
+    /// Measured wall-clock seconds.
+    pub latency_s: f64,
+}
+
+/// Result of a calibration run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Calibration {
+    /// The fitted parameters (only `compute_eff` and `mem_eff` are fitted;
+    /// the rest are copied from the base).
+    pub params: ModelParams,
+    /// Root-mean-square relative error of the fit.
+    pub rms_rel_error: f64,
+}
+
+/// Fits `compute_eff` and `mem_eff` to the observations by grid search.
+///
+/// # Panics
+/// Panics if both observation sets are empty or any latency is non-positive.
+pub fn fit(
+    model: &ModelSpec,
+    gpu: GpuSpec,
+    prefill_obs: &[PrefillObservation],
+    decode_obs: &[DecodeObservation],
+    base: ModelParams,
+) -> Calibration {
+    assert!(
+        !prefill_obs.is_empty() || !decode_obs.is_empty(),
+        "calibration needs observations"
+    );
+    assert!(
+        prefill_obs.iter().map(|o| o.latency_s).chain(decode_obs.iter().map(|o| o.latency_s))
+            .all(|l| l.is_finite() && l > 0.0),
+        "latencies must be positive"
+    );
+    let hw = StageHardware::single(gpu);
+    let mut best = Calibration {
+        params: base,
+        rms_rel_error: f64::INFINITY,
+    };
+    let grid = |lo: f64, hi: f64, steps: usize| {
+        (0..=steps).map(move |i| lo + (hi - lo) * i as f64 / steps as f64)
+    };
+    for ce in grid(0.05, 1.0, 38) {
+        for me in grid(0.30, 1.0, 28) {
+            let mut p = base;
+            p.compute_eff = ce;
+            p.mem_eff = me;
+            let mut sq = 0.0;
+            let mut n = 0usize;
+            for o in prefill_obs {
+                let pred = prefill_time(model, model.num_layers, &hw, o.batch_tokens, o.avg_context, &p)
+                    .as_secs_f64();
+                let rel = pred / o.latency_s - 1.0;
+                sq += rel * rel;
+                n += 1;
+            }
+            for o in decode_obs {
+                let pred = decode_step_time(model, model.num_layers, &hw, o.batch, o.avg_context, &p)
+                    .as_secs_f64();
+                let rel = pred / o.latency_s - 1.0;
+                sq += rel * rel;
+                n += 1;
+            }
+            let rms = (sq / n as f64).sqrt();
+            if rms < best.rms_rel_error {
+                best = Calibration {
+                    params: p,
+                    rms_rel_error: rms,
+                };
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_cluster::GpuModel;
+    use ts_common::seeded_rng;
+
+    /// Synthesize observations from known parameters (with multiplicative
+    /// noise) and check the fit recovers them.
+    #[test]
+    fn recovers_known_parameters() {
+        use rand::Rng;
+        let model = ModelSpec::llama_7b();
+        let gpu = GpuModel::A5000.spec();
+        let mut truth = ModelParams::default();
+        truth.compute_eff = 0.35;
+        truth.mem_eff = 0.70;
+        let hw = StageHardware::single(gpu);
+        let mut rng = seeded_rng(7);
+        let noise = |rng: &mut rand::rngs::StdRng| 1.0 + rng.gen_range(-0.02..0.02);
+
+        let prefill: Vec<PrefillObservation> = [256u64, 512, 1024, 2048, 4096]
+            .iter()
+            .map(|&bt| PrefillObservation {
+                batch_tokens: bt,
+                avg_context: bt,
+                latency_s: prefill_time(&model, model.num_layers, &hw, bt, bt, &truth)
+                    .as_secs_f64()
+                    * noise(&mut rng),
+            })
+            .collect();
+        let decode: Vec<DecodeObservation> = [1u64, 4, 16, 64]
+            .iter()
+            .map(|&b| DecodeObservation {
+                batch: b,
+                avg_context: 1024,
+                latency_s: decode_step_time(&model, model.num_layers, &hw, b, 1024, &truth)
+                    .as_secs_f64()
+                    * noise(&mut rng),
+            })
+            .collect();
+
+        let fit = fit(&model, gpu, &prefill, &decode, ModelParams::default());
+        assert!(
+            (fit.params.compute_eff - truth.compute_eff).abs() < 0.05,
+            "compute_eff {} vs {}",
+            fit.params.compute_eff,
+            truth.compute_eff
+        );
+        assert!(
+            (fit.params.mem_eff - truth.mem_eff).abs() < 0.08,
+            "mem_eff {} vs {}",
+            fit.params.mem_eff,
+            truth.mem_eff
+        );
+        assert!(fit.rms_rel_error < 0.05, "rms {}", fit.rms_rel_error);
+    }
+
+    #[test]
+    fn fit_improves_on_wrong_defaults() {
+        let model = ModelSpec::llama_7b();
+        let gpu = GpuModel::A40.spec();
+        let mut truth = ModelParams::default();
+        truth.compute_eff = 0.25;
+        let hw = StageHardware::single(gpu);
+        let prefill: Vec<PrefillObservation> = [512u64, 2048, 8192]
+            .iter()
+            .map(|&bt| PrefillObservation {
+                batch_tokens: bt,
+                avg_context: bt,
+                latency_s: prefill_time(&model, model.num_layers, &hw, bt, bt, &truth)
+                    .as_secs_f64(),
+            })
+            .collect();
+        let base = ModelParams::default(); // compute_eff = 0.5, wrong
+        let fit = fit(&model, gpu, &prefill, &[], base);
+        // error with the fitted params must beat error with the default
+        let err = |p: &ModelParams| {
+            prefill
+                .iter()
+                .map(|o| {
+                    let pred = prefill_time(&model, model.num_layers, &hw, o.batch_tokens, o.avg_context, p)
+                        .as_secs_f64();
+                    (pred / o.latency_s - 1.0).powi(2)
+                })
+                .sum::<f64>()
+        };
+        assert!(err(&fit.params) < err(&base) / 4.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_observations_panic() {
+        let _ = fit(
+            &ModelSpec::llama_7b(),
+            GpuModel::A100.spec(),
+            &[],
+            &[],
+            ModelParams::default(),
+        );
+    }
+}

@@ -1,0 +1,254 @@
+//! PagedAttention-style KV block allocator.
+//!
+//! Decode replicas store KV caches in fixed-size blocks of `block_size`
+//! tokens (Kwon et al., 2023). The allocator hands blocks to sequences as
+//! they grow token by token and reclaims them when the sequence finishes.
+//! The simulator uses it to enforce KV memory limits and expose occupancy.
+
+use std::collections::HashMap;
+use ts_common::{Error, RequestId, Result};
+
+/// Index of one KV block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+/// Fixed-capacity block allocator.
+#[derive(Debug, Clone)]
+pub struct BlockAllocator {
+    block_size: usize,
+    free: Vec<BlockId>,
+    /// Per-sequence: allocated blocks plus the token count actually used.
+    sequences: HashMap<RequestId, SeqAlloc>,
+}
+
+#[derive(Debug, Clone)]
+struct SeqAlloc {
+    blocks: Vec<BlockId>,
+    tokens: usize,
+}
+
+impl BlockAllocator {
+    /// Creates an allocator managing `num_blocks` blocks of `block_size`
+    /// tokens each.
+    ///
+    /// # Panics
+    /// Panics if either argument is zero.
+    pub fn new(num_blocks: usize, block_size: usize) -> Self {
+        assert!(num_blocks > 0 && block_size > 0, "allocator must be non-empty");
+        BlockAllocator {
+            block_size,
+            free: (0..num_blocks as u32).rev().map(BlockId).collect(),
+            sequences: HashMap::new(),
+        }
+    }
+
+    /// Sizes an allocator for a KV budget of `capacity_tokens` tokens.
+    pub fn with_token_capacity(capacity_tokens: u64, block_size: usize) -> Self {
+        let blocks = (capacity_tokens as usize / block_size.max(1)).max(1);
+        Self::new(blocks, block_size)
+    }
+
+    /// Tokens per block.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Number of currently free blocks.
+    pub fn free_blocks(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Number of blocks handed out.
+    pub fn used_blocks(&self) -> usize {
+        self.total_blocks() - self.free.len()
+    }
+
+    /// Total number of blocks managed.
+    pub fn total_blocks(&self) -> usize {
+        self.free.len()
+            + self
+                .sequences
+                .values()
+                .map(|s| s.blocks.len())
+                .sum::<usize>()
+    }
+
+    /// Total token capacity still available (whole free blocks only).
+    pub fn free_tokens(&self) -> u64 {
+        (self.free.len() * self.block_size) as u64
+    }
+
+    /// Fraction of allocated token slots actually holding tokens — 1.0 means
+    /// no internal fragmentation.
+    pub fn occupancy(&self) -> f64 {
+        let allocated: usize = self
+            .sequences
+            .values()
+            .map(|s| s.blocks.len() * self.block_size)
+            .sum();
+        if allocated == 0 {
+            return 1.0;
+        }
+        let used: usize = self.sequences.values().map(|s| s.tokens).sum();
+        used as f64 / allocated as f64
+    }
+
+    /// Whether a sequence is registered.
+    pub fn contains(&self, id: RequestId) -> bool {
+        self.sequences.contains_key(&id)
+    }
+
+    /// Number of live sequences.
+    pub fn num_sequences(&self) -> usize {
+        self.sequences.len()
+    }
+
+    /// Admits a sequence with `tokens` initial KV tokens (the prompt KV that
+    /// arrives from the prefill replica).
+    ///
+    /// # Errors
+    /// Returns [`Error::CapacityExceeded`] if not enough free blocks remain
+    /// (nothing is allocated in that case) and [`Error::InvalidConfig`] if
+    /// the sequence already exists.
+    pub fn admit(&mut self, id: RequestId, tokens: usize) -> Result<()> {
+        if self.sequences.contains_key(&id) {
+            return Err(Error::InvalidConfig(format!("sequence {id} already admitted")));
+        }
+        let needed = tokens.div_ceil(self.block_size).max(1);
+        if needed > self.free.len() {
+            return Err(Error::CapacityExceeded(format!(
+                "need {needed} blocks for {tokens} tokens, only {} free",
+                self.free.len()
+            )));
+        }
+        let blocks = self.free.split_off(self.free.len() - needed);
+        self.sequences.insert(id, SeqAlloc { blocks, tokens });
+        Ok(())
+    }
+
+    /// Extends a sequence by one generated token, allocating a new block at
+    /// block boundaries.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidConfig`] for unknown sequences and
+    /// [`Error::CapacityExceeded`] if a new block is needed but none is free
+    /// (the sequence is left unchanged).
+    pub fn append_token(&mut self, id: RequestId) -> Result<()> {
+        let seq = self
+            .sequences
+            .get_mut(&id)
+            .ok_or_else(|| Error::InvalidConfig(format!("unknown sequence {id}")))?;
+        if seq.tokens == seq.blocks.len() * self.block_size {
+            let block = self.free.pop().ok_or_else(|| {
+                Error::CapacityExceeded("no free KV blocks for append".into())
+            })?;
+            seq.blocks.push(block);
+        }
+        seq.tokens += 1;
+        Ok(())
+    }
+
+    /// Releases a sequence and returns how many blocks were freed.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidConfig`] for unknown sequences.
+    pub fn release(&mut self, id: RequestId) -> Result<usize> {
+        let seq = self
+            .sequences
+            .remove(&id)
+            .ok_or_else(|| Error::InvalidConfig(format!("unknown sequence {id}")))?;
+        let n = seq.blocks.len();
+        self.free.extend(seq.blocks);
+        Ok(n)
+    }
+
+    /// Current token count of a sequence, if registered.
+    pub fn tokens_of(&self, id: RequestId) -> Option<usize> {
+        self.sequences.get(&id).map(|s| s.tokens)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rid(i: u64) -> RequestId {
+        RequestId(i)
+    }
+
+    #[test]
+    fn admit_rounds_up_to_blocks() {
+        let mut a = BlockAllocator::new(10, 16);
+        a.admit(rid(1), 17).unwrap();
+        assert_eq!(a.used_blocks(), 2);
+        assert_eq!(a.tokens_of(rid(1)), Some(17));
+    }
+
+    #[test]
+    fn admit_fails_atomically_when_full() {
+        let mut a = BlockAllocator::new(2, 16);
+        a.admit(rid(1), 20).unwrap(); // 2 blocks
+        let err = a.admit(rid(2), 1);
+        assert!(matches!(err, Err(Error::CapacityExceeded(_))));
+        assert_eq!(a.free_blocks(), 0);
+        assert!(!a.contains(rid(2)));
+    }
+
+    #[test]
+    fn append_allocates_at_boundary() {
+        let mut a = BlockAllocator::new(3, 4);
+        a.admit(rid(1), 4).unwrap(); // exactly one block
+        assert_eq!(a.used_blocks(), 1);
+        a.append_token(rid(1)).unwrap(); // crosses boundary
+        assert_eq!(a.used_blocks(), 2);
+        for _ in 0..3 {
+            a.append_token(rid(1)).unwrap();
+        }
+        assert_eq!(a.used_blocks(), 2); // still inside second block
+        assert_eq!(a.tokens_of(rid(1)), Some(8));
+    }
+
+    #[test]
+    fn release_returns_blocks() {
+        let mut a = BlockAllocator::new(4, 8);
+        a.admit(rid(1), 20).unwrap(); // 3 blocks
+        let freed = a.release(rid(1)).unwrap();
+        assert_eq!(freed, 3);
+        assert_eq!(a.free_blocks(), 4);
+        assert!(a.release(rid(1)).is_err());
+    }
+
+    #[test]
+    fn occupancy_reflects_fragmentation() {
+        let mut a = BlockAllocator::new(10, 10);
+        a.admit(rid(1), 1).unwrap(); // 1 of 10 slots used
+        assert!((a.occupancy() - 0.1).abs() < 1e-9);
+        a.admit(rid(2), 10).unwrap();
+        assert!((a.occupancy() - 11.0 / 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_admit_rejected() {
+        let mut a = BlockAllocator::new(4, 8);
+        a.admit(rid(1), 5).unwrap();
+        assert!(a.admit(rid(1), 5).is_err());
+    }
+
+    #[test]
+    fn with_token_capacity_sizes_correctly() {
+        let a = BlockAllocator::with_token_capacity(1000, 16);
+        assert_eq!(a.total_blocks(), 62);
+        assert_eq!(a.free_tokens(), 62 * 16);
+    }
+
+    #[test]
+    fn block_accounting_invariant() {
+        let mut a = BlockAllocator::new(8, 4);
+        a.admit(rid(1), 10).unwrap();
+        a.admit(rid(2), 3).unwrap();
+        a.append_token(rid(2)).unwrap();
+        a.append_token(rid(2)).unwrap();
+        assert_eq!(a.total_blocks(), 8);
+        assert_eq!(a.used_blocks() + a.free_blocks(), 8);
+    }
+}

@@ -1,0 +1,123 @@
+//! GPU/node heartbeat monitoring (Appendix E).
+//!
+//! The paper's scheduler reacts to "a GPU heartbeat timeout that suggests a
+//! need for cluster size adjustment". [`HeartbeatMonitor`] tracks the last
+//! heartbeat per node against a timeout and reports nodes that went silent,
+//! which the serving runtime turns into failure handling + rescheduling.
+
+use std::collections::HashMap;
+use ts_common::{NodeId, SimDuration, SimTime};
+
+/// Tracks per-node heartbeats and flags timeouts.
+#[derive(Debug, Clone)]
+pub struct HeartbeatMonitor {
+    timeout: SimDuration,
+    last_seen: HashMap<NodeId, SimTime>,
+    reported: HashMap<NodeId, bool>,
+}
+
+impl HeartbeatMonitor {
+    /// Creates a monitor that declares a node dead after `timeout` without a
+    /// heartbeat.
+    ///
+    /// # Panics
+    /// Panics if the timeout is zero.
+    pub fn new(timeout: SimDuration) -> Self {
+        assert!(!timeout.is_zero(), "heartbeat timeout must be positive");
+        HeartbeatMonitor {
+            timeout,
+            last_seen: HashMap::new(),
+            reported: HashMap::new(),
+        }
+    }
+
+    /// Registers a node so silence counts against it from `now`.
+    pub fn register(&mut self, node: NodeId, now: SimTime) {
+        self.last_seen.insert(node, now);
+        self.reported.insert(node, false);
+    }
+
+    /// Records a heartbeat. Unknown nodes are registered implicitly. A node
+    /// that had been declared dead is resurrected (cloud capacity returning).
+    pub fn beat(&mut self, node: NodeId, now: SimTime) {
+        self.last_seen.insert(node, now);
+        self.reported.insert(node, false);
+    }
+
+    /// Nodes whose last heartbeat is older than the timeout at `now`,
+    /// reported **once** per outage (subsequent calls stay silent until the
+    /// node beats again).
+    pub fn expired(&mut self, now: SimTime) -> Vec<NodeId> {
+        let mut dead: Vec<NodeId> = Vec::new();
+        for (&node, &seen) in &self.last_seen {
+            let silent = now.saturating_since(seen);
+            if silent > self.timeout && !self.reported.get(&node).copied().unwrap_or(false) {
+                dead.push(node);
+            }
+        }
+        dead.sort_unstable();
+        for n in &dead {
+            self.reported.insert(*n, true);
+        }
+        dead
+    }
+
+    /// Number of tracked nodes.
+    pub fn num_tracked(&self) -> usize {
+        self.last_seen.len()
+    }
+
+    /// Whether a node is currently flagged dead.
+    pub fn is_dead(&self, node: NodeId) -> bool {
+        self.reported.get(&node).copied().unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_micros(s * 1_000_000)
+    }
+
+    #[test]
+    fn silent_node_expires_once() {
+        let mut m = HeartbeatMonitor::new(SimDuration::from_secs(10));
+        m.register(NodeId(0), t(0));
+        m.register(NodeId(1), t(0));
+        m.beat(NodeId(0), t(8));
+        assert!(m.expired(t(9)).is_empty());
+        assert_eq!(m.expired(t(11)), vec![NodeId(1)]);
+        // second poll: already reported
+        assert!(m.expired(t(12)).is_empty());
+        assert!(m.is_dead(NodeId(1)));
+        assert!(!m.is_dead(NodeId(0)));
+    }
+
+    #[test]
+    fn beat_resurrects() {
+        let mut m = HeartbeatMonitor::new(SimDuration::from_secs(5));
+        m.register(NodeId(3), t(0));
+        assert_eq!(m.expired(t(6)), vec![NodeId(3)]);
+        m.beat(NodeId(3), t(7));
+        assert!(!m.is_dead(NodeId(3)));
+        assert!(m.expired(t(11)).is_empty());
+        assert_eq!(m.expired(t(13)), vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn multiple_expiries_sorted() {
+        let mut m = HeartbeatMonitor::new(SimDuration::from_secs(1));
+        for i in [4u32, 1, 3] {
+            m.register(NodeId(i), t(0));
+        }
+        assert_eq!(m.expired(t(2)), vec![NodeId(1), NodeId(3), NodeId(4)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_timeout_panics() {
+        let _ = HeartbeatMonitor::new(SimDuration::ZERO);
+    }
+}

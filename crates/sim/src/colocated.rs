@@ -1,0 +1,624 @@
+//! Colocated (non-disaggregated) serving engine for baselines.
+//!
+//! vLLM-like and HexGen-like systems run prefill and decode on the *same*
+//! model replica. This engine models that faithfully: each replica holds a
+//! prefill queue and a continuous decode batch, and when both have work the
+//! prefill batch runs first (prefill-priority, as in vLLM's default
+//! scheduler) — so long prompts stall ongoing decodes, producing exactly the
+//! prefill/decode interference that phase splitting removes.
+
+use crate::config::SimConfig;
+use crate::event::{EventKind, EventQueue};
+use crate::metrics::{Metrics, RequestRecord};
+use crate::router::StrideRouter;
+use std::collections::{HashMap, VecDeque};
+use ts_cluster::Cluster;
+use ts_common::{Error, GroupSpec, Request, RequestId, Result, SimTime};
+use ts_costmodel::ReplicaCostModel;
+
+#[derive(Debug, Clone, Copy)]
+struct ActiveSeq {
+    id: RequestId,
+    context: u64,
+    remaining: u32,
+    last_token_at: ts_common::SimTime,
+    max_gap: ts_common::SimDuration,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct WaitingSeq {
+    id: RequestId,
+    prompt_len: u64,
+    remaining: u32,
+}
+
+/// Scheduling policy of a colocated replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColocatedPolicy {
+    /// Whole prefill batches run before any decode step (vLLM's default
+    /// behaviour; long prompts stall ongoing decodes).
+    PrefillPriority,
+    /// Sarathi/vLLM-CP-style chunked prefill: prompt processing is split
+    /// into chunks of at most this many tokens, and a decode step runs
+    /// between chunks, bounding the decode stall per prompt.
+    Chunked {
+        /// Maximum prompt tokens processed per chunk.
+        chunk_tokens: u64,
+    },
+}
+
+/// What a replica is currently executing.
+#[derive(Debug, Clone)]
+enum Work {
+    /// Processing a chunk of prompt tokens; requests in `finishing`
+    /// complete their prefill when this work item ends.
+    Prefill { finishing: Vec<Request> },
+    DecodeStep,
+}
+
+#[derive(Debug)]
+struct Replica {
+    cost: ReplicaCostModel,
+    kv_capacity: u64,
+    kv_used: u64,
+    prefill_queue: VecDeque<Request>,
+    /// Prompt tokens of the queue head already processed by earlier chunks.
+    head_progress: u64,
+    active: Vec<ActiveSeq>,
+    waiting: VecDeque<WaitingSeq>,
+    current: Option<Work>,
+    /// Under chunked scheduling, alternate prefill chunks and decode steps.
+    decode_turn: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    replica: usize,
+    first_token_at: Option<SimTime>,
+}
+
+/// A colocated-serving simulation over identical-role replicas.
+pub struct ColocatedSimulation<'a> {
+    cluster: &'a Cluster,
+    cfg: SimConfig,
+    policy: ColocatedPolicy,
+    replicas: Vec<Replica>,
+    router: StrideRouter,
+    queue: EventQueue,
+    pending: HashMap<RequestId, Pending>,
+    payloads: HashMap<RequestId, Request>,
+    records: Vec<RequestRecord>,
+    dropped: usize,
+    now: SimTime,
+}
+
+impl<'a> ColocatedSimulation<'a> {
+    /// Builds a simulation over `groups`, each serving both phases. The
+    /// groups' `phase` fields are ignored. Requests are routed proportional
+    /// to each replica's decode throughput capacity.
+    ///
+    /// # Errors
+    /// Returns [`Error::Infeasible`] if any group cannot hold the model or
+    /// `groups` is empty.
+    pub fn new(cluster: &'a Cluster, groups: &[GroupSpec], cfg: SimConfig) -> Result<Self> {
+        Self::with_policy(cluster, groups, cfg, ColocatedPolicy::PrefillPriority)
+    }
+
+    /// Like [`ColocatedSimulation::new`] with an explicit scheduling policy.
+    ///
+    /// # Errors
+    /// Returns [`Error::Infeasible`] if any group cannot hold the model or
+    /// `groups` is empty.
+    pub fn with_policy(
+        cluster: &'a Cluster,
+        groups: &[GroupSpec],
+        cfg: SimConfig,
+        policy: ColocatedPolicy,
+    ) -> Result<Self> {
+        if groups.is_empty() {
+            return Err(Error::Infeasible("no replicas".into()));
+        }
+        let mut replicas = Vec::with_capacity(groups.len());
+        let mut weights = Vec::with_capacity(groups.len());
+        for g in groups {
+            let cost = ReplicaCostModel::new(cluster, &cfg.model, g, &cfg.params)?;
+            let kv_capacity = cost.kv_capacity_tokens();
+            // Route proportional to steady decode throughput at batch 32.
+            weights.push(cost.decode_throughput(32.min(kv_capacity / 1024).max(1), 1024));
+            replicas.push(Replica {
+                cost,
+                kv_capacity,
+                kv_used: 0,
+                prefill_queue: VecDeque::new(),
+                head_progress: 0,
+                active: Vec::new(),
+                waiting: VecDeque::new(),
+                current: None,
+                decode_turn: false,
+            });
+        }
+        Ok(ColocatedSimulation {
+            cluster,
+            cfg,
+            policy,
+            replicas,
+            router: StrideRouter::new(weights)?,
+            queue: EventQueue::new(),
+            pending: HashMap::new(),
+            payloads: HashMap::new(),
+            records: Vec::new(),
+            dropped: 0,
+            now: SimTime::ZERO,
+        })
+    }
+
+    /// The cluster this simulation runs on.
+    pub fn cluster(&self) -> &Cluster {
+        self.cluster
+    }
+
+    /// Runs the trace to completion.
+    ///
+    /// # Errors
+    /// Returns [`Error::Simulation`] on internal invariant violations.
+    pub fn run(&mut self, requests: &[Request]) -> Result<Metrics> {
+        for r in requests {
+            self.queue.push(r.arrival, EventKind::Arrival(*r));
+        }
+        let submitted = requests.len();
+        while let Some(ev) = self.queue.pop() {
+            self.now = ev.at;
+            match ev.kind {
+                EventKind::Arrival(req) => {
+                    let r = self.router.next();
+                    self.payloads.insert(req.id, req);
+                    self.pending.insert(
+                        req.id,
+                        Pending {
+                            replica: r,
+                            first_token_at: None,
+                        },
+                    );
+                    self.replicas[r].prefill_queue.push_back(req);
+                    self.maybe_start_work(r);
+                }
+                EventKind::WorkDone { replica } => self.on_work_done(replica)?,
+                other => {
+                    return Err(Error::Simulation(format!(
+                        "unexpected event {other:?} in colocated engine"
+                    )))
+                }
+            }
+        }
+        if self.records.len() + self.dropped != submitted {
+            return Err(Error::Simulation(format!(
+                "conservation violated: {} + {} != {submitted}",
+                self.records.len(),
+                self.dropped
+            )));
+        }
+        let horizon = self.now.saturating_since(SimTime::ZERO);
+        Ok(Metrics::new(
+            std::mem::take(&mut self.records),
+            self.dropped,
+            horizon,
+        ))
+    }
+
+    fn maybe_start_work(&mut self, ri: usize) {
+        self.admit_waiting(ri);
+        let budget = self.cfg.max_prefill_batch_tokens;
+        let policy = self.policy;
+        let r = &mut self.replicas[ri];
+        if r.current.is_some() {
+            return;
+        }
+        let has_prefill = !r.prefill_queue.is_empty();
+        let has_decode = !r.active.is_empty();
+        let run_decode = match policy {
+            ColocatedPolicy::PrefillPriority => !has_prefill && has_decode,
+            // Chunked: strictly alternate when both kinds of work exist.
+            ColocatedPolicy::Chunked { .. } => {
+                has_decode && (!has_prefill || r.decode_turn)
+            }
+        };
+        if run_decode {
+            let batch = r.active.len() as u64;
+            let avg = r.active.iter().map(|a| a.context).sum::<u64>() / batch;
+            let latency = r.cost.decode_step_latency(batch, avg);
+            r.current = Some(Work::DecodeStep);
+            r.decode_turn = false;
+            self.queue
+                .push(self.now + latency, EventKind::WorkDone { replica: ri });
+            return;
+        }
+        if !has_prefill {
+            return;
+        }
+        match policy {
+            ColocatedPolicy::PrefillPriority => {
+                // Whole-request FCFS batch up to the token budget.
+                let mut total = 0u64;
+                let mut batch = Vec::new();
+                while let Some(front) = r.prefill_queue.front() {
+                    let t = front.prompt_len as u64;
+                    if !batch.is_empty() && total + t > budget {
+                        break;
+                    }
+                    total += t;
+                    batch.push(r.prefill_queue.pop_front().unwrap());
+                }
+                let avg = total / batch.len() as u64;
+                let latency = r.cost.prefill_latency(total, avg);
+                r.current = Some(Work::Prefill { finishing: batch });
+                self.queue
+                    .push(self.now + latency, EventKind::WorkDone { replica: ri });
+            }
+            ColocatedPolicy::Chunked { chunk_tokens } => {
+                // Process up to chunk_tokens of the queue head(s); requests
+                // whose prompts finish within this chunk complete prefill.
+                let mut tokens = 0u64;
+                let mut finishing = Vec::new();
+                while tokens < chunk_tokens {
+                    let Some(front) = r.prefill_queue.front().copied() else {
+                        break;
+                    };
+                    let remaining = front.prompt_len as u64 - r.head_progress;
+                    let room = chunk_tokens - tokens;
+                    if remaining <= room {
+                        tokens += remaining;
+                        r.head_progress = 0;
+                        finishing.push(r.prefill_queue.pop_front().unwrap());
+                    } else {
+                        r.head_progress += room;
+                        tokens += room;
+                        break;
+                    }
+                }
+                let avg = finishing
+                    .first()
+                    .map(|f| f.prompt_len as u64)
+                    .unwrap_or(tokens.max(1));
+                let latency = r.cost.prefill_latency(tokens.max(1), avg);
+                r.current = Some(Work::Prefill { finishing });
+                r.decode_turn = true;
+                self.queue
+                    .push(self.now + latency, EventKind::WorkDone { replica: ri });
+            }
+        }
+    }
+
+    fn on_work_done(&mut self, ri: usize) -> Result<()> {
+        let work = self.replicas[ri]
+            .current
+            .take()
+            .ok_or_else(|| Error::Simulation("WorkDone with no work".into()))?;
+        match work {
+            Work::Prefill { finishing: batch } => {
+                for req in batch {
+                    let pend = self
+                        .pending
+                        .get_mut(&req.id)
+                        .ok_or_else(|| Error::Simulation(format!("unknown {}", req.id)))?;
+                    pend.first_token_at = Some(self.now);
+                    if req.decode_steps() == 0 {
+                        self.finish(req, self.now, ts_common::SimDuration::ZERO)?;
+                    } else {
+                        // KV is already local: straight to the waiting queue.
+                        self.replicas[ri].waiting.push_back(WaitingSeq {
+                            id: req.id,
+                            prompt_len: req.prompt_len as u64,
+                            remaining: req.decode_steps(),
+                        });
+                    }
+                }
+            }
+            Work::DecodeStep => {
+                let now = self.now;
+                let r = &mut self.replicas[ri];
+                let mut finished = Vec::new();
+                let mut idx = 0;
+                while idx < r.active.len() {
+                    let a = &mut r.active[idx];
+                    a.context += 1;
+                    a.remaining -= 1;
+                    r.kv_used += 1;
+                    let gap = now.saturating_since(a.last_token_at);
+                    a.max_gap = a.max_gap.max(gap);
+                    a.last_token_at = now;
+                    if a.remaining == 0 {
+                        let done = r.active.swap_remove(idx);
+                        r.kv_used -= done.context;
+                        finished.push((done.id, done.max_gap));
+                    } else {
+                        idx += 1;
+                    }
+                }
+                for (id, gap) in finished {
+                    let req = self
+                        .payloads
+                        .get(&id)
+                        .copied()
+                        .ok_or_else(|| Error::Simulation(format!("lost request {id}")))?;
+                    self.finish(req, self.now, gap)?;
+                }
+            }
+        }
+        self.maybe_start_work(ri);
+        Ok(())
+    }
+
+    fn admit_waiting(&mut self, ri: usize) {
+        loop {
+            let r = &mut self.replicas[ri];
+            let Some(front) = r.waiting.front().copied() else {
+                return;
+            };
+            let need = front.prompt_len + 1;
+            let total_need = need + front.remaining as u64;
+            if total_need > r.kv_capacity {
+                r.waiting.pop_front();
+                self.pending.remove(&front.id);
+                self.payloads.remove(&front.id);
+                self.dropped += 1;
+                continue;
+            }
+            if r.active.len() as u64 >= self.cfg.max_decode_batch
+                || r.kv_used + need > r.kv_capacity
+            {
+                return;
+            }
+            if let Some(cap) = self.cfg.tpot_batch_cap {
+                if !r.active.is_empty() {
+                    let batch = r.active.len() as u64 + 1;
+                    let ctx = (r.active.iter().map(|a| a.context).sum::<u64>() + need) / batch;
+                    if r.cost.decode_step_latency(batch, ctx) > cap {
+                        return;
+                    }
+                }
+            }
+            r.waiting.pop_front();
+            r.kv_used += need;
+            let first_token_at = self
+                .pending
+                .get(&front.id)
+                .and_then(|p| p.first_token_at)
+                .unwrap_or(self.now);
+            r.active.push(ActiveSeq {
+                id: front.id,
+                context: need,
+                remaining: front.remaining,
+                last_token_at: first_token_at,
+                max_gap: ts_common::SimDuration::ZERO,
+            });
+        }
+    }
+
+    fn finish(
+        &mut self,
+        req: Request,
+        at: SimTime,
+        max_token_gap: ts_common::SimDuration,
+    ) -> Result<()> {
+        self.payloads.remove(&req.id);
+        let pend = self
+            .pending
+            .remove(&req.id)
+            .ok_or_else(|| Error::Simulation(format!("finish without pending {}", req.id)))?;
+        let first = pend
+            .first_token_at
+            .ok_or_else(|| Error::Simulation(format!("finish before prefill {}", req.id)))?;
+        self.records.push(RequestRecord {
+            request: req,
+            prefill_replica: pend.replica,
+            decode_replica: pend.replica,
+            first_token_at: first,
+            finished_at: at,
+            max_token_gap,
+        });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_cluster::presets;
+    use ts_common::{GpuId, ModelSpec, ParallelConfig, Phase, SimDuration, SloKind, StageSpec};
+    use ts_workload::{generator::generate, spec};
+
+    fn group(gpus: &[u32], tp: usize, pp: usize, layers: usize) -> GroupSpec {
+        let per = layers / pp;
+        let stages = (0..pp)
+            .map(|s| StageSpec {
+                gpus: gpus[s * tp..(s + 1) * tp].iter().map(|&g| GpuId(g)).collect(),
+                layers: if s + 1 == pp { layers - per * (pp - 1) } else { per },
+            })
+            .collect();
+        GroupSpec::new(Phase::Prefill, ParallelConfig::new(tp, pp).unwrap(), stages).unwrap()
+    }
+
+    #[test]
+    fn completes_all_requests() {
+        let cluster = presets::paper_inhouse_cluster();
+        let model = ModelSpec::llama_30b();
+        let groups = vec![
+            group(&[0, 1], 2, 1, model.num_layers),
+            group(&[2, 3], 2, 1, model.num_layers),
+            group(&[4, 5], 2, 1, model.num_layers),
+            group(&[6, 7], 2, 1, model.num_layers),
+        ];
+        let mut sim =
+            ColocatedSimulation::new(&cluster, &groups, SimConfig::new(model)).unwrap();
+        let reqs = generate(&spec::coding(1.0), SimDuration::from_secs(60), 1);
+        let m = sim.run(&reqs).unwrap();
+        assert_eq!(m.num_completed(), reqs.len());
+    }
+
+    #[test]
+    fn prefill_interferes_with_decode() {
+        // With colocation, adding prefill-heavy load must inflate TPOT: the
+        // interference phase splitting removes.
+        let cluster = presets::paper_inhouse_cluster();
+        let model = ModelSpec::llama_30b();
+        let groups = vec![group(&[0, 1], 2, 1, model.num_layers)];
+        let cfg = SimConfig::new(model);
+        // Light load: few long-decode requests.
+        let light = generate(&spec::fixed(256, 64, 0.05), SimDuration::from_secs(120), 2);
+        let m_light = ColocatedSimulation::new(&cluster, &groups, cfg.clone())
+            .unwrap()
+            .run(&light)
+            .unwrap();
+        // Same decode load + heavy prefill traffic.
+        let mut mixed = light.clone();
+        let noise = generate(&spec::fixed(3500, 2, 1.2), SimDuration::from_secs(120), 3);
+        let base = mixed.len() as u64;
+        mixed.extend(noise.into_iter().map(|r| ts_common::Request {
+            id: ts_common::RequestId(base + r.id.0),
+            ..r
+        }));
+        mixed.sort_by_key(|r| r.arrival);
+        let m_mixed = ColocatedSimulation::new(&cluster, &groups, cfg)
+            .unwrap()
+            .run(&mixed)
+            .unwrap();
+        let tpot_light = m_light.mean_latency(SloKind::Tpot).unwrap();
+        // mean TPOT over only the long-decode requests in the mixed run
+        let tpots: Vec<_> = m_mixed
+            .records()
+            .iter()
+            .filter(|r| r.request.output_len == 64)
+            .map(|r| r.tpot())
+            .collect();
+        let tpot_mixed = tpots.iter().copied().sum::<ts_common::SimDuration>() / tpots.len() as u64;
+        assert!(
+            tpot_mixed > tpot_light,
+            "interference should inflate TPOT: {tpot_mixed} vs {tpot_light}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let cluster = presets::paper_inhouse_cluster();
+        let model = ModelSpec::llama_30b();
+        let groups = vec![group(&[0, 1, 2, 3], 2, 2, model.num_layers)];
+        let cfg = SimConfig::new(model);
+        let reqs = generate(&spec::conversation(0.5), SimDuration::from_secs(40), 4);
+        let a = ColocatedSimulation::new(&cluster, &groups, cfg.clone()).unwrap().run(&reqs).unwrap();
+        let b = ColocatedSimulation::new(&cluster, &groups, cfg).unwrap().run(&reqs).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_groups_rejected() {
+        let cluster = presets::paper_inhouse_cluster();
+        let model = ModelSpec::llama_30b();
+        assert!(ColocatedSimulation::new(&cluster, &[], SimConfig::new(model)).is_err());
+    }
+}
+
+#[cfg(test)]
+mod chunked_tests {
+    use super::*;
+    use ts_cluster::presets;
+    use ts_common::{GpuId, ModelSpec, ParallelConfig, Phase, SimDuration, SloKind, StageSpec};
+    use ts_workload::{generator::generate, spec};
+
+    fn one_replica(model: &ModelSpec) -> (ts_cluster::Cluster, Vec<GroupSpec>) {
+        let cluster = presets::paper_inhouse_cluster();
+        let g = GroupSpec::new(
+            Phase::Prefill,
+            ParallelConfig::new(2, 1).unwrap(),
+            vec![StageSpec {
+                gpus: vec![GpuId(0), GpuId(1)],
+                layers: model.num_layers,
+            }],
+        )
+        .unwrap();
+        (cluster, vec![g])
+    }
+
+    #[test]
+    fn chunked_prefill_reduces_decode_stalls() {
+        // Long prompts + ongoing decodes: chunked prefill should cut the
+        // p90 TPOT versus prefill-priority at the cost of slower TTFT.
+        let model = ModelSpec::llama_30b();
+        let (cluster, groups) = one_replica(&model);
+        let w = spec::fixed(3000, 96, 0.35);
+        let reqs = generate(&w, SimDuration::from_secs(180), 8);
+
+        let run = |policy| {
+            ColocatedSimulation::with_policy(
+                &cluster,
+                &groups,
+                SimConfig::new(model.clone()),
+                policy,
+            )
+            .unwrap()
+            .run(&reqs)
+            .unwrap()
+        };
+        let pp = run(ColocatedPolicy::PrefillPriority);
+        let ck = run(ColocatedPolicy::Chunked { chunk_tokens: 512 });
+
+        // Chunking's contract: the worst single-token stall is bounded by
+        // one chunk's processing time instead of a whole prompt's.
+        // (Average TPOT may be *worse* — chunks delay every step a little.)
+        let itl = |m: &crate::metrics::Metrics| m.itl_percentile(0.99).unwrap();
+        assert!(
+            itl(&ck) < itl(&pp),
+            "chunked p99 ITL {} should beat prefill-priority {}",
+            itl(&ck),
+            itl(&pp)
+        );
+        // The trade-off: whole-batch prefill gives better TTFT.
+        let ttft = |m: &crate::metrics::Metrics| m.latency_percentile(SloKind::Ttft, 0.9).unwrap();
+        assert!(
+            ttft(&ck) >= ttft(&pp),
+            "chunking trades TTFT: {} vs {}",
+            ttft(&ck),
+            ttft(&pp)
+        );
+        assert_eq!(ck.num_completed() + ck.num_dropped(), reqs.len());
+    }
+
+    #[test]
+    fn chunked_conserves_and_orders() {
+        let model = ModelSpec::llama_30b();
+        let (cluster, groups) = one_replica(&model);
+        let w = spec::conversation(0.5);
+        let reqs = generate(&w, SimDuration::from_secs(60), 9);
+        let m = ColocatedSimulation::with_policy(
+            &cluster,
+            &groups,
+            SimConfig::new(model),
+            ColocatedPolicy::Chunked { chunk_tokens: 256 },
+        )
+        .unwrap()
+        .run(&reqs)
+        .unwrap();
+        assert_eq!(m.num_completed() + m.num_dropped(), reqs.len());
+        for r in m.records() {
+            assert!(r.first_token_at >= r.request.arrival);
+            assert!(r.finished_at >= r.first_token_at);
+        }
+    }
+
+    #[test]
+    fn tiny_chunks_still_complete() {
+        let model = ModelSpec::llama_30b();
+        let (cluster, groups) = one_replica(&model);
+        let w = spec::fixed(100, 4, 0.4);
+        let reqs = generate(&w, SimDuration::from_secs(30), 10);
+        let m = ColocatedSimulation::with_policy(
+            &cluster,
+            &groups,
+            SimConfig::new(model),
+            ColocatedPolicy::Chunked { chunk_tokens: 1 },
+        )
+        .unwrap()
+        .run(&reqs)
+        .unwrap();
+        assert_eq!(m.num_completed(), reqs.len());
+    }
+}

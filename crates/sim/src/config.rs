@@ -1,0 +1,111 @@
+//! Simulation configuration.
+
+use ts_common::ModelSpec;
+use ts_costmodel::ModelParams;
+use ts_kvcache::codec::KvWirePrecision;
+
+/// Knobs controlling a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The served model.
+    pub model: ModelSpec,
+    /// Cost-model efficiency parameters.
+    pub params: ModelParams,
+    /// Wire precision of prefill→decode KV transfers.
+    pub kv_precision: KvWirePrecision,
+    /// Token budget per prefill batch: requests are batched FCFS until the
+    /// next one would exceed this many prompt tokens (DistServe-style
+    /// prefill batching; batching past GPU saturation only hurts TTFT).
+    pub max_prefill_batch_tokens: u64,
+    /// Upper bound on concurrent decode sequences per replica (in addition
+    /// to the KV memory limit).
+    pub max_decode_batch: u64,
+    /// Whether KV transfer uses the replica-pair link model with queuing
+    /// (true) or is assumed free (ablation switch for Figure 12).
+    pub model_kv_transfer: bool,
+    /// SLO-aware decode batching: when set, a decode replica stops admitting
+    /// new sequences once the projected step latency would exceed this TPOT
+    /// deadline (DistServe-style batch capping; at least one sequence is
+    /// always admitted to avoid starvation).
+    pub tpot_batch_cap: Option<ts_common::SimDuration>,
+    /// Order in which prefill replicas pick queued requests.
+    pub prefill_policy: PrefillPolicy,
+}
+
+/// Prefill queue discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PrefillPolicy {
+    /// First come, first served (the default; what the paper's systems run).
+    #[default]
+    Fcfs,
+    /// Shortest prompt first: improves median TTFT under mixed prompt
+    /// lengths at the cost of tail latency for long prompts (classic SJF
+    /// trade-off; provided for scheduling studies).
+    ShortestFirst,
+}
+
+impl SimConfig {
+    /// Default configuration for a model: 4-bit KV wire compression, 4096
+    /// token prefill batches, decode batch cap 256.
+    pub fn new(model: ModelSpec) -> Self {
+        SimConfig {
+            model,
+            params: ModelParams::default(),
+            kv_precision: KvWirePrecision::DEFAULT_COMPRESSED,
+            max_prefill_batch_tokens: 4096,
+            max_decode_batch: 256,
+            model_kv_transfer: true,
+            tpot_batch_cap: None,
+            prefill_policy: PrefillPolicy::Fcfs,
+        }
+    }
+
+    /// Returns a copy with uncompressed (fp16) KV transfers.
+    pub fn with_f16_kv(mut self) -> Self {
+        self.kv_precision = KvWirePrecision::F16;
+        self
+    }
+
+    /// Returns a copy with the given KV precision.
+    pub fn with_kv_precision(mut self, p: KvWirePrecision) -> Self {
+        self.kv_precision = p;
+        self
+    }
+
+    /// Returns a copy with SLO-aware decode batch capping at `tpot`.
+    pub fn with_tpot_cap(mut self, tpot: ts_common::SimDuration) -> Self {
+        self.tpot_batch_cap = Some(tpot);
+        self
+    }
+
+    /// Returns a copy with the given prefill queue discipline.
+    pub fn with_prefill_policy(mut self, policy: PrefillPolicy) -> Self {
+        self.prefill_policy = policy;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_uses_int4() {
+        let c = SimConfig::new(ModelSpec::llama_7b());
+        assert_eq!(c.kv_precision, KvWirePrecision::DEFAULT_COMPRESSED);
+        assert!(c.model_kv_transfer);
+    }
+
+    #[test]
+    fn with_f16_switches_precision() {
+        let c = SimConfig::new(ModelSpec::llama_7b()).with_f16_kv();
+        assert_eq!(c.kv_precision, KvWirePrecision::F16);
+    }
+
+    #[test]
+    fn with_tpot_cap_sets_deadline() {
+        let d = ts_common::SimDuration::from_millis(50);
+        let c = SimConfig::new(ModelSpec::llama_7b()).with_tpot_cap(d);
+        assert_eq!(c.tpot_batch_cap, Some(d));
+    }
+}

@@ -1,0 +1,741 @@
+//! The phase-split serving engine.
+//!
+//! Simulates a [`DeploymentPlan`] end to end: requests arrive at the
+//! coordinator, are routed to a (prefill, decode) replica pair by the
+//! orchestration matrix, batched FCFS on the prefill replica, their KV cache
+//! is shipped over the (possibly contended) inter-replica link, and they
+//! join the decode replica's continuous batch until all output tokens are
+//! generated. All durations come from [`ts_costmodel`]; all scheduling is
+//! deterministic.
+
+use crate::config::{PrefillPolicy, SimConfig};
+use crate::event::{EventKind, EventQueue};
+use crate::metrics::{Metrics, RequestRecord};
+use crate::router::StrideRouter;
+use std::collections::{HashMap, VecDeque};
+use ts_cluster::Cluster;
+use ts_common::{
+    DeploymentPlan, Error, Request, RequestId, Result, SimDuration, SimTime,
+};
+use ts_costmodel::replica::{kv_route, kv_transfer_time, KvRouteSegment};
+use ts_costmodel::ReplicaCostModel;
+
+/// Per-request routing decision and timing bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    prefill: usize,
+    decode: usize,
+    first_token_at: Option<SimTime>,
+}
+
+#[derive(Debug)]
+struct PrefillState {
+    cost: ReplicaCostModel,
+    queue: VecDeque<Request>,
+    /// Batches currently flowing through the pipeline (FIFO: completion
+    /// events fire in launch order because stage times are batch-agnostic
+    /// in ordering).
+    in_flight: VecDeque<Vec<Request>>,
+    /// Earliest time the first pipeline stage can accept a new batch.
+    next_free: SimTime,
+    /// Whether a slot-free wakeup is already scheduled.
+    wakeup_scheduled: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ActiveSeq {
+    id: RequestId,
+    /// Tokens currently in this sequence's KV cache (prompt + generated).
+    context: u64,
+    /// Decode steps still to run.
+    remaining: u32,
+    /// When this sequence's previous token was emitted.
+    last_token_at: SimTime,
+    /// Longest inter-token gap observed so far.
+    max_gap: SimDuration,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct WaitingSeq {
+    id: RequestId,
+    prompt_len: u64,
+    remaining: u32,
+}
+
+#[derive(Debug)]
+struct DecodeState {
+    cost: ReplicaCostModel,
+    kv_capacity: u64,
+    kv_used: u64,
+    active: Vec<ActiveSeq>,
+    waiting: VecDeque<WaitingSeq>,
+    stepping: bool,
+}
+
+/// The phase-split discrete-event simulation.
+pub struct Simulation<'a> {
+    cluster: &'a Cluster,
+    cfg: SimConfig,
+    prefills: Vec<PrefillState>,
+    decodes: Vec<DecodeState>,
+    router: StrideRouter,
+    pair_coords: Vec<(usize, usize)>,
+    /// KV route per (prefill, decode) pair.
+    routes: Vec<Vec<Vec<KvRouteSegment>>>,
+    /// Per-sender (prefill replica) uplink availability for KV transfer
+    /// queuing: one replica's outbound transfers serialize on its NIC,
+    /// whichever decode replica they target.
+    sender_free_at: Vec<SimTime>,
+    queue: EventQueue,
+    pending: HashMap<RequestId, Pending>,
+    request_payloads: HashMap<RequestId, Request>,
+    records: Vec<RequestRecord>,
+    dropped: usize,
+    now: SimTime,
+}
+
+impl<'a> Simulation<'a> {
+    /// Builds a simulation for `plan` on `cluster`.
+    ///
+    /// # Errors
+    /// Returns [`Error::Infeasible`] if any group cannot hold the model, and
+    /// [`Error::InvalidConfig`] for malformed routing.
+    pub fn new(cluster: &'a Cluster, plan: &DeploymentPlan, cfg: SimConfig) -> Result<Self> {
+        let prefill_idx = plan.prefill_indices();
+        let decode_idx = plan.decode_indices();
+        let mut prefills = Vec::with_capacity(prefill_idx.len());
+        for &gi in &prefill_idx {
+            prefills.push(PrefillState {
+                cost: ReplicaCostModel::new(cluster, &cfg.model, &plan.groups[gi], &cfg.params)?,
+                queue: VecDeque::new(),
+                in_flight: VecDeque::new(),
+                next_free: SimTime::ZERO,
+                wakeup_scheduled: false,
+            });
+        }
+        let mut decodes = Vec::with_capacity(decode_idx.len());
+        for &gi in &decode_idx {
+            let cost =
+                ReplicaCostModel::new(cluster, &cfg.model, &plan.groups[gi], &cfg.params)?;
+            let kv_capacity = cost.kv_capacity_tokens();
+            decodes.push(DecodeState {
+                cost,
+                kv_capacity,
+                kv_used: 0,
+                active: Vec::new(),
+                waiting: VecDeque::new(),
+                stepping: false,
+            });
+        }
+        let (router, pair_coords) = StrideRouter::from_matrix(plan.routing.rates())?;
+        let mut routes = Vec::with_capacity(prefills.len());
+        for p in &prefills {
+            let mut row = Vec::with_capacity(decodes.len());
+            for d in &decodes {
+                row.push(kv_route(cluster, &p.cost, &d.cost));
+            }
+            routes.push(row);
+        }
+        let sender_free_at = vec![SimTime::ZERO; prefills.len()];
+        Ok(Simulation {
+            cluster,
+            cfg,
+            prefills,
+            decodes,
+            router,
+            pair_coords,
+            routes,
+            sender_free_at,
+            queue: EventQueue::new(),
+            pending: HashMap::new(),
+            request_payloads: HashMap::new(),
+            records: Vec::new(),
+            dropped: 0,
+            now: SimTime::ZERO,
+        })
+    }
+
+    /// The cluster this simulation runs on.
+    pub fn cluster(&self) -> &Cluster {
+        self.cluster
+    }
+
+    /// Runs the trace to completion and returns the metrics.
+    ///
+    /// # Errors
+    /// Returns [`Error::Simulation`] if internal invariants are violated.
+    pub fn run(&mut self, requests: &[Request]) -> Result<Metrics> {
+        for r in requests {
+            self.queue.push(r.arrival, EventKind::Arrival(*r));
+        }
+        let submitted = requests.len();
+        while let Some(ev) = self.queue.pop() {
+            debug_assert!(ev.at >= self.now, "event time went backwards");
+            self.now = ev.at;
+            match ev.kind {
+                EventKind::Arrival(req) => self.on_arrival(req),
+                EventKind::PrefillDone { replica } => self.on_prefill_done(replica)?,
+                EventKind::PrefillSlotFree { replica } => {
+                    self.prefills[replica].wakeup_scheduled = false;
+                    self.maybe_start_prefill(replica);
+                }
+                EventKind::KvTransferDone { replica, request } => {
+                    self.on_kv_arrived(replica, request)?
+                }
+                EventKind::DecodeStepDone { replica } => self.on_decode_step(replica)?,
+                EventKind::WorkDone { .. } => {
+                    return Err(Error::Simulation(
+                        "WorkDone event in phase-split engine".into(),
+                    ))
+                }
+            }
+        }
+        if self.records.len() + self.dropped != submitted {
+            return Err(Error::Simulation(format!(
+                "conservation violated: {} completed + {} dropped != {} submitted",
+                self.records.len(),
+                self.dropped,
+                submitted
+            )));
+        }
+        let horizon = self.now.saturating_since(SimTime::ZERO);
+        Ok(Metrics::new(
+            std::mem::take(&mut self.records),
+            self.dropped,
+            horizon,
+        ))
+    }
+
+    fn on_arrival(&mut self, req: Request) {
+        let (i, j) = self.pair_coords[self.router.next()];
+        self.request_payloads.insert(req.id, req);
+        self.pending.insert(
+            req.id,
+            Pending {
+                prefill: i,
+                decode: j,
+                first_token_at: None,
+            },
+        );
+        self.prefills[i].queue.push_back(req);
+        self.maybe_start_prefill(i);
+    }
+
+    fn maybe_start_prefill(&mut self, i: usize) {
+        let p = &mut self.prefills[i];
+        if p.queue.is_empty() {
+            return;
+        }
+        if p.next_free > self.now {
+            // First stage still occupied: wake up when it frees.
+            if !p.wakeup_scheduled {
+                p.wakeup_scheduled = true;
+                self.queue
+                    .push(p.next_free, EventKind::PrefillSlotFree { replica: i });
+            }
+            return;
+        }
+        let budget = self.cfg.max_prefill_batch_tokens;
+        if self.cfg.prefill_policy == PrefillPolicy::ShortestFirst {
+            // Stable sort keeps arrival order among equal prompt lengths.
+            p.queue.make_contiguous().sort_by_key(|r| r.prompt_len);
+        }
+        let mut total = 0u64;
+        let mut batch = Vec::new();
+        while let Some(front) = p.queue.front() {
+            let t = front.prompt_len as u64;
+            if !batch.is_empty() && total + t > budget {
+                break;
+            }
+            total += t;
+            batch.push(p.queue.pop_front().unwrap());
+        }
+        let avg_ctx = total / batch.len() as u64;
+        let latency = p.cost.prefill_latency(total, avg_ctx);
+        // Pipeline parallelism: the next batch may enter once the slowest
+        // stage has processed this one; the batch itself completes after the
+        // full pipeline latency.
+        let bottleneck = p.cost.prefill_bottleneck(total, avg_ctx);
+        p.next_free = self.now + bottleneck;
+        p.in_flight.push_back(batch);
+        self.queue
+            .push(self.now + latency, EventKind::PrefillDone { replica: i });
+    }
+
+    fn on_prefill_done(&mut self, i: usize) -> Result<()> {
+        let batch = self.prefills[i]
+            .in_flight
+            .pop_front()
+            .ok_or_else(|| Error::Simulation("prefill done with nothing in flight".into()))?;
+        for req in batch {
+            let pend = self
+                .pending
+                .get_mut(&req.id)
+                .ok_or_else(|| Error::Simulation(format!("unknown request {}", req.id)))?;
+            pend.first_token_at = Some(self.now);
+            let j = pend.decode;
+            if req.decode_steps() == 0 {
+                // Single-token output: the prefill already produced it.
+                self.finish(req, self.now, SimDuration::ZERO)?;
+                continue;
+            }
+            let dur = if self.cfg.model_kv_transfer {
+                let ratio = self.cfg.kv_precision.ratio_vs_f16();
+                kv_transfer_time(
+                    &self.cfg.model,
+                    &self.routes[i][j],
+                    req.prompt_len as u64,
+                    ratio,
+                )
+            } else {
+                SimDuration::ZERO
+            };
+            // Serialize transfers on the sender's uplink; the sequence only
+            // becomes admissible at the decode replica once its own KV
+            // transfer completes (see on_kv_arrived).
+            let start = self.sender_free_at[i].max(self.now);
+            let done = start + dur;
+            self.sender_free_at[i] = done;
+            self.queue.push(
+                done,
+                EventKind::KvTransferDone {
+                    replica: j,
+                    request: req.id,
+                },
+            );
+        }
+        self.maybe_start_prefill(i);
+        Ok(())
+    }
+
+    fn on_kv_arrived(&mut self, j: usize, request: RequestId) -> Result<()> {
+        let req = self.find_request(request)?;
+        self.decodes[j].waiting.push_back(WaitingSeq {
+            id: req.id,
+            prompt_len: req.prompt_len as u64,
+            remaining: req.decode_steps(),
+        });
+        self.admit_waiting(j)?;
+        self.maybe_start_decode_step(j);
+        Ok(())
+    }
+
+    /// Admits waiting sequences in FCFS order while memory and batch slots
+    /// allow. Oversized sequences that can never fit are dropped.
+    fn admit_waiting(&mut self, j: usize) -> Result<()> {
+        loop {
+            let d = &mut self.decodes[j];
+            let Some(front) = d.waiting.front().copied() else {
+                return Ok(());
+            };
+            let need = front.prompt_len + 1;
+            let total_need = front.prompt_len + 1 + front.remaining as u64;
+            if total_need > d.kv_capacity {
+                // can never fit: drop
+                d.waiting.pop_front();
+                self.pending.remove(&front.id);
+                self.request_payloads.remove(&front.id);
+                self.dropped += 1;
+                continue;
+            }
+            if d.active.len() as u64 >= self.cfg.max_decode_batch
+                || d.kv_used + need > d.kv_capacity
+            {
+                return Ok(());
+            }
+            // SLO-aware batch cap: do not grow the batch past the point
+            // where the projected step latency breaks the TPOT deadline.
+            if let Some(cap) = self.cfg.tpot_batch_cap {
+                if !d.active.is_empty() {
+                    let batch = d.active.len() as u64 + 1;
+                    let ctx = (d.active.iter().map(|a| a.context).sum::<u64>() + need) / batch;
+                    if d.cost.decode_step_latency(batch, ctx) > cap {
+                        return Ok(());
+                    }
+                }
+            }
+            d.waiting.pop_front();
+            d.kv_used += need;
+            let first_token_at = self
+                .pending
+                .get(&front.id)
+                .and_then(|p| p.first_token_at)
+                .unwrap_or(self.now);
+            d.active.push(ActiveSeq {
+                id: front.id,
+                context: need,
+                remaining: front.remaining,
+                last_token_at: first_token_at,
+                max_gap: SimDuration::ZERO,
+            });
+        }
+    }
+
+    fn maybe_start_decode_step(&mut self, j: usize) {
+        let d = &mut self.decodes[j];
+        if d.stepping || d.active.is_empty() {
+            return;
+        }
+        let batch = d.active.len() as u64;
+        let avg_ctx =
+            d.active.iter().map(|a| a.context).sum::<u64>() / batch;
+        let latency = d.cost.decode_step_latency(batch, avg_ctx);
+        d.stepping = true;
+        self.queue
+            .push(self.now + latency, EventKind::DecodeStepDone { replica: j });
+    }
+
+    fn on_decode_step(&mut self, j: usize) -> Result<()> {
+        let d = &mut self.decodes[j];
+        d.stepping = false;
+        let now = self.now;
+        let mut finished = Vec::new();
+        let mut idx = 0;
+        while idx < d.active.len() {
+            let a = &mut d.active[idx];
+            a.context += 1;
+            a.remaining -= 1;
+            d.kv_used += 1;
+            let gap = now.saturating_since(a.last_token_at);
+            a.max_gap = a.max_gap.max(gap);
+            a.last_token_at = now;
+            if a.remaining == 0 {
+                let done = d.active.swap_remove(idx);
+                d.kv_used -= done.context;
+                finished.push((done.id, done.max_gap));
+            } else {
+                idx += 1;
+            }
+        }
+        for (id, gap) in finished {
+            let req = self.find_request(id)?;
+            self.finish(req, self.now, gap)?;
+        }
+        self.admit_waiting(j)?;
+        self.maybe_start_decode_step(j);
+        Ok(())
+    }
+
+    /// Reconstructs the request payload for a completed id from pending
+    /// bookkeeping (we stash the original request in the record path).
+    fn find_request(&self, id: RequestId) -> Result<Request> {
+        self.request_payloads
+            .get(&id)
+            .copied()
+            .ok_or_else(|| Error::Simulation(format!("lost request {id}")))
+    }
+
+    fn finish(&mut self, req: Request, at: SimTime, max_token_gap: SimDuration) -> Result<()> {
+        self.request_payloads.remove(&req.id);
+        let pend = self
+            .pending
+            .remove(&req.id)
+            .ok_or_else(|| Error::Simulation(format!("finish without pending: {}", req.id)))?;
+        let first = pend
+            .first_token_at
+            .ok_or_else(|| Error::Simulation(format!("finish before prefill: {}", req.id)))?;
+        self.records.push(RequestRecord {
+            request: req,
+            prefill_replica: pend.prefill,
+            decode_replica: pend.decode,
+            first_token_at: first,
+            finished_at: at,
+            max_token_gap,
+        });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_cluster::presets;
+    use ts_common::{GpuId, GroupSpec, ModelSpec, ParallelConfig, Phase, RoutingMatrix, SloKind, SloSpec, StageSpec};
+    use ts_workload::{generator::generate, spec};
+
+    fn group(phase: Phase, gpus: &[u32], tp: usize, pp: usize, layers: usize) -> GroupSpec {
+        let per = layers / pp;
+        let stages = (0..pp)
+            .map(|s| StageSpec {
+                gpus: gpus[s * tp..(s + 1) * tp].iter().map(|&g| GpuId(g)).collect(),
+                layers: if s + 1 == pp { layers - per * (pp - 1) } else { per },
+            })
+            .collect();
+        GroupSpec::new(phase, ParallelConfig::new(tp, pp).unwrap(), stages).unwrap()
+    }
+
+    /// 4xA40 prefill + 4x3090Ti decode on the Appendix-H testbed.
+    fn testbed(bw: f64) -> (ts_cluster::Cluster, DeploymentPlan, SimConfig) {
+        let cluster = presets::network_case_cluster(bw);
+        let model = ModelSpec::llama_13b();
+        let plan = DeploymentPlan::new(
+            vec![
+                group(Phase::Prefill, &[0, 1, 2, 3], 2, 2, model.num_layers),
+                group(Phase::Decode, &[4, 5, 6, 7], 2, 2, model.num_layers),
+            ],
+            RoutingMatrix::uniform(1, 1),
+        )
+        .unwrap();
+        (cluster, plan, SimConfig::new(model))
+    }
+
+    #[test]
+    fn every_request_completes() {
+        let (cluster, plan, cfg) = testbed(presets::ETH_40GBPS);
+        let mut sim = Simulation::new(&cluster, &plan, cfg).unwrap();
+        let reqs = generate(&spec::coding(0.5), ts_common::SimDuration::from_secs(60), 1);
+        let m = sim.run(&reqs).unwrap();
+        assert_eq!(m.num_completed(), reqs.len());
+        assert_eq!(m.num_dropped(), 0);
+    }
+
+    #[test]
+    fn records_are_causally_ordered() {
+        let (cluster, plan, cfg) = testbed(presets::ETH_40GBPS);
+        let mut sim = Simulation::new(&cluster, &plan, cfg).unwrap();
+        let reqs = generate(&spec::conversation(0.5), ts_common::SimDuration::from_secs(60), 2);
+        let m = sim.run(&reqs).unwrap();
+        for r in m.records() {
+            assert!(r.first_token_at >= r.request.arrival);
+            assert!(r.finished_at >= r.first_token_at);
+            if r.request.decode_steps() > 0 {
+                assert!(r.finished_at > r.first_token_at);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let (cluster, plan, cfg) = testbed(presets::ETH_40GBPS);
+        let reqs = generate(&spec::coding(1.0), ts_common::SimDuration::from_secs(30), 3);
+        let m1 = Simulation::new(&cluster, &plan, cfg.clone()).unwrap().run(&reqs).unwrap();
+        let m2 = Simulation::new(&cluster, &plan, cfg).unwrap().run(&reqs).unwrap();
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn higher_rate_worsens_latency() {
+        let (cluster, plan, cfg) = testbed(presets::ETH_40GBPS);
+        let lo_r = generate(&spec::coding(0.3), ts_common::SimDuration::from_secs(120), 4);
+        let hi_r = generate(&spec::coding(4.0), ts_common::SimDuration::from_secs(120), 4);
+        let lo = Simulation::new(&cluster, &plan, cfg.clone()).unwrap().run(&lo_r).unwrap();
+        let hi = Simulation::new(&cluster, &plan, cfg).unwrap().run(&hi_r).unwrap();
+        let p_lo = lo.latency_percentile(SloKind::Ttft, 0.9).unwrap();
+        let p_hi = hi.latency_percentile(SloKind::Ttft, 0.9).unwrap();
+        assert!(p_hi > p_lo, "{p_hi} <= {p_lo}");
+    }
+
+    #[test]
+    fn kv_compression_reduces_e2e_on_slow_links() {
+        // Table 8 / Figure 18 shape: on a bandwidth-starved link, 4-bit KV
+        // transfers beat fp16 end to end.
+        let (cluster, plan, cfg) = testbed(presets::ETH_5GBPS);
+        let reqs = generate(&spec::fixed(1024, 64, 0.5), ts_common::SimDuration::from_secs(120), 5);
+        let m4 = Simulation::new(&cluster, &plan, cfg.clone()).unwrap().run(&reqs).unwrap();
+        let m16 = Simulation::new(&cluster, &plan, cfg.with_f16_kv()).unwrap().run(&reqs).unwrap();
+        let e4 = m4.mean_latency(SloKind::E2e).unwrap();
+        let e16 = m16.mean_latency(SloKind::E2e).unwrap();
+        assert!(e4 < e16, "4-bit {e4} should beat fp16 {e16}");
+    }
+
+    #[test]
+    fn single_token_outputs_skip_decode() {
+        let (cluster, plan, cfg) = testbed(presets::ETH_40GBPS);
+        let mut sim = Simulation::new(&cluster, &plan, cfg).unwrap();
+        let reqs = generate(&spec::fixed(512, 1, 1.0), ts_common::SimDuration::from_secs(20), 6);
+        let m = sim.run(&reqs).unwrap();
+        assert_eq!(m.num_completed(), reqs.len());
+        for r in m.records() {
+            assert_eq!(r.finished_at, r.first_token_at);
+        }
+    }
+
+    #[test]
+    fn slo_attainment_monotone_in_scale() {
+        let (cluster, plan, cfg) = testbed(presets::ETH_40GBPS);
+        let reqs = generate(&spec::conversation(1.5), ts_common::SimDuration::from_secs(90), 7);
+        let m = Simulation::new(&cluster, &plan, cfg).unwrap().run(&reqs).unwrap();
+        let base = SloSpec::new(
+            ts_common::SimDuration::from_millis(800),
+            ts_common::SimDuration::from_millis(80),
+            ts_common::SimDuration::from_secs(8),
+        );
+        let mut prev = 0.0;
+        for s in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0] {
+            let a = m.joint_attainment(&base.scaled(s));
+            assert!(a >= prev - 1e-12, "attainment must not decrease: {a} < {prev}");
+            prev = a;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tpot_cap_tests {
+    use super::*;
+    use ts_cluster::presets;
+    use ts_common::{
+        GpuId, GroupSpec, ModelSpec, ParallelConfig, Phase, RoutingMatrix, SloKind, StageSpec,
+    };
+    use ts_workload::{generator::generate, spec};
+
+    fn plan(model: &ModelSpec) -> (ts_cluster::Cluster, DeploymentPlan) {
+        let cluster = presets::network_case_cluster(presets::ETH_40GBPS);
+        let group = |phase, ids: [u32; 4]| {
+            GroupSpec::new(
+                phase,
+                ParallelConfig::new(4, 1).unwrap(),
+                vec![StageSpec {
+                    gpus: ids.iter().map(|&i| GpuId(i)).collect(),
+                    layers: model.num_layers,
+                }],
+            )
+            .unwrap()
+        };
+        let plan = DeploymentPlan::new(
+            vec![
+                group(Phase::Prefill, [0, 1, 2, 3]),
+                group(Phase::Decode, [4, 5, 6, 7]),
+            ],
+            RoutingMatrix::uniform(1, 1),
+        )
+        .unwrap();
+        (cluster, plan)
+    }
+
+    #[test]
+    fn tpot_cap_bounds_tail_tpot() {
+        // Under heavy decode concurrency, an SLO-aware admission cap keeps
+        // p90 TPOT below the configured deadline (at the cost of queueing).
+        let model = ModelSpec::llama_30b();
+        let (cluster, plan) = plan(&model);
+        let w = spec::fixed(512, 128, 2.5);
+        let reqs = generate(&w, ts_common::SimDuration::from_secs(90), 3);
+        let cap = ts_common::SimDuration::from_millis(40);
+
+        let uncapped = Simulation::new(&cluster, &plan, SimConfig::new(model.clone()))
+            .unwrap()
+            .run(&reqs)
+            .unwrap();
+        let capped = Simulation::new(
+            &cluster,
+            &plan,
+            SimConfig::new(model.clone()).with_tpot_cap(cap),
+        )
+        .unwrap()
+        .run(&reqs)
+        .unwrap();
+
+        let p90 = |m: &crate::metrics::Metrics| {
+            m.latency_percentile(SloKind::Tpot, 0.9).unwrap()
+        };
+        assert!(
+            p90(&capped) <= cap + ts_common::SimDuration::from_millis(5),
+            "capped p90 TPOT {} should respect the {cap} deadline",
+            p90(&capped)
+        );
+        assert!(
+            p90(&capped) <= p90(&uncapped),
+            "cap must not worsen TPOT: {} vs {}",
+            p90(&capped),
+            p90(&uncapped)
+        );
+        // conservation still holds
+        assert_eq!(
+            capped.num_completed() + capped.num_dropped(),
+            reqs.len()
+        );
+    }
+
+    #[test]
+    fn tpot_cap_never_deadlocks_single_sequences() {
+        // Even with an absurdly tight cap the replica admits one sequence at
+        // a time and everything eventually completes.
+        let model = ModelSpec::llama_30b();
+        let (cluster, plan) = plan(&model);
+        let w = spec::fixed(256, 16, 0.5);
+        let reqs = generate(&w, ts_common::SimDuration::from_secs(40), 4);
+        let m = Simulation::new(
+            &cluster,
+            &plan,
+            SimConfig::new(model).with_tpot_cap(ts_common::SimDuration::from_micros(1)),
+        )
+        .unwrap()
+        .run(&reqs)
+        .unwrap();
+        assert_eq!(m.num_completed(), reqs.len());
+    }
+}
+
+#[cfg(test)]
+mod policy_tests {
+    use super::*;
+    use crate::config::PrefillPolicy;
+    use ts_cluster::presets;
+    use ts_common::{
+        GpuId, GroupSpec, ModelSpec, ParallelConfig, Phase, RoutingMatrix, SloKind, StageSpec,
+    };
+    use ts_workload::generator::generate_mixture;
+
+    #[test]
+    fn sjf_improves_median_ttft_under_mixed_prompts() {
+        let cluster = presets::network_case_cluster(presets::ETH_40GBPS);
+        let model = ModelSpec::llama_30b();
+        let group = |phase, ids: [u32; 4]| {
+            GroupSpec::new(
+                phase,
+                ParallelConfig::new(4, 1).unwrap(),
+                vec![StageSpec {
+                    gpus: ids.iter().map(|&i| GpuId(i)).collect(),
+                    layers: model.num_layers,
+                }],
+            )
+            .unwrap()
+        };
+        let plan = DeploymentPlan::new(
+            vec![
+                group(Phase::Prefill, [0, 1, 2, 3]),
+                group(Phase::Decode, [4, 5, 6, 7]),
+            ],
+            RoutingMatrix::uniform(1, 1),
+        )
+        .unwrap();
+        // Mixed prompt lengths at pressure: many short, some very long.
+        let trace = generate_mixture(
+            &[
+                ts_workload::spec::fixed(256, 8, 2.2),
+                ts_workload::spec::fixed(3500, 8, 0.5),
+            ],
+            ts_common::SimDuration::from_secs(120),
+            3,
+        );
+        let run = |policy| {
+            Simulation::new(
+                &cluster,
+                &plan,
+                SimConfig::new(model.clone()).with_prefill_policy(policy),
+            )
+            .unwrap()
+            .run(&trace)
+            .unwrap()
+        };
+        let fcfs = run(PrefillPolicy::Fcfs);
+        let sjf = run(PrefillPolicy::ShortestFirst);
+        let p50 = |m: &crate::metrics::Metrics| m.latency_percentile(SloKind::Ttft, 0.5).unwrap();
+        let p99 = |m: &crate::metrics::Metrics| m.latency_percentile(SloKind::Ttft, 0.99).unwrap();
+        assert!(
+            p50(&sjf) <= p50(&fcfs),
+            "SJF median TTFT {} should not exceed FCFS {}",
+            p50(&sjf),
+            p50(&fcfs)
+        );
+        assert!(
+            p99(&sjf) >= p99(&fcfs),
+            "SJF pays at the tail: {} vs {}",
+            p99(&sjf),
+            p99(&fcfs)
+        );
+        // conservation under both policies
+        assert_eq!(fcfs.num_completed() + fcfs.num_dropped(), trace.len());
+        assert_eq!(sjf.num_completed() + sjf.num_dropped(), trace.len());
+    }
+}

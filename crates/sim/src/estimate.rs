@@ -1,0 +1,353 @@
+//! Fast analytic SLO-attainment estimation.
+//!
+//! The tabu search evaluates thousands of candidate plans; running the full
+//! event simulator for each would dominate scheduling time. This module
+//! estimates per-pair and overall SLO attainment analytically with simple
+//! queueing approximations (M/D/1-style prefill waiting, Little's-law decode
+//! batch fixed point, alpha-beta KV transfer), in the spirit of the paper's
+//! DistServe-derived simulator. Figure 19 compares this estimator against
+//! the discrete-event engine.
+
+use crate::config::SimConfig;
+use ts_cluster::Cluster;
+use ts_common::{DeploymentPlan, Result, SloSpec};
+use ts_costmodel::replica::{kv_route, kv_transfer_time};
+use ts_costmodel::ReplicaCostModel;
+use ts_workload::WorkloadSpec;
+
+/// Per-pair estimates plus capacity bounds, ready for the orchestration LP.
+#[derive(Debug, Clone)]
+pub struct PairEstimates {
+    /// `d[i][j]`: estimated joint SLO attainment for the (prefill `i`,
+    /// decode `j`) pair.
+    pub d: Vec<Vec<f64>>,
+    /// Per-kind components `(ttft, tpot, e2e)` for each pair.
+    pub components: Vec<Vec<(f64, f64, f64)>>,
+    /// Fraction of the total request rate each prefill replica can absorb.
+    pub row_cap: Vec<f64>,
+    /// Fraction of the total request rate each decode replica can absorb.
+    pub col_cap: Vec<f64>,
+    /// KV transfer seconds per routed request for each (prefill, decode)
+    /// pair — the sender-uplink cost the orchestration LP budgets against.
+    pub kv_seconds: Vec<Vec<f64>>,
+}
+
+/// Overall plan-level estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttainmentEstimate {
+    /// Estimated joint (all-three-criteria) attainment.
+    pub overall: f64,
+    /// Estimated TTFT attainment.
+    pub ttft: f64,
+    /// Estimated TPOT attainment.
+    pub tpot: f64,
+    /// Estimated E2E attainment.
+    pub e2e: f64,
+}
+
+/// Utilization headroom: capacities are reported at this fraction of the
+/// theoretical maximum so the orchestration keeps queues stable.
+const CAP_HEADROOM: f64 = 0.92;
+
+/// Builds [`PairEstimates`] for given prefill/decode replica cost models
+/// under `workload` and `slo`.
+///
+/// The reference load for each replica assumes the stream is spread across
+/// replicas proportionally to capacity (routing-independent, so the tabu
+/// search can evaluate group constructions before orchestration is known).
+pub fn pair_estimates(
+    cluster: &Cluster,
+    cfg: &SimConfig,
+    prefill: &[ReplicaCostModel],
+    decode: &[ReplicaCostModel],
+    workload: &WorkloadSpec,
+    slo: &SloSpec,
+) -> PairEstimates {
+    let p_mean = workload.prompt.mean().max(1.0);
+    let o_mean = workload.output.mean().max(1.0);
+    let rate = workload.rate;
+
+    // --- Prefill side -----------------------------------------------------
+    let svc: Vec<f64> = prefill
+        .iter()
+        .map(|m| {
+            m.prefill_latency(p_mean as u64, p_mean as u64)
+                .as_secs_f64()
+        })
+        .collect();
+    let mu: Vec<f64> = svc.iter().map(|s| 1.0 / s.max(1e-9)).collect();
+    let total_mu: f64 = mu.iter().sum();
+    let row_cap: Vec<f64> = mu
+        .iter()
+        .map(|&m| (m * CAP_HEADROOM / rate).min(1.0))
+        .collect();
+    // Reference per-replica arrival rate: proportional to service capacity.
+    let lam_p: Vec<f64> = mu.iter().map(|&m| rate * m / total_mu).collect();
+
+    // --- Decode side ------------------------------------------------------
+    let ctx = p_mean + o_mean / 2.0;
+    let steps = (o_mean - 1.0).max(0.0);
+    let mut step_time = Vec::with_capacity(decode.len());
+    let mut dec_cap_rate = Vec::with_capacity(decode.len()); // req/s each decode can sustain
+    let total_dec_weight: f64 = decode
+        .iter()
+        .map(|m| m.decode_throughput(32, ctx as u64).max(1e-9))
+        .sum();
+    for m in decode {
+        let lam_share = rate
+            * m.decode_throughput(32, ctx as u64).max(1e-9)
+            / total_dec_weight;
+        let bmax = m
+            .max_decode_batch((p_mean + o_mean) as u64)
+            .min(cfg.max_decode_batch)
+            .max(1);
+        // Little's-law fixed point: b = λ·steps·step_time(b)
+        let mut b = 1.0f64;
+        for _ in 0..30 {
+            let st = m
+                .decode_step_latency(b.ceil() as u64, ctx as u64)
+                .as_secs_f64();
+            let nb = (lam_share * steps * st).clamp(1.0, bmax as f64);
+            if (nb - b).abs() < 0.01 {
+                b = nb;
+                break;
+            }
+            b = nb;
+        }
+        let st = m.decode_step_latency(b.ceil() as u64, ctx as u64).as_secs_f64();
+        step_time.push(st);
+        // Max sustainable request rate: tokens/s at bmax divided by steps/request.
+        let st_max = m.decode_step_latency(bmax, ctx as u64).as_secs_f64();
+        let max_rate = if steps > 0.0 {
+            bmax as f64 / st_max / steps
+        } else {
+            f64::INFINITY
+        };
+        dec_cap_rate.push(max_rate);
+    }
+    let col_cap: Vec<f64> = dec_cap_rate
+        .iter()
+        .map(|&r| (r * CAP_HEADROOM / rate).min(1.0))
+        .collect();
+
+    // --- Pair matrix --------------------------------------------------------
+    let m_p = prefill.len();
+    let n_d = decode.len();
+    let mut d = vec![vec![0.0; n_d]; m_p];
+    let mut components = vec![vec![(0.0, 0.0, 0.0); n_d]; m_p];
+    let mut kv_seconds = vec![vec![0.0; n_d]; m_p];
+    for i in 0..m_p {
+        let rho = (lam_p[i] * svc[i]).min(0.999);
+        // Mean M/D/1 queueing delay, modeled with an exponential tail.
+        let wq_mean = rho * svc[i] / (2.0 * (1.0 - rho).max(1e-6));
+        let ttft_deadline = slo.ttft.as_secs_f64();
+        let a_ttft = wait_tail(ttft_deadline - svc[i], wq_mean, rho);
+        for j in 0..n_d {
+            let kv = kv_transfer_time(
+                prefill[i].model(),
+                &kv_route(cluster, &prefill[i], &decode[j]),
+                p_mean as u64,
+                cfg.kv_precision.ratio_vs_f16(),
+            )
+            .as_secs_f64();
+            let kv = if cfg.model_kv_transfer { kv } else { 0.0 };
+            kv_seconds[i][j] = kv;
+            let a_tpot = soft_meet(slo.tpot.as_secs_f64(), step_time[j]);
+            let decode_time = steps * step_time[j];
+            let e2e_deadline = slo.e2e.as_secs_f64();
+            let slack = e2e_deadline - svc[i] - kv - decode_time;
+            let a_e2e = wait_tail(slack, wq_mean, rho);
+            components[i][j] = (a_ttft, a_tpot, a_e2e);
+            d[i][j] = a_ttft * a_tpot * a_e2e;
+        }
+    }
+    PairEstimates {
+        d,
+        components,
+        row_cap,
+        col_cap,
+        kv_seconds,
+    }
+}
+
+/// P(wait ≤ slack) with exponential-tail waiting of mean `wq_mean` and
+/// utilization `rho` (probability `rho` of waiting at all).
+fn wait_tail(slack: f64, wq_mean: f64, rho: f64) -> f64 {
+    if slack < 0.0 {
+        return 0.0;
+    }
+    if wq_mean <= 1e-12 {
+        return 1.0;
+    }
+    1.0 - rho * (-slack / wq_mean).exp()
+}
+
+/// Smooth deterministic deadline check: 1 when `value` is comfortably below
+/// `deadline`, 0 when far above, logistic in between.
+fn soft_meet(deadline: f64, value: f64) -> f64 {
+    if value <= 1e-12 {
+        return 1.0;
+    }
+    let x = deadline / value - 1.0;
+    1.0 / (1.0 + (-8.0 * x).exp())
+}
+
+/// Estimates attainment for a complete plan (groups + routing) under a
+/// workload: per-pair estimates weighted by the plan's routing matrix.
+/// Unrouted mass counts as missed.
+///
+/// # Errors
+/// Propagates cost-model compilation failures for infeasible groups.
+pub fn estimate_attainment(
+    cluster: &Cluster,
+    plan: &DeploymentPlan,
+    cfg: &SimConfig,
+    workload: &WorkloadSpec,
+    slo: &SloSpec,
+) -> Result<AttainmentEstimate> {
+    let prefill: Vec<ReplicaCostModel> = plan
+        .prefill_indices()
+        .iter()
+        .map(|&gi| ReplicaCostModel::new(cluster, &cfg.model, &plan.groups[gi], &cfg.params))
+        .collect::<Result<_>>()?;
+    let decode: Vec<ReplicaCostModel> = plan
+        .decode_indices()
+        .iter()
+        .map(|&gi| ReplicaCostModel::new(cluster, &cfg.model, &plan.groups[gi], &cfg.params))
+        .collect::<Result<_>>()?;
+    let est = pair_estimates(cluster, cfg, &prefill, &decode, workload, slo);
+    let mut overall = 0.0;
+    let mut ttft = 0.0;
+    let mut tpot = 0.0;
+    let mut e2e = 0.0;
+    let rates = plan.routing.rates();
+    for (i, row) in rates.iter().enumerate() {
+        for (j, &r) in row.iter().enumerate() {
+            overall += r * est.d[i][j];
+            let (a, b, c) = est.components[i][j];
+            ttft += r * a;
+            tpot += r * b;
+            e2e += r * c;
+        }
+    }
+    Ok(AttainmentEstimate {
+        overall,
+        ttft,
+        tpot,
+        e2e,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_cluster::presets;
+    use ts_common::{
+        GpuId, GroupSpec, ModelSpec, ParallelConfig, Phase, RoutingMatrix, SimDuration,
+        StageSpec,
+    };
+    use ts_workload::spec;
+
+    fn group(phase: Phase, gpus: &[u32], tp: usize, pp: usize, layers: usize) -> GroupSpec {
+        let per = layers / pp;
+        let stages = (0..pp)
+            .map(|s| StageSpec {
+                gpus: gpus[s * tp..(s + 1) * tp].iter().map(|&g| GpuId(g)).collect(),
+                layers: if s + 1 == pp { layers - per * (pp - 1) } else { per },
+            })
+            .collect();
+        GroupSpec::new(phase, ParallelConfig::new(tp, pp).unwrap(), stages).unwrap()
+    }
+
+    fn simple_plan() -> (ts_cluster::Cluster, DeploymentPlan, SimConfig) {
+        let cluster = presets::network_case_cluster(presets::ETH_40GBPS);
+        let model = ModelSpec::llama_13b();
+        let plan = DeploymentPlan::new(
+            vec![
+                group(Phase::Prefill, &[0, 1, 2, 3], 2, 2, model.num_layers),
+                group(Phase::Decode, &[4, 5, 6, 7], 2, 2, model.num_layers),
+            ],
+            RoutingMatrix::uniform(1, 1),
+        )
+        .unwrap();
+        let cfg = SimConfig::new(model);
+        (cluster, plan, cfg)
+    }
+
+    fn slo() -> SloSpec {
+        SloSpec::new(
+            SimDuration::from_secs(2),
+            SimDuration::from_millis(200),
+            SimDuration::from_secs(30),
+        )
+    }
+
+    #[test]
+    fn low_rate_high_attainment() {
+        let (cluster, plan, cfg) = simple_plan();
+        let w = spec::coding(0.2);
+        let e = estimate_attainment(&cluster, &plan, &cfg, &w, &slo()).unwrap();
+        assert!(e.overall > 0.8, "overall {e:?}");
+        assert!(e.ttft > 0.9);
+    }
+
+    #[test]
+    fn attainment_degrades_with_rate() {
+        let (cluster, plan, cfg) = simple_plan();
+        let lo = estimate_attainment(&cluster, &plan, &cfg, &spec::coding(0.2), &slo()).unwrap();
+        let hi = estimate_attainment(&cluster, &plan, &cfg, &spec::coding(8.0), &slo()).unwrap();
+        assert!(hi.overall < lo.overall, "{hi:?} vs {lo:?}");
+    }
+
+    #[test]
+    fn attainment_improves_with_looser_slo() {
+        let (cluster, plan, cfg) = simple_plan();
+        let w = spec::coding(1.5);
+        let tight = estimate_attainment(&cluster, &plan, &cfg, &w, &slo().scaled(0.25)).unwrap();
+        let loose = estimate_attainment(&cluster, &plan, &cfg, &w, &slo().scaled(4.0)).unwrap();
+        assert!(loose.overall >= tight.overall, "{loose:?} vs {tight:?}");
+    }
+
+    #[test]
+    fn compression_helps_e2e_on_slow_links() {
+        let cluster = presets::network_case_cluster(presets::ETH_5GBPS);
+        let model = ModelSpec::llama_13b();
+        let plan = DeploymentPlan::new(
+            vec![
+                group(Phase::Prefill, &[0, 1, 2, 3], 2, 2, model.num_layers),
+                group(Phase::Decode, &[4, 5, 6, 7], 2, 2, model.num_layers),
+            ],
+            RoutingMatrix::uniform(1, 1),
+        )
+        .unwrap();
+        let w = spec::conversation(1.0);
+        let tight_e2e = SloSpec::new(
+            SimDuration::from_secs(3),
+            SimDuration::from_millis(300),
+            SimDuration::from_secs(20),
+        );
+        let c4 = SimConfig::new(model.clone());
+        let c16 = SimConfig::new(model).with_f16_kv();
+        let e4 = estimate_attainment(&cluster, &plan, &c4, &w, &tight_e2e).unwrap();
+        let e16 = estimate_attainment(&cluster, &plan, &c16, &w, &tight_e2e).unwrap();
+        assert!(e4.e2e >= e16.e2e, "{e4:?} vs {e16:?}");
+    }
+
+    #[test]
+    fn wait_tail_properties() {
+        assert_eq!(wait_tail(-0.1, 1.0, 0.5), 0.0);
+        assert_eq!(wait_tail(1.0, 0.0, 0.5), 1.0);
+        let a = wait_tail(0.5, 1.0, 0.9);
+        let b = wait_tail(2.0, 1.0, 0.9);
+        assert!(b > a);
+        assert!((0.0..=1.0).contains(&a));
+    }
+
+    #[test]
+    fn soft_meet_is_half_at_deadline() {
+        let v = soft_meet(0.1, 0.1);
+        assert!((v - 0.5).abs() < 1e-9);
+        assert!(soft_meet(0.2, 0.1) > 0.9);
+        assert!(soft_meet(0.05, 0.1) < 0.1);
+    }
+}

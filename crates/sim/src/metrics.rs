@@ -1,0 +1,351 @@
+//! Per-request records and serving metrics.
+//!
+//! Mirrors the paper's metric suite (§2): TTFT, TPOT, E2E latency per
+//! request; system SLO attainment (fraction of requests meeting a deadline,
+//! per criterion or all three jointly); and throughput in requests/s and
+//! tokens/s.
+
+use serde::{Deserialize, Serialize};
+use ts_common::{Request, SimDuration, SimTime, SloKind, SloSpec};
+
+/// Timing record for one completed request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestRecord {
+    /// The request served.
+    pub request: Request,
+    /// Index of the prefill replica that served it (colocated engines use
+    /// the single replica index for both).
+    pub prefill_replica: usize,
+    /// Index of the decode replica that served it.
+    pub decode_replica: usize,
+    /// Time the first token was emitted (end of prefill).
+    pub first_token_at: SimTime,
+    /// Time the last token was emitted.
+    pub finished_at: SimTime,
+    /// Longest gap between two consecutive output tokens (zero for
+    /// single-token outputs) — the inter-token latency (ITL) tail, which
+    /// chunked-prefill scheduling is designed to bound.
+    pub max_token_gap: SimDuration,
+}
+
+impl RequestRecord {
+    /// Time to first token.
+    pub fn ttft(&self) -> SimDuration {
+        self.first_token_at - self.request.arrival
+    }
+
+    /// Average time per output token during decoding (zero for single-token
+    /// outputs, which trivially meet any TPOT deadline).
+    pub fn tpot(&self) -> SimDuration {
+        let steps = self.request.decode_steps();
+        if steps == 0 {
+            return SimDuration::ZERO;
+        }
+        (self.finished_at - self.first_token_at) / steps as u64
+    }
+
+    /// End-to-end latency.
+    pub fn e2e(&self) -> SimDuration {
+        self.finished_at - self.request.arrival
+    }
+
+    /// Latency under one criterion.
+    pub fn latency(&self, kind: SloKind) -> SimDuration {
+        match kind {
+            SloKind::Ttft => self.ttft(),
+            SloKind::Tpot => self.tpot(),
+            SloKind::E2e => self.e2e(),
+        }
+    }
+
+    /// Whether the request meets all three deadlines of `slo`.
+    pub fn meets(&self, slo: &SloSpec) -> bool {
+        SloKind::ALL.iter().all(|&k| self.latency(k) <= slo.deadline(k))
+    }
+}
+
+/// Aggregated results of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    records: Vec<RequestRecord>,
+    /// Requests submitted but never completed (overload / capacity loss).
+    dropped: usize,
+    horizon: SimDuration,
+}
+
+impl Metrics {
+    /// Builds metrics from completed-request records over a time horizon.
+    pub fn new(records: Vec<RequestRecord>, dropped: usize, horizon: SimDuration) -> Self {
+        Metrics {
+            records,
+            dropped,
+            horizon,
+        }
+    }
+
+    /// Completed request count.
+    pub fn num_completed(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Requests that never finished.
+    pub fn num_dropped(&self) -> usize {
+        self.dropped
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[RequestRecord] {
+        &self.records
+    }
+
+    /// The simulated horizon (used for throughput denominators).
+    pub fn horizon(&self) -> SimDuration {
+        self.horizon
+    }
+
+    /// Fraction of *submitted* requests meeting the deadline for `kind`.
+    /// Dropped requests count as misses.
+    pub fn slo_attainment(&self, slo: &SloSpec, kind: SloKind) -> f64 {
+        let total = self.records.len() + self.dropped;
+        if total == 0 {
+            return 1.0;
+        }
+        let ok = self
+            .records
+            .iter()
+            .filter(|r| r.latency(kind) <= slo.deadline(kind))
+            .count();
+        ok as f64 / total as f64
+    }
+
+    /// Fraction of submitted requests meeting **all three** deadlines.
+    pub fn joint_attainment(&self, slo: &SloSpec) -> f64 {
+        let total = self.records.len() + self.dropped;
+        if total == 0 {
+            return 1.0;
+        }
+        let ok = self.records.iter().filter(|r| r.meets(slo)).count();
+        ok as f64 / total as f64
+    }
+
+    /// The minimum SLO scale at which attainment of `kind` reaches `goal`
+    /// (the paper's "latency deadline for 90%/99% attainment"), searched
+    /// over the given scale grid. Returns `None` if no scale suffices.
+    pub fn min_scale_for(
+        &self,
+        base: &SloSpec,
+        kind: SloKind,
+        goal: f64,
+        scales: &[f64],
+    ) -> Option<f64> {
+        scales
+            .iter()
+            .copied()
+            .find(|&s| self.slo_attainment(&base.scaled(s), kind) >= goal)
+    }
+
+    /// Completed requests per second.
+    pub fn throughput_rps(&self) -> f64 {
+        self.records.len() as f64 / self.horizon.as_secs_f64().max(1e-9)
+    }
+
+    /// Generated tokens per second (output tokens only).
+    pub fn throughput_tokens(&self) -> f64 {
+        let tokens: u64 = self
+            .records
+            .iter()
+            .map(|r| r.request.output_len as u64)
+            .sum();
+        tokens as f64 / self.horizon.as_secs_f64().max(1e-9)
+    }
+
+    /// Processed tokens per second (prompt + output), the paper's Figure 6
+    /// y-axis flavour.
+    pub fn throughput_total_tokens(&self) -> f64 {
+        let tokens: u64 = self.records.iter().map(|r| r.request.total_tokens()).sum();
+        tokens as f64 / self.horizon.as_secs_f64().max(1e-9)
+    }
+
+    /// Attainment as a function of SLO scale for one criterion — the series
+    /// behind the paper's Figure 7/8 curves.
+    pub fn attainment_curve(
+        &self,
+        base: &SloSpec,
+        kind: SloKind,
+        scales: &[f64],
+    ) -> Vec<(f64, f64)> {
+        scales
+            .iter()
+            .map(|&s| (s, self.slo_attainment(&base.scaled(s), kind)))
+            .collect()
+    }
+
+    /// Restricts the records to requests that *arrived* within
+    /// `[from, to)` — measurement hygiene for steady-state numbers (drop
+    /// warm-up and drain artifacts). Dropped-request counts are cleared
+    /// because their arrival times are unknown here.
+    pub fn windowed(&self, from: SimTime, to: SimTime) -> Metrics {
+        let records: Vec<RequestRecord> = self
+            .records
+            .iter()
+            .filter(|r| r.request.arrival >= from && r.request.arrival < to)
+            .copied()
+            .collect();
+        Metrics {
+            records,
+            dropped: 0,
+            horizon: to.saturating_since(from),
+        }
+    }
+
+    /// `p`-quantile of the per-request maximum inter-token gap, or `None`
+    /// with no completions.
+    pub fn itl_percentile(&self, p: f64) -> Option<SimDuration> {
+        if self.records.is_empty() {
+            return None;
+        }
+        let mut v: Vec<SimDuration> = self.records.iter().map(|r| r.max_token_gap).collect();
+        v.sort_unstable();
+        let idx = ((v.len() as f64 - 1.0) * p.clamp(0.0, 1.0)).round() as usize;
+        Some(v[idx])
+    }
+
+    /// `p`-quantile of latency under `kind` (e.g. 0.99), or `None` with no
+    /// completions.
+    pub fn latency_percentile(&self, kind: SloKind, p: f64) -> Option<SimDuration> {
+        if self.records.is_empty() {
+            return None;
+        }
+        let mut v: Vec<SimDuration> = self.records.iter().map(|r| r.latency(kind)).collect();
+        v.sort_unstable();
+        let idx = ((v.len() as f64 - 1.0) * p.clamp(0.0, 1.0)).round() as usize;
+        Some(v[idx])
+    }
+
+    /// Mean latency under `kind`, or `None` with no completions.
+    pub fn mean_latency(&self, kind: SloKind) -> Option<SimDuration> {
+        if self.records.is_empty() {
+            return None;
+        }
+        let total: SimDuration = self.records.iter().map(|r| r.latency(kind)).sum();
+        Some(total / self.records.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_common::RequestId;
+
+    fn record(arrival_s: f64, first_s: f64, done_s: f64, out: u32) -> RequestRecord {
+        RequestRecord {
+            request: Request::new(
+                RequestId(0),
+                SimTime::from_secs_f64(arrival_s),
+                512,
+                out,
+            ),
+            prefill_replica: 0,
+            decode_replica: 0,
+            first_token_at: SimTime::from_secs_f64(first_s),
+            finished_at: SimTime::from_secs_f64(done_s),
+            max_token_gap: SimDuration::ZERO,
+        }
+    }
+
+    fn slo() -> SloSpec {
+        SloSpec::new(
+            SimDuration::from_millis(500),
+            SimDuration::from_millis(100),
+            SimDuration::from_secs(5),
+        )
+    }
+
+    #[test]
+    fn per_request_latencies() {
+        let r = record(1.0, 1.4, 2.4, 11); // 10 decode steps over 1s
+        assert_eq!(r.ttft(), SimDuration::from_millis(400));
+        assert_eq!(r.tpot(), SimDuration::from_millis(100));
+        assert_eq!(r.e2e(), SimDuration::from_millis(1400));
+        assert!(r.meets(&slo()));
+    }
+
+    #[test]
+    fn single_token_output_has_zero_tpot() {
+        let r = record(0.0, 0.3, 0.3, 1);
+        assert_eq!(r.tpot(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn attainment_counts_dropped_as_misses() {
+        let m = Metrics::new(vec![record(0.0, 0.3, 1.0, 8)], 1, SimDuration::from_secs(10));
+        assert_eq!(m.slo_attainment(&slo(), SloKind::Ttft), 0.5);
+        assert_eq!(m.joint_attainment(&slo()), 0.5);
+    }
+
+    #[test]
+    fn min_scale_search() {
+        // TTFT = 400ms; base deadline 500ms -> scale 1.0 works
+        let m = Metrics::new(vec![record(0.0, 0.4, 1.0, 8)], 0, SimDuration::from_secs(1));
+        let scales = [0.5, 1.0, 2.0];
+        assert_eq!(m.min_scale_for(&slo(), SloKind::Ttft, 1.0, &scales), Some(1.0));
+        // with a dropped request nothing reaches 100%
+        let m2 = Metrics::new(vec![record(0.0, 0.4, 1.0, 8)], 1, SimDuration::from_secs(1));
+        assert_eq!(m2.min_scale_for(&slo(), SloKind::Ttft, 1.0, &scales), None);
+    }
+
+    #[test]
+    fn throughput_math() {
+        let m = Metrics::new(
+            vec![record(0.0, 0.3, 1.0, 10), record(0.0, 0.4, 1.5, 30)],
+            0,
+            SimDuration::from_secs(4),
+        );
+        assert!((m.throughput_rps() - 0.5).abs() < 1e-9);
+        assert!((m.throughput_tokens() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_sorted() {
+        let recs = (1..=100)
+            .map(|i| record(0.0, i as f64 / 100.0, 2.0, 4))
+            .collect();
+        let m = Metrics::new(recs, 0, SimDuration::from_secs(2));
+        let p50 = m.latency_percentile(SloKind::Ttft, 0.5).unwrap();
+        let p99 = m.latency_percentile(SloKind::Ttft, 0.99).unwrap();
+        assert!(p50 < p99);
+        assert_eq!(p99, SimDuration::from_millis(990));
+    }
+
+    #[test]
+    fn attainment_curve_is_monotone() {
+        let recs = (1..=20).map(|i| record(0.0, i as f64 / 10.0, 3.0, 4)).collect();
+        let m = Metrics::new(recs, 0, SimDuration::from_secs(3));
+        let curve = m.attainment_curve(&slo(), SloKind::Ttft, &[0.5, 1.0, 2.0, 4.0]);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert_eq!(curve.len(), 4);
+    }
+
+    #[test]
+    fn windowed_filters_by_arrival() {
+        let recs = vec![
+            record(0.5, 0.8, 1.0, 4),
+            record(5.0, 5.3, 6.0, 4),
+            record(9.0, 9.4, 9.9, 4),
+        ];
+        let m = Metrics::new(recs, 2, SimDuration::from_secs(10));
+        let w = m.windowed(SimTime::from_secs_f64(1.0), SimTime::from_secs_f64(8.0));
+        assert_eq!(w.num_completed(), 1);
+        assert_eq!(w.num_dropped(), 0);
+        assert_eq!(w.horizon(), SimDuration::from_secs(7));
+    }
+
+    #[test]
+    fn empty_metrics_are_vacuously_perfect() {
+        let m = Metrics::new(vec![], 0, SimDuration::from_secs(1));
+        assert_eq!(m.joint_attainment(&slo()), 1.0);
+        assert!(m.latency_percentile(SloKind::E2e, 0.9).is_none());
+    }
+}

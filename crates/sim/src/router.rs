@@ -1,0 +1,142 @@
+//! Deterministic weighted routing.
+//!
+//! The orchestration solver produces fractional routing weights; the
+//! simulator and runtime need to turn them into a concrete per-request
+//! choice. We use stride scheduling (deficit counters): each option
+//! accumulates credit proportional to its weight and the option with the
+//! largest credit wins, guaranteeing that realized shares track the weights
+//! with O(1) error and no randomness.
+
+use ts_common::{Error, Result};
+
+/// A deterministic weighted round-robin over `n` options.
+#[derive(Debug, Clone)]
+pub struct StrideRouter {
+    weights: Vec<f64>,
+    credit: Vec<f64>,
+    total: f64,
+}
+
+impl StrideRouter {
+    /// Creates a router over the given non-negative weights (they need not
+    /// sum to 1; zero-weight options are never chosen).
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidConfig`] if empty, any weight is negative or
+    /// non-finite, or all weights are zero.
+    pub fn new(weights: Vec<f64>) -> Result<Self> {
+        if weights.is_empty() {
+            return Err(Error::InvalidConfig("router needs at least one option".into()));
+        }
+        if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err(Error::InvalidConfig("weights must be non-negative".into()));
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(Error::InvalidConfig("all routing weights are zero".into()));
+        }
+        let n = weights.len();
+        Ok(StrideRouter {
+            weights,
+            credit: vec![0.0; n],
+            total,
+        })
+    }
+
+    /// Builds a router over the cells of a routing matrix, returning the
+    /// router plus the `(row, col)` coordinates of each option.
+    ///
+    /// # Errors
+    /// Propagates [`StrideRouter::new`] failures.
+    pub fn from_matrix(rates: &[Vec<f64>]) -> Result<(Self, Vec<(usize, usize)>)> {
+        let mut weights = Vec::new();
+        let mut coords = Vec::new();
+        for (i, row) in rates.iter().enumerate() {
+            for (j, &w) in row.iter().enumerate() {
+                if w > 0.0 {
+                    weights.push(w);
+                    coords.push((i, j));
+                }
+            }
+        }
+        Ok((Self::new(weights)?, coords))
+    }
+
+    /// Picks the next option. (Deliberately named like `Iterator::next`;
+    /// the router is an infinite choice stream, not an iterator.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> usize {
+        for (i, c) in self.credit.iter_mut().enumerate() {
+            *c += self.weights[i] / self.total;
+        }
+        let best = self
+            .credit
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .expect("router is non-empty");
+        self.credit[best] -= 1.0;
+        best
+    }
+
+    /// Number of options.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether the router has no options (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn realized_shares_track_weights() {
+        let mut r = StrideRouter::new(vec![0.5, 0.3, 0.2]).unwrap();
+        let mut counts = [0usize; 3];
+        for _ in 0..1000 {
+            counts[r.next()] += 1;
+        }
+        assert!((counts[0] as f64 - 500.0).abs() <= 2.0, "{counts:?}");
+        assert!((counts[1] as f64 - 300.0).abs() <= 2.0, "{counts:?}");
+        assert!((counts[2] as f64 - 200.0).abs() <= 2.0, "{counts:?}");
+    }
+
+    #[test]
+    fn zero_weight_options_never_chosen() {
+        let mut r = StrideRouter::new(vec![0.0, 1.0]).unwrap();
+        for _ in 0..50 {
+            assert_eq!(r.next(), 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_sequence() {
+        let mut a = StrideRouter::new(vec![2.0, 1.0]).unwrap();
+        let mut b = StrideRouter::new(vec![2.0, 1.0]).unwrap();
+        let sa: Vec<usize> = (0..20).map(|_| a.next()).collect();
+        let sb: Vec<usize> = (0..20).map(|_| b.next()).collect();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn from_matrix_skips_zero_cells() {
+        let rates = vec![vec![0.5, 0.0], vec![0.0, 0.5]];
+        let (r, coords) = StrideRouter::from_matrix(&rates).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(coords, vec![(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        assert!(StrideRouter::new(vec![]).is_err());
+        assert!(StrideRouter::new(vec![-1.0]).is_err());
+        assert!(StrideRouter::new(vec![0.0, 0.0]).is_err());
+        assert!(StrideRouter::new(vec![f64::NAN]).is_err());
+    }
+}

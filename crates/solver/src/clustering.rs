@@ -1,0 +1,148 @@
+//! Agglomerative hierarchical clustering over a bandwidth matrix.
+//!
+//! The tabu search starts from serving groups produced by clustering GPUs on
+//! their pairwise bandwidth (§3.2): well-connected GPUs land in the same
+//! group, so the initial plan never straddles ultra-slow links. We use
+//! average-linkage agglomerative clustering: repeatedly merge the two
+//! clusters with the highest average inter-cluster bandwidth until `k`
+//! clusters remain.
+
+use ts_common::{Error, Result};
+
+/// Clusters items `0..n` into `k` groups by average-linkage on `bandwidth`
+/// (higher = more similar). Returns the groups, each sorted ascending, in
+/// ascending order of their smallest member.
+///
+/// # Errors
+/// Returns [`Error::InvalidConfig`] if the matrix is empty/ragged/asymmetric,
+/// `k` is zero, or `k > n`.
+pub fn cluster_by_bandwidth(bandwidth: &[Vec<f64>], k: usize) -> Result<Vec<Vec<usize>>> {
+    let n = bandwidth.len();
+    if n == 0 {
+        return Err(Error::InvalidConfig("empty bandwidth matrix".into()));
+    }
+    if bandwidth.iter().any(|r| r.len() != n) {
+        return Err(Error::InvalidConfig("ragged bandwidth matrix".into()));
+    }
+    for i in 0..n {
+        for j in 0..n {
+            let (a, b) = (bandwidth[i][j], bandwidth[j][i]);
+            let symmetric = (a.is_infinite() && b.is_infinite()) || (a - b).abs() <= 1e-6 * a.abs().max(1.0);
+            if !symmetric {
+                return Err(Error::InvalidConfig(format!(
+                    "asymmetric bandwidth at ({i},{j})"
+                )));
+            }
+        }
+    }
+    if k == 0 || k > n {
+        return Err(Error::InvalidConfig(format!("k={k} out of range 1..={n}")));
+    }
+
+    let mut clusters: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    while clusters.len() > k {
+        // find pair with max average linkage
+        let mut best = (0usize, 1usize, f64::NEG_INFINITY);
+        for a in 0..clusters.len() {
+            for b in a + 1..clusters.len() {
+                let mut sum = 0.0;
+                let mut cnt = 0.0;
+                for &i in &clusters[a] {
+                    for &j in &clusters[b] {
+                        let bw = bandwidth[i][j];
+                        sum += if bw.is_infinite() { 1e15 } else { bw };
+                        cnt += 1.0;
+                    }
+                }
+                let avg = sum / cnt;
+                if avg > best.2 {
+                    best = (a, b, avg);
+                }
+            }
+        }
+        let (a, b, _) = best;
+        let merged = clusters.remove(b);
+        clusters[a].extend(merged);
+    }
+    for c in clusters.iter_mut() {
+        c.sort_unstable();
+    }
+    clusters.sort_by_key(|c| c[0]);
+    Ok(clusters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two fast islands {0,1} and {2,3} connected by a slow link.
+    fn island_matrix() -> Vec<Vec<f64>> {
+        let fast = 100.0;
+        let slow = 1.0;
+        let mut m = vec![vec![0.0; 4]; 4];
+        for i in 0..4 {
+            for j in 0..4 {
+                if i == j {
+                    m[i][j] = f64::INFINITY;
+                } else if (i < 2) == (j < 2) {
+                    m[i][j] = fast;
+                } else {
+                    m[i][j] = slow;
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn separates_islands() {
+        let groups = cluster_by_bandwidth(&island_matrix(), 2).unwrap();
+        assert_eq!(groups, vec![vec![0, 1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn k_equals_n_is_singletons() {
+        let groups = cluster_by_bandwidth(&island_matrix(), 4).unwrap();
+        assert_eq!(groups.len(), 4);
+        assert!(groups.iter().all(|g| g.len() == 1));
+    }
+
+    #[test]
+    fn k_one_merges_everything() {
+        let groups = cluster_by_bandwidth(&island_matrix(), 1).unwrap();
+        assert_eq!(groups, vec![vec![0, 1, 2, 3]]);
+    }
+
+    #[test]
+    fn output_is_a_partition() {
+        let m = island_matrix();
+        for k in 1..=4 {
+            let groups = cluster_by_bandwidth(&m, k).unwrap();
+            let mut all: Vec<usize> = groups.iter().flatten().copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, vec![0, 1, 2, 3], "k={k}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(cluster_by_bandwidth(&[], 1).is_err());
+        let ragged = vec![vec![1.0], vec![1.0, 2.0]];
+        assert!(cluster_by_bandwidth(&ragged, 1).is_err());
+        let asym = vec![vec![0.0, 1.0], vec![2.0, 0.0]];
+        assert!(cluster_by_bandwidth(&asym, 1).is_err());
+        let m = island_matrix();
+        assert!(cluster_by_bandwidth(&m, 0).is_err());
+        assert!(cluster_by_bandwidth(&m, 5).is_err());
+    }
+
+    #[test]
+    fn three_clusters_split_weakest_island() {
+        // With k=3 one island must split; the two islands must not mix.
+        let groups = cluster_by_bandwidth(&island_matrix(), 3).unwrap();
+        for g in &groups {
+            let in_first = g.iter().filter(|&&i| i < 2).count();
+            assert!(in_first == 0 || in_first == g.len(), "mixed group {g:?}");
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # ts-solver
+//!
+//! Optimization primitives for the ThunderServe scheduler.
+//!
+//! * [`simplex`] — a dense two-phase primal simplex solver for small linear
+//!   programs (the orchestration LP has `m·n + m + n + 1` constraints for a
+//!   handful of replicas);
+//! * [`transport`] — the capacity-bounded two-stage transportation problem
+//!   (TSTP, §3.3) that routes request flow across (prefill, decode) pairs;
+//! * [`clustering`] — agglomerative hierarchical clustering over the
+//!   inter-GPU bandwidth matrix, used to seed the tabu search (§3.2);
+//! * [`routing_dp`] — the bitmask dynamic program of Appendix B that orders
+//!   pipeline stages to maximize the bottleneck inter-stage bandwidth.
+//!
+//! # Examples
+//!
+//! ```
+//! use ts_solver::simplex::{LinearProgram, Relation};
+//!
+//! // max 3x + 2y  s.t.  x + y <= 4,  x <= 2
+//! let mut lp = LinearProgram::new(2);
+//! lp.set_objective(vec![3.0, 2.0]);
+//! lp.add_constraint(vec![1.0, 1.0], Relation::Le, 4.0);
+//! lp.add_constraint(vec![1.0, 0.0], Relation::Le, 2.0);
+//! let sol = lp.solve()?;
+//! assert!((sol.value - 10.0).abs() < 1e-9); // x=2, y=2
+//! # Ok::<(), ts_common::Error>(())
+//! ```
+
+pub mod clustering;
+pub mod routing_dp;
+pub mod simplex;
+pub mod transport;
+pub mod transport_classic;
+
+pub use clustering::cluster_by_bandwidth;
+pub use routing_dp::best_stage_order;
+pub use simplex::{LinearProgram, Relation, Solution};
+pub use transport::solve_orchestration;

@@ -1,0 +1,417 @@
+//! Dense two-phase primal simplex.
+//!
+//! Solves `max c·x` subject to linear constraints (`≤`, `≥`, `=`) and
+//! `x ≥ 0`. Designed for the small, dense programs the scheduler produces
+//! (tens of variables); uses Bland's rule to guarantee termination.
+
+use ts_common::{Error, Result};
+
+/// Constraint relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `a·x ≤ b`
+    Le,
+    /// `a·x ≥ b`
+    Ge,
+    /// `a·x = b`
+    Eq,
+}
+
+/// An LP solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Optimal variable assignment.
+    pub x: Vec<f64>,
+    /// Optimal objective value.
+    pub value: f64,
+}
+
+/// A linear program under construction.
+#[derive(Debug, Clone)]
+pub struct LinearProgram {
+    num_vars: usize,
+    objective: Vec<f64>,
+    rows: Vec<(Vec<f64>, Relation, f64)>,
+}
+
+const EPS: f64 = 1e-9;
+const MAX_ITERS: usize = 100_000;
+
+impl LinearProgram {
+    /// Creates a program over `num_vars` non-negative variables with a zero
+    /// objective.
+    ///
+    /// # Panics
+    /// Panics if `num_vars` is zero.
+    pub fn new(num_vars: usize) -> Self {
+        assert!(num_vars > 0, "LP needs at least one variable");
+        LinearProgram {
+            num_vars,
+            objective: vec![0.0; num_vars],
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets the maximization objective coefficients.
+    ///
+    /// # Panics
+    /// Panics if the length does not match `num_vars`.
+    pub fn set_objective(&mut self, c: Vec<f64>) {
+        assert_eq!(c.len(), self.num_vars, "objective length mismatch");
+        self.objective = c;
+    }
+
+    /// Adds a constraint `a·x REL b`.
+    ///
+    /// # Panics
+    /// Panics if the coefficient length does not match `num_vars` or any
+    /// value is non-finite.
+    pub fn add_constraint(&mut self, a: Vec<f64>, rel: Relation, b: f64) {
+        assert_eq!(a.len(), self.num_vars, "constraint length mismatch");
+        assert!(
+            a.iter().all(|v| v.is_finite()) && b.is_finite(),
+            "non-finite constraint"
+        );
+        self.rows.push((a, rel, b));
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Solves the program.
+    ///
+    /// # Errors
+    /// Returns [`Error::SolverFailed`] when the program is infeasible or
+    /// unbounded.
+    pub fn solve(&self) -> Result<Solution> {
+        // --- Build the standard-form tableau ---------------------------------
+        // Variables: original n, then one slack/surplus per inequality, then
+        // one artificial per (>=, =) row. RHS normalized non-negative.
+        let n = self.num_vars;
+        let m = self.rows.len();
+        if m == 0 {
+            // Unbounded unless the objective is non-positive everywhere.
+            if self.objective.iter().all(|&c| c <= EPS) {
+                return Ok(Solution {
+                    x: vec![0.0; n],
+                    value: 0.0,
+                });
+            }
+            return Err(Error::SolverFailed("unbounded: no constraints".into()));
+        }
+
+        let mut rows: Vec<(Vec<f64>, Relation, f64)> = self.rows.clone();
+        for (a, rel, b) in rows.iter_mut() {
+            if *b < 0.0 {
+                for v in a.iter_mut() {
+                    *v = -*v;
+                }
+                *b = -*b;
+                *rel = match *rel {
+                    Relation::Le => Relation::Ge,
+                    Relation::Ge => Relation::Le,
+                    Relation::Eq => Relation::Eq,
+                };
+            }
+        }
+
+        let num_slack = rows
+            .iter()
+            .filter(|(_, r, _)| matches!(r, Relation::Le | Relation::Ge))
+            .count();
+        let num_art = rows
+            .iter()
+            .filter(|(_, r, _)| matches!(r, Relation::Ge | Relation::Eq))
+            .count();
+        let total = n + num_slack + num_art;
+
+        // tableau: m rows x (total + 1); last column is RHS.
+        let mut t = vec![vec![0.0f64; total + 1]; m];
+        let mut basis = vec![0usize; m];
+        let mut slack_i = 0;
+        let mut art_i = 0;
+        let mut artificials = Vec::new();
+        for (ri, (a, rel, b)) in rows.iter().enumerate() {
+            t[ri][..n].copy_from_slice(a);
+            t[ri][total] = *b;
+            match rel {
+                Relation::Le => {
+                    t[ri][n + slack_i] = 1.0;
+                    basis[ri] = n + slack_i;
+                    slack_i += 1;
+                }
+                Relation::Ge => {
+                    t[ri][n + slack_i] = -1.0;
+                    slack_i += 1;
+                    let col = n + num_slack + art_i;
+                    t[ri][col] = 1.0;
+                    basis[ri] = col;
+                    artificials.push(col);
+                    art_i += 1;
+                }
+                Relation::Eq => {
+                    let col = n + num_slack + art_i;
+                    t[ri][col] = 1.0;
+                    basis[ri] = col;
+                    artificials.push(col);
+                    art_i += 1;
+                }
+            }
+        }
+
+        // --- Phase 1: minimize sum of artificials ----------------------------
+        if num_art > 0 {
+            let mut cost = vec![0.0f64; total];
+            for &c in &artificials {
+                cost[c] = -1.0; // maximize -(sum of artificials)
+            }
+            let v = run_simplex(&mut t, &mut basis, &cost, total)?;
+            if v < -1e-7 {
+                return Err(Error::SolverFailed(format!(
+                    "infeasible: phase-1 objective {v}"
+                )));
+            }
+            // Pivot any artificial still basic (at zero) out if possible.
+            for ri in 0..m {
+                if artificials.contains(&basis[ri]) {
+                    if let Some(col) = (0..n + num_slack).find(|&c| t[ri][c].abs() > EPS) {
+                        pivot(&mut t, &mut basis, ri, col, total);
+                    }
+                }
+            }
+        }
+
+        // --- Phase 2: original objective (artificial columns frozen) ---------
+        let mut cost = vec![0.0f64; total];
+        cost[..n].copy_from_slice(&self.objective);
+        // Forbid re-entry of artificials by giving them a strong penalty.
+        for &c in &artificials {
+            cost[c] = f64::NEG_INFINITY;
+        }
+        let value = run_simplex(&mut t, &mut basis, &cost, total)?;
+
+        let mut x = vec![0.0f64; n];
+        for ri in 0..m {
+            if basis[ri] < n {
+                x[basis[ri]] = t[ri][total];
+            }
+        }
+        Ok(Solution { x, value })
+    }
+}
+
+/// Runs simplex iterations for the given cost vector; returns the objective.
+fn run_simplex(
+    t: &mut [Vec<f64>],
+    basis: &mut [usize],
+    cost: &[f64],
+    total: usize,
+) -> Result<f64> {
+    let m = t.len();
+    for _ in 0..MAX_ITERS {
+        // reduced costs: c_j - c_B · B^{-1} A_j  (tableau form: z_j)
+        let mut entering = None;
+        for j in 0..total {
+            if cost[j] == f64::NEG_INFINITY {
+                continue;
+            }
+            let mut zj = 0.0;
+            for ri in 0..m {
+                let cb = cost[basis[ri]];
+                if cb == f64::NEG_INFINITY {
+                    continue;
+                }
+                zj += cb * t[ri][j];
+            }
+            let rc = cost[j] - zj;
+            if rc > EPS {
+                entering = Some(j); // Bland: first improving column
+                break;
+            }
+        }
+        let Some(col) = entering else {
+            // optimal
+            let mut obj = 0.0;
+            for ri in 0..m {
+                let cb = cost[basis[ri]];
+                if cb != f64::NEG_INFINITY {
+                    obj += cb * t[ri][total];
+                }
+            }
+            return Ok(obj);
+        };
+        // ratio test (Bland: smallest basis index tie-break)
+        let mut leave: Option<usize> = None;
+        let mut best = f64::INFINITY;
+        for ri in 0..m {
+            if t[ri][col] > EPS {
+                let ratio = t[ri][total] / t[ri][col];
+                if ratio < best - EPS
+                    || (ratio < best + EPS
+                        && leave.map(|l| basis[ri] < basis[l]).unwrap_or(false))
+                {
+                    best = ratio;
+                    leave = Some(ri);
+                }
+            }
+        }
+        let Some(row) = leave else {
+            return Err(Error::SolverFailed("unbounded LP".into()));
+        };
+        pivot(t, basis, row, col, total);
+    }
+    Err(Error::SolverFailed("simplex iteration limit".into()))
+}
+
+fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize, total: usize) {
+    let p = t[row][col];
+    debug_assert!(p.abs() > EPS, "pivot on near-zero element");
+    for v in t[row].iter_mut() {
+        *v /= p;
+    }
+    for ri in 0..t.len() {
+        if ri != row && t[ri][col].abs() > EPS {
+            let f = t[ri][col];
+            for j in 0..=total {
+                t[ri][j] -= f * t[row][j];
+            }
+        }
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-7, "{a} vs {b}");
+    }
+
+    #[test]
+    fn textbook_le_problem() {
+        // max 3x+5y st x<=4, 2y<=12, 3x+2y<=18 -> 36 at (2,6)
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(vec![3.0, 5.0]);
+        lp.add_constraint(vec![1.0, 0.0], Relation::Le, 4.0);
+        lp.add_constraint(vec![0.0, 2.0], Relation::Le, 12.0);
+        lp.add_constraint(vec![3.0, 2.0], Relation::Le, 18.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.value, 36.0);
+        assert_close(s.x[0], 2.0);
+        assert_close(s.x[1], 6.0);
+    }
+
+    #[test]
+    fn equality_constraint() {
+        // max x+y st x+y = 1, x <= 0.3 -> 1.0 with x<=0.3
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(vec![1.0, 1.0]);
+        lp.add_constraint(vec![1.0, 1.0], Relation::Eq, 1.0);
+        lp.add_constraint(vec![1.0, 0.0], Relation::Le, 0.3);
+        let s = lp.solve().unwrap();
+        assert_close(s.value, 1.0);
+        assert!(s.x[0] <= 0.3 + 1e-9);
+    }
+
+    #[test]
+    fn ge_constraints() {
+        // min x+2y st x+y>=3, x<=1  == max -(x+2y)
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(vec![-1.0, -2.0]);
+        lp.add_constraint(vec![1.0, 1.0], Relation::Ge, 3.0);
+        lp.add_constraint(vec![1.0, 0.0], Relation::Le, 1.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.value, -5.0); // x=1, y=2
+        assert_close(s.x[0], 1.0);
+        assert_close(s.x[1], 2.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(vec![1.0]);
+        lp.add_constraint(vec![1.0], Relation::Ge, 5.0);
+        lp.add_constraint(vec![1.0], Relation::Le, 1.0);
+        assert!(matches!(lp.solve(), Err(Error::SolverFailed(_))));
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(vec![1.0, 0.0]);
+        lp.add_constraint(vec![0.0, 1.0], Relation::Le, 1.0);
+        assert!(matches!(lp.solve(), Err(Error::SolverFailed(_))));
+    }
+
+    #[test]
+    fn negative_rhs_normalized() {
+        // x >= -1 written as -x <= 1; max -x st -x <= 1 ... use: max -x, x>=0
+        // with constraint -x >= -2  (i.e. x <= 2)
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(vec![1.0]);
+        lp.add_constraint(vec![-1.0], Relation::Ge, -2.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.value, 2.0);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degeneracy: multiple constraints active at the optimum.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(vec![1.0, 1.0]);
+        lp.add_constraint(vec![1.0, 0.0], Relation::Le, 1.0);
+        lp.add_constraint(vec![1.0, 0.0], Relation::Le, 1.0);
+        lp.add_constraint(vec![1.0, 1.0], Relation::Le, 1.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.value, 1.0);
+    }
+
+    #[test]
+    fn no_constraints_zero_objective() {
+        let lp = LinearProgram::new(3);
+        let s = lp.solve().unwrap();
+        assert_eq!(s.x, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_grid() {
+        // max 2x + 3y - z with random-ish constraints; brute force on a grid.
+        let mut lp = LinearProgram::new(3);
+        lp.set_objective(vec![2.0, 3.0, -1.0]);
+        let cons: Vec<(Vec<f64>, Relation, f64)> = vec![
+            (vec![1.0, 2.0, 1.0], Relation::Le, 10.0),
+            (vec![3.0, 1.0, 0.0], Relation::Le, 12.0),
+            (vec![0.0, 1.0, 4.0], Relation::Le, 8.0),
+        ];
+        for (a, r, b) in &cons {
+            lp.add_constraint(a.clone(), *r, *b);
+        }
+        let s = lp.solve().unwrap();
+        // grid brute force
+        let mut best = f64::NEG_INFINITY;
+        let step = 0.05;
+        let mut x = 0.0;
+        while x <= 4.0 {
+            let mut y = 0.0;
+            while y <= 8.0 {
+                // z=0 is always optimal here (negative coefficient)
+                let feasible = cons.iter().all(|(a, _, b)| a[0] * x + a[1] * y <= *b + 1e-12);
+                if feasible {
+                    best = best.max(2.0 * x + 3.0 * y);
+                }
+                y += step;
+            }
+            x += step;
+        }
+        assert!(
+            (s.value - best).abs() < 0.2,
+            "simplex {} vs grid {}",
+            s.value,
+            best
+        );
+        assert!(s.value >= best - 1e-9, "simplex must not be worse than grid");
+    }
+}

@@ -1,0 +1,262 @@
+//! The capacity-bounded two-stage transportation problem (TSTP, §3.3).
+//!
+//! Given the SLO-attainment matrix `D[i][j]` for every (prefill `i`, decode
+//! `j`) pair, find routing fractions `r[i][j] ≥ 0` maximizing
+//! `Σ r_ij · D_ij` subject to
+//!
+//! * `Σ_ij r_ij = mass` where `mass = min(1, Σ row caps, Σ col caps)`,
+//! * `Σ_j r_ij ≤ row_cap[i]` (prefill replica capacity),
+//! * `Σ_i r_ij ≤ col_cap[j]` (decode replica capacity).
+//!
+//! The paper's formulation without capacities is degenerate (all mass on the
+//! best pair); real deployments bound each replica by its throughput share,
+//! so we solve the capacitated variant via the simplex solver. When demand
+//! exceeds total capacity, the residual mass is unserved (and the caller's
+//! SLO estimate accounts for it).
+
+use crate::simplex::{LinearProgram, Relation};
+use ts_common::{Error, Result};
+
+/// Result of the orchestration solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Orchestration {
+    /// Routing fractions, `rates[i][j]` summing to [`Orchestration::mass`].
+    pub rates: Vec<Vec<f64>>,
+    /// Total routed fraction of the request stream (≤ 1).
+    pub mass: f64,
+    /// Objective value `Σ r_ij · D_ij`.
+    pub value: f64,
+}
+
+/// Solves the capacity-bounded orchestration problem.
+///
+/// # Errors
+/// Returns [`Error::InvalidConfig`] for empty/ragged inputs or negative
+/// capacities, and propagates solver failures.
+pub fn solve_orchestration(
+    d: &[Vec<f64>],
+    row_cap: &[f64],
+    col_cap: &[f64],
+) -> Result<Orchestration> {
+    solve_orchestration_with_link_budget(d, row_cap, col_cap, None, 0.0)
+}
+
+/// Like [`solve_orchestration`], with an optional per-sender link budget:
+/// when `pair_cost` is given, each row additionally satisfies
+/// `Σ_j pair_cost[i][j] · r_ij ≤ row_budget` — used to keep every prefill
+/// replica's KV uplink below saturation (`pair_cost` in seconds per routed
+/// request, `row_budget` in sender-seconds per request of total stream).
+///
+/// # Errors
+/// Returns [`Error::InvalidConfig`] on shape mismatches; propagates solver
+/// failures.
+pub fn solve_orchestration_with_link_budget(
+    d: &[Vec<f64>],
+    row_cap: &[f64],
+    col_cap: &[f64],
+    pair_cost: Option<&[Vec<f64>]>,
+    row_budget: f64,
+) -> Result<Orchestration> {
+    let m = d.len();
+    if m == 0 || d[0].is_empty() {
+        return Err(Error::InvalidConfig("empty attainment matrix".into()));
+    }
+    let n = d[0].len();
+    if d.iter().any(|r| r.len() != n) {
+        return Err(Error::InvalidConfig("ragged attainment matrix".into()));
+    }
+    if row_cap.len() != m || col_cap.len() != n {
+        return Err(Error::InvalidConfig("capacity length mismatch".into()));
+    }
+    if row_cap.iter().chain(col_cap).any(|&c| !c.is_finite() || c < 0.0) {
+        return Err(Error::InvalidConfig("negative or non-finite capacity".into()));
+    }
+
+    if let Some(pc) = pair_cost {
+        if pc.len() != m || pc.iter().any(|r| r.len() != n) {
+            return Err(Error::InvalidConfig("pair cost shape mismatch".into()));
+        }
+        if !row_budget.is_finite() || row_budget < 0.0 {
+            return Err(Error::InvalidConfig(format!("bad row budget {row_budget}")));
+        }
+    }
+    let total_row: f64 = row_cap.iter().sum();
+    let total_col: f64 = col_cap.iter().sum();
+    // Aggregate link capacity also bounds the feasible mass: sender i can
+    // carry at most row_budget / min_j pair_cost[i][j] of the stream.
+    let total_link: f64 = match pair_cost {
+        Some(pc) => pc
+            .iter()
+            .map(|row| {
+                let fastest = row.iter().cloned().fold(f64::INFINITY, f64::min);
+                if fastest <= 1e-12 {
+                    f64::INFINITY
+                } else {
+                    row_budget / fastest
+                }
+            })
+            .sum(),
+        None => f64::INFINITY,
+    };
+    let mass = 1.0f64.min(total_row).min(total_col).min(total_link);
+    if mass <= 0.0 {
+        return Ok(Orchestration {
+            rates: vec![vec![0.0; n]; m],
+            mass: 0.0,
+            value: 0.0,
+        });
+    }
+
+    let nv = m * n;
+    let mut lp = LinearProgram::new(nv);
+    let mut c = vec![0.0; nv];
+    for i in 0..m {
+        for j in 0..n {
+            c[i * n + j] = d[i][j];
+        }
+    }
+    lp.set_objective(c);
+    // Total mass.
+    lp.add_constraint(vec![1.0; nv], Relation::Eq, mass);
+    // Row capacities.
+    for i in 0..m {
+        let mut a = vec![0.0; nv];
+        for j in 0..n {
+            a[i * n + j] = 1.0;
+        }
+        lp.add_constraint(a, Relation::Le, row_cap[i]);
+    }
+    // Column capacities.
+    for j in 0..n {
+        let mut a = vec![0.0; nv];
+        for i in 0..m {
+            a[i * n + j] = 1.0;
+        }
+        lp.add_constraint(a, Relation::Le, col_cap[j]);
+    }
+    // Sender link budgets.
+    if let Some(pc) = pair_cost {
+        for i in 0..m {
+            let mut a = vec![0.0; nv];
+            for j in 0..n {
+                a[i * n + j] = pc[i][j];
+            }
+            lp.add_constraint(a, Relation::Le, row_budget);
+        }
+    }
+    let sol = lp.solve()?;
+    let mut rates = vec![vec![0.0; n]; m];
+    for i in 0..m {
+        for j in 0..n {
+            rates[i][j] = sol.x[i * n + j].max(0.0);
+        }
+    }
+    Ok(Orchestration {
+        rates,
+        mass,
+        value: sol.value,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_everything_to_best_pair_when_uncapacitated() {
+        let d = vec![vec![0.5, 0.9], vec![0.2, 0.4]];
+        let o = solve_orchestration(&d, &[1.0, 1.0], &[1.0, 1.0]).unwrap();
+        assert!((o.rates[0][1] - 1.0).abs() < 1e-7);
+        assert!((o.value - 0.9).abs() < 1e-7);
+    }
+
+    #[test]
+    fn respects_capacities() {
+        let d = vec![vec![0.9, 0.8], vec![0.7, 0.1]];
+        // best pair (0,0) capped at 0.4 by the row; (0,1) also row-capped.
+        let o = solve_orchestration(&d, &[0.4, 1.0], &[0.6, 1.0]).unwrap();
+        let row0: f64 = o.rates[0].iter().sum();
+        assert!(row0 <= 0.4 + 1e-7);
+        let col0: f64 = o.rates.iter().map(|r| r[0]).sum();
+        assert!(col0 <= 0.6 + 1e-7);
+        let total: f64 = o.rates.iter().flatten().sum();
+        assert!((total - 1.0).abs() < 1e-7);
+        // optimum: 0.4 via row0 (all to col0: 0.9*0.4) then 0.2 to (1,0) and 0.4 to (1,1)?
+        // greedy check: value should beat naive uniform
+        assert!(o.value > 0.6);
+    }
+
+    #[test]
+    fn partial_mass_when_capacity_short() {
+        let d = vec![vec![1.0]];
+        let o = solve_orchestration(&d, &[0.3], &[1.0]).unwrap();
+        assert!((o.mass - 0.3).abs() < 1e-12);
+        assert!((o.rates[0][0] - 0.3).abs() < 1e-7);
+    }
+
+    #[test]
+    fn zero_capacity_serves_nothing() {
+        let d = vec![vec![1.0]];
+        let o = solve_orchestration(&d, &[0.0], &[1.0]).unwrap();
+        assert_eq!(o.mass, 0.0);
+        assert_eq!(o.value, 0.0);
+    }
+
+    #[test]
+    fn matches_greedy_on_assignment_structure() {
+        // With generous capacities the optimum concentrates on per-row best
+        // columns; verify against a simple exhaustive check on a 2x3 case.
+        let d = vec![vec![0.3, 0.6, 0.5], vec![0.8, 0.2, 0.9]];
+        let o = solve_orchestration(&d, &[0.5, 0.5], &[1.0, 1.0, 1.0]).unwrap();
+        // row 0 should send its 0.5 to column 1; row 1 its 0.5 to column 2.
+        assert!((o.rates[0][1] - 0.5).abs() < 1e-6);
+        assert!((o.rates[1][2] - 0.5).abs() < 1e-6);
+        assert!((o.value - (0.5 * 0.6 + 0.5 * 0.9)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn link_budget_diverts_flow_from_slow_links() {
+        // Pair (0,0) is best but costs 1.0 s of sender time per request;
+        // with a budget of 0.5 the row must push overflow to pair (0,1)
+        // (cost 0.1) despite its lower attainment.
+        let d = vec![vec![0.9, 0.6]];
+        let cost = vec![vec![1.0, 0.1]];
+        let o = solve_orchestration_with_link_budget(&d, &[1.0], &[1.0, 1.0], Some(&cost), 0.5)
+            .unwrap();
+        assert!((o.rates[0][0] - 0.5 + o.rates[0][1] * 0.1 / 1.0).abs() < 0.2);
+        let spent = o.rates[0][0] * 1.0 + o.rates[0][1] * 0.1;
+        assert!(spent <= 0.5 + 1e-7, "budget violated: {spent}");
+        let total: f64 = o.rates.iter().flatten().sum();
+        assert!((total - 1.0).abs() < 1e-7, "still serves everything via the cheap link");
+        assert!(o.rates[0][1] > 0.4, "overflow must use the cheap pair");
+    }
+
+    #[test]
+    fn link_budget_caps_mass_when_all_links_slow() {
+        let d = vec![vec![1.0]];
+        let cost = vec![vec![2.0]];
+        let o = solve_orchestration_with_link_budget(&d, &[1.0], &[1.0], Some(&cost), 0.5)
+            .unwrap();
+        assert!((o.mass - 0.25).abs() < 1e-9, "mass {}", o.mass);
+    }
+
+    #[test]
+    fn link_budget_shape_validation() {
+        let d = vec![vec![1.0]];
+        let bad = vec![vec![1.0, 2.0]];
+        assert!(solve_orchestration_with_link_budget(&d, &[1.0], &[1.0], Some(&bad), 0.5)
+            .is_err());
+        let cost = vec![vec![1.0]];
+        assert!(solve_orchestration_with_link_budget(&d, &[1.0], &[1.0], Some(&cost), -1.0)
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(solve_orchestration(&[], &[], &[]).is_err());
+        let d = vec![vec![1.0], vec![1.0, 2.0]];
+        assert!(solve_orchestration(&d, &[1.0, 1.0], &[1.0]).is_err());
+        let d = vec![vec![1.0]];
+        assert!(solve_orchestration(&d, &[-1.0], &[1.0]).is_err());
+    }
+}

@@ -1,0 +1,290 @@
+//! Poisson arrival generation.
+//!
+//! Following the paper (§5.1, after AlpaServe/HexGen), requests arrive as a
+//! Poisson process: inter-arrival times are exponential with mean `1/rate`.
+//! [`generate_phased`] chains several workload phases back to back, which
+//! drives the workload-shift rescheduling experiments.
+
+use crate::spec::WorkloadSpec;
+use rand::Rng;
+use ts_common::{seeded_rng, Request, RequestId, SimDuration, SimTime};
+
+/// Generates a Poisson-arrival trace for `spec` over `[0, horizon)`.
+///
+/// Deterministic for a given `(spec, horizon, seed)`.
+pub fn generate(spec: &WorkloadSpec, horizon: SimDuration, seed: u64) -> Vec<Request> {
+    let mut rng = seeded_rng(seed);
+    let mut out = Vec::new();
+    let mut t = 0.0f64;
+    let horizon_s = horizon.as_secs_f64();
+    let mut id = 0u64;
+    loop {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        t += -u.ln() / spec.rate;
+        if t >= horizon_s {
+            break;
+        }
+        out.push(Request::new(
+            RequestId(id),
+            SimTime::from_secs_f64(t),
+            spec.prompt.sample(&mut rng),
+            spec.output.sample(&mut rng),
+        ));
+        id += 1;
+    }
+    out
+}
+
+/// One phase of a time-varying workload script.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadPhase {
+    /// The workload active during this phase.
+    pub spec: WorkloadSpec,
+    /// Phase duration.
+    pub duration: SimDuration,
+}
+
+/// Generates a trace that switches workloads at phase boundaries (e.g.
+/// coding for 10 min, then conversation) with globally increasing ids and
+/// arrival times.
+pub fn generate_phased(phases: &[WorkloadPhase], seed: u64) -> Vec<Request> {
+    let mut out: Vec<Request> = Vec::new();
+    let mut offset = SimDuration::ZERO;
+    for (pi, phase) in phases.iter().enumerate() {
+        let base_id = out.len() as u64;
+        let reqs = generate(
+            &phase.spec,
+            phase.duration,
+            ts_common::rng::derive_seed(seed, pi as u64),
+        );
+        out.extend(reqs.into_iter().map(|r| Request {
+            id: RequestId(base_id + r.id.0),
+            arrival: SimTime::ZERO + offset + (r.arrival - SimTime::ZERO),
+            ..r
+        }));
+        offset += phase.duration;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec;
+
+    #[test]
+    fn arrival_count_matches_rate() {
+        let w = spec::coding(4.0);
+        let reqs = generate(&w, SimDuration::from_secs(500), 7);
+        let expected = 2000.0;
+        let n = reqs.len() as f64;
+        assert!((n / expected - 1.0).abs() < 0.15, "{n} arrivals");
+    }
+
+    #[test]
+    fn arrivals_sorted_unique_ids() {
+        let w = spec::conversation(3.0);
+        let reqs = generate(&w, SimDuration::from_secs(100), 3);
+        for (i, pair) in reqs.windows(2).enumerate() {
+            assert!(pair[0].arrival <= pair[1].arrival, "unsorted at {i}");
+        }
+        let mut ids: Vec<u64> = reqs.iter().map(|r| r.id.0).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), reqs.len());
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let w = spec::coding(2.0);
+        let a = generate(&w, SimDuration::from_secs(50), 9);
+        let b = generate(&w, SimDuration::from_secs(50), 9);
+        assert_eq!(a, b);
+        let c = generate(&w, SimDuration::from_secs(50), 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn phased_trace_shifts_statistics() {
+        let phases = [
+            WorkloadPhase {
+                spec: spec::coding(5.0),
+                duration: SimDuration::from_secs(200),
+            },
+            WorkloadPhase {
+                spec: spec::conversation(5.0),
+                duration: SimDuration::from_secs(200),
+            },
+        ];
+        let reqs = generate_phased(&phases, 11);
+        let cut = SimTime::from_secs_f64(200.0);
+        let (first, second): (Vec<_>, Vec<_>) = reqs.iter().partition(|r| r.arrival < cut);
+        let mean_out = |v: &[&Request]| {
+            v.iter().map(|r| r.output_len as f64).sum::<f64>() / v.len() as f64
+        };
+        assert!(mean_out(&second) > 3.0 * mean_out(&first));
+        // ids strictly increasing across the whole trace
+        for w in reqs.windows(2) {
+            assert!(w[0].id.0 < w[1].id.0);
+        }
+    }
+
+    #[test]
+    fn empty_horizon_gives_empty_trace() {
+        let w = spec::coding(2.0);
+        assert!(generate(&w, SimDuration::ZERO, 1).is_empty());
+    }
+}
+
+/// Generates a superposition of several independent Poisson workloads (the
+/// paper's online services mix coding and conversation traffic whose
+/// proportions drift). Ids are reassigned globally in arrival order.
+pub fn generate_mixture(
+    specs: &[WorkloadSpec],
+    horizon: SimDuration,
+    seed: u64,
+) -> Vec<Request> {
+    let mut all: Vec<Request> = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        all.extend(generate(
+            spec,
+            horizon,
+            ts_common::rng::derive_seed(seed, 0x31 + i as u64),
+        ));
+    }
+    all.sort_by_key(|r| (r.arrival, r.prompt_len, r.output_len));
+    for (i, r) in all.iter_mut().enumerate() {
+        r.id = RequestId(i as u64);
+    }
+    all
+}
+
+/// Generates a bursty trace via a two-state Markov-modulated Poisson
+/// process: the arrival rate alternates between `burst_factor × rate` and
+/// `rate / burst_factor`, with exponentially distributed state dwell times
+/// of mean `dwell`. The long-run mean rate stays close to `spec.rate`.
+///
+/// # Panics
+/// Panics if `burst_factor < 1` or `dwell` is zero.
+pub fn generate_bursty(
+    spec: &WorkloadSpec,
+    horizon: SimDuration,
+    burst_factor: f64,
+    dwell: SimDuration,
+    seed: u64,
+) -> Vec<Request> {
+    assert!(burst_factor >= 1.0, "burst factor must be >= 1");
+    assert!(!dwell.is_zero(), "dwell time must be positive");
+    let mut rng = seeded_rng(seed);
+    let horizon_s = horizon.as_secs_f64();
+    let dwell_s = dwell.as_secs_f64();
+    // Normalize so the time-weighted mean rate equals spec.rate.
+    let norm = (burst_factor + 1.0 / burst_factor) / 2.0;
+    let high_rate = spec.rate * burst_factor / norm;
+    let low_rate = spec.rate / burst_factor / norm;
+    let mut out = Vec::new();
+    let mut t = 0.0f64;
+    let mut state_high = false;
+    let mut state_end = {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        -u.ln() * dwell_s
+    };
+    let mut id = 0u64;
+    loop {
+        let rate = if state_high { high_rate } else { low_rate };
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let dt = -u.ln() / rate;
+        if t + dt >= state_end {
+            // state switch: advance to the boundary and resample
+            t = state_end;
+            state_high = !state_high;
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            state_end = t - u.ln() * dwell_s;
+            if t >= horizon_s {
+                break;
+            }
+            continue;
+        }
+        t += dt;
+        if t >= horizon_s {
+            break;
+        }
+        out.push(Request::new(
+            RequestId(id),
+            SimTime::from_secs_f64(t),
+            spec.prompt.sample(&mut rng),
+            spec.output.sample(&mut rng),
+        ));
+        id += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod mixture_tests {
+    use super::*;
+    use crate::spec;
+
+    #[test]
+    fn mixture_interleaves_components() {
+        let specs = [spec::coding(2.0), spec::conversation(2.0)];
+        let reqs = generate_mixture(&specs, SimDuration::from_secs(200), 5);
+        // arrival-sorted, sequential ids
+        for (i, w) in reqs.windows(2).enumerate() {
+            assert!(w[0].arrival <= w[1].arrival, "unsorted at {i}");
+        }
+        for (i, r) in reqs.iter().enumerate() {
+            assert_eq!(r.id.0, i as u64);
+        }
+        // total rate ~4 req/s
+        let n = reqs.len() as f64;
+        assert!((n / 800.0 - 1.0).abs() < 0.15, "{n} arrivals");
+        // both short- and long-output requests present
+        assert!(reqs.iter().any(|r| r.output_len <= 16));
+        assert!(reqs.iter().any(|r| r.output_len >= 64));
+    }
+
+    #[test]
+    fn bursty_preserves_mean_rate_but_raises_variance() {
+        let w = spec::coding(3.0);
+        let horizon = SimDuration::from_secs(600);
+        let smooth = generate(&w, horizon, 9);
+        let bursty = generate_bursty(&w, horizon, 4.0, SimDuration::from_secs(20), 9);
+        let rate_ratio = bursty.len() as f64 / smooth.len() as f64;
+        assert!((0.6..=1.4).contains(&rate_ratio), "rate ratio {rate_ratio}");
+
+        // squared coefficient of variation of inter-arrivals: Poisson ~1,
+        // MMPP substantially higher.
+        let cv2 = |reqs: &[Request]| {
+            let gaps: Vec<f64> = reqs
+                .windows(2)
+                .map(|p| (p[1].arrival - p[0].arrival).as_secs_f64())
+                .collect();
+            let n = gaps.len() as f64;
+            let mean = gaps.iter().sum::<f64>() / n;
+            let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / n;
+            var / (mean * mean)
+        };
+        let cv_smooth = cv2(&smooth);
+        let cv_bursty = cv2(&bursty);
+        assert!(cv_smooth < 1.5, "Poisson CV^2 {cv_smooth}");
+        assert!(
+            cv_bursty > cv_smooth * 1.5,
+            "bursty CV^2 {cv_bursty} should exceed Poisson {cv_smooth}"
+        );
+    }
+
+    #[test]
+    fn bursty_is_deterministic() {
+        let w = spec::conversation(2.0);
+        let a = generate_bursty(&w, SimDuration::from_secs(100), 3.0, SimDuration::from_secs(10), 1);
+        let b = generate_bursty(&w, SimDuration::from_secs(100), 3.0, SimDuration::from_secs(10), 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bursty_rejects_sub_unit_factor() {
+        let w = spec::coding(1.0);
+        let _ = generate_bursty(&w, SimDuration::from_secs(10), 0.5, SimDuration::from_secs(5), 1);
+    }
+}

@@ -1,0 +1,44 @@
+//! # ts-workload
+//!
+//! Synthetic serving workloads for the ThunderServe evaluation.
+//!
+//! The paper drives its experiments with two production-derived workloads
+//! from the Azure LLM inference traces — *coding* (long prompts, very short
+//! completions; median output 13 tokens) and *conversation* (long prompts,
+//! long completions; median output 129 tokens) — replayed as a Poisson
+//! arrival process at a configurable request rate. We reproduce the same
+//! structure synthetically:
+//!
+//! * [`distribution`] — clamped lognormal token-length distributions
+//!   parameterized by median;
+//! * [`spec`] — named workload presets ([`spec::coding`],
+//!   [`spec::conversation`]) and arbitrary custom mixes;
+//! * [`generator`] — Poisson/exponential arrival generation and time-varying
+//!   workload scripts (for the rescheduling experiments);
+//! * [`profiler`] — the online workload profiler of Appendix E, which
+//!   monitors average prompt/output lengths and arrival rate over a sliding
+//!   window and flags workload shifts.
+//!
+//! # Examples
+//!
+//! ```
+//! use ts_workload::{generator::generate, spec};
+//! use ts_common::SimDuration;
+//!
+//! let coding = spec::coding(2.0); // 2 requests/second
+//! let reqs = generate(&coding, SimDuration::from_secs(60), 42);
+//! assert!(!reqs.is_empty());
+//! // arrivals are sorted and within the horizon
+//! assert!(reqs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+//! ```
+
+pub mod distribution;
+pub mod generator;
+pub mod profiler;
+pub mod spec;
+pub mod trace;
+
+pub use distribution::LengthDistribution;
+pub use generator::{generate, generate_bursty, generate_mixture, generate_phased, WorkloadPhase};
+pub use profiler::{WorkloadProfiler, WorkloadStats};
+pub use spec::WorkloadSpec;

@@ -1,0 +1,127 @@
+//! End-to-end integration tests: the whole pipeline from cluster description
+//! through scheduling to simulated serving.
+
+use thunderserve::prelude::*;
+use thunderserve::workload::generator::generate;
+use thunderserve::workload::spec;
+
+fn slo() -> SloSpec {
+    SloSpec::new(
+        SimDuration::from_millis(3200),
+        SimDuration::from_millis(240),
+        SimDuration::from_secs(48),
+    )
+}
+
+#[test]
+fn schedule_and_serve_on_paper_cloud() {
+    let cluster = thunderserve::cluster::presets::paper_cloud_cluster();
+    let model = ModelSpec::llama_30b();
+    let workload = spec::coding(2.0);
+    let mut cfg = SchedulerConfig::fast();
+    cfg.seed = 1;
+    let result = Scheduler::new(cfg)
+        .schedule(&cluster, &model, &workload, &slo())
+        .unwrap();
+
+    // Plan sanity: valid phases, disjoint GPUs, full layer coverage.
+    let (p, d) = result.plan.phase_ratio();
+    assert!(p >= 1 && d >= 1);
+    for g in &result.plan.groups {
+        assert_eq!(g.total_layers(), model.num_layers);
+    }
+
+    // Serve and check conservation.
+    let reqs = generate(&workload, SimDuration::from_secs(90), 2);
+    let metrics = Simulation::new(&cluster, &result.plan, SimConfig::new(model))
+        .unwrap()
+        .run(&reqs)
+        .unwrap();
+    assert_eq!(metrics.num_completed() + metrics.num_dropped(), reqs.len());
+    assert!(metrics.num_completed() > reqs.len() * 9 / 10);
+}
+
+#[test]
+fn whole_stack_is_deterministic() {
+    let cluster = thunderserve::cluster::presets::paper_cloud_cluster();
+    let model = ModelSpec::llama_30b();
+    let workload = spec::conversation(1.5);
+    let run = || {
+        let mut cfg = SchedulerConfig::fast();
+        cfg.seed = 33;
+        let plan = Scheduler::new(cfg)
+            .schedule(&cluster, &model, &workload, &slo())
+            .unwrap()
+            .plan;
+        let reqs = generate(&workload, SimDuration::from_secs(60), 5);
+        let m = Simulation::new(&cluster, &plan, SimConfig::new(model.clone()))
+            .unwrap()
+            .run(&reqs)
+            .unwrap();
+        (plan, m)
+    };
+    let (p1, m1) = run();
+    let (p2, m2) = run();
+    assert_eq!(p1, p2, "plans must be identical for identical seeds");
+    assert_eq!(m1, m2, "metrics must be identical for identical inputs");
+}
+
+#[test]
+fn scheduler_respects_failed_gpus_end_to_end() {
+    let mut cluster = thunderserve::cluster::presets::paper_cloud_cluster();
+    cluster
+        .deactivate_node(thunderserve::common::NodeId(5))
+        .unwrap();
+    let model = ModelSpec::llama_30b();
+    let workload = spec::coding(1.5);
+    let mut cfg = SchedulerConfig::fast();
+    cfg.seed = 4;
+    let plan = Scheduler::new(cfg)
+        .schedule(&cluster, &model, &workload, &slo())
+        .unwrap()
+        .plan;
+    assert!(plan.num_gpus() <= 28);
+    for g in &plan.groups {
+        for gpu in g.gpus() {
+            assert!(cluster.is_active(gpu));
+        }
+    }
+    // And the plan still serves.
+    let reqs = generate(&workload, SimDuration::from_secs(45), 6);
+    let m = Simulation::new(&cluster, &plan, SimConfig::new(model))
+        .unwrap()
+        .run(&reqs)
+        .unwrap();
+    assert!(m.num_completed() > 0);
+}
+
+#[test]
+fn tighter_slo_never_increases_attainment() {
+    let cluster = thunderserve::cluster::presets::network_case_cluster(
+        thunderserve::cluster::presets::ETH_40GBPS,
+    );
+    let model = ModelSpec::llama_13b();
+    let workload = spec::coding(1.5);
+    let mut cfg = SchedulerConfig::fast();
+    cfg.seed = 9;
+    let base = SloSpec::new(
+        SimDuration::from_millis(1600),
+        SimDuration::from_millis(120),
+        SimDuration::from_secs(24),
+    );
+    let plan = Scheduler::new(cfg)
+        .schedule(&cluster, &model, &workload, &base)
+        .unwrap()
+        .plan;
+    let reqs = generate(&workload, SimDuration::from_secs(60), 7);
+    let m = Simulation::new(&cluster, &plan, SimConfig::new(model))
+        .unwrap()
+        .run(&reqs)
+        .unwrap();
+    let mut prev = 1.0 + 1e-12;
+    for scale in [8.0, 4.0, 2.0, 1.0, 0.5] {
+        let a = m.joint_attainment(&base.scaled(scale));
+        assert!(a <= prev, "attainment should shrink as the SLO tightens");
+        prev = a;
+    }
+}

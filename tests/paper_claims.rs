@@ -1,0 +1,188 @@
+//! Qualitative reproductions of the paper's cross-cutting claims, asserted
+//! across crate boundaries.
+
+use thunderserve::baselines::HexGenPlanner;
+use thunderserve::prelude::*;
+use thunderserve::sim::colocated::ColocatedSimulation;
+use thunderserve::workload::generator::generate;
+use thunderserve::workload::spec;
+
+fn slo() -> SloSpec {
+    SloSpec::new(
+        SimDuration::from_millis(3200),
+        SimDuration::from_millis(240),
+        SimDuration::from_secs(48),
+    )
+}
+
+/// §5.2/Appendix H: with adequate inter-instance bandwidth, phase splitting
+/// across heterogeneous instances beats a colocated deployment of the same
+/// hardware on TPOT (no prefill/decode interference).
+#[test]
+fn phase_splitting_removes_interference() {
+    let cluster = thunderserve::cluster::presets::network_case_cluster(
+        thunderserve::cluster::presets::ETH_40GBPS,
+    );
+    let model = ModelSpec::llama_30b();
+    let workload = spec::fixed(1024, 64, 1.6);
+    let reqs = generate(&workload, SimDuration::from_secs(120), 1);
+
+    // ThunderServe-style split: A40s prefill, 3090Tis decode.
+    let mut cfg = SchedulerConfig::fast();
+    cfg.seed = 2;
+    let plan = Scheduler::new(cfg)
+        .schedule(&cluster, &model, &workload, &slo())
+        .unwrap()
+        .plan;
+    let split = Simulation::new(&cluster, &plan, SimConfig::new(model.clone()))
+        .unwrap()
+        .run(&reqs)
+        .unwrap();
+
+    // Colocated on the same hardware.
+    let groups = HexGenPlanner::new().plan(&cluster, &model, &workload).unwrap();
+    let colocated = ColocatedSimulation::new(&cluster, &groups, SimConfig::new(model))
+        .unwrap()
+        .run(&reqs)
+        .unwrap();
+
+    let tpot_split = split.latency_percentile(SloKind::Tpot, 0.9).unwrap();
+    let tpot_colo = colocated.latency_percentile(SloKind::Tpot, 0.9).unwrap();
+    assert!(
+        tpot_split <= tpot_colo,
+        "split p90 TPOT {tpot_split} should not exceed colocated {tpot_colo}"
+    );
+}
+
+/// §5.3: the scheduler routes compute-rich GPUs to prefill and
+/// bandwidth-rich GPUs to decode. Tested as an aggregate: across seeds, the
+/// GPUs designated decode have at least the memory bandwidth of those
+/// designated prefill, and prefill GPUs have at least the compute intensity
+/// of decode GPUs (conversation workload, where both phases get replicas).
+#[test]
+fn hardware_affinity_is_stable_across_seeds() {
+    let cluster = thunderserve::cluster::presets::paper_cloud_cluster();
+    let model = ModelSpec::llama_30b();
+    let workload = spec::conversation(3.0);
+    let mut prefill_bw = Vec::new();
+    let mut decode_bw = Vec::new();
+    let mut prefill_ci = Vec::new();
+    let mut decode_ci = Vec::new();
+    for seed in [1u64, 2, 3] {
+        let mut cfg = SchedulerConfig::default();
+        cfg.n_step = 40;
+        cfg.seed = seed;
+        let plan = Scheduler::new(cfg)
+            .schedule(&cluster, &model, &workload, &slo())
+            .unwrap()
+            .plan;
+        for g in &plan.groups {
+            for gpu in g.gpus() {
+                let spec = cluster.gpu(gpu).spec();
+                match g.phase {
+                    Phase::Prefill => {
+                        prefill_bw.push(spec.mem_bandwidth);
+                        prefill_ci.push(spec.compute_intensity());
+                    }
+                    Phase::Decode => {
+                        decode_bw.push(spec.mem_bandwidth);
+                        decode_ci.push(spec.compute_intensity());
+                    }
+                }
+            }
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    assert!(!prefill_bw.is_empty() && !decode_bw.is_empty());
+    assert!(
+        mean(&decode_bw) >= mean(&prefill_bw) * 0.95,
+        "decode GPUs should be bandwidth-rich: {:.0} vs {:.0} GB/s",
+        mean(&decode_bw) / 1e9,
+        mean(&prefill_bw) / 1e9
+    );
+    assert!(
+        mean(&prefill_ci) >= mean(&decode_ci) * 0.95,
+        "prefill GPUs should be compute-rich: {:.0} vs {:.0} FLOPs/byte",
+        mean(&prefill_ci),
+        mean(&decode_ci)
+    );
+}
+
+/// §5.3: the cloud rig serves more model replicas than the A100 box at a
+/// comparable budget (the paper reports up to 3x; our scheduler opens as
+/// many replicas as the load calls for, so we assert a strict win).
+#[test]
+fn cloud_hosts_more_replicas_per_budget() {
+    let cloud = thunderserve::cluster::presets::paper_cloud_cluster();
+    let inhouse = thunderserve::cluster::presets::paper_inhouse_cluster();
+    assert!(cloud.price_per_hour() <= inhouse.price_per_hour());
+
+    let model = ModelSpec::llama_30b();
+    let mut cfg = SchedulerConfig::fast();
+    cfg.seed = 3;
+    let cloud_plan = Scheduler::new(cfg)
+        .schedule(&cloud, &model, &spec::coding(3.0), &slo())
+        .unwrap()
+        .plan;
+    let inhouse_replicas = thunderserve::baselines::VllmPlanner::new()
+        .plan(&inhouse, &model)
+        .unwrap()
+        .len();
+    assert_eq!(inhouse_replicas, 4);
+    assert!(
+        cloud_plan.groups.len() > inhouse_replicas,
+        "cloud replicas {} should exceed in-house {}",
+        cloud_plan.groups.len(),
+        inhouse_replicas
+    );
+}
+
+/// §3.4 / Table 4: lightweight rescheduling takes a small fraction of full
+/// rescheduling's time and incurs zero reload.
+#[test]
+fn lightweight_rescheduling_is_cheap() {
+    use thunderserve::scheduler::reschedule::{full_reschedule, lightweight_reschedule};
+
+    let cluster = thunderserve::cluster::presets::paper_cloud_cluster();
+    let model = ModelSpec::llama_30b();
+    let workload = spec::coding(2.0);
+    let mut cfg = SchedulerConfig::default();
+    cfg.n_step = 60;
+    cfg.seed = 8;
+    let plan = Scheduler::new(cfg.clone())
+        .schedule(&cluster, &model, &workload, &slo())
+        .unwrap()
+        .plan;
+
+    let light =
+        lightweight_reschedule(&cluster, &model, &plan, &workload, &slo(), &cfg).unwrap();
+    let full = full_reschedule(&cluster, &model, &workload, &slo(), &cfg).unwrap();
+    assert!(light.reload_time.is_zero());
+    assert!(!full.reload_time.is_zero());
+    // Overall interruption: search + reload. Lightweight must win big.
+    let light_total = light.search_time + light.reload_time.as_secs_f64();
+    let full_total = full.search_time + full.reload_time.as_secs_f64();
+    assert!(
+        light_total * 5.0 < full_total,
+        "lightweight {light_total:.2}s vs full {full_total:.2}s"
+    );
+}
+
+/// §4: 4-bit KV compression preserves what computation sees — because both
+/// phases compute on dequantized 16-bit values, downstream quality is
+/// bounded by reconstruction error, which is tiny.
+#[test]
+fn compression_pipeline_preserves_kv() {
+    use thunderserve::kvcache::codec::{KvCodec, KvWirePrecision};
+    use thunderserve::kvcache::fidelity::compare;
+    use thunderserve::kvcache::synthetic::generate_kv;
+
+    let model = ModelSpec::llama_7b();
+    let kv = generate_kv(&model, 32, &mut thunderserve::common::seeded_rng(1));
+    let codec = KvCodec::new(model, KvWirePrecision::DEFAULT_COMPRESSED);
+    let wire = codec.encode(&kv.values);
+    assert!((wire.len() as f64) < 0.35 * (kv.values.len() * 2) as f64);
+    let back = codec.decode(&wire).unwrap();
+    let rep = compare(&kv.values, &back);
+    assert!(rep.cosine > 0.98, "cosine {}", rep.cosine);
+}

@@ -1,0 +1,386 @@
+//! Property-based tests over the core data structures and algorithms.
+
+use proptest::prelude::*;
+use thunderserve::common::{seeded_rng, GpuId, Phase, Request, RequestId, SimDuration, SimTime};
+use thunderserve::kvcache::quant::{decode_wire, encode_wire, quantize, QuantBits};
+use thunderserve::kvcache::BlockAllocator;
+use thunderserve::scheduler::candidate::{Candidate, CandidateGroup};
+use thunderserve::solver::routing_dp::best_stage_order;
+use thunderserve::solver::simplex::{LinearProgram, Relation};
+use thunderserve::solver::transport::solve_orchestration;
+use thunderserve::solver::cluster_by_bandwidth;
+
+proptest! {
+    /// Quantization round-trip error is bounded by half a quantization step
+    /// per group, for any finite input.
+    #[test]
+    fn quant_round_trip_bounded(
+        values in prop::collection::vec(-1000.0f32..1000.0, 1..300),
+        group_size in 1usize..64,
+        use_int4 in any::<bool>(),
+    ) {
+        let bits = if use_int4 { QuantBits::Int4 } else { QuantBits::Int8 };
+        let q = quantize(&values, bits, group_size);
+        let back = q.dequantize();
+        prop_assert_eq!(back.len(), values.len());
+        for (chunk, rchunk) in values.chunks(group_size).zip(back.chunks(group_size)) {
+            let lo = chunk.iter().cloned().fold(f32::INFINITY, f32::min);
+            let hi = chunk.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let step = (hi - lo) / bits.max_code() as f32;
+            for (a, b) in chunk.iter().zip(rchunk) {
+                prop_assert!((a - b).abs() <= step / 2.0 + 1e-3,
+                    "err {} exceeds half-step {}", (a - b).abs(), step / 2.0);
+            }
+        }
+    }
+
+    /// Wire encode/decode is the identity on quantized tensors.
+    #[test]
+    fn quant_wire_round_trip(
+        values in prop::collection::vec(-50.0f32..50.0, 0..200),
+        group_size in 1usize..40,
+    ) {
+        let q = quantize(&values, QuantBits::Int4, group_size);
+        let decoded = decode_wire(&encode_wire(&q)).unwrap();
+        prop_assert_eq!(q, decoded);
+    }
+
+    /// Tabu moves preserve the GPU partition.
+    #[test]
+    fn candidate_moves_preserve_partition(
+        seed in any::<u64>(),
+        split_ratio in 0.05f64..0.95,
+    ) {
+        let cluster = thunderserve::cluster::ClusterBuilder::new()
+            .node("a", thunderserve::cluster::GpuModel::A40, 4)
+            .node("b", thunderserve::cluster::GpuModel::Rtx3090Ti, 4)
+            .build()
+            .unwrap();
+        let all: Vec<GpuId> = (0..8).map(GpuId).collect();
+        let base = Candidate::new(vec![
+            CandidateGroup::new(all[..4].to_vec(), Phase::Prefill),
+            CandidateGroup::new(all[4..].to_vec(), Phase::Decode),
+        ]);
+        let mut rng = seeded_rng(seed);
+        prop_assert!(base.flip(0).is_partition_of(&all));
+        if let Some(c) = base.split(&cluster, 0, split_ratio, &mut rng) {
+            prop_assert!(c.is_partition_of(&all));
+        }
+        if let Some(c) = base.merge(0, 1, &mut rng) {
+            prop_assert!(c.is_partition_of(&all));
+        }
+        if let Some(c) = base.move_gpus(&cluster, 0, 1, &mut rng) {
+            prop_assert!(c.is_partition_of(&all));
+            prop_assert!(c.groups.iter().all(|g| !g.gpus.is_empty()));
+        }
+    }
+
+    /// The orchestration LP always returns a feasible solution that matches
+    /// a generic simplex formulation's objective.
+    #[test]
+    fn transport_matches_simplex(
+        m in 1usize..4,
+        n in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        use rand::Rng;
+        let mut rng = seeded_rng(seed);
+        let d: Vec<Vec<f64>> = (0..m)
+            .map(|_| (0..n).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
+        let row: Vec<f64> = (0..m).map(|_| rng.gen_range(0.1..1.0)).collect();
+        let col: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..1.0)).collect();
+        let orch = solve_orchestration(&d, &row, &col).unwrap();
+
+        // feasibility
+        let total: f64 = orch.rates.iter().flatten().sum();
+        prop_assert!((total - orch.mass).abs() < 1e-6);
+        for i in 0..m {
+            prop_assert!(orch.rates[i].iter().sum::<f64>() <= row[i] + 1e-6);
+        }
+        for j in 0..n {
+            prop_assert!(orch.rates.iter().map(|r| r[j]).sum::<f64>() <= col[j] + 1e-6);
+        }
+
+        // optimality vs. generic simplex
+        let mut lp = LinearProgram::new(m * n);
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                c[i * n + j] = d[i][j];
+            }
+        }
+        lp.set_objective(c);
+        lp.add_constraint(vec![1.0; m * n], Relation::Eq, orch.mass);
+        for i in 0..m {
+            let mut a = vec![0.0; m * n];
+            for j in 0..n { a[i * n + j] = 1.0; }
+            lp.add_constraint(a, Relation::Le, row[i]);
+        }
+        for j in 0..n {
+            let mut a = vec![0.0; m * n];
+            for i in 0..m { a[i * n + j] = 1.0; }
+            lp.add_constraint(a, Relation::Le, col[j]);
+        }
+        let s = lp.solve().unwrap();
+        prop_assert!((s.value - orch.value).abs() < 1e-6);
+    }
+
+    /// The routing DP's claimed bottleneck is achieved by its own order and
+    /// matches brute force for small sizes.
+    #[test]
+    fn routing_dp_is_optimal(n in 2usize..6, seed in any::<u64>()) {
+        use rand::Rng;
+        let mut rng = seeded_rng(seed);
+        let mut bw = vec![vec![0.0f64; n]; n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let v = rng.gen_range(1.0..100.0);
+                bw[i][j] = v;
+                bw[j][i] = v;
+            }
+        }
+        let dp = best_stage_order(&bw).unwrap();
+        let achieved = dp.order.windows(2).map(|w| bw[w[0]][w[1]])
+            .fold(f64::INFINITY, f64::min);
+        prop_assert_eq!(achieved, dp.bottleneck);
+
+        fn perms(items: &mut Vec<usize>, k: usize, best: &mut f64, bw: &[Vec<f64>]) {
+            if k == items.len() {
+                let b = items.windows(2).map(|w| bw[w[0]][w[1]])
+                    .fold(f64::INFINITY, f64::min);
+                *best = best.max(b);
+                return;
+            }
+            for i in k..items.len() {
+                items.swap(k, i);
+                perms(items, k + 1, best, bw);
+                items.swap(k, i);
+            }
+        }
+        let mut brute = f64::NEG_INFINITY;
+        perms(&mut (0..n).collect(), 0, &mut brute, &bw);
+        prop_assert_eq!(dp.bottleneck, brute);
+    }
+
+    /// Clustering always yields a partition with exactly k groups.
+    #[test]
+    fn clustering_is_partition(n in 2usize..12, k_frac in 0.01f64..1.0, seed in any::<u64>()) {
+        use rand::Rng;
+        let mut rng = seeded_rng(seed);
+        let mut bw = vec![vec![0.0f64; n]; n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let v = rng.gen_range(1.0..100.0);
+                bw[i][j] = v;
+                bw[j][i] = v;
+            }
+            bw[i][i] = f64::INFINITY;
+        }
+        let k = ((n as f64 * k_frac).ceil() as usize).clamp(1, n);
+        let groups = cluster_by_bandwidth(&bw, k).unwrap();
+        prop_assert_eq!(groups.len(), k);
+        let mut all: Vec<usize> = groups.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+
+    /// Block allocator invariants hold under arbitrary admit/append/release
+    /// sequences.
+    #[test]
+    fn block_allocator_invariants(ops in prop::collection::vec((0u8..3, 0u64..8, 1usize..40), 1..120)) {
+        let mut alloc = BlockAllocator::new(32, 8);
+        let total = alloc.total_blocks();
+        for (op, id, tokens) in ops {
+            let id = RequestId(id);
+            match op {
+                0 => { let _ = alloc.admit(id, tokens); }
+                1 => { let _ = alloc.append_token(id); }
+                _ => { let _ = alloc.release(id); }
+            }
+            prop_assert_eq!(alloc.total_blocks(), total);
+            prop_assert_eq!(alloc.used_blocks() + alloc.free_blocks(), total);
+            let occ = alloc.occupancy();
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&occ));
+        }
+    }
+
+    /// The simulator conserves requests for arbitrary small workloads.
+    #[test]
+    fn simulator_conserves_requests(
+        n_reqs in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        use rand::Rng;
+        let cluster = thunderserve::cluster::presets::network_case_cluster(
+            thunderserve::cluster::presets::ETH_40GBPS,
+        );
+        let model = thunderserve::common::ModelSpec::llama_13b();
+        let mut rng = seeded_rng(seed);
+        let reqs: Vec<Request> = (0..n_reqs)
+            .map(|i| {
+                Request::new(
+                    RequestId(i as u64),
+                    SimTime::from_secs_f64(rng.gen_range(0.0..30.0)),
+                    rng.gen_range(1..3000),
+                    rng.gen_range(1..200),
+                )
+            })
+            .collect();
+        let mut sorted = reqs;
+        sorted.sort_by_key(|r| r.arrival);
+        let plan = {
+            use thunderserve::common::{DeploymentPlan, GroupSpec, ParallelConfig, RoutingMatrix, StageSpec};
+            let group = |phase, ids: [u32; 4]| GroupSpec::new(
+                phase,
+                ParallelConfig::new(2, 2).unwrap(),
+                vec![
+                    StageSpec { gpus: vec![GpuId(ids[0]), GpuId(ids[1])], layers: 20 },
+                    StageSpec { gpus: vec![GpuId(ids[2]), GpuId(ids[3])], layers: 20 },
+                ],
+            ).unwrap();
+            DeploymentPlan::new(
+                vec![group(Phase::Prefill, [0, 1, 2, 3]), group(Phase::Decode, [4, 5, 6, 7])],
+                RoutingMatrix::uniform(1, 1),
+            ).unwrap()
+        };
+        let metrics = thunderserve::sim::engine::Simulation::new(
+            &cluster,
+            &plan,
+            thunderserve::sim::config::SimConfig::new(model),
+        )
+        .unwrap()
+        .run(&sorted)
+        .unwrap();
+        prop_assert_eq!(metrics.num_completed() + metrics.num_dropped(), sorted.len());
+        for r in metrics.records() {
+            prop_assert!(r.finished_at >= r.first_token_at);
+            prop_assert!(r.first_token_at >= r.request.arrival);
+        }
+    }
+
+    /// SLO scaling is monotone: a looser deadline never reduces attainment.
+    #[test]
+    fn slo_scaling_monotone(scale_a in 0.1f64..10.0, scale_b in 0.1f64..10.0) {
+        use thunderserve::common::SloSpec;
+        let base = SloSpec::new(
+            SimDuration::from_millis(500),
+            SimDuration::from_millis(50),
+            SimDuration::from_secs(5),
+        );
+        let (lo, hi) = if scale_a <= scale_b { (scale_a, scale_b) } else { (scale_b, scale_a) };
+        let a = base.scaled(lo);
+        let b = base.scaled(hi);
+        prop_assert!(a.ttft <= b.ttft);
+        prop_assert!(a.tpot <= b.tpot);
+        prop_assert!(a.e2e <= b.e2e);
+    }
+}
+
+proptest! {
+    /// Arbitrary well-formed plans survive the text round trip.
+    #[test]
+    fn plan_text_round_trips(
+        num_prefill in 1usize..4,
+        num_decode in 1usize..4,
+        tp_exp in 0u32..2,
+        layers in 4usize..60,
+        seed in any::<u64>(),
+    ) {
+        use thunderserve::common::plan_io;
+        use thunderserve::common::{DeploymentPlan, GroupSpec, ParallelConfig, RoutingMatrix, StageSpec};
+        use rand::Rng;
+
+        let tp = 1usize << tp_exp;
+        let mut next_gpu = 0u32;
+        let mut mk_group = |phase| {
+            let stages = vec![StageSpec {
+                gpus: (0..tp)
+                    .map(|_| {
+                        let id = GpuId(next_gpu);
+                        next_gpu += 1;
+                        id
+                    })
+                    .collect(),
+                layers,
+            }];
+            GroupSpec::new(phase, ParallelConfig::new(tp, 1).unwrap(), stages).unwrap()
+        };
+        let mut groups = Vec::new();
+        for _ in 0..num_prefill {
+            groups.push(mk_group(Phase::Prefill));
+        }
+        for _ in 0..num_decode {
+            groups.push(mk_group(Phase::Decode));
+        }
+        // random routing summing to 1
+        let mut rng = seeded_rng(seed);
+        let mut rates = vec![vec![0.0f64; num_decode]; num_prefill];
+        let mut total = 0.0;
+        for row in rates.iter_mut() {
+            for v in row.iter_mut() {
+                *v = rng.gen_range(0.0..1.0);
+                total += *v;
+            }
+        }
+        for row in rates.iter_mut() {
+            for v in row.iter_mut() {
+                *v /= total;
+            }
+        }
+        let plan =
+            DeploymentPlan::new(groups, RoutingMatrix::new(rates).unwrap()).unwrap();
+        let text = plan_io::to_text(&plan);
+        let back = plan_io::from_text(&text).unwrap();
+        // group structure identical; routing equal within text precision
+        prop_assert_eq!(&plan.groups, &back.groups);
+        for i in 0..num_prefill {
+            for j in 0..num_decode {
+                prop_assert!((plan.routing.rate(i, j) - back.routing.rate(i, j)).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Per-request invariants of the engine's latency metrics: the largest
+    /// inter-token gap is at least the mean gap (TPOT) and at most E2E.
+    #[test]
+    fn itl_bounds_hold(seed in any::<u64>(), rate_x10 in 5u64..30) {
+        use thunderserve::workload::generator::generate;
+        let cluster = thunderserve::cluster::presets::network_case_cluster(
+            thunderserve::cluster::presets::ETH_40GBPS,
+        );
+        let model = thunderserve::common::ModelSpec::llama_13b();
+        let w = thunderserve::workload::spec::fixed(512, 32, rate_x10 as f64 / 10.0);
+        let reqs = generate(&w, SimDuration::from_secs(20), seed);
+        prop_assume!(!reqs.is_empty());
+        let plan = {
+            use thunderserve::common::{DeploymentPlan, GroupSpec, ParallelConfig, RoutingMatrix, StageSpec};
+            let g = |phase, ids: [u32; 4]| GroupSpec::new(
+                phase,
+                ParallelConfig::new(4, 1).unwrap(),
+                vec![StageSpec { gpus: ids.iter().map(|&i| GpuId(i)).collect(), layers: 40 }],
+            ).unwrap();
+            DeploymentPlan::new(
+                vec![g(Phase::Prefill, [0, 1, 2, 3]), g(Phase::Decode, [4, 5, 6, 7])],
+                RoutingMatrix::uniform(1, 1),
+            ).unwrap()
+        };
+        let m = thunderserve::sim::engine::Simulation::new(
+            &cluster,
+            &plan,
+            thunderserve::sim::config::SimConfig::new(model),
+        )
+        .unwrap()
+        .run(&reqs)
+        .unwrap();
+        for r in m.records() {
+            if r.request.decode_steps() > 0 {
+                prop_assert!(r.max_token_gap >= r.tpot(),
+                    "max gap {} < mean gap {}", r.max_token_gap, r.tpot());
+                prop_assert!(r.max_token_gap <= r.e2e());
+            } else {
+                prop_assert!(r.max_token_gap.is_zero());
+            }
+        }
+    }
+}

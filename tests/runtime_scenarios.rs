@@ -1,0 +1,125 @@
+//! Integration tests combining the runtime components the way an operator
+//! would: heartbeats drive failure handling, elasticity grows deployments,
+//! and replayed traces run through the CLI-visible paths.
+
+use thunderserve::prelude::*;
+use thunderserve::runtime::heartbeat::HeartbeatMonitor;
+use thunderserve::runtime::service::{ReschedulePolicy, ServingRuntime};
+use thunderserve::workload::generator::generate;
+use thunderserve::workload::spec;
+
+fn slo() -> SloSpec {
+    SloSpec::new(
+        SimDuration::from_millis(3200),
+        SimDuration::from_millis(240),
+        SimDuration::from_secs(48),
+    )
+}
+
+/// Heartbeat timeout → node declared dead → lightweight reschedule → serving
+/// continues on the survivors.
+#[test]
+fn heartbeat_timeout_drives_failure_handling() {
+    let cluster = thunderserve::cluster::presets::paper_cloud_cluster();
+    let mut cfg = SchedulerConfig::fast();
+    cfg.seed = 41;
+    let mut rt = ServingRuntime::new(cluster, ModelSpec::llama_30b(), slo(), cfg);
+    let w = spec::coding(2.0);
+    rt.deploy(&w).unwrap();
+
+    // All 7 nodes heartbeat at t=0; node 6 goes silent.
+    let mut hb = HeartbeatMonitor::new(SimDuration::from_secs(30));
+    let node_ids: Vec<thunderserve::common::NodeId> =
+        rt.cluster().nodes().iter().map(|n| n.id).collect();
+    for &n in &node_ids {
+        hb.register(n, SimTime::ZERO);
+    }
+    let t1 = SimTime::from_secs_f64(20.0);
+    for &n in &node_ids {
+        if n.index() != 6 {
+            hb.beat(n, t1);
+        }
+    }
+    let dead = hb.expired(SimTime::from_secs_f64(45.0));
+    assert_eq!(dead, vec![thunderserve::common::NodeId(6)]);
+
+    // The runtime reacts: fail the node's GPUs, lightweight-reschedule.
+    let failed: Vec<GpuId> = rt.cluster().node(dead[0]).gpus.clone();
+    rt.handle_failure(&failed, &w, ReschedulePolicy::Lightweight)
+        .unwrap();
+    let rep = rt
+        .serve_segment(&generate(&w, SimDuration::from_secs(60), 1))
+        .unwrap();
+    assert!(rep.blackout.is_zero());
+    assert!(rep.metrics.num_completed() > 0);
+    for g in &rt.plan().unwrap().groups {
+        for gpu in g.gpus() {
+            assert_ne!(rt.cluster().gpu(gpu).node, dead[0]);
+        }
+    }
+}
+
+/// Trace round trip through the workload trace format feeds the engine the
+/// same requests.
+#[test]
+fn trace_replay_matches_generated_run() {
+    use thunderserve::workload::trace::{from_csv, to_csv};
+    let cluster = thunderserve::cluster::presets::network_case_cluster(
+        thunderserve::cluster::presets::ETH_40GBPS,
+    );
+    let model = ModelSpec::llama_13b();
+    let mut cfg = SchedulerConfig::fast();
+    cfg.seed = 43;
+    let w = spec::coding(1.5);
+    let plan = Scheduler::new(cfg)
+        .schedule(&cluster, &model, &w, &slo())
+        .unwrap()
+        .plan;
+    let reqs = generate(&w, SimDuration::from_secs(45), 11);
+    let replayed = from_csv(&to_csv(&reqs)).unwrap();
+    let m1 = Simulation::new(&cluster, &plan, SimConfig::new(model.clone()))
+        .unwrap()
+        .run(&reqs)
+        .unwrap();
+    let m2 = Simulation::new(&cluster, &plan, SimConfig::new(model))
+        .unwrap()
+        .run(&replayed)
+        .unwrap();
+    assert_eq!(m1.num_completed(), m2.num_completed());
+    // throughputs agree to the trace format's microsecond precision
+    assert!((m1.throughput_tokens() - m2.throughput_tokens()).abs() < 0.5);
+}
+
+/// Planning for a blended workload serves a mixed stream at least as well as
+/// planning for the wrong single component.
+#[test]
+fn blended_planning_handles_mixtures() {
+    use thunderserve::workload::generator::generate_mixture;
+    let cluster = thunderserve::cluster::presets::paper_cloud_cluster();
+    let model = ModelSpec::llama_30b();
+    let rate = 2.4;
+    let coding = spec::coding(rate / 2.0);
+    let conv = spec::conversation(rate / 2.0);
+    let blended = spec::blend(&[(coding.clone(), 1.0), (conv.clone(), 1.0)]);
+    let mix_trace = generate_mixture(&[coding, conv], SimDuration::from_secs(120), 13);
+
+    let run = |workload: &thunderserve::workload::WorkloadSpec, seed: u64| {
+        let mut cfg = SchedulerConfig::fast();
+        cfg.seed = seed;
+        let plan = Scheduler::new(cfg)
+            .schedule(&cluster, &model, workload, &slo())
+            .unwrap()
+            .plan;
+        Simulation::new(&cluster, &plan, SimConfig::new(model.clone()))
+            .unwrap()
+            .run(&mix_trace)
+            .unwrap()
+            .joint_attainment(&slo())
+    };
+    let planned_for_blend = run(&blended, 3);
+    let planned_for_coding_only = run(&spec::coding(rate), 3);
+    assert!(
+        planned_for_blend >= planned_for_coding_only - 0.1,
+        "blend-planned {planned_for_blend} vs coding-planned {planned_for_coding_only}"
+    );
+}
