@@ -5,9 +5,13 @@
 //! timestamped change to the availability mask of a [`crate::Cluster`]; the
 //! runtime replays a script of these events to drive the Figure 11
 //! experiment (4 of 32 GPUs going offline).
+//!
+//! Scripts have a line-oriented text form (one `event <micros> <kind> …`
+//! line each, see [`script_to_text`]) so failure scenarios can be saved and
+//! replayed without a JSON dependency.
 
 use serde::{Deserialize, Serialize};
-use ts_common::{GpuId, NodeId, Result, SimTime};
+use ts_common::{Error, GpuId, NodeId, Result, SimTime};
 
 use crate::topology::Cluster;
 
@@ -16,6 +20,8 @@ use crate::topology::Cluster;
 pub enum EventKind {
     /// A whole node went offline (heartbeat timeout).
     NodeDown(NodeId),
+    /// A whole node came back online (outage ended / replacement arrived).
+    NodeUp(NodeId),
     /// Specific GPUs went offline.
     GpusDown(Vec<GpuId>),
     /// Specific GPUs came (back) online.
@@ -44,6 +50,7 @@ impl ClusterEvent {
     pub fn apply(&self, cluster: &mut Cluster) -> Result<()> {
         match &self.kind {
             EventKind::NodeDown(n) => cluster.deactivate_node(*n),
+            EventKind::NodeUp(n) => cluster.activate_node(*n),
             EventKind::GpusDown(ids) => cluster.deactivate_gpus(ids),
             EventKind::GpusUp(ids) => cluster.activate_gpus(ids),
         }
@@ -53,6 +60,86 @@ impl ClusterEvent {
 /// Sorts a script of events by time (stable), so it can be replayed in order.
 pub fn sort_script(events: &mut [ClusterEvent]) {
     events.sort_by_key(|e| e.at);
+}
+
+/// Renders a script in the text format, one event per line:
+///
+/// ```text
+/// event 2000000 node-down 1
+/// event 5000000 gpus-up 4,5
+/// ```
+pub fn script_to_text(events: &[ClusterEvent]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for e in events {
+        let _ = write!(out, "event {} ", e.at.as_micros());
+        match &e.kind {
+            EventKind::NodeDown(n) => {
+                let _ = writeln!(out, "node-down {}", n.0);
+            }
+            EventKind::NodeUp(n) => {
+                let _ = writeln!(out, "node-up {}", n.0);
+            }
+            EventKind::GpusDown(ids) => {
+                let _ = writeln!(out, "gpus-down {}", join_ids(ids));
+            }
+            EventKind::GpusUp(ids) => {
+                let _ = writeln!(out, "gpus-up {}", join_ids(ids));
+            }
+        }
+    }
+    out
+}
+
+fn join_ids(ids: &[GpuId]) -> String {
+    ids.iter().map(|g| g.0.to_string()).collect::<Vec<_>>().join(",")
+}
+
+/// Parses a script from the text format (blank lines ignored).
+///
+/// # Errors
+/// Returns [`Error::InvalidConfig`] describing the first malformed line.
+pub fn script_from_text(text: &str) -> Result<Vec<ClusterEvent>> {
+    let bad = |msg: String| Error::InvalidConfig(format!("script parse: {msg}"));
+    let mut events = Vec::new();
+    for line in text.lines().map(str::trim).filter(|l| !l.is_empty()) {
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some("event") {
+            return Err(bad(format!("expected 'event ...', got {line:?}")));
+        }
+        let at: u64 = parts
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| bad(format!("bad timestamp in {line:?}")))?;
+        let kind = parts.next().ok_or_else(|| bad(format!("missing kind in {line:?}")))?;
+        let arg = parts.next().ok_or_else(|| bad(format!("missing argument in {line:?}")))?;
+        if parts.next().is_some() {
+            return Err(bad(format!("trailing tokens in {line:?}")));
+        }
+        let parse_node = |v: &str| {
+            v.parse::<u32>()
+                .map(NodeId)
+                .map_err(|_| bad(format!("bad node id {v:?}")))
+        };
+        let parse_gpus = |v: &str| -> Result<Vec<GpuId>> {
+            v.split(',')
+                .map(|t| {
+                    t.parse::<u32>()
+                        .map(GpuId)
+                        .map_err(|_| bad(format!("bad gpu id {t:?}")))
+                })
+                .collect()
+        };
+        let kind = match kind {
+            "node-down" => EventKind::NodeDown(parse_node(arg)?),
+            "node-up" => EventKind::NodeUp(parse_node(arg)?),
+            "gpus-down" => EventKind::GpusDown(parse_gpus(arg)?),
+            "gpus-up" => EventKind::GpusUp(parse_gpus(arg)?),
+            other => return Err(bad(format!("unknown event kind {other:?}"))),
+        };
+        events.push(ClusterEvent::new(SimTime::from_micros(at), kind));
+    }
+    Ok(events)
 }
 
 #[cfg(test)]
@@ -83,6 +170,20 @@ mod tests {
     }
 
     #[test]
+    fn node_up_restores_the_whole_node() {
+        let mut c = cluster();
+        ClusterEvent::new(SimTime::ZERO, EventKind::NodeDown(NodeId(0)))
+            .apply(&mut c)
+            .unwrap();
+        assert_eq!(c.num_gpus(), 2);
+        ClusterEvent::new(SimTime::from_micros(9), EventKind::NodeUp(NodeId(0)))
+            .apply(&mut c)
+            .unwrap();
+        assert_eq!(c.num_gpus(), 4);
+        assert!(c.is_active(GpuId(0)) && c.is_active(GpuId(1)));
+    }
+
+    #[test]
     fn script_sorts_by_time() {
         let mut script = vec![
             ClusterEvent::new(SimTime::from_micros(10), EventKind::GpusDown(vec![GpuId(0)])),
@@ -97,5 +198,36 @@ mod tests {
         let mut c = cluster();
         let e = ClusterEvent::new(SimTime::ZERO, EventKind::NodeDown(NodeId(9)));
         assert!(e.apply(&mut c).is_err());
+        let e = ClusterEvent::new(SimTime::ZERO, EventKind::NodeUp(NodeId(9)));
+        assert!(e.apply(&mut c).is_err());
+    }
+
+    #[test]
+    fn text_round_trips_every_kind() {
+        let script = vec![
+            ClusterEvent::new(SimTime::from_micros(2_000_000), EventKind::NodeDown(NodeId(1))),
+            ClusterEvent::new(SimTime::from_micros(3_500_000), EventKind::NodeUp(NodeId(1))),
+            ClusterEvent::new(
+                SimTime::from_micros(4_000_000),
+                EventKind::GpusDown(vec![GpuId(0), GpuId(3)]),
+            ),
+            ClusterEvent::new(SimTime::from_micros(5_000_000), EventKind::GpusUp(vec![GpuId(0)])),
+        ];
+        let text = script_to_text(&script);
+        assert!(text.contains("event 2000000 node-down 1"));
+        assert!(text.contains("event 4000000 gpus-down 0,3"));
+        let back = script_from_text(&text).unwrap();
+        assert_eq!(script, back);
+    }
+
+    #[test]
+    fn text_rejects_malformed_lines() {
+        assert!(script_from_text("event x node-down 1").is_err());
+        assert!(script_from_text("event 5 explode 1").is_err());
+        assert!(script_from_text("event 5 node-down").is_err());
+        assert!(script_from_text("event 5 gpus-up 1,x").is_err());
+        assert!(script_from_text("event 5 node-up 1 junk").is_err());
+        assert!(script_from_text("not-an-event 5 node-up 1").is_err());
+        assert!(script_from_text("").unwrap().is_empty());
     }
 }

@@ -237,6 +237,18 @@ impl Cluster {
         self.deactivate_gpus(&gpus)
     }
 
+    /// Re-activates a whole node (recovery from a heartbeat outage).
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidConfig`] if the node id is out of range.
+    pub fn activate_node(&mut self, node: NodeId) -> Result<()> {
+        if node.index() >= self.nodes.len() {
+            return Err(Error::InvalidConfig(format!("unknown node {node}")));
+        }
+        let gpus = self.nodes[node.index()].gpus.clone();
+        self.activate_gpus(&gpus)
+    }
+
     /// Re-activates GPUs (elastic scale-up).
     ///
     /// # Errors

@@ -42,6 +42,6 @@ pub use parallel::ParallelConfig;
 pub use phase::Phase;
 pub use plan::{DeploymentPlan, GroupSpec, RoutingMatrix, StageSpec};
 pub use request::Request;
-pub use rng::seeded_rng;
+pub use rng::{derive_seed, seeded_rng};
 pub use slo::{SloKind, SloSpec};
 pub use time::{SimDuration, SimTime};

@@ -89,7 +89,7 @@ pub fn from_text(text: &str) -> Result<DeploymentPlan> {
     let mut cols = 0usize;
     let mut rows: Vec<Vec<f64>> = Vec::new();
 
-    while let Some(line) = lines.next() {
+    for line in lines {
         if rows_needed > 0 {
             let row: Vec<f64> = line
                 .split_whitespace()

@@ -62,14 +62,30 @@ impl HeartbeatMonitor {
         dead
     }
 
-    /// Number of tracked nodes.
+    /// Stops tracking a node entirely (it left the cluster for good, e.g. a
+    /// spot instance that will not return). Unknown nodes are a no-op.
+    pub fn deregister(&mut self, node: NodeId) {
+        self.last_seen.remove(&node);
+        self.reported.remove(&node);
+    }
+
+    /// Number of nodes currently believed alive: registered and not flagged
+    /// dead. Nodes in a reported outage don't count until they beat again.
     pub fn num_tracked(&self) -> usize {
-        self.last_seen.len()
+        self.last_seen
+            .keys()
+            .filter(|n| !self.reported.get(n).copied().unwrap_or(false))
+            .count()
     }
 
     /// Whether a node is currently flagged dead.
     pub fn is_dead(&self, node: NodeId) -> bool {
         self.reported.get(&node).copied().unwrap_or(false)
+    }
+
+    /// The configured heartbeat timeout.
+    pub fn timeout(&self) -> SimDuration {
+        self.timeout
     }
 }
 
@@ -119,5 +135,37 @@ mod tests {
     #[should_panic]
     fn zero_timeout_panics() {
         let _ = HeartbeatMonitor::new(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn deregister_removes_the_node() {
+        let mut m = HeartbeatMonitor::new(SimDuration::from_secs(5));
+        m.register(NodeId(0), t(0));
+        m.register(NodeId(1), t(0));
+        assert_eq!(m.num_tracked(), 2);
+        m.deregister(NodeId(0));
+        assert_eq!(m.num_tracked(), 1);
+        // the deregistered node never expires
+        assert_eq!(m.expired(t(10)), vec![NodeId(1)]);
+        m.deregister(NodeId(7)); // unknown: no-op
+        assert_eq!(m.expired(t(20)), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn num_tracked_excludes_dead_nodes() {
+        let mut m = HeartbeatMonitor::new(SimDuration::from_secs(5));
+        m.register(NodeId(0), t(0));
+        m.register(NodeId(1), t(0));
+        m.beat(NodeId(0), t(4));
+        assert_eq!(m.expired(t(6)), vec![NodeId(1)]);
+        assert_eq!(m.num_tracked(), 1);
+        m.beat(NodeId(1), t(7)); // resurrection counts again
+        assert_eq!(m.num_tracked(), 2);
+    }
+
+    #[test]
+    fn timeout_accessor_reports_config() {
+        let m = HeartbeatMonitor::new(SimDuration::from_millis(750));
+        assert_eq!(m.timeout(), SimDuration::from_millis(750));
     }
 }

@@ -18,13 +18,19 @@ use thunderserve_core::reschedule::{
     full_reschedule, lightweight_reschedule, no_reschedule, RescheduleOutcome,
 };
 use thunderserve_core::Scheduler;
+use ts_cluster::availability::{sort_script, ClusterEvent, EventKind};
 use ts_cluster::Cluster;
 use ts_common::{
-    DeploymentPlan, Error, GpuId, ModelSpec, Request, Result, SimDuration, SimTime, SloSpec,
+    DeploymentPlan, Error, GpuId, ModelSpec, NodeId, Request, Result, SimDuration, SimTime,
+    SloSpec,
 };
+use ts_costmodel::replica::{ReplicaCostModel, DISK_BANDWIDTH};
 use ts_sim::engine::Simulation;
+use ts_sim::fault::{FaultKind, FaultScript, TimedFault};
 use ts_sim::metrics::Metrics;
 use ts_workload::{WorkloadProfiler, WorkloadSpec};
+
+use crate::heartbeat::HeartbeatMonitor;
 
 /// How to react to failures and workload shifts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,24 +125,155 @@ impl ServingRuntime {
             .as_ref()
             .ok_or_else(|| Error::Runtime("serve_segment before deploy".into()))?;
         let blackout = std::mem::replace(&mut self.pending_blackout, SimDuration::ZERO);
-        let adjusted: Vec<Request> = if blackout.is_zero() {
-            requests.to_vec()
-        } else {
-            let resume = SimTime::ZERO + blackout;
-            requests
-                .iter()
-                .map(|r| Request {
-                    arrival: r.arrival.max(resume),
-                    ..*r
-                })
-                .collect()
-        };
+        let adjusted = shift_for_blackout(requests, blackout);
         for r in requests {
             self.profiler.observe(*r);
         }
         let cfg = sim_config(&self.model, &self.scheduler_cfg);
         let mut sim = Simulation::new(&self.cluster, plan, cfg)?;
         let metrics = sim.run(&adjusted)?;
+        Ok(SegmentReport { metrics, blackout })
+    }
+
+    /// Serves one segment while availability `events` strike **mid-flight**:
+    /// the events are projected onto the current plan's replicas
+    /// ([`FaultScript::from_cluster_events`]) and injected into the engine,
+    /// so in-flight requests on failed replicas are re-routed/re-prefilled
+    /// (or lost, under [`ReschedulePolicy::None`]) as the run progresses.
+    ///
+    /// `heartbeat_timeout` is the [`HeartbeatMonitor`] timeout: a replica
+    /// lost at `t` is only acted on at `t + heartbeat_timeout`. Under
+    /// [`ReschedulePolicy::Full`] the first detected failure additionally
+    /// pauses the whole service for the modeled weight-reload time — the
+    /// mid-segment equivalent of the between-segment reload blackout.
+    ///
+    /// After the segment, the events are applied to the runtime's cluster
+    /// view and the policy's reschedule is run for subsequent segments —
+    /// unless the outage was a node blip shorter than the heartbeat timeout
+    /// (never detected, nothing to react to). A full reschedule triggered
+    /// this way carries no *additional* pending blackout: the reload was
+    /// already paid in-flight as the pause.
+    ///
+    /// # Errors
+    /// Returns [`Error::Runtime`] if no plan is deployed; propagates
+    /// simulation, event-application and rescheduling failures (except under
+    /// `None`, where an infeasible prune keeps the old plan — the dead
+    /// replicas simply stop answering).
+    pub fn serve_segment_with_faults(
+        &mut self,
+        requests: &[Request],
+        events: &[ClusterEvent],
+        policy: ReschedulePolicy,
+        workload: &WorkloadSpec,
+        heartbeat_timeout: SimDuration,
+    ) -> Result<SegmentReport> {
+        let plan = self
+            .plan
+            .as_ref()
+            .ok_or_else(|| Error::Runtime("serve_segment_with_faults before deploy".into()))?;
+        let blackout = std::mem::replace(&mut self.pending_blackout, SimDuration::ZERO);
+        let adjusted = shift_for_blackout(requests, blackout);
+        for r in requests {
+            self.profiler.observe(*r);
+        }
+
+        let mut script =
+            FaultScript::from_cluster_events(&self.cluster, plan, events, heartbeat_timeout);
+        if policy == ReschedulePolicy::None {
+            script = script.without_recovery();
+        }
+        // Full rescheduling mid-segment reloads weights: pause the service
+        // from the first detection until the reload completes.
+        let mut paused_mid_flight = false;
+        if policy == ReschedulePolicy::Full {
+            let first_down = script.faults.iter().find(|f| {
+                matches!(f.kind, FaultKind::PrefillDown(_) | FaultKind::DecodeDown(_))
+            });
+            if let Some(f) = first_down {
+                let reload = plan
+                    .groups
+                    .iter()
+                    .filter_map(|g| {
+                        ReplicaCostModel::new(&self.cluster, &self.model, g, &self.scheduler_cfg.params)
+                            .ok()
+                    })
+                    .map(|rcm| rcm.weight_load_time(DISK_BANDWIDTH))
+                    .max()
+                    .unwrap_or(SimDuration::ZERO);
+                let detect = f.at + heartbeat_timeout;
+                script.faults.push(TimedFault {
+                    at: detect,
+                    kind: FaultKind::Pause { until: detect + reload },
+                });
+                script.faults.sort_by_key(|f| f.at);
+                paused_mid_flight = true;
+            }
+        }
+
+        let cfg = sim_config(&self.model, &self.scheduler_cfg);
+        let mut sim = Simulation::new(&self.cluster, plan, cfg)?;
+        let metrics = sim.run_with_faults(&adjusted, &script)?;
+
+        // Replay node-level events through a heartbeat monitor to decide
+        // what the coordinator actually *detected*: healthy nodes beat at
+        // every event time, silent ones expire one timeout later. A blip
+        // shorter than the timeout is never seen. GPU-level events come from
+        // explicit device errors and are always known.
+        let mut sorted = events.to_vec();
+        sort_script(&mut sorted);
+        let nodes: Vec<NodeId> = (0..self.cluster.num_nodes())
+            .map(|i| NodeId(i as u32))
+            .collect();
+        let mut monitor = HeartbeatMonitor::new(heartbeat_timeout);
+        for &n in &nodes {
+            monitor.register(n, SimTime::ZERO);
+        }
+        let mut silent: Vec<NodeId> = Vec::new();
+        let mut gpu_level_change = false;
+        let mut detected = false;
+        for ev in &sorted {
+            for &n in &nodes {
+                if !silent.contains(&n) {
+                    monitor.beat(n, ev.at);
+                }
+            }
+            detected |= !monitor.expired(ev.at).is_empty();
+            match &ev.kind {
+                EventKind::NodeDown(n) => silent.push(*n),
+                EventKind::NodeUp(n) => {
+                    silent.retain(|m| m != n);
+                    monitor.beat(*n, ev.at);
+                }
+                EventKind::GpusDown(_) | EventKind::GpusUp(_) => gpu_level_change = true,
+            }
+        }
+        if let Some(last) = sorted.last() {
+            let horizon = last.at + heartbeat_timeout + SimDuration::from_micros(1);
+            for &n in &nodes {
+                if !silent.contains(&n) {
+                    monitor.beat(n, horizon);
+                }
+            }
+            detected |= !monitor.expired(horizon).is_empty();
+        }
+
+        for ev in &sorted {
+            ev.apply(&mut self.cluster)?;
+        }
+        if detected || gpu_level_change {
+            match self.reschedule(workload, policy) {
+                // Under `None` a phase may have lost every replica, making
+                // even the prune infeasible; the old plan stays and the dead
+                // replicas just stop answering.
+                Err(_) if policy == ReschedulePolicy::None => {}
+                other => other?,
+            }
+            if paused_mid_flight {
+                // The reload was served in-flight as the pause; don't charge
+                // the next segment again.
+                self.pending_blackout = SimDuration::ZERO;
+            }
+        }
         Ok(SegmentReport { metrics, blackout })
     }
 
@@ -231,6 +368,22 @@ impl ServingRuntime {
     }
 }
 
+/// Requests arriving during a reload blackout queue at the coordinator and
+/// enter the engine when service resumes.
+fn shift_for_blackout(requests: &[Request], blackout: SimDuration) -> Vec<Request> {
+    if blackout.is_zero() {
+        return requests.to_vec();
+    }
+    let resume = SimTime::ZERO + blackout;
+    requests
+        .iter()
+        .map(|r| Request {
+            arrival: r.arrival.max(resume),
+            ..*r
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,7 +401,7 @@ mod tests {
 
     fn runtime() -> ServingRuntime {
         let mut cfg = SchedulerConfig::fast();
-        cfg.seed = 31;
+        cfg.seed = 9;
         ServingRuntime::new(
             presets::paper_cloud_cluster(),
             ModelSpec::llama_30b(),
@@ -339,30 +492,35 @@ mod tests {
 
     #[test]
     fn elastic_scale_up_grows_the_deployment() {
-        let mut rt = runtime();
         let w = spec::coding(2.0);
-        // Start degraded: two nodes down.
-        rt.handle_failure(
-            &(24..32).map(GpuId).collect::<Vec<_>>(),
-            &w,
-            ReschedulePolicy::None,
-        )
-        .err(); // may fail pre-deploy; ignore
+        // Start degraded: the two 3090Ti boxes (GPUs 24..32) are offline.
+        let lost: Vec<GpuId> = (24..32).map(GpuId).collect();
         let mut cluster = presets::paper_cloud_cluster();
-        cluster.deactivate_gpus(&(24..32).map(GpuId).collect::<Vec<_>>()).unwrap();
+        cluster.deactivate_gpus(&lost).unwrap();
         let mut cfg = SchedulerConfig::fast();
         cfg.seed = 31;
         let mut rt = ServingRuntime::new(cluster, ModelSpec::llama_30b(), slo(), cfg);
         rt.deploy(&w).unwrap();
+        // The degraded deployment avoids the offline GPUs entirely.
+        assert!(
+            rt.plan()
+                .unwrap()
+                .groups
+                .iter()
+                .flat_map(|g| g.gpus().collect::<Vec<_>>())
+                .all(|g| g.0 < 24),
+            "degraded deploy must not touch offline GPUs"
+        );
         let before = rt.plan().unwrap().groups.len();
         // The 3090Ti boxes come back online.
-        rt.handle_capacity_gain(&(24..32).map(GpuId).collect::<Vec<_>>(), &w)
-            .unwrap();
+        rt.handle_capacity_gain(&lost, &w).unwrap();
         let after = rt.plan().unwrap().groups.len();
         assert!(
             after >= before,
             "capacity gain should not shrink the deployment: {after} vs {before}"
         );
+        // lost GPUs were reactivated by handle_capacity_gain
+        assert!(lost.iter().all(|g| rt.cluster().is_active(*g)));
         let uses_new = rt
             .plan()
             .unwrap()
@@ -373,6 +531,116 @@ mod tests {
         assert!(uses_new, "the returned GPUs should be used");
         // Full reschedule pays a reload blackout.
         assert!(!rt.resched_log.last().unwrap().1.reload_time.is_zero());
+    }
+
+    #[test]
+    fn mid_flight_failure_recovers_and_replans() {
+        use ts_cluster::availability::{ClusterEvent, EventKind};
+
+        let mut rt = runtime();
+        let w = spec::coding(2.0);
+        rt.deploy(&w).unwrap();
+        // Kill the GPUs of the last decode replica 20s into the segment.
+        let plan = rt.plan().unwrap();
+        let decode_idx = *plan.decode_indices().last().unwrap();
+        let doomed: Vec<GpuId> = plan.groups[decode_idx].gpus().collect();
+        let survivors = plan.decode_indices().len() > 1;
+        let events = vec![ClusterEvent::new(
+            SimTime::from_secs_f64(20.0),
+            EventKind::GpusDown(doomed.clone()),
+        )];
+        let reqs = generate(&w, SimDuration::from_secs(60), 5);
+        let rep = rt
+            .serve_segment_with_faults(
+                &reqs,
+                &events,
+                ReschedulePolicy::Lightweight,
+                &w,
+                SimDuration::from_millis(500),
+            )
+            .unwrap();
+        let m = &rep.metrics;
+        assert_eq!(
+            m.num_completed() + m.num_dropped() + m.num_rejected(),
+            reqs.len(),
+            "every request must be accounted for"
+        );
+        if survivors {
+            assert_eq!(m.num_completed(), reqs.len(), "survivors absorb the work");
+            assert!(m.recovery().any(), "recovery actions should be recorded");
+        }
+        // The post-segment lightweight reschedule avoids the dead GPUs.
+        assert_eq!(rt.resched_log.last().unwrap().0, ReschedulePolicy::Lightweight);
+        for g in &rt.plan().unwrap().groups {
+            for gpu in g.gpus() {
+                assert!(rt.cluster().is_active(gpu), "plan references dead {gpu:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn node_blip_below_heartbeat_timeout_triggers_no_reschedule() {
+        use ts_cluster::availability::{ClusterEvent, EventKind};
+        use ts_common::NodeId;
+
+        let mut rt = runtime();
+        let w = spec::coding(2.0);
+        rt.deploy(&w).unwrap();
+        // Down for 400ms, heartbeat timeout 1s: the coordinator never sees it.
+        let events = vec![
+            ClusterEvent::new(SimTime::from_secs_f64(10.0), EventKind::NodeDown(NodeId(0))),
+            ClusterEvent::new(SimTime::from_secs_f64(10.4), EventKind::NodeUp(NodeId(0))),
+        ];
+        let reqs = generate(&w, SimDuration::from_secs(30), 6);
+        let rep = rt
+            .serve_segment_with_faults(
+                &reqs,
+                &events,
+                ReschedulePolicy::Lightweight,
+                &w,
+                SimDuration::from_secs(1),
+            )
+            .unwrap();
+        assert!(rt.resched_log.is_empty(), "a sub-timeout blip must not reschedule");
+        let m = &rep.metrics;
+        assert_eq!(
+            m.num_completed() + m.num_dropped() + m.num_rejected(),
+            reqs.len()
+        );
+        // Net availability is unchanged.
+        assert_eq!(rt.cluster().num_gpus(), presets::paper_cloud_cluster().num_gpus());
+    }
+
+    #[test]
+    fn mid_flight_full_pays_reload_in_flight_not_next_segment() {
+        use ts_cluster::availability::{ClusterEvent, EventKind};
+
+        let mut rt = runtime();
+        let w = spec::coding(2.0);
+        rt.deploy(&w).unwrap();
+        let plan = rt.plan().unwrap();
+        let decode_idx = *plan.decode_indices().last().unwrap();
+        let doomed: Vec<GpuId> = plan.groups[decode_idx].gpus().collect();
+        let events = vec![ClusterEvent::new(
+            SimTime::from_secs_f64(15.0),
+            EventKind::GpusDown(doomed),
+        )];
+        let reqs = generate(&w, SimDuration::from_secs(60), 7);
+        rt.serve_segment_with_faults(
+            &reqs,
+            &events,
+            ReschedulePolicy::Full,
+            &w,
+            SimDuration::from_millis(500),
+        )
+        .unwrap();
+        // The full reschedule ran and modeled a reload…
+        let (policy, outcome) = rt.resched_log.last().unwrap();
+        assert_eq!(*policy, ReschedulePolicy::Full);
+        assert!(!outcome.reload_time.is_zero());
+        // …but the next segment starts clean: the pause was paid in-flight.
+        let rep = rt.serve_segment(&generate(&w, SimDuration::from_secs(10), 8)).unwrap();
+        assert!(rep.blackout.is_zero(), "reload must not be double-charged");
     }
 
     #[test]

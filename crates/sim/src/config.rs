@@ -30,6 +30,17 @@ pub struct SimConfig {
     pub tpot_batch_cap: Option<ts_common::SimDuration>,
     /// Order in which prefill replicas pick queued requests.
     pub prefill_policy: PrefillPolicy,
+    /// Fault handling: how many arrivals may stall in the coordinator while
+    /// no route to a live replica pair exists (whole-phase loss, reload
+    /// blackout). Arrivals beyond this are rejected outright — a distinct
+    /// outcome from requests dropped mid-service.
+    pub shed_threshold: usize,
+    /// Fault handling: base delay of the capped exponential backoff applied
+    /// when a KV transfer fails on a faulted link (attempt `n` retries after
+    /// `base * 2^(n-1)`, capped at [`SimConfig::kv_retry_backoff_cap`]).
+    pub kv_retry_backoff_base: ts_common::SimDuration,
+    /// Fault handling: upper bound on a single KV-transfer retry delay.
+    pub kv_retry_backoff_cap: ts_common::SimDuration,
 }
 
 /// Prefill queue discipline.
@@ -57,6 +68,9 @@ impl SimConfig {
             model_kv_transfer: true,
             tpot_batch_cap: None,
             prefill_policy: PrefillPolicy::Fcfs,
+            shed_threshold: 256,
+            kv_retry_backoff_base: ts_common::SimDuration::from_millis(25),
+            kv_retry_backoff_cap: ts_common::SimDuration::from_millis(1600),
         }
     }
 
@@ -83,6 +97,24 @@ impl SimConfig {
         self.prefill_policy = policy;
         self
     }
+
+    /// Returns a copy with the given stall-queue shed threshold.
+    pub fn with_shed_threshold(mut self, n: usize) -> Self {
+        self.shed_threshold = n;
+        self
+    }
+
+    /// Returns a copy with the given KV-transfer retry backoff (base delay
+    /// and cap).
+    pub fn with_kv_retry_backoff(
+        mut self,
+        base: ts_common::SimDuration,
+        cap: ts_common::SimDuration,
+    ) -> Self {
+        self.kv_retry_backoff_base = base;
+        self.kv_retry_backoff_cap = cap;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -107,5 +139,18 @@ mod tests {
         let d = ts_common::SimDuration::from_millis(50);
         let c = SimConfig::new(ModelSpec::llama_7b()).with_tpot_cap(d);
         assert_eq!(c.tpot_batch_cap, Some(d));
+    }
+
+    #[test]
+    fn fault_knobs_have_sane_defaults_and_builders() {
+        let c = SimConfig::new(ModelSpec::llama_7b());
+        assert!(c.shed_threshold > 0);
+        assert!(c.kv_retry_backoff_base < c.kv_retry_backoff_cap);
+        let base = ts_common::SimDuration::from_millis(10);
+        let cap = ts_common::SimDuration::from_millis(500);
+        let c = c.with_shed_threshold(8).with_kv_retry_backoff(base, cap);
+        assert_eq!(c.shed_threshold, 8);
+        assert_eq!(c.kv_retry_backoff_base, base);
+        assert_eq!(c.kv_retry_backoff_cap, cap);
     }
 }

@@ -7,12 +7,29 @@
 //! join the decode replica's continuous batch until all output tokens are
 //! generated. All durations come from [`ts_costmodel`]; all scheduling is
 //! deterministic.
+//!
+//! # Fault injection
+//!
+//! [`Simulation::run_with_faults`] additionally consumes a
+//! [`FaultScript`]: replicas and links can die (and heal) *mid-run*.
+//! Capacity is lost at the fault time, but the coordinator only reacts one
+//! heartbeat detection delay later — between the two, work lands on the dead
+//! replica and is silently lost, as in a real deployment. On detection
+//! (with recovery enabled) routing is masked away from the dead replica,
+//! queued and in-flight prefill batches are re-routed to survivors, and
+//! decode sequences whose KV cache died are re-prefilled from scratch on a
+//! surviving pair (the lost work is accounted in
+//! [`crate::metrics::RecoveryCounters`]). KV transfers completing over a
+//! downed link retry with capped exponential backoff. While no live route
+//! exists, arrivals stall up to [`SimConfig::shed_threshold`] and are
+//! rejected beyond it.
 
 use crate::config::{PrefillPolicy, SimConfig};
 use crate::event::{EventKind, EventQueue};
-use crate::metrics::{Metrics, RequestRecord};
+use crate::fault::{FaultKind, FaultScript, TimedFault};
+use crate::metrics::{Metrics, RecoveryCounters, RequestRecord};
 use crate::router::StrideRouter;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use ts_cluster::Cluster;
 use ts_common::{
     DeploymentPlan, Error, Request, RequestId, Result, SimDuration, SimTime,
@@ -28,18 +45,56 @@ struct Pending {
     first_token_at: Option<SimTime>,
 }
 
+/// Decode-side progress carried across a fault: a re-prefilled sequence
+/// resumes its token-gap accounting instead of starting fresh, so the
+/// recovery stall shows up in ITL metrics.
+#[derive(Debug, Clone, Copy)]
+struct ResumeState {
+    last_token_at: SimTime,
+    max_gap: SimDuration,
+}
+
+/// A unit of prefill work: a fresh request (prompt prefill) or a recovered
+/// sequence being re-prefilled over its full lost context.
+#[derive(Debug, Clone, Copy)]
+struct PrefillJob {
+    req: Request,
+    /// Tokens to prefill and then ship: the prompt for fresh requests, the
+    /// whole lost context (prompt + generated) for recovered ones.
+    tokens: u64,
+    /// Decode steps still owed after this prefill.
+    remaining: u32,
+    resume: Option<ResumeState>,
+}
+
+impl PrefillJob {
+    fn fresh(req: Request) -> Self {
+        PrefillJob {
+            req,
+            tokens: req.prompt_len as u64,
+            remaining: req.decode_steps(),
+            resume: None,
+        }
+    }
+}
+
 #[derive(Debug)]
 struct PrefillState {
     cost: ReplicaCostModel,
-    queue: VecDeque<Request>,
+    queue: VecDeque<PrefillJob>,
     /// Batches currently flowing through the pipeline (FIFO: completion
     /// events fire in launch order because stage times are batch-agnostic
     /// in ordering).
-    in_flight: VecDeque<Vec<Request>>,
+    in_flight: VecDeque<Vec<PrefillJob>>,
     /// Earliest time the first pipeline stage can accept a new batch.
     next_free: SimTime,
     /// Whether a slot-free wakeup is already scheduled.
     wakeup_scheduled: bool,
+    /// Fault state: dead replicas hold their work frozen until detection.
+    alive: bool,
+    /// Bumped on every death so completion events scheduled before the
+    /// fault are recognized as stale.
+    epoch: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -58,8 +113,11 @@ struct ActiveSeq {
 #[derive(Debug, Clone, Copy)]
 struct WaitingSeq {
     id: RequestId,
-    prompt_len: u64,
+    /// Context tokens whose KV just arrived (prompt, or full re-prefilled
+    /// context for recovered sequences).
+    tokens: u64,
     remaining: u32,
+    resume: Option<ResumeState>,
 }
 
 #[derive(Debug)]
@@ -70,6 +128,18 @@ struct DecodeState {
     active: Vec<ActiveSeq>,
     waiting: VecDeque<WaitingSeq>,
     stepping: bool,
+    alive: bool,
+    epoch: u64,
+}
+
+/// An in-flight KV transfer (registry entry; completion events carry an
+/// attempt number so superseded attempts are ignored).
+#[derive(Debug, Clone, Copy)]
+struct Transfer {
+    from: usize,
+    to: usize,
+    job: PrefillJob,
+    attempt: u32,
 }
 
 /// The phase-split discrete-event simulation.
@@ -92,6 +162,30 @@ pub struct Simulation<'a> {
     records: Vec<RequestRecord>,
     dropped: usize,
     now: SimTime,
+    // --- fault state ---
+    faults: Vec<TimedFault>,
+    recovery_enabled: bool,
+    /// Link availability per (prefill, decode) pair.
+    link_down: Vec<Vec<bool>>,
+    /// The coordinator's belief about replica liveness: updated at fault
+    /// *detection* (downs) and immediately on healing (ups). Routing masks
+    /// follow beliefs, not ground truth — that is the detection window.
+    believed_dead_prefill: Vec<bool>,
+    believed_dead_decode: Vec<bool>,
+    /// In-flight KV transfers by request.
+    transfers: HashMap<RequestId, Transfer>,
+    /// Transfers whose target died with no live alternative; re-dispatched
+    /// when a decode replica comes back.
+    parked: Vec<Transfer>,
+    /// Arrivals (and requeues) stalled because no live route exists or the
+    /// service is paused; shed beyond `cfg.shed_threshold`.
+    stalled: VecDeque<PrefillJob>,
+    paused_until: Option<SimTime>,
+    rejected: usize,
+    recovery: RecoveryCounters,
+    /// Requests affected by each fault (fault time, outstanding ids); a
+    /// fault's time-to-recover is recorded when its set empties.
+    affected: Vec<(SimTime, BTreeSet<RequestId>)>,
 }
 
 impl<'a> Simulation<'a> {
@@ -111,6 +205,8 @@ impl<'a> Simulation<'a> {
                 in_flight: VecDeque::new(),
                 next_free: SimTime::ZERO,
                 wakeup_scheduled: false,
+                alive: true,
+                epoch: 0,
             });
         }
         let mut decodes = Vec::with_capacity(decode_idx.len());
@@ -125,6 +221,8 @@ impl<'a> Simulation<'a> {
                 active: Vec::new(),
                 waiting: VecDeque::new(),
                 stepping: false,
+                alive: true,
+                epoch: 0,
             });
         }
         let (router, pair_coords) = StrideRouter::from_matrix(plan.routing.rates())?;
@@ -137,6 +235,9 @@ impl<'a> Simulation<'a> {
             routes.push(row);
         }
         let sender_free_at = vec![SimTime::ZERO; prefills.len()];
+        let link_down = vec![vec![false; decodes.len()]; prefills.len()];
+        let believed_dead_prefill = vec![false; prefills.len()];
+        let believed_dead_decode = vec![false; decodes.len()];
         Ok(Simulation {
             cluster,
             cfg,
@@ -152,6 +253,18 @@ impl<'a> Simulation<'a> {
             records: Vec::new(),
             dropped: 0,
             now: SimTime::ZERO,
+            faults: Vec::new(),
+            recovery_enabled: true,
+            link_down,
+            believed_dead_prefill,
+            believed_dead_decode,
+            transfers: HashMap::new(),
+            parked: Vec::new(),
+            stalled: VecDeque::new(),
+            paused_until: None,
+            rejected: 0,
+            recovery: RecoveryCounters::default(),
+            affected: Vec::new(),
         })
     }
 
@@ -165,8 +278,41 @@ impl<'a> Simulation<'a> {
     /// # Errors
     /// Returns [`Error::Simulation`] if internal invariants are violated.
     pub fn run(&mut self, requests: &[Request]) -> Result<Metrics> {
+        self.run_with_faults(requests, &FaultScript::none())
+    }
+
+    /// Runs the trace with mid-flight fault injection. With an empty script
+    /// this is exactly [`Simulation::run`].
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidConfig`] for out-of-range replica indices in
+    /// the script, and [`Error::Simulation`] on invariant violations.
+    pub fn run_with_faults(
+        &mut self,
+        requests: &[Request],
+        script: &FaultScript,
+    ) -> Result<Metrics> {
+        self.validate_script(script)?;
+        self.faults = script.faults.clone();
+        self.recovery_enabled = script.recovery;
+
         for r in requests {
             self.queue.push(r.arrival, EventKind::Arrival(*r));
+        }
+        for (idx, f) in self.faults.iter().enumerate() {
+            self.queue.push(f.at, EventKind::FaultTriggered { index: idx });
+            // Detection only matters for deaths, and only when the engine
+            // actually recovers; healing and pauses act at trigger time.
+            let needs_detection = matches!(
+                f.kind,
+                FaultKind::PrefillDown(_) | FaultKind::DecodeDown(_)
+            );
+            if needs_detection && script.recovery {
+                self.queue.push(
+                    f.at + script.detection_delay,
+                    EventKind::FaultDetected { index: idx },
+                );
+            }
         }
         let submitted = requests.len();
         while let Some(ev) = self.queue.pop() {
@@ -174,76 +320,172 @@ impl<'a> Simulation<'a> {
             self.now = ev.at;
             match ev.kind {
                 EventKind::Arrival(req) => self.on_arrival(req),
-                EventKind::PrefillDone { replica } => self.on_prefill_done(replica)?,
-                EventKind::PrefillSlotFree { replica } => {
-                    self.prefills[replica].wakeup_scheduled = false;
-                    self.maybe_start_prefill(replica);
+                EventKind::PrefillDone { replica, epoch } => {
+                    if self.prefills[replica].alive && self.prefills[replica].epoch == epoch {
+                        self.on_prefill_done(replica)?;
+                    }
                 }
-                EventKind::KvTransferDone { replica, request } => {
-                    self.on_kv_arrived(replica, request)?
+                EventKind::PrefillSlotFree { replica, epoch } => {
+                    if self.prefills[replica].alive && self.prefills[replica].epoch == epoch {
+                        self.prefills[replica].wakeup_scheduled = false;
+                        self.maybe_start_prefill(replica);
+                    }
                 }
-                EventKind::DecodeStepDone { replica } => self.on_decode_step(replica)?,
+                EventKind::KvTransferDone {
+                    replica,
+                    request,
+                    attempt,
+                } => self.on_transfer_done(replica, request, attempt)?,
+                EventKind::DecodeStepDone { replica, epoch } => {
+                    if self.decodes[replica].alive && self.decodes[replica].epoch == epoch {
+                        self.on_decode_step(replica)?;
+                    }
+                }
                 EventKind::WorkDone { .. } => {
                     return Err(Error::Simulation(
                         "WorkDone event in phase-split engine".into(),
                     ))
                 }
+                EventKind::FaultTriggered { index } => self.on_fault_triggered(index),
+                EventKind::FaultDetected { index } => self.on_fault_detected(index),
+                EventKind::ServiceResumed => self.on_service_resumed(),
             }
         }
-        if self.records.len() + self.dropped != submitted {
+        // Anything still in the system when events run dry was lost to a
+        // fault it never recovered from (stalled, parked, frozen on a dead
+        // replica).
+        self.dropped += self.pending.len();
+        self.pending.clear();
+        self.request_payloads.clear();
+        if self.records.len() + self.dropped + self.rejected != submitted {
             return Err(Error::Simulation(format!(
-                "conservation violated: {} completed + {} dropped != {} submitted",
+                "conservation violated: {} completed + {} dropped + {} rejected != {} submitted",
                 self.records.len(),
                 self.dropped,
+                self.rejected,
                 submitted
             )));
         }
         let horizon = self.now.saturating_since(SimTime::ZERO);
-        Ok(Metrics::new(
+        Ok(Metrics::with_recovery(
             std::mem::take(&mut self.records),
             self.dropped,
+            self.rejected,
             horizon,
+            std::mem::take(&mut self.recovery),
         ))
     }
 
+    fn validate_script(&self, script: &FaultScript) -> Result<()> {
+        let np = self.prefills.len();
+        let nd = self.decodes.len();
+        for f in &script.faults {
+            let ok = match f.kind {
+                FaultKind::PrefillDown(i) | FaultKind::PrefillUp(i) => i < np,
+                FaultKind::DecodeDown(j) | FaultKind::DecodeUp(j) => j < nd,
+                FaultKind::LinkDown { prefill, decode }
+                | FaultKind::LinkUp { prefill, decode } => prefill < np && decode < nd,
+                FaultKind::Pause { .. } => true,
+            };
+            if !ok {
+                return Err(Error::InvalidConfig(format!(
+                    "fault references a replica outside the plan: {:?}",
+                    f.kind
+                )));
+            }
+        }
+        Ok(())
+    }
+
     fn on_arrival(&mut self, req: Request) {
-        let (i, j) = self.pair_coords[self.router.next()];
         self.request_payloads.insert(req.id, req);
         self.pending.insert(
             req.id,
             Pending {
-                prefill: i,
-                decode: j,
+                prefill: 0,
+                decode: 0,
                 first_token_at: None,
             },
         );
-        self.prefills[i].queue.push_back(req);
+        self.dispatch_job(PrefillJob::fresh(req));
+    }
+
+    /// Routes a job to a live (prefill, decode) pair, or stalls/sheds it if
+    /// the service is paused or no live route exists.
+    fn dispatch_job(&mut self, job: PrefillJob) {
+        if self.paused_until.is_some() || self.router.num_enabled() == 0 {
+            self.stall_or_shed(job);
+            return;
+        }
+        let (i, j) = self.pair_coords[self.router.next()];
+        if let Some(p) = self.pending.get_mut(&job.req.id) {
+            p.prefill = i;
+            p.decode = j;
+        }
+        self.prefills[i].queue.push_back(job);
         self.maybe_start_prefill(i);
+    }
+
+    fn stall_or_shed(&mut self, job: PrefillJob) {
+        if self.stalled.len() < self.cfg.shed_threshold {
+            self.stalled.push_back(job);
+        } else {
+            let id = job.req.id;
+            self.pending.remove(&id);
+            self.request_payloads.remove(&id);
+            self.rejected += 1;
+            self.clear_affected(id);
+        }
+    }
+
+    fn drop_request(&mut self, id: RequestId) {
+        self.pending.remove(&id);
+        self.request_payloads.remove(&id);
+        self.dropped += 1;
+        self.clear_affected(id);
+    }
+
+    /// Marks `id` no longer waiting on fault recovery; records a fault's
+    /// time-to-recover when its last affected request resolves.
+    fn clear_affected(&mut self, id: RequestId) {
+        let now = self.now;
+        let mut recovered_at = Vec::new();
+        for (at, set) in &mut self.affected {
+            if set.remove(&id) && set.is_empty() {
+                recovered_at.push(now.saturating_since(*at));
+            }
+        }
+        self.recovery.recovery_times.extend(recovered_at);
     }
 
     fn maybe_start_prefill(&mut self, i: usize) {
         let p = &mut self.prefills[i];
-        if p.queue.is_empty() {
+        if !p.alive || p.queue.is_empty() {
             return;
         }
         if p.next_free > self.now {
             // First stage still occupied: wake up when it frees.
             if !p.wakeup_scheduled {
                 p.wakeup_scheduled = true;
-                self.queue
-                    .push(p.next_free, EventKind::PrefillSlotFree { replica: i });
+                self.queue.push(
+                    p.next_free,
+                    EventKind::PrefillSlotFree {
+                        replica: i,
+                        epoch: p.epoch,
+                    },
+                );
             }
             return;
         }
         let budget = self.cfg.max_prefill_batch_tokens;
         if self.cfg.prefill_policy == PrefillPolicy::ShortestFirst {
             // Stable sort keeps arrival order among equal prompt lengths.
-            p.queue.make_contiguous().sort_by_key(|r| r.prompt_len);
+            p.queue.make_contiguous().sort_by_key(|j| j.tokens);
         }
         let mut total = 0u64;
         let mut batch = Vec::new();
         while let Some(front) = p.queue.front() {
-            let t = front.prompt_len as u64;
+            let t = front.tokens;
             if !batch.is_empty() && total + t > budget {
                 break;
             }
@@ -258,8 +500,13 @@ impl<'a> Simulation<'a> {
         let bottleneck = p.cost.prefill_bottleneck(total, avg_ctx);
         p.next_free = self.now + bottleneck;
         p.in_flight.push_back(batch);
-        self.queue
-            .push(self.now + latency, EventKind::PrefillDone { replica: i });
+        self.queue.push(
+            self.now + latency,
+            EventKind::PrefillDone {
+                replica: i,
+                epoch: p.epoch,
+            },
+        );
     }
 
     fn on_prefill_done(&mut self, i: usize) -> Result<()> {
@@ -267,57 +514,152 @@ impl<'a> Simulation<'a> {
             .in_flight
             .pop_front()
             .ok_or_else(|| Error::Simulation("prefill done with nothing in flight".into()))?;
-        for req in batch {
+        for job in batch {
             let pend = self
                 .pending
-                .get_mut(&req.id)
-                .ok_or_else(|| Error::Simulation(format!("unknown request {}", req.id)))?;
-            pend.first_token_at = Some(self.now);
+                .get_mut(&job.req.id)
+                .ok_or_else(|| Error::Simulation(format!("unknown request {}", job.req.id)))?;
+            // Re-prefills keep their original first-token time: TTFT was
+            // already paid, recovery shows up in inter-token gaps instead.
+            if pend.first_token_at.is_none() {
+                pend.first_token_at = Some(self.now);
+            }
             let j = pend.decode;
-            if req.decode_steps() == 0 {
+            if job.remaining == 0 {
                 // Single-token output: the prefill already produced it.
+                let req = job.req;
                 self.finish(req, self.now, SimDuration::ZERO)?;
                 continue;
             }
-            let dur = if self.cfg.model_kv_transfer {
-                let ratio = self.cfg.kv_precision.ratio_vs_f16();
-                kv_transfer_time(
-                    &self.cfg.model,
-                    &self.routes[i][j],
-                    req.prompt_len as u64,
-                    ratio,
-                )
-            } else {
-                SimDuration::ZERO
-            };
-            // Serialize transfers on the sender's uplink; the sequence only
-            // becomes admissible at the decode replica once its own KV
-            // transfer completes (see on_kv_arrived).
-            let start = self.sender_free_at[i].max(self.now);
-            let done = start + dur;
-            self.sender_free_at[i] = done;
-            self.queue.push(
-                done,
-                EventKind::KvTransferDone {
-                    replica: j,
-                    request: req.id,
+            self.launch_transfer(
+                Transfer {
+                    from: i,
+                    to: j,
+                    job,
+                    attempt: 1,
                 },
+                SimDuration::ZERO,
             );
         }
         self.maybe_start_prefill(i);
         Ok(())
     }
 
-    fn on_kv_arrived(&mut self, j: usize, request: RequestId) -> Result<()> {
-        let req = self.find_request(request)?;
-        self.decodes[j].waiting.push_back(WaitingSeq {
-            id: req.id,
-            prompt_len: req.prompt_len as u64,
-            remaining: req.decode_steps(),
+    /// Schedules (or re-schedules) a KV transfer on the sender's uplink
+    /// after an optional backoff delay and registers it.
+    fn launch_transfer(&mut self, transfer: Transfer, delay: SimDuration) {
+        let dur = if self.cfg.model_kv_transfer {
+            let ratio = self.cfg.kv_precision.ratio_vs_f16();
+            kv_transfer_time(
+                &self.cfg.model,
+                &self.routes[transfer.from][transfer.to],
+                transfer.job.tokens,
+                ratio,
+            )
+        } else {
+            SimDuration::ZERO
+        };
+        // Serialize transfers on the sender's uplink; the sequence only
+        // becomes admissible at the decode replica once its own KV
+        // transfer completes (see on_transfer_done).
+        let start = self.sender_free_at[transfer.from].max(self.now + delay);
+        let done = start + dur;
+        self.sender_free_at[transfer.from] = done;
+        self.queue.push(
+            done,
+            EventKind::KvTransferDone {
+                replica: transfer.to,
+                request: transfer.job.req.id,
+                attempt: transfer.attempt,
+            },
+        );
+        self.transfers.insert(transfer.job.req.id, transfer);
+    }
+
+    /// Exponential backoff for transfer attempt `attempt` (2 = first
+    /// retry): `base * 2^(attempt-2)`, capped.
+    fn retry_backoff(&self, attempt: u32) -> SimDuration {
+        let base = self.cfg.kv_retry_backoff_base;
+        let cap = self.cfg.kv_retry_backoff_cap;
+        let mut delay = base;
+        for _ in 2..attempt {
+            delay = delay + delay;
+            if delay >= cap {
+                return cap;
+            }
+        }
+        delay.min(cap)
+    }
+
+    fn on_transfer_done(&mut self, replica: usize, request: RequestId, attempt: u32) -> Result<()> {
+        let Some(&t) = self.transfers.get(&request) else {
+            return Ok(()); // superseded or dropped
+        };
+        if t.attempt != attempt || t.to != replica {
+            return Ok(()); // stale attempt
+        }
+        if self.link_down[t.from][t.to] {
+            // The link faulted mid-transfer. With recovery the sender
+            // retries after a capped exponential backoff; without, the
+            // request is lost.
+            if !self.recovery_enabled {
+                self.transfers.remove(&request);
+                self.drop_request(request);
+                return Ok(());
+            }
+            let mut t = t;
+            t.attempt += 1;
+            self.recovery.kv_transfer_retries += 1;
+            let delay = self.retry_backoff(t.attempt);
+            self.launch_transfer(t, delay);
+            return Ok(());
+        }
+        if !self.decodes[t.to].alive {
+            // Target died while the bytes were in flight.
+            self.transfers.remove(&request);
+            if !self.recovery_enabled {
+                self.drop_request(request);
+                return Ok(());
+            }
+            self.redispatch_transfer(t);
+            return Ok(());
+        }
+        // Delivered.
+        self.transfers.remove(&request);
+        let d = &mut self.decodes[t.to];
+        d.waiting.push_back(WaitingSeq {
+            id: request,
+            tokens: t.job.tokens,
+            remaining: t.job.remaining,
+            resume: t.job.resume,
         });
-        self.admit_waiting(j)?;
-        self.maybe_start_decode_step(j);
+        self.admit_waiting(t.to)?;
+        self.maybe_start_decode_step(t.to);
         Ok(())
+    }
+
+    /// Re-targets a transfer whose decode replica died: picks the live
+    /// replica with the most free KV memory (lowest index breaks ties), or
+    /// parks the transfer until one comes back.
+    fn redispatch_transfer(&mut self, mut t: Transfer) {
+        let target = self
+            .decodes
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.alive)
+            .max_by_key(|(j, d)| (d.kv_capacity.saturating_sub(d.kv_used), std::cmp::Reverse(*j)))
+            .map(|(j, _)| j);
+        let Some(j2) = target else {
+            self.parked.push(t);
+            return;
+        };
+        if let Some(p) = self.pending.get_mut(&t.job.req.id) {
+            p.decode = j2;
+        }
+        t.to = j2;
+        t.attempt += 1;
+        self.recovery.kv_transfer_retries += 1;
+        self.launch_transfer(t, SimDuration::ZERO);
     }
 
     /// Admits waiting sequences in FCFS order while memory and batch slots
@@ -325,17 +667,18 @@ impl<'a> Simulation<'a> {
     fn admit_waiting(&mut self, j: usize) -> Result<()> {
         loop {
             let d = &mut self.decodes[j];
+            if !d.alive {
+                return Ok(());
+            }
             let Some(front) = d.waiting.front().copied() else {
                 return Ok(());
             };
-            let need = front.prompt_len + 1;
-            let total_need = front.prompt_len + 1 + front.remaining as u64;
+            let need = front.tokens + 1;
+            let total_need = front.tokens + 1 + front.remaining as u64;
             if total_need > d.kv_capacity {
                 // can never fit: drop
                 d.waiting.pop_front();
-                self.pending.remove(&front.id);
-                self.request_payloads.remove(&front.id);
-                self.dropped += 1;
+                self.drop_request(front.id);
                 continue;
             }
             if d.active.len() as u64 >= self.cfg.max_decode_batch
@@ -361,19 +704,25 @@ impl<'a> Simulation<'a> {
                 .get(&front.id)
                 .and_then(|p| p.first_token_at)
                 .unwrap_or(self.now);
-            d.active.push(ActiveSeq {
+            let (last_token_at, max_gap) = match front.resume {
+                Some(r) => (r.last_token_at, r.max_gap),
+                None => (first_token_at, SimDuration::ZERO),
+            };
+            self.decodes[j].active.push(ActiveSeq {
                 id: front.id,
                 context: need,
                 remaining: front.remaining,
-                last_token_at: first_token_at,
-                max_gap: SimDuration::ZERO,
+                last_token_at,
+                max_gap,
             });
+            // Back in a decode batch: this request has recovered.
+            self.clear_affected(front.id);
         }
     }
 
     fn maybe_start_decode_step(&mut self, j: usize) {
         let d = &mut self.decodes[j];
-        if d.stepping || d.active.is_empty() {
+        if !d.alive || d.stepping || d.active.is_empty() {
             return;
         }
         let batch = d.active.len() as u64;
@@ -381,8 +730,13 @@ impl<'a> Simulation<'a> {
             d.active.iter().map(|a| a.context).sum::<u64>() / batch;
         let latency = d.cost.decode_step_latency(batch, avg_ctx);
         d.stepping = true;
-        self.queue
-            .push(self.now + latency, EventKind::DecodeStepDone { replica: j });
+        self.queue.push(
+            self.now + latency,
+            EventKind::DecodeStepDone {
+                replica: j,
+                epoch: d.epoch,
+            },
+        );
     }
 
     fn on_decode_step(&mut self, j: usize) -> Result<()> {
@@ -416,6 +770,215 @@ impl<'a> Simulation<'a> {
         Ok(())
     }
 
+    // --- fault handlers ---
+
+    fn on_fault_triggered(&mut self, index: usize) {
+        match self.faults[index].kind {
+            FaultKind::PrefillDown(i) => {
+                let p = &mut self.prefills[i];
+                p.alive = false;
+                p.epoch += 1; // invalidates every scheduled completion
+                p.wakeup_scheduled = false;
+                // Queued and in-flight work freezes in place until the
+                // heartbeat monitor notices (FaultDetected).
+            }
+            FaultKind::DecodeDown(j) => {
+                let d = &mut self.decodes[j];
+                d.alive = false;
+                d.epoch += 1;
+                d.stepping = false;
+                // KV cache and batches are lost, but the coordinator keeps
+                // routing here until detection.
+            }
+            FaultKind::PrefillUp(i) => self.on_prefill_up(i),
+            FaultKind::DecodeUp(j) => self.on_decode_up(j),
+            FaultKind::LinkDown { prefill, decode } => {
+                self.link_down[prefill][decode] = true;
+            }
+            FaultKind::LinkUp { prefill, decode } => {
+                self.link_down[prefill][decode] = false;
+            }
+            FaultKind::Pause { until } => {
+                if until > self.now {
+                    self.paused_until = Some(until);
+                    self.queue.push(until, EventKind::ServiceResumed);
+                }
+            }
+        }
+    }
+
+    fn on_fault_detected(&mut self, index: usize) {
+        let at = self.faults[index].at;
+        match self.faults[index].kind {
+            FaultKind::PrefillDown(i) => {
+                if self.prefills[i].alive {
+                    return; // blipped back up before detection; healed already
+                }
+                self.believed_dead_prefill[i] = true;
+                self.refresh_router();
+                let p = &mut self.prefills[i];
+                let mut lost: Vec<PrefillJob> = p.in_flight.drain(..).flatten().collect();
+                lost.extend(p.queue.drain(..));
+                let mut ids = BTreeSet::new();
+                for job in &lost {
+                    ids.insert(job.req.id);
+                }
+                if !ids.is_empty() {
+                    self.affected.push((at, ids));
+                }
+                for job in lost {
+                    self.recovery.requeued_requests += 1;
+                    self.dispatch_job(job);
+                }
+            }
+            FaultKind::DecodeDown(j) => {
+                if self.decodes[j].alive {
+                    return;
+                }
+                self.believed_dead_decode[j] = true;
+                self.refresh_router();
+                let jobs = self.evacuate_decode(j);
+                let mut ids = BTreeSet::new();
+                for job in &jobs {
+                    ids.insert(job.req.id);
+                }
+                if !ids.is_empty() {
+                    self.affected.push((at, ids));
+                }
+                for job in jobs {
+                    self.dispatch_job(job);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Converts a dead decode replica's lost sequences into re-prefill jobs
+    /// (the KV cache is gone: prompt *and* generated tokens must be
+    /// recomputed) and resets its memory accounting.
+    fn evacuate_decode(&mut self, j: usize) -> Vec<PrefillJob> {
+        let d = &mut self.decodes[j];
+        d.kv_used = 0;
+        let active: Vec<ActiveSeq> = std::mem::take(&mut d.active);
+        let waiting: VecDeque<WaitingSeq> = std::mem::take(&mut d.waiting);
+        let mut jobs = Vec::new();
+        for a in active {
+            let Some(&req) = self.request_payloads.get(&a.id) else {
+                continue;
+            };
+            self.recovery.reprefilled_tokens += a.context;
+            jobs.push(PrefillJob {
+                req,
+                tokens: a.context,
+                remaining: a.remaining,
+                resume: Some(ResumeState {
+                    last_token_at: a.last_token_at,
+                    max_gap: a.max_gap,
+                }),
+            });
+        }
+        for w in waiting {
+            let Some(&req) = self.request_payloads.get(&w.id) else {
+                continue;
+            };
+            self.recovery.reprefilled_tokens += w.tokens;
+            jobs.push(PrefillJob {
+                req,
+                tokens: w.tokens,
+                remaining: w.remaining,
+                resume: w.resume,
+            });
+        }
+        jobs
+    }
+
+    fn on_prefill_up(&mut self, i: usize) {
+        let p = &mut self.prefills[i];
+        p.alive = true;
+        p.epoch += 1;
+        p.next_free = self.now;
+        p.wakeup_scheduled = false;
+        // Work frozen at death never re-runs on its own (its completion
+        // events are stale); restart it or declare it lost.
+        let mut lost: Vec<PrefillJob> = p.in_flight.drain(..).flatten().collect();
+        lost.extend(p.queue.drain(..));
+        self.believed_dead_prefill[i] = false;
+        self.refresh_router();
+        if self.recovery_enabled {
+            for job in lost {
+                self.recovery.requeued_requests += 1;
+                self.dispatch_job(job);
+            }
+            self.drain_stalled();
+        } else {
+            for job in lost {
+                self.drop_request(job.req.id);
+            }
+        }
+    }
+
+    fn on_decode_up(&mut self, j: usize) {
+        {
+            let d = &mut self.decodes[j];
+            d.alive = true;
+            d.epoch += 1;
+            d.stepping = false;
+        }
+        // Sequences frozen at death lost their KV either way.
+        let lost = self.evacuate_decode(j);
+        self.believed_dead_decode[j] = false;
+        self.refresh_router();
+        if self.recovery_enabled {
+            for job in lost {
+                self.dispatch_job(job);
+            }
+            let parked = std::mem::take(&mut self.parked);
+            for t in parked {
+                self.redispatch_transfer(t);
+            }
+            self.drain_stalled();
+        } else {
+            for job in lost {
+                // evacuate_decode counted these as re-prefill work, but
+                // nothing recovers them under a no-recovery policy.
+                self.recovery.reprefilled_tokens -= job.tokens;
+                self.drop_request(job.req.id);
+            }
+        }
+    }
+
+    /// Re-derives the routing mask from believed replica liveness.
+    fn refresh_router(&mut self) {
+        for (k, &(i, j)) in self.pair_coords.iter().enumerate() {
+            let enabled = !self.believed_dead_prefill[i] && !self.believed_dead_decode[j];
+            if self.router.is_enabled(k) != enabled {
+                self.router.set_enabled(k, enabled);
+            }
+        }
+    }
+
+    fn drain_stalled(&mut self) {
+        if self.paused_until.is_some() || self.router.num_enabled() == 0 {
+            return;
+        }
+        let stalled = std::mem::take(&mut self.stalled);
+        for job in stalled {
+            self.dispatch_job(job);
+        }
+    }
+
+    fn on_service_resumed(&mut self) {
+        // Pauses can be extended by a later Pause fault; only resume at the
+        // latest deadline.
+        if let Some(until) = self.paused_until {
+            if until > self.now {
+                return;
+            }
+        }
+        self.paused_until = None;
+        self.drain_stalled();
+    }
+
     /// Reconstructs the request payload for a completed id from pending
     /// bookkeeping (we stash the original request in the record path).
     fn find_request(&self, id: RequestId) -> Result<Request> {
@@ -442,6 +1005,7 @@ impl<'a> Simulation<'a> {
             finished_at: at,
             max_token_gap,
         });
+        self.clear_affected(req.id);
         Ok(())
     }
 }
@@ -487,6 +1051,8 @@ mod tests {
         let m = sim.run(&reqs).unwrap();
         assert_eq!(m.num_completed(), reqs.len());
         assert_eq!(m.num_dropped(), 0);
+        assert_eq!(m.num_rejected(), 0);
+        assert!(!m.recovery().any());
     }
 
     #[test]
@@ -566,6 +1132,242 @@ mod tests {
             assert!(a >= prev - 1e-12, "attainment must not decrease: {a} < {prev}");
             prev = a;
         }
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::fault::{FaultKind, FaultScript, TimedFault};
+    use ts_cluster::presets;
+    use ts_common::{
+        GpuId, GroupSpec, ModelSpec, ParallelConfig, Phase, RoutingMatrix, StageSpec,
+    };
+    use ts_workload::{generator::generate, spec};
+
+    /// 4xA40 prefill (one tp=4 replica) + two 2x3090Ti decode replicas, so
+    /// a decode replica can die while a survivor picks up its work.
+    fn failover_testbed() -> (ts_cluster::Cluster, DeploymentPlan, SimConfig) {
+        let cluster = presets::network_case_cluster(presets::ETH_40GBPS);
+        let model = ModelSpec::llama_13b();
+        let group = |phase, ids: &[u32], tp: usize| {
+            GroupSpec::new(
+                phase,
+                ParallelConfig::new(tp, 1).unwrap(),
+                vec![StageSpec {
+                    gpus: ids.iter().map(|&i| GpuId(i)).collect(),
+                    layers: model.num_layers,
+                }],
+            )
+            .unwrap()
+        };
+        let plan = DeploymentPlan::new(
+            vec![
+                group(Phase::Prefill, &[0, 1, 2, 3], 4),
+                group(Phase::Decode, &[4, 5], 2),
+                group(Phase::Decode, &[6, 7], 2),
+            ],
+            RoutingMatrix::uniform(1, 2),
+        )
+        .unwrap();
+        (cluster, plan, SimConfig::new(model))
+    }
+
+    fn fault(at_s: f64, kind: FaultKind) -> TimedFault {
+        TimedFault {
+            at: SimTime::from_secs_f64(at_s),
+            kind,
+        }
+    }
+
+    #[test]
+    fn empty_script_matches_plain_run() {
+        let (cluster, plan, cfg) = failover_testbed();
+        let reqs = generate(&spec::coding(1.0), SimDuration::from_secs(40), 11);
+        let plain = Simulation::new(&cluster, &plan, cfg.clone())
+            .unwrap()
+            .run(&reqs)
+            .unwrap();
+        let scripted = Simulation::new(&cluster, &plan, cfg)
+            .unwrap()
+            .run_with_faults(&reqs, &FaultScript::none())
+            .unwrap();
+        assert_eq!(plain, scripted);
+    }
+
+    #[test]
+    fn decode_death_mid_run_recovers_on_survivor() {
+        let (cluster, plan, cfg) = failover_testbed();
+        // Long outputs keep every decode replica saturated, so the fault is
+        // guaranteed to strike sequences mid-decode.
+        let reqs = generate(&spec::fixed(512, 256, 2.0), SimDuration::from_secs(60), 12);
+        let script = FaultScript::new(
+            vec![fault(20.0, FaultKind::DecodeDown(0))],
+            SimDuration::from_millis(500),
+        );
+        let run = || {
+            Simulation::new(&cluster, &plan, cfg.clone())
+                .unwrap()
+                .run_with_faults(&reqs, &script)
+                .unwrap()
+        };
+        let m = run();
+        // The fault struck mid-decode: some sequences lost KV and were
+        // re-prefilled, and every affected request still completed.
+        assert!(
+            m.recovery().reprefilled_tokens > 0,
+            "expected lost KV to be re-prefilled: {:?}",
+            m.recovery()
+        );
+        assert_eq!(
+            m.num_completed() + m.num_dropped() + m.num_rejected(),
+            reqs.len()
+        );
+        assert_eq!(m.num_completed(), reqs.len(), "survivor should absorb all work");
+        assert!(m.recovery().max_time_to_recover().is_some());
+        // Every post-fault decode ran on the survivor.
+        for r in m.records() {
+            if r.finished_at > SimTime::from_secs_f64(21.0) {
+                assert_eq!(r.decode_replica, 1, "dead replica decoded a request");
+            }
+        }
+        // Deterministic across identical runs.
+        assert_eq!(m, run());
+    }
+
+    #[test]
+    fn recovery_beats_no_recovery() {
+        let (cluster, plan, cfg) = failover_testbed();
+        let reqs = generate(&spec::fixed(512, 256, 2.0), SimDuration::from_secs(60), 13);
+        let script = FaultScript::new(
+            vec![fault(20.0, FaultKind::DecodeDown(0))],
+            SimDuration::from_millis(500),
+        );
+        let with = Simulation::new(&cluster, &plan, cfg.clone())
+            .unwrap()
+            .run_with_faults(&reqs, &script)
+            .unwrap();
+        let without = Simulation::new(&cluster, &plan, cfg)
+            .unwrap()
+            .run_with_faults(&reqs, &script.clone().without_recovery())
+            .unwrap();
+        assert!(without.num_dropped() > 0, "no-recovery should lose requests");
+        assert!(with.num_completed() > without.num_completed());
+        assert_eq!(
+            without.num_completed() + without.num_dropped() + without.num_rejected(),
+            reqs.len()
+        );
+    }
+
+    #[test]
+    fn prefill_death_requeues_to_nowhere_and_sheds() {
+        // Single prefill replica dies and never returns: arrivals stall up
+        // to the shed threshold, the rest are rejected, nothing panics.
+        let (cluster, plan, cfg) = failover_testbed();
+        let cfg = cfg.with_shed_threshold(4);
+        let reqs = generate(&spec::coding(1.5), SimDuration::from_secs(60), 14);
+        let script = FaultScript::new(
+            vec![fault(15.0, FaultKind::PrefillDown(0))],
+            SimDuration::from_millis(500),
+        );
+        let m = Simulation::new(&cluster, &plan, cfg)
+            .unwrap()
+            .run_with_faults(&reqs, &script)
+            .unwrap();
+        assert!(m.num_rejected() > 0, "whole-phase loss must shed load");
+        // The stall queue holds exactly the threshold when events dry up.
+        assert_eq!(
+            m.num_completed() + m.num_dropped() + m.num_rejected(),
+            reqs.len()
+        );
+        assert!(m.recovery().requeued_requests > 0);
+    }
+
+    #[test]
+    fn replica_blip_restores_service() {
+        let (cluster, plan, cfg) = failover_testbed();
+        let reqs = generate(&spec::fixed(512, 128, 2.0), SimDuration::from_secs(60), 15);
+        // Detection lands inside the outage; the arrivals that piled up on
+        // the dead replica are requeued (to the stall queue: it is the only
+        // prefill) and drain when the replica returns at t=25.
+        let script = FaultScript::new(
+            vec![
+                fault(15.0, FaultKind::PrefillDown(0)),
+                fault(25.0, FaultKind::PrefillUp(0)),
+            ],
+            SimDuration::from_secs_f64(2.0),
+        );
+        let m = Simulation::new(&cluster, &plan, cfg)
+            .unwrap()
+            .run_with_faults(&reqs, &script)
+            .unwrap();
+        // Everything eventually completes once the replica returns.
+        assert_eq!(m.num_completed(), reqs.len(), "{:?}", m.recovery());
+        assert!(m.recovery().requeued_requests > 0);
+    }
+
+    #[test]
+    fn link_fault_retries_with_backoff() {
+        let (cluster, plan, cfg) = failover_testbed();
+        let reqs = generate(&spec::coding(1.0), SimDuration::from_secs(60), 16);
+        let script = FaultScript::new(
+            vec![
+                fault(10.0, FaultKind::LinkDown { prefill: 0, decode: 0 }),
+                fault(14.0, FaultKind::LinkUp { prefill: 0, decode: 0 }),
+            ],
+            SimDuration::from_millis(100),
+        );
+        let m = Simulation::new(&cluster, &plan, cfg)
+            .unwrap()
+            .run_with_faults(&reqs, &script)
+            .unwrap();
+        assert!(
+            m.recovery().kv_transfer_retries > 0,
+            "transfers over the dead link must retry"
+        );
+        assert_eq!(m.num_completed(), reqs.len());
+    }
+
+    #[test]
+    fn pause_stalls_arrivals_then_drains() {
+        let (cluster, plan, cfg) = failover_testbed();
+        let reqs = generate(&spec::coding(1.0), SimDuration::from_secs(60), 17);
+        let script = FaultScript::new(
+            vec![fault(
+                20.0,
+                FaultKind::Pause {
+                    until: SimTime::from_secs_f64(28.0),
+                },
+            )],
+            SimDuration::ZERO,
+        );
+        let m = Simulation::new(&cluster, &plan, cfg)
+            .unwrap()
+            .run_with_faults(&reqs, &script)
+            .unwrap();
+        // Default shed threshold is generous: the blackout queue drains.
+        assert_eq!(m.num_completed(), reqs.len());
+        // No request starts prefill during the blackout, so first tokens of
+        // blackout arrivals land after the resume.
+        for r in m.records() {
+            let arr = r.request.arrival;
+            if arr >= SimTime::from_secs_f64(20.0) && arr < SimTime::from_secs_f64(28.0) {
+                assert!(r.first_token_at >= SimTime::from_secs_f64(28.0));
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_fault_is_rejected() {
+        let (cluster, plan, cfg) = failover_testbed();
+        let script = FaultScript::new(
+            vec![fault(1.0, FaultKind::DecodeDown(7))],
+            SimDuration::ZERO,
+        );
+        let err = Simulation::new(&cluster, &plan, cfg)
+            .unwrap()
+            .run_with_faults(&[], &script);
+        assert!(err.is_err());
     }
 }
 

@@ -17,6 +17,10 @@ pub enum EventKind {
     PrefillDone {
         /// Index into the engine's prefill replica list.
         replica: usize,
+        /// Liveness epoch of the replica when the batch launched. A replica
+        /// death bumps the epoch, so completions scheduled before the fault
+        /// are recognized as stale and discarded.
+        epoch: u64,
     },
     /// Prefill replica `replica`'s first pipeline stage freed up: with
     /// pipeline parallelism a new batch can enter while earlier batches
@@ -24,6 +28,8 @@ pub enum EventKind {
     PrefillSlotFree {
         /// Index into the engine's prefill replica list.
         replica: usize,
+        /// Liveness epoch at scheduling time (see [`EventKind::PrefillDone`]).
+        epoch: u64,
     },
     /// The KV cache of `request` finished its transfer to decode replica
     /// `replica`.
@@ -32,17 +38,40 @@ pub enum EventKind {
         replica: usize,
         /// The request whose cache arrived.
         request: RequestId,
+        /// Transfer attempt number. Link faults cause retries; a retry bumps
+        /// the attempt in the engine's transfer registry so completions of
+        /// superseded attempts are discarded.
+        attempt: u32,
     },
     /// Decode replica `replica` finished one decode step.
     DecodeStepDone {
         /// Index into the engine's decode replica list.
         replica: usize,
+        /// Liveness epoch at scheduling time (see [`EventKind::PrefillDone`]).
+        epoch: u64,
     },
     /// Colocated replica `replica` finished its current work item.
     WorkDone {
         /// Index into the colocated engine's replica list.
         replica: usize,
     },
+    /// Fault `index` of the active fault script takes effect (replica or
+    /// link goes down/up, or a service pause begins). The capacity change is
+    /// immediate; recovery waits for [`EventKind::FaultDetected`].
+    FaultTriggered {
+        /// Index into the fault script's fault list.
+        index: usize,
+    },
+    /// The heartbeat monitor notices fault `index` (one detection delay
+    /// after the fault): the engine masks routing away from dead replicas
+    /// and re-queues their in-flight work if recovery is enabled.
+    FaultDetected {
+        /// Index into the fault script's fault list.
+        index: usize,
+    },
+    /// A service pause (reload blackout) ended; stalled arrivals re-enter
+    /// the coordinator.
+    ServiceResumed,
 }
 
 /// A scheduled event.
@@ -118,9 +147,9 @@ mod tests {
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        q.push(SimTime::from_micros(30), EventKind::PrefillDone { replica: 2 });
-        q.push(SimTime::from_micros(10), EventKind::PrefillDone { replica: 0 });
-        q.push(SimTime::from_micros(20), EventKind::PrefillDone { replica: 1 });
+        q.push(SimTime::from_micros(30), EventKind::PrefillDone { replica: 2, epoch: 0 });
+        q.push(SimTime::from_micros(10), EventKind::PrefillDone { replica: 0, epoch: 0 });
+        q.push(SimTime::from_micros(20), EventKind::PrefillDone { replica: 1, epoch: 0 });
         let order: Vec<u64> = std::iter::from_fn(|| q.pop())
             .map(|e| e.at.as_micros())
             .collect();
@@ -131,11 +160,11 @@ mod tests {
     fn simultaneous_events_fire_fifo() {
         let mut q = EventQueue::new();
         for r in 0..5 {
-            q.push(SimTime::from_micros(7), EventKind::DecodeStepDone { replica: r });
+            q.push(SimTime::from_micros(7), EventKind::DecodeStepDone { replica: r, epoch: 0 });
         }
         let order: Vec<usize> = std::iter::from_fn(|| q.pop())
             .map(|e| match e.kind {
-                EventKind::DecodeStepDone { replica } => replica,
+                EventKind::DecodeStepDone { replica, .. } => replica,
                 _ => unreachable!(),
             })
             .collect();
@@ -146,7 +175,7 @@ mod tests {
     fn len_tracks_population() {
         let mut q = EventQueue::new();
         assert!(q.is_empty());
-        q.push(SimTime::ZERO, EventKind::PrefillDone { replica: 0 });
+        q.push(SimTime::ZERO, EventKind::PrefillDone { replica: 0, epoch: 0 });
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());

@@ -1,0 +1,318 @@
+//! Mid-flight fault injection for the serving engine.
+//!
+//! The paper's §3.4 failure experiments (Figure 11, Appendix E) flip cluster
+//! availability *between* serving segments; this module lets the engine take
+//! faults *during* a run. A [`FaultScript`] is a time-ordered list of
+//! replica-, link- and service-level faults that
+//! [`crate::engine::Simulation::run_with_faults`] consumes as ordinary
+//! discrete events: capacity changes take effect at `at`, while recovery
+//! actions wait one heartbeat `detection_delay` — between the two, lost work
+//! stays silently lost, exactly as a real deployment would experience it.
+//!
+//! Scripts can be written by hand or derived from the runtime's
+//! [`ts_cluster::availability::ClusterEvent`] scripts with
+//! [`FaultScript::from_cluster_events`], which projects GPU-level
+//! availability changes onto the replicas of a concrete deployment plan.
+
+use std::collections::BTreeSet;
+use ts_cluster::availability::{ClusterEvent, EventKind as ClusterEventKind};
+use ts_cluster::Cluster;
+use ts_common::{DeploymentPlan, GpuId, SimDuration, SimTime};
+
+/// A single injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Prefill replica (engine index) dies: its queued and in-flight batches
+    /// are lost until detection, then re-routed to survivors.
+    PrefillDown(usize),
+    /// Decode replica (engine index) dies: sequences decoding on it lose
+    /// their KV cache and must be re-prefilled on a survivor.
+    DecodeDown(usize),
+    /// Prefill replica comes (back) online, immediately accepting work.
+    PrefillUp(usize),
+    /// Decode replica comes (back) online with an empty KV cache.
+    DecodeUp(usize),
+    /// The prefill→decode transfer link of a replica pair goes down:
+    /// transfers completing while it is down are retried with capped
+    /// exponential backoff.
+    LinkDown {
+        /// Engine index of the sending prefill replica.
+        prefill: usize,
+        /// Engine index of the receiving decode replica.
+        decode: usize,
+    },
+    /// The pair's transfer link recovers.
+    LinkUp {
+        /// Engine index of the sending prefill replica.
+        prefill: usize,
+        /// Engine index of the receiving decode replica.
+        decode: usize,
+    },
+    /// Whole-service pause until the given time (models the reload blackout
+    /// of a full reschedule happening mid-segment): arrivals stall in the
+    /// coordinator up to the shed threshold, in-system work drains.
+    Pause {
+        /// When the service resumes.
+        until: SimTime,
+    },
+}
+
+/// A fault and the time it takes effect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedFault {
+    /// When the fault strikes (capacity changes immediately).
+    pub at: SimTime,
+    /// What breaks (or heals).
+    pub kind: FaultKind,
+}
+
+/// A time-ordered fault injection plan for one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct FaultScript {
+    /// The faults, sorted by time (constructors enforce this).
+    pub faults: Vec<TimedFault>,
+    /// Heartbeat detection delay: recovery actions for a fault at `t` run at
+    /// `t + detection_delay`. Up/healing faults act immediately.
+    pub detection_delay: SimDuration,
+    /// Whether the engine actively recovers (re-route, re-prefill, retry).
+    /// With `false` the faults still destroy capacity and work, but nothing
+    /// is rescued — the `ReschedulePolicy::None` baseline.
+    pub recovery: bool,
+}
+
+impl FaultScript {
+    /// The empty script: `run_with_faults` with this is exactly `run`.
+    pub fn none() -> Self {
+        FaultScript::default()
+    }
+
+    /// Builds a script with recovery enabled, sorting the faults by time.
+    pub fn new(mut faults: Vec<TimedFault>, detection_delay: SimDuration) -> Self {
+        faults.sort_by_key(|f| f.at);
+        FaultScript {
+            faults,
+            detection_delay,
+            recovery: true,
+        }
+    }
+
+    /// Returns a copy with recovery disabled (faults destroy work; nothing
+    /// is re-routed, re-prefilled or retried).
+    pub fn without_recovery(mut self) -> Self {
+        self.recovery = false;
+        self
+    }
+
+    /// Whether the script injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Projects a cluster availability script onto the replicas of `plan`:
+    /// a replica is down while *any* of its GPUs is down. Emits one
+    /// `PrefillDown`/`DecodeDown`/`PrefillUp`/`DecodeUp` fault per replica
+    /// liveness transition, at the cluster event's time. `cluster` is only
+    /// used to resolve node ids to GPU lists; its current availability mask
+    /// is ignored (the plan's replicas are assumed live at time zero).
+    pub fn from_cluster_events(
+        cluster: &Cluster,
+        plan: &DeploymentPlan,
+        events: &[ClusterEvent],
+        detection_delay: SimDuration,
+    ) -> Self {
+        let mut events: Vec<ClusterEvent> = events.to_vec();
+        ts_cluster::availability::sort_script(&mut events);
+
+        // GPU sets per replica, in engine (routing) order.
+        let replica_gpus = |group_idx: usize| -> BTreeSet<GpuId> {
+            plan.groups[group_idx].gpus().collect()
+        };
+        let prefills: Vec<BTreeSet<GpuId>> =
+            plan.prefill_indices().into_iter().map(replica_gpus).collect();
+        let decodes: Vec<BTreeSet<GpuId>> =
+            plan.decode_indices().into_iter().map(replica_gpus).collect();
+
+        let mut down: BTreeSet<GpuId> = BTreeSet::new();
+        let mut prefill_dead = vec![false; prefills.len()];
+        let mut decode_dead = vec![false; decodes.len()];
+        let mut faults = Vec::new();
+
+        for ev in &events {
+            match &ev.kind {
+                ClusterEventKind::NodeDown(n) => {
+                    down.extend(cluster.node(*n).gpus.iter().copied());
+                }
+                ClusterEventKind::NodeUp(n) => {
+                    for g in &cluster.node(*n).gpus {
+                        down.remove(g);
+                    }
+                }
+                ClusterEventKind::GpusDown(ids) => down.extend(ids.iter().copied()),
+                ClusterEventKind::GpusUp(ids) => {
+                    for g in ids {
+                        down.remove(g);
+                    }
+                }
+            }
+            let mut transition =
+                |dead: &mut [bool], gpus: &[BTreeSet<GpuId>], mk: fn(usize, bool) -> FaultKind| {
+                    for (i, set) in gpus.iter().enumerate() {
+                        let now_dead = set.iter().any(|g| down.contains(g));
+                        if now_dead != dead[i] {
+                            dead[i] = now_dead;
+                            faults.push(TimedFault {
+                                at: ev.at,
+                                kind: mk(i, now_dead),
+                            });
+                        }
+                    }
+                };
+            transition(&mut prefill_dead, &prefills, |i, d| {
+                if d {
+                    FaultKind::PrefillDown(i)
+                } else {
+                    FaultKind::PrefillUp(i)
+                }
+            });
+            transition(&mut decode_dead, &decodes, |i, d| {
+                if d {
+                    FaultKind::DecodeDown(i)
+                } else {
+                    FaultKind::DecodeUp(i)
+                }
+            });
+        }
+        FaultScript::new(faults, detection_delay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_cluster::catalog::GpuModel;
+    use ts_cluster::topology::ClusterBuilder;
+    use ts_common::{GroupSpec, NodeId, ParallelConfig, Phase, RoutingMatrix, StageSpec};
+
+    fn testbed() -> (Cluster, DeploymentPlan) {
+        let cluster = ClusterBuilder::new()
+            .node("a", GpuModel::A5000, 2)
+            .node("b", GpuModel::A5000, 2)
+            .build()
+            .unwrap();
+        let single = |phase, id: u32| {
+            GroupSpec::new(
+                phase,
+                ParallelConfig::SINGLE,
+                vec![StageSpec {
+                    gpus: vec![GpuId(id)],
+                    layers: 40,
+                }],
+            )
+            .unwrap()
+        };
+        let plan = DeploymentPlan::new(
+            vec![
+                single(Phase::Prefill, 0),
+                single(Phase::Decode, 2),
+                single(Phase::Decode, 3),
+            ],
+            RoutingMatrix::uniform(1, 2),
+        )
+        .unwrap();
+        (cluster, plan)
+    }
+
+    #[test]
+    fn empty_script_is_empty() {
+        assert!(FaultScript::none().is_empty());
+        assert!(!FaultScript::none().recovery || FaultScript::none().faults.is_empty());
+    }
+
+    #[test]
+    fn new_sorts_by_time() {
+        let s = FaultScript::new(
+            vec![
+                TimedFault {
+                    at: SimTime::from_secs_f64(5.0),
+                    kind: FaultKind::DecodeDown(0),
+                },
+                TimedFault {
+                    at: SimTime::from_secs_f64(1.0),
+                    kind: FaultKind::PrefillDown(0),
+                },
+            ],
+            SimDuration::from_millis(100),
+        );
+        assert_eq!(s.faults[0].kind, FaultKind::PrefillDown(0));
+        assert!(s.recovery);
+        assert!(!s.clone().without_recovery().recovery);
+    }
+
+    #[test]
+    fn cluster_events_project_onto_replicas() {
+        let (cluster, plan) = testbed();
+        let events = vec![
+            // GPU 2 hosts decode replica 0
+            ClusterEvent::new(
+                SimTime::from_secs_f64(2.0),
+                ClusterEventKind::GpusDown(vec![GpuId(2)]),
+            ),
+            ClusterEvent::new(
+                SimTime::from_secs_f64(4.0),
+                ClusterEventKind::GpusUp(vec![GpuId(2)]),
+            ),
+        ];
+        let s = FaultScript::from_cluster_events(
+            &cluster,
+            &plan,
+            &events,
+            SimDuration::from_millis(50),
+        );
+        assert_eq!(
+            s.faults
+                .iter()
+                .map(|f| f.kind)
+                .collect::<Vec<_>>(),
+            vec![FaultKind::DecodeDown(0), FaultKind::DecodeUp(0)]
+        );
+        assert_eq!(s.detection_delay, SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn node_down_kills_every_replica_on_it() {
+        let (cluster, plan) = testbed();
+        // node b hosts GPUs 2 and 3 -> both decode replicas die
+        let events = vec![ClusterEvent::new(
+            SimTime::from_secs_f64(1.0),
+            ClusterEventKind::NodeDown(NodeId(1)),
+        )];
+        let s = FaultScript::from_cluster_events(
+            &cluster,
+            &plan,
+            &events,
+            SimDuration::from_millis(50),
+        );
+        assert_eq!(
+            s.faults.iter().map(|f| f.kind).collect::<Vec<_>>(),
+            vec![FaultKind::DecodeDown(0), FaultKind::DecodeDown(1)]
+        );
+    }
+
+    #[test]
+    fn redundant_events_emit_no_duplicate_transitions() {
+        let (cluster, plan) = testbed();
+        let down = |t: f64| {
+            ClusterEvent::new(
+                SimTime::from_secs_f64(t),
+                ClusterEventKind::GpusDown(vec![GpuId(2)]),
+            )
+        };
+        let s = FaultScript::from_cluster_events(
+            &cluster,
+            &plan,
+            &[down(1.0), down(2.0)],
+            SimDuration::ZERO,
+        );
+        assert_eq!(s.faults.len(), 1);
+    }
+}

@@ -56,10 +56,12 @@ pub mod config;
 pub mod engine;
 pub mod estimate;
 pub mod event;
+pub mod fault;
 pub mod metrics;
 pub mod router;
 
 pub use config::SimConfig;
 pub use engine::Simulation;
 pub use estimate::{estimate_attainment, AttainmentEstimate};
-pub use metrics::{Metrics, RequestRecord};
+pub use fault::{FaultKind, FaultScript, TimedFault};
+pub use metrics::{Metrics, RecoveryCounters, RequestRecord};

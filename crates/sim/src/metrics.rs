@@ -64,13 +64,54 @@ impl RequestRecord {
     }
 }
 
+/// Recovery bookkeeping accumulated by a fault-injected simulation run.
+///
+/// All counters are zero for a run without faults, so `Metrics` equality
+/// (used by determinism tests) extends naturally.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryCounters {
+    /// Queued or in-flight prefill requests re-routed to a surviving
+    /// replica after their original replica died.
+    pub requeued_requests: usize,
+    /// Context tokens re-prefilled because a decode replica lost its KV
+    /// cache (prompt plus already-generated tokens — the paper's lost work).
+    pub reprefilled_tokens: u64,
+    /// KV transfers re-sent after a link fault (each backoff retry counts
+    /// once).
+    pub kv_transfer_retries: usize,
+    /// Per-fault time from the fault taking effect until every affected
+    /// request was either re-admitted to decoding, completed, or shed.
+    pub recovery_times: Vec<SimDuration>,
+}
+
+impl RecoveryCounters {
+    /// Whether any recovery action was taken.
+    pub fn any(&self) -> bool {
+        self.requeued_requests > 0
+            || self.reprefilled_tokens > 0
+            || self.kv_transfer_retries > 0
+            || !self.recovery_times.is_empty()
+    }
+
+    /// Longest time-to-recover across faults, or `None` if no fault
+    /// affected any in-flight request.
+    pub fn max_time_to_recover(&self) -> Option<SimDuration> {
+        self.recovery_times.iter().max().copied()
+    }
+}
+
 /// Aggregated results of one simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Metrics {
     records: Vec<RequestRecord>,
     /// Requests submitted but never completed (overload / capacity loss).
     dropped: usize,
+    /// Requests refused admission because no live route existed and the
+    /// stall queue was full (distinct from `dropped`: these never entered
+    /// service).
+    rejected: usize,
     horizon: SimDuration,
+    recovery: RecoveryCounters,
 }
 
 impl Metrics {
@@ -79,7 +120,27 @@ impl Metrics {
         Metrics {
             records,
             dropped,
+            rejected: 0,
             horizon,
+            recovery: RecoveryCounters::default(),
+        }
+    }
+
+    /// Builds metrics from a fault-injected run, including shed requests and
+    /// recovery counters.
+    pub fn with_recovery(
+        records: Vec<RequestRecord>,
+        dropped: usize,
+        rejected: usize,
+        horizon: SimDuration,
+        recovery: RecoveryCounters,
+    ) -> Self {
+        Metrics {
+            records,
+            dropped,
+            rejected,
+            horizon,
+            recovery,
         }
     }
 
@@ -93,6 +154,17 @@ impl Metrics {
         self.dropped
     }
 
+    /// Requests shed at admission (no live route and the stall queue was
+    /// full).
+    pub fn num_rejected(&self) -> usize {
+        self.rejected
+    }
+
+    /// Recovery bookkeeping (all zero for runs without faults).
+    pub fn recovery(&self) -> &RecoveryCounters {
+        &self.recovery
+    }
+
     /// All records.
     pub fn records(&self) -> &[RequestRecord] {
         &self.records
@@ -104,9 +176,9 @@ impl Metrics {
     }
 
     /// Fraction of *submitted* requests meeting the deadline for `kind`.
-    /// Dropped requests count as misses.
+    /// Dropped and rejected requests count as misses.
     pub fn slo_attainment(&self, slo: &SloSpec, kind: SloKind) -> f64 {
-        let total = self.records.len() + self.dropped;
+        let total = self.records.len() + self.dropped + self.rejected;
         if total == 0 {
             return 1.0;
         }
@@ -120,7 +192,7 @@ impl Metrics {
 
     /// Fraction of submitted requests meeting **all three** deadlines.
     pub fn joint_attainment(&self, slo: &SloSpec) -> f64 {
-        let total = self.records.len() + self.dropped;
+        let total = self.records.len() + self.dropped + self.rejected;
         if total == 0 {
             return 1.0;
         }
@@ -182,8 +254,8 @@ impl Metrics {
 
     /// Restricts the records to requests that *arrived* within
     /// `[from, to)` — measurement hygiene for steady-state numbers (drop
-    /// warm-up and drain artifacts). Dropped-request counts are cleared
-    /// because their arrival times are unknown here.
+    /// warm-up and drain artifacts). Dropped/rejected counts and recovery
+    /// counters are cleared because their arrival times are unknown here.
     pub fn windowed(&self, from: SimTime, to: SimTime) -> Metrics {
         let records: Vec<RequestRecord> = self
             .records
@@ -194,7 +266,9 @@ impl Metrics {
         Metrics {
             records,
             dropped: 0,
+            rejected: 0,
             horizon: to.saturating_since(from),
+            recovery: RecoveryCounters::default(),
         }
     }
 
@@ -340,6 +414,36 @@ mod tests {
         assert_eq!(w.num_completed(), 1);
         assert_eq!(w.num_dropped(), 0);
         assert_eq!(w.horizon(), SimDuration::from_secs(7));
+    }
+
+    #[test]
+    fn rejected_requests_count_as_misses() {
+        let rec = RecoveryCounters {
+            requeued_requests: 2,
+            reprefilled_tokens: 640,
+            kv_transfer_retries: 1,
+            recovery_times: vec![SimDuration::from_millis(80), SimDuration::from_millis(30)],
+        };
+        let m = Metrics::with_recovery(
+            vec![record(0.0, 0.3, 1.0, 8), record(0.0, 0.3, 1.0, 8)],
+            1,
+            1,
+            SimDuration::from_secs(10),
+            rec,
+        );
+        assert_eq!(m.num_rejected(), 1);
+        // 2 hits out of 2 + 1 dropped + 1 rejected submitted
+        assert_eq!(m.slo_attainment(&slo(), SloKind::Ttft), 0.5);
+        assert_eq!(m.joint_attainment(&slo()), 0.5);
+        assert!(m.recovery().any());
+        assert_eq!(
+            m.recovery().max_time_to_recover(),
+            Some(SimDuration::from_millis(80))
+        );
+        // windowing is a steady-state view: fault bookkeeping is cleared
+        let w = m.windowed(SimTime::ZERO, SimTime::from_secs_f64(5.0));
+        assert_eq!(w.num_rejected(), 0);
+        assert!(!w.recovery().any());
     }
 
     #[test]

@@ -10,10 +10,15 @@
 use ts_common::{Error, Result};
 
 /// A deterministic weighted round-robin over `n` options.
+///
+/// Options can be masked at runtime (fault handling): a disabled option
+/// receives no credit and is never chosen, and the remaining weights are
+/// renormalized so the surviving options absorb its share.
 #[derive(Debug, Clone)]
 pub struct StrideRouter {
     weights: Vec<f64>,
     credit: Vec<f64>,
+    enabled: Vec<bool>,
     total: f64,
 }
 
@@ -39,6 +44,7 @@ impl StrideRouter {
         Ok(StrideRouter {
             weights,
             credit: vec![0.0; n],
+            enabled: vec![true; n],
             total,
         })
     }
@@ -62,22 +68,64 @@ impl StrideRouter {
         Ok((Self::new(weights)?, coords))
     }
 
-    /// Picks the next option. (Deliberately named like `Iterator::next`;
-    /// the router is an infinite choice stream, not an iterator.)
+    /// Picks the next option among the enabled ones. (Deliberately named
+    /// like `Iterator::next`; the router is an infinite choice stream, not
+    /// an iterator.)
+    ///
+    /// # Panics
+    /// Panics if every option is disabled ([`Self::num_enabled`] is zero);
+    /// callers must shed or queue traffic instead of routing it.
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> usize {
+        assert!(self.total > 0.0, "all routing options are disabled");
         for (i, c) in self.credit.iter_mut().enumerate() {
-            *c += self.weights[i] / self.total;
+            if self.enabled[i] {
+                *c += self.weights[i] / self.total;
+            }
         }
         let best = self
             .credit
             .iter()
             .enumerate()
+            .filter(|(i, _)| self.enabled[*i] && self.weights[*i] > 0.0)
             .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
             .map(|(i, _)| i)
-            .expect("router is non-empty");
+            .expect("router has an enabled option");
         self.credit[best] -= 1.0;
         best
+    }
+
+    /// Masks or unmasks option `i`. Disabling sheds its credit (a revived
+    /// option starts fresh rather than bursting to catch up) and
+    /// renormalizes the surviving weights.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn set_enabled(&mut self, i: usize, enabled: bool) {
+        self.enabled[i] = enabled;
+        self.credit[i] = 0.0;
+        self.total = self
+            .weights
+            .iter()
+            .zip(&self.enabled)
+            .filter(|(_, &e)| e)
+            .map(|(w, _)| w)
+            .sum();
+    }
+
+    /// Whether option `i` is currently enabled.
+    pub fn is_enabled(&self, i: usize) -> bool {
+        self.enabled[i]
+    }
+
+    /// Number of enabled options with positive weight (choices `next` can
+    /// actually make).
+    pub fn num_enabled(&self) -> usize {
+        self.enabled
+            .iter()
+            .zip(&self.weights)
+            .filter(|(&e, &w)| e && w > 0.0)
+            .count()
     }
 
     /// Number of options.
@@ -130,6 +178,48 @@ mod tests {
         let (r, coords) = StrideRouter::from_matrix(&rates).unwrap();
         assert_eq!(r.len(), 2);
         assert_eq!(coords, vec![(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn disabled_options_are_skipped_and_share_renormalizes() {
+        let mut r = StrideRouter::new(vec![0.5, 0.3, 0.2]).unwrap();
+        assert_eq!(r.num_enabled(), 3);
+        r.set_enabled(0, false);
+        assert!(!r.is_enabled(0));
+        assert_eq!(r.num_enabled(), 2);
+        let mut counts = [0usize; 3];
+        for _ in 0..1000 {
+            counts[r.next()] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        // survivors absorb the dead option's share: 0.3/0.5 vs 0.2/0.5
+        assert!((counts[1] as f64 - 600.0).abs() <= 2.0, "{counts:?}");
+        assert!((counts[2] as f64 - 400.0).abs() <= 2.0, "{counts:?}");
+    }
+
+    #[test]
+    fn reenabled_option_resumes_its_share() {
+        let mut r = StrideRouter::new(vec![1.0, 1.0]).unwrap();
+        r.set_enabled(1, false);
+        for _ in 0..10 {
+            assert_eq!(r.next(), 0);
+        }
+        r.set_enabled(1, true);
+        let mut counts = [0usize; 2];
+        for _ in 0..100 {
+            counts[r.next()] += 1;
+        }
+        assert_eq!(counts[0], 50);
+        assert_eq!(counts[1], 50);
+    }
+
+    #[test]
+    #[should_panic]
+    fn next_with_all_disabled_panics() {
+        let mut r = StrideRouter::new(vec![1.0]).unwrap();
+        r.set_enabled(0, false);
+        assert_eq!(r.num_enabled(), 0);
+        let _ = r.next();
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! cargo run --example node_failure --release
 //! ```
 
+use thunderserve::cluster::availability::{ClusterEvent, EventKind};
 use thunderserve::prelude::*;
 use thunderserve::runtime::service::{ReschedulePolicy, ServingRuntime};
 use thunderserve::workload::generator::generate;
@@ -89,6 +90,72 @@ fn main() -> thunderserve::Result<()> {
          equally good plan but pays a ~54s parameter-reload blackout (the \
          paper's Table 4: 13s vs 157s). See the workload_shift example for a \
          case where the lightweight adjustment itself is decisive."
+    );
+
+    // ── Mid-flight variant ──────────────────────────────────────────────
+    // Above, the failure conveniently falls between two segments. Here the
+    // GPUs hosting the busiest prefill replica die 60s INTO a segment, with
+    // requests queued and decoding: the engine loses that work, notices one
+    // heartbeat timeout later, and (policy permitting) re-routes and
+    // re-prefills onto the survivors.
+    println!("\nMid-flight failure (same cluster, 4 GPUs die at t=60s):");
+    let workload = spec::coding(1.0);
+    for (name, policy) in [
+        ("no rescheduling", ReschedulePolicy::None),
+        ("lightweight    ", ReschedulePolicy::Lightweight),
+        ("full           ", ReschedulePolicy::Full),
+    ] {
+        let mut cfg = SchedulerConfig::default();
+        cfg.seed = 42;
+        cfg.n_step = 50;
+        let mut rt = ServingRuntime::new(
+            thunderserve::cluster::presets::paper_cloud_cluster(),
+            model.clone(),
+            slo,
+            cfg,
+        );
+        rt.deploy(&workload)?;
+        let plan = rt.plan().unwrap();
+        let prefill_idx = plan.prefill_indices();
+        let busiest = (0..prefill_idx.len())
+            .max_by(|&a, &b| {
+                plan.routing
+                    .prefill_share(a)
+                    .total_cmp(&plan.routing.prefill_share(b))
+            })
+            .expect("plan has prefill replicas");
+        let doomed: Vec<GpuId> = plan.groups[prefill_idx[busiest]].gpus().take(4).collect();
+        let events = vec![ClusterEvent::new(
+            SimTime::ZERO + SimDuration::from_secs(60),
+            EventKind::GpusDown(doomed),
+        )];
+        let seg = rt.serve_segment_with_faults(
+            &generate(&workload, SimDuration::from_secs(120), 3),
+            &events,
+            policy,
+            &workload,
+            SimDuration::from_secs(2),
+        )?;
+        let m = &seg.metrics;
+        println!(
+            "{name}: attainment {:.1}% | lost {} | requeued {} | re-prefilled {} toks | \
+             time-to-recover {}",
+            100.0 * m.joint_attainment(&slo),
+            m.num_dropped() + m.num_rejected(),
+            m.recovery().requeued_requests,
+            m.recovery().reprefilled_tokens,
+            m.recovery()
+                .max_time_to_recover()
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+    println!(
+        "\nWithout recovery every request routed to the dead replica is lost \
+         until the segment ends. Lightweight recovery re-queues them to the \
+         survivors after one heartbeat timeout at zero pause; full \
+         rescheduling recovers too but stalls the whole service for the \
+         weight reload first."
     );
     Ok(())
 }

@@ -1,0 +1,16 @@
+//! Offline stand-in for `crossbeam`, covering only the channel API the
+//! workspace uses (`unbounded`, `Sender`, `Receiver`). Backed by
+//! `std::sync::mpsc`, which provides the same clone-able sender and
+//! `recv`/`try_iter` receiver surface at lower throughput — acceptable for
+//! the coordinator demo paths that exercise it.
+
+/// MPMC-ish channel API mapped onto `std::sync::mpsc` (MPSC suffices for the
+/// workspace's single-consumer usage).
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, Sender};
+
+    /// Creates an unbounded channel, mirroring `crossbeam::channel::unbounded`.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}

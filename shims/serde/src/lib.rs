@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only uses serde as `#[derive(Serialize, Deserialize)]`
+//! annotations — no serializer backend (JSON etc.) is ever invoked; all real
+//! persistence goes through hand-rolled text formats (`plan_io`, the trace
+//! CSV codec, the availability script format). Since the build environment
+//! cannot fetch crates.io, this shim provides the trait names and no-op
+//! derive macros so those annotations keep compiling and the real `serde`
+//! can be dropped back in when networked builds return.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods; the workspace
+/// never serializes through serde).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods).
+pub trait Deserialize {}

@@ -1,0 +1,18 @@
+//! No-op `Serialize`/`Deserialize` derive macros for the offline serde shim.
+//!
+//! The workspace never calls serde's serialization methods, so the derives
+//! expand to nothing: the annotation compiles, no impl is needed.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts any item.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts any item.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

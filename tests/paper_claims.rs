@@ -70,7 +70,7 @@ fn hardware_affinity_is_stable_across_seeds() {
     let mut decode_ci = Vec::new();
     for seed in [1u64, 2, 3] {
         let mut cfg = SchedulerConfig::default();
-        cfg.n_step = 40;
+        cfg.n_step = 80;
         cfg.seed = seed;
         let plan = Scheduler::new(cfg)
             .schedule(&cluster, &model, &workload, &slo())

@@ -123,3 +123,74 @@ fn blended_planning_handles_mixtures() {
         "blend-planned {planned_for_blend} vs coding-planned {planned_for_coding_only}"
     );
 }
+
+/// Replays a sorted availability script — node down, node back up, then a
+/// GPU-level failure — through mid-flight serving segments. After every
+/// event the runtime's plan must only reference GPUs that are active in its
+/// cluster view.
+#[test]
+fn availability_script_replay_keeps_plan_on_active_gpus() {
+    use thunderserve::cluster::availability::{sort_script, ClusterEvent, EventKind};
+    use thunderserve::common::NodeId;
+
+    let cluster = thunderserve::cluster::presets::paper_cloud_cluster();
+    let mut cfg = SchedulerConfig::fast();
+    cfg.seed = 47;
+    let mut rt = ServingRuntime::new(cluster, ModelSpec::llama_30b(), slo(), cfg);
+    let w = spec::coding(1.0);
+    rt.deploy(&w).unwrap();
+
+    // A script over one absolute timeline, deliberately out of order; each
+    // 30s serving segment replays the events that fall inside it.
+    let mut script = vec![
+        ClusterEvent::new(SimTime::from_secs_f64(40.0), EventKind::NodeUp(NodeId(6))),
+        ClusterEvent::new(SimTime::from_secs_f64(15.0), EventKind::NodeDown(NodeId(6))),
+        ClusterEvent::new(
+            SimTime::from_secs_f64(72.0),
+            EventKind::GpusDown(vec![GpuId(0)]),
+        ),
+    ];
+    sort_script(&mut script);
+    assert!(script.windows(2).all(|w| w[0].at <= w[1].at));
+    let seg_len = SimDuration::from_secs(30);
+    let gpus_all_active = |rt: &ServingRuntime| {
+        rt.plan()
+            .unwrap()
+            .groups
+            .iter()
+            .flat_map(|g| g.gpus().collect::<Vec<_>>())
+            .all(|g| rt.cluster().is_active(g))
+    };
+    for seg in 0..3usize {
+        let start = SimTime::ZERO + seg_len * seg as u64;
+        let events: Vec<ClusterEvent> = script
+            .iter()
+            .filter(|e| e.at >= start && e.at < start + seg_len)
+            .map(|e| ClusterEvent::new(SimTime::ZERO + e.at.saturating_since(start), e.kind.clone()))
+            .collect();
+        assert_eq!(events.len(), 1, "one event per segment");
+        let reqs = generate(&w, seg_len, 50 + seg as u64);
+        let rep = rt
+            .serve_segment_with_faults(
+                &reqs,
+                &events,
+                ReschedulePolicy::Lightweight,
+                &w,
+                SimDuration::from_secs(2),
+            )
+            .unwrap();
+        let m = &rep.metrics;
+        assert_eq!(
+            m.num_completed() + m.num_dropped() + m.num_rejected(),
+            reqs.len(),
+            "segment {seg}: conservation"
+        );
+        assert!(
+            gpus_all_active(&rt),
+            "segment {seg}: plan references an inactive GPU"
+        );
+    }
+    // Net effect: node 6 is back, GPU 0 is out.
+    assert!(rt.cluster().node(NodeId(6)).gpus.iter().all(|g| rt.cluster().is_active(*g)));
+    assert!(!rt.cluster().is_active(GpuId(0)));
+}
