@@ -6,20 +6,22 @@
 //! same on a homogeneous cluster: it tiles the GPUs into equal TP groups
 //! (smallest degree that fits the model), sweeps every prefill:decode split
 //! with at least one replica per phase, orchestrates each split, and keeps
-//! the split with the best estimated attainment.
+//! the split with the best estimated attainment. The resulting plan runs on
+//! `ts_sim::engine::Simulation` — the phase-split facade over the shared
+//! execution core in `ts_sim::exec`.
 
 use ts_cluster::Cluster;
 use ts_common::{
     DeploymentPlan, Error, GpuId, GroupSpec, ModelSpec, ParallelConfig, Phase, Result, SloSpec,
     StageSpec,
 };
+use ts_costmodel::ReplicaCostModel;
 use ts_costmodel::{replica::memory_feasible_with_headroom, ModelParams};
 use ts_kvcache::codec::KvWirePrecision;
 use ts_sim::config::SimConfig;
 use ts_sim::estimate::pair_estimates;
 use ts_solver::transport::solve_orchestration;
 use ts_workload::WorkloadSpec;
-use ts_costmodel::ReplicaCostModel;
 
 /// Memory headroom factor (weights + ~25% KV room), as in the vLLM planner.
 const KV_HEADROOM: f64 = 4.0 / 3.0;
@@ -73,8 +75,13 @@ impl DistServePlanner {
                 if tp > gpus.len() {
                     break None;
                 }
-                if memory_feasible_with_headroom(cluster, model, &gpus[..tp], &self.params, KV_HEADROOM)
-                {
+                if memory_feasible_with_headroom(
+                    cluster,
+                    model,
+                    &gpus[..tp],
+                    &self.params,
+                    KV_HEADROOM,
+                ) {
                     break Some(tp);
                 }
                 tp *= 2;

@@ -6,7 +6,9 @@
 //! bandwidth-based hierarchical clustering (merging until every group can
 //! host the model), and each group gets its best parallel configuration from
 //! the same Algorithm-2 machinery ThunderServe uses — minus the phase
-//! designation axis. The result feeds the colocated engine.
+//! designation axis. The result feeds the colocated engine, which shares
+//! the phase-split engine's execution core — fault scripts and recovery
+//! metrics work identically on these deployments.
 
 use thunderserve_core::config::SchedulerConfig;
 use thunderserve_core::parallel::deduce_parallel_config;
@@ -48,9 +50,7 @@ impl HexGenPlanner {
         }
         let usable: u64 = active
             .iter()
-            .map(|&g| {
-                (cluster.gpu(g).spec().memory_bytes as f64 * self.cfg.params.mem_util) as u64
-            })
+            .map(|&g| (cluster.gpu(g).spec().memory_bytes as f64 * self.cfg.params.mem_util) as u64)
             .sum();
         let weight_budget = (model.weight_bytes() as f64 * KV_HEADROOM) as u64;
         let max_replicas = ((usable / weight_budget.max(1)) as usize).max(1);
@@ -64,8 +64,13 @@ impl HexGenPlanner {
             let mut i = 0;
             while i < clusters.len() && clusters.len() > 1 {
                 let gpus: Vec<GpuId> = clusters[i].iter().map(|&x| active[x]).collect();
-                if !memory_feasible_with_headroom(cluster, model, &gpus, &self.cfg.params, KV_HEADROOM)
-                {
+                if !memory_feasible_with_headroom(
+                    cluster,
+                    model,
+                    &gpus,
+                    &self.cfg.params,
+                    KV_HEADROOM,
+                ) {
                     let take = clusters.remove(i);
                     let j = i % clusters.len();
                     clusters[j].extend(take);
@@ -84,14 +89,8 @@ impl HexGenPlanner {
             let gpus: Vec<GpuId> = idxs.iter().map(|&x| active[x]).collect();
             // HexGen optimizes serving throughput; score configs as decode
             // (throughput-optimal), which is the colocated steady state.
-            let group = deduce_parallel_config(
-                cluster,
-                model,
-                &gpus,
-                Phase::Decode,
-                workload,
-                &self.cfg,
-            )?;
+            let group =
+                deduce_parallel_config(cluster, model, &gpus, Phase::Decode, workload, &self.cfg)?;
             groups.push(GroupSpec {
                 phase: Phase::Prefill, // ignored by the colocated engine
                 ..group

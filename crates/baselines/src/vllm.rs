@@ -6,11 +6,14 @@
 //! simulator's admission logic models). The planner maximizes the replica
 //! count: for each node it picks the smallest power-of-two TP degree whose
 //! group can hold the weights, then tiles the node with such groups.
+//!
+//! The groups feed `ts_sim::colocated::ColocatedSimulation`, which runs on
+//! the same execution core as the phase-split engine — so the baseline also
+//! supports mid-flight fault injection with identical recovery accounting
+//! (exercised by the failure experiment's colocated arm).
 
 use ts_cluster::Cluster;
-use ts_common::{
-    Error, GpuId, GroupSpec, ModelSpec, ParallelConfig, Phase, Result, StageSpec,
-};
+use ts_common::{Error, GpuId, GroupSpec, ModelSpec, ParallelConfig, Phase, Result, StageSpec};
 use ts_costmodel::{replica::memory_feasible_with_headroom, ModelParams};
 
 /// Memory headroom factor: a replica must fit the weights plus ~25% of its
@@ -53,8 +56,13 @@ impl VllmPlanner {
                 if tp > gpus.len() {
                     break None;
                 }
-                if memory_feasible_with_headroom(cluster, model, &gpus[..tp], &self.params, KV_HEADROOM)
-                {
+                if memory_feasible_with_headroom(
+                    cluster,
+                    model,
+                    &gpus[..tp],
+                    &self.params,
+                    KV_HEADROOM,
+                ) {
                     break Some(tp);
                 }
                 tp *= 2;
@@ -75,9 +83,7 @@ impl VllmPlanner {
             }
         }
         if groups.is_empty() {
-            return Err(Error::Infeasible(
-                "no node can host a vLLM replica".into(),
-            ));
+            return Err(Error::Infeasible("no node can host a vLLM replica".into()));
         }
         Ok(groups)
     }
@@ -112,9 +118,7 @@ mod tests {
     #[test]
     fn skips_failed_gpus() {
         let mut cluster = presets::paper_inhouse_cluster();
-        cluster
-            .deactivate_gpus(&[GpuId(0), GpuId(1)])
-            .unwrap();
+        cluster.deactivate_gpus(&[GpuId(0), GpuId(1)]).unwrap();
         let model = ModelSpec::llama_30b();
         let groups = VllmPlanner::new().plan(&cluster, &model).unwrap();
         assert_eq!(groups.len(), 3);

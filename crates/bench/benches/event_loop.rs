@@ -1,0 +1,74 @@
+//! Criterion microbenchmark for the shared event-loop hot path.
+//!
+//! Both engines are facades over `ts_sim::exec`'s single driver; this
+//! drives the same ~10k-request trace through an 8-replica plan in each
+//! topology (4 prefill + 4 decode disaggregated, and 8 colocated) so a
+//! regression in the common event loop, router or batching core shows up
+//! no matter which facade it enters through.
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ts_cluster::presets;
+use ts_common::{
+    DeploymentPlan, GpuId, GroupSpec, ModelSpec, ParallelConfig, Phase, RoutingMatrix, SimDuration,
+    StageSpec,
+};
+use ts_sim::colocated::ColocatedSimulation;
+use ts_sim::config::SimConfig;
+use ts_sim::engine::Simulation;
+use ts_workload::{generator::generate, spec};
+
+fn replica(phase: Phase, gpu: u32, layers: usize) -> GroupSpec {
+    GroupSpec::new(
+        phase,
+        ParallelConfig::new(1, 1).unwrap(),
+        vec![StageSpec {
+            gpus: vec![GpuId(gpu)],
+            layers,
+        }],
+    )
+    .unwrap()
+}
+
+fn bench_event_loop(c: &mut Criterion) {
+    let cluster = presets::paper_inhouse_cluster();
+    let model = ModelSpec::llama_7b();
+    let layers = model.num_layers;
+    // ~10k requests: short fixed-shape traffic so the run is dominated by
+    // event-loop bookkeeping, not simulated durations.
+    let reqs = generate(&spec::fixed(256, 32, 50.0), SimDuration::from_secs(200), 1);
+    let split_plan = DeploymentPlan::new(
+        (0..4)
+            .map(|g| replica(Phase::Prefill, g, layers))
+            .chain((4..8).map(|g| replica(Phase::Decode, g, layers)))
+            .collect(),
+        RoutingMatrix::uniform(4, 4),
+    )
+    .unwrap();
+    let colo_groups: Vec<GroupSpec> = (0..8).map(|g| replica(Phase::Prefill, g, layers)).collect();
+
+    let mut group = c.benchmark_group("event_loop_10k_8rep");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(reqs.len() as u64));
+    group.bench_function("split_4p4d", |b| {
+        b.iter(|| {
+            Simulation::new(&cluster, &split_plan, SimConfig::new(model.clone()))
+                .unwrap()
+                .run(&reqs)
+                .unwrap()
+        })
+    });
+    group.bench_function("colocated_8x", |b| {
+        b.iter(|| {
+            ColocatedSimulation::new(&cluster, &colo_groups, SimConfig::new(model.clone()))
+                .unwrap()
+                .run(&reqs)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_loop);
+criterion_main!(benches);

@@ -30,7 +30,11 @@ fn bench_full_schedule(c: &mut Criterion) {
             16 => presets::a5000_cluster(16),
             _ => presets::paper_cloud_cluster(),
         };
-        let model = if n == 16 { ModelSpec::llama_13b() } else { model.clone() };
+        let model = if n == 16 {
+            ModelSpec::llama_13b()
+        } else {
+            model.clone()
+        };
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             let mut cfg = SchedulerConfig::fast();
             cfg.seed = 1;

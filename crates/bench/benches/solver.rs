@@ -11,7 +11,11 @@ fn bench_transport(c: &mut Criterion) {
     let mut group = c.benchmark_group("orchestration_lp");
     for (m, n) in [(4usize, 4usize), (8, 8), (12, 12)] {
         let d: Vec<Vec<f64>> = (0..m)
-            .map(|i| (0..n).map(|j| ((i * 7 + j * 3) % 10) as f64 / 10.0).collect())
+            .map(|i| {
+                (0..n)
+                    .map(|j| ((i * 7 + j * 3) % 10) as f64 / 10.0)
+                    .collect()
+            })
             .collect();
         let row = vec![2.0 / m as f64; m];
         let col = vec![2.0 / n as f64; n];

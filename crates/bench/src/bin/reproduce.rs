@@ -38,7 +38,11 @@ fn main() {
         println!("==================================================================");
         let report = (e.run)(quick);
         println!("{report}");
-        println!("({} finished in {:.1}s)\n", e.id, start.elapsed().as_secs_f64());
+        println!(
+            "({} finished in {:.1}s)\n",
+            e.id,
+            start.elapsed().as_secs_f64()
+        );
         ran += 1;
     }
     if ran == 0 {

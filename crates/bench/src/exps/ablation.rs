@@ -54,13 +54,8 @@ pub fn run(quick: bool) -> String {
         };
         let plan = harness::thunderserve_plan(&cluster, &model, &w, &slo, 42, quick).unwrap();
         let reqs = harness::trace(&w, quick, 11);
-        let full = harness::run_phase_split(
-            &cluster,
-            &plan,
-            SimConfig::new(model.clone()),
-            &reqs,
-        )
-        .unwrap();
+        let full = harness::run_phase_split(&cluster, &plan, SimConfig::new(model.clone()), &reqs)
+            .unwrap();
         let f16_plan = reorchestrate_f16(&cluster, &model, &plan, &w, &slo);
         let no_comp = harness::run_phase_split(
             &cluster,
@@ -85,10 +80,7 @@ pub fn run(quick: bool) -> String {
         ] {
             t.row(vec![
                 name.into(),
-                format!(
-                    "{:.2}",
-                    m.mean_latency(SloKind::E2e).unwrap().as_secs_f64()
-                ),
+                format!("{:.2}", m.mean_latency(SloKind::E2e).unwrap().as_secs_f64()),
                 format!("{:.3}", m.joint_attainment(&slo)),
             ]);
         }

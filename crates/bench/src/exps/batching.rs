@@ -16,14 +16,20 @@ pub fn run(_quick: bool) -> String {
     let pf = prefill_curve(&model, gpu, 1024, &batch_tokens, &params);
     let mut t1 = Table::new(vec!["batched tokens", "prefill tokens/s"]);
     for p in &pf {
-        t1.row(vec![p.batch.to_string(), format!("{:.0}", p.tokens_per_sec)]);
+        t1.row(vec![
+            p.batch.to_string(),
+            format!("{:.0}", p.tokens_per_sec),
+        ]);
     }
 
     let batches = [1u64, 2, 4, 8, 16, 32, 64, 128];
     let dc = decode_curve(&model, gpu, 1024, &batches, &params);
     let mut t2 = Table::new(vec!["decode batch", "decode tokens/s"]);
     for p in &dc {
-        t2.row(vec![p.batch.to_string(), format!("{:.0}", p.tokens_per_sec)]);
+        t2.row(vec![
+            p.batch.to_string(),
+            format!("{:.0}", p.tokens_per_sec),
+        ]);
     }
 
     let sat = prefill_saturation_point(&model, gpu, 1024, 0.10, &params);

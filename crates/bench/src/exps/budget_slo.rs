@@ -21,12 +21,7 @@ pub fn run(quick: bool) -> String {
     );
     for &(wname, is_coding) in &[("coding", true), ("conversation", false)] {
         let mut t = Table::new(vec![
-            "rate",
-            "system",
-            "TTFT@90",
-            "TPOT@90",
-            "E2E@90",
-            "E2E@99",
+            "rate", "system", "TTFT@90", "TPOT@90", "E2E@90", "E2E@99",
         ]);
         for &rate in rates {
             let w = if is_coding {
@@ -71,8 +66,7 @@ mod tests {
         let model = ModelSpec::llama_30b();
         let base = base_slo_30b();
         let w = ts_workload::spec::coding(3.0);
-        let ts = harness::run_thunderserve(&cloud, &model, &w, &base.scaled(8.0), true, 9)
-            .unwrap();
+        let ts = harness::run_thunderserve(&cloud, &model, &w, &base.scaled(8.0), true, 9).unwrap();
         let vl = harness::run_vllm(&inhouse, &model, &w, true, 9).unwrap();
         let ts_scale = ts
             .min_scale_for(&base, SloKind::E2e, 0.9, harness::SLO_SCALES)

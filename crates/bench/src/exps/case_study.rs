@@ -7,11 +7,18 @@ use ts_cluster::{presets, Cluster};
 use ts_common::{DeploymentPlan, ModelSpec};
 
 fn describe(cluster: &Cluster, plan: &DeploymentPlan) -> Table {
-    let mut t = Table::new(vec!["GPU configuration", "strategy", "phase", "layers/stage"]);
+    let mut t = Table::new(vec![
+        "GPU configuration",
+        "strategy",
+        "phase",
+        "layers/stage",
+    ]);
     for g in &plan.groups {
         let mut counts: std::collections::BTreeMap<&str, usize> = Default::default();
         for gpu in g.gpus() {
-            *counts.entry(cluster.gpu(gpu).model.short_name()).or_default() += 1;
+            *counts
+                .entry(cluster.gpu(gpu).model.short_name())
+                .or_default() += 1;
         }
         let config = counts
             .iter()

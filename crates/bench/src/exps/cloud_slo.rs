@@ -21,12 +21,7 @@ pub fn run(quick: bool) -> String {
     );
     for &(wname, is_coding) in &[("coding", true), ("conversation", false)] {
         let mut t = Table::new(vec![
-            "rate",
-            "system",
-            "TTFT@90",
-            "TPOT@90",
-            "E2E@90",
-            "E2E@99",
+            "rate", "system", "TTFT@90", "TPOT@90", "E2E@90", "E2E@99",
         ]);
         let mut curves = String::new();
         for &rate in rates {

@@ -33,7 +33,10 @@ pub fn run(quick: bool) -> String {
     ]);
     let mut kv16 = ts_common::SimDuration::ZERO;
     let mut kv4 = ts_common::SimDuration::ZERO;
-    for &(bw_name, bw) in &[("40 Gbps", presets::ETH_40GBPS), ("5 Gbps", presets::ETH_5GBPS)] {
+    for &(bw_name, bw) in &[
+        ("40 Gbps", presets::ETH_40GBPS),
+        ("5 Gbps", presets::ETH_5GBPS),
+    ] {
         let cluster = presets::network_case_cluster(bw);
         // Analytic per-request KV transfer times (Table 8's "KV Comm").
         let pf = ReplicaCostModel::new(&cluster, &model, &plan.groups[0], &params).unwrap();
@@ -53,9 +56,8 @@ pub fn run(quick: bool) -> String {
             &reqs,
         )
         .unwrap();
-        let m4 =
-            harness::run_phase_split(&cluster, &plan, SimConfig::new(model.clone()), &reqs)
-                .unwrap();
+        let m4 = harness::run_phase_split(&cluster, &plan, SimConfig::new(model.clone()), &reqs)
+            .unwrap();
         for (name, kv, m) in [("16-bit", kv16, &m16), ("4-bit", kv4, &m4)] {
             t.row(vec![
                 bw_name.into(),
@@ -82,7 +84,10 @@ pub fn run(quick: bool) -> String {
         .unwrap()
     };
     let pair_plan = ts_common::DeploymentPlan::new(
-        vec![mk(ts_common::Phase::Prefill, 0), mk(ts_common::Phase::Decode, 1)],
+        vec![
+            mk(ts_common::Phase::Prefill, 0),
+            mk(ts_common::Phase::Decode, 1),
+        ],
         ts_common::RoutingMatrix::uniform(1, 1),
     )
     .unwrap();

@@ -48,7 +48,9 @@ pub fn run(quick: bool) -> String {
         let mut cfg = SchedulerConfig::default();
         cfg.seed = 7;
         cfg.n_step = if quick { 30 } else { 100 };
-        let r = Scheduler::new(cfg).schedule(&cluster, &model, &w, &slo).unwrap();
+        let r = Scheduler::new(cfg)
+            .schedule(&cluster, &model, &w, &slo)
+            .unwrap();
         t.row(vec![
             n.to_string(),
             r.trajectory.len().to_string(),
@@ -89,7 +91,9 @@ mod tests {
             let cluster = cloud_subset(n);
             let mut cfg = SchedulerConfig::fast();
             cfg.seed = 7;
-            let r = Scheduler::new(cfg).schedule(&cluster, &model, &w, &slo).unwrap();
+            let r = Scheduler::new(cfg)
+                .schedule(&cluster, &model, &w, &slo)
+                .unwrap();
             assert!(r.estimated_attainment > 0.0);
             evals.push(r.evaluations);
         }

@@ -8,12 +8,15 @@
 use crate::harness::base_slo_30b;
 use crate::table::Table;
 use thunderserve_core::SchedulerConfig;
+use ts_baselines::VllmPlanner;
 use ts_cluster::availability::{ClusterEvent, EventKind};
 use ts_cluster::presets;
 use ts_common::{GpuId, ModelSpec, SimDuration, SimTime, SloSpec};
 use ts_runtime::service::{ReschedulePolicy, ServingRuntime};
+use ts_sim::colocated::ColocatedSimulation;
+use ts_sim::config::SimConfig;
+use ts_sim::fault::{FaultKind, FaultScript, TimedFault};
 use ts_workload::{generator::generate, spec};
-
 
 /// Picks a 4-GPU node to fail: prefer the node carrying the most prefill
 /// GPUs whose loss still leaves both phases alive. (The paper removes 4 of
@@ -50,7 +53,8 @@ fn pick_failed_node(cluster: &ts_cluster::Cluster, plan: &ts_common::DeploymentP
             best = Some((prefill_gpus_lost, node.gpus.clone()));
         }
     }
-    best.map(|(_, g)| g).expect("some node failure must keep both phases")
+    best.map(|(_, g)| g)
+        .expect("some node failure must keep both phases")
 }
 
 /// Picks the GPUs to fail for the mid-flight arm: up to 4 GPUs of the
@@ -71,11 +75,7 @@ fn pick_busiest_prefill_gpus(plan: &ts_common::DeploymentPlan) -> Vec<GpuId> {
     plan.groups[prefill_idx[busiest]].gpus().take(4).collect()
 }
 
-fn attainments(
-    quick: bool,
-    policy: ReschedulePolicy,
-    slo: &SloSpec,
-) -> (f64, f64, f64) {
+fn attainments(quick: bool, policy: ReschedulePolicy, slo: &SloSpec) -> (f64, f64, f64) {
     let model = ModelSpec::llama_30b();
     let mut cfg = SchedulerConfig::default();
     cfg.seed = 42;
@@ -150,6 +150,57 @@ fn mid_flight(
     )
 }
 
+/// The colocated-baseline arm: the same mid-flight replica death applied to
+/// a vLLM-like colocated deployment on the in-house cluster. The shared
+/// execution core gives the colocated engine the identical fault layer, so
+/// the recovery counters are directly comparable with the phase-split arms.
+/// Returns (attainment, lost = dropped + rejected, requeued, re-prefilled
+/// tokens, max time-to-recover in seconds).
+fn colocated_mid_flight(
+    quick: bool,
+    recover: bool,
+    slo: &SloSpec,
+) -> (f64, usize, usize, u64, f64) {
+    let model = ModelSpec::llama_30b();
+    let cluster = presets::paper_inhouse_cluster();
+    let groups = VllmPlanner::new()
+        .plan(&cluster, &model)
+        .expect("vLLM planner must fit the in-house cluster");
+    assert!(groups.len() >= 2, "need a surviving colocated replica");
+    let horizon = crate::harness::horizon(quick);
+    // Decode-heavy traffic (the paper's conversation workload) at a rate
+    // that keeps every replica mid-decode: the dying replica holds live KV.
+    let reqs = generate(&spec::conversation(2.0), horizon, 3);
+    // Replica 0 dies halfway through the segment; both phases die with it
+    // (colocated), so queued prefills *and* in-flight decodes are lost.
+    let script = FaultScript::new(
+        vec![TimedFault {
+            at: SimTime::ZERO + SimDuration::from_secs_f64(horizon.as_secs_f64() / 2.0),
+            kind: FaultKind::DecodeDown(0),
+        }],
+        SimDuration::from_secs(2),
+    );
+    let script = if recover {
+        script
+    } else {
+        script.without_recovery()
+    };
+    let m = ColocatedSimulation::new(&cluster, &groups, SimConfig::new(model))
+        .expect("colocated deployment must be feasible")
+        .run_with_faults(&reqs, &script)
+        .expect("colocated fault run must succeed");
+    (
+        m.joint_attainment(slo),
+        m.num_dropped() + m.num_rejected(),
+        m.recovery().requeued_requests,
+        m.recovery().reprefilled_tokens,
+        m.recovery()
+            .max_time_to_recover()
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(0.0),
+    )
+}
+
 /// Runs the failure experiment across policies.
 pub fn run(quick: bool) -> String {
     let slo = base_slo_30b().scaled(8.0);
@@ -197,6 +248,25 @@ pub fn run(quick: bool) -> String {
             format!("{ttr:.1}"),
         ]);
     }
+    let mut t3 = Table::new(vec![
+        "vLLM baseline (mid-flight)",
+        "SLO att.",
+        "lost reqs",
+        "requeued",
+        "re-prefilled toks",
+        "time-to-recover (s)",
+    ]);
+    for (name, recover) in [("no recovery", false), ("recovery", true)] {
+        let (att, lost, requeued, reprefill, ttr) = colocated_mid_flight(quick, recover, &slo);
+        t3.row(vec![
+            name.into(),
+            format!("{att:.3}"),
+            format!("{lost}"),
+            format!("{requeued}"),
+            format!("{reprefill}"),
+            format!("{ttr:.1}"),
+        ]);
+    }
     format!(
         "Figure 11 / Table 4: 4 of 32 GPUs offline (coding workload)\n\n{}\n\
          Lightweight rescheduling matches full rescheduling's post-recovery \
@@ -208,9 +278,16 @@ pub fn run(quick: bool) -> String {
          Without rescheduling the requests on the dead replicas are lost; \
          lightweight recovery re-routes and re-prefills them onto survivors \
          with no service pause, while full rescheduling stalls the whole \
-         service for the weight reload before recovering.\n",
+         service for the weight reload before recovering.\n\n\
+         Colocated baseline arm: one vLLM-like replica (both phases) dies \
+         mid-segment on the in-house cluster.\n\n{}\n\
+         The colocated engine shares the phase-split engine's fault layer, \
+         so the same recovery machinery re-prefills the dead replica's \
+         sequences on survivors — losing a colocated replica forfeits both \
+         its queued prefills and its decode KV at once.\n",
         t.render(),
-        t2.render()
+        t2.render(),
+        t3.render()
     )
 }
 
@@ -226,7 +303,10 @@ mod tests {
         let (_, after_full, r_full) = attainments(true, ReschedulePolicy::Full, &slo);
         assert_eq!(r_none, 0.0);
         assert_eq!(r_light, 0.0, "lightweight must not reload");
-        assert!(r_full > 5.0, "full rescheduling should pay a reload blackout");
+        assert!(
+            r_full > 5.0,
+            "full rescheduling should pay a reload blackout"
+        );
         assert!(
             after_light >= after_none - 0.02,
             "lightweight {after_light} should not trail no-reschedule {after_none}"
@@ -248,7 +328,10 @@ mod tests {
         assert_eq!(requeued_none, 0, "no recovery never requeues");
         assert_eq!(reprefill_none, 0, "no recovery never re-prefills");
         assert_eq!(lost_light, 0, "lightweight recovery completes everything");
-        assert!(requeued_light > 0, "recovery re-routes lost work to survivors");
+        assert!(
+            requeued_light > 0,
+            "recovery re-routes lost work to survivors"
+        );
         assert!(ttr_light > 0.0, "recovery time should be recorded");
         assert!(
             att_light > att_none,
@@ -256,5 +339,30 @@ mod tests {
         );
     }
 
-
+    #[test]
+    fn colocated_baseline_recovers_in_flight_work() {
+        let slo = base_slo_30b().scaled(8.0);
+        let (att_none, lost_none, requeued_none, reprefill_none, _) =
+            colocated_mid_flight(true, false, &slo);
+        let (att_rec, lost_rec, _, reprefill_rec, ttr_rec) = colocated_mid_flight(true, true, &slo);
+        assert!(
+            lost_none > 0,
+            "an unrecovered replica death must lose requests"
+        );
+        assert_eq!(requeued_none, 0);
+        assert_eq!(reprefill_none, 0);
+        assert!(
+            lost_rec < lost_none,
+            "recovery must save in-flight work: {lost_rec} vs {lost_none}"
+        );
+        assert!(
+            reprefill_rec > 0,
+            "losing a colocated replica loses decode KV that must be re-prefilled"
+        );
+        assert!(ttr_rec > 0.0, "recovery time should be recorded");
+        assert!(
+            att_rec >= att_none,
+            "recovery should not hurt attainment: {att_rec} vs {att_none}"
+        );
+    }
 }

@@ -29,12 +29,7 @@ pub fn run(quick: bool) -> String {
     let w = ts_workload::spec::fixed(1024, 64, 2.2);
     let reqs = harness::trace(&w, quick, 17);
 
-    let mut t = Table::new(vec![
-        "model",
-        "KV bytes/token",
-        "mean E2E (s)",
-        "tokens/s",
-    ]);
+    let mut t = Table::new(vec!["model", "KV bytes/token", "mean E2E (s)", "tokens/s"]);
     let mut results = Vec::new();
     for model in [ModelSpec::llama_30b(), llama_30b_gqa()] {
         let plan = disaggregated_plan(&model);
@@ -44,10 +39,7 @@ pub fn run(quick: bool) -> String {
         t.row(vec![
             model.name.clone(),
             format!("{:.2} MB", model.kv_bytes_per_token() as f64 / 1e6),
-            format!(
-                "{:.2}",
-                t_last(&m).unwrap_or(0.0)
-            ),
+            format!("{:.2}", t_last(&m).unwrap_or(0.0)),
             format!("{:.0}", m.throughput_tokens()),
         ]);
     }

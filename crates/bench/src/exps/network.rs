@@ -93,7 +93,10 @@ pub fn run(quick: bool) -> String {
         "mean E2E (s)",
         "tokens/s",
     ]);
-    for &(bw_name, bw) in &[("40 Gbps", presets::ETH_40GBPS), ("5 Gbps", presets::ETH_5GBPS)] {
+    for &(bw_name, bw) in &[
+        ("40 Gbps", presets::ETH_40GBPS),
+        ("5 Gbps", presets::ETH_5GBPS),
+    ] {
         let cluster = presets::network_case_cluster(bw);
         let reqs = harness::trace(&w, quick, 13);
         // Non-disaggregated baseline: one colocated replica per instance.
@@ -127,7 +130,10 @@ pub fn run(quick: bool) -> String {
             t.row(vec![
                 bw_name.into(),
                 name.into(),
-                format!("{:.2}", m.mean_latency(SloKind::Ttft).unwrap().as_secs_f64()),
+                format!(
+                    "{:.2}",
+                    m.mean_latency(SloKind::Ttft).unwrap().as_secs_f64()
+                ),
                 format!("{:.2}", m.mean_latency(SloKind::E2e).unwrap().as_secs_f64()),
                 format!("{:.0}", m.throughput_tokens()),
             ]);

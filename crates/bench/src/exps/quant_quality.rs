@@ -39,10 +39,8 @@ pub fn run(quick: bool) -> String {
             let kr = reconstruct_channelwise(&k, bits, 64);
             let vr = reconstruct_channelwise(&v, bits, 64);
             let rep = compare(&k.values, &kr.values);
-            let attn_ref =
-                attention_outputs(&k, &v, model.num_heads, 2, &mut seeded_rng(99));
-            let attn_q =
-                attention_outputs(&kr, &vr, model.num_heads, 2, &mut seeded_rng(99));
+            let attn_ref = attention_outputs(&k, &v, model.num_heads, 2, &mut seeded_rng(99));
+            let attn_q = attention_outputs(&kr, &vr, model.num_heads, 2, &mut seeded_rng(99));
             let attn = compare(&attn_ref, &attn_q);
             let ratio = bits.bits() as f64 / 16.0 + 8.0 / (64.0 * 16.0);
             t.row(vec![

@@ -71,13 +71,9 @@ pub fn run(quick: bool) -> String {
                 let d = replicas - p;
                 let plan = ratio_plan(&model, p, d);
                 let reqs = harness::trace(&w, quick, 7);
-                let m = harness::run_phase_split(
-                    &cluster,
-                    &plan,
-                    SimConfig::new(model.clone()),
-                    &reqs,
-                )
-                .unwrap();
+                let m =
+                    harness::run_phase_split(&cluster, &plan, SimConfig::new(model.clone()), &reqs)
+                        .unwrap();
                 let thpt = m.throughput_total_tokens();
                 let att = m.joint_attainment(&slo_13b());
                 let label = format!("{p}:{d}");
@@ -128,14 +124,10 @@ mod tests {
                 let d = 8 - p;
                 let plan = ratio_plan(&model, p, d);
                 let reqs = harness::trace(w, true, 3);
-                let thpt = harness::run_phase_split(
-                    &cluster,
-                    &plan,
-                    SimConfig::new(model.clone()),
-                    &reqs,
-                )
-                .unwrap()
-                .throughput_tokens();
+                let thpt =
+                    harness::run_phase_split(&cluster, &plan, SimConfig::new(model.clone()), &reqs)
+                        .unwrap()
+                        .throughput_tokens();
                 if thpt > best.1 {
                     best = (d, thpt);
                 }

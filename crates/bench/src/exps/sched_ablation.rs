@@ -92,10 +92,11 @@ pub fn run(quick: bool) -> String {
         ]);
     }
     let full = rows[0].1;
-    let worst = rows[1..]
-        .iter()
-        .cloned()
-        .fold(("", f64::INFINITY), |acc, r| if r.1 < acc.1 { r } else { acc });
+    let worst =
+        rows[1..].iter().cloned().fold(
+            ("", f64::INFINITY),
+            |acc, r| if r.1 < acc.1 { r } else { acc },
+        );
     format!(
         "Scheduler-component ablation (coding @4 req/s, objective = estimated \
          joint SLO attainment, {} seeds):\n\n{}\nRemoving `{}` costs the most \

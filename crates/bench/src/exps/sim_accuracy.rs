@@ -18,7 +18,11 @@ pub fn run(quick: bool) -> String {
     let model = ModelSpec::llama_30b();
     let base = base_slo_30b();
     let plan = super::network::disaggregated_plan(&model);
-    let scales: &[f64] = if quick { &[2.0, 8.0] } else { &[2.0, 4.0, 8.0, 16.0, 32.0] };
+    let scales: &[f64] = if quick {
+        &[2.0, 8.0]
+    } else {
+        &[2.0, 4.0, 8.0, 16.0, 32.0]
+    };
     let rates: &[f64] = if quick { &[1.2] } else { &[0.5, 0.8, 1.2, 1.8] };
 
     let mut t = Table::new(vec![

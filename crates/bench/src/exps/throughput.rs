@@ -39,7 +39,10 @@ pub fn run(quick: bool) -> String {
                 format!("{:.2}x", m.throughput_tokens() / base_t),
             ]);
         }
-        out.push_str(&format!("{wname} workload (rate {rate} req/s):\n{}\n", t.render()));
+        out.push_str(&format!(
+            "{wname} workload (rate {rate} req/s):\n{}\n",
+            t.render()
+        ));
     }
     out
 }

@@ -51,8 +51,8 @@ pub fn run(quick: bool) -> String {
     ]);
     let mut rows = Vec::new();
     for (name, reqs) in &traces {
-        let m = harness::run_phase_split(&cluster, &plan, SimConfig::new(model.clone()), reqs)
-            .unwrap();
+        let m =
+            harness::run_phase_split(&cluster, &plan, SimConfig::new(model.clone()), reqs).unwrap();
         let att = m.joint_attainment(&slo);
         rows.push((name.to_string(), att));
         t.row(vec![
@@ -90,8 +90,7 @@ mod tests {
         let model = ModelSpec::llama_30b();
         let slo = base_slo_30b().scaled(8.0);
         let coding = ts_workload::spec::coding(2.5);
-        let plan =
-            harness::thunderserve_plan(&cluster, &model, &coding, &slo, 42, true).unwrap();
+        let plan = harness::thunderserve_plan(&cluster, &model, &coding, &slo, 42, true).unwrap();
         let horizon = harness::horizon(true);
         let run = |reqs: &[ts_common::Request]| {
             harness::run_phase_split(&cluster, &plan, SimConfig::new(model.clone()), reqs)

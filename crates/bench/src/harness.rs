@@ -51,7 +51,9 @@ pub fn thunderserve_plan(
     let mut cfg = SchedulerConfig::default();
     cfg.seed = seed;
     cfg.n_step = if quick { 25 } else { 100 };
-    Ok(Scheduler::new(cfg).schedule(cluster, model, workload, slo)?.plan)
+    Ok(Scheduler::new(cfg)
+        .schedule(cluster, model, workload, slo)?
+        .plan)
 }
 
 /// Runs the phase-split engine on a plan.
@@ -193,8 +195,18 @@ mod tests {
         let inhouse = presets::paper_inhouse_cluster();
         let model = ModelSpec::llama_30b();
         let w = spec::coding(2.0);
-        assert!(run_hexgen(&cloud, &model, &w, true, 2).unwrap().num_completed() > 0);
-        assert!(run_vllm(&inhouse, &model, &w, true, 2).unwrap().num_completed() > 0);
+        assert!(
+            run_hexgen(&cloud, &model, &w, true, 2)
+                .unwrap()
+                .num_completed()
+                > 0
+        );
+        assert!(
+            run_vllm(&inhouse, &model, &w, true, 2)
+                .unwrap()
+                .num_completed()
+                > 0
+        );
         assert!(
             run_distserve(&inhouse, &model, &w, &base_slo_30b().scaled(8.0), true, 2)
                 .unwrap()

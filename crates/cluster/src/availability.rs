@@ -92,7 +92,10 @@ pub fn script_to_text(events: &[ClusterEvent]) -> String {
 }
 
 fn join_ids(ids: &[GpuId]) -> String {
-    ids.iter().map(|g| g.0.to_string()).collect::<Vec<_>>().join(",")
+    ids.iter()
+        .map(|g| g.0.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
 }
 
 /// Parses a script from the text format (blank lines ignored).
@@ -111,8 +114,12 @@ pub fn script_from_text(text: &str) -> Result<Vec<ClusterEvent>> {
             .next()
             .and_then(|v| v.parse().ok())
             .ok_or_else(|| bad(format!("bad timestamp in {line:?}")))?;
-        let kind = parts.next().ok_or_else(|| bad(format!("missing kind in {line:?}")))?;
-        let arg = parts.next().ok_or_else(|| bad(format!("missing argument in {line:?}")))?;
+        let kind = parts
+            .next()
+            .ok_or_else(|| bad(format!("missing kind in {line:?}")))?;
+        let arg = parts
+            .next()
+            .ok_or_else(|| bad(format!("missing argument in {line:?}")))?;
         if parts.next().is_some() {
             return Err(bad(format!("trailing tokens in {line:?}")));
         }
@@ -186,7 +193,10 @@ mod tests {
     #[test]
     fn script_sorts_by_time() {
         let mut script = vec![
-            ClusterEvent::new(SimTime::from_micros(10), EventKind::GpusDown(vec![GpuId(0)])),
+            ClusterEvent::new(
+                SimTime::from_micros(10),
+                EventKind::GpusDown(vec![GpuId(0)]),
+            ),
             ClusterEvent::new(SimTime::ZERO, EventKind::GpusDown(vec![GpuId(1)])),
         ];
         sort_script(&mut script);
@@ -205,13 +215,22 @@ mod tests {
     #[test]
     fn text_round_trips_every_kind() {
         let script = vec![
-            ClusterEvent::new(SimTime::from_micros(2_000_000), EventKind::NodeDown(NodeId(1))),
-            ClusterEvent::new(SimTime::from_micros(3_500_000), EventKind::NodeUp(NodeId(1))),
+            ClusterEvent::new(
+                SimTime::from_micros(2_000_000),
+                EventKind::NodeDown(NodeId(1)),
+            ),
+            ClusterEvent::new(
+                SimTime::from_micros(3_500_000),
+                EventKind::NodeUp(NodeId(1)),
+            ),
             ClusterEvent::new(
                 SimTime::from_micros(4_000_000),
                 EventKind::GpusDown(vec![GpuId(0), GpuId(3)]),
             ),
-            ClusterEvent::new(SimTime::from_micros(5_000_000), EventKind::GpusUp(vec![GpuId(0)])),
+            ClusterEvent::new(
+                SimTime::from_micros(5_000_000),
+                EventKind::GpusUp(vec![GpuId(0)]),
+            ),
         ];
         let text = script_to_text(&script);
         assert!(text.contains("event 2000000 node-down 1"));

@@ -73,7 +73,10 @@ pub fn paper_inhouse_cluster() -> Cluster {
 /// # Panics
 /// Panics if `n` is zero or not a multiple of 4.
 pub fn a5000_cluster(n: usize) -> Cluster {
-    assert!(n > 0 && n.is_multiple_of(4), "A5000 cluster size must be a positive multiple of 4");
+    assert!(
+        n > 0 && n.is_multiple_of(4),
+        "A5000 cluster size must be a positive multiple of 4"
+    );
     let mut b = ClusterBuilder::new().default_inter_link(ETH_40GBPS, ETH_LAT);
     for i in 0..n / 4 {
         b = b.node_with_intra(

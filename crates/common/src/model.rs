@@ -170,7 +170,11 @@ impl ModelSpec {
         let h = self.hidden_size as u64;
         let kv = (self.num_kv_heads * self.head_dim()) as u64;
         let ffn = self.intermediate_size as u64;
-        let mlp = if self.mlp_gated { 3 * h * ffn } else { 2 * h * ffn };
+        let mlp = if self.mlp_gated {
+            3 * h * ffn
+        } else {
+            2 * h * ffn
+        };
         2 * h * h + 2 * h * kv + mlp
     }
 
@@ -183,7 +187,8 @@ impl ModelSpec {
     /// Bytes needed to store the weights of `layers` transformer layers
     /// (excluding embeddings), used for non-uniform pipeline partitioning.
     pub fn layer_weight_bytes(&self, layers: usize) -> u64 {
-        self.dtype.bytes_for(self.per_layer_params() * layers as u64)
+        self.dtype
+            .bytes_for(self.per_layer_params() * layers as u64)
     }
 
     /// KV-cache bytes per token across **all** layers (both K and V).

@@ -9,9 +9,7 @@ use std::fmt;
 /// and produces the KV cache plus the first token; the *decode* phase then
 /// generates one token per step and is bound by memory bandwidth. Phase-split
 /// serving assigns entire model replicas to one phase or the other.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Phase {
     /// Prompt processing: compute-bound, latency-sensitive (TTFT).
     Prefill,

@@ -149,7 +149,10 @@ impl RoutingMatrix {
     /// # Panics
     /// Panics if `m` or `n` is zero.
     pub fn uniform(m: usize, n: usize) -> Self {
-        assert!(m > 0 && n > 0, "uniform routing needs at least one replica per phase");
+        assert!(
+            m > 0 && n > 0,
+            "uniform routing needs at least one replica per phase"
+        );
         let v = 1.0 / (m * n) as f64;
         RoutingMatrix {
             rates: vec![vec![v; n]; m],
@@ -265,10 +268,7 @@ impl DeploymentPlan {
     /// The prefill-to-decode replica ratio, e.g. `(8, 4)` for Table 3's
     /// coding plan.
     pub fn phase_ratio(&self) -> (usize, usize) {
-        (
-            self.prefill_indices().len(),
-            self.decode_indices().len(),
-        )
+        (self.prefill_indices().len(), self.decode_indices().len())
     }
 }
 
@@ -287,10 +287,7 @@ mod tests {
         let stages = (0..pp)
             .map(|s| {
                 let base = first_gpu + (s * tp) as u32;
-                stage(
-                    &(base..base + tp as u32).collect::<Vec<_>>(),
-                    layers / pp,
-                )
+                stage(&(base..base + tp as u32).collect::<Vec<_>>(), layers / pp)
             })
             .collect();
         GroupSpec::new(phase, ParallelConfig::new(tp, pp).unwrap(), stages).unwrap()

@@ -77,13 +77,14 @@ pub fn from_text(text: &str) -> Result<DeploymentPlan> {
     let mut current: Option<(Phase, usize, usize, Vec<StageSpec>)> = None;
     let mut routing: Option<RoutingMatrix> = None;
 
-    let finish_group =
-        |g: Option<(Phase, usize, usize, Vec<StageSpec>)>, groups: &mut Vec<GroupSpec>| -> Result<()> {
-            if let Some((phase, tp, pp, stages)) = g {
-                groups.push(GroupSpec::new(phase, ParallelConfig::new(tp, pp)?, stages)?);
-            }
-            Ok(())
-        };
+    let finish_group = |g: Option<(Phase, usize, usize, Vec<StageSpec>)>,
+                        groups: &mut Vec<GroupSpec>|
+     -> Result<()> {
+        if let Some((phase, tp, pp, stages)) = g {
+            groups.push(GroupSpec::new(phase, ParallelConfig::new(tp, pp)?, stages)?);
+        }
+        Ok(())
+    };
 
     let mut rows_needed = 0usize;
     let mut cols = 0usize;
@@ -96,7 +97,10 @@ pub fn from_text(text: &str) -> Result<DeploymentPlan> {
                 .map(|v| v.parse().map_err(|_| bad(format!("bad rate {v:?}"))))
                 .collect::<Result<_>>()?;
             if row.len() != cols {
-                return Err(bad(format!("routing row has {} cells, want {cols}", row.len())));
+                return Err(bad(format!(
+                    "routing row has {} cells, want {cols}",
+                    row.len()
+                )));
             }
             rows.push(row);
             rows_needed -= 1;
@@ -210,9 +214,7 @@ mod tests {
             gpus: vec![GpuId(id)],
             layers: 40,
         };
-        let g = |phase, id| {
-            GroupSpec::new(phase, ParallelConfig::SINGLE, vec![stage(id)]).unwrap()
-        };
+        let g = |phase, id| GroupSpec::new(phase, ParallelConfig::SINGLE, vec![stage(id)]).unwrap();
         let plan = DeploymentPlan::new(
             vec![
                 g(Phase::Prefill, 0),
@@ -234,7 +236,11 @@ mod tests {
         // corrupt the header
         assert!(from_text(&good.replace("v1", "v9")).is_err());
         // truncate the routing matrix
-        let truncated: String = good.lines().take(good.lines().count() - 1).collect::<Vec<_>>().join("\n");
+        let truncated: String = good
+            .lines()
+            .take(good.lines().count() - 1)
+            .collect::<Vec<_>>()
+            .join("\n");
         assert!(from_text(&truncated).is_err());
         // bad gpu id
         assert!(from_text(&good.replace("gpus=0,1", "gpus=0,x")).is_err());

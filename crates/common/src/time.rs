@@ -139,7 +139,10 @@ impl SimDuration {
     /// Panics if `factor` is negative or not finite.
     #[inline]
     pub fn mul_f64(self, factor: f64) -> Self {
-        assert!(factor.is_finite() && factor >= 0.0, "invalid factor: {factor}");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "invalid factor: {factor}"
+        );
         SimDuration((self.0 as f64 * factor).round() as u64)
     }
 }
@@ -262,7 +265,10 @@ mod tests {
         let early = SimTime::from_micros(10);
         let late = SimTime::from_micros(20);
         assert_eq!(early.saturating_since(late), SimDuration::ZERO);
-        assert_eq!(SimDuration::MAX + SimDuration::from_secs(1), SimDuration::MAX);
+        assert_eq!(
+            SimDuration::MAX + SimDuration::from_secs(1),
+            SimDuration::MAX
+        );
     }
 
     #[test]
@@ -293,9 +299,11 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = [SimTime::from_micros(3),
+        let mut v = [
+            SimTime::from_micros(3),
             SimTime::ZERO,
-            SimTime::from_micros(1)];
+            SimTime::from_micros(1),
+        ];
         v.sort();
         assert_eq!(v[0], SimTime::ZERO);
         assert_eq!(v[2], SimTime::from_micros(3));

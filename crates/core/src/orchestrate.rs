@@ -180,8 +180,7 @@ fn equalize_cols(rates: &mut [Vec<f64>], d: &[Vec<f64>], col_cap: &[f64]) {
             if assigned[j2] {
                 continue;
             }
-            let same = close(col_cap[j], col_cap[j2])
-                && d.iter().all(|row| close(row[j], row[j2]));
+            let same = close(col_cap[j], col_cap[j2]) && d.iter().all(|row| close(row[j], row[j2]));
             if same {
                 class.push(j2);
             }
@@ -324,8 +323,15 @@ mod tests {
             .unwrap();
         let p2 = deduce_parallel_config(&cluster, &model, &ids(&[2, 3]), Phase::Prefill, &w, &cfg)
             .unwrap();
-        let d1 = deduce_parallel_config(&cluster, &model, &ids(&[4, 5, 6, 7]), Phase::Decode, &w, &cfg)
-            .unwrap();
+        let d1 = deduce_parallel_config(
+            &cluster,
+            &model,
+            &ids(&[4, 5, 6, 7]),
+            Phase::Decode,
+            &w,
+            &cfg,
+        )
+        .unwrap();
         let o = orchestrate(&cluster, &model, vec![p1, p2, d1], &w, &slo(), &cfg).unwrap();
         let r = &o.plan.routing;
         assert!(
@@ -346,9 +352,33 @@ mod tests {
         let w = spec::conversation(2.0);
         // prefill on A40 (node 4, GPUs 16..20); fast decode on 3090Ti node 5
         // (24..28, 40Gbps to A40); slow decode on A6000 node 0 (0..4, 2.5e9).
-        let pf = deduce_parallel_config(&cluster, &model, &ids(&[16, 17, 18, 19]), Phase::Prefill, &w, &cfg).unwrap();
-        let fast = deduce_parallel_config(&cluster, &model, &ids(&[24, 25, 26, 27]), Phase::Decode, &w, &cfg).unwrap();
-        let slow = deduce_parallel_config(&cluster, &model, &ids(&[0, 1, 2, 3]), Phase::Decode, &w, &cfg).unwrap();
+        let pf = deduce_parallel_config(
+            &cluster,
+            &model,
+            &ids(&[16, 17, 18, 19]),
+            Phase::Prefill,
+            &w,
+            &cfg,
+        )
+        .unwrap();
+        let fast = deduce_parallel_config(
+            &cluster,
+            &model,
+            &ids(&[24, 25, 26, 27]),
+            Phase::Decode,
+            &w,
+            &cfg,
+        )
+        .unwrap();
+        let slow = deduce_parallel_config(
+            &cluster,
+            &model,
+            &ids(&[0, 1, 2, 3]),
+            Phase::Decode,
+            &w,
+            &cfg,
+        )
+        .unwrap();
         let o = orchestrate(&cluster, &model, vec![pf, fast, slow], &w, &slo(), &cfg).unwrap();
         let r = &o.plan.routing;
         // column 0 is the fast 3090Ti decode replica

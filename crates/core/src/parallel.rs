@@ -60,14 +60,10 @@ pub fn deduce_parallel_config(
             if let Ok(rcm) = ReplicaCostModel::new(cluster, model, &group, &cfg.params) {
                 let score = match phase {
                     // Latency-optimal for the compute-bound prefill phase.
-                    Phase::Prefill => {
-                        -rcm.prefill_latency(mean_prompt, mean_prompt).as_secs_f64()
-                    }
+                    Phase::Prefill => -rcm.prefill_latency(mean_prompt, mean_prompt).as_secs_f64(),
                     // Throughput-optimal for the bandwidth-bound decode phase.
                     Phase::Decode => {
-                        let b = rcm
-                            .max_decode_batch(mean_prompt + mean_out)
-                            .clamp(1, 256);
+                        let b = rcm.max_decode_batch(mean_prompt + mean_out).clamp(1, 256);
                         rcm.decode_throughput(b, ctx)
                     }
                 };
@@ -186,9 +182,7 @@ fn partition_layers(
     // proportional start, at least 1 per stage
     let mut layers: Vec<usize> = usable
         .iter()
-        .map(|&u| {
-            (((u as f64 / total_mem as f64) * total_layers as f64).round() as usize).max(1)
-        })
+        .map(|&u| (((u as f64 / total_mem as f64) * total_layers as f64).round() as usize).max(1))
         .collect();
     // clip to caps, then fix the sum by greedy adjustment
     for (l, &c) in layers.iter_mut().zip(&caps) {

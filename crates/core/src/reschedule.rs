@@ -10,6 +10,7 @@
 use crate::config::SchedulerConfig;
 use crate::orchestrate::{orchestrate, phase_affinity};
 use crate::scheduler::Scheduler;
+use rand::Rng;
 use std::collections::VecDeque;
 use ts_cluster::Cluster;
 use ts_common::{
@@ -17,7 +18,6 @@ use ts_common::{
 };
 use ts_costmodel::replica::{ReplicaCostModel, DISK_BANDWIDTH};
 use ts_workload::WorkloadSpec;
-use rand::Rng;
 
 /// Result of a rescheduling operation.
 #[derive(Debug, Clone)]
@@ -162,9 +162,13 @@ pub fn no_reschedule(
     slo: &SloSpec,
     cfg: &SchedulerConfig,
 ) -> Result<RescheduleOutcome> {
-    let alive =
-        |g: &GroupSpec| -> bool { g.gpus().all(|id| cluster.is_active(id)) };
-    let surviving: Vec<GroupSpec> = current.groups.iter().filter(|g| alive(g)).cloned().collect();
+    let alive = |g: &GroupSpec| -> bool { g.gpus().all(|id| cluster.is_active(id)) };
+    let surviving: Vec<GroupSpec> = current
+        .groups
+        .iter()
+        .filter(|g| alive(g))
+        .cloned()
+        .collect();
     if !has_both_phases(&surviving) {
         return Err(Error::Infeasible(
             "a phase lost all replicas; no-reschedule cannot serve".into(),
@@ -187,7 +191,12 @@ pub fn no_reschedule(
         .collect();
     let mut rates: Vec<Vec<f64>> = keep_rows
         .iter()
-        .map(|&r| keep_cols.iter().map(|&c| current.routing.rate(r, c)).collect())
+        .map(|&r| {
+            keep_cols
+                .iter()
+                .map(|&c| current.routing.rate(r, c))
+                .collect()
+        })
         .collect();
     let total: f64 = rates.iter().flatten().sum();
     let routing = if total > 1e-12 {
@@ -242,8 +251,12 @@ mod tests {
         )
     }
 
-    fn schedule_cloud() -> (ts_cluster::Cluster, ModelSpec, DeploymentPlan, SchedulerConfig)
-    {
+    fn schedule_cloud() -> (
+        ts_cluster::Cluster,
+        ModelSpec,
+        DeploymentPlan,
+        SchedulerConfig,
+    ) {
         let cluster = presets::paper_cloud_cluster();
         let model = ModelSpec::llama_30b();
         let mut cfg = SchedulerConfig::fast();
@@ -258,15 +271,8 @@ mod tests {
     fn lightweight_survives_node_failure() {
         let (mut cluster, model, plan, cfg) = schedule_cloud();
         cluster.deactivate_node(NodeId(6)).unwrap(); // lose a 3090Ti box
-        let out = lightweight_reschedule(
-            &cluster,
-            &model,
-            &plan,
-            &spec::coding(2.5),
-            &slo(),
-            &cfg,
-        )
-        .unwrap();
+        let out = lightweight_reschedule(&cluster, &model, &plan, &spec::coding(2.5), &slo(), &cfg)
+            .unwrap();
         assert!(out.reload_time.is_zero(), "lightweight must not reload");
         assert!(out.estimated_attainment > 0.0);
         for g in &out.plan.groups {
@@ -284,8 +290,7 @@ mod tests {
         // judged by the same estimator on both resulting plans.
         let conv = spec::conversation(2.5);
         let keep = no_reschedule(&cluster, &model, &plan, &conv, &slo(), &cfg).unwrap();
-        let light =
-            lightweight_reschedule(&cluster, &model, &plan, &conv, &slo(), &cfg).unwrap();
+        let light = lightweight_reschedule(&cluster, &model, &plan, &conv, &slo(), &cfg).unwrap();
         let sim_cfg = crate::orchestrate::sim_config(&model, &cfg);
         let score = |p: &DeploymentPlan| {
             ts_sim::estimate::estimate_attainment(&cluster, p, &sim_cfg, &conv, &slo())
@@ -306,8 +311,8 @@ mod tests {
         let model = ModelSpec::llama_30b();
         let mut cfg = SchedulerConfig::fast();
         cfg.seed = 23;
-        let out = full_reschedule(&cluster, &model, &spec::conversation(2.5), &slo(), &cfg)
-            .unwrap();
+        let out =
+            full_reschedule(&cluster, &model, &spec::conversation(2.5), &slo(), &cfg).unwrap();
         // Reloading ~65GB at 1.2GB/s, sharded: tens of seconds at least.
         assert!(
             out.reload_time.as_secs_f64() > 5.0,

@@ -62,7 +62,10 @@ pub fn fit(
         "calibration needs observations"
     );
     assert!(
-        prefill_obs.iter().map(|o| o.latency_s).chain(decode_obs.iter().map(|o| o.latency_s))
+        prefill_obs
+            .iter()
+            .map(|o| o.latency_s)
+            .chain(decode_obs.iter().map(|o| o.latency_s))
             .all(|l| l.is_finite() && l > 0.0),
         "latencies must be positive"
     );
@@ -82,15 +85,23 @@ pub fn fit(
             let mut sq = 0.0;
             let mut n = 0usize;
             for o in prefill_obs {
-                let pred = prefill_time(model, model.num_layers, &hw, o.batch_tokens, o.avg_context, &p)
-                    .as_secs_f64();
+                let pred = prefill_time(
+                    model,
+                    model.num_layers,
+                    &hw,
+                    o.batch_tokens,
+                    o.avg_context,
+                    &p,
+                )
+                .as_secs_f64();
                 let rel = pred / o.latency_s - 1.0;
                 sq += rel * rel;
                 n += 1;
             }
             for o in decode_obs {
-                let pred = decode_step_time(model, model.num_layers, &hw, o.batch, o.avg_context, &p)
-                    .as_secs_f64();
+                let pred =
+                    decode_step_time(model, model.num_layers, &hw, o.batch, o.avg_context, &p)
+                        .as_secs_f64();
                 let rel = pred / o.latency_s - 1.0;
                 sq += rel * rel;
                 n += 1;
@@ -187,8 +198,15 @@ mod tests {
             prefill
                 .iter()
                 .map(|o| {
-                    let pred = prefill_time(&model, model.num_layers, &hw, o.batch_tokens, o.avg_context, p)
-                        .as_secs_f64();
+                    let pred = prefill_time(
+                        &model,
+                        model.num_layers,
+                        &hw,
+                        o.batch_tokens,
+                        o.avg_context,
+                        p,
+                    )
+                    .as_secs_f64();
                     (pred / o.latency_s - 1.0).powi(2)
                 })
                 .sum::<f64>()

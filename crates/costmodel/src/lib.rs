@@ -34,8 +34,8 @@
 //! ```
 
 pub mod alphabeta;
-pub mod calibration;
 pub mod batching;
+pub mod calibration;
 pub mod price;
 pub mod replica;
 pub mod roofline;

@@ -82,7 +82,10 @@ impl ReplicaCostModel {
             // in lockstep, so the slowest shard sets the pace.
             let weakest = GpuSpec {
                 model: specs[0].model,
-                mem_bandwidth: specs.iter().map(|s| s.mem_bandwidth).fold(f64::MAX, f64::min),
+                mem_bandwidth: specs
+                    .iter()
+                    .map(|s| s.mem_bandwidth)
+                    .fold(f64::MAX, f64::min),
                 peak_fp16_flops: specs
                     .iter()
                     .map(|s| s.peak_fp16_flops)
@@ -125,9 +128,10 @@ impl ReplicaCostModel {
                     "stage {si} needs {weight_bytes} weight bytes but has {usable_memory} usable"
                 )));
             }
-            let next_link = group.stages.get(si + 1).map(|next| {
-                best_pair_link(cluster, &st.gpus, &next.gpus)
-            });
+            let next_link = group
+                .stages
+                .get(si + 1)
+                .map(|next| best_pair_link(cluster, &st.gpus, &next.gpus));
             stages.push(StageModel {
                 hw,
                 layers: st.layers,
@@ -400,7 +404,11 @@ mod tests {
                     .iter()
                     .map(|&g| GpuId(g))
                     .collect(),
-                layers: if s == pp - 1 { layers - per * (pp - 1) } else { per },
+                layers: if s == pp - 1 {
+                    layers - per * (pp - 1)
+                } else {
+                    per
+                },
             })
             .collect();
         GroupSpec::new(phase, ParallelConfig::new(tp, pp).unwrap(), stages).unwrap()
@@ -425,7 +433,12 @@ mod tests {
         // One A5000 (24GB) cannot hold 30B fp16 weights (~65GB).
         let g = group_on(&[8], 1, 1, m.num_layers, Phase::Prefill);
         assert!(ReplicaCostModel::new(&c, &m, &g, &ModelParams::default()).is_err());
-        assert!(!memory_feasible(&c, &m, &[GpuId(8)], &ModelParams::default()));
+        assert!(!memory_feasible(
+            &c,
+            &m,
+            &[GpuId(8)],
+            &ModelParams::default()
+        ));
         assert!(memory_feasible(
             &c,
             &m,

@@ -75,13 +75,17 @@ pub fn prefill_time(
     let matmul_flops = layer_flops_per_token(model) * batch_tokens as f64 * l;
     let kv_dim = (model.num_kv_heads * model.head_dim()) as f64;
     let attn_flops = 4.0 * batch_tokens as f64 * avg_context as f64 * kv_dim * l;
-    let compute_s = (matmul_flops + attn_flops) / tp
+    let compute_s = (matmul_flops + attn_flops)
+        / tp
         / (hw.gpu.peak_fp16_flops * params.effective_compute_eff(batch_tokens));
 
     // Memory bound: read weights once, stream activations per layer.
     let weight_bytes = layer_weight_bytes(model) as f64 * l / tp;
-    let act_bytes = 2.0 * batch_tokens as f64 * model.hidden_size as f64
-        * model.dtype.bytes_for(1).max(1) as f64 * 2.0
+    let act_bytes = 2.0
+        * batch_tokens as f64
+        * model.hidden_size as f64
+        * model.dtype.bytes_for(1).max(1) as f64
+        * 2.0
         * l
         / tp;
     let mem_s = (weight_bytes + act_bytes) / (hw.gpu.mem_bandwidth * params.mem_eff);
@@ -184,9 +188,8 @@ mod tests {
         let m = ModelSpec::llama_7b();
         let p = params();
         let h = hw(GpuModel::Rtx3090Ti);
-        let thpt = |b: u64| {
-            b as f64 / decode_step_time(&m, m.num_layers, &h, b, 1024, &p).as_secs_f64()
-        };
+        let thpt =
+            |b: u64| b as f64 / decode_step_time(&m, m.num_layers, &h, b, 1024, &p).as_secs_f64();
         assert!(thpt(8) > 4.0 * thpt(1));
         assert!(thpt(64) > 2.0 * thpt(8));
     }
@@ -262,10 +265,7 @@ mod tests {
         let m = ModelSpec::llama_7b();
         let p = params();
         let h = hw(GpuModel::A100);
-        assert_eq!(
-            prefill_time(&m, 0, &h, 100, 100, &p),
-            SimDuration::ZERO
-        );
+        assert_eq!(prefill_time(&m, 0, &h, 100, 100, &p), SimDuration::ZERO);
         assert_eq!(
             decode_step_time(&m, m.num_layers, &h, 0, 100, &p),
             SimDuration::ZERO

@@ -34,7 +34,10 @@ impl BlockAllocator {
     /// # Panics
     /// Panics if either argument is zero.
     pub fn new(num_blocks: usize, block_size: usize) -> Self {
-        assert!(num_blocks > 0 && block_size > 0, "allocator must be non-empty");
+        assert!(
+            num_blocks > 0 && block_size > 0,
+            "allocator must be non-empty"
+        );
         BlockAllocator {
             block_size,
             free: (0..num_blocks as u32).rev().map(BlockId).collect(),
@@ -112,7 +115,9 @@ impl BlockAllocator {
     /// the sequence already exists.
     pub fn admit(&mut self, id: RequestId, tokens: usize) -> Result<()> {
         if self.sequences.contains_key(&id) {
-            return Err(Error::InvalidConfig(format!("sequence {id} already admitted")));
+            return Err(Error::InvalidConfig(format!(
+                "sequence {id} already admitted"
+            )));
         }
         let needed = tokens.div_ceil(self.block_size).max(1);
         if needed > self.free.len() {
@@ -139,9 +144,10 @@ impl BlockAllocator {
             .get_mut(&id)
             .ok_or_else(|| Error::InvalidConfig(format!("unknown sequence {id}")))?;
         if seq.tokens == seq.blocks.len() * self.block_size {
-            let block = self.free.pop().ok_or_else(|| {
-                Error::CapacityExceeded("no free KV blocks for append".into())
-            })?;
+            let block = self
+                .free
+                .pop()
+                .ok_or_else(|| Error::CapacityExceeded("no free KV blocks for append".into()))?;
             seq.blocks.push(block);
         }
         seq.tokens += 1;

@@ -199,7 +199,9 @@ mod tests {
     fn int2_codec_round_trips_coarsely() {
         let m = ModelSpec::llama_7b();
         let codec = KvCodec::new(m, KvWirePrecision::Int2 { group_size: 32 });
-        let xs: Vec<f32> = (0..640).map(|i| ((i * 13) % 64) as f32 / 32.0 - 1.0).collect();
+        let xs: Vec<f32> = (0..640)
+            .map(|i| ((i * 13) % 64) as f32 / 32.0 - 1.0)
+            .collect();
         let wire = codec.encode(&xs);
         let back = codec.decode(&wire).unwrap();
         assert_eq!(back.len(), xs.len());
@@ -236,7 +238,9 @@ mod tests {
     fn int4_codec_round_trips() {
         let m = ModelSpec::llama_7b();
         let codec = KvCodec::new(m, KvWirePrecision::DEFAULT_COMPRESSED);
-        let xs: Vec<f32> = (0..999).map(|i| ((i * 37) % 100) as f32 / 50.0 - 1.0).collect();
+        let xs: Vec<f32> = (0..999)
+            .map(|i| ((i * 37) % 100) as f32 / 50.0 - 1.0)
+            .collect();
         let wire = codec.encode(&xs);
         let back = codec.decode(&wire).unwrap();
         assert_eq!(back.len(), xs.len());

@@ -101,7 +101,10 @@ pub fn attention_outputs<R: Rng>(
 ) -> Vec<f32> {
     assert_eq!(keys.tokens, values.tokens, "K/V token mismatch");
     assert_eq!(keys.channels, values.channels, "K/V channel mismatch");
-    assert!(heads > 0 && keys.channels.is_multiple_of(heads), "bad head count");
+    assert!(
+        heads > 0 && keys.channels.is_multiple_of(heads),
+        "bad head count"
+    );
     let head_dim = keys.channels / heads;
     let scale = 1.0 / (head_dim as f64).sqrt();
 
@@ -184,7 +187,12 @@ mod tests {
             &kv.values,
             &reconstruct_channelwise(&kv, QuantBits::Int4, 64).values,
         );
-        assert!(chan.snr_db > naive.snr_db, "{} vs {}", chan.snr_db, naive.snr_db);
+        assert!(
+            chan.snr_db > naive.snr_db,
+            "{} vs {}",
+            chan.snr_db,
+            naive.snr_db
+        );
     }
 
     #[test]
@@ -200,7 +208,12 @@ mod tests {
             &kv.values,
             &quantize(&kv.values, QuantBits::Int8, 64).dequantize(),
         );
-        assert!(r8.snr_db > r4.snr_db + 15.0, "{} vs {}", r8.snr_db, r4.snr_db);
+        assert!(
+            r8.snr_db > r4.snr_db + 15.0,
+            "{} vs {}",
+            r8.snr_db,
+            r4.snr_db
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! (the structure KIVI-style quantizers are designed around).
 
 use rand::Rng;
-use rand_distributions::{sample_normal, sample_lognormal};
+use rand_distributions::{sample_lognormal, sample_normal};
 use ts_common::ModelSpec;
 
 mod rand_distributions {
@@ -123,7 +123,10 @@ mod tests {
             s.sort_by(|a, b| a.partial_cmp(b).unwrap());
             s[s.len() / 2]
         };
-        assert!(max > 4.0 * med, "expected outlier channels: max {max}, median {med}");
+        assert!(
+            max > 4.0 * med,
+            "expected outlier channels: max {max}, median {med}"
+        );
     }
 
     #[test]

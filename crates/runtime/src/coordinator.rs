@@ -16,9 +16,9 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use ts_cluster::Cluster;
+use ts_common::ModelSpec;
 use ts_common::{DeploymentPlan, Error, Request, Result};
 use ts_costmodel::{ModelParams, ReplicaCostModel};
-use ts_common::ModelSpec;
 use ts_sim::router::StrideRouter;
 
 /// Configuration of the live coordinator.

@@ -11,6 +11,11 @@
 //!   zero reload (§3.4);
 //! * [`ReschedulePolicy::Full`] — full two-level search plus a modeled
 //!   weight-reload blackout during which arriving requests queue.
+//!
+//! Segments execute on `ts_sim`'s unified execution substrate: the runtime
+//! drives the phase-split facade, but the identical event loop and fault
+//! layer back the colocated baselines, so per-segment `RecoveryCounters`
+//! are comparable across every system the experiments run.
 
 use thunderserve_core::config::SchedulerConfig;
 use thunderserve_core::orchestrate::sim_config;
@@ -21,8 +26,7 @@ use thunderserve_core::Scheduler;
 use ts_cluster::availability::{sort_script, ClusterEvent, EventKind};
 use ts_cluster::Cluster;
 use ts_common::{
-    DeploymentPlan, Error, GpuId, ModelSpec, NodeId, Request, Result, SimDuration, SimTime,
-    SloSpec,
+    DeploymentPlan, Error, GpuId, ModelSpec, NodeId, Request, Result, SimDuration, SimTime, SloSpec,
 };
 use ts_costmodel::replica::{ReplicaCostModel, DISK_BANDWIDTH};
 use ts_sim::engine::Simulation;
@@ -186,16 +190,22 @@ impl ServingRuntime {
         // from the first detection until the reload completes.
         let mut paused_mid_flight = false;
         if policy == ReschedulePolicy::Full {
-            let first_down = script.faults.iter().find(|f| {
-                matches!(f.kind, FaultKind::PrefillDown(_) | FaultKind::DecodeDown(_))
-            });
+            let first_down = script
+                .faults
+                .iter()
+                .find(|f| matches!(f.kind, FaultKind::PrefillDown(_) | FaultKind::DecodeDown(_)));
             if let Some(f) = first_down {
                 let reload = plan
                     .groups
                     .iter()
                     .filter_map(|g| {
-                        ReplicaCostModel::new(&self.cluster, &self.model, g, &self.scheduler_cfg.params)
-                            .ok()
+                        ReplicaCostModel::new(
+                            &self.cluster,
+                            &self.model,
+                            g,
+                            &self.scheduler_cfg.params,
+                        )
+                        .ok()
                     })
                     .map(|rcm| rcm.weight_load_time(DISK_BANDWIDTH))
                     .max()
@@ -203,7 +213,9 @@ impl ServingRuntime {
                 let detect = f.at + heartbeat_timeout;
                 script.faults.push(TimedFault {
                     at: detect,
-                    kind: FaultKind::Pause { until: detect + reload },
+                    kind: FaultKind::Pause {
+                        until: detect + reload,
+                    },
                 });
                 script.faults.sort_by_key(|f| f.at);
                 paused_mid_flight = true;
@@ -326,11 +338,7 @@ impl ServingRuntime {
     /// # Errors
     /// Returns [`Error::Runtime`] if no plan is deployed; propagates
     /// rescheduling failures.
-    pub fn reschedule(
-        &mut self,
-        workload: &WorkloadSpec,
-        policy: ReschedulePolicy,
-    ) -> Result<()> {
+    pub fn reschedule(&mut self, workload: &WorkloadSpec, policy: ReschedulePolicy) -> Result<()> {
         let current = self
             .plan
             .as_ref()
@@ -417,17 +425,17 @@ mod tests {
         rt.deploy(&w).unwrap();
         let reqs = generate(&w, SimDuration::from_secs(60), 1);
         let rep = rt.serve_segment(&reqs).unwrap();
-        assert_eq!(rep.metrics.num_completed() + rep.metrics.num_dropped(), reqs.len());
+        assert_eq!(
+            rep.metrics.num_completed() + rep.metrics.num_dropped(),
+            reqs.len()
+        );
         assert!(rep.blackout.is_zero());
     }
 
     #[test]
     fn serve_before_deploy_errors() {
         let mut rt = runtime();
-        assert!(matches!(
-            rt.serve_segment(&[]),
-            Err(Error::Runtime(_))
-        ));
+        assert!(matches!(rt.serve_segment(&[]), Err(Error::Runtime(_))));
     }
 
     #[test]
@@ -570,7 +578,10 @@ mod tests {
             assert!(m.recovery().any(), "recovery actions should be recorded");
         }
         // The post-segment lightweight reschedule avoids the dead GPUs.
-        assert_eq!(rt.resched_log.last().unwrap().0, ReschedulePolicy::Lightweight);
+        assert_eq!(
+            rt.resched_log.last().unwrap().0,
+            ReschedulePolicy::Lightweight
+        );
         for g in &rt.plan().unwrap().groups {
             for gpu in g.gpus() {
                 assert!(rt.cluster().is_active(gpu), "plan references dead {gpu:?}");
@@ -601,14 +612,20 @@ mod tests {
                 SimDuration::from_secs(1),
             )
             .unwrap();
-        assert!(rt.resched_log.is_empty(), "a sub-timeout blip must not reschedule");
+        assert!(
+            rt.resched_log.is_empty(),
+            "a sub-timeout blip must not reschedule"
+        );
         let m = &rep.metrics;
         assert_eq!(
             m.num_completed() + m.num_dropped() + m.num_rejected(),
             reqs.len()
         );
         // Net availability is unchanged.
-        assert_eq!(rt.cluster().num_gpus(), presets::paper_cloud_cluster().num_gpus());
+        assert_eq!(
+            rt.cluster().num_gpus(),
+            presets::paper_cloud_cluster().num_gpus()
+        );
     }
 
     #[test]
@@ -639,7 +656,9 @@ mod tests {
         assert_eq!(*policy, ReschedulePolicy::Full);
         assert!(!outcome.reload_time.is_zero());
         // …but the next segment starts clean: the pause was paid in-flight.
-        let rep = rt.serve_segment(&generate(&w, SimDuration::from_secs(10), 8)).unwrap();
+        let rep = rt
+            .serve_segment(&generate(&w, SimDuration::from_secs(10), 8))
+            .unwrap();
         assert!(rep.blackout.is_zero(), "reload must not be double-charged");
     }
 

@@ -6,90 +6,34 @@
 //! prefill batch runs first (prefill-priority, as in vLLM's default
 //! scheduler) — so long prompts stall ongoing decodes, producing exactly the
 //! prefill/decode interference that phase splitting removes.
+//!
+//! [`ColocatedSimulation`] is a thin facade over the shared execution core
+//! in [`crate::exec`] — the same event loop, router, admission policy and
+//! fault layer that drive the phase-split [`crate::engine::Simulation`],
+//! instantiated with the [`crate::exec::ColocatedExecutor`] topology. A
+//! direct consequence of that sharing:
+//! [`ColocatedSimulation::run_with_faults`] accepts the same
+//! [`FaultScript`]s as the phase-split engine and produces the same
+//! [`crate::metrics::RecoveryCounters`] semantics, so the paper's failure
+//! experiments can compare fault behaviour against colocated baselines on
+//! equal footing. Since a colocated replica hosts both phases,
+//! `PrefillDown(i)` and `DecodeDown(i)` both mean "replica `i` dies" (and
+//! symmetrically for `*Up`); link faults are rejected because there is no
+//! inter-replica KV fabric.
 
 use crate::config::SimConfig;
-use crate::event::{EventKind, EventQueue};
-use crate::metrics::{Metrics, RequestRecord};
-use crate::router::StrideRouter;
-use std::collections::{HashMap, VecDeque};
+use crate::exec::driver::Driver;
+use crate::fault::FaultScript;
+use crate::metrics::Metrics;
 use ts_cluster::Cluster;
-use ts_common::{Error, GroupSpec, Request, RequestId, Result, SimTime};
-use ts_costmodel::ReplicaCostModel;
+use ts_common::{GroupSpec, Request, Result};
 
-#[derive(Debug, Clone, Copy)]
-struct ActiveSeq {
-    id: RequestId,
-    context: u64,
-    remaining: u32,
-    last_token_at: ts_common::SimTime,
-    max_gap: ts_common::SimDuration,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct WaitingSeq {
-    id: RequestId,
-    prompt_len: u64,
-    remaining: u32,
-}
-
-/// Scheduling policy of a colocated replica.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ColocatedPolicy {
-    /// Whole prefill batches run before any decode step (vLLM's default
-    /// behaviour; long prompts stall ongoing decodes).
-    PrefillPriority,
-    /// Sarathi/vLLM-CP-style chunked prefill: prompt processing is split
-    /// into chunks of at most this many tokens, and a decode step runs
-    /// between chunks, bounding the decode stall per prompt.
-    Chunked {
-        /// Maximum prompt tokens processed per chunk.
-        chunk_tokens: u64,
-    },
-}
-
-/// What a replica is currently executing.
-#[derive(Debug, Clone)]
-enum Work {
-    /// Processing a chunk of prompt tokens; requests in `finishing`
-    /// complete their prefill when this work item ends.
-    Prefill { finishing: Vec<Request> },
-    DecodeStep,
-}
-
-#[derive(Debug)]
-struct Replica {
-    cost: ReplicaCostModel,
-    kv_capacity: u64,
-    kv_used: u64,
-    prefill_queue: VecDeque<Request>,
-    /// Prompt tokens of the queue head already processed by earlier chunks.
-    head_progress: u64,
-    active: Vec<ActiveSeq>,
-    waiting: VecDeque<WaitingSeq>,
-    current: Option<Work>,
-    /// Under chunked scheduling, alternate prefill chunks and decode steps.
-    decode_turn: bool,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Pending {
-    replica: usize,
-    first_token_at: Option<SimTime>,
-}
+pub use crate::exec::ColocatedPolicy;
 
 /// A colocated-serving simulation over identical-role replicas.
 pub struct ColocatedSimulation<'a> {
     cluster: &'a Cluster,
-    cfg: SimConfig,
-    policy: ColocatedPolicy,
-    replicas: Vec<Replica>,
-    router: StrideRouter,
-    queue: EventQueue,
-    pending: HashMap<RequestId, Pending>,
-    payloads: HashMap<RequestId, Request>,
-    records: Vec<RequestRecord>,
-    dropped: usize,
-    now: SimTime,
+    driver: Driver,
 }
 
 impl<'a> ColocatedSimulation<'a> {
@@ -98,8 +42,8 @@ impl<'a> ColocatedSimulation<'a> {
     /// to each replica's decode throughput capacity.
     ///
     /// # Errors
-    /// Returns [`Error::Infeasible`] if any group cannot hold the model or
-    /// `groups` is empty.
+    /// Returns [`ts_common::Error::Infeasible`] if any group cannot hold the
+    /// model or `groups` is empty.
     pub fn new(cluster: &'a Cluster, groups: &[GroupSpec], cfg: SimConfig) -> Result<Self> {
         Self::with_policy(cluster, groups, cfg, ColocatedPolicy::PrefillPriority)
     }
@@ -107,48 +51,17 @@ impl<'a> ColocatedSimulation<'a> {
     /// Like [`ColocatedSimulation::new`] with an explicit scheduling policy.
     ///
     /// # Errors
-    /// Returns [`Error::Infeasible`] if any group cannot hold the model or
-    /// `groups` is empty.
+    /// Returns [`ts_common::Error::Infeasible`] if any group cannot hold the
+    /// model or `groups` is empty.
     pub fn with_policy(
         cluster: &'a Cluster,
         groups: &[GroupSpec],
         cfg: SimConfig,
         policy: ColocatedPolicy,
     ) -> Result<Self> {
-        if groups.is_empty() {
-            return Err(Error::Infeasible("no replicas".into()));
-        }
-        let mut replicas = Vec::with_capacity(groups.len());
-        let mut weights = Vec::with_capacity(groups.len());
-        for g in groups {
-            let cost = ReplicaCostModel::new(cluster, &cfg.model, g, &cfg.params)?;
-            let kv_capacity = cost.kv_capacity_tokens();
-            // Route proportional to steady decode throughput at batch 32.
-            weights.push(cost.decode_throughput(32.min(kv_capacity / 1024).max(1), 1024));
-            replicas.push(Replica {
-                cost,
-                kv_capacity,
-                kv_used: 0,
-                prefill_queue: VecDeque::new(),
-                head_progress: 0,
-                active: Vec::new(),
-                waiting: VecDeque::new(),
-                current: None,
-                decode_turn: false,
-            });
-        }
         Ok(ColocatedSimulation {
             cluster,
-            cfg,
-            policy,
-            replicas,
-            router: StrideRouter::new(weights)?,
-            queue: EventQueue::new(),
-            pending: HashMap::new(),
-            payloads: HashMap::new(),
-            records: Vec::new(),
-            dropped: 0,
-            now: SimTime::ZERO,
+            driver: Driver::new_colocated(cluster, groups, cfg, policy)?,
         })
     }
 
@@ -160,263 +73,28 @@ impl<'a> ColocatedSimulation<'a> {
     /// Runs the trace to completion.
     ///
     /// # Errors
-    /// Returns [`Error::Simulation`] on internal invariant violations.
+    /// Returns [`ts_common::Error::Simulation`] on internal invariant
+    /// violations.
     pub fn run(&mut self, requests: &[Request]) -> Result<Metrics> {
-        for r in requests {
-            self.queue.push(r.arrival, EventKind::Arrival(*r));
-        }
-        let submitted = requests.len();
-        while let Some(ev) = self.queue.pop() {
-            self.now = ev.at;
-            match ev.kind {
-                EventKind::Arrival(req) => {
-                    let r = self.router.next();
-                    self.payloads.insert(req.id, req);
-                    self.pending.insert(
-                        req.id,
-                        Pending {
-                            replica: r,
-                            first_token_at: None,
-                        },
-                    );
-                    self.replicas[r].prefill_queue.push_back(req);
-                    self.maybe_start_work(r);
-                }
-                EventKind::WorkDone { replica } => self.on_work_done(replica)?,
-                other => {
-                    return Err(Error::Simulation(format!(
-                        "unexpected event {other:?} in colocated engine"
-                    )))
-                }
-            }
-        }
-        if self.records.len() + self.dropped != submitted {
-            return Err(Error::Simulation(format!(
-                "conservation violated: {} + {} != {submitted}",
-                self.records.len(),
-                self.dropped
-            )));
-        }
-        let horizon = self.now.saturating_since(SimTime::ZERO);
-        Ok(Metrics::new(
-            std::mem::take(&mut self.records),
-            self.dropped,
-            horizon,
-        ))
+        self.run_with_faults(requests, &FaultScript::none())
     }
 
-    fn maybe_start_work(&mut self, ri: usize) {
-        self.admit_waiting(ri);
-        let budget = self.cfg.max_prefill_batch_tokens;
-        let policy = self.policy;
-        let r = &mut self.replicas[ri];
-        if r.current.is_some() {
-            return;
-        }
-        let has_prefill = !r.prefill_queue.is_empty();
-        let has_decode = !r.active.is_empty();
-        let run_decode = match policy {
-            ColocatedPolicy::PrefillPriority => !has_prefill && has_decode,
-            // Chunked: strictly alternate when both kinds of work exist.
-            ColocatedPolicy::Chunked { .. } => {
-                has_decode && (!has_prefill || r.decode_turn)
-            }
-        };
-        if run_decode {
-            let batch = r.active.len() as u64;
-            let avg = r.active.iter().map(|a| a.context).sum::<u64>() / batch;
-            let latency = r.cost.decode_step_latency(batch, avg);
-            r.current = Some(Work::DecodeStep);
-            r.decode_turn = false;
-            self.queue
-                .push(self.now + latency, EventKind::WorkDone { replica: ri });
-            return;
-        }
-        if !has_prefill {
-            return;
-        }
-        match policy {
-            ColocatedPolicy::PrefillPriority => {
-                // Whole-request FCFS batch up to the token budget.
-                let mut total = 0u64;
-                let mut batch = Vec::new();
-                while let Some(front) = r.prefill_queue.front() {
-                    let t = front.prompt_len as u64;
-                    if !batch.is_empty() && total + t > budget {
-                        break;
-                    }
-                    total += t;
-                    batch.push(r.prefill_queue.pop_front().unwrap());
-                }
-                let avg = total / batch.len() as u64;
-                let latency = r.cost.prefill_latency(total, avg);
-                r.current = Some(Work::Prefill { finishing: batch });
-                self.queue
-                    .push(self.now + latency, EventKind::WorkDone { replica: ri });
-            }
-            ColocatedPolicy::Chunked { chunk_tokens } => {
-                // Process up to chunk_tokens of the queue head(s); requests
-                // whose prompts finish within this chunk complete prefill.
-                let mut tokens = 0u64;
-                let mut finishing = Vec::new();
-                while tokens < chunk_tokens {
-                    let Some(front) = r.prefill_queue.front().copied() else {
-                        break;
-                    };
-                    let remaining = front.prompt_len as u64 - r.head_progress;
-                    let room = chunk_tokens - tokens;
-                    if remaining <= room {
-                        tokens += remaining;
-                        r.head_progress = 0;
-                        finishing.push(r.prefill_queue.pop_front().unwrap());
-                    } else {
-                        r.head_progress += room;
-                        tokens += room;
-                        break;
-                    }
-                }
-                let avg = finishing
-                    .first()
-                    .map(|f| f.prompt_len as u64)
-                    .unwrap_or(tokens.max(1));
-                let latency = r.cost.prefill_latency(tokens.max(1), avg);
-                r.current = Some(Work::Prefill { finishing });
-                r.decode_turn = true;
-                self.queue
-                    .push(self.now + latency, EventKind::WorkDone { replica: ri });
-            }
-        }
-    }
-
-    fn on_work_done(&mut self, ri: usize) -> Result<()> {
-        let work = self.replicas[ri]
-            .current
-            .take()
-            .ok_or_else(|| Error::Simulation("WorkDone with no work".into()))?;
-        match work {
-            Work::Prefill { finishing: batch } => {
-                for req in batch {
-                    let pend = self
-                        .pending
-                        .get_mut(&req.id)
-                        .ok_or_else(|| Error::Simulation(format!("unknown {}", req.id)))?;
-                    pend.first_token_at = Some(self.now);
-                    if req.decode_steps() == 0 {
-                        self.finish(req, self.now, ts_common::SimDuration::ZERO)?;
-                    } else {
-                        // KV is already local: straight to the waiting queue.
-                        self.replicas[ri].waiting.push_back(WaitingSeq {
-                            id: req.id,
-                            prompt_len: req.prompt_len as u64,
-                            remaining: req.decode_steps(),
-                        });
-                    }
-                }
-            }
-            Work::DecodeStep => {
-                let now = self.now;
-                let r = &mut self.replicas[ri];
-                let mut finished = Vec::new();
-                let mut idx = 0;
-                while idx < r.active.len() {
-                    let a = &mut r.active[idx];
-                    a.context += 1;
-                    a.remaining -= 1;
-                    r.kv_used += 1;
-                    let gap = now.saturating_since(a.last_token_at);
-                    a.max_gap = a.max_gap.max(gap);
-                    a.last_token_at = now;
-                    if a.remaining == 0 {
-                        let done = r.active.swap_remove(idx);
-                        r.kv_used -= done.context;
-                        finished.push((done.id, done.max_gap));
-                    } else {
-                        idx += 1;
-                    }
-                }
-                for (id, gap) in finished {
-                    let req = self
-                        .payloads
-                        .get(&id)
-                        .copied()
-                        .ok_or_else(|| Error::Simulation(format!("lost request {id}")))?;
-                    self.finish(req, self.now, gap)?;
-                }
-            }
-        }
-        self.maybe_start_work(ri);
-        Ok(())
-    }
-
-    fn admit_waiting(&mut self, ri: usize) {
-        loop {
-            let r = &mut self.replicas[ri];
-            let Some(front) = r.waiting.front().copied() else {
-                return;
-            };
-            let need = front.prompt_len + 1;
-            let total_need = need + front.remaining as u64;
-            if total_need > r.kv_capacity {
-                r.waiting.pop_front();
-                self.pending.remove(&front.id);
-                self.payloads.remove(&front.id);
-                self.dropped += 1;
-                continue;
-            }
-            if r.active.len() as u64 >= self.cfg.max_decode_batch
-                || r.kv_used + need > r.kv_capacity
-            {
-                return;
-            }
-            if let Some(cap) = self.cfg.tpot_batch_cap {
-                if !r.active.is_empty() {
-                    let batch = r.active.len() as u64 + 1;
-                    let ctx = (r.active.iter().map(|a| a.context).sum::<u64>() + need) / batch;
-                    if r.cost.decode_step_latency(batch, ctx) > cap {
-                        return;
-                    }
-                }
-            }
-            r.waiting.pop_front();
-            r.kv_used += need;
-            let first_token_at = self
-                .pending
-                .get(&front.id)
-                .and_then(|p| p.first_token_at)
-                .unwrap_or(self.now);
-            r.active.push(ActiveSeq {
-                id: front.id,
-                context: need,
-                remaining: front.remaining,
-                last_token_at: first_token_at,
-                max_gap: ts_common::SimDuration::ZERO,
-            });
-        }
-    }
-
-    fn finish(
+    /// Runs the trace with mid-flight fault injection — same contract as
+    /// [`crate::engine::Simulation::run_with_faults`], with replica-level
+    /// faults interpreted on colocated replicas (either phase's
+    /// `Down(i)`/`Up(i)` maps to replica `i`). With an empty script this is
+    /// exactly [`ColocatedSimulation::run`].
+    ///
+    /// # Errors
+    /// Returns [`ts_common::Error::InvalidConfig`] for out-of-range replica
+    /// indices or link faults in the script, and
+    /// [`ts_common::Error::Simulation`] on invariant violations.
+    pub fn run_with_faults(
         &mut self,
-        req: Request,
-        at: SimTime,
-        max_token_gap: ts_common::SimDuration,
-    ) -> Result<()> {
-        self.payloads.remove(&req.id);
-        let pend = self
-            .pending
-            .remove(&req.id)
-            .ok_or_else(|| Error::Simulation(format!("finish without pending {}", req.id)))?;
-        let first = pend
-            .first_token_at
-            .ok_or_else(|| Error::Simulation(format!("finish before prefill {}", req.id)))?;
-        self.records.push(RequestRecord {
-            request: req,
-            prefill_replica: pend.replica,
-            decode_replica: pend.replica,
-            first_token_at: first,
-            finished_at: at,
-            max_token_gap,
-        });
-        Ok(())
+        requests: &[Request],
+        script: &FaultScript,
+    ) -> Result<Metrics> {
+        self.driver.run_with_faults(requests, script)
     }
 }
 
@@ -431,8 +109,15 @@ mod tests {
         let per = layers / pp;
         let stages = (0..pp)
             .map(|s| StageSpec {
-                gpus: gpus[s * tp..(s + 1) * tp].iter().map(|&g| GpuId(g)).collect(),
-                layers: if s + 1 == pp { layers - per * (pp - 1) } else { per },
+                gpus: gpus[s * tp..(s + 1) * tp]
+                    .iter()
+                    .map(|&g| GpuId(g))
+                    .collect(),
+                layers: if s + 1 == pp {
+                    layers - per * (pp - 1)
+                } else {
+                    per
+                },
             })
             .collect();
         GroupSpec::new(Phase::Prefill, ParallelConfig::new(tp, pp).unwrap(), stages).unwrap()
@@ -448,8 +133,7 @@ mod tests {
             group(&[4, 5], 2, 1, model.num_layers),
             group(&[6, 7], 2, 1, model.num_layers),
         ];
-        let mut sim =
-            ColocatedSimulation::new(&cluster, &groups, SimConfig::new(model)).unwrap();
+        let mut sim = ColocatedSimulation::new(&cluster, &groups, SimConfig::new(model)).unwrap();
         let reqs = generate(&spec::coding(1.0), SimDuration::from_secs(60), 1);
         let m = sim.run(&reqs).unwrap();
         assert_eq!(m.num_completed(), reqs.len());
@@ -504,8 +188,14 @@ mod tests {
         let groups = vec![group(&[0, 1, 2, 3], 2, 2, model.num_layers)];
         let cfg = SimConfig::new(model);
         let reqs = generate(&spec::conversation(0.5), SimDuration::from_secs(40), 4);
-        let a = ColocatedSimulation::new(&cluster, &groups, cfg.clone()).unwrap().run(&reqs).unwrap();
-        let b = ColocatedSimulation::new(&cluster, &groups, cfg).unwrap().run(&reqs).unwrap();
+        let a = ColocatedSimulation::new(&cluster, &groups, cfg.clone())
+            .unwrap()
+            .run(&reqs)
+            .unwrap();
+        let b = ColocatedSimulation::new(&cluster, &groups, cfg)
+            .unwrap()
+            .run(&reqs)
+            .unwrap();
         assert_eq!(a, b);
     }
 
@@ -514,6 +204,185 @@ mod tests {
         let cluster = presets::paper_inhouse_cluster();
         let model = ModelSpec::llama_30b();
         assert!(ColocatedSimulation::new(&cluster, &[], SimConfig::new(model)).is_err());
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::fault::{FaultKind, FaultScript, TimedFault};
+    use ts_cluster::presets;
+    use ts_common::{GpuId, ModelSpec, ParallelConfig, Phase, SimDuration, SimTime, StageSpec};
+    use ts_workload::{generator::generate, spec};
+
+    fn two_replicas(model: &ModelSpec) -> (ts_cluster::Cluster, Vec<GroupSpec>) {
+        let cluster = presets::paper_inhouse_cluster();
+        let group = |ids: [u32; 2]| {
+            GroupSpec::new(
+                Phase::Prefill,
+                ParallelConfig::new(2, 1).unwrap(),
+                vec![StageSpec {
+                    gpus: ids.iter().map(|&i| GpuId(i)).collect(),
+                    layers: model.num_layers,
+                }],
+            )
+            .unwrap()
+        };
+        (cluster, vec![group([0, 1]), group([2, 3])])
+    }
+
+    fn fault(at_s: f64, kind: FaultKind) -> TimedFault {
+        TimedFault {
+            at: SimTime::from_secs_f64(at_s),
+            kind,
+        }
+    }
+
+    #[test]
+    fn empty_script_matches_plain_run() {
+        let model = ModelSpec::llama_30b();
+        let (cluster, groups) = two_replicas(&model);
+        let cfg = SimConfig::new(model);
+        let reqs = generate(&spec::coding(0.8), SimDuration::from_secs(40), 31);
+        let plain = ColocatedSimulation::new(&cluster, &groups, cfg.clone())
+            .unwrap()
+            .run(&reqs)
+            .unwrap();
+        let scripted = ColocatedSimulation::new(&cluster, &groups, cfg)
+            .unwrap()
+            .run_with_faults(&reqs, &FaultScript::none())
+            .unwrap();
+        assert_eq!(plain, scripted);
+    }
+
+    #[test]
+    fn replica_death_mid_run_recovers_on_survivor() {
+        // The colocated analogue of the phase-split failover test: one of
+        // two vLLM-style replicas dies mid-decode and the survivor absorbs
+        // its re-prefilled sequences, with the same RecoveryCounters
+        // semantics as the disaggregated engine.
+        let model = ModelSpec::llama_30b();
+        let (cluster, groups) = two_replicas(&model);
+        let cfg = SimConfig::new(model);
+        let reqs = generate(&spec::fixed(512, 192, 1.5), SimDuration::from_secs(60), 32);
+        let script = FaultScript::new(
+            vec![fault(20.0, FaultKind::DecodeDown(0))],
+            SimDuration::from_millis(500),
+        );
+        let run = || {
+            ColocatedSimulation::new(&cluster, &groups, cfg.clone())
+                .unwrap()
+                .run_with_faults(&reqs, &script)
+                .unwrap()
+        };
+        let m = run();
+        assert!(
+            m.recovery().reprefilled_tokens > 0,
+            "expected lost KV to be re-prefilled: {:?}",
+            m.recovery()
+        );
+        assert_eq!(
+            m.num_completed() + m.num_dropped() + m.num_rejected(),
+            reqs.len()
+        );
+        assert_eq!(
+            m.num_completed(),
+            reqs.len(),
+            "survivor should absorb all work"
+        );
+        assert!(m.recovery().max_time_to_recover().is_some());
+        // Every post-fault completion ran on the survivor.
+        for r in m.records() {
+            if r.finished_at > SimTime::from_secs_f64(21.0) {
+                assert_eq!(r.decode_replica, 1, "dead replica served a request");
+            }
+        }
+        assert_eq!(m, run());
+    }
+
+    #[test]
+    fn recovery_beats_no_recovery() {
+        let model = ModelSpec::llama_30b();
+        let (cluster, groups) = two_replicas(&model);
+        let cfg = SimConfig::new(model);
+        let reqs = generate(&spec::fixed(512, 192, 1.5), SimDuration::from_secs(60), 33);
+        let script = FaultScript::new(
+            vec![fault(20.0, FaultKind::PrefillDown(0))],
+            SimDuration::from_millis(500),
+        );
+        let with = ColocatedSimulation::new(&cluster, &groups, cfg.clone())
+            .unwrap()
+            .run_with_faults(&reqs, &script)
+            .unwrap();
+        let without = ColocatedSimulation::new(&cluster, &groups, cfg)
+            .unwrap()
+            .run_with_faults(&reqs, &script.clone().without_recovery())
+            .unwrap();
+        assert!(
+            without.num_dropped() > 0,
+            "no-recovery should lose requests"
+        );
+        assert!(with.num_completed() > without.num_completed());
+        assert_eq!(
+            without.num_completed() + without.num_dropped() + without.num_rejected(),
+            reqs.len()
+        );
+    }
+
+    #[test]
+    fn blip_restores_service() {
+        let model = ModelSpec::llama_30b();
+        let (cluster, groups) = two_replicas(&model);
+        let cfg = SimConfig::new(model);
+        let reqs = generate(&spec::fixed(512, 96, 1.5), SimDuration::from_secs(60), 34);
+        let script = FaultScript::new(
+            vec![
+                fault(15.0, FaultKind::DecodeDown(0)),
+                fault(25.0, FaultKind::DecodeUp(0)),
+            ],
+            SimDuration::from_secs_f64(2.0),
+        );
+        let m = ColocatedSimulation::new(&cluster, &groups, cfg)
+            .unwrap()
+            .run_with_faults(&reqs, &script)
+            .unwrap();
+        assert_eq!(m.num_completed(), reqs.len(), "{:?}", m.recovery());
+        assert!(m.recovery().any());
+    }
+
+    #[test]
+    fn link_faults_are_rejected() {
+        // Colocated replicas have no inter-replica KV fabric to fault.
+        let model = ModelSpec::llama_30b();
+        let (cluster, groups) = two_replicas(&model);
+        let script = FaultScript::new(
+            vec![fault(
+                1.0,
+                FaultKind::LinkDown {
+                    prefill: 0,
+                    decode: 1,
+                },
+            )],
+            SimDuration::ZERO,
+        );
+        let err = ColocatedSimulation::new(&cluster, &groups, SimConfig::new(model))
+            .unwrap()
+            .run_with_faults(&[], &script);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn out_of_range_fault_is_rejected() {
+        let model = ModelSpec::llama_30b();
+        let (cluster, groups) = two_replicas(&model);
+        let script = FaultScript::new(
+            vec![fault(1.0, FaultKind::DecodeDown(7))],
+            SimDuration::ZERO,
+        );
+        let err = ColocatedSimulation::new(&cluster, &groups, SimConfig::new(model))
+            .unwrap()
+            .run_with_faults(&[], &script);
+        assert!(err.is_err());
     }
 }
 

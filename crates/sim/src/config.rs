@@ -30,6 +30,14 @@ pub struct SimConfig {
     pub tpot_batch_cap: Option<ts_common::SimDuration>,
     /// Order in which prefill replicas pick queued requests.
     pub prefill_policy: PrefillPolicy,
+    /// Chunked prefill on *disaggregated* prefill replicas: when set, each
+    /// prefill launch processes at most this many prompt tokens
+    /// (Sarathi-style), bounding per-launch occupancy of the prefill
+    /// pipeline. `None` (the default) batches whole requests under
+    /// [`SimConfig::max_prefill_batch_tokens`]. Colocated replicas get
+    /// chunking through their own scheduling policy instead
+    /// ([`crate::exec::ColocatedPolicy::Chunked`]).
+    pub prefill_chunk_tokens: Option<u64>,
     /// Fault handling: how many arrivals may stall in the coordinator while
     /// no route to a live replica pair exists (whole-phase loss, reload
     /// blackout). Arrivals beyond this are rejected outright — a distinct
@@ -68,6 +76,7 @@ impl SimConfig {
             model_kv_transfer: true,
             tpot_batch_cap: None,
             prefill_policy: PrefillPolicy::Fcfs,
+            prefill_chunk_tokens: None,
             shed_threshold: 256,
             kv_retry_backoff_base: ts_common::SimDuration::from_millis(25),
             kv_retry_backoff_cap: ts_common::SimDuration::from_millis(1600),
@@ -95,6 +104,13 @@ impl SimConfig {
     /// Returns a copy with the given prefill queue discipline.
     pub fn with_prefill_policy(mut self, policy: PrefillPolicy) -> Self {
         self.prefill_policy = policy;
+        self
+    }
+
+    /// Returns a copy with chunked prefill on disaggregated prefill
+    /// replicas: each prefill launch covers at most `chunk` prompt tokens.
+    pub fn with_prefill_chunking(mut self, chunk: u64) -> Self {
+        self.prefill_chunk_tokens = Some(chunk);
         self
     }
 
@@ -139,6 +155,14 @@ mod tests {
         let d = ts_common::SimDuration::from_millis(50);
         let c = SimConfig::new(ModelSpec::llama_7b()).with_tpot_cap(d);
         assert_eq!(c.tpot_batch_cap, Some(d));
+    }
+
+    #[test]
+    fn prefill_chunking_defaults_off() {
+        let c = SimConfig::new(ModelSpec::llama_7b());
+        assert_eq!(c.prefill_chunk_tokens, None);
+        let c = c.with_prefill_chunking(512);
+        assert_eq!(c.prefill_chunk_tokens, Some(512));
     }
 
     #[test]

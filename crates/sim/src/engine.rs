@@ -8,6 +8,14 @@
 //! generated. All durations come from [`ts_costmodel`]; all scheduling is
 //! deterministic.
 //!
+//! [`Simulation`] is a thin facade: the actual machinery — the shared
+//! event loop, routing, admission/shed policy and the whole fault layer —
+//! lives in [`crate::exec`], where it is shared with the colocated engine
+//! ([`crate::colocated::ColocatedSimulation`]). This type pins the
+//! phase-split topology ([`crate::exec::PrefillExecutor`] pools feeding
+//! [`crate::exec::DecodeExecutor`] pools over the KV-transfer fabric) and
+//! preserves the original public API.
+//!
 //! # Fault injection
 //!
 //! [`Simulation::run_with_faults`] additionally consumes a
@@ -24,247 +32,31 @@
 //! exists, arrivals stall up to [`SimConfig::shed_threshold`] and are
 //! rejected beyond it.
 
-use crate::config::{PrefillPolicy, SimConfig};
-use crate::event::{EventKind, EventQueue};
-use crate::fault::{FaultKind, FaultScript, TimedFault};
-use crate::metrics::{Metrics, RecoveryCounters, RequestRecord};
-use crate::router::StrideRouter;
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use crate::config::SimConfig;
+use crate::exec::driver::Driver;
+use crate::fault::FaultScript;
+use crate::metrics::Metrics;
 use ts_cluster::Cluster;
-use ts_common::{
-    DeploymentPlan, Error, Request, RequestId, Result, SimDuration, SimTime,
-};
-use ts_costmodel::replica::{kv_route, kv_transfer_time, KvRouteSegment};
-use ts_costmodel::ReplicaCostModel;
-
-/// Per-request routing decision and timing bookkeeping.
-#[derive(Debug, Clone, Copy)]
-struct Pending {
-    prefill: usize,
-    decode: usize,
-    first_token_at: Option<SimTime>,
-}
-
-/// Decode-side progress carried across a fault: a re-prefilled sequence
-/// resumes its token-gap accounting instead of starting fresh, so the
-/// recovery stall shows up in ITL metrics.
-#[derive(Debug, Clone, Copy)]
-struct ResumeState {
-    last_token_at: SimTime,
-    max_gap: SimDuration,
-}
-
-/// A unit of prefill work: a fresh request (prompt prefill) or a recovered
-/// sequence being re-prefilled over its full lost context.
-#[derive(Debug, Clone, Copy)]
-struct PrefillJob {
-    req: Request,
-    /// Tokens to prefill and then ship: the prompt for fresh requests, the
-    /// whole lost context (prompt + generated) for recovered ones.
-    tokens: u64,
-    /// Decode steps still owed after this prefill.
-    remaining: u32,
-    resume: Option<ResumeState>,
-}
-
-impl PrefillJob {
-    fn fresh(req: Request) -> Self {
-        PrefillJob {
-            req,
-            tokens: req.prompt_len as u64,
-            remaining: req.decode_steps(),
-            resume: None,
-        }
-    }
-}
-
-#[derive(Debug)]
-struct PrefillState {
-    cost: ReplicaCostModel,
-    queue: VecDeque<PrefillJob>,
-    /// Batches currently flowing through the pipeline (FIFO: completion
-    /// events fire in launch order because stage times are batch-agnostic
-    /// in ordering).
-    in_flight: VecDeque<Vec<PrefillJob>>,
-    /// Earliest time the first pipeline stage can accept a new batch.
-    next_free: SimTime,
-    /// Whether a slot-free wakeup is already scheduled.
-    wakeup_scheduled: bool,
-    /// Fault state: dead replicas hold their work frozen until detection.
-    alive: bool,
-    /// Bumped on every death so completion events scheduled before the
-    /// fault are recognized as stale.
-    epoch: u64,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct ActiveSeq {
-    id: RequestId,
-    /// Tokens currently in this sequence's KV cache (prompt + generated).
-    context: u64,
-    /// Decode steps still to run.
-    remaining: u32,
-    /// When this sequence's previous token was emitted.
-    last_token_at: SimTime,
-    /// Longest inter-token gap observed so far.
-    max_gap: SimDuration,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct WaitingSeq {
-    id: RequestId,
-    /// Context tokens whose KV just arrived (prompt, or full re-prefilled
-    /// context for recovered sequences).
-    tokens: u64,
-    remaining: u32,
-    resume: Option<ResumeState>,
-}
-
-#[derive(Debug)]
-struct DecodeState {
-    cost: ReplicaCostModel,
-    kv_capacity: u64,
-    kv_used: u64,
-    active: Vec<ActiveSeq>,
-    waiting: VecDeque<WaitingSeq>,
-    stepping: bool,
-    alive: bool,
-    epoch: u64,
-}
-
-/// An in-flight KV transfer (registry entry; completion events carry an
-/// attempt number so superseded attempts are ignored).
-#[derive(Debug, Clone, Copy)]
-struct Transfer {
-    from: usize,
-    to: usize,
-    job: PrefillJob,
-    attempt: u32,
-}
+use ts_common::{DeploymentPlan, Request, Result};
+#[cfg(test)]
+use ts_common::{SimDuration, SimTime};
 
 /// The phase-split discrete-event simulation.
 pub struct Simulation<'a> {
     cluster: &'a Cluster,
-    cfg: SimConfig,
-    prefills: Vec<PrefillState>,
-    decodes: Vec<DecodeState>,
-    router: StrideRouter,
-    pair_coords: Vec<(usize, usize)>,
-    /// KV route per (prefill, decode) pair.
-    routes: Vec<Vec<Vec<KvRouteSegment>>>,
-    /// Per-sender (prefill replica) uplink availability for KV transfer
-    /// queuing: one replica's outbound transfers serialize on its NIC,
-    /// whichever decode replica they target.
-    sender_free_at: Vec<SimTime>,
-    queue: EventQueue,
-    pending: HashMap<RequestId, Pending>,
-    request_payloads: HashMap<RequestId, Request>,
-    records: Vec<RequestRecord>,
-    dropped: usize,
-    now: SimTime,
-    // --- fault state ---
-    faults: Vec<TimedFault>,
-    recovery_enabled: bool,
-    /// Link availability per (prefill, decode) pair.
-    link_down: Vec<Vec<bool>>,
-    /// The coordinator's belief about replica liveness: updated at fault
-    /// *detection* (downs) and immediately on healing (ups). Routing masks
-    /// follow beliefs, not ground truth — that is the detection window.
-    believed_dead_prefill: Vec<bool>,
-    believed_dead_decode: Vec<bool>,
-    /// In-flight KV transfers by request.
-    transfers: HashMap<RequestId, Transfer>,
-    /// Transfers whose target died with no live alternative; re-dispatched
-    /// when a decode replica comes back.
-    parked: Vec<Transfer>,
-    /// Arrivals (and requeues) stalled because no live route exists or the
-    /// service is paused; shed beyond `cfg.shed_threshold`.
-    stalled: VecDeque<PrefillJob>,
-    paused_until: Option<SimTime>,
-    rejected: usize,
-    recovery: RecoveryCounters,
-    /// Requests affected by each fault (fault time, outstanding ids); a
-    /// fault's time-to-recover is recorded when its set empties.
-    affected: Vec<(SimTime, BTreeSet<RequestId>)>,
+    driver: Driver,
 }
 
 impl<'a> Simulation<'a> {
     /// Builds a simulation for `plan` on `cluster`.
     ///
     /// # Errors
-    /// Returns [`Error::Infeasible`] if any group cannot hold the model, and
-    /// [`Error::InvalidConfig`] for malformed routing.
+    /// Returns [`ts_common::Error::Infeasible`] if any group cannot hold the
+    /// model, and [`ts_common::Error::InvalidConfig`] for malformed routing.
     pub fn new(cluster: &'a Cluster, plan: &DeploymentPlan, cfg: SimConfig) -> Result<Self> {
-        let prefill_idx = plan.prefill_indices();
-        let decode_idx = plan.decode_indices();
-        let mut prefills = Vec::with_capacity(prefill_idx.len());
-        for &gi in &prefill_idx {
-            prefills.push(PrefillState {
-                cost: ReplicaCostModel::new(cluster, &cfg.model, &plan.groups[gi], &cfg.params)?,
-                queue: VecDeque::new(),
-                in_flight: VecDeque::new(),
-                next_free: SimTime::ZERO,
-                wakeup_scheduled: false,
-                alive: true,
-                epoch: 0,
-            });
-        }
-        let mut decodes = Vec::with_capacity(decode_idx.len());
-        for &gi in &decode_idx {
-            let cost =
-                ReplicaCostModel::new(cluster, &cfg.model, &plan.groups[gi], &cfg.params)?;
-            let kv_capacity = cost.kv_capacity_tokens();
-            decodes.push(DecodeState {
-                cost,
-                kv_capacity,
-                kv_used: 0,
-                active: Vec::new(),
-                waiting: VecDeque::new(),
-                stepping: false,
-                alive: true,
-                epoch: 0,
-            });
-        }
-        let (router, pair_coords) = StrideRouter::from_matrix(plan.routing.rates())?;
-        let mut routes = Vec::with_capacity(prefills.len());
-        for p in &prefills {
-            let mut row = Vec::with_capacity(decodes.len());
-            for d in &decodes {
-                row.push(kv_route(cluster, &p.cost, &d.cost));
-            }
-            routes.push(row);
-        }
-        let sender_free_at = vec![SimTime::ZERO; prefills.len()];
-        let link_down = vec![vec![false; decodes.len()]; prefills.len()];
-        let believed_dead_prefill = vec![false; prefills.len()];
-        let believed_dead_decode = vec![false; decodes.len()];
         Ok(Simulation {
             cluster,
-            cfg,
-            prefills,
-            decodes,
-            router,
-            pair_coords,
-            routes,
-            sender_free_at,
-            queue: EventQueue::new(),
-            pending: HashMap::new(),
-            request_payloads: HashMap::new(),
-            records: Vec::new(),
-            dropped: 0,
-            now: SimTime::ZERO,
-            faults: Vec::new(),
-            recovery_enabled: true,
-            link_down,
-            believed_dead_prefill,
-            believed_dead_decode,
-            transfers: HashMap::new(),
-            parked: Vec::new(),
-            stalled: VecDeque::new(),
-            paused_until: None,
-            rejected: 0,
-            recovery: RecoveryCounters::default(),
-            affected: Vec::new(),
+            driver: Driver::new_split(cluster, plan, cfg)?,
         })
     }
 
@@ -276,7 +68,8 @@ impl<'a> Simulation<'a> {
     /// Runs the trace to completion and returns the metrics.
     ///
     /// # Errors
-    /// Returns [`Error::Simulation`] if internal invariants are violated.
+    /// Returns [`ts_common::Error::Simulation`] if internal invariants are
+    /// violated.
     pub fn run(&mut self, requests: &[Request]) -> Result<Metrics> {
         self.run_with_faults(requests, &FaultScript::none())
     }
@@ -285,728 +78,15 @@ impl<'a> Simulation<'a> {
     /// this is exactly [`Simulation::run`].
     ///
     /// # Errors
-    /// Returns [`Error::InvalidConfig`] for out-of-range replica indices in
-    /// the script, and [`Error::Simulation`] on invariant violations.
+    /// Returns [`ts_common::Error::InvalidConfig`] for out-of-range replica
+    /// indices in the script, and [`ts_common::Error::Simulation`] on
+    /// invariant violations.
     pub fn run_with_faults(
         &mut self,
         requests: &[Request],
         script: &FaultScript,
     ) -> Result<Metrics> {
-        self.validate_script(script)?;
-        self.faults = script.faults.clone();
-        self.recovery_enabled = script.recovery;
-
-        for r in requests {
-            self.queue.push(r.arrival, EventKind::Arrival(*r));
-        }
-        for (idx, f) in self.faults.iter().enumerate() {
-            self.queue.push(f.at, EventKind::FaultTriggered { index: idx });
-            // Detection only matters for deaths, and only when the engine
-            // actually recovers; healing and pauses act at trigger time.
-            let needs_detection = matches!(
-                f.kind,
-                FaultKind::PrefillDown(_) | FaultKind::DecodeDown(_)
-            );
-            if needs_detection && script.recovery {
-                self.queue.push(
-                    f.at + script.detection_delay,
-                    EventKind::FaultDetected { index: idx },
-                );
-            }
-        }
-        let submitted = requests.len();
-        while let Some(ev) = self.queue.pop() {
-            debug_assert!(ev.at >= self.now, "event time went backwards");
-            self.now = ev.at;
-            match ev.kind {
-                EventKind::Arrival(req) => self.on_arrival(req),
-                EventKind::PrefillDone { replica, epoch } => {
-                    if self.prefills[replica].alive && self.prefills[replica].epoch == epoch {
-                        self.on_prefill_done(replica)?;
-                    }
-                }
-                EventKind::PrefillSlotFree { replica, epoch } => {
-                    if self.prefills[replica].alive && self.prefills[replica].epoch == epoch {
-                        self.prefills[replica].wakeup_scheduled = false;
-                        self.maybe_start_prefill(replica);
-                    }
-                }
-                EventKind::KvTransferDone {
-                    replica,
-                    request,
-                    attempt,
-                } => self.on_transfer_done(replica, request, attempt)?,
-                EventKind::DecodeStepDone { replica, epoch } => {
-                    if self.decodes[replica].alive && self.decodes[replica].epoch == epoch {
-                        self.on_decode_step(replica)?;
-                    }
-                }
-                EventKind::WorkDone { .. } => {
-                    return Err(Error::Simulation(
-                        "WorkDone event in phase-split engine".into(),
-                    ))
-                }
-                EventKind::FaultTriggered { index } => self.on_fault_triggered(index),
-                EventKind::FaultDetected { index } => self.on_fault_detected(index),
-                EventKind::ServiceResumed => self.on_service_resumed(),
-            }
-        }
-        // Anything still in the system when events run dry was lost to a
-        // fault it never recovered from (stalled, parked, frozen on a dead
-        // replica).
-        self.dropped += self.pending.len();
-        self.pending.clear();
-        self.request_payloads.clear();
-        if self.records.len() + self.dropped + self.rejected != submitted {
-            return Err(Error::Simulation(format!(
-                "conservation violated: {} completed + {} dropped + {} rejected != {} submitted",
-                self.records.len(),
-                self.dropped,
-                self.rejected,
-                submitted
-            )));
-        }
-        let horizon = self.now.saturating_since(SimTime::ZERO);
-        Ok(Metrics::with_recovery(
-            std::mem::take(&mut self.records),
-            self.dropped,
-            self.rejected,
-            horizon,
-            std::mem::take(&mut self.recovery),
-        ))
-    }
-
-    fn validate_script(&self, script: &FaultScript) -> Result<()> {
-        let np = self.prefills.len();
-        let nd = self.decodes.len();
-        for f in &script.faults {
-            let ok = match f.kind {
-                FaultKind::PrefillDown(i) | FaultKind::PrefillUp(i) => i < np,
-                FaultKind::DecodeDown(j) | FaultKind::DecodeUp(j) => j < nd,
-                FaultKind::LinkDown { prefill, decode }
-                | FaultKind::LinkUp { prefill, decode } => prefill < np && decode < nd,
-                FaultKind::Pause { .. } => true,
-            };
-            if !ok {
-                return Err(Error::InvalidConfig(format!(
-                    "fault references a replica outside the plan: {:?}",
-                    f.kind
-                )));
-            }
-        }
-        Ok(())
-    }
-
-    fn on_arrival(&mut self, req: Request) {
-        self.request_payloads.insert(req.id, req);
-        self.pending.insert(
-            req.id,
-            Pending {
-                prefill: 0,
-                decode: 0,
-                first_token_at: None,
-            },
-        );
-        self.dispatch_job(PrefillJob::fresh(req));
-    }
-
-    /// Routes a job to a live (prefill, decode) pair, or stalls/sheds it if
-    /// the service is paused or no live route exists.
-    fn dispatch_job(&mut self, job: PrefillJob) {
-        if self.paused_until.is_some() || self.router.num_enabled() == 0 {
-            self.stall_or_shed(job);
-            return;
-        }
-        let (i, j) = self.pair_coords[self.router.next()];
-        if let Some(p) = self.pending.get_mut(&job.req.id) {
-            p.prefill = i;
-            p.decode = j;
-        }
-        self.prefills[i].queue.push_back(job);
-        self.maybe_start_prefill(i);
-    }
-
-    fn stall_or_shed(&mut self, job: PrefillJob) {
-        if self.stalled.len() < self.cfg.shed_threshold {
-            self.stalled.push_back(job);
-        } else {
-            let id = job.req.id;
-            self.pending.remove(&id);
-            self.request_payloads.remove(&id);
-            self.rejected += 1;
-            self.clear_affected(id);
-        }
-    }
-
-    fn drop_request(&mut self, id: RequestId) {
-        self.pending.remove(&id);
-        self.request_payloads.remove(&id);
-        self.dropped += 1;
-        self.clear_affected(id);
-    }
-
-    /// Marks `id` no longer waiting on fault recovery; records a fault's
-    /// time-to-recover when its last affected request resolves.
-    fn clear_affected(&mut self, id: RequestId) {
-        let now = self.now;
-        let mut recovered_at = Vec::new();
-        for (at, set) in &mut self.affected {
-            if set.remove(&id) && set.is_empty() {
-                recovered_at.push(now.saturating_since(*at));
-            }
-        }
-        self.recovery.recovery_times.extend(recovered_at);
-    }
-
-    fn maybe_start_prefill(&mut self, i: usize) {
-        let p = &mut self.prefills[i];
-        if !p.alive || p.queue.is_empty() {
-            return;
-        }
-        if p.next_free > self.now {
-            // First stage still occupied: wake up when it frees.
-            if !p.wakeup_scheduled {
-                p.wakeup_scheduled = true;
-                self.queue.push(
-                    p.next_free,
-                    EventKind::PrefillSlotFree {
-                        replica: i,
-                        epoch: p.epoch,
-                    },
-                );
-            }
-            return;
-        }
-        let budget = self.cfg.max_prefill_batch_tokens;
-        if self.cfg.prefill_policy == PrefillPolicy::ShortestFirst {
-            // Stable sort keeps arrival order among equal prompt lengths.
-            p.queue.make_contiguous().sort_by_key(|j| j.tokens);
-        }
-        let mut total = 0u64;
-        let mut batch = Vec::new();
-        while let Some(front) = p.queue.front() {
-            let t = front.tokens;
-            if !batch.is_empty() && total + t > budget {
-                break;
-            }
-            total += t;
-            batch.push(p.queue.pop_front().unwrap());
-        }
-        let avg_ctx = total / batch.len() as u64;
-        let latency = p.cost.prefill_latency(total, avg_ctx);
-        // Pipeline parallelism: the next batch may enter once the slowest
-        // stage has processed this one; the batch itself completes after the
-        // full pipeline latency.
-        let bottleneck = p.cost.prefill_bottleneck(total, avg_ctx);
-        p.next_free = self.now + bottleneck;
-        p.in_flight.push_back(batch);
-        self.queue.push(
-            self.now + latency,
-            EventKind::PrefillDone {
-                replica: i,
-                epoch: p.epoch,
-            },
-        );
-    }
-
-    fn on_prefill_done(&mut self, i: usize) -> Result<()> {
-        let batch = self.prefills[i]
-            .in_flight
-            .pop_front()
-            .ok_or_else(|| Error::Simulation("prefill done with nothing in flight".into()))?;
-        for job in batch {
-            let pend = self
-                .pending
-                .get_mut(&job.req.id)
-                .ok_or_else(|| Error::Simulation(format!("unknown request {}", job.req.id)))?;
-            // Re-prefills keep their original first-token time: TTFT was
-            // already paid, recovery shows up in inter-token gaps instead.
-            if pend.first_token_at.is_none() {
-                pend.first_token_at = Some(self.now);
-            }
-            let j = pend.decode;
-            if job.remaining == 0 {
-                // Single-token output: the prefill already produced it.
-                let req = job.req;
-                self.finish(req, self.now, SimDuration::ZERO)?;
-                continue;
-            }
-            self.launch_transfer(
-                Transfer {
-                    from: i,
-                    to: j,
-                    job,
-                    attempt: 1,
-                },
-                SimDuration::ZERO,
-            );
-        }
-        self.maybe_start_prefill(i);
-        Ok(())
-    }
-
-    /// Schedules (or re-schedules) a KV transfer on the sender's uplink
-    /// after an optional backoff delay and registers it.
-    fn launch_transfer(&mut self, transfer: Transfer, delay: SimDuration) {
-        let dur = if self.cfg.model_kv_transfer {
-            let ratio = self.cfg.kv_precision.ratio_vs_f16();
-            kv_transfer_time(
-                &self.cfg.model,
-                &self.routes[transfer.from][transfer.to],
-                transfer.job.tokens,
-                ratio,
-            )
-        } else {
-            SimDuration::ZERO
-        };
-        // Serialize transfers on the sender's uplink; the sequence only
-        // becomes admissible at the decode replica once its own KV
-        // transfer completes (see on_transfer_done).
-        let start = self.sender_free_at[transfer.from].max(self.now + delay);
-        let done = start + dur;
-        self.sender_free_at[transfer.from] = done;
-        self.queue.push(
-            done,
-            EventKind::KvTransferDone {
-                replica: transfer.to,
-                request: transfer.job.req.id,
-                attempt: transfer.attempt,
-            },
-        );
-        self.transfers.insert(transfer.job.req.id, transfer);
-    }
-
-    /// Exponential backoff for transfer attempt `attempt` (2 = first
-    /// retry): `base * 2^(attempt-2)`, capped.
-    fn retry_backoff(&self, attempt: u32) -> SimDuration {
-        let base = self.cfg.kv_retry_backoff_base;
-        let cap = self.cfg.kv_retry_backoff_cap;
-        let mut delay = base;
-        for _ in 2..attempt {
-            delay = delay + delay;
-            if delay >= cap {
-                return cap;
-            }
-        }
-        delay.min(cap)
-    }
-
-    fn on_transfer_done(&mut self, replica: usize, request: RequestId, attempt: u32) -> Result<()> {
-        let Some(&t) = self.transfers.get(&request) else {
-            return Ok(()); // superseded or dropped
-        };
-        if t.attempt != attempt || t.to != replica {
-            return Ok(()); // stale attempt
-        }
-        if self.link_down[t.from][t.to] {
-            // The link faulted mid-transfer. With recovery the sender
-            // retries after a capped exponential backoff; without, the
-            // request is lost.
-            if !self.recovery_enabled {
-                self.transfers.remove(&request);
-                self.drop_request(request);
-                return Ok(());
-            }
-            let mut t = t;
-            t.attempt += 1;
-            self.recovery.kv_transfer_retries += 1;
-            let delay = self.retry_backoff(t.attempt);
-            self.launch_transfer(t, delay);
-            return Ok(());
-        }
-        if !self.decodes[t.to].alive {
-            // Target died while the bytes were in flight.
-            self.transfers.remove(&request);
-            if !self.recovery_enabled {
-                self.drop_request(request);
-                return Ok(());
-            }
-            self.redispatch_transfer(t);
-            return Ok(());
-        }
-        // Delivered.
-        self.transfers.remove(&request);
-        let d = &mut self.decodes[t.to];
-        d.waiting.push_back(WaitingSeq {
-            id: request,
-            tokens: t.job.tokens,
-            remaining: t.job.remaining,
-            resume: t.job.resume,
-        });
-        self.admit_waiting(t.to)?;
-        self.maybe_start_decode_step(t.to);
-        Ok(())
-    }
-
-    /// Re-targets a transfer whose decode replica died: picks the live
-    /// replica with the most free KV memory (lowest index breaks ties), or
-    /// parks the transfer until one comes back.
-    fn redispatch_transfer(&mut self, mut t: Transfer) {
-        let target = self
-            .decodes
-            .iter()
-            .enumerate()
-            .filter(|(_, d)| d.alive)
-            .max_by_key(|(j, d)| (d.kv_capacity.saturating_sub(d.kv_used), std::cmp::Reverse(*j)))
-            .map(|(j, _)| j);
-        let Some(j2) = target else {
-            self.parked.push(t);
-            return;
-        };
-        if let Some(p) = self.pending.get_mut(&t.job.req.id) {
-            p.decode = j2;
-        }
-        t.to = j2;
-        t.attempt += 1;
-        self.recovery.kv_transfer_retries += 1;
-        self.launch_transfer(t, SimDuration::ZERO);
-    }
-
-    /// Admits waiting sequences in FCFS order while memory and batch slots
-    /// allow. Oversized sequences that can never fit are dropped.
-    fn admit_waiting(&mut self, j: usize) -> Result<()> {
-        loop {
-            let d = &mut self.decodes[j];
-            if !d.alive {
-                return Ok(());
-            }
-            let Some(front) = d.waiting.front().copied() else {
-                return Ok(());
-            };
-            let need = front.tokens + 1;
-            let total_need = front.tokens + 1 + front.remaining as u64;
-            if total_need > d.kv_capacity {
-                // can never fit: drop
-                d.waiting.pop_front();
-                self.drop_request(front.id);
-                continue;
-            }
-            if d.active.len() as u64 >= self.cfg.max_decode_batch
-                || d.kv_used + need > d.kv_capacity
-            {
-                return Ok(());
-            }
-            // SLO-aware batch cap: do not grow the batch past the point
-            // where the projected step latency breaks the TPOT deadline.
-            if let Some(cap) = self.cfg.tpot_batch_cap {
-                if !d.active.is_empty() {
-                    let batch = d.active.len() as u64 + 1;
-                    let ctx = (d.active.iter().map(|a| a.context).sum::<u64>() + need) / batch;
-                    if d.cost.decode_step_latency(batch, ctx) > cap {
-                        return Ok(());
-                    }
-                }
-            }
-            d.waiting.pop_front();
-            d.kv_used += need;
-            let first_token_at = self
-                .pending
-                .get(&front.id)
-                .and_then(|p| p.first_token_at)
-                .unwrap_or(self.now);
-            let (last_token_at, max_gap) = match front.resume {
-                Some(r) => (r.last_token_at, r.max_gap),
-                None => (first_token_at, SimDuration::ZERO),
-            };
-            self.decodes[j].active.push(ActiveSeq {
-                id: front.id,
-                context: need,
-                remaining: front.remaining,
-                last_token_at,
-                max_gap,
-            });
-            // Back in a decode batch: this request has recovered.
-            self.clear_affected(front.id);
-        }
-    }
-
-    fn maybe_start_decode_step(&mut self, j: usize) {
-        let d = &mut self.decodes[j];
-        if !d.alive || d.stepping || d.active.is_empty() {
-            return;
-        }
-        let batch = d.active.len() as u64;
-        let avg_ctx =
-            d.active.iter().map(|a| a.context).sum::<u64>() / batch;
-        let latency = d.cost.decode_step_latency(batch, avg_ctx);
-        d.stepping = true;
-        self.queue.push(
-            self.now + latency,
-            EventKind::DecodeStepDone {
-                replica: j,
-                epoch: d.epoch,
-            },
-        );
-    }
-
-    fn on_decode_step(&mut self, j: usize) -> Result<()> {
-        let d = &mut self.decodes[j];
-        d.stepping = false;
-        let now = self.now;
-        let mut finished = Vec::new();
-        let mut idx = 0;
-        while idx < d.active.len() {
-            let a = &mut d.active[idx];
-            a.context += 1;
-            a.remaining -= 1;
-            d.kv_used += 1;
-            let gap = now.saturating_since(a.last_token_at);
-            a.max_gap = a.max_gap.max(gap);
-            a.last_token_at = now;
-            if a.remaining == 0 {
-                let done = d.active.swap_remove(idx);
-                d.kv_used -= done.context;
-                finished.push((done.id, done.max_gap));
-            } else {
-                idx += 1;
-            }
-        }
-        for (id, gap) in finished {
-            let req = self.find_request(id)?;
-            self.finish(req, self.now, gap)?;
-        }
-        self.admit_waiting(j)?;
-        self.maybe_start_decode_step(j);
-        Ok(())
-    }
-
-    // --- fault handlers ---
-
-    fn on_fault_triggered(&mut self, index: usize) {
-        match self.faults[index].kind {
-            FaultKind::PrefillDown(i) => {
-                let p = &mut self.prefills[i];
-                p.alive = false;
-                p.epoch += 1; // invalidates every scheduled completion
-                p.wakeup_scheduled = false;
-                // Queued and in-flight work freezes in place until the
-                // heartbeat monitor notices (FaultDetected).
-            }
-            FaultKind::DecodeDown(j) => {
-                let d = &mut self.decodes[j];
-                d.alive = false;
-                d.epoch += 1;
-                d.stepping = false;
-                // KV cache and batches are lost, but the coordinator keeps
-                // routing here until detection.
-            }
-            FaultKind::PrefillUp(i) => self.on_prefill_up(i),
-            FaultKind::DecodeUp(j) => self.on_decode_up(j),
-            FaultKind::LinkDown { prefill, decode } => {
-                self.link_down[prefill][decode] = true;
-            }
-            FaultKind::LinkUp { prefill, decode } => {
-                self.link_down[prefill][decode] = false;
-            }
-            FaultKind::Pause { until } => {
-                if until > self.now {
-                    self.paused_until = Some(until);
-                    self.queue.push(until, EventKind::ServiceResumed);
-                }
-            }
-        }
-    }
-
-    fn on_fault_detected(&mut self, index: usize) {
-        let at = self.faults[index].at;
-        match self.faults[index].kind {
-            FaultKind::PrefillDown(i) => {
-                if self.prefills[i].alive {
-                    return; // blipped back up before detection; healed already
-                }
-                self.believed_dead_prefill[i] = true;
-                self.refresh_router();
-                let p = &mut self.prefills[i];
-                let mut lost: Vec<PrefillJob> = p.in_flight.drain(..).flatten().collect();
-                lost.extend(p.queue.drain(..));
-                let mut ids = BTreeSet::new();
-                for job in &lost {
-                    ids.insert(job.req.id);
-                }
-                if !ids.is_empty() {
-                    self.affected.push((at, ids));
-                }
-                for job in lost {
-                    self.recovery.requeued_requests += 1;
-                    self.dispatch_job(job);
-                }
-            }
-            FaultKind::DecodeDown(j) => {
-                if self.decodes[j].alive {
-                    return;
-                }
-                self.believed_dead_decode[j] = true;
-                self.refresh_router();
-                let jobs = self.evacuate_decode(j);
-                let mut ids = BTreeSet::new();
-                for job in &jobs {
-                    ids.insert(job.req.id);
-                }
-                if !ids.is_empty() {
-                    self.affected.push((at, ids));
-                }
-                for job in jobs {
-                    self.dispatch_job(job);
-                }
-            }
-            _ => {}
-        }
-    }
-
-    /// Converts a dead decode replica's lost sequences into re-prefill jobs
-    /// (the KV cache is gone: prompt *and* generated tokens must be
-    /// recomputed) and resets its memory accounting.
-    fn evacuate_decode(&mut self, j: usize) -> Vec<PrefillJob> {
-        let d = &mut self.decodes[j];
-        d.kv_used = 0;
-        let active: Vec<ActiveSeq> = std::mem::take(&mut d.active);
-        let waiting: VecDeque<WaitingSeq> = std::mem::take(&mut d.waiting);
-        let mut jobs = Vec::new();
-        for a in active {
-            let Some(&req) = self.request_payloads.get(&a.id) else {
-                continue;
-            };
-            self.recovery.reprefilled_tokens += a.context;
-            jobs.push(PrefillJob {
-                req,
-                tokens: a.context,
-                remaining: a.remaining,
-                resume: Some(ResumeState {
-                    last_token_at: a.last_token_at,
-                    max_gap: a.max_gap,
-                }),
-            });
-        }
-        for w in waiting {
-            let Some(&req) = self.request_payloads.get(&w.id) else {
-                continue;
-            };
-            self.recovery.reprefilled_tokens += w.tokens;
-            jobs.push(PrefillJob {
-                req,
-                tokens: w.tokens,
-                remaining: w.remaining,
-                resume: w.resume,
-            });
-        }
-        jobs
-    }
-
-    fn on_prefill_up(&mut self, i: usize) {
-        let p = &mut self.prefills[i];
-        p.alive = true;
-        p.epoch += 1;
-        p.next_free = self.now;
-        p.wakeup_scheduled = false;
-        // Work frozen at death never re-runs on its own (its completion
-        // events are stale); restart it or declare it lost.
-        let mut lost: Vec<PrefillJob> = p.in_flight.drain(..).flatten().collect();
-        lost.extend(p.queue.drain(..));
-        self.believed_dead_prefill[i] = false;
-        self.refresh_router();
-        if self.recovery_enabled {
-            for job in lost {
-                self.recovery.requeued_requests += 1;
-                self.dispatch_job(job);
-            }
-            self.drain_stalled();
-        } else {
-            for job in lost {
-                self.drop_request(job.req.id);
-            }
-        }
-    }
-
-    fn on_decode_up(&mut self, j: usize) {
-        {
-            let d = &mut self.decodes[j];
-            d.alive = true;
-            d.epoch += 1;
-            d.stepping = false;
-        }
-        // Sequences frozen at death lost their KV either way.
-        let lost = self.evacuate_decode(j);
-        self.believed_dead_decode[j] = false;
-        self.refresh_router();
-        if self.recovery_enabled {
-            for job in lost {
-                self.dispatch_job(job);
-            }
-            let parked = std::mem::take(&mut self.parked);
-            for t in parked {
-                self.redispatch_transfer(t);
-            }
-            self.drain_stalled();
-        } else {
-            for job in lost {
-                // evacuate_decode counted these as re-prefill work, but
-                // nothing recovers them under a no-recovery policy.
-                self.recovery.reprefilled_tokens -= job.tokens;
-                self.drop_request(job.req.id);
-            }
-        }
-    }
-
-    /// Re-derives the routing mask from believed replica liveness.
-    fn refresh_router(&mut self) {
-        for (k, &(i, j)) in self.pair_coords.iter().enumerate() {
-            let enabled = !self.believed_dead_prefill[i] && !self.believed_dead_decode[j];
-            if self.router.is_enabled(k) != enabled {
-                self.router.set_enabled(k, enabled);
-            }
-        }
-    }
-
-    fn drain_stalled(&mut self) {
-        if self.paused_until.is_some() || self.router.num_enabled() == 0 {
-            return;
-        }
-        let stalled = std::mem::take(&mut self.stalled);
-        for job in stalled {
-            self.dispatch_job(job);
-        }
-    }
-
-    fn on_service_resumed(&mut self) {
-        // Pauses can be extended by a later Pause fault; only resume at the
-        // latest deadline.
-        if let Some(until) = self.paused_until {
-            if until > self.now {
-                return;
-            }
-        }
-        self.paused_until = None;
-        self.drain_stalled();
-    }
-
-    /// Reconstructs the request payload for a completed id from pending
-    /// bookkeeping (we stash the original request in the record path).
-    fn find_request(&self, id: RequestId) -> Result<Request> {
-        self.request_payloads
-            .get(&id)
-            .copied()
-            .ok_or_else(|| Error::Simulation(format!("lost request {id}")))
-    }
-
-    fn finish(&mut self, req: Request, at: SimTime, max_token_gap: SimDuration) -> Result<()> {
-        self.request_payloads.remove(&req.id);
-        let pend = self
-            .pending
-            .remove(&req.id)
-            .ok_or_else(|| Error::Simulation(format!("finish without pending: {}", req.id)))?;
-        let first = pend
-            .first_token_at
-            .ok_or_else(|| Error::Simulation(format!("finish before prefill: {}", req.id)))?;
-        self.records.push(RequestRecord {
-            request: req,
-            prefill_replica: pend.prefill,
-            decode_replica: pend.decode,
-            first_token_at: first,
-            finished_at: at,
-            max_token_gap,
-        });
-        self.clear_affected(req.id);
-        Ok(())
+        self.driver.run_with_faults(requests, script)
     }
 }
 
@@ -1014,15 +94,25 @@ impl<'a> Simulation<'a> {
 mod tests {
     use super::*;
     use ts_cluster::presets;
-    use ts_common::{GpuId, GroupSpec, ModelSpec, ParallelConfig, Phase, RoutingMatrix, SloKind, SloSpec, StageSpec};
+    use ts_common::{
+        GpuId, GroupSpec, ModelSpec, ParallelConfig, Phase, RoutingMatrix, SloKind, SloSpec,
+        StageSpec,
+    };
     use ts_workload::{generator::generate, spec};
 
     fn group(phase: Phase, gpus: &[u32], tp: usize, pp: usize, layers: usize) -> GroupSpec {
         let per = layers / pp;
         let stages = (0..pp)
             .map(|s| StageSpec {
-                gpus: gpus[s * tp..(s + 1) * tp].iter().map(|&g| GpuId(g)).collect(),
-                layers: if s + 1 == pp { layers - per * (pp - 1) } else { per },
+                gpus: gpus[s * tp..(s + 1) * tp]
+                    .iter()
+                    .map(|&g| GpuId(g))
+                    .collect(),
+                layers: if s + 1 == pp {
+                    layers - per * (pp - 1)
+                } else {
+                    per
+                },
             })
             .collect();
         GroupSpec::new(phase, ParallelConfig::new(tp, pp).unwrap(), stages).unwrap()
@@ -1059,7 +149,11 @@ mod tests {
     fn records_are_causally_ordered() {
         let (cluster, plan, cfg) = testbed(presets::ETH_40GBPS);
         let mut sim = Simulation::new(&cluster, &plan, cfg).unwrap();
-        let reqs = generate(&spec::conversation(0.5), ts_common::SimDuration::from_secs(60), 2);
+        let reqs = generate(
+            &spec::conversation(0.5),
+            ts_common::SimDuration::from_secs(60),
+            2,
+        );
         let m = sim.run(&reqs).unwrap();
         for r in m.records() {
             assert!(r.first_token_at >= r.request.arrival);
@@ -1074,18 +168,38 @@ mod tests {
     fn deterministic_runs() {
         let (cluster, plan, cfg) = testbed(presets::ETH_40GBPS);
         let reqs = generate(&spec::coding(1.0), ts_common::SimDuration::from_secs(30), 3);
-        let m1 = Simulation::new(&cluster, &plan, cfg.clone()).unwrap().run(&reqs).unwrap();
-        let m2 = Simulation::new(&cluster, &plan, cfg).unwrap().run(&reqs).unwrap();
+        let m1 = Simulation::new(&cluster, &plan, cfg.clone())
+            .unwrap()
+            .run(&reqs)
+            .unwrap();
+        let m2 = Simulation::new(&cluster, &plan, cfg)
+            .unwrap()
+            .run(&reqs)
+            .unwrap();
         assert_eq!(m1, m2);
     }
 
     #[test]
     fn higher_rate_worsens_latency() {
         let (cluster, plan, cfg) = testbed(presets::ETH_40GBPS);
-        let lo_r = generate(&spec::coding(0.3), ts_common::SimDuration::from_secs(120), 4);
-        let hi_r = generate(&spec::coding(4.0), ts_common::SimDuration::from_secs(120), 4);
-        let lo = Simulation::new(&cluster, &plan, cfg.clone()).unwrap().run(&lo_r).unwrap();
-        let hi = Simulation::new(&cluster, &plan, cfg).unwrap().run(&hi_r).unwrap();
+        let lo_r = generate(
+            &spec::coding(0.3),
+            ts_common::SimDuration::from_secs(120),
+            4,
+        );
+        let hi_r = generate(
+            &spec::coding(4.0),
+            ts_common::SimDuration::from_secs(120),
+            4,
+        );
+        let lo = Simulation::new(&cluster, &plan, cfg.clone())
+            .unwrap()
+            .run(&lo_r)
+            .unwrap();
+        let hi = Simulation::new(&cluster, &plan, cfg)
+            .unwrap()
+            .run(&hi_r)
+            .unwrap();
         let p_lo = lo.latency_percentile(SloKind::Ttft, 0.9).unwrap();
         let p_hi = hi.latency_percentile(SloKind::Ttft, 0.9).unwrap();
         assert!(p_hi > p_lo, "{p_hi} <= {p_lo}");
@@ -1096,9 +210,19 @@ mod tests {
         // Table 8 / Figure 18 shape: on a bandwidth-starved link, 4-bit KV
         // transfers beat fp16 end to end.
         let (cluster, plan, cfg) = testbed(presets::ETH_5GBPS);
-        let reqs = generate(&spec::fixed(1024, 64, 0.5), ts_common::SimDuration::from_secs(120), 5);
-        let m4 = Simulation::new(&cluster, &plan, cfg.clone()).unwrap().run(&reqs).unwrap();
-        let m16 = Simulation::new(&cluster, &plan, cfg.with_f16_kv()).unwrap().run(&reqs).unwrap();
+        let reqs = generate(
+            &spec::fixed(1024, 64, 0.5),
+            ts_common::SimDuration::from_secs(120),
+            5,
+        );
+        let m4 = Simulation::new(&cluster, &plan, cfg.clone())
+            .unwrap()
+            .run(&reqs)
+            .unwrap();
+        let m16 = Simulation::new(&cluster, &plan, cfg.with_f16_kv())
+            .unwrap()
+            .run(&reqs)
+            .unwrap();
         let e4 = m4.mean_latency(SloKind::E2e).unwrap();
         let e16 = m16.mean_latency(SloKind::E2e).unwrap();
         assert!(e4 < e16, "4-bit {e4} should beat fp16 {e16}");
@@ -1108,7 +232,11 @@ mod tests {
     fn single_token_outputs_skip_decode() {
         let (cluster, plan, cfg) = testbed(presets::ETH_40GBPS);
         let mut sim = Simulation::new(&cluster, &plan, cfg).unwrap();
-        let reqs = generate(&spec::fixed(512, 1, 1.0), ts_common::SimDuration::from_secs(20), 6);
+        let reqs = generate(
+            &spec::fixed(512, 1, 1.0),
+            ts_common::SimDuration::from_secs(20),
+            6,
+        );
         let m = sim.run(&reqs).unwrap();
         assert_eq!(m.num_completed(), reqs.len());
         for r in m.records() {
@@ -1119,8 +247,15 @@ mod tests {
     #[test]
     fn slo_attainment_monotone_in_scale() {
         let (cluster, plan, cfg) = testbed(presets::ETH_40GBPS);
-        let reqs = generate(&spec::conversation(1.5), ts_common::SimDuration::from_secs(90), 7);
-        let m = Simulation::new(&cluster, &plan, cfg).unwrap().run(&reqs).unwrap();
+        let reqs = generate(
+            &spec::conversation(1.5),
+            ts_common::SimDuration::from_secs(90),
+            7,
+        );
+        let m = Simulation::new(&cluster, &plan, cfg)
+            .unwrap()
+            .run(&reqs)
+            .unwrap();
         let base = SloSpec::new(
             ts_common::SimDuration::from_millis(800),
             ts_common::SimDuration::from_millis(80),
@@ -1129,9 +264,55 @@ mod tests {
         let mut prev = 0.0;
         for s in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0] {
             let a = m.joint_attainment(&base.scaled(s));
-            assert!(a >= prev - 1e-12, "attainment must not decrease: {a} < {prev}");
+            assert!(
+                a >= prev - 1e-12,
+                "attainment must not decrease: {a} < {prev}"
+            );
             prev = a;
         }
+    }
+
+    #[test]
+    fn chunked_prefill_on_split_replicas_completes_and_bounds_launches() {
+        // New with the shared execution core: Sarathi-style chunking on a
+        // *disaggregated* prefill replica. Everything still completes, and
+        // determinism holds.
+        let (cluster, plan, cfg) = testbed(presets::ETH_40GBPS);
+        let cfg = cfg.with_prefill_chunking(256);
+        let reqs = generate(
+            &spec::coding(1.0),
+            ts_common::SimDuration::from_secs(40),
+            21,
+        );
+        let run = || {
+            Simulation::new(&cluster, &plan, cfg.clone())
+                .unwrap()
+                .run(&reqs)
+                .unwrap()
+        };
+        let m = run();
+        assert_eq!(m.num_completed(), reqs.len());
+        for r in m.records() {
+            assert!(r.first_token_at >= r.request.arrival);
+            assert!(r.finished_at >= r.first_token_at);
+        }
+        assert_eq!(m, run());
+        // Chunking a prompt across launches delays its completion relative
+        // to whole-batch prefill: TTFT can only get worse, never better.
+        let whole = {
+            let (cluster, plan, cfg) = testbed(presets::ETH_40GBPS);
+            Simulation::new(&cluster, &plan, cfg)
+                .unwrap()
+                .run(&reqs)
+                .unwrap()
+        };
+        let p50 = |m: &crate::metrics::Metrics| m.latency_percentile(SloKind::Ttft, 0.5).unwrap();
+        assert!(
+            p50(&m) >= p50(&whole),
+            "chunked median TTFT {} should not beat whole-batch {}",
+            p50(&m),
+            p50(&whole)
+        );
     }
 }
 
@@ -1140,9 +321,7 @@ mod fault_tests {
     use super::*;
     use crate::fault::{FaultKind, FaultScript, TimedFault};
     use ts_cluster::presets;
-    use ts_common::{
-        GpuId, GroupSpec, ModelSpec, ParallelConfig, Phase, RoutingMatrix, StageSpec,
-    };
+    use ts_common::{GpuId, GroupSpec, ModelSpec, ParallelConfig, Phase, RoutingMatrix, StageSpec};
     use ts_workload::{generator::generate, spec};
 
     /// 4xA40 prefill (one tp=4 replica) + two 2x3090Ti decode replicas, so
@@ -1223,7 +402,11 @@ mod fault_tests {
             m.num_completed() + m.num_dropped() + m.num_rejected(),
             reqs.len()
         );
-        assert_eq!(m.num_completed(), reqs.len(), "survivor should absorb all work");
+        assert_eq!(
+            m.num_completed(),
+            reqs.len(),
+            "survivor should absorb all work"
+        );
         assert!(m.recovery().max_time_to_recover().is_some());
         // Every post-fault decode ran on the survivor.
         for r in m.records() {
@@ -1251,7 +434,10 @@ mod fault_tests {
             .unwrap()
             .run_with_faults(&reqs, &script.clone().without_recovery())
             .unwrap();
-        assert!(without.num_dropped() > 0, "no-recovery should lose requests");
+        assert!(
+            without.num_dropped() > 0,
+            "no-recovery should lose requests"
+        );
         assert!(with.num_completed() > without.num_completed());
         assert_eq!(
             without.num_completed() + without.num_dropped() + without.num_rejected(),
@@ -1312,8 +498,20 @@ mod fault_tests {
         let reqs = generate(&spec::coding(1.0), SimDuration::from_secs(60), 16);
         let script = FaultScript::new(
             vec![
-                fault(10.0, FaultKind::LinkDown { prefill: 0, decode: 0 }),
-                fault(14.0, FaultKind::LinkUp { prefill: 0, decode: 0 }),
+                fault(
+                    10.0,
+                    FaultKind::LinkDown {
+                        prefill: 0,
+                        decode: 0,
+                    },
+                ),
+                fault(
+                    14.0,
+                    FaultKind::LinkUp {
+                        prefill: 0,
+                        decode: 0,
+                    },
+                ),
             ],
             SimDuration::from_millis(100),
         );
@@ -1427,9 +625,7 @@ mod tpot_cap_tests {
         .run(&reqs)
         .unwrap();
 
-        let p90 = |m: &crate::metrics::Metrics| {
-            m.latency_percentile(SloKind::Tpot, 0.9).unwrap()
-        };
+        let p90 = |m: &crate::metrics::Metrics| m.latency_percentile(SloKind::Tpot, 0.9).unwrap();
         assert!(
             p90(&capped) <= cap + ts_common::SimDuration::from_millis(5),
             "capped p90 TPOT {} should respect the {cap} deadline",
@@ -1442,10 +638,7 @@ mod tpot_cap_tests {
             p90(&uncapped)
         );
         // conservation still holds
-        assert_eq!(
-            capped.num_completed() + capped.num_dropped(),
-            reqs.len()
-        );
+        assert_eq!(capped.num_completed() + capped.num_dropped(), reqs.len());
     }
 
     #[test]

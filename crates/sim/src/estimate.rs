@@ -94,9 +94,7 @@ pub fn pair_estimates(
         .map(|m| m.decode_throughput(32, ctx as u64).max(1e-9))
         .sum();
     for m in decode {
-        let lam_share = rate
-            * m.decode_throughput(32, ctx as u64).max(1e-9)
-            / total_dec_weight;
+        let lam_share = rate * m.decode_throughput(32, ctx as u64).max(1e-9) / total_dec_weight;
         let bmax = m
             .max_decode_batch((p_mean + o_mean) as u64)
             .min(cfg.max_decode_batch)
@@ -114,7 +112,9 @@ pub fn pair_estimates(
             }
             b = nb;
         }
-        let st = m.decode_step_latency(b.ceil() as u64, ctx as u64).as_secs_f64();
+        let st = m
+            .decode_step_latency(b.ceil() as u64, ctx as u64)
+            .as_secs_f64();
         step_time.push(st);
         // Max sustainable request rate: tokens/s at bmax divided by steps/request.
         let st_max = m.decode_step_latency(bmax, ctx as u64).as_secs_f64();
@@ -243,8 +243,7 @@ mod tests {
     use super::*;
     use ts_cluster::presets;
     use ts_common::{
-        GpuId, GroupSpec, ModelSpec, ParallelConfig, Phase, RoutingMatrix, SimDuration,
-        StageSpec,
+        GpuId, GroupSpec, ModelSpec, ParallelConfig, Phase, RoutingMatrix, SimDuration, StageSpec,
     };
     use ts_workload::spec;
 
@@ -252,8 +251,15 @@ mod tests {
         let per = layers / pp;
         let stages = (0..pp)
             .map(|s| StageSpec {
-                gpus: gpus[s * tp..(s + 1) * tp].iter().map(|&g| GpuId(g)).collect(),
-                layers: if s + 1 == pp { layers - per * (pp - 1) } else { per },
+                gpus: gpus[s * tp..(s + 1) * tp]
+                    .iter()
+                    .map(|&g| GpuId(g))
+                    .collect(),
+                layers: if s + 1 == pp {
+                    layers - per * (pp - 1)
+                } else {
+                    per
+                },
             })
             .collect();
         GroupSpec::new(phase, ParallelConfig::new(tp, pp).unwrap(), stages).unwrap()

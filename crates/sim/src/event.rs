@@ -3,6 +3,17 @@
 //! Events are totally ordered by `(time, sequence)`: the sequence number is
 //! a monotonically increasing tiebreaker, so simultaneous events fire in
 //! insertion order and runs are exactly reproducible.
+//!
+//! # Determinism guarantee
+//!
+//! [`EventQueue::push`] stamps each event with the next value of an
+//! internal counter, and [`EventQueue::pop`] orders by `(at, seq)`. Two
+//! events pushed at the same [`SimTime`] therefore always pop in the order
+//! they were pushed — on every run, on every platform. The whole
+//! simulator's reproducibility (bit-identical metrics for identical
+//! inputs) reduces to this property plus the determinism of
+//! [`crate::router::StrideRouter`]; nothing else in the engine breaks
+//! ties.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -54,6 +65,8 @@ pub enum EventKind {
     WorkDone {
         /// Index into the colocated engine's replica list.
         replica: usize,
+        /// Liveness epoch at scheduling time (see [`EventKind::PrefillDone`]).
+        epoch: u64,
     },
     /// Fault `index` of the active fault script takes effect (replica or
     /// link goes down/up, or a service pause begins). The capacity change is
@@ -147,9 +160,27 @@ mod tests {
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        q.push(SimTime::from_micros(30), EventKind::PrefillDone { replica: 2, epoch: 0 });
-        q.push(SimTime::from_micros(10), EventKind::PrefillDone { replica: 0, epoch: 0 });
-        q.push(SimTime::from_micros(20), EventKind::PrefillDone { replica: 1, epoch: 0 });
+        q.push(
+            SimTime::from_micros(30),
+            EventKind::PrefillDone {
+                replica: 2,
+                epoch: 0,
+            },
+        );
+        q.push(
+            SimTime::from_micros(10),
+            EventKind::PrefillDone {
+                replica: 0,
+                epoch: 0,
+            },
+        );
+        q.push(
+            SimTime::from_micros(20),
+            EventKind::PrefillDone {
+                replica: 1,
+                epoch: 0,
+            },
+        );
         let order: Vec<u64> = std::iter::from_fn(|| q.pop())
             .map(|e| e.at.as_micros())
             .collect();
@@ -160,7 +191,13 @@ mod tests {
     fn simultaneous_events_fire_fifo() {
         let mut q = EventQueue::new();
         for r in 0..5 {
-            q.push(SimTime::from_micros(7), EventKind::DecodeStepDone { replica: r, epoch: 0 });
+            q.push(
+                SimTime::from_micros(7),
+                EventKind::DecodeStepDone {
+                    replica: r,
+                    epoch: 0,
+                },
+            );
         }
         let order: Vec<usize> = std::iter::from_fn(|| q.pop())
             .map(|e| match e.kind {
@@ -172,10 +209,77 @@ mod tests {
     }
 
     #[test]
+    fn same_time_ties_break_by_insertion_order_across_runs() {
+        // Two events at the same SimTime must pop in push order, and the
+        // whole pop sequence must be identical across independent runs
+        // (bit-identical reproduction depends on this).
+        let run = || {
+            let mut q = EventQueue::new();
+            // Interleave ties at t=5 with events at other times.
+            q.push(SimTime::from_micros(9), EventKind::ServiceResumed);
+            q.push(
+                SimTime::from_micros(5),
+                EventKind::PrefillDone {
+                    replica: 0,
+                    epoch: 0,
+                },
+            );
+            q.push(
+                SimTime::from_micros(5),
+                EventKind::WorkDone {
+                    replica: 1,
+                    epoch: 0,
+                },
+            );
+            q.push(
+                SimTime::from_micros(1),
+                EventKind::FaultTriggered { index: 0 },
+            );
+            q.push(
+                SimTime::from_micros(5),
+                EventKind::DecodeStepDone {
+                    replica: 2,
+                    epoch: 0,
+                },
+            );
+            std::iter::from_fn(move || q.pop())
+                .map(|e| (e.at.as_micros(), e.kind))
+                .collect::<Vec<_>>()
+        };
+        let first = run();
+        let kinds_at_5: Vec<&EventKind> = first
+            .iter()
+            .filter(|(t, _)| *t == 5)
+            .map(|(_, k)| k)
+            .collect();
+        assert!(matches!(
+            kinds_at_5[0],
+            EventKind::PrefillDone { replica: 0, .. }
+        ));
+        assert!(matches!(
+            kinds_at_5[1],
+            EventKind::WorkDone { replica: 1, .. }
+        ));
+        assert!(matches!(
+            kinds_at_5[2],
+            EventKind::DecodeStepDone { replica: 2, .. }
+        ));
+        for _ in 0..10 {
+            assert_eq!(run(), first, "pop order must not vary across runs");
+        }
+    }
+
+    #[test]
     fn len_tracks_population() {
         let mut q = EventQueue::new();
         assert!(q.is_empty());
-        q.push(SimTime::ZERO, EventKind::PrefillDone { replica: 0, epoch: 0 });
+        q.push(
+            SimTime::ZERO,
+            EventKind::PrefillDone {
+                replica: 0,
+                epoch: 0,
+            },
+        );
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());

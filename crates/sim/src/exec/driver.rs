@@ -1,0 +1,1137 @@
+//! The shared event-loop driver.
+//!
+//! One discrete-event loop serves both serving topologies:
+//!
+//! * [`Topology::Split`] — phase-split replica pairs with KV transfer over
+//!   the inter-replica fabric (the ThunderServe engine);
+//! * [`Topology::Colocated`] — identical-role replicas serving both phases
+//!   (the vLLM/HexGen-style baselines).
+//!
+//! The driver owns everything topology-agnostic: the event queue, the
+//! [`StrideRouter`] routing policy, per-request bookkeeping, the
+//! admission/shed policy, and the whole fault layer (trigger → heartbeat
+//! detection → drain/requeue/re-prefill → recovery accounting). Topology
+//! state lives behind the enum and is only consulted where behaviour
+//! genuinely differs (KV transfer exists only under `Split`; a work item
+//! serializes both phases only under `Colocated`). Fault handling is
+//! written once against the [`ReplicaExecutor`] trait, which is how the
+//! colocated baselines get fault injection and [`RecoveryCounters`] for
+//! free.
+
+use super::executor::{
+    ColocatedExecutor, ColocatedPolicy, DecodeExecutor, DrainedWork, PrefillExecutor,
+    ReplicaExecutor, Work,
+};
+use super::seq::{AdmitOutcome, Pending, PrefillJob, WaitingSeq};
+use crate::config::SimConfig;
+use crate::event::{EventKind, EventQueue};
+use crate::fault::{FaultKind, FaultScript, TimedFault};
+use crate::metrics::{Metrics, RecoveryCounters, RequestRecord};
+use crate::router::StrideRouter;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use ts_cluster::Cluster;
+use ts_common::{
+    DeploymentPlan, Error, GroupSpec, Request, RequestId, Result, SimDuration, SimTime,
+};
+use ts_costmodel::replica::{kv_route, kv_transfer_time, KvRouteSegment};
+use ts_costmodel::ReplicaCostModel;
+
+/// An in-flight KV transfer (registry entry; completion events carry an
+/// attempt number so superseded attempts are ignored).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Transfer {
+    from: usize,
+    to: usize,
+    job: PrefillJob,
+    attempt: u32,
+}
+
+/// Topology-agnostic driver state: event queue, routing, per-request
+/// bookkeeping, shed policy and fault/recovery accounting.
+pub(crate) struct Core {
+    cfg: SimConfig,
+    router: StrideRouter,
+    queue: EventQueue,
+    pending: HashMap<RequestId, Pending>,
+    payloads: HashMap<RequestId, Request>,
+    records: Vec<RequestRecord>,
+    dropped: usize,
+    rejected: usize,
+    now: SimTime,
+    faults: Vec<TimedFault>,
+    recovery_enabled: bool,
+    /// Arrivals (and requeues) stalled because no live route exists or the
+    /// service is paused; shed beyond `cfg.shed_threshold`.
+    stalled: VecDeque<PrefillJob>,
+    paused_until: Option<SimTime>,
+    recovery: RecoveryCounters,
+    /// Requests affected by each fault (fault time, outstanding ids); a
+    /// fault's time-to-recover is recorded when its set empties.
+    affected: Vec<(SimTime, BTreeSet<RequestId>)>,
+}
+
+/// Phase-split topology state: prefill/decode executor pools plus the KV
+/// transfer fabric between them.
+pub(crate) struct SplitState {
+    prefills: Vec<PrefillExecutor>,
+    decodes: Vec<DecodeExecutor>,
+    pair_coords: Vec<(usize, usize)>,
+    /// KV route per (prefill, decode) pair.
+    routes: Vec<Vec<Vec<KvRouteSegment>>>,
+    /// Per-sender (prefill replica) uplink availability for KV transfer
+    /// queuing: one replica's outbound transfers serialize on its NIC,
+    /// whichever decode replica they target.
+    sender_free_at: Vec<SimTime>,
+    /// Link availability per (prefill, decode) pair.
+    link_down: Vec<Vec<bool>>,
+    /// The coordinator's belief about replica liveness: updated at fault
+    /// *detection* (downs) and immediately on healing (ups). Routing masks
+    /// follow beliefs, not ground truth — that is the detection window.
+    believed_dead_prefill: Vec<bool>,
+    believed_dead_decode: Vec<bool>,
+    /// In-flight KV transfers by request.
+    transfers: HashMap<RequestId, Transfer>,
+    /// Transfers whose target died with no live alternative; re-dispatched
+    /// when a decode replica comes back.
+    parked: Vec<Transfer>,
+}
+
+/// Colocated topology state: one executor pool serving both phases, with
+/// the same believed-liveness routing mask as the split topology. The
+/// fault script's `PrefillDown(i)`/`DecodeDown(i)` both mean "replica `i`
+/// dies" here (and symmetrically for `*Up`); link faults are rejected
+/// because there is no inter-replica fabric.
+pub(crate) struct ColoState {
+    replicas: Vec<ColocatedExecutor>,
+    believed_dead: Vec<bool>,
+}
+
+/// Which serving topology the driver runs.
+// One Topology exists per simulation (never stored per-event or in bulk),
+// so the size gap between variants costs nothing worth an indirection.
+#[allow(clippy::large_enum_variant)]
+pub(crate) enum Topology {
+    /// Phase-split replica pairs with KV transfer.
+    Split(SplitState),
+    /// Identical-role colocated replicas.
+    Colocated(ColoState),
+}
+
+/// The shared discrete-event driver behind [`crate::engine::Simulation`]
+/// and [`crate::colocated::ColocatedSimulation`].
+pub(crate) struct Driver {
+    core: Core,
+    topo: Topology,
+}
+
+impl Driver {
+    /// Builds a phase-split driver for `plan` on `cluster`.
+    pub fn new_split(cluster: &Cluster, plan: &DeploymentPlan, cfg: SimConfig) -> Result<Self> {
+        let prefill_idx = plan.prefill_indices();
+        let decode_idx = plan.decode_indices();
+        let mut prefills = Vec::with_capacity(prefill_idx.len());
+        for &gi in &prefill_idx {
+            prefills.push(PrefillExecutor::new(ReplicaCostModel::new(
+                cluster,
+                &cfg.model,
+                &plan.groups[gi],
+                &cfg.params,
+            )?));
+        }
+        let mut decodes = Vec::with_capacity(decode_idx.len());
+        for &gi in &decode_idx {
+            decodes.push(DecodeExecutor::new(ReplicaCostModel::new(
+                cluster,
+                &cfg.model,
+                &plan.groups[gi],
+                &cfg.params,
+            )?));
+        }
+        let (router, pair_coords) = StrideRouter::from_matrix(plan.routing.rates())?;
+        let mut routes = Vec::with_capacity(prefills.len());
+        for p in &prefills {
+            let mut row = Vec::with_capacity(decodes.len());
+            for d in &decodes {
+                row.push(kv_route(cluster, &p.cost, &d.cost));
+            }
+            routes.push(row);
+        }
+        let sender_free_at = vec![SimTime::ZERO; prefills.len()];
+        let link_down = vec![vec![false; decodes.len()]; prefills.len()];
+        let believed_dead_prefill = vec![false; prefills.len()];
+        let believed_dead_decode = vec![false; decodes.len()];
+        Ok(Driver {
+            core: Core::new(cfg, router),
+            topo: Topology::Split(SplitState {
+                prefills,
+                decodes,
+                pair_coords,
+                routes,
+                sender_free_at,
+                link_down,
+                believed_dead_prefill,
+                believed_dead_decode,
+                transfers: HashMap::new(),
+                parked: Vec::new(),
+            }),
+        })
+    }
+
+    /// Builds a colocated driver over `groups`, each serving both phases.
+    /// Requests are routed proportional to each replica's decode
+    /// throughput capacity.
+    pub fn new_colocated(
+        cluster: &Cluster,
+        groups: &[GroupSpec],
+        cfg: SimConfig,
+        policy: ColocatedPolicy,
+    ) -> Result<Self> {
+        if groups.is_empty() {
+            return Err(Error::Infeasible("no replicas".into()));
+        }
+        let mut replicas = Vec::with_capacity(groups.len());
+        let mut weights = Vec::with_capacity(groups.len());
+        for g in groups {
+            let cost = ReplicaCostModel::new(cluster, &cfg.model, g, &cfg.params)?;
+            let kv_capacity = cost.kv_capacity_tokens();
+            // Route proportional to steady decode throughput at batch 32.
+            weights.push(cost.decode_throughput(32.min(kv_capacity / 1024).max(1), 1024));
+            replicas.push(ColocatedExecutor::new(cost, policy));
+        }
+        let believed_dead = vec![false; replicas.len()];
+        Ok(Driver {
+            core: Core::new(cfg, StrideRouter::new(weights)?),
+            topo: Topology::Colocated(ColoState {
+                replicas,
+                believed_dead,
+            }),
+        })
+    }
+
+    /// Runs the trace with mid-flight fault injection. With an empty
+    /// script this is a plain (fault-free) run.
+    pub fn run_with_faults(
+        &mut self,
+        requests: &[Request],
+        script: &FaultScript,
+    ) -> Result<Metrics> {
+        self.validate_script(script)?;
+        self.core.faults = script.faults.clone();
+        self.core.recovery_enabled = script.recovery;
+
+        for r in requests {
+            self.core.queue.push(r.arrival, EventKind::Arrival(*r));
+        }
+        for (idx, f) in self.core.faults.iter().enumerate() {
+            self.core
+                .queue
+                .push(f.at, EventKind::FaultTriggered { index: idx });
+            // Detection only matters for deaths, and only when the engine
+            // actually recovers; healing and pauses act at trigger time.
+            let needs_detection =
+                matches!(f.kind, FaultKind::PrefillDown(_) | FaultKind::DecodeDown(_));
+            if needs_detection && script.recovery {
+                self.core.queue.push(
+                    f.at + script.detection_delay,
+                    EventKind::FaultDetected { index: idx },
+                );
+            }
+        }
+        let submitted = requests.len();
+        while let Some(ev) = self.core.queue.pop() {
+            debug_assert!(ev.at >= self.core.now, "event time went backwards");
+            self.core.now = ev.at;
+            match ev.kind {
+                EventKind::Arrival(req) => self.on_arrival(req),
+                EventKind::PrefillDone { replica, epoch } => {
+                    let s = self.split_mut("PrefillDone")?;
+                    if s.prefills[replica].event_is_current(epoch) {
+                        let Driver { core, topo } = self;
+                        let Topology::Split(s) = topo else {
+                            unreachable!()
+                        };
+                        split_on_prefill_done(core, s, replica)?;
+                    }
+                }
+                EventKind::PrefillSlotFree { replica, epoch } => {
+                    let s = self.split_mut("PrefillSlotFree")?;
+                    if s.prefills[replica].event_is_current(epoch) {
+                        s.prefills[replica].wakeup_scheduled = false;
+                        let Driver { core, topo } = self;
+                        let Topology::Split(s) = topo else {
+                            unreachable!()
+                        };
+                        split_maybe_start_prefill(core, s, replica);
+                    }
+                }
+                EventKind::KvTransferDone {
+                    replica,
+                    request,
+                    attempt,
+                } => {
+                    self.split_mut("KvTransferDone")?;
+                    let Driver { core, topo } = self;
+                    let Topology::Split(s) = topo else {
+                        unreachable!()
+                    };
+                    split_on_transfer_done(core, s, replica, request, attempt)?;
+                }
+                EventKind::DecodeStepDone { replica, epoch } => {
+                    let s = self.split_mut("DecodeStepDone")?;
+                    if s.decodes[replica].event_is_current(epoch) {
+                        let Driver { core, topo } = self;
+                        let Topology::Split(s) = topo else {
+                            unreachable!()
+                        };
+                        split_on_decode_step(core, s, replica)?;
+                    }
+                }
+                EventKind::WorkDone { replica, epoch } => {
+                    let c = self.colocated_mut()?;
+                    if c.replicas[replica].event_is_current(epoch) {
+                        let Driver { core, topo } = self;
+                        let Topology::Colocated(c) = topo else {
+                            unreachable!()
+                        };
+                        colo_on_work_done(core, c, replica)?;
+                    }
+                }
+                EventKind::FaultTriggered { index } => self.on_fault_triggered(index),
+                EventKind::FaultDetected { index } => self.on_fault_detected(index),
+                EventKind::ServiceResumed => self.on_service_resumed(),
+            }
+        }
+        // Anything still in the system when events run dry was lost to a
+        // fault it never recovered from (stalled, parked, frozen on a dead
+        // replica).
+        self.core.dropped += self.core.pending.len();
+        self.core.pending.clear();
+        self.core.payloads.clear();
+        if self.core.records.len() + self.core.dropped + self.core.rejected != submitted {
+            return Err(Error::Simulation(format!(
+                "conservation violated: {} completed + {} dropped + {} rejected != {} submitted",
+                self.core.records.len(),
+                self.core.dropped,
+                self.core.rejected,
+                submitted
+            )));
+        }
+        let horizon = self.core.now.saturating_since(SimTime::ZERO);
+        Ok(Metrics::with_recovery(
+            std::mem::take(&mut self.core.records),
+            self.core.dropped,
+            self.core.rejected,
+            horizon,
+            std::mem::take(&mut self.core.recovery),
+        ))
+    }
+
+    /// Split topology or an "event kind in wrong engine" error.
+    fn split_mut(&mut self, kind: &str) -> Result<&mut SplitState> {
+        match &mut self.topo {
+            Topology::Split(s) => Ok(s),
+            Topology::Colocated(_) => Err(Error::Simulation(format!(
+                "unexpected {kind} event in colocated engine"
+            ))),
+        }
+    }
+
+    /// Colocated topology or an "event kind in wrong engine" error.
+    fn colocated_mut(&mut self) -> Result<&mut ColoState> {
+        match &mut self.topo {
+            Topology::Colocated(c) => Ok(c),
+            Topology::Split(_) => Err(Error::Simulation(
+                "WorkDone event in phase-split engine".into(),
+            )),
+        }
+    }
+
+    fn validate_script(&self, script: &FaultScript) -> Result<()> {
+        match &self.topo {
+            Topology::Split(s) => {
+                let np = s.prefills.len();
+                let nd = s.decodes.len();
+                for f in &script.faults {
+                    let ok = match f.kind {
+                        FaultKind::PrefillDown(i) | FaultKind::PrefillUp(i) => i < np,
+                        FaultKind::DecodeDown(j) | FaultKind::DecodeUp(j) => j < nd,
+                        FaultKind::LinkDown { prefill, decode }
+                        | FaultKind::LinkUp { prefill, decode } => prefill < np && decode < nd,
+                        FaultKind::Pause { .. } => true,
+                    };
+                    if !ok {
+                        return Err(Error::InvalidConfig(format!(
+                            "fault references a replica outside the plan: {:?}",
+                            f.kind
+                        )));
+                    }
+                }
+            }
+            Topology::Colocated(c) => {
+                let n = c.replicas.len();
+                for f in &script.faults {
+                    let ok = match f.kind {
+                        FaultKind::PrefillDown(i)
+                        | FaultKind::PrefillUp(i)
+                        | FaultKind::DecodeDown(i)
+                        | FaultKind::DecodeUp(i) => i < n,
+                        FaultKind::LinkDown { .. } | FaultKind::LinkUp { .. } => {
+                            return Err(Error::InvalidConfig(
+                                "colocated replicas have no inter-replica links to fault".into(),
+                            ))
+                        }
+                        FaultKind::Pause { .. } => true,
+                    };
+                    if !ok {
+                        return Err(Error::InvalidConfig(format!(
+                            "fault references a replica outside the plan: {:?}",
+                            f.kind
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn on_arrival(&mut self, req: Request) {
+        self.core.payloads.insert(req.id, req);
+        self.core.pending.insert(
+            req.id,
+            Pending {
+                prefill: 0,
+                decode: 0,
+                first_token_at: None,
+            },
+        );
+        self.dispatch_job(PrefillJob::fresh(req));
+    }
+
+    /// Routes a job to a live destination (a (prefill, decode) pair under
+    /// `Split`, a replica under `Colocated`), or stalls/sheds it if the
+    /// service is paused or no live route exists.
+    fn dispatch_job(&mut self, job: PrefillJob) {
+        if self.core.paused_until.is_some() || self.core.router.num_enabled() == 0 {
+            stall_or_shed(&mut self.core, job);
+            return;
+        }
+        let k = self.core.router.next();
+        let Driver { core, topo } = self;
+        match topo {
+            Topology::Split(s) => {
+                let (i, j) = s.pair_coords[k];
+                if let Some(p) = core.pending.get_mut(&job.req.id) {
+                    p.prefill = i;
+                    p.decode = j;
+                }
+                s.prefills[i].queue.queue.push_back(job);
+                split_maybe_start_prefill(core, s, i);
+            }
+            Topology::Colocated(c) => {
+                if let Some(p) = core.pending.get_mut(&job.req.id) {
+                    p.prefill = k;
+                    p.decode = k;
+                }
+                c.replicas[k].prefill.queue.push_back(job);
+                colo_maybe_start_work(core, c, k);
+            }
+        }
+    }
+
+    // --- fault layer ------------------------------------------------------
+    //
+    // Written once against the ReplicaExecutor contract: kill at trigger,
+    // mask + drain + requeue at detection, revive + drain at healing.
+
+    fn on_fault_triggered(&mut self, index: usize) {
+        let kind = self.core.faults[index].kind;
+        // Pauses are topology-agnostic.
+        if let FaultKind::Pause { until } = kind {
+            if until > self.core.now {
+                self.core.paused_until = Some(until);
+                self.core.queue.push(until, EventKind::ServiceResumed);
+            }
+            return;
+        }
+        match &mut self.topo {
+            Topology::Split(s) => match kind {
+                FaultKind::PrefillDown(i) => s.prefills[i].kill(),
+                FaultKind::DecodeDown(j) => s.decodes[j].kill(),
+                FaultKind::PrefillUp(i) => {
+                    let now = self.core.now;
+                    // Work frozen at death never re-runs on its own (its
+                    // completion events are stale); restart it or declare
+                    // it lost.
+                    s.prefills[i].revive(now);
+                    let drained = s.prefills[i].drain_lost();
+                    s.believed_dead_prefill[i] = false;
+                    split_refresh_router(&mut self.core, s);
+                    if self.core.recovery_enabled {
+                        self.recover_drained(drained, None);
+                        self.drain_stalled();
+                    } else {
+                        self.drop_drained(drained);
+                    }
+                }
+                FaultKind::DecodeUp(j) => {
+                    let now = self.core.now;
+                    // Sequences frozen at death lost their KV either way.
+                    s.decodes[j].revive(now);
+                    let drained = s.decodes[j].drain_lost();
+                    s.believed_dead_decode[j] = false;
+                    split_refresh_router(&mut self.core, s);
+                    if self.core.recovery_enabled {
+                        self.recover_drained(drained, None);
+                        let Driver { core, topo } = self;
+                        let Topology::Split(s) = topo else {
+                            unreachable!()
+                        };
+                        let parked = std::mem::take(&mut s.parked);
+                        for t in parked {
+                            split_redispatch_transfer(core, s, t);
+                        }
+                        self.drain_stalled();
+                    } else {
+                        self.drop_drained(drained);
+                    }
+                }
+                FaultKind::LinkDown { prefill, decode } => {
+                    s.link_down[prefill][decode] = true;
+                }
+                FaultKind::LinkUp { prefill, decode } => {
+                    s.link_down[prefill][decode] = false;
+                }
+                FaultKind::Pause { .. } => unreachable!(),
+            },
+            Topology::Colocated(c) => match kind {
+                // A colocated replica hosts both phases: either phase's
+                // death (or healing) is the whole replica's.
+                FaultKind::PrefillDown(i) | FaultKind::DecodeDown(i) => c.replicas[i].kill(),
+                FaultKind::PrefillUp(i) | FaultKind::DecodeUp(i) => {
+                    let now = self.core.now;
+                    c.replicas[i].revive(now);
+                    let drained = c.replicas[i].drain_lost();
+                    c.believed_dead[i] = false;
+                    colo_refresh_router(&mut self.core, c);
+                    if self.core.recovery_enabled {
+                        self.recover_drained(drained, None);
+                        self.drain_stalled();
+                    } else {
+                        self.drop_drained(drained);
+                    }
+                }
+                FaultKind::LinkDown { .. } | FaultKind::LinkUp { .. } => {
+                    unreachable!("rejected by validate_script")
+                }
+                FaultKind::Pause { .. } => unreachable!(),
+            },
+        }
+    }
+
+    fn on_fault_detected(&mut self, index: usize) {
+        let at = self.core.faults[index].at;
+        let kind = self.core.faults[index].kind;
+        let drained = match (&mut self.topo, kind) {
+            (Topology::Split(s), FaultKind::PrefillDown(i)) => {
+                if s.prefills[i].is_alive() {
+                    None // blipped back up before detection; healed already
+                } else {
+                    s.believed_dead_prefill[i] = true;
+                    split_refresh_router(&mut self.core, s);
+                    Some(s.prefills[i].drain_lost())
+                }
+            }
+            (Topology::Split(s), FaultKind::DecodeDown(j)) => {
+                if s.decodes[j].is_alive() {
+                    None
+                } else {
+                    s.believed_dead_decode[j] = true;
+                    split_refresh_router(&mut self.core, s);
+                    Some(s.decodes[j].drain_lost())
+                }
+            }
+            (Topology::Colocated(c), FaultKind::PrefillDown(i) | FaultKind::DecodeDown(i)) => {
+                if c.replicas[i].is_alive() {
+                    None
+                } else {
+                    c.believed_dead[i] = true;
+                    colo_refresh_router(&mut self.core, c);
+                    Some(c.replicas[i].drain_lost())
+                }
+            }
+            _ => None,
+        };
+        if let Some(d) = drained {
+            self.recover_drained(d, Some(at));
+        }
+    }
+
+    /// Recovers drained work onto survivors: queued/in-flight prefill jobs
+    /// are requeued as-is, lost decode sequences are re-prefilled over
+    /// their full context. `fault_at` registers the affected set for
+    /// time-to-recover accounting (detection path only).
+    fn recover_drained(&mut self, drained: DrainedWork, fault_at: Option<SimTime>) {
+        let mut jobs: Vec<PrefillJob> = Vec::new();
+        for job in drained.prefill_jobs {
+            self.core.recovery.requeued_requests += 1;
+            jobs.push(job);
+        }
+        for lost in drained.lost_seqs {
+            let Some(&req) = self.core.payloads.get(&lost.id) else {
+                continue;
+            };
+            self.core.recovery.reprefilled_tokens += lost.tokens;
+            jobs.push(PrefillJob {
+                req,
+                tokens: lost.tokens,
+                remaining: lost.remaining,
+                resume: lost.resume,
+            });
+        }
+        if let Some(at) = fault_at {
+            let ids: BTreeSet<RequestId> = jobs.iter().map(|j| j.req.id).collect();
+            if !ids.is_empty() {
+                self.core.affected.push((at, ids));
+            }
+        }
+        for job in jobs {
+            self.dispatch_job(job);
+        }
+    }
+
+    /// Drops drained work without recovery (the no-recovery arm of a
+    /// healing event: the work was lost for good).
+    fn drop_drained(&mut self, drained: DrainedWork) {
+        for job in drained.prefill_jobs {
+            drop_request(&mut self.core, job.req.id);
+        }
+        for lost in drained.lost_seqs {
+            if self.core.payloads.contains_key(&lost.id) {
+                drop_request(&mut self.core, lost.id);
+            }
+        }
+    }
+
+    fn drain_stalled(&mut self) {
+        if self.core.paused_until.is_some() || self.core.router.num_enabled() == 0 {
+            return;
+        }
+        let stalled = std::mem::take(&mut self.core.stalled);
+        for job in stalled {
+            self.dispatch_job(job);
+        }
+    }
+
+    fn on_service_resumed(&mut self) {
+        // Pauses can be extended by a later Pause fault; only resume at the
+        // latest deadline.
+        if let Some(until) = self.core.paused_until {
+            if until > self.core.now {
+                return;
+            }
+        }
+        self.core.paused_until = None;
+        self.drain_stalled();
+    }
+}
+
+impl Core {
+    fn new(cfg: SimConfig, router: StrideRouter) -> Self {
+        Core {
+            cfg,
+            router,
+            queue: EventQueue::new(),
+            pending: HashMap::new(),
+            payloads: HashMap::new(),
+            records: Vec::new(),
+            dropped: 0,
+            rejected: 0,
+            now: SimTime::ZERO,
+            faults: Vec::new(),
+            recovery_enabled: true,
+            stalled: VecDeque::new(),
+            paused_until: None,
+            recovery: RecoveryCounters::default(),
+            affected: Vec::new(),
+        }
+    }
+}
+
+// --- topology-agnostic helpers (free functions over Core) ----------------
+
+fn stall_or_shed(core: &mut Core, job: PrefillJob) {
+    if core.stalled.len() < core.cfg.shed_threshold {
+        core.stalled.push_back(job);
+    } else {
+        let id = job.req.id;
+        core.pending.remove(&id);
+        core.payloads.remove(&id);
+        core.rejected += 1;
+        clear_affected(core, id);
+    }
+}
+
+fn drop_request(core: &mut Core, id: RequestId) {
+    core.pending.remove(&id);
+    core.payloads.remove(&id);
+    core.dropped += 1;
+    clear_affected(core, id);
+}
+
+/// Marks `id` no longer waiting on fault recovery; records a fault's
+/// time-to-recover when its last affected request resolves.
+fn clear_affected(core: &mut Core, id: RequestId) {
+    let now = core.now;
+    let mut recovered_at = Vec::new();
+    for (at, set) in &mut core.affected {
+        if set.remove(&id) && set.is_empty() {
+            recovered_at.push(now.saturating_since(*at));
+        }
+    }
+    core.recovery.recovery_times.extend(recovered_at);
+}
+
+/// Applies one admission pass's decisions, in order: evictions become
+/// drops, admissions resolve fault-recovery tracking.
+fn apply_admit_outcomes(core: &mut Core, outcomes: Vec<AdmitOutcome>) {
+    for o in outcomes {
+        match o {
+            AdmitOutcome::Dropped(id) => drop_request(core, id),
+            AdmitOutcome::Admitted(id) => clear_affected(core, id),
+        }
+    }
+}
+
+/// Reconstructs the request payload for a live id (we stash the original
+/// request in the record path).
+fn find_request(core: &Core, id: RequestId) -> Result<Request> {
+    core.payloads
+        .get(&id)
+        .copied()
+        .ok_or_else(|| Error::Simulation(format!("lost request {id}")))
+}
+
+fn finish(core: &mut Core, req: Request, at: SimTime, max_token_gap: SimDuration) -> Result<()> {
+    core.payloads.remove(&req.id);
+    let pend = core
+        .pending
+        .remove(&req.id)
+        .ok_or_else(|| Error::Simulation(format!("finish without pending: {}", req.id)))?;
+    let first = pend
+        .first_token_at
+        .ok_or_else(|| Error::Simulation(format!("finish before prefill: {}", req.id)))?;
+    core.records.push(RequestRecord {
+        request: req,
+        prefill_replica: pend.prefill,
+        decode_replica: pend.decode,
+        first_token_at: first,
+        finished_at: at,
+        max_token_gap,
+    });
+    clear_affected(core, req.id);
+    Ok(())
+}
+
+/// Exponential backoff for transfer attempt `attempt` (2 = first retry):
+/// `base * 2^(attempt-2)`, capped.
+fn retry_backoff(core: &Core, attempt: u32) -> SimDuration {
+    let base = core.cfg.kv_retry_backoff_base;
+    let cap = core.cfg.kv_retry_backoff_cap;
+    let mut delay = base;
+    for _ in 2..attempt {
+        delay = delay + delay;
+        if delay >= cap {
+            return cap;
+        }
+    }
+    delay.min(cap)
+}
+
+// --- split-topology handlers ---------------------------------------------
+
+fn split_maybe_start_prefill(core: &mut Core, s: &mut SplitState, i: usize) {
+    let p = &mut s.prefills[i];
+    if !p.is_alive() || p.queue.is_empty() {
+        return;
+    }
+    if p.next_free > core.now {
+        // First stage still occupied: wake up when it frees.
+        if !p.wakeup_scheduled {
+            p.wakeup_scheduled = true;
+            core.queue.push(
+                p.next_free,
+                EventKind::PrefillSlotFree {
+                    replica: i,
+                    epoch: p.epoch(),
+                },
+            );
+        }
+        return;
+    }
+    let (batch, total, avg_ctx) = if let Some(chunk) = core.cfg.prefill_chunk_tokens {
+        // Chunked prefill on a disaggregated prefill replica: bounded
+        // per-launch token count, Sarathi-style.
+        let (batch, tokens) = p.queue.take_chunk(chunk);
+        let avg = batch
+            .first()
+            .map(|j| j.tokens)
+            .unwrap_or_else(|| tokens.max(1));
+        (batch, tokens.max(1), avg)
+    } else {
+        let (batch, total) = p
+            .queue
+            .take_batch(core.cfg.max_prefill_batch_tokens, core.cfg.prefill_policy);
+        let avg = total / batch.len() as u64;
+        (batch, total, avg)
+    };
+    let latency = p.cost.prefill_latency(total, avg_ctx);
+    // Pipeline parallelism: the next batch may enter once the slowest
+    // stage has processed this one; the batch itself completes after the
+    // full pipeline latency.
+    let bottleneck = p.cost.prefill_bottleneck(total, avg_ctx);
+    p.next_free = core.now + bottleneck;
+    p.in_flight.push_back(batch);
+    core.queue.push(
+        core.now + latency,
+        EventKind::PrefillDone {
+            replica: i,
+            epoch: p.epoch(),
+        },
+    );
+}
+
+fn split_on_prefill_done(core: &mut Core, s: &mut SplitState, i: usize) -> Result<()> {
+    let batch = s.prefills[i]
+        .in_flight
+        .pop_front()
+        .ok_or_else(|| Error::Simulation("prefill done with nothing in flight".into()))?;
+    for job in batch {
+        let pend = core
+            .pending
+            .get_mut(&job.req.id)
+            .ok_or_else(|| Error::Simulation(format!("unknown request {}", job.req.id)))?;
+        // Re-prefills keep their original first-token time: TTFT was
+        // already paid, recovery shows up in inter-token gaps instead.
+        if pend.first_token_at.is_none() {
+            pend.first_token_at = Some(core.now);
+        }
+        let j = pend.decode;
+        if job.remaining == 0 {
+            // Single-token output: the prefill already produced it.
+            let req = job.req;
+            finish(core, req, core.now, SimDuration::ZERO)?;
+            continue;
+        }
+        split_launch_transfer(
+            core,
+            s,
+            Transfer {
+                from: i,
+                to: j,
+                job,
+                attempt: 1,
+            },
+            SimDuration::ZERO,
+        );
+    }
+    split_maybe_start_prefill(core, s, i);
+    Ok(())
+}
+
+/// Schedules (or re-schedules) a KV transfer on the sender's uplink after
+/// an optional backoff delay and registers it.
+fn split_launch_transfer(
+    core: &mut Core,
+    s: &mut SplitState,
+    transfer: Transfer,
+    delay: SimDuration,
+) {
+    let dur = if core.cfg.model_kv_transfer {
+        let ratio = core.cfg.kv_precision.ratio_vs_f16();
+        kv_transfer_time(
+            &core.cfg.model,
+            &s.routes[transfer.from][transfer.to],
+            transfer.job.tokens,
+            ratio,
+        )
+    } else {
+        SimDuration::ZERO
+    };
+    // Serialize transfers on the sender's uplink; the sequence only
+    // becomes admissible at the decode replica once its own KV transfer
+    // completes (see split_on_transfer_done).
+    let start = s.sender_free_at[transfer.from].max(core.now + delay);
+    let done = start + dur;
+    s.sender_free_at[transfer.from] = done;
+    core.queue.push(
+        done,
+        EventKind::KvTransferDone {
+            replica: transfer.to,
+            request: transfer.job.req.id,
+            attempt: transfer.attempt,
+        },
+    );
+    s.transfers.insert(transfer.job.req.id, transfer);
+}
+
+fn split_on_transfer_done(
+    core: &mut Core,
+    s: &mut SplitState,
+    replica: usize,
+    request: RequestId,
+    attempt: u32,
+) -> Result<()> {
+    let Some(&t) = s.transfers.get(&request) else {
+        return Ok(()); // superseded or dropped
+    };
+    if t.attempt != attempt || t.to != replica {
+        return Ok(()); // stale attempt
+    }
+    if s.link_down[t.from][t.to] {
+        // The link faulted mid-transfer. With recovery the sender retries
+        // after a capped exponential backoff; without, the request is
+        // lost.
+        if !core.recovery_enabled {
+            s.transfers.remove(&request);
+            drop_request(core, request);
+            return Ok(());
+        }
+        let mut t = t;
+        t.attempt += 1;
+        core.recovery.kv_transfer_retries += 1;
+        let delay = retry_backoff(core, t.attempt);
+        split_launch_transfer(core, s, t, delay);
+        return Ok(());
+    }
+    if !s.decodes[t.to].is_alive() {
+        // Target died while the bytes were in flight.
+        s.transfers.remove(&request);
+        if !core.recovery_enabled {
+            drop_request(core, request);
+            return Ok(());
+        }
+        split_redispatch_transfer(core, s, t);
+        return Ok(());
+    }
+    // Delivered.
+    s.transfers.remove(&request);
+    let d = &mut s.decodes[t.to];
+    d.batch.waiting.push_back(WaitingSeq {
+        id: request,
+        tokens: t.job.tokens,
+        remaining: t.job.remaining,
+        resume: t.job.resume,
+    });
+    split_admit_waiting(core, s, t.to);
+    split_maybe_start_decode_step(core, s, t.to);
+    Ok(())
+}
+
+/// Re-targets a transfer whose decode replica died: picks the live replica
+/// with the most free KV memory (lowest index breaks ties), or parks the
+/// transfer until one comes back.
+fn split_redispatch_transfer(core: &mut Core, s: &mut SplitState, mut t: Transfer) {
+    let target = s
+        .decodes
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| d.is_alive())
+        .max_by_key(|(j, d)| {
+            (
+                d.batch.kv_capacity.saturating_sub(d.batch.kv_used),
+                std::cmp::Reverse(*j),
+            )
+        })
+        .map(|(j, _)| j);
+    let Some(j2) = target else {
+        s.parked.push(t);
+        return;
+    };
+    if let Some(p) = core.pending.get_mut(&t.job.req.id) {
+        p.decode = j2;
+    }
+    t.to = j2;
+    t.attempt += 1;
+    core.recovery.kv_transfer_retries += 1;
+    split_launch_transfer(core, s, t, SimDuration::ZERO);
+}
+
+fn split_admit_waiting(core: &mut Core, s: &mut SplitState, j: usize) {
+    let d = &mut s.decodes[j];
+    if !d.is_alive() {
+        return;
+    }
+    let outcomes = d.batch.admit(&d.cost, &core.cfg, core.now, |id| {
+        core.pending.get(&id).and_then(|p| p.first_token_at)
+    });
+    apply_admit_outcomes(core, outcomes);
+}
+
+fn split_maybe_start_decode_step(core: &mut Core, s: &mut SplitState, j: usize) {
+    let d = &mut s.decodes[j];
+    if !d.is_alive() || d.stepping || d.batch.active.is_empty() {
+        return;
+    }
+    let batch = d.batch.active.len() as u64;
+    let latency = d.cost.decode_step_latency(batch, d.batch.avg_context());
+    d.stepping = true;
+    core.queue.push(
+        core.now + latency,
+        EventKind::DecodeStepDone {
+            replica: j,
+            epoch: d.epoch(),
+        },
+    );
+}
+
+fn split_on_decode_step(core: &mut Core, s: &mut SplitState, j: usize) -> Result<()> {
+    s.decodes[j].stepping = false;
+    let finished = s.decodes[j].batch.advance(core.now);
+    for (id, gap) in finished {
+        let req = find_request(core, id)?;
+        finish(core, req, core.now, gap)?;
+    }
+    split_admit_waiting(core, s, j);
+    split_maybe_start_decode_step(core, s, j);
+    Ok(())
+}
+
+/// Re-derives the routing mask from believed replica liveness.
+fn split_refresh_router(core: &mut Core, s: &SplitState) {
+    let mask: Vec<bool> = s
+        .pair_coords
+        .iter()
+        .map(|&(i, j)| !s.believed_dead_prefill[i] && !s.believed_dead_decode[j])
+        .collect();
+    core.router.apply_mask(&mask);
+}
+
+// --- colocated-topology handlers -----------------------------------------
+
+fn colo_maybe_start_work(core: &mut Core, c: &mut ColoState, ri: usize) {
+    // Admission runs even while the engine is busy: decode slots free up
+    // as sequences finish regardless of what work item is in flight.
+    {
+        let r = &mut c.replicas[ri];
+        if !r.is_alive() {
+            return;
+        }
+        let outcomes = r.batch.admit(&r.cost, &core.cfg, core.now, |id| {
+            core.pending.get(&id).and_then(|p| p.first_token_at)
+        });
+        apply_admit_outcomes(core, outcomes);
+    }
+    let budget = core.cfg.max_prefill_batch_tokens;
+    let r = &mut c.replicas[ri];
+    if r.current.is_some() {
+        return;
+    }
+    let has_prefill = !r.prefill.is_empty();
+    let has_decode = !r.batch.active.is_empty();
+    let run_decode = match r.policy {
+        ColocatedPolicy::PrefillPriority => !has_prefill && has_decode,
+        // Chunked: strictly alternate when both kinds of work exist.
+        ColocatedPolicy::Chunked { .. } => has_decode && (!has_prefill || r.decode_turn),
+    };
+    if run_decode {
+        let batch = r.batch.active.len() as u64;
+        let latency = r.cost.decode_step_latency(batch, r.batch.avg_context());
+        r.current = Some(Work::DecodeStep);
+        r.decode_turn = false;
+        core.queue.push(
+            core.now + latency,
+            EventKind::WorkDone {
+                replica: ri,
+                epoch: r.epoch(),
+            },
+        );
+        return;
+    }
+    if !has_prefill {
+        return;
+    }
+    match r.policy {
+        ColocatedPolicy::PrefillPriority => {
+            // Whole-request batch up to the token budget, under the
+            // configured queue discipline (FCFS by default).
+            let (batch, total) = r.prefill.take_batch(budget, core.cfg.prefill_policy);
+            let avg = total / batch.len() as u64;
+            let latency = r.cost.prefill_latency(total, avg);
+            r.current = Some(Work::Prefill { finishing: batch });
+            core.queue.push(
+                core.now + latency,
+                EventKind::WorkDone {
+                    replica: ri,
+                    epoch: r.epoch(),
+                },
+            );
+        }
+        ColocatedPolicy::Chunked { chunk_tokens } => {
+            // Process up to chunk_tokens of the queue head(s); requests
+            // whose prompts finish within this chunk complete prefill.
+            let (finishing, tokens) = r.prefill.take_chunk(chunk_tokens);
+            let avg = finishing
+                .first()
+                .map(|f| f.tokens)
+                .unwrap_or_else(|| tokens.max(1));
+            let latency = r.cost.prefill_latency(tokens.max(1), avg);
+            r.current = Some(Work::Prefill { finishing });
+            r.decode_turn = true;
+            core.queue.push(
+                core.now + latency,
+                EventKind::WorkDone {
+                    replica: ri,
+                    epoch: r.epoch(),
+                },
+            );
+        }
+    }
+}
+
+fn colo_on_work_done(core: &mut Core, c: &mut ColoState, ri: usize) -> Result<()> {
+    let work = c.replicas[ri]
+        .current
+        .take()
+        .ok_or_else(|| Error::Simulation("WorkDone with no work".into()))?;
+    match work {
+        Work::Prefill { finishing } => {
+            for job in finishing {
+                let pend = core
+                    .pending
+                    .get_mut(&job.req.id)
+                    .ok_or_else(|| Error::Simulation(format!("unknown request {}", job.req.id)))?;
+                // Re-prefills keep their original first-token time (fault
+                // recovery); fresh prefills set it now.
+                if pend.first_token_at.is_none() {
+                    pend.first_token_at = Some(core.now);
+                }
+                if job.remaining == 0 {
+                    finish(core, job.req, core.now, SimDuration::ZERO)?;
+                } else {
+                    // KV is already local: straight to the waiting queue.
+                    c.replicas[ri].batch.waiting.push_back(WaitingSeq {
+                        id: job.req.id,
+                        tokens: job.tokens,
+                        remaining: job.remaining,
+                        resume: job.resume,
+                    });
+                }
+            }
+        }
+        Work::DecodeStep => {
+            let finished = c.replicas[ri].batch.advance(core.now);
+            for (id, gap) in finished {
+                let req = find_request(core, id)?;
+                finish(core, req, core.now, gap)?;
+            }
+        }
+    }
+    colo_maybe_start_work(core, c, ri);
+    Ok(())
+}
+
+/// Re-derives the routing mask from believed replica liveness.
+fn colo_refresh_router(core: &mut Core, c: &ColoState) {
+    let mask: Vec<bool> = c.believed_dead.iter().map(|&dead| !dead).collect();
+    core.router.apply_mask(&mask);
+}

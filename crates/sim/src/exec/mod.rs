@@ -1,0 +1,44 @@
+//! The phase-agnostic execution core.
+//!
+//! Both serving engines — the phase-split [`crate::engine::Simulation`] and
+//! the colocated [`crate::colocated::ColocatedSimulation`] — are thin
+//! facades over the layered machinery in this module:
+//!
+//! ```text
+//!   Simulation / ColocatedSimulation        (facades: public API)
+//!                  │
+//!                  ▼
+//!            exec::Driver                   (one event loop: routing,
+//!           ┌──────┴───────┐                 admission/shed, fault layer,
+//!           ▼              ▼                 recovery accounting)
+//!     Topology::Split  Topology::Colocated
+//!           │              │
+//!           ▼              ▼
+//!   PrefillExecutor   ColocatedExecutor     (ReplicaExecutor impls:
+//!   DecodeExecutor                           liveness/epoch/drain contract)
+//!           │              │
+//!           └──────┬───────┘
+//!                  ▼
+//!        seq::{BatchCore, PrefillQueue}     (shared batching + ITL
+//!        seq::{PrefillJob, ActiveSeq, …}     bookkeeping, one copy)
+//! ```
+//!
+//! The driver owns everything both engines share; the executors own what a
+//! single replica knows; [`seq`] owns the per-sequence types every layer
+//! passes around. Fault handling is written once in the driver against the
+//! [`ReplicaExecutor`] trait, which is why the colocated baselines support
+//! `run_with_faults` with the same [`crate::metrics::RecoveryCounters`]
+//! semantics as the phase-split engine.
+
+pub mod executor;
+pub mod seq;
+
+pub(crate) mod driver;
+
+pub use executor::{
+    ColocatedExecutor, ColocatedPolicy, DecodeExecutor, DrainedWork, LostSeq, PrefillExecutor,
+    ReplicaExecutor, Work,
+};
+pub use seq::{
+    ActiveSeq, AdmitOutcome, BatchCore, Pending, PrefillJob, PrefillQueue, ResumeState, WaitingSeq,
+};

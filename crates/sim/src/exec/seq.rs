@@ -1,0 +1,301 @@
+//! Shared per-sequence bookkeeping for every executor.
+//!
+//! Both the phase-split and the colocated engines used to carry private
+//! copies of these structs; they now live here once. The lifecycle is the
+//! same everywhere:
+//!
+//! 1. an arrival becomes a [`PrefillJob`] (fresh, or a re-prefill of lost
+//!    context after a fault),
+//! 2. a completed prefill becomes a [`WaitingSeq`] queued for decode
+//!    admission,
+//! 3. admission turns it into an [`ActiveSeq`] inside a [`BatchCore`],
+//!    which tracks KV memory and per-token gap statistics until the
+//!    sequence finishes.
+
+use crate::config::{PrefillPolicy, SimConfig};
+use std::collections::VecDeque;
+use ts_common::{Request, RequestId, SimDuration, SimTime};
+use ts_costmodel::ReplicaCostModel;
+
+/// Per-request routing decision and timing bookkeeping held by the driver.
+///
+/// For the phase-split topology `prefill` and `decode` index distinct
+/// replica lists; for the colocated topology they are the same replica.
+#[derive(Debug, Clone, Copy)]
+pub struct Pending {
+    /// Index of the prefill replica serving this request.
+    pub prefill: usize,
+    /// Index of the decode replica serving this request.
+    pub decode: usize,
+    /// When the first output token was produced (set once; re-prefills
+    /// after a fault keep the original TTFT).
+    pub first_token_at: Option<SimTime>,
+}
+
+/// Decode-side progress carried across a fault: a re-prefilled sequence
+/// resumes its token-gap accounting instead of starting fresh, so the
+/// recovery stall shows up in ITL metrics.
+#[derive(Debug, Clone, Copy)]
+pub struct ResumeState {
+    /// When this sequence's previous token was emitted.
+    pub last_token_at: SimTime,
+    /// Longest inter-token gap observed before the fault.
+    pub max_gap: SimDuration,
+}
+
+/// A unit of prefill work: a fresh request (prompt prefill) or a recovered
+/// sequence being re-prefilled over its full lost context.
+#[derive(Debug, Clone, Copy)]
+pub struct PrefillJob {
+    /// The request being served.
+    pub req: Request,
+    /// Tokens to prefill: the prompt for fresh requests, the whole lost
+    /// context (prompt + generated) for recovered ones.
+    pub tokens: u64,
+    /// Decode steps still owed after this prefill.
+    pub remaining: u32,
+    /// Gap-tracking state carried across a fault, if any.
+    pub resume: Option<ResumeState>,
+}
+
+impl PrefillJob {
+    /// A fresh (non-recovery) job for `req`.
+    pub fn fresh(req: Request) -> Self {
+        PrefillJob {
+            req,
+            tokens: req.prompt_len as u64,
+            remaining: req.decode_steps(),
+            resume: None,
+        }
+    }
+}
+
+/// A sequence whose KV cache is resident and which is waiting for a slot in
+/// the continuous decode batch.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitingSeq {
+    /// The request id.
+    pub id: RequestId,
+    /// Context tokens whose KV is resident (prompt, or full re-prefilled
+    /// context for recovered sequences).
+    pub tokens: u64,
+    /// Decode steps still to run.
+    pub remaining: u32,
+    /// Gap-tracking state carried across a fault, if any.
+    pub resume: Option<ResumeState>,
+}
+
+/// A sequence inside the continuous decode batch.
+#[derive(Debug, Clone, Copy)]
+pub struct ActiveSeq {
+    /// The request id.
+    pub id: RequestId,
+    /// Tokens currently in this sequence's KV cache (prompt + generated).
+    pub context: u64,
+    /// Decode steps still to run.
+    pub remaining: u32,
+    /// When this sequence's previous token was emitted.
+    pub last_token_at: SimTime,
+    /// Longest inter-token gap observed so far.
+    pub max_gap: SimDuration,
+}
+
+/// Outcome of one admission pass, in the exact order decisions were made.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitOutcome {
+    /// The sequence joined the active batch.
+    Admitted(RequestId),
+    /// The sequence can never fit in KV memory and was evicted.
+    Dropped(RequestId),
+}
+
+/// The continuous-batching core of a decode-capable replica: KV memory
+/// accounting plus the active batch and its admission queue.
+///
+/// This is the single copy of the batching/ITL logic both engines used to
+/// duplicate; the executors own one each and the driver calls
+/// [`BatchCore::admit`] / [`BatchCore::advance`].
+#[derive(Debug, Default)]
+pub struct BatchCore {
+    /// KV capacity of the replica in tokens.
+    pub kv_capacity: u64,
+    /// KV tokens currently resident.
+    pub kv_used: u64,
+    /// Sequences in the continuous batch.
+    pub active: Vec<ActiveSeq>,
+    /// Sequences waiting for admission, FCFS.
+    pub waiting: VecDeque<WaitingSeq>,
+}
+
+impl BatchCore {
+    /// An empty core with the given KV capacity.
+    pub fn new(kv_capacity: u64) -> Self {
+        BatchCore {
+            kv_capacity,
+            ..Default::default()
+        }
+    }
+
+    /// Admits waiting sequences in FCFS order while memory, batch-size and
+    /// (optional) TPOT-cap limits allow. Oversized sequences that can never
+    /// fit are dropped. Returns the decisions in order; the caller applies
+    /// their side effects (drop accounting, recovery bookkeeping).
+    pub fn admit(
+        &mut self,
+        cost: &ReplicaCostModel,
+        cfg: &SimConfig,
+        now: SimTime,
+        first_token_at: impl Fn(RequestId) -> Option<SimTime>,
+    ) -> Vec<AdmitOutcome> {
+        let mut out = Vec::new();
+        loop {
+            let Some(front) = self.waiting.front().copied() else {
+                return out;
+            };
+            let need = front.tokens + 1;
+            let total_need = front.tokens + 1 + front.remaining as u64;
+            if total_need > self.kv_capacity {
+                // can never fit: drop
+                self.waiting.pop_front();
+                out.push(AdmitOutcome::Dropped(front.id));
+                continue;
+            }
+            if self.active.len() as u64 >= cfg.max_decode_batch
+                || self.kv_used + need > self.kv_capacity
+            {
+                return out;
+            }
+            // SLO-aware batch cap: do not grow the batch past the point
+            // where the projected step latency breaks the TPOT deadline.
+            if let Some(cap) = cfg.tpot_batch_cap {
+                if !self.active.is_empty() {
+                    let batch = self.active.len() as u64 + 1;
+                    let ctx = (self.active.iter().map(|a| a.context).sum::<u64>() + need) / batch;
+                    if cost.decode_step_latency(batch, ctx) > cap {
+                        return out;
+                    }
+                }
+            }
+            self.waiting.pop_front();
+            self.kv_used += need;
+            let first = first_token_at(front.id).unwrap_or(now);
+            let (last_token_at, max_gap) = match front.resume {
+                Some(r) => (r.last_token_at, r.max_gap),
+                None => (first, SimDuration::ZERO),
+            };
+            self.active.push(ActiveSeq {
+                id: front.id,
+                context: need,
+                remaining: front.remaining,
+                last_token_at,
+                max_gap,
+            });
+            out.push(AdmitOutcome::Admitted(front.id));
+        }
+    }
+
+    /// Runs one decode step over the active batch at time `now`: every
+    /// sequence gains one token of context, KV grows, inter-token gaps are
+    /// tracked, and finished sequences are removed. Returns
+    /// `(id, max_token_gap)` for each sequence that finished.
+    pub fn advance(&mut self, now: SimTime) -> Vec<(RequestId, SimDuration)> {
+        let mut finished = Vec::new();
+        let mut idx = 0;
+        while idx < self.active.len() {
+            let a = &mut self.active[idx];
+            a.context += 1;
+            a.remaining -= 1;
+            self.kv_used += 1;
+            let gap = now.saturating_since(a.last_token_at);
+            a.max_gap = a.max_gap.max(gap);
+            a.last_token_at = now;
+            if a.remaining == 0 {
+                let done = self.active.swap_remove(idx);
+                self.kv_used -= done.context;
+                finished.push((done.id, done.max_gap));
+            } else {
+                idx += 1;
+            }
+        }
+        finished
+    }
+
+    /// Mean context length of the active batch (caller must ensure the
+    /// batch is non-empty) — the input to the decode step cost model.
+    pub fn avg_context(&self) -> u64 {
+        let batch = self.active.len() as u64;
+        self.active.iter().map(|a| a.context).sum::<u64>() / batch
+    }
+}
+
+/// A prefill work queue with chunked-prefill progress tracking, shared by
+/// prefill and colocated executors.
+#[derive(Debug, Default)]
+pub struct PrefillQueue {
+    /// Queued jobs, FCFS (re-ordered in place under SJF).
+    pub queue: VecDeque<PrefillJob>,
+    /// Prompt tokens of the queue head already processed by earlier chunks.
+    pub head_progress: u64,
+}
+
+impl PrefillQueue {
+    /// Whether no work is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Takes a whole-request batch under the token `budget`: FCFS (or
+    /// shortest-first under SJF, stable among equal prompt lengths) until
+    /// the next job would exceed the budget. At least one job is always
+    /// taken. Returns the batch and its total token count.
+    pub fn take_batch(&mut self, budget: u64, policy: PrefillPolicy) -> (Vec<PrefillJob>, u64) {
+        if policy == PrefillPolicy::ShortestFirst {
+            // Stable sort keeps arrival order among equal prompt lengths.
+            self.queue.make_contiguous().sort_by_key(|j| j.tokens);
+        }
+        let mut total = 0u64;
+        let mut batch = Vec::new();
+        while let Some(front) = self.queue.front() {
+            let t = front.tokens;
+            if !batch.is_empty() && total + t > budget {
+                break;
+            }
+            total += t;
+            batch.push(self.queue.pop_front().unwrap());
+        }
+        (batch, total)
+    }
+
+    /// Takes up to `chunk_tokens` of the queue head(s), Sarathi-style: jobs
+    /// whose remaining tokens fit in the chunk finish their prefill, a
+    /// partially covered head records its progress and stays queued.
+    /// Returns the finishing jobs and the tokens processed this chunk.
+    pub fn take_chunk(&mut self, chunk_tokens: u64) -> (Vec<PrefillJob>, u64) {
+        let mut tokens = 0u64;
+        let mut finishing = Vec::new();
+        while tokens < chunk_tokens {
+            let Some(front) = self.queue.front().copied() else {
+                break;
+            };
+            let remaining = front.tokens - self.head_progress;
+            let room = chunk_tokens - tokens;
+            if remaining <= room {
+                tokens += remaining;
+                self.head_progress = 0;
+                finishing.push(self.queue.pop_front().unwrap());
+            } else {
+                self.head_progress += room;
+                tokens += room;
+                break;
+            }
+        }
+        (finishing, tokens)
+    }
+
+    /// Drains every queued job (fault evacuation), resetting chunk
+    /// progress: a partially prefilled head must start over.
+    pub fn drain_all(&mut self) -> Vec<PrefillJob> {
+        self.head_progress = 0;
+        self.queue.drain(..).collect()
+    }
+}

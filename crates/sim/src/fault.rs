@@ -13,6 +13,17 @@
 //! [`ts_cluster::availability::ClusterEvent`] scripts with
 //! [`FaultScript::from_cluster_events`], which projects GPU-level
 //! availability changes onto the replicas of a concrete deployment plan.
+//!
+//! # Colocated engines
+//!
+//! Because fault handling lives in the shared execution core
+//! ([`crate::exec`]), the same scripts drive
+//! [`crate::colocated::ColocatedSimulation::run_with_faults`]. A colocated
+//! replica hosts both phases, so [`FaultKind::PrefillDown`]`(i)` and
+//! [`FaultKind::DecodeDown`]`(i)` both mean "replica `i` dies" (and the
+//! `*Up` variants both revive it); [`FaultKind::Pause`] is
+//! topology-agnostic; the link faults are rejected with `InvalidConfig`
+//! since colocated replicas have no inter-replica KV transfer fabric.
 
 use std::collections::BTreeSet;
 use ts_cluster::availability::{ClusterEvent, EventKind as ClusterEventKind};
@@ -124,13 +135,18 @@ impl FaultScript {
         ts_cluster::availability::sort_script(&mut events);
 
         // GPU sets per replica, in engine (routing) order.
-        let replica_gpus = |group_idx: usize| -> BTreeSet<GpuId> {
-            plan.groups[group_idx].gpus().collect()
-        };
-        let prefills: Vec<BTreeSet<GpuId>> =
-            plan.prefill_indices().into_iter().map(replica_gpus).collect();
-        let decodes: Vec<BTreeSet<GpuId>> =
-            plan.decode_indices().into_iter().map(replica_gpus).collect();
+        let replica_gpus =
+            |group_idx: usize| -> BTreeSet<GpuId> { plan.groups[group_idx].gpus().collect() };
+        let prefills: Vec<BTreeSet<GpuId>> = plan
+            .prefill_indices()
+            .into_iter()
+            .map(replica_gpus)
+            .collect();
+        let decodes: Vec<BTreeSet<GpuId>> = plan
+            .decode_indices()
+            .into_iter()
+            .map(replica_gpus)
+            .collect();
 
         let mut down: BTreeSet<GpuId> = BTreeSet::new();
         let mut prefill_dead = vec![false; prefills.len()];
@@ -269,10 +285,7 @@ mod tests {
             SimDuration::from_millis(50),
         );
         assert_eq!(
-            s.faults
-                .iter()
-                .map(|f| f.kind)
-                .collect::<Vec<_>>(),
+            s.faults.iter().map(|f| f.kind).collect::<Vec<_>>(),
             vec![FaultKind::DecodeDown(0), FaultKind::DecodeUp(0)]
         );
         assert_eq!(s.detection_delay, SimDuration::from_millis(50));

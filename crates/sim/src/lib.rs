@@ -15,9 +15,15 @@
 //! * [`event`] — the time-ordered event queue;
 //! * [`metrics`] — per-request records, SLO attainment and throughput;
 //! * [`router`] — deterministic stride router implementing a routing matrix;
-//! * [`engine`] — the phase-split engine ([`engine::Simulation`]);
+//! * [`exec`] — the phase-agnostic execution core: the shared event-loop
+//!   driver, the [`exec::ReplicaExecutor`] trait and its prefill / decode /
+//!   colocated implementations, and the per-sequence batching bookkeeping
+//!   both engines are built from;
+//! * [`engine`] — the phase-split engine ([`engine::Simulation`]), a facade
+//!   over [`exec`];
 //! * [`colocated`] — a prefill/decode-colocated engine for vLLM-like and
-//!   HexGen-like baselines (captures phase interference);
+//!   HexGen-like baselines (captures phase interference), the other facade
+//!   over [`exec`] — and therefore with the same fault-injection support;
 //! * [`estimate`] — the fast analytic SLO estimator the scheduler calls in
 //!   its inner loop (validated against the engine in Figure 19).
 //!
@@ -56,10 +62,12 @@ pub mod config;
 pub mod engine;
 pub mod estimate;
 pub mod event;
+pub mod exec;
 pub mod fault;
 pub mod metrics;
 pub mod router;
 
+pub use colocated::{ColocatedPolicy, ColocatedSimulation};
 pub use config::SimConfig;
 pub use engine::Simulation;
 pub use estimate::{estimate_attainment, AttainmentEstimate};

@@ -60,14 +60,22 @@ impl RequestRecord {
 
     /// Whether the request meets all three deadlines of `slo`.
     pub fn meets(&self, slo: &SloSpec) -> bool {
-        SloKind::ALL.iter().all(|&k| self.latency(k) <= slo.deadline(k))
+        SloKind::ALL
+            .iter()
+            .all(|&k| self.latency(k) <= slo.deadline(k))
     }
 }
 
 /// Recovery bookkeeping accumulated by a fault-injected simulation run.
 ///
 /// All counters are zero for a run without faults, so `Metrics` equality
-/// (used by determinism tests) extends naturally.
+/// (used by determinism tests) extends naturally. Both engines produce
+/// these with identical semantics — the phase-split
+/// [`crate::engine::Simulation`] and the colocated
+/// [`crate::colocated::ColocatedSimulation`] share one fault layer in
+/// [`crate::exec`] — so failure experiments can compare recovery behaviour
+/// across system architectures directly. (`kv_transfer_retries` stays zero
+/// for colocated runs: there are no inter-replica transfers to retry.)
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RecoveryCounters {
     /// Queued or in-flight prefill requests re-routed to a surviving
@@ -313,12 +321,7 @@ mod tests {
 
     fn record(arrival_s: f64, first_s: f64, done_s: f64, out: u32) -> RequestRecord {
         RequestRecord {
-            request: Request::new(
-                RequestId(0),
-                SimTime::from_secs_f64(arrival_s),
-                512,
-                out,
-            ),
+            request: Request::new(RequestId(0), SimTime::from_secs_f64(arrival_s), 512, out),
             prefill_replica: 0,
             decode_replica: 0,
             first_token_at: SimTime::from_secs_f64(first_s),
@@ -352,7 +355,11 @@ mod tests {
 
     #[test]
     fn attainment_counts_dropped_as_misses() {
-        let m = Metrics::new(vec![record(0.0, 0.3, 1.0, 8)], 1, SimDuration::from_secs(10));
+        let m = Metrics::new(
+            vec![record(0.0, 0.3, 1.0, 8)],
+            1,
+            SimDuration::from_secs(10),
+        );
         assert_eq!(m.slo_attainment(&slo(), SloKind::Ttft), 0.5);
         assert_eq!(m.joint_attainment(&slo()), 0.5);
     }
@@ -362,7 +369,10 @@ mod tests {
         // TTFT = 400ms; base deadline 500ms -> scale 1.0 works
         let m = Metrics::new(vec![record(0.0, 0.4, 1.0, 8)], 0, SimDuration::from_secs(1));
         let scales = [0.5, 1.0, 2.0];
-        assert_eq!(m.min_scale_for(&slo(), SloKind::Ttft, 1.0, &scales), Some(1.0));
+        assert_eq!(
+            m.min_scale_for(&slo(), SloKind::Ttft, 1.0, &scales),
+            Some(1.0)
+        );
         // with a dropped request nothing reaches 100%
         let m2 = Metrics::new(vec![record(0.0, 0.4, 1.0, 8)], 1, SimDuration::from_secs(1));
         assert_eq!(m2.min_scale_for(&slo(), SloKind::Ttft, 1.0, &scales), None);
@@ -393,7 +403,9 @@ mod tests {
 
     #[test]
     fn attainment_curve_is_monotone() {
-        let recs = (1..=20).map(|i| record(0.0, i as f64 / 10.0, 3.0, 4)).collect();
+        let recs = (1..=20)
+            .map(|i| record(0.0, i as f64 / 10.0, 3.0, 4))
+            .collect();
         let m = Metrics::new(recs, 0, SimDuration::from_secs(3));
         let curve = m.attainment_curve(&slo(), SloKind::Ttft, &[0.5, 1.0, 2.0, 4.0]);
         for w in curve.windows(2) {

@@ -31,7 +31,9 @@ impl StrideRouter {
     /// non-finite, or all weights are zero.
     pub fn new(weights: Vec<f64>) -> Result<Self> {
         if weights.is_empty() {
-            return Err(Error::InvalidConfig("router needs at least one option".into()));
+            return Err(Error::InvalidConfig(
+                "router needs at least one option".into(),
+            ));
         }
         if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
             return Err(Error::InvalidConfig("weights must be non-negative".into()));
@@ -111,6 +113,23 @@ impl StrideRouter {
             .filter(|(_, &e)| e)
             .map(|(w, _)| w)
             .sum();
+    }
+
+    /// Applies a full enable mask: option `i` ends up enabled iff
+    /// `mask[i]`. Only options whose state actually changes go through
+    /// [`StrideRouter::set_enabled`], so unchanged options keep their
+    /// accumulated credit (flipping an option sheds its credit; a no-op
+    /// mask application must not perturb the routing sequence).
+    ///
+    /// # Panics
+    /// Panics if `mask.len()` differs from the number of options.
+    pub fn apply_mask(&mut self, mask: &[bool]) {
+        assert_eq!(mask.len(), self.weights.len(), "mask length mismatch");
+        for (i, &want) in mask.iter().enumerate() {
+            if self.enabled[i] != want {
+                self.set_enabled(i, want);
+            }
+        }
     }
 
     /// Whether option `i` is currently enabled.
@@ -211,6 +230,32 @@ mod tests {
         }
         assert_eq!(counts[0], 50);
         assert_eq!(counts[1], 50);
+    }
+
+    #[test]
+    fn apply_mask_only_touches_changed_options() {
+        // A no-op mask must not shed credit: the routing sequence with a
+        // redundant apply_mask interleaved must equal the untouched one.
+        let mut a = StrideRouter::new(vec![0.6, 0.4]).unwrap();
+        let mut b = StrideRouter::new(vec![0.6, 0.4]).unwrap();
+        let mut sa = Vec::new();
+        let mut sb = Vec::new();
+        for step in 0..40 {
+            if step % 3 == 0 {
+                b.apply_mask(&[true, true]); // no-op
+            }
+            sa.push(a.next());
+            sb.push(b.next());
+        }
+        assert_eq!(sa, sb);
+        // A real change does take effect.
+        b.apply_mask(&[true, false]);
+        assert_eq!(b.num_enabled(), 1);
+        for _ in 0..10 {
+            assert_eq!(b.next(), 0);
+        }
+        b.apply_mask(&[true, true]);
+        assert_eq!(b.num_enabled(), 2);
     }
 
     #[test]

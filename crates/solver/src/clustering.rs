@@ -27,7 +27,8 @@ pub fn cluster_by_bandwidth(bandwidth: &[Vec<f64>], k: usize) -> Result<Vec<Vec<
     for i in 0..n {
         for j in 0..n {
             let (a, b) = (bandwidth[i][j], bandwidth[j][i]);
-            let symmetric = (a.is_infinite() && b.is_infinite()) || (a - b).abs() <= 1e-6 * a.abs().max(1.0);
+            let symmetric =
+                (a.is_infinite() && b.is_infinite()) || (a - b).abs() <= 1e-6 * a.abs().max(1.0);
             if !symmetric {
                 return Err(Error::InvalidConfig(format!(
                     "asymmetric bandwidth at ({i},{j})"

@@ -113,11 +113,7 @@ mod tests {
         // 0-1 fast, 1-2 fast, 0-2 slow: order must be 0,1,2 (or reverse).
         let f = 100.0;
         let s = 1.0;
-        let m = vec![
-            vec![0.0, f, s],
-            vec![f, 0.0, f],
-            vec![s, f, 0.0],
-        ];
+        let m = vec![vec![0.0, f, s], vec![f, 0.0, f], vec![s, f, 0.0]];
         let o = best_stage_order(&m).unwrap();
         assert_eq!(o.bottleneck, f);
         assert!(o.order == vec![0, 1, 2] || o.order == vec![2, 1, 0]);

@@ -203,12 +203,7 @@ impl LinearProgram {
 }
 
 /// Runs simplex iterations for the given cost vector; returns the objective.
-fn run_simplex(
-    t: &mut [Vec<f64>],
-    basis: &mut [usize],
-    cost: &[f64],
-    total: usize,
-) -> Result<f64> {
+fn run_simplex(t: &mut [Vec<f64>], basis: &mut [usize], cost: &[f64], total: usize) -> Result<f64> {
     let m = t.len();
     for _ in 0..MAX_ITERS {
         // reduced costs: c_j - c_B · B^{-1} A_j  (tableau form: z_j)
@@ -249,8 +244,7 @@ fn run_simplex(
             if t[ri][col] > EPS {
                 let ratio = t[ri][total] / t[ri][col];
                 if ratio < best - EPS
-                    || (ratio < best + EPS
-                        && leave.map(|l| basis[ri] < basis[l]).unwrap_or(false))
+                    || (ratio < best + EPS && leave.map(|l| basis[ri] < basis[l]).unwrap_or(false))
                 {
                     best = ratio;
                     leave = Some(ri);
@@ -398,7 +392,9 @@ mod tests {
             let mut y = 0.0;
             while y <= 8.0 {
                 // z=0 is always optimal here (negative coefficient)
-                let feasible = cons.iter().all(|(a, _, b)| a[0] * x + a[1] * y <= *b + 1e-12);
+                let feasible = cons
+                    .iter()
+                    .all(|(a, _, b)| a[0] * x + a[1] * y <= *b + 1e-12);
                 if feasible {
                     best = best.max(2.0 * x + 3.0 * y);
                 }
@@ -412,6 +408,9 @@ mod tests {
             s.value,
             best
         );
-        assert!(s.value >= best - 1e-9, "simplex must not be worse than grid");
+        assert!(
+            s.value >= best - 1e-9,
+            "simplex must not be worse than grid"
+        );
     }
 }

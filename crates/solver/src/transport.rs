@@ -68,8 +68,14 @@ pub fn solve_orchestration_with_link_budget(
     if row_cap.len() != m || col_cap.len() != n {
         return Err(Error::InvalidConfig("capacity length mismatch".into()));
     }
-    if row_cap.iter().chain(col_cap).any(|&c| !c.is_finite() || c < 0.0) {
-        return Err(Error::InvalidConfig("negative or non-finite capacity".into()));
+    if row_cap
+        .iter()
+        .chain(col_cap)
+        .any(|&c| !c.is_finite() || c < 0.0)
+    {
+        return Err(Error::InvalidConfig(
+            "negative or non-finite capacity".into(),
+        ));
     }
 
     if let Some(pc) = pair_cost {
@@ -227,7 +233,10 @@ mod tests {
         let spent = o.rates[0][0] * 1.0 + o.rates[0][1] * 0.1;
         assert!(spent <= 0.5 + 1e-7, "budget violated: {spent}");
         let total: f64 = o.rates.iter().flatten().sum();
-        assert!((total - 1.0).abs() < 1e-7, "still serves everything via the cheap link");
+        assert!(
+            (total - 1.0).abs() < 1e-7,
+            "still serves everything via the cheap link"
+        );
         assert!(o.rates[0][1] > 0.4, "overflow must use the cheap pair");
     }
 
@@ -235,8 +244,7 @@ mod tests {
     fn link_budget_caps_mass_when_all_links_slow() {
         let d = vec![vec![1.0]];
         let cost = vec![vec![2.0]];
-        let o = solve_orchestration_with_link_budget(&d, &[1.0], &[1.0], Some(&cost), 0.5)
-            .unwrap();
+        let o = solve_orchestration_with_link_budget(&d, &[1.0], &[1.0], Some(&cost), 0.5).unwrap();
         assert!((o.mass - 0.25).abs() < 1e-9, "mass {}", o.mass);
     }
 
@@ -244,11 +252,11 @@ mod tests {
     fn link_budget_shape_validation() {
         let d = vec![vec![1.0]];
         let bad = vec![vec![1.0, 2.0]];
-        assert!(solve_orchestration_with_link_budget(&d, &[1.0], &[1.0], Some(&bad), 0.5)
-            .is_err());
+        assert!(solve_orchestration_with_link_budget(&d, &[1.0], &[1.0], Some(&bad), 0.5).is_err());
         let cost = vec![vec![1.0]];
-        assert!(solve_orchestration_with_link_budget(&d, &[1.0], &[1.0], Some(&cost), -1.0)
-            .is_err());
+        assert!(
+            solve_orchestration_with_link_budget(&d, &[1.0], &[1.0], Some(&cost), -1.0).is_err()
+        );
     }
 
     #[test]

@@ -40,8 +40,14 @@ pub fn solve_balanced(
     if m == 0 || n == 0 || costs.len() != m || costs.iter().any(|r| r.len() != n) {
         return Err(Error::InvalidConfig("transportation shape mismatch".into()));
     }
-    if supply.iter().chain(demand).any(|&v| !v.is_finite() || v < 0.0) {
-        return Err(Error::InvalidConfig("negative or non-finite quantities".into()));
+    if supply
+        .iter()
+        .chain(demand)
+        .any(|&v| !v.is_finite() || v < 0.0)
+    {
+        return Err(Error::InvalidConfig(
+            "negative or non-finite quantities".into(),
+        ));
     }
     let total_s: f64 = supply.iter().sum();
     let total_d: f64 = demand.iter().sum();
@@ -325,9 +331,15 @@ mod tests {
             let m = rng.gen_range(2..5usize);
             let n = rng.gen_range(2..5usize);
             let costs: Vec<Vec<f64>> = (0..m)
-                .map(|_| (0..n).map(|_| rng.gen_range(1.0..50.0f64).round()).collect())
+                .map(|_| {
+                    (0..n)
+                        .map(|_| rng.gen_range(1.0..50.0f64).round())
+                        .collect()
+                })
                 .collect();
-            let supply: Vec<f64> = (0..m).map(|_| rng.gen_range(1.0..20.0f64).round()).collect();
+            let supply: Vec<f64> = (0..m)
+                .map(|_| rng.gen_range(1.0..20.0f64).round())
+                .collect();
             let total: f64 = supply.iter().sum();
             // random demand split of the same total
             let mut demand: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..20.0f64)).collect();

@@ -118,9 +118,8 @@ mod tests {
         let reqs = generate_phased(&phases, 11);
         let cut = SimTime::from_secs_f64(200.0);
         let (first, second): (Vec<_>, Vec<_>) = reqs.iter().partition(|r| r.arrival < cut);
-        let mean_out = |v: &[&Request]| {
-            v.iter().map(|r| r.output_len as f64).sum::<f64>() / v.len() as f64
-        };
+        let mean_out =
+            |v: &[&Request]| v.iter().map(|r| r.output_len as f64).sum::<f64>() / v.len() as f64;
         assert!(mean_out(&second) > 3.0 * mean_out(&first));
         // ids strictly increasing across the whole trace
         for w in reqs.windows(2) {
@@ -138,11 +137,7 @@ mod tests {
 /// Generates a superposition of several independent Poisson workloads (the
 /// paper's online services mix coding and conversation traffic whose
 /// proportions drift). Ids are reassigned globally in arrival order.
-pub fn generate_mixture(
-    specs: &[WorkloadSpec],
-    horizon: SimDuration,
-    seed: u64,
-) -> Vec<Request> {
+pub fn generate_mixture(specs: &[WorkloadSpec], horizon: SimDuration, seed: u64) -> Vec<Request> {
     let mut all: Vec<Request> = Vec::new();
     for (i, spec) in specs.iter().enumerate() {
         all.extend(generate(
@@ -276,8 +271,20 @@ mod mixture_tests {
     #[test]
     fn bursty_is_deterministic() {
         let w = spec::conversation(2.0);
-        let a = generate_bursty(&w, SimDuration::from_secs(100), 3.0, SimDuration::from_secs(10), 1);
-        let b = generate_bursty(&w, SimDuration::from_secs(100), 3.0, SimDuration::from_secs(10), 1);
+        let a = generate_bursty(
+            &w,
+            SimDuration::from_secs(100),
+            3.0,
+            SimDuration::from_secs(10),
+            1,
+        );
+        let b = generate_bursty(
+            &w,
+            SimDuration::from_secs(100),
+            3.0,
+            SimDuration::from_secs(10),
+            1,
+        );
         assert_eq!(a, b);
     }
 
@@ -285,6 +292,12 @@ mod mixture_tests {
     #[should_panic]
     fn bursty_rejects_sub_unit_factor() {
         let w = spec::coding(1.0);
-        let _ = generate_bursty(&w, SimDuration::from_secs(10), 0.5, SimDuration::from_secs(5), 1);
+        let _ = generate_bursty(
+            &w,
+            SimDuration::from_secs(10),
+            0.5,
+            SimDuration::from_secs(5),
+            1,
+        );
     }
 }

@@ -84,10 +84,8 @@ impl WorkloadProfiler {
             return None;
         }
         let n = self.seen.len();
-        let mean_prompt =
-            self.seen.iter().map(|r| r.prompt_len as f64).sum::<f64>() / n as f64;
-        let mean_output =
-            self.seen.iter().map(|r| r.output_len as f64).sum::<f64>() / n as f64;
+        let mean_prompt = self.seen.iter().map(|r| r.prompt_len as f64).sum::<f64>() / n as f64;
+        let mean_output = self.seen.iter().map(|r| r.output_len as f64).sum::<f64>() / n as f64;
         let first = self.seen.front().unwrap().arrival;
         let last = self.seen.back().unwrap().arrival;
         let span = (last.saturating_since(first)).as_secs_f64().max(1e-9);

@@ -115,9 +115,7 @@ pub fn blend(parts: &[(WorkloadSpec, f64)]) -> WorkloadSpec {
         max_o = max_o.max(spec.output.max);
     }
     // median = mean / exp(sigma^2/2) for a lognormal
-    let med = |mean: f64, sigma: f64| {
-        ((mean / (sigma * sigma / 2.0).exp()).round() as u32).max(1)
-    };
+    let med = |mean: f64, sigma: f64| ((mean / (sigma * sigma / 2.0).exp()).round() as u32).max(1);
     WorkloadSpec::new(
         "blend",
         LengthDistribution::lognormal(med(mean_prompt, sigma_p), sigma_p, 1, max_p),
@@ -145,8 +143,16 @@ mod tests {
     fn coding_is_prefill_heavy_conversation_is_decode_heavy() {
         let c = coding(1.0);
         let v = conversation(1.0);
-        assert!(c.prompt_output_ratio() > 25.0, "{}", c.prompt_output_ratio());
-        assert!(v.prompt_output_ratio() < 10.0, "{}", v.prompt_output_ratio());
+        assert!(
+            c.prompt_output_ratio() > 25.0,
+            "{}",
+            c.prompt_output_ratio()
+        );
+        assert!(
+            v.prompt_output_ratio() < 10.0,
+            "{}",
+            v.prompt_output_ratio()
+        );
         assert!(c.output.mean() < v.output.mean());
     }
 
@@ -178,8 +184,16 @@ mod tests {
         assert_eq!(b.rate, 4.0);
         let want_prompt = (c.prompt.mean() + v.prompt.mean()) / 2.0;
         let want_output = (c.output.mean() + v.output.mean()) / 2.0;
-        assert!((b.prompt.mean() / want_prompt - 1.0).abs() < 0.05, "{} vs {want_prompt}", b.prompt.mean());
-        assert!((b.output.mean() / want_output - 1.0).abs() < 0.05, "{} vs {want_output}", b.output.mean());
+        assert!(
+            (b.prompt.mean() / want_prompt - 1.0).abs() < 0.05,
+            "{} vs {want_prompt}",
+            b.prompt.mean()
+        );
+        assert!(
+            (b.output.mean() / want_output - 1.0).abs() < 0.05,
+            "{} vs {want_output}",
+            b.output.mean()
+        );
         // blend's ratio sits between the components'
         assert!(b.prompt_output_ratio() < c.prompt_output_ratio());
         assert!(b.prompt_output_ratio() > v.prompt_output_ratio());

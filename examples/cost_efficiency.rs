@@ -34,14 +34,26 @@ fn main() -> thunderserve::Result<()> {
     let mut cfg = SchedulerConfig::default();
     cfg.seed = 5;
     cfg.n_step = 50;
-    let plan = Scheduler::new(cfg).schedule(&cloud, &model, &workload, &slo)?.plan;
+    let plan = Scheduler::new(cfg)
+        .schedule(&cloud, &model, &workload, &slo)?
+        .plan;
     let ts = Simulation::new(&cloud, &plan, SimConfig::new(model.clone()))?.run(&trace)?;
-    report("ThunderServe (cloud)", &cloud.price_per_hour(), &ts, &slo, plan.groups.len());
+    report(
+        "ThunderServe (cloud)",
+        &cloud.price_per_hour(),
+        &ts,
+        &slo,
+        plan.groups.len(),
+    );
 
     // DistServe-like on the A100 box.
     let ds_plan = DistServePlanner::new().plan(&inhouse, &model, &workload, &slo)?;
-    let ds = Simulation::new(&inhouse, &ds_plan, SimConfig::new(model.clone()).with_f16_kv())?
-        .run(&trace)?;
+    let ds = Simulation::new(
+        &inhouse,
+        &ds_plan,
+        SimConfig::new(model.clone()).with_f16_kv(),
+    )?
+    .run(&trace)?;
     report(
         "DistServe (in-house)",
         &inhouse.price_per_hour(),

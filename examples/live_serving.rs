@@ -43,15 +43,15 @@ fn main() -> thunderserve::Result<()> {
     )?;
 
     // Submit a burst of requests.
-    let requests = thunderserve::workload::generator::generate(
-        &workload,
-        SimDuration::from_secs(10),
-        9,
-    );
+    let requests =
+        thunderserve::workload::generator::generate(&workload, SimDuration::from_secs(10), 9);
     for r in &requests {
         coordinator.submit(*r)?;
     }
-    println!("submitted {} requests, waiting for completions...", requests.len());
+    println!(
+        "submitted {} requests, waiting for completions...",
+        requests.len()
+    );
 
     let done = coordinator.shutdown();
     let mean_ttft = done.iter().map(|c| c.ttft_s).sum::<f64>() / done.len() as f64;

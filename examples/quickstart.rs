@@ -44,7 +44,12 @@ fn main() -> thunderserve::Result<()> {
             .gpus()
             .map(|id| cluster.gpu(id).model.to_string())
             .collect();
-        println!("  {:7} {} on [{}]", g.phase.to_string(), g.parallel, models.join(","));
+        println!(
+            "  {:7} {} on [{}]",
+            g.phase.to_string(),
+            g.parallel,
+            models.join(",")
+        );
     }
 
     // 4. Serve a 3-minute Poisson trace on the discrete-event engine.
@@ -67,6 +72,9 @@ fn main() -> thunderserve::Result<()> {
             100.0 * metrics.slo_attainment(&slo, kind)
         );
     }
-    println!("joint SLO attainment: {:.1}%", 100.0 * metrics.joint_attainment(&slo));
+    println!(
+        "joint SLO attainment: {:.1}%",
+        100.0 * metrics.joint_attainment(&slo)
+    );
     Ok(())
 }

@@ -81,9 +81,7 @@ impl BytesMut {
 
     /// Creates a buffer of `len` zero bytes.
     pub fn zeroed(len: usize) -> Self {
-        Self {
-            data: vec![0; len],
-        }
+        Self { data: vec![0; len] }
     }
 
     /// Number of bytes in the buffer.

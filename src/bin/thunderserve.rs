@@ -219,11 +219,14 @@ fn schedule(flags: &Flags, simulate: bool) -> Result<String, String> {
     let slo = default_slo(&model);
 
     let (plan, summary) = if let Some(path) = &flags.plan {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read plan {path:?}: {e}"))?;
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read plan {path:?}: {e}"))?;
         let plan = ts_common::plan_io::from_text(&text).map_err(|e| e.to_string())?;
         let (p, d) = plan.phase_ratio();
-        (plan, format!("loaded plan from {path}: {p} prefill + {d} decode replicas\n"))
+        (
+            plan,
+            format!("loaded plan from {path}: {p} prefill + {d} decode replicas\n"),
+        )
     } else {
         let mut cfg = SchedulerConfig::default();
         cfg.seed = flags.seed;
@@ -262,7 +265,12 @@ fn schedule(flags: &Flags, simulate: bool) -> Result<String, String> {
             .map(|(m, c)| format!("{c}x{m}"))
             .collect::<Vec<_>>()
             .join("+");
-        out.push_str(&format!("  {:7} {} on {}\n", g.phase.to_string(), g.parallel, conf));
+        out.push_str(&format!(
+            "  {:7} {} on {}\n",
+            g.phase.to_string(),
+            g.parallel,
+            conf
+        ));
     }
 
     if simulate {
@@ -295,8 +303,14 @@ fn schedule(flags: &Flags, simulate: bool) -> Result<String, String> {
         for kind in SloKind::ALL {
             out.push_str(&format!(
                 "  {kind}: p50 {} p99 {} attainment {:.1}%\n",
-                metrics.latency_percentile(kind, 0.5).map(|d| d.to_string()).unwrap_or("-".into()),
-                metrics.latency_percentile(kind, 0.99).map(|d| d.to_string()).unwrap_or("-".into()),
+                metrics
+                    .latency_percentile(kind, 0.5)
+                    .map(|d| d.to_string())
+                    .unwrap_or("-".into()),
+                metrics
+                    .latency_percentile(kind, 0.99)
+                    .map(|d| d.to_string())
+                    .unwrap_or("-".into()),
                 100.0 * metrics.slo_attainment(&slo, kind)
             ));
         }
@@ -364,8 +378,16 @@ mod tests {
     #[test]
     fn schedule_smoke_via_cli_path() {
         let f = parse_flags(&s(&[
-            "--cluster", "case:40", "--model", "13b", "--workload", "coding",
-            "--rate", "1.0", "--steps", "10",
+            "--cluster",
+            "case:40",
+            "--model",
+            "13b",
+            "--workload",
+            "coding",
+            "--rate",
+            "1.0",
+            "--steps",
+            "10",
         ]))
         .unwrap();
         let report = schedule(&f, false).unwrap();

@@ -40,7 +40,9 @@ fn phase_splitting_removes_interference() {
         .unwrap();
 
     // Colocated on the same hardware.
-    let groups = HexGenPlanner::new().plan(&cluster, &model, &workload).unwrap();
+    let groups = HexGenPlanner::new()
+        .plan(&cluster, &model, &workload)
+        .unwrap();
     let colocated = ColocatedSimulation::new(&cluster, &groups, SimConfig::new(model))
         .unwrap()
         .run(&reqs)
@@ -154,8 +156,7 @@ fn lightweight_rescheduling_is_cheap() {
         .unwrap()
         .plan;
 
-    let light =
-        lightweight_reschedule(&cluster, &model, &plan, &workload, &slo(), &cfg).unwrap();
+    let light = lightweight_reschedule(&cluster, &model, &plan, &workload, &slo(), &cfg).unwrap();
     let full = full_reschedule(&cluster, &model, &workload, &slo(), &cfg).unwrap();
     assert!(light.reload_time.is_zero());
     assert!(!full.reload_time.is_zero());

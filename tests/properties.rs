@@ -27,9 +27,15 @@ fn quant_round_trip_bounded() {
     for case in 0..CASES {
         let mut rng = seeded_rng(derive_seed(0xA11CE, case));
         let len = rng.gen_range(1..300);
-        let values: Vec<f32> = (0..len).map(|_| rng.gen_range(-1000.0f32..1000.0)).collect();
+        let values: Vec<f32> = (0..len)
+            .map(|_| rng.gen_range(-1000.0f32..1000.0))
+            .collect();
         let group_size = rng.gen_range(1usize..64);
-        let bits = if rng.gen_bool(0.5) { QuantBits::Int4 } else { QuantBits::Int8 };
+        let bits = if rng.gen_bool(0.5) {
+            QuantBits::Int4
+        } else {
+            QuantBits::Int8
+        };
         let q = quantize(&values, bits, group_size);
         let back = q.dequantize();
         assert_eq!(back.len(), values.len());
@@ -309,7 +315,107 @@ fn simulator_conserves_requests() {
         .unwrap()
         .run(&sorted)
         .unwrap();
-        assert_eq!(metrics.num_completed() + metrics.num_dropped(), sorted.len());
+        assert_eq!(
+            metrics.num_completed() + metrics.num_dropped(),
+            sorted.len()
+        );
+        for r in metrics.records() {
+            assert!(r.finished_at >= r.first_token_at);
+            assert!(r.first_token_at >= r.request.arrival);
+        }
+    }
+}
+
+/// The colocated simulator conserves requests too — including under
+/// mid-flight faults, where `completed + dropped + rejected == submitted`
+/// must hold whether lost work is recovered or shed. (Both engines share
+/// the execution core, but each topology drains lost work differently;
+/// this sweeps the colocated paths.)
+#[test]
+fn colocated_simulator_conserves_requests() {
+    use thunderserve::sim::colocated::ColocatedSimulation;
+    use thunderserve::sim::fault::{FaultKind, FaultScript, TimedFault};
+    let cluster = thunderserve::cluster::presets::paper_inhouse_cluster();
+    let model = thunderserve::common::ModelSpec::llama_30b();
+    let groups = {
+        use thunderserve::common::{GroupSpec, ParallelConfig, StageSpec};
+        let g = |ids: [u32; 2]| {
+            GroupSpec::new(
+                Phase::Prefill,
+                ParallelConfig::new(2, 1).unwrap(),
+                vec![StageSpec {
+                    gpus: ids.iter().map(|&i| GpuId(i)).collect(),
+                    layers: model.num_layers,
+                }],
+            )
+            .unwrap()
+        };
+        vec![g([0, 1]), g([2, 3])]
+    };
+    for case in 0..CASES {
+        let mut rng = seeded_rng(derive_seed(0xC010, case));
+        let n_reqs = rng.gen_range(1usize..40);
+        let mut reqs: Vec<Request> = (0..n_reqs)
+            .map(|i| {
+                Request::new(
+                    RequestId(i as u64),
+                    SimTime::from_secs_f64(rng.gen_range(0.0..30.0)),
+                    rng.gen_range(1..3000),
+                    rng.gen_range(1..200),
+                )
+            })
+            .collect();
+        reqs.sort_by_key(|r| r.arrival);
+        // One arm per case: no faults, a kill, a kill+revive blip, or a
+        // kill without recovery — all mid-flight of the arrival window.
+        let script = match case % 4 {
+            0 => FaultScript::none(),
+            1 => FaultScript::new(
+                vec![TimedFault {
+                    at: SimTime::from_secs_f64(rng.gen_range(1.0..25.0)),
+                    kind: FaultKind::DecodeDown(0),
+                }],
+                SimDuration::from_millis(rng.gen_range(50..2000)),
+            ),
+            2 => {
+                let down = rng.gen_range(1.0..15.0);
+                FaultScript::new(
+                    vec![
+                        TimedFault {
+                            at: SimTime::from_secs_f64(down),
+                            kind: FaultKind::PrefillDown(1),
+                        },
+                        TimedFault {
+                            at: SimTime::from_secs_f64(down + rng.gen_range(1.0..10.0)),
+                            kind: FaultKind::PrefillUp(1),
+                        },
+                    ],
+                    SimDuration::from_millis(rng.gen_range(50..2000)),
+                )
+            }
+            _ => FaultScript::new(
+                vec![TimedFault {
+                    at: SimTime::from_secs_f64(rng.gen_range(1.0..25.0)),
+                    kind: FaultKind::DecodeDown(1),
+                }],
+                SimDuration::from_millis(rng.gen_range(50..2000)),
+            )
+            .without_recovery(),
+        };
+        let metrics = ColocatedSimulation::new(
+            &cluster,
+            &groups,
+            thunderserve::sim::config::SimConfig::new(model.clone()),
+        )
+        .unwrap()
+        .run_with_faults(&reqs, &script)
+        .unwrap();
+        assert_eq!(
+            metrics.num_completed() + metrics.num_dropped() + metrics.num_rejected(),
+            reqs.len(),
+            "case {case}: conservation violated ({:?})",
+            metrics.recovery()
+        );
         for r in metrics.records() {
             assert!(r.finished_at >= r.first_token_at);
             assert!(r.first_token_at >= r.request.arrival);
@@ -431,7 +537,10 @@ fn itl_bounds_hold() {
             .unwrap()
         };
         DeploymentPlan::new(
-            vec![g(Phase::Prefill, [0, 1, 2, 3]), g(Phase::Decode, [4, 5, 6, 7])],
+            vec![
+                g(Phase::Prefill, [0, 1, 2, 3]),
+                g(Phase::Decode, [4, 5, 6, 7]),
+            ],
             RoutingMatrix::uniform(1, 1),
         )
         .unwrap()

@@ -166,7 +166,9 @@ fn availability_script_replay_keeps_plan_on_active_gpus() {
         let events: Vec<ClusterEvent> = script
             .iter()
             .filter(|e| e.at >= start && e.at < start + seg_len)
-            .map(|e| ClusterEvent::new(SimTime::ZERO + e.at.saturating_since(start), e.kind.clone()))
+            .map(|e| {
+                ClusterEvent::new(SimTime::ZERO + e.at.saturating_since(start), e.kind.clone())
+            })
             .collect();
         assert_eq!(events.len(), 1, "one event per segment");
         let reqs = generate(&w, seg_len, 50 + seg as u64);
@@ -191,6 +193,11 @@ fn availability_script_replay_keeps_plan_on_active_gpus() {
         );
     }
     // Net effect: node 6 is back, GPU 0 is out.
-    assert!(rt.cluster().node(NodeId(6)).gpus.iter().all(|g| rt.cluster().is_active(*g)));
+    assert!(rt
+        .cluster()
+        .node(NodeId(6))
+        .gpus
+        .iter()
+        .all(|g| rt.cluster().is_active(*g)));
     assert!(!rt.cluster().is_active(GpuId(0)));
 }
