@@ -35,12 +35,22 @@ fn bench_full_schedule(c: &mut Criterion) {
         } else {
             model.clone()
         };
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            let mut cfg = SchedulerConfig::fast();
-            cfg.seed = 1;
-            let sched = Scheduler::new(cfg);
-            b.iter(|| sched.schedule(&cluster, &model, &w, &s).unwrap());
-        });
+        // 1 thread is the serial reference; the multi-thread arm exercises
+        // the parallel neighbourhood evaluation (results are bit-identical,
+        // only wall-clock differs).
+        for threads in [1usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{n}gpu"), format!("{threads}thr")),
+                &n,
+                |b, _| {
+                    let mut cfg = SchedulerConfig::fast();
+                    cfg.seed = 1;
+                    cfg.num_threads = threads;
+                    let sched = Scheduler::new(cfg);
+                    b.iter(|| sched.schedule(&cluster, &model, &w, &s).unwrap());
+                },
+            );
+        }
     }
     group.finish();
 }

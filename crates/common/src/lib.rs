@@ -26,6 +26,7 @@
 pub mod error;
 pub mod ids;
 pub mod model;
+pub mod par;
 pub mod parallel;
 pub mod phase;
 pub mod plan;
@@ -38,6 +39,7 @@ pub mod time;
 pub use error::{Error, Result};
 pub use ids::{GpuId, GroupId, NodeId, RequestId};
 pub use model::{DType, ModelSpec};
+pub use par::{parallel_map, resolve_threads, with_worker_pool, ShardedCache};
 pub use parallel::ParallelConfig;
 pub use phase::Phase;
 pub use plan::{DeploymentPlan, GroupSpec, RoutingMatrix, StageSpec};

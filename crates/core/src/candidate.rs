@@ -27,6 +27,15 @@ impl CandidateGroup {
         gpus.sort_unstable();
         CandidateGroup { gpus, phase }
     }
+
+    /// Canonical `u64` identity of `(gpus, phase)`, used as the key of the
+    /// scheduler's parallel-configuration cache (avoids cloning the GPU list
+    /// into the map on every lookup).
+    pub fn group_hash(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.hash(&mut h);
+        h.finish()
+    }
 }
 
 /// An upper-level solution: a partition of the GPUs plus phase designations.
@@ -239,6 +248,17 @@ mod tests {
         assert_eq!(a.canonical_hash(), b.canonical_hash());
         let c = a.flip(0);
         assert_ne!(a.canonical_hash(), c.canonical_hash());
+    }
+
+    #[test]
+    fn group_hash_is_gpu_order_independent() {
+        let a = CandidateGroup::new(ids(&[3, 1, 2]), Phase::Prefill);
+        let b = CandidateGroup::new(ids(&[1, 2, 3]), Phase::Prefill);
+        assert_eq!(a.group_hash(), b.group_hash());
+        let c = CandidateGroup::new(ids(&[1, 2, 3]), Phase::Decode);
+        assert_ne!(a.group_hash(), c.group_hash());
+        let d = CandidateGroup::new(ids(&[1, 2]), Phase::Prefill);
+        assert_ne!(a.group_hash(), d.group_hash());
     }
 
     #[test]

@@ -30,6 +30,17 @@ pub struct SchedulerConfig {
     pub random_init: bool,
     /// Ablation switch: disable the hardware-affinity tie-breaker.
     pub disable_affinity_tiebreak: bool,
+    /// Worker threads for neighbourhood evaluation in the upper-level tabu
+    /// search and in lightweight rescheduling's flip-only search. `0` uses
+    /// one worker per available CPU, `1` is the serial reference path, any
+    /// other value is taken literally.
+    ///
+    /// The thread count never changes results: each step draws its whole
+    /// neighbourhood from the seeded RNG up front and reduces evaluation
+    /// results in neighbour-generation order, so plans, scores, trajectories
+    /// and evaluation counts are bit-identical across all settings (see
+    /// DESIGN.md, "Scheduler parallelism").
+    pub num_threads: usize,
 }
 
 impl Default for SchedulerConfig {
@@ -47,6 +58,7 @@ impl Default for SchedulerConfig {
             flip_only_moves: false,
             random_init: false,
             disable_affinity_tiebreak: false,
+            num_threads: 0,
         }
     }
 }
@@ -78,5 +90,11 @@ mod tests {
     fn fast_is_smaller() {
         let c = SchedulerConfig::fast();
         assert!(c.n_step < SchedulerConfig::default().n_step);
+    }
+
+    #[test]
+    fn default_threads_is_auto() {
+        assert_eq!(SchedulerConfig::default().num_threads, 0);
+        assert!(ts_common::resolve_threads(SchedulerConfig::default().num_threads) >= 1);
     }
 }

@@ -11,7 +11,7 @@ use crate::config::SchedulerConfig;
 use crate::orchestrate::{orchestrate, phase_affinity};
 use crate::scheduler::Scheduler;
 use rand::Rng;
-use std::collections::VecDeque;
+use std::collections::{HashMap, HashSet, VecDeque};
 use ts_cluster::Cluster;
 use ts_common::{
     seeded_rng, DeploymentPlan, Error, GroupSpec, ModelSpec, Phase, Result, SimDuration, SloSpec,
@@ -64,7 +64,10 @@ pub fn lightweight_reschedule(
     }
 
     // Flip-only tabu search (the other move kinds are disabled in
-    // lightweight mode).
+    // lightweight mode). Mirrors the upper-level search's parallel step
+    // shape: draw the whole neighbourhood from the RNG up front, evaluate
+    // the unique uncached phase designations concurrently, then reduce in
+    // generation order — bit-identical for any `cfg.num_threads`.
     let mut rng = seeded_rng(ts_common::rng::derive_seed(cfg.seed, 0x11F7));
     let evaluate = |groups: &[GroupSpec]| -> Option<f64> {
         let affinity = phase_affinity(cluster, groups);
@@ -76,36 +79,79 @@ pub fn lightweight_reschedule(
     let mut x = surviving.clone();
     ensure_both_phases(&mut x);
     let mut best = x.clone();
-    let mut best_score = evaluate(&x).unwrap_or(f64::NEG_INFINITY);
+    let init_score = evaluate(&x);
+    let mut best_score = init_score.unwrap_or(f64::NEG_INFINITY);
     let mut tabu: VecDeque<Vec<Phase>> = VecDeque::new();
+    // O(1) membership mirror of the deque.
+    let mut tabu_set: HashSet<Vec<Phase>> = HashSet::new();
+    // Orchestration is a deterministic function of the phase designation
+    // (groups themselves are frozen in lightweight mode), so scores can be
+    // memoized across steps.
+    let mut eval_cache: HashMap<Vec<Phase>, Option<f64>> = HashMap::new();
+    eval_cache.insert(x.iter().map(|g| g.phase).collect(), init_score);
 
-    for _ in 0..cfg.n_step.min(40) {
-        let mut step_best: Option<(f64, Vec<GroupSpec>)> = None;
-        for _ in 0..cfg.n_nghb {
-            let idx = rng.gen_range(0..x.len());
-            let mut n = x.clone();
-            n[idx] = n[idx].flipped();
-            let phases: Vec<Phase> = n.iter().map(|g| g.phase).collect();
-            if tabu.contains(&phases) || !has_both_phases(&n) {
-                continue;
+    // One worker pool spans all steps (thread startup paid once); jobs are
+    // owned clones because pool workers outlive any single step.
+    let eval = |groups: &Vec<GroupSpec>| evaluate(groups);
+    ts_common::with_worker_pool(cfg.num_threads, &eval, |run| {
+        for _ in 0..cfg.n_step.min(40) {
+            // Draw all flip choices before evaluating anything.
+            let neighbors: Vec<(Vec<Phase>, Vec<GroupSpec>)> = (0..cfg.n_nghb)
+                .map(|_| {
+                    let idx = rng.gen_range(0..x.len());
+                    let mut n = x.clone();
+                    n[idx] = n[idx].flipped();
+                    let phases: Vec<Phase> = n.iter().map(|g| g.phase).collect();
+                    (phases, n)
+                })
+                .collect();
+            // Unique, non-tabu, feasible cache misses form the batch.
+            let mut scheduled: HashSet<&Vec<Phase>> = HashSet::new();
+            let (batch, jobs): (Vec<usize>, Vec<Vec<GroupSpec>>) = neighbors
+                .iter()
+                .enumerate()
+                .filter(|(_, (phases, n))| {
+                    !tabu_set.contains(phases)
+                        && has_both_phases(n)
+                        && !eval_cache.contains_key(phases)
+                })
+                .filter(|(_, (phases, _))| scheduled.insert(phases))
+                .map(|(i, (_, n))| (i, n.clone()))
+                .unzip();
+            let outcomes = run(jobs);
+            for (&i, score) in batch.iter().zip(&outcomes) {
+                eval_cache.insert(neighbors[i].0.clone(), *score);
             }
-            let Some(score) = evaluate(&n) else { continue };
-            if step_best.as_ref().map(|(s, _)| score > *s).unwrap_or(true) {
-                step_best = Some((score, n));
+            // First strict maximum in generation order == serial selection.
+            let mut step_best: Option<(f64, usize)> = None;
+            for (i, (phases, n)) in neighbors.iter().enumerate() {
+                if tabu_set.contains(phases) || !has_both_phases(n) {
+                    continue;
+                }
+                let Some(Some(score)) = eval_cache.get(phases) else {
+                    continue;
+                };
+                if step_best.map(|(s, _)| *score > s).unwrap_or(true) {
+                    step_best = Some((*score, i));
+                }
+            }
+            if let Some((score, i)) = step_best {
+                let (phases, n) = neighbors[i].clone();
+                tabu.push_back(phases.clone());
+                tabu_set.insert(phases);
+                while tabu.len() > cfg.n_mem {
+                    if let Some(old) = tabu.pop_front() {
+                        tabu_set.remove(&old);
+                    }
+                }
+                if score > best_score {
+                    best_score = score;
+                    best = n.clone();
+                }
+                x = n;
             }
         }
-        if let Some((score, n)) = step_best {
-            tabu.push_back(n.iter().map(|g| g.phase).collect());
-            while tabu.len() > cfg.n_mem {
-                tabu.pop_front();
-            }
-            if score > best_score {
-                best_score = score;
-                best = n.clone();
-            }
-            x = n;
-        }
-    }
+    });
 
     let orch = orchestrate(cluster, model, best, workload, slo, cfg)?;
     Ok(RescheduleOutcome {

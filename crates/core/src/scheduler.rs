@@ -42,6 +42,10 @@ impl Scheduler {
     /// Produces a deployment plan for `model` on the cluster's active GPUs
     /// under the given workload and SLO.
     ///
+    /// Neighbourhood evaluation runs on [`SchedulerConfig::num_threads`]
+    /// workers; the result is bit-identical for every thread setting, so the
+    /// knob trades wall-clock time only.
+    ///
     /// # Errors
     /// Returns [`ts_common::Error::Infeasible`] if no feasible phase-split
     /// deployment exists (e.g. memory for fewer than two replicas).
@@ -53,7 +57,7 @@ impl Scheduler {
         slo: &SloSpec,
     ) -> Result<ScheduleResult> {
         let start = std::time::Instant::now();
-        let mut search = TabuSearch::new(cluster, model, workload, slo, &self.cfg);
+        let search = TabuSearch::new(cluster, model, workload, slo, &self.cfg);
         let result = search.search()?;
         Ok(ScheduleResult {
             plan: result.best.plan,

@@ -1,0 +1,133 @@
+//! Parallel-vs-serial determinism of the two-level scheduler.
+//!
+//! The neighbourhood evaluation of the tabu search (and of lightweight
+//! rescheduling's flip-only variant) may run on any number of worker
+//! threads; the contract is that the thread count is invisible in every
+//! output: plans, scores, evaluation counts and the convergence trajectory
+//! must be bit-identical to the serial path for the same seed.
+
+use thunderserve_core::{lightweight_reschedule, Scheduler, SchedulerConfig};
+use ts_cluster::presets;
+use ts_common::{ModelSpec, NodeId, SimDuration, SloSpec};
+use ts_workload::spec;
+
+fn slo() -> SloSpec {
+    SloSpec::new(
+        SimDuration::from_secs(2),
+        SimDuration::from_millis(200),
+        SimDuration::from_secs(30),
+    )
+}
+
+fn cfg_with_threads(seed: u64, threads: usize) -> SchedulerConfig {
+    let mut cfg = SchedulerConfig::fast();
+    cfg.seed = seed;
+    cfg.num_threads = threads;
+    cfg
+}
+
+#[test]
+fn schedule_is_bit_identical_across_thread_counts() {
+    let cluster = presets::paper_cloud_cluster();
+    let model = ModelSpec::llama_30b();
+    let w = spec::coding(2.5);
+    let s = slo();
+    for seed in [1u64, 21, 77] {
+        let baseline = Scheduler::new(cfg_with_threads(seed, 1))
+            .schedule(&cluster, &model, &w, &s)
+            .unwrap();
+        for threads in [2usize, 8] {
+            let parallel = Scheduler::new(cfg_with_threads(seed, threads))
+                .schedule(&cluster, &model, &w, &s)
+                .unwrap();
+            assert_eq!(
+                baseline.plan, parallel.plan,
+                "plan diverged at seed {seed}, {threads} threads"
+            );
+            assert_eq!(
+                baseline.estimated_attainment.to_bits(),
+                parallel.estimated_attainment.to_bits(),
+                "score diverged at seed {seed}, {threads} threads"
+            );
+            assert_eq!(
+                baseline.evaluations, parallel.evaluations,
+                "evaluation count diverged at seed {seed}, {threads} threads"
+            );
+            let scores = |t: &[thunderserve_core::tabu::TracePoint]| {
+                t.iter().map(|p| p.best_score.to_bits()).collect::<Vec<_>>()
+            };
+            assert_eq!(
+                scores(&baseline.trajectory),
+                scores(&parallel.trajectory),
+                "trajectory diverged at seed {seed}, {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn auto_thread_count_matches_serial() {
+    let cluster = presets::a5000_cluster(8);
+    let model = ModelSpec::llama_13b();
+    let w = spec::conversation(2.0);
+    let s = slo();
+    let serial = Scheduler::new(cfg_with_threads(9, 1))
+        .schedule(&cluster, &model, &w, &s)
+        .unwrap();
+    let auto = Scheduler::new(cfg_with_threads(9, 0))
+        .schedule(&cluster, &model, &w, &s)
+        .unwrap();
+    assert_eq!(serial.plan, auto.plan);
+    assert_eq!(
+        serial.estimated_attainment.to_bits(),
+        auto.estimated_attainment.to_bits()
+    );
+    assert_eq!(serial.evaluations, auto.evaluations);
+}
+
+#[test]
+fn lightweight_reschedule_is_bit_identical_across_thread_counts() {
+    let cluster = presets::paper_cloud_cluster();
+    let model = ModelSpec::llama_30b();
+    let w = spec::coding(2.5);
+    let s = slo();
+    let plan = Scheduler::new(cfg_with_threads(21, 1))
+        .schedule(&cluster, &model, &w, &s)
+        .unwrap()
+        .plan;
+
+    // Reschedule after losing a node, with the workload shifted.
+    let mut failed = cluster.clone();
+    failed.deactivate_node(NodeId(6)).unwrap();
+    let shifted = spec::conversation(2.5);
+    let baseline = lightweight_reschedule(
+        &failed,
+        &model,
+        &plan,
+        &shifted,
+        &s,
+        &cfg_with_threads(21, 1),
+    )
+    .unwrap();
+    for threads in [2usize, 8] {
+        let parallel = lightweight_reschedule(
+            &failed,
+            &model,
+            &plan,
+            &shifted,
+            &s,
+            &cfg_with_threads(21, threads),
+        )
+        .unwrap();
+        assert_eq!(
+            baseline.plan, parallel.plan,
+            "reschedule plan diverged with {threads} threads"
+        );
+        assert_eq!(
+            baseline.estimated_attainment.to_bits(),
+            parallel.estimated_attainment.to_bits(),
+            "reschedule score diverged with {threads} threads"
+        );
+        assert!(parallel.reload_time.is_zero());
+    }
+}

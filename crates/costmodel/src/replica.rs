@@ -46,12 +46,23 @@ struct StageModel {
 }
 
 /// Analytic latency/throughput/memory model for one model replica.
+///
+/// The scheduler evaluates candidate deployments on multiple worker threads
+/// and shares compiled cost models across them by reference, so this type
+/// must stay `Send + Sync`: plain owned data, no interior mutability, and
+/// every query method takes `&self` (asserted at compile time below).
 #[derive(Debug, Clone)]
 pub struct ReplicaCostModel {
     model: ModelSpec,
     params: ModelParams,
     stages: Vec<StageModel>,
 }
+
+// Compile-time guard for the concurrent-evaluation contract above.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ReplicaCostModel>();
+};
 
 impl ReplicaCostModel {
     /// Compiles the cost model for `group` placed on `cluster`.

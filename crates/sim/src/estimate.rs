@@ -49,12 +49,24 @@ pub struct AttainmentEstimate {
 /// theoretical maximum so the orchestration keeps queues stable.
 const CAP_HEADROOM: f64 = 0.92;
 
+// Estimates cross scheduler worker threads; keep them plain data.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PairEstimates>();
+    assert_send_sync::<AttainmentEstimate>();
+};
+
 /// Builds [`PairEstimates`] for given prefill/decode replica cost models
 /// under `workload` and `slo`.
 ///
 /// The reference load for each replica assumes the stream is spread across
 /// replicas proportionally to capacity (routing-independent, so the tabu
 /// search can evaluate group constructions before orchestration is known).
+///
+/// This function is a pure function of its arguments — no global or
+/// interior-mutable state — and the scheduler relies on that to evaluate
+/// many candidate plans concurrently with bit-identical results; keep any
+/// future caching deterministic and thread-safe.
 pub fn pair_estimates(
     cluster: &Cluster,
     cfg: &SimConfig,
