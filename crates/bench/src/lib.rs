@@ -116,6 +116,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             run: exps::comm_precision::run,
         },
         Experiment {
+            id: "netc",
+            title: "Extension: KV-transfer contention under the flow-level fabric",
+            run: exps::net_contention::run,
+        },
+        Experiment {
             id: "fig13",
             title: "Figure 13 (App. C): inter-connection bandwidth heatmaps",
             run: exps::bandwidth_matrix::run,

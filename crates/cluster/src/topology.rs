@@ -179,6 +179,48 @@ impl Cluster {
         }
     }
 
+    /// Node-level ethernet bandwidth between two distinct nodes in bytes/s —
+    /// the capacity of the fabric link a flow-level network model contends
+    /// on. Same-node queries return the node's intra-node bandwidth.
+    pub fn inter_node_bandwidth(&self, a: NodeId, b: NodeId) -> f64 {
+        if a == b {
+            self.node(a).intra_bw
+        } else {
+            self.inter_bw[a.index()][b.index()]
+        }
+    }
+
+    /// Node-level ethernet latency between two distinct nodes (the alpha
+    /// term of the fabric link). Same-node queries return the intra-node
+    /// latency.
+    pub fn inter_node_latency(&self, a: NodeId, b: NodeId) -> SimDuration {
+        if a == b {
+            self.node(a).intra_latency
+        } else {
+            self.inter_latency[a.index()][b.index()]
+        }
+    }
+
+    /// The NIC capacity of a node in bytes/s: the fastest ethernet link the
+    /// node terminates. Every flow entering or leaving the node shares this
+    /// capacity, whatever fabric link it then takes. Single-node clusters
+    /// have no NIC-crossing traffic and report `f64::INFINITY`.
+    pub fn nic_bandwidth(&self, node: NodeId) -> f64 {
+        let n = node.index();
+        self.inter_bw[n]
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != n)
+            .map(|(_, &bw)| bw)
+            .fold(f64::INFINITY, |best, bw| {
+                if best.is_infinite() {
+                    bw
+                } else {
+                    best.max(bw)
+                }
+            })
+    }
+
     /// Minimum pairwise bandwidth among a set of GPUs — the bottleneck link a
     /// tensor-parallel group would communicate over.
     ///
@@ -529,6 +571,27 @@ mod tests {
         let by = c.gpus_by_model();
         assert_eq!(by[&GpuModel::A40].len(), 2);
         assert_eq!(by[&GpuModel::Rtx3090Ti], vec![GpuId(2)]);
+    }
+
+    #[test]
+    fn node_level_links_and_nic_capacity() {
+        let c = two_node_cluster();
+        assert_eq!(c.inter_node_bandwidth(NodeId(0), NodeId(1)), 0.625e9);
+        assert_eq!(
+            c.inter_node_bandwidth(NodeId(0), NodeId(0)),
+            DEFAULT_PCIE_BW
+        );
+        assert_eq!(
+            c.inter_node_latency(NodeId(0), NodeId(1)),
+            SimDuration::from_micros(300)
+        );
+        // The NIC is the fastest link the node terminates (only one here).
+        assert_eq!(c.nic_bandwidth(NodeId(0)), 0.625e9);
+        let single = ClusterBuilder::new()
+            .node("solo", GpuModel::A40, 2)
+            .build()
+            .unwrap();
+        assert!(single.nic_bandwidth(NodeId(0)).is_infinite());
     }
 
     #[test]

@@ -41,6 +41,15 @@ pub struct SchedulerConfig {
     /// and evaluation counts are bit-identical across all settings (see
     /// DESIGN.md, "Scheduler parallelism").
     pub num_threads: usize,
+    /// Evaluate candidate plans under flow-level network contention: KV
+    /// transfers share NIC/inter-node links max-min fairly in the simulator
+    /// ([`ts_sim::config::SimConfig::network_contention`]) instead of
+    /// serializing per sender. Off by default (the paper's model).
+    pub network_contention: bool,
+    /// Congestion factor (≥ 1) applied to analytic KV-transfer estimates
+    /// ([`ts_sim::config::SimConfig::kv_congestion_factor`]); 1.0 (the
+    /// default) keeps the uncongested arithmetic bit-identical.
+    pub kv_congestion_factor: f64,
 }
 
 impl Default for SchedulerConfig {
@@ -59,6 +68,8 @@ impl Default for SchedulerConfig {
             random_init: false,
             disable_affinity_tiebreak: false,
             num_threads: 0,
+            network_contention: false,
+            kv_congestion_factor: 1.0,
         }
     }
 }
@@ -96,5 +107,12 @@ mod tests {
     fn default_threads_is_auto() {
         assert_eq!(SchedulerConfig::default().num_threads, 0);
         assert!(ts_common::resolve_threads(SchedulerConfig::default().num_threads) >= 1);
+    }
+
+    #[test]
+    fn network_knobs_default_to_the_paper_model() {
+        let c = SchedulerConfig::default();
+        assert!(!c.network_contention);
+        assert_eq!(c.kv_congestion_factor, 1.0);
     }
 }

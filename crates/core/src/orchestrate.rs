@@ -241,6 +241,8 @@ pub fn sim_config(model: &ModelSpec, cfg: &SchedulerConfig) -> SimConfig {
     let mut sc = SimConfig::new(model.clone());
     sc.params = cfg.params;
     sc.kv_precision = cfg.kv_precision;
+    sc.network_contention = cfg.network_contention;
+    sc.kv_congestion_factor = cfg.kv_congestion_factor;
     sc
 }
 
@@ -262,6 +264,16 @@ mod tests {
 
     fn ids(v: &[u32]) -> Vec<GpuId> {
         v.iter().map(|&i| GpuId(i)).collect()
+    }
+
+    #[test]
+    fn sim_config_threads_network_knobs() {
+        let mut cfg = SchedulerConfig::fast();
+        cfg.network_contention = true;
+        cfg.kv_congestion_factor = 1.25;
+        let sc = sim_config(&ModelSpec::llama_13b(), &cfg);
+        assert!(sc.network_contention);
+        assert_eq!(sc.kv_congestion_factor, 1.25);
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod replica;
 pub mod roofline;
 
 pub use alphabeta::{allreduce_time, transfer_time, CommCost};
-pub use replica::{KvRouteSegment, ReplicaCostModel};
+pub use replica::{KvRouteLeg, KvRouteSegment, ReplicaCostModel};
 pub use roofline::{decode_step_time, prefill_time, StageHardware};
 
 use serde::{Deserialize, Serialize};

@@ -27,6 +27,32 @@ pub struct KvRouteSegment {
     pub link: CommCost,
 }
 
+/// A [`KvRouteSegment`] plus the concrete GPU endpoints the leg's link
+/// connects. The flow-level network fabric needs the endpoints to place the
+/// transfer on the right NIC uplink/downlink and fabric links; the plain
+/// alpha-beta model only needs the link cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KvRouteLeg {
+    /// Number of transformer layers whose KV moves on this leg.
+    pub layers: usize,
+    /// The link used (best pair between the two stages).
+    pub link: CommCost,
+    /// Sending GPU (on the prefill replica's stage).
+    pub from: GpuId,
+    /// Receiving GPU (on the decode replica's stage).
+    pub to: GpuId,
+}
+
+impl KvRouteLeg {
+    /// Drops the endpoints, leaving the alpha-beta view of the leg.
+    pub fn segment(&self) -> KvRouteSegment {
+        KvRouteSegment {
+            layers: self.layers,
+            link: self.link,
+        }
+    }
+}
+
 /// Compiled per-stage data.
 #[derive(Debug, Clone)]
 struct StageModel {
@@ -297,17 +323,28 @@ impl ReplicaCostModel {
 /// Best (highest-bandwidth) point-to-point link between any GPU of `from`
 /// and any GPU of `to`.
 fn best_pair_link(cluster: &Cluster, from: &[GpuId], to: &[GpuId]) -> CommCost {
+    best_pair(cluster, from, to).0
+}
+
+/// Like [`best_pair_link`], but also reports which GPU pair realizes the
+/// best link. Deterministic: pairs are scanned in slice order and only a
+/// strictly better bandwidth displaces the incumbent.
+fn best_pair(cluster: &Cluster, from: &[GpuId], to: &[GpuId]) -> (CommCost, GpuId, GpuId) {
     let mut best_bw = 0.0f64;
-    let mut best = CommCost::LOOPBACK;
+    let mut best = (
+        CommCost::LOOPBACK,
+        from.first().copied().unwrap_or(GpuId(0)),
+        to.first().copied().unwrap_or(GpuId(0)),
+    );
     for &a in from {
         for &b in to {
             let bw = cluster.bandwidth(a, b);
             if bw.is_infinite() {
-                return CommCost::LOOPBACK;
+                return (CommCost::LOOPBACK, a, b);
             }
             if bw > best_bw {
                 best_bw = bw;
-                best = CommCost::new(cluster.latency(a, b), bw);
+                best = (CommCost::new(cluster.latency(a, b), bw), a, b);
             }
         }
     }
@@ -323,7 +360,21 @@ pub fn kv_route(
     prefill: &ReplicaCostModel,
     decode: &ReplicaCostModel,
 ) -> Vec<KvRouteSegment> {
-    let mut segments = Vec::new();
+    kv_route_legs(cluster, prefill, decode)
+        .iter()
+        .map(KvRouteLeg::segment)
+        .collect()
+}
+
+/// [`kv_route`] with concrete GPU endpoints per leg, for callers (the flow
+/// fabric) that must know *which* NICs a leg occupies, not just how fast
+/// its link is.
+pub fn kv_route_legs(
+    cluster: &Cluster,
+    prefill: &ReplicaCostModel,
+    decode: &ReplicaCostModel,
+) -> Vec<KvRouteLeg> {
+    let mut legs = Vec::new();
     for ps in &prefill.stages {
         let p_range = ps.layer_offset..ps.layer_offset + ps.layers;
         for ds in &decode.stages {
@@ -331,14 +382,17 @@ pub fn kv_route(
             let lo = p_range.start.max(d_range.start);
             let hi = p_range.end.min(d_range.end);
             if lo < hi {
-                segments.push(KvRouteSegment {
+                let (link, from, to) = best_pair(cluster, &ps.gpus, &ds.gpus);
+                legs.push(KvRouteLeg {
                     layers: hi - lo,
-                    link: best_pair_link(cluster, &ps.gpus, &ds.gpus),
+                    link,
+                    from,
+                    to,
                 });
             }
         }
     }
-    segments
+    legs
 }
 
 /// Transfer time for `tokens` KV tokens along the route, when the per-layer
@@ -353,16 +407,40 @@ pub fn kv_transfer_time(
     tokens: u64,
     compression_ratio: f64,
 ) -> SimDuration {
+    kv_transfer_time_congested(model, route, tokens, compression_ratio, 1.0)
+}
+
+/// [`kv_transfer_time`] with a multiplicative congestion factor on the wire
+/// bytes: `factor` ≥ 1 prices the expected slowdown from sharing links with
+/// other in-flight transfers without simulating them individually. A factor
+/// of exactly 1.0 performs the same arithmetic as the uncongested model, so
+/// plans scored with it are bit-identical.
+///
+/// # Panics
+/// Panics if `compression_ratio` is not in `(0, 1]`, or `congestion_factor`
+/// is below 1 or not finite.
+pub fn kv_transfer_time_congested(
+    model: &ModelSpec,
+    route: &[KvRouteSegment],
+    tokens: u64,
+    compression_ratio: f64,
+    congestion_factor: f64,
+) -> SimDuration {
     assert!(
         compression_ratio > 0.0 && compression_ratio <= 1.0,
         "compression ratio must be in (0,1], got {compression_ratio}"
+    );
+    assert!(
+        congestion_factor >= 1.0 && congestion_factor.is_finite(),
+        "congestion factor must be finite and >= 1, got {congestion_factor}"
     );
     route
         .iter()
         .map(|seg| {
             let bytes = (model.kv_bytes_per_token_layers(seg.layers) as f64
                 * tokens as f64
-                * compression_ratio) as u64;
+                * compression_ratio
+                * congestion_factor) as u64;
             seg.link.time(bytes)
         })
         .max()
@@ -500,6 +578,51 @@ mod tests {
         let t4 = kv_transfer_time(&m, &route, 1024, 0.25);
         let ratio = t16.as_secs_f64() / t4.as_secs_f64();
         assert!(ratio > 3.0 && ratio <= 4.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn route_legs_expose_endpoints() {
+        let c = presets::network_case_cluster(presets::ETH_40GBPS);
+        let m = ModelSpec::llama_13b();
+        let p = ModelParams::default();
+        let pf = group_on(&[0, 1, 2, 3], 2, 2, m.num_layers, Phase::Prefill);
+        let dc = group_on(&[4, 5, 6, 7], 4, 1, m.num_layers, Phase::Decode);
+        let rp = ReplicaCostModel::new(&c, &m, &pf, &p).unwrap();
+        let rd = ReplicaCostModel::new(&c, &m, &dc, &p).unwrap();
+        let legs = kv_route_legs(&c, &rp, &rd);
+        // Endpoints lie on the sending/receiving replicas and realize the
+        // leg's advertised link cost.
+        for leg in &legs {
+            assert!((0..4).contains(&leg.from.index()));
+            assert!((4..8).contains(&leg.to.index()));
+            assert_eq!(leg.link.beta, c.bandwidth(leg.from, leg.to));
+        }
+        // The endpoint-free view matches kv_route exactly.
+        let segs: Vec<KvRouteSegment> = legs.iter().map(KvRouteLeg::segment).collect();
+        assert_eq!(segs, kv_route(&c, &rp, &rd));
+    }
+
+    #[test]
+    fn congestion_factor_prices_shared_links() {
+        let c = presets::network_case_cluster(presets::ETH_5GBPS);
+        let m = ModelSpec::llama_13b();
+        let p = ModelParams::default();
+        let pf = group_on(&[0, 1, 2, 3], 2, 2, m.num_layers, Phase::Prefill);
+        let dc = group_on(&[4, 5, 6, 7], 4, 1, m.num_layers, Phase::Decode);
+        let rp = ReplicaCostModel::new(&c, &m, &pf, &p).unwrap();
+        let rd = ReplicaCostModel::new(&c, &m, &dc, &p).unwrap();
+        let route = kv_route(&c, &rp, &rd);
+        // Factor 1.0 is the uncongested model, bit for bit.
+        assert_eq!(
+            kv_transfer_time_congested(&m, &route, 1024, 1.0, 1.0),
+            kv_transfer_time(&m, &route, 1024, 1.0)
+        );
+        // Factor 2.0 roughly doubles the beta term.
+        let base = kv_transfer_time(&m, &route, 1024, 1.0);
+        let congested = kv_transfer_time_congested(&m, &route, 1024, 1.0, 2.0);
+        assert!(congested > base);
+        let ratio = congested.as_secs_f64() / base.as_secs_f64();
+        assert!(ratio > 1.5 && ratio <= 2.1, "ratio {ratio}");
     }
 
     #[test]

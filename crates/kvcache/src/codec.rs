@@ -79,6 +79,14 @@ impl KvCodec {
         (elements as f64 * tokens as f64 * self.precision.bytes_per_element()).ceil() as u64
     }
 
+    /// Wire bytes for the KV slice of `layers` transformer layers — the
+    /// payload of one leg of a multi-stage KV route. The flow-level network
+    /// fabric sizes each leg's flow with this.
+    pub fn wire_bytes_layers(&self, tokens: u64, layers: usize) -> u64 {
+        let elements = self.model.kv_bytes_per_token_layers(layers) / 2; // fp16 elements
+        (elements as f64 * tokens as f64 * self.precision.bytes_per_element()).ceil() as u64
+    }
+
     /// Encodes a flat KV tensor for transmission. For quantized precisions
     /// this performs real quantization + packing; fp16 is a plain copy.
     pub fn encode(&self, values: &[f32]) -> Bytes {
@@ -219,6 +227,18 @@ mod tests {
         assert_eq!(f16.wire_bytes(100), m.kv_bytes_per_token() * 100);
         let ratio = i4.wire_bytes(100) as f64 / f16.wire_bytes(100) as f64;
         assert!(ratio < 0.35, "ratio {ratio}");
+    }
+
+    #[test]
+    fn layer_subset_wire_bytes_partition_the_whole() {
+        let m = ModelSpec::llama_7b();
+        let codec = KvCodec::new(m.clone(), KvWirePrecision::DEFAULT_COMPRESSED);
+        let split =
+            codec.wire_bytes_layers(100, 10) + codec.wire_bytes_layers(100, m.num_layers - 10);
+        let whole = codec.wire_bytes(100);
+        // Per-leg ceils may add at most one byte each.
+        assert!(split >= whole && split <= whole + 2, "{split} vs {whole}");
+        assert_eq!(codec.wire_bytes_layers(100, m.num_layers), whole);
     }
 
     #[test]

@@ -1,0 +1,426 @@
+//! The event-driven flow registry.
+//!
+//! [`FlowFabric`] tracks every in-flight transfer as a fluid flow with a
+//! remaining byte count and a one-shot startup latency (alpha). Whenever
+//! the set of active flows changes, the max-min fair allocation is
+//! recomputed and **every** flow's completion time re-estimated; the caller
+//! schedules one completion event per estimate and uses the carried epoch
+//! to discard estimates that a later change superseded. Epochs are drawn
+//! from a fabric-global monotonic counter, so an event scheduled for an
+//! earlier incarnation of a reused flow key can never be mistaken for a
+//! current one.
+
+use std::collections::BTreeMap;
+
+use ts_common::{GpuId, SimDuration, SimTime};
+
+use crate::topology::FabricTopology;
+
+/// Residual byte count below which a flow counts as drained. Completion
+/// events are scheduled with ceiling rounding to whole microseconds, so at
+/// the event's timestamp the true residual is at most one microsecond of
+/// float error — far below this threshold for any realistic rate.
+const EPS_BYTES: f64 = 1e-3;
+
+/// Rounds a span in seconds *up* to whole microseconds, so a completion
+/// event never fires before the modeled flow has actually drained.
+fn ceil_micros(secs: f64) -> SimDuration {
+    assert!(secs.is_finite() && secs >= 0.0, "invalid span: {secs}");
+    SimDuration::from_micros((secs * 1e6).ceil() as u64)
+}
+
+/// A predicted completion, returned after every fabric change.
+///
+/// Valid until the next change: the caller schedules an event at `done_at`
+/// carrying `key` and `epoch`, and the fabric rejects the event as stale if
+/// the flow has been re-estimated (or removed) since.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowEstimate {
+    /// Caller-chosen flow id (the simulator uses the request id).
+    pub key: u64,
+    /// When the flow will finish under the current allocation.
+    pub done_at: SimTime,
+    /// Epoch the estimate belongs to; compare via [`FlowFabric::poll`].
+    pub epoch: u64,
+}
+
+/// Outcome of delivering a completion event to the fabric.
+#[derive(Debug)]
+pub enum FlowPoll {
+    /// The event was superseded by a newer estimate (or the flow was
+    /// cancelled); drop it.
+    Stale,
+    /// The flow finished. It has been removed and bandwidth reallocated;
+    /// reschedule completion events for every surviving flow.
+    Done(Vec<FlowEstimate>),
+    /// The flow is not drained yet (possible only through float drift);
+    /// reschedule this single refreshed estimate.
+    InFlight(FlowEstimate),
+}
+
+#[derive(Debug, Clone)]
+struct FlowState {
+    path: Vec<usize>,
+    remaining: f64,
+    rate: f64,
+    /// Bytes start draining here (start time + alpha). The flow still
+    /// occupies link bandwidth during the startup window.
+    active_at: SimTime,
+    epoch: u64,
+}
+
+/// The set of in-flight flows over one [`FabricTopology`], with max-min
+/// fair bandwidth sharing.
+///
+/// Deterministic: flows are kept in a `BTreeMap` keyed by the caller's id,
+/// so the allocator always sees them in key order regardless of insertion
+/// order, and identical flow sets yield bit-identical estimates.
+#[derive(Debug, Clone)]
+pub struct FlowFabric {
+    topo: FabricTopology,
+    flows: BTreeMap<u64, FlowState>,
+    now: SimTime,
+    epoch_counter: u64,
+}
+
+impl FlowFabric {
+    /// Creates an empty fabric over `topo`.
+    pub fn new(topo: FabricTopology) -> Self {
+        FlowFabric {
+            topo,
+            flows: BTreeMap::new(),
+            now: SimTime::ZERO,
+            epoch_counter: 0,
+        }
+    }
+
+    /// Builds the fabric directly from a cluster.
+    pub fn from_cluster(cluster: &ts_cluster::Cluster) -> Self {
+        FlowFabric::new(FabricTopology::from_cluster(cluster))
+    }
+
+    /// The derived link graph.
+    pub fn topology(&self) -> &FabricTopology {
+        &self.topo
+    }
+
+    /// Number of in-flight flows.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Whether no flow is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Whether `key` is currently in flight.
+    pub fn contains(&self, key: u64) -> bool {
+        self.flows.contains_key(&key)
+    }
+
+    /// Starts a flow of `bytes` from GPU `from` to GPU `to` at `now` and
+    /// returns fresh completion estimates for **all** flows (including this
+    /// one). The startup latency of the crossed link class is charged as a
+    /// one-shot delay before bytes begin draining.
+    ///
+    /// Starting a key that is already in flight replaces the old flow (its
+    /// pending events go stale automatically).
+    pub fn start(
+        &mut self,
+        key: u64,
+        from: GpuId,
+        to: GpuId,
+        bytes: f64,
+        now: SimTime,
+    ) -> Vec<FlowEstimate> {
+        self.advance(now);
+        let state = FlowState {
+            path: self.topo.path(from, to),
+            remaining: bytes.max(0.0),
+            rate: 0.0,
+            active_at: now + self.topo.alpha(from, to),
+            epoch: 0,
+        };
+        self.flows.insert(key, state);
+        self.reallocate()
+    }
+
+    /// Delivers a completion event for (`key`, `epoch`) at `now`.
+    pub fn poll(&mut self, key: u64, epoch: u64, now: SimTime) -> FlowPoll {
+        match self.flows.get(&key) {
+            Some(f) if f.epoch == epoch => {}
+            _ => return FlowPoll::Stale,
+        }
+        self.advance(now);
+        let f = &self.flows[&key];
+        if f.remaining <= EPS_BYTES && now >= f.active_at {
+            self.flows.remove(&key);
+            FlowPoll::Done(self.reallocate())
+        } else {
+            self.epoch_counter += 1;
+            let now_ = self.now;
+            let epoch = self.epoch_counter;
+            let f = self.flows.get_mut(&key).expect("checked above");
+            f.epoch = epoch;
+            FlowPoll::InFlight(estimate(key, f, now_))
+        }
+    }
+
+    /// Removes `key` (e.g. its link went down) and returns fresh estimates
+    /// for the surviving flows. Returns an empty list — and reallocates
+    /// nothing — if the key was not in flight.
+    pub fn cancel(&mut self, key: u64, now: SimTime) -> Vec<FlowEstimate> {
+        if self.flows.remove(&key).is_none() {
+            return Vec::new();
+        }
+        self.advance(now);
+        self.reallocate()
+    }
+
+    /// Drains every flow's remaining bytes up to `now` under the rates of
+    /// the *current* allocation.
+    fn advance(&mut self, now: SimTime) {
+        if now < self.now {
+            debug_assert!(
+                false,
+                "fabric time went backwards: {now:?} < {:?}",
+                self.now
+            );
+            return;
+        }
+        for f in self.flows.values_mut() {
+            let begin = if f.active_at > self.now {
+                f.active_at
+            } else {
+                self.now
+            };
+            if now >= begin {
+                if f.rate.is_finite() {
+                    let dt = (now - begin).as_secs_f64();
+                    f.remaining = (f.remaining - f.rate * dt).max(0.0);
+                } else {
+                    // Unconstrained (loopback / free-link) flows drain the
+                    // moment their startup window ends.
+                    f.remaining = 0.0;
+                }
+            }
+        }
+        self.now = now;
+    }
+
+    /// Recomputes the max-min allocation over all flows and re-stamps every
+    /// flow with a fresh epoch and completion estimate.
+    fn reallocate(&mut self) -> Vec<FlowEstimate> {
+        if self.flows.is_empty() {
+            return Vec::new();
+        }
+        self.epoch_counter += 1;
+        let epoch = self.epoch_counter;
+        let paths: Vec<Vec<usize>> = self.flows.values().map(|f| f.path.clone()).collect();
+        let rates = max_min_rates(self.topo.capacities(), &paths);
+        let now = self.now;
+        let mut out = Vec::with_capacity(self.flows.len());
+        for ((&key, f), rate) in self.flows.iter_mut().zip(rates) {
+            f.rate = rate;
+            f.epoch = epoch;
+            out.push(estimate(key, f, now));
+        }
+        out
+    }
+}
+
+fn max_min_rates(capacity: &[f64], paths: &[Vec<usize>]) -> Vec<f64> {
+    crate::maxmin::max_min_allocate(capacity, paths)
+}
+
+fn estimate(key: u64, f: &FlowState, now: SimTime) -> FlowEstimate {
+    let begin = if f.active_at > now { f.active_at } else { now };
+    let done_at = if f.remaining <= EPS_BYTES || f.rate.is_infinite() {
+        begin
+    } else {
+        begin + ceil_micros(f.remaining / f.rate)
+    };
+    FlowEstimate {
+        key,
+        done_at,
+        epoch: f.epoch,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_cluster::{Cluster, ClusterBuilder, GpuModel};
+
+    fn cluster() -> Cluster {
+        ClusterBuilder::new()
+            .node("a", GpuModel::A40, 2)
+            .node("b", GpuModel::Rtx3090Ti, 2)
+            .node("c", GpuModel::A5000, 1)
+            .inter_link(0, 1, 1e9, SimDuration::from_micros(300))
+            .inter_link(0, 2, 1e9, SimDuration::from_micros(300))
+            .inter_link(1, 2, 1e9, SimDuration::from_micros(300))
+            .build()
+            .unwrap()
+    }
+
+    fn done_of(estimates: &[FlowEstimate], key: u64) -> SimTime {
+        estimates
+            .iter()
+            .find(|e| e.key == key)
+            .map(|e| e.done_at)
+            .unwrap_or_else(|| panic!("no estimate for flow {key}"))
+    }
+
+    #[test]
+    fn single_flow_matches_alpha_beta_time() {
+        let mut fab = FlowFabric::from_cluster(&cluster());
+        // 1 GB over the 1 GB/s node0 → node1 link, alpha 300us.
+        let est = fab.start(7, GpuId(0), GpuId(2), 1e9, SimTime::ZERO);
+        assert_eq!(est.len(), 1);
+        assert_eq!(
+            est[0].done_at,
+            SimTime::from_micros(300) + SimDuration::from_secs(1)
+        );
+        match fab.poll(7, est[0].epoch, est[0].done_at) {
+            FlowPoll::Done(rest) => assert!(rest.is_empty()),
+            other => panic!("expected Done, got {other:?}"),
+        }
+        assert!(fab.is_empty());
+    }
+
+    #[test]
+    fn loopback_flow_finishes_instantly() {
+        let mut fab = FlowFabric::from_cluster(&cluster());
+        let est = fab.start(1, GpuId(0), GpuId(0), 5e9, SimTime::from_micros(10));
+        assert_eq!(est[0].done_at, SimTime::from_micros(10));
+        assert!(matches!(
+            fab.poll(1, est[0].epoch, est[0].done_at),
+            FlowPoll::Done(_)
+        ));
+    }
+
+    #[test]
+    fn shared_uplink_halves_rates_and_finish_frees_bandwidth() {
+        let mut fab = FlowFabric::from_cluster(&cluster());
+        let t0 = SimTime::ZERO;
+        // Both flows leave node 0 (GPU 0 and GPU 1) for different nodes:
+        // they share node 0's 1 GB/s uplink.
+        let est = fab.start(1, GpuId(0), GpuId(2), 1e9, t0);
+        let first_done = done_of(&est, 1);
+        let est = fab.start(2, GpuId(1), GpuId(4), 1e9, t0);
+        // Halved bandwidth: both now finish in ~2s, so flow 1's refreshed
+        // estimate is later than its solo estimate.
+        assert!(done_of(&est, 1) > first_done);
+        let twice = done_of(&est, 1);
+        assert_eq!(twice, SimTime::from_micros(300) + SimDuration::from_secs(2));
+        // Old (solo) estimate for flow 1 is now stale.
+        assert!(matches!(fab.poll(1, 1, first_done), FlowPoll::Stale));
+        // Cancel flow 2 halfway: flow 1 gets the uplink back and its fresh
+        // estimate moves earlier again.
+        let est = fab.cancel(2, SimTime::from_secs_f64(1.0));
+        assert_eq!(fab.len(), 1);
+        let after_cancel = done_of(&est, 1);
+        assert!(after_cancel < twice, "{after_cancel} !< {twice}");
+        match fab.poll(1, est[0].epoch, after_cancel) {
+            FlowPoll::Done(rest) => assert!(rest.is_empty()),
+            other => panic!("expected Done, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn receiver_downlink_contends_across_senders() {
+        let mut fab = FlowFabric::from_cluster(&cluster());
+        // Different source nodes, one destination GPU: node 2's downlink is
+        // the shared bottleneck — precisely the effect the legacy
+        // sender-serialized model cannot produce.
+        let est = fab.start(1, GpuId(0), GpuId(4), 1e9, SimTime::ZERO);
+        assert_eq!(
+            done_of(&est, 1),
+            SimTime::from_micros(300) + SimDuration::from_secs(1)
+        );
+        let est = fab.start(2, GpuId(2), GpuId(4), 1e9, SimTime::ZERO);
+        assert_eq!(
+            done_of(&est, 1),
+            SimTime::from_micros(300) + SimDuration::from_secs(2)
+        );
+        assert_eq!(
+            done_of(&est, 2),
+            SimTime::from_micros(300) + SimDuration::from_secs(2)
+        );
+    }
+
+    #[test]
+    fn stale_epochs_survive_key_reuse() {
+        let mut fab = FlowFabric::from_cluster(&cluster());
+        let est = fab.start(9, GpuId(0), GpuId(2), 1e9, SimTime::ZERO);
+        let old_epoch = est[0].epoch;
+        // Link fault: cancel, then retry under the same key.
+        fab.cancel(9, SimTime::from_micros(500));
+        let est = fab.start(9, GpuId(0), GpuId(2), 1e9, SimTime::from_micros(1_000));
+        // The old completion event must not complete the new incarnation.
+        assert!(matches!(
+            fab.poll(9, old_epoch, SimTime::from_secs_f64(1.2)),
+            FlowPoll::Stale
+        ));
+        assert!(matches!(
+            fab.poll(9, est[0].epoch, est[0].done_at),
+            FlowPoll::Done(_)
+        ));
+    }
+
+    /// Satellite: identical flow sets inserted in permuted order produce
+    /// bit-identical completion times.
+    #[test]
+    fn completion_times_are_insertion_order_invariant() {
+        let flows: [(u64, GpuId, GpuId, f64); 4] = [
+            (3, GpuId(0), GpuId(2), 7e8),
+            (1, GpuId(1), GpuId(4), 3e8),
+            (4, GpuId(2), GpuId(0), 5e8),
+            (2, GpuId(0), GpuId(4), 9e8),
+        ];
+        let t0 = SimTime::ZERO;
+        let mut fab_a = FlowFabric::from_cluster(&cluster());
+        let mut fab_b = FlowFabric::from_cluster(&cluster());
+        let mut last_a = Vec::new();
+        for &(k, from, to, bytes) in &flows {
+            last_a = fab_a.start(k, from, to, bytes, t0);
+        }
+        let mut last_b = Vec::new();
+        for &(k, from, to, bytes) in flows.iter().rev() {
+            last_b = fab_b.start(k, from, to, bytes, t0);
+        }
+        last_a.sort_by_key(|e| e.key);
+        last_b.sort_by_key(|e| e.key);
+        assert_eq!(last_a.len(), last_b.len());
+        for (a, b) in last_a.iter().zip(&last_b) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.done_at, b.done_at, "flow {}", a.key);
+        }
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_after_alpha() {
+        let mut fab = FlowFabric::from_cluster(&cluster());
+        let est = fab.start(5, GpuId(0), GpuId(2), 0.0, SimTime::ZERO);
+        assert_eq!(est[0].done_at, SimTime::from_micros(300));
+        assert!(matches!(
+            fab.poll(5, est[0].epoch, est[0].done_at),
+            FlowPoll::Done(_)
+        ));
+    }
+
+    #[test]
+    fn cancel_of_unknown_key_is_a_noop() {
+        let mut fab = FlowFabric::from_cluster(&cluster());
+        let before = fab.start(1, GpuId(0), GpuId(2), 1e9, SimTime::ZERO);
+        let out = fab.cancel(42, SimTime::from_micros(10));
+        assert!(out.is_empty());
+        // Flow 1's estimate was not re-stamped.
+        assert!(matches!(
+            fab.poll(1, before[0].epoch, before[0].done_at),
+            FlowPoll::Done(_)
+        ));
+    }
+}

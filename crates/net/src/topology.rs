@@ -1,0 +1,201 @@
+//! The fabric link graph derived from a cluster topology.
+//!
+//! Flow-level modeling needs a small, fixed set of capacitated resources.
+//! From a [`Cluster`] we derive, per node, a NIC **uplink** and a NIC
+//! **downlink** (capacity = the fastest ethernet link the node terminates),
+//! an **intra-node bus** (PCIe/NVLink), and one **fabric link** per
+//! unordered node pair (capacity = that pair's ethernet bandwidth). A
+//! transfer between two GPUs then crosses:
+//!
+//! * nothing, if the GPUs are the same device (loopback);
+//! * the intra-node bus, if they share a node;
+//! * sender uplink → pair fabric link → receiver downlink otherwise.
+//!
+//! Splitting the NIC from the pairwise fabric link matters on heterogeneous
+//! clouds: a node sending to two *different* peers still serializes on its
+//! own NIC, while two different senders targeting one receiver contend on
+//! the receiver's downlink — neither effect exists in a pure pairwise
+//! model.
+
+use ts_cluster::Cluster;
+use ts_common::{GpuId, NodeId, SimDuration};
+
+/// The capacitated link graph of one cluster, with stable link indices.
+#[derive(Debug, Clone)]
+pub struct FabricTopology {
+    /// Capacity per link in bytes/s (uplinks, then downlinks, then
+    /// intra-node buses, then inter-node fabric links in lexicographic
+    /// `(a, b)` order with `a < b`).
+    capacity: Vec<f64>,
+    /// Hosting node per GPU id.
+    gpu_node: Vec<usize>,
+    /// `inter_index[a][b]`: link index of the (a, b) fabric link.
+    inter_index: Vec<Vec<usize>>,
+    /// Alpha (startup latency) per GPU pair is looked up lazily; we keep
+    /// node-pair latencies here to stay self-contained after construction.
+    inter_latency: Vec<Vec<SimDuration>>,
+    intra_latency: Vec<SimDuration>,
+    num_nodes: usize,
+}
+
+impl FabricTopology {
+    /// Derives the link graph from `cluster`.
+    pub fn from_cluster(cluster: &Cluster) -> Self {
+        let n = cluster.num_nodes();
+        let mut capacity = Vec::with_capacity(3 * n + n * (n - 1) / 2);
+        for i in 0..n {
+            capacity.push(cluster.nic_bandwidth(NodeId(i as u32))); // uplink
+        }
+        for i in 0..n {
+            capacity.push(cluster.nic_bandwidth(NodeId(i as u32))); // downlink
+        }
+        for i in 0..n {
+            capacity.push(cluster.node(NodeId(i as u32)).intra_bw); // bus
+        }
+        let mut inter_index = vec![vec![usize::MAX; n]; n];
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let idx = capacity.len();
+                capacity.push(cluster.inter_node_bandwidth(NodeId(a as u32), NodeId(b as u32)));
+                inter_index[a][b] = idx;
+                inter_index[b][a] = idx;
+            }
+        }
+        let gpu_node = (0..cluster.num_gpus())
+            .map(|g| cluster.gpu(GpuId(g as u32)).node.index())
+            .collect();
+        let inter_latency = (0..n)
+            .map(|a| {
+                (0..n)
+                    .map(|b| cluster.inter_node_latency(NodeId(a as u32), NodeId(b as u32)))
+                    .collect()
+            })
+            .collect();
+        let intra_latency = (0..n)
+            .map(|i| cluster.node(NodeId(i as u32)).intra_latency)
+            .collect();
+        FabricTopology {
+            capacity,
+            gpu_node,
+            inter_index,
+            inter_latency,
+            intra_latency,
+            num_nodes: n,
+        }
+    }
+
+    /// Link capacities, indexable by the link ids [`FabricTopology::path`]
+    /// returns.
+    pub fn capacities(&self) -> &[f64] {
+        &self.capacity
+    }
+
+    /// Number of nodes in the underlying cluster.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Link index of node `n`'s NIC uplink.
+    pub fn uplink(&self, n: usize) -> usize {
+        n
+    }
+
+    /// Link index of node `n`'s NIC downlink.
+    pub fn downlink(&self, n: usize) -> usize {
+        self.num_nodes + n
+    }
+
+    /// Link index of node `n`'s intra-node bus.
+    pub fn intra(&self, n: usize) -> usize {
+        2 * self.num_nodes + n
+    }
+
+    /// The hosting node of a GPU.
+    pub fn node_of(&self, gpu: GpuId) -> usize {
+        self.gpu_node[gpu.index()]
+    }
+
+    /// The links a `from → to` transfer crosses, in traversal order. Empty
+    /// for loopback (same GPU) transfers.
+    pub fn path(&self, from: GpuId, to: GpuId) -> Vec<usize> {
+        if from == to {
+            return Vec::new();
+        }
+        let a = self.node_of(from);
+        let b = self.node_of(to);
+        if a == b {
+            vec![self.intra(a)]
+        } else {
+            vec![self.uplink(a), self.inter_index[a][b], self.downlink(b)]
+        }
+    }
+
+    /// The startup latency (alpha) of a `from → to` transfer.
+    pub fn alpha(&self, from: GpuId, to: GpuId) -> SimDuration {
+        if from == to {
+            return SimDuration::ZERO;
+        }
+        let a = self.node_of(from);
+        let b = self.node_of(to);
+        if a == b {
+            self.intra_latency[a]
+        } else {
+            self.inter_latency[a][b]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_cluster::{ClusterBuilder, GpuModel};
+
+    fn cluster() -> Cluster {
+        ClusterBuilder::new()
+            .node("a", GpuModel::A40, 2)
+            .node("b", GpuModel::Rtx3090Ti, 2)
+            .node("c", GpuModel::A5000, 1)
+            .inter_link(0, 1, 5e9, SimDuration::from_micros(300))
+            .inter_link(0, 2, 1e9, SimDuration::from_micros(400))
+            .inter_link(1, 2, 2e9, SimDuration::from_micros(500))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn link_layout_and_capacities() {
+        let t = FabricTopology::from_cluster(&cluster());
+        // 3 uplinks + 3 downlinks + 3 buses + 3 node pairs.
+        assert_eq!(t.capacities().len(), 12);
+        // NIC capacity = fastest terminated ethernet link.
+        assert_eq!(t.capacities()[t.uplink(0)], 5e9);
+        assert_eq!(t.capacities()[t.downlink(1)], 5e9);
+        assert_eq!(t.capacities()[t.uplink(2)], 2e9);
+    }
+
+    #[test]
+    fn paths_cross_the_expected_links() {
+        let t = FabricTopology::from_cluster(&cluster());
+        // Loopback: no links.
+        assert!(t.path(GpuId(0), GpuId(0)).is_empty());
+        // Same node: just the bus.
+        assert_eq!(t.path(GpuId(0), GpuId(1)), vec![t.intra(0)]);
+        // Cross-node: uplink, fabric link, downlink — and the reverse
+        // direction shares the fabric link but flips NIC roles.
+        let fwd = t.path(GpuId(0), GpuId(2));
+        let rev = t.path(GpuId(2), GpuId(0));
+        assert_eq!(fwd.len(), 3);
+        assert_eq!(fwd[0], t.uplink(0));
+        assert_eq!(fwd[2], t.downlink(1));
+        assert_eq!(rev[0], t.uplink(1));
+        assert_eq!(rev[2], t.downlink(0));
+        assert_eq!(fwd[1], rev[1]);
+    }
+
+    #[test]
+    fn alpha_follows_link_class() {
+        let t = FabricTopology::from_cluster(&cluster());
+        assert_eq!(t.alpha(GpuId(0), GpuId(0)), SimDuration::ZERO);
+        assert_eq!(t.alpha(GpuId(0), GpuId(4)), SimDuration::from_micros(400));
+    }
+}

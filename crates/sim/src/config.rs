@@ -23,6 +23,18 @@ pub struct SimConfig {
     /// Whether KV transfer uses the replica-pair link model with queuing
     /// (true) or is assumed free (ablation switch for Figure 12).
     pub model_kv_transfer: bool,
+    /// Flow-level network contention: when true (and
+    /// [`SimConfig::model_kv_transfer`] is on), KV transfers run over the
+    /// `ts-net` fabric — concurrent flows share NIC uplinks/downlinks and
+    /// inter-node links max-min fairly instead of serializing per sender.
+    /// Off by default; the legacy model keeps the paper figures
+    /// bit-identical.
+    pub network_contention: bool,
+    /// Multiplicative congestion factor (≥ 1) the *analytic* estimator
+    /// applies to KV wire bytes when pricing transfers, approximating the
+    /// slowdown from sharing links. Exactly 1.0 (the default) reproduces the
+    /// uncongested arithmetic bit for bit.
+    pub kv_congestion_factor: f64,
     /// SLO-aware decode batching: when set, a decode replica stops admitting
     /// new sequences once the projected step latency would exceed this TPOT
     /// deadline (DistServe-style batch capping; at least one sequence is
@@ -74,6 +86,8 @@ impl SimConfig {
             max_prefill_batch_tokens: 4096,
             max_decode_batch: 256,
             model_kv_transfer: true,
+            network_contention: false,
+            kv_congestion_factor: 1.0,
             tpot_batch_cap: None,
             prefill_policy: PrefillPolicy::Fcfs,
             prefill_chunk_tokens: None,
@@ -92,6 +106,26 @@ impl SimConfig {
     /// Returns a copy with the given KV precision.
     pub fn with_kv_precision(mut self, p: KvWirePrecision) -> Self {
         self.kv_precision = p;
+        self
+    }
+
+    /// Returns a copy with flow-level network contention on KV transfers
+    /// enabled (or disabled).
+    pub fn with_network_contention(mut self, on: bool) -> Self {
+        self.network_contention = on;
+        self
+    }
+
+    /// Returns a copy with the analytic estimator's KV congestion factor.
+    ///
+    /// # Panics
+    /// Panics if `factor` is below 1 or not finite.
+    pub fn with_kv_congestion_factor(mut self, factor: f64) -> Self {
+        assert!(
+            factor >= 1.0 && factor.is_finite(),
+            "congestion factor must be finite and >= 1, got {factor}"
+        );
+        self.kv_congestion_factor = factor;
         self
     }
 
@@ -142,6 +176,23 @@ mod tests {
         let c = SimConfig::new(ModelSpec::llama_7b());
         assert_eq!(c.kv_precision, KvWirePrecision::DEFAULT_COMPRESSED);
         assert!(c.model_kv_transfer);
+        assert!(!c.network_contention);
+        assert_eq!(c.kv_congestion_factor, 1.0);
+    }
+
+    #[test]
+    fn network_contention_builders() {
+        let c = SimConfig::new(ModelSpec::llama_7b())
+            .with_network_contention(true)
+            .with_kv_congestion_factor(1.5);
+        assert!(c.network_contention);
+        assert_eq!(c.kv_congestion_factor, 1.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn congestion_factor_below_one_rejected() {
+        let _ = SimConfig::new(ModelSpec::llama_7b()).with_kv_congestion_factor(0.5);
     }
 
     #[test]

@@ -734,3 +734,198 @@ mod policy_tests {
         assert_eq!(sjf.num_completed() + sjf.num_dropped(), trace.len());
     }
 }
+
+#[cfg(test)]
+mod fabric_tests {
+    use super::*;
+    use crate::fault::{FaultKind, FaultScript, TimedFault};
+    use ts_cluster::presets;
+    use ts_common::{GpuId, GroupSpec, ModelSpec, ParallelConfig, Phase, RoutingMatrix, StageSpec};
+    use ts_workload::{generator::generate, spec};
+
+    /// 4xA40 prefill + two 2x3090Ti decode replicas on a slow (5 Gbps)
+    /// fabric, so concurrent KV transfers genuinely contend.
+    fn contended_testbed() -> (ts_cluster::Cluster, DeploymentPlan, SimConfig) {
+        let cluster = presets::network_case_cluster(presets::ETH_5GBPS);
+        let model = ModelSpec::llama_13b();
+        let group = |phase, ids: &[u32], tp: usize| {
+            GroupSpec::new(
+                phase,
+                ParallelConfig::new(tp, 1).unwrap(),
+                vec![StageSpec {
+                    gpus: ids.iter().map(|&i| GpuId(i)).collect(),
+                    layers: model.num_layers,
+                }],
+            )
+            .unwrap()
+        };
+        let plan = DeploymentPlan::new(
+            vec![
+                group(Phase::Prefill, &[0, 1, 2, 3], 4),
+                group(Phase::Decode, &[4, 5], 2),
+                group(Phase::Decode, &[6, 7], 2),
+            ],
+            RoutingMatrix::uniform(1, 2),
+        )
+        .unwrap();
+        (cluster, plan, SimConfig::new(model))
+    }
+
+    fn mean_wire_secs(m: &crate::metrics::Metrics) -> f64 {
+        let moved: Vec<_> = m
+            .records()
+            .iter()
+            .filter(|r| r.kv_done_at.is_some())
+            .collect();
+        assert!(!moved.is_empty(), "no transfers recorded");
+        moved
+            .iter()
+            .map(|r| r.kv_wire_time.as_secs_f64())
+            .sum::<f64>()
+            / moved.len() as f64
+    }
+
+    #[test]
+    fn fabric_run_completes_and_is_deterministic() {
+        let (cluster, plan, cfg) = contended_testbed();
+        let cfg = cfg.with_network_contention(true);
+        let reqs = generate(&spec::coding(1.0), SimDuration::from_secs(40), 31);
+        let run = || {
+            Simulation::new(&cluster, &plan, cfg.clone())
+                .unwrap()
+                .run(&reqs)
+                .unwrap()
+        };
+        let m = run();
+        assert_eq!(m.num_completed(), reqs.len());
+        for r in m.records() {
+            if let Some(done) = r.kv_done_at {
+                // The KV moves between prefill completion (= first token)
+                // and the end of decode.
+                assert!(done >= r.first_token_at, "{done} < {}", r.first_token_at);
+                assert!(done <= r.finished_at);
+                assert_eq!(r.kv_overhead(), r.kv_queue_wait + r.kv_wire_time);
+            }
+        }
+        assert_eq!(m, run(), "fabric scheduling must stay deterministic");
+    }
+
+    #[test]
+    fn contention_grows_wire_time_with_load() {
+        // More concurrent flows -> each gets a smaller max-min share -> the
+        // per-transfer wire time stretches. The legacy serialization model
+        // cannot show this (wire time is load-independent there).
+        let (cluster, plan, cfg) = contended_testbed();
+        let cfg = cfg.with_network_contention(true);
+        let run = |rate: f64, seed: u64| {
+            let reqs = generate(
+                &spec::fixed(1024, 16, rate),
+                SimDuration::from_secs(60),
+                seed,
+            );
+            Simulation::new(&cluster, &plan, cfg.clone())
+                .unwrap()
+                .run(&reqs)
+                .unwrap()
+        };
+        let lo = mean_wire_secs(&run(0.3, 32));
+        let hi = mean_wire_secs(&run(4.0, 32));
+        assert!(
+            hi > lo,
+            "wire time should grow with concurrent load: {hi} <= {lo}"
+        );
+    }
+
+    #[test]
+    fn contention_flag_is_inert_without_kv_modeling() {
+        // The fabric only engages when transfers are modeled at all; with
+        // `model_kv_transfer` off the flag must change nothing, bit for bit.
+        let (cluster, plan, cfg) = contended_testbed();
+        let mut base = cfg;
+        base.model_kv_transfer = false;
+        let reqs = generate(&spec::coding(1.5), SimDuration::from_secs(40), 33);
+        let plain = Simulation::new(&cluster, &plan, base.clone())
+            .unwrap()
+            .run(&reqs)
+            .unwrap();
+        let flagged = Simulation::new(&cluster, &plan, base.with_network_contention(true))
+            .unwrap()
+            .run(&reqs)
+            .unwrap();
+        assert_eq!(plain, flagged);
+    }
+
+    #[test]
+    fn kv_timing_is_recorded_on_the_legacy_path() {
+        // Satellite: the timing decomposition rides the default (legacy)
+        // model too, not just the fabric.
+        let (cluster, plan, cfg) = contended_testbed();
+        let reqs = generate(&spec::fixed(1024, 16, 1.0), SimDuration::from_secs(40), 34);
+        let m = Simulation::new(&cluster, &plan, cfg)
+            .unwrap()
+            .run(&reqs)
+            .unwrap();
+        assert_eq!(m.num_completed(), reqs.len());
+        for r in m.records() {
+            let done = r.kv_done_at.expect("multi-token request must transfer");
+            assert!(r.kv_wire_time > SimDuration::ZERO, "modeled wire time");
+            assert!(done >= r.first_token_at && done <= r.finished_at);
+        }
+    }
+
+    #[test]
+    fn link_fault_mid_flow_retries_like_legacy() {
+        // Satellite: a link dying under the fabric kills in-flight flows,
+        // which re-enter through the same retry/backoff path (and the same
+        // RecoveryCounters) as the legacy completion-time check.
+        let (cluster, plan, cfg) = contended_testbed();
+        let reqs = generate(&spec::fixed(1024, 64, 2.0), SimDuration::from_secs(60), 35);
+        let script = FaultScript::new(
+            vec![
+                TimedFault {
+                    at: SimTime::from_secs_f64(10.0),
+                    kind: FaultKind::LinkDown {
+                        prefill: 0,
+                        decode: 0,
+                    },
+                },
+                TimedFault {
+                    at: SimTime::from_secs_f64(14.0),
+                    kind: FaultKind::LinkUp {
+                        prefill: 0,
+                        decode: 0,
+                    },
+                },
+            ],
+            SimDuration::from_millis(100),
+        );
+        let run = |c: SimConfig| {
+            Simulation::new(&cluster, &plan, c)
+                .unwrap()
+                .run_with_faults(&reqs, &script)
+                .unwrap()
+        };
+        let fabric = run(cfg.clone().with_network_contention(true));
+        let legacy = run(cfg);
+        assert!(
+            fabric.recovery().kv_transfer_retries > 0,
+            "flows killed by the link fault must retry: {:?}",
+            fabric.recovery()
+        );
+        assert!(legacy.recovery().kv_transfer_retries > 0);
+        assert_eq!(fabric.num_completed(), reqs.len());
+        assert_eq!(legacy.num_completed(), reqs.len());
+        // Neither model loses or double-counts work.
+        assert_eq!(fabric.recovery().requeued_requests, 0);
+        assert_eq!(fabric.recovery().reprefilled_tokens, 0);
+        // And the fabric run stays reproducible under faults.
+        let again = Simulation::new(&cluster, &plan, {
+            let (_, _, c) = contended_testbed();
+            c.with_network_contention(true)
+        })
+        .unwrap()
+        .run_with_faults(&reqs, &script)
+        .unwrap();
+        assert_eq!(fabric, again);
+    }
+}

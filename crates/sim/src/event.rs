@@ -54,6 +54,29 @@ pub enum EventKind {
         /// superseded attempts are discarded.
         attempt: u32,
     },
+    /// A delayed (backed-off) KV transfer enters the flow-level fabric.
+    /// Only scheduled when [`crate::config::SimConfig::network_contention`]
+    /// is on; immediate launches start their flow inline.
+    KvFlowLaunch {
+        /// The request whose KV cache starts moving.
+        request: RequestId,
+        /// Transfer attempt number this launch belongs to (see
+        /// [`EventKind::KvTransferDone`]); a superseding retry makes the
+        /// launch stale.
+        attempt: u32,
+    },
+    /// A completion estimate of the flow-level fabric matured for
+    /// `request`'s KV flow. The fabric re-estimates *every* flow whenever
+    /// one starts or finishes, so most of these events are stale by the
+    /// time they fire; `epoch` lets the fabric recognize the current one.
+    KvFlowDone {
+        /// The request whose KV flow (maybe) drained.
+        request: RequestId,
+        /// Fabric epoch of the estimate; stale epochs are discarded,
+        /// mirroring the replica-liveness epochs of
+        /// [`EventKind::PrefillDone`].
+        epoch: u64,
+    },
     /// Decode replica `replica` finished one decode step.
     DecodeStepDone {
         /// Index into the engine's decode replica list.

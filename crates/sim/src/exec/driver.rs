@@ -31,10 +31,12 @@ use crate::router::StrideRouter;
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use ts_cluster::Cluster;
 use ts_common::{
-    DeploymentPlan, Error, GroupSpec, Request, RequestId, Result, SimDuration, SimTime,
+    DeploymentPlan, Error, GpuId, GroupSpec, Request, RequestId, Result, SimDuration, SimTime,
 };
-use ts_costmodel::replica::{kv_route, kv_transfer_time, KvRouteSegment};
+use ts_costmodel::replica::{kv_route_legs, kv_transfer_time, KvRouteLeg, KvRouteSegment};
 use ts_costmodel::ReplicaCostModel;
+use ts_kvcache::codec::KvCodec;
+use ts_net::{FlowEstimate, FlowFabric, FlowPoll};
 
 /// An in-flight KV transfer (registry entry; completion events carry an
 /// attempt number so superseded attempts are ignored).
@@ -94,6 +96,18 @@ pub(crate) struct SplitState {
     /// Transfers whose target died with no live alternative; re-dispatched
     /// when a decode replica comes back.
     parked: Vec<Transfer>,
+    /// Flow-level network fabric. `Some` iff both
+    /// [`SimConfig::network_contention`] and [`SimConfig::model_kv_transfer`]
+    /// are on; `None` keeps the legacy per-sender serialization (and the
+    /// paper figures) bit-identical.
+    fabric: Option<FlowFabric>,
+    /// Per (prefill, decode) pair: representative endpoints and total layer
+    /// count for the fabric's one-flow-per-transfer approximation. The
+    /// endpoints come from the route leg carrying the most layers; the byte
+    /// count covers the whole route.
+    flow_routes: Vec<Vec<(GpuId, GpuId, usize)>>,
+    /// Wire codec sizing fabric flows (model × configured KV precision).
+    codec: KvCodec,
 }
 
 /// Colocated topology state: one executor pool serving both phases, with
@@ -149,13 +163,24 @@ impl Driver {
         }
         let (router, pair_coords) = StrideRouter::from_matrix(plan.routing.rates())?;
         let mut routes = Vec::with_capacity(prefills.len());
+        let mut flow_routes = Vec::with_capacity(prefills.len());
         for p in &prefills {
             let mut row = Vec::with_capacity(decodes.len());
+            let mut flow_row = Vec::with_capacity(decodes.len());
             for d in &decodes {
-                row.push(kv_route(cluster, &p.cost, &d.cost));
+                let legs = kv_route_legs(cluster, &p.cost, &d.cost);
+                flow_row.push(flow_endpoints(&legs));
+                row.push(legs.iter().map(KvRouteLeg::segment).collect());
             }
             routes.push(row);
+            flow_routes.push(flow_row);
         }
+        let fabric = if cfg.network_contention && cfg.model_kv_transfer {
+            Some(FlowFabric::from_cluster(cluster))
+        } else {
+            None
+        };
+        let codec = KvCodec::new(cfg.model.clone(), cfg.kv_precision);
         let sender_free_at = vec![SimTime::ZERO; prefills.len()];
         let link_down = vec![vec![false; decodes.len()]; prefills.len()];
         let believed_dead_prefill = vec![false; prefills.len()];
@@ -173,6 +198,9 @@ impl Driver {
                 believed_dead_decode,
                 transfers: HashMap::new(),
                 parked: Vec::new(),
+                fabric,
+                flow_routes,
+                codec,
             }),
         })
     }
@@ -275,6 +303,22 @@ impl Driver {
                         unreachable!()
                     };
                     split_on_transfer_done(core, s, replica, request, attempt)?;
+                }
+                EventKind::KvFlowLaunch { request, attempt } => {
+                    self.split_mut("KvFlowLaunch")?;
+                    let Driver { core, topo } = self;
+                    let Topology::Split(s) = topo else {
+                        unreachable!()
+                    };
+                    split_on_flow_launch(core, s, request, attempt);
+                }
+                EventKind::KvFlowDone { request, epoch } => {
+                    self.split_mut("KvFlowDone")?;
+                    let Driver { core, topo } = self;
+                    let Topology::Split(s) = topo else {
+                        unreachable!()
+                    };
+                    split_on_flow_done(core, s, request, epoch)?;
                 }
                 EventKind::DecodeStepDone { replica, epoch } => {
                     let s = self.split_mut("DecodeStepDone")?;
@@ -402,6 +446,9 @@ impl Driver {
                 prefill: 0,
                 decode: 0,
                 first_token_at: None,
+                kv_enqueued_at: None,
+                kv_wire_started_at: None,
+                kv_done_at: None,
             },
         );
         self.dispatch_job(PrefillJob::fresh(req));
@@ -497,6 +544,17 @@ impl Driver {
                 }
                 FaultKind::LinkDown { prefill, decode } => {
                     s.link_down[prefill][decode] = true;
+                    // Under the flow-level fabric the fault is visible
+                    // immediately: in-flight flows on the link die now and
+                    // re-enter through the usual retry/backoff path. (The
+                    // legacy model instead notices at completion time.)
+                    if s.fabric.is_some() {
+                        let Driver { core, topo } = self;
+                        let Topology::Split(s) = topo else {
+                            unreachable!()
+                        };
+                        split_kill_link_flows(core, s, prefill, decode);
+                    }
                 }
                 FaultKind::LinkUp { prefill, decode } => {
                     s.link_down[prefill][decode] = false;
@@ -720,6 +778,16 @@ fn finish(core: &mut Core, req: Request, at: SimTime, max_token_gap: SimDuration
     let first = pend
         .first_token_at
         .ok_or_else(|| Error::Simulation(format!("finish before prefill: {}", req.id)))?;
+    // KV-transfer decomposition: queue wait on the sender, then wire time.
+    // Requests that never transferred (colocated, single-token) record zero.
+    let kv_queue_wait = match (pend.kv_enqueued_at, pend.kv_wire_started_at) {
+        (Some(enq), Some(wire)) => wire.saturating_since(enq),
+        _ => SimDuration::ZERO,
+    };
+    let kv_wire_time = match (pend.kv_wire_started_at, pend.kv_done_at) {
+        (Some(wire), Some(done)) => done.saturating_since(wire),
+        _ => SimDuration::ZERO,
+    };
     core.records.push(RequestRecord {
         request: req,
         prefill_replica: pend.prefill,
@@ -727,6 +795,9 @@ fn finish(core: &mut Core, req: Request, at: SimTime, max_token_gap: SimDuration
         first_token_at: first,
         finished_at: at,
         max_token_gap,
+        kv_queue_wait,
+        kv_wire_time,
+        kv_done_at: pend.kv_done_at,
     });
     clear_affected(core, req.id);
     Ok(())
@@ -838,14 +909,64 @@ fn split_on_prefill_done(core: &mut Core, s: &mut SplitState, i: usize) -> Resul
     Ok(())
 }
 
-/// Schedules (or re-schedules) a KV transfer on the sender's uplink after
-/// an optional backoff delay and registers it.
+/// Representative endpoints and total layer count for a KV route, used by
+/// the fabric's one-flow-per-transfer approximation: the flow runs between
+/// the endpoints of the leg carrying the most layers (first wins on ties,
+/// for determinism) and carries the whole route's bytes.
+fn flow_endpoints(legs: &[KvRouteLeg]) -> (GpuId, GpuId, usize) {
+    let mut best: Option<&KvRouteLeg> = None;
+    let mut total = 0usize;
+    for leg in legs {
+        total += leg.layers;
+        if best.map(|b| leg.layers > b.layers).unwrap_or(true) {
+            best = Some(leg);
+        }
+    }
+    match best {
+        Some(leg) => (leg.from, leg.to, total),
+        None => (GpuId(0), GpuId(0), 0),
+    }
+}
+
+/// Schedules (or re-schedules) a KV transfer after an optional backoff
+/// delay and registers it. Three paths:
+///
+/// * fabric on — the transfer becomes a flow in the `ts-net` fabric
+///   (immediately, or via a [`EventKind::KvFlowLaunch`] event after the
+///   backoff);
+/// * legacy, modeled — the transfer serializes on the sender's uplink;
+/// * zero duration (transfer modeling off, or a degenerate route) — the
+///   transfer completes after the delay alone, without queuing on (or
+///   advancing) the sender's uplink.
 fn split_launch_transfer(
     core: &mut Core,
     s: &mut SplitState,
     transfer: Transfer,
     delay: SimDuration,
 ) {
+    let id = transfer.job.req.id;
+    // First attempt stamps the enqueue time; retries keep the original.
+    if let Some(p) = core.pending.get_mut(&id) {
+        if p.kv_enqueued_at.is_none() {
+            p.kv_enqueued_at = Some(core.now);
+        }
+    }
+    if s.fabric.is_some() {
+        let attempt = transfer.attempt;
+        s.transfers.insert(id, transfer);
+        if delay == SimDuration::ZERO {
+            split_start_flow(core, s, id);
+        } else {
+            core.queue.push(
+                core.now + delay,
+                EventKind::KvFlowLaunch {
+                    request: id,
+                    attempt,
+                },
+            );
+        }
+        return;
+    }
     let dur = if core.cfg.model_kv_transfer {
         let ratio = core.cfg.kv_precision.ratio_vs_f16();
         kv_transfer_time(
@@ -857,21 +978,149 @@ fn split_launch_transfer(
     } else {
         SimDuration::ZERO
     };
+    // A transfer that occupies the wire for zero time must not serialize on
+    // the uplink — and, crucially, must not push `sender_free_at` out to
+    // `now + delay`, which would make *modeled* transfers behind it queue
+    // on a link nothing ever used.
+    if dur == SimDuration::ZERO {
+        let done = core.now + delay;
+        if let Some(p) = core.pending.get_mut(&id) {
+            p.kv_wire_started_at = Some(done);
+        }
+        core.queue.push(
+            done,
+            EventKind::KvTransferDone {
+                replica: transfer.to,
+                request: id,
+                attempt: transfer.attempt,
+            },
+        );
+        s.transfers.insert(id, transfer);
+        return;
+    }
     // Serialize transfers on the sender's uplink; the sequence only
     // becomes admissible at the decode replica once its own KV transfer
     // completes (see split_on_transfer_done).
     let start = s.sender_free_at[transfer.from].max(core.now + delay);
     let done = start + dur;
     s.sender_free_at[transfer.from] = done;
+    if let Some(p) = core.pending.get_mut(&id) {
+        p.kv_wire_started_at = Some(start);
+    }
     core.queue.push(
         done,
         EventKind::KvTransferDone {
             replica: transfer.to,
-            request: transfer.job.req.id,
+            request: id,
             attempt: transfer.attempt,
         },
     );
-    s.transfers.insert(transfer.job.req.id, transfer);
+    s.transfers.insert(id, transfer);
+}
+
+/// Starts the fabric flow for a registered transfer and schedules the
+/// refreshed completion estimates of every active flow.
+fn split_start_flow(core: &mut Core, s: &mut SplitState, request: RequestId) {
+    let Some(&t) = s.transfers.get(&request) else {
+        return; // dropped while the launch was in flight
+    };
+    let Some(fabric) = s.fabric.as_mut() else {
+        return;
+    };
+    let (from, to, layers) = s.flow_routes[t.from][t.to];
+    let bytes = s.codec.wire_bytes_layers(t.job.tokens, layers) as f64;
+    if let Some(p) = core.pending.get_mut(&request) {
+        p.kv_wire_started_at = Some(core.now);
+    }
+    let estimates = fabric.start(request.0, from, to, bytes, core.now);
+    schedule_flow_events(core, estimates);
+}
+
+/// Schedules a [`EventKind::KvFlowDone`] for each fabric estimate.
+fn schedule_flow_events(core: &mut Core, estimates: Vec<FlowEstimate>) {
+    for e in estimates {
+        core.queue.push(
+            e.done_at,
+            EventKind::KvFlowDone {
+                request: RequestId(e.key),
+                epoch: e.epoch,
+            },
+        );
+    }
+}
+
+/// A delayed (backed-off) flow launch fired; start the flow unless a newer
+/// attempt superseded it.
+fn split_on_flow_launch(core: &mut Core, s: &mut SplitState, request: RequestId, attempt: u32) {
+    let Some(&t) = s.transfers.get(&request) else {
+        return;
+    };
+    if t.attempt != attempt {
+        return;
+    }
+    split_start_flow(core, s, request);
+}
+
+/// A fabric completion estimate matured: ask the fabric whether the flow
+/// really drained (most estimates are stale — every fabric change
+/// re-estimates all flows).
+fn split_on_flow_done(
+    core: &mut Core,
+    s: &mut SplitState,
+    request: RequestId,
+    epoch: u64,
+) -> Result<()> {
+    let Some(fabric) = s.fabric.as_mut() else {
+        return Ok(());
+    };
+    match fabric.poll(request.0, epoch, core.now) {
+        FlowPoll::Stale => Ok(()),
+        FlowPoll::InFlight(e) => {
+            schedule_flow_events(core, vec![e]);
+            Ok(())
+        }
+        FlowPoll::Done(rest) => {
+            schedule_flow_events(core, rest);
+            split_deliver_transfer(core, s, request)
+        }
+    }
+}
+
+/// Kills every in-flight fabric flow crossing the (prefill, decode) link
+/// that just faulted. Victims re-enter through the standard retry/backoff
+/// path (or are dropped when recovery is off), matching the accounting of
+/// the legacy completion-time check.
+fn split_kill_link_flows(core: &mut Core, s: &mut SplitState, prefill: usize, decode: usize) {
+    let Some(fabric) = s.fabric.as_ref() else {
+        return;
+    };
+    let mut victims: Vec<RequestId> = s
+        .transfers
+        .iter()
+        .filter(|(id, t)| t.from == prefill && t.to == decode && fabric.contains(id.0))
+        .map(|(&id, _)| id)
+        .collect();
+    victims.sort_unstable();
+    for id in victims {
+        let estimates = match s.fabric.as_mut() {
+            Some(f) => f.cancel(id.0, core.now),
+            None => unreachable!(),
+        };
+        schedule_flow_events(core, estimates);
+        let Some(&t) = s.transfers.get(&id) else {
+            continue;
+        };
+        if !core.recovery_enabled {
+            s.transfers.remove(&id);
+            drop_request(core, id);
+            continue;
+        }
+        let mut t = t;
+        t.attempt += 1;
+        core.recovery.kv_transfer_retries += 1;
+        let delay = retry_backoff(core, t.attempt);
+        split_launch_transfer(core, s, t, delay);
+    }
 }
 
 fn split_on_transfer_done(
@@ -887,6 +1136,16 @@ fn split_on_transfer_done(
     if t.attempt != attempt || t.to != replica {
         return Ok(()); // stale attempt
     }
+    split_deliver_transfer(core, s, request)
+}
+
+/// The bytes of `request`'s KV transfer arrived (legacy or fabric path):
+/// retry if the link died underneath it, re-target if the decode replica
+/// died, otherwise hand the sequence to the decode replica.
+fn split_deliver_transfer(core: &mut Core, s: &mut SplitState, request: RequestId) -> Result<()> {
+    let Some(&t) = s.transfers.get(&request) else {
+        return Ok(());
+    };
     if s.link_down[t.from][t.to] {
         // The link faulted mid-transfer. With recovery the sender retries
         // after a capped exponential backoff; without, the request is
@@ -915,6 +1174,9 @@ fn split_on_transfer_done(
     }
     // Delivered.
     s.transfers.remove(&request);
+    if let Some(p) = core.pending.get_mut(&request) {
+        p.kv_done_at = Some(core.now);
+    }
     let d = &mut s.decodes[t.to];
     d.batch.waiting.push_back(WaitingSeq {
         id: request,
@@ -1134,4 +1396,159 @@ fn colo_on_work_done(core: &mut Core, c: &mut ColoState, ri: usize) -> Result<()
 fn colo_refresh_router(core: &mut Core, c: &ColoState) {
     let mask: Vec<bool> = c.believed_dead.iter().map(|&dead| !dead).collect();
     core.router.apply_mask(&mask);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_cluster::presets;
+    use ts_common::{GpuId, ModelSpec, ParallelConfig, Phase, RoutingMatrix, StageSpec};
+
+    fn testbed(cfg_edit: impl FnOnce(&mut SimConfig)) -> Driver {
+        let cluster = presets::network_case_cluster(presets::ETH_5GBPS);
+        let model = ModelSpec::llama_13b();
+        let group = |phase, ids: [u32; 4]| {
+            GroupSpec::new(
+                phase,
+                ParallelConfig::new(4, 1).unwrap(),
+                vec![StageSpec {
+                    gpus: ids.iter().map(|&i| GpuId(i)).collect(),
+                    layers: model.num_layers,
+                }],
+            )
+            .unwrap()
+        };
+        let plan = DeploymentPlan::new(
+            vec![
+                group(Phase::Prefill, [0, 1, 2, 3]),
+                group(Phase::Decode, [4, 5, 6, 7]),
+            ],
+            RoutingMatrix::uniform(1, 1),
+        )
+        .unwrap();
+        let mut cfg = SimConfig::new(model);
+        cfg_edit(&mut cfg);
+        Driver::new_split(&cluster, &plan, cfg).unwrap()
+    }
+
+    fn seed_request(core: &mut Core, id: u64) -> Request {
+        let req = Request::new(RequestId(id), SimTime::ZERO, 512, 16);
+        core.payloads.insert(req.id, req);
+        core.pending.insert(
+            req.id,
+            Pending {
+                prefill: 0,
+                decode: 0,
+                first_token_at: None,
+                kv_enqueued_at: None,
+                kv_wire_started_at: None,
+                kv_done_at: None,
+            },
+        );
+        req
+    }
+
+    #[test]
+    fn zero_duration_launch_bypasses_uplink_serialization() {
+        // Regression: a zero-duration transfer (KV modeling off) used to
+        // wait behind `sender_free_at` and then push it out to
+        // `now + delay`, queueing later transfers on a link it never used.
+        let mut d = testbed(|cfg| cfg.model_kv_transfer = false);
+        let Driver { core, topo } = &mut d;
+        let Topology::Split(s) = topo else {
+            unreachable!()
+        };
+        let req = seed_request(core, 7);
+        core.now = SimTime::from_secs_f64(5.0);
+        let busy_until = SimTime::from_secs_f64(30.0);
+        s.sender_free_at[0] = busy_until;
+        split_launch_transfer(
+            core,
+            s,
+            Transfer {
+                from: 0,
+                to: 0,
+                job: PrefillJob::fresh(req),
+                attempt: 2,
+            },
+            SimDuration::from_millis(50),
+        );
+        assert_eq!(
+            s.sender_free_at[0], busy_until,
+            "zero-duration transfer must not touch the uplink"
+        );
+        let ev = core.queue.pop().expect("completion scheduled");
+        assert_eq!(
+            ev.at,
+            SimTime::from_secs_f64(5.0) + SimDuration::from_millis(50),
+            "completes after the backoff alone, not behind the uplink queue"
+        );
+        let p = &core.pending[&req.id];
+        assert_eq!(p.kv_enqueued_at, Some(SimTime::from_secs_f64(5.0)));
+        assert_eq!(p.kv_wire_started_at, Some(ev.at));
+    }
+
+    #[test]
+    fn modeled_transfer_still_serializes_on_the_uplink() {
+        let mut d = testbed(|_| {});
+        let Driver { core, topo } = &mut d;
+        let Topology::Split(s) = topo else {
+            unreachable!()
+        };
+        let req = seed_request(core, 8);
+        core.now = SimTime::from_secs_f64(5.0);
+        let busy_until = SimTime::from_secs_f64(10.0);
+        s.sender_free_at[0] = busy_until;
+        split_launch_transfer(
+            core,
+            s,
+            Transfer {
+                from: 0,
+                to: 0,
+                job: PrefillJob::fresh(req),
+                attempt: 1,
+            },
+            SimDuration::ZERO,
+        );
+        assert!(
+            s.sender_free_at[0] > busy_until,
+            "a modeled transfer occupies the uplink past the queue head"
+        );
+        assert_eq!(
+            core.pending[&req.id].kv_wire_started_at,
+            Some(busy_until),
+            "wire time starts when the uplink frees, not at enqueue"
+        );
+        let ev = core.queue.pop().expect("completion scheduled");
+        assert_eq!(ev.at, s.sender_free_at[0]);
+    }
+
+    #[test]
+    fn fabric_is_built_only_when_both_flags_are_on() {
+        let flags = |contention: bool, modeled: bool| {
+            let d = testbed(|cfg| {
+                cfg.network_contention = contention;
+                cfg.model_kv_transfer = modeled;
+            });
+            let Topology::Split(s) = &d.topo else {
+                unreachable!()
+            };
+            s.fabric.is_some()
+        };
+        assert!(!flags(false, true), "legacy default has no fabric");
+        assert!(!flags(true, false), "unmodeled transfers need no fabric");
+        assert!(flags(true, true));
+    }
+
+    #[test]
+    fn flow_endpoints_pick_the_heaviest_leg_and_total_layers() {
+        let d = testbed(|_| {});
+        let Topology::Split(s) = &d.topo else {
+            unreachable!()
+        };
+        // tp=4/pp=1 on both sides: a single leg carrying every layer.
+        let (_, _, layers) = s.flow_routes[0][0];
+        assert_eq!(layers, d.core.cfg.model.num_layers);
+        assert_eq!(flow_endpoints(&[]), (GpuId(0), GpuId(0), 0));
+    }
 }

@@ -30,6 +30,14 @@ pub struct Pending {
     /// When the first output token was produced (set once; re-prefills
     /// after a fault keep the original TTFT).
     pub first_token_at: Option<SimTime>,
+    /// When the KV transfer was first enqueued on the sender (set once, at
+    /// prefill completion; `None` for colocated or single-token requests).
+    pub kv_enqueued_at: Option<SimTime>,
+    /// When the KV bytes last started moving on the wire (re-stamped by
+    /// retries, so delivery sees the successful attempt's start).
+    pub kv_wire_started_at: Option<SimTime>,
+    /// When the KV cache was delivered to the decode replica.
+    pub kv_done_at: Option<SimTime>,
 }
 
 /// Decode-side progress carried across a fault: a re-prefilled sequence

@@ -26,12 +26,34 @@ pub struct RequestRecord {
     /// single-token outputs) — the inter-token latency (ITL) tail, which
     /// chunked-prefill scheduling is designed to bound.
     pub max_token_gap: SimDuration,
+    /// Time the KV transfer spent queued on the sender before its bytes
+    /// started moving (zero for colocated engines, single-token requests,
+    /// and fabric runs, where flows start immediately and contention shows
+    /// up in [`RequestRecord::kv_wire_time`] instead). `#[serde(default)]`
+    /// keeps records serialized before this field existed deserializable.
+    #[serde(default)]
+    pub kv_queue_wait: SimDuration,
+    /// Time the KV bytes of the *delivered* attempt spent on the wire
+    /// (startup alpha included).
+    #[serde(default)]
+    pub kv_wire_time: SimDuration,
+    /// When the KV cache arrived at the decode replica; `None` when the
+    /// request never crossed the inter-replica fabric (colocated engine,
+    /// single-token output).
+    #[serde(default)]
+    pub kv_done_at: Option<SimTime>,
 }
 
 impl RequestRecord {
     /// Time to first token.
     pub fn ttft(&self) -> SimDuration {
         self.first_token_at - self.request.arrival
+    }
+
+    /// Total KV-transfer overhead on the request's critical path: sender
+    /// queue wait plus wire time. Zero when no transfer happened.
+    pub fn kv_overhead(&self) -> SimDuration {
+        self.kv_queue_wait + self.kv_wire_time
     }
 
     /// Average time per output token during decoding (zero for single-token
@@ -327,6 +349,9 @@ mod tests {
             first_token_at: SimTime::from_secs_f64(first_s),
             finished_at: SimTime::from_secs_f64(done_s),
             max_token_gap: SimDuration::ZERO,
+            kv_queue_wait: SimDuration::ZERO,
+            kv_wire_time: SimDuration::ZERO,
+            kv_done_at: None,
         }
     }
 

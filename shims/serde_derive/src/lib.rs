@@ -1,18 +1,20 @@
 //! No-op `Serialize`/`Deserialize` derive macros for the offline serde shim.
 //!
 //! The workspace never calls serde's serialization methods, so the derives
-//! expand to nothing: the annotation compiles, no impl is needed.
+//! expand to nothing: the annotation compiles, no impl is needed. Both
+//! derives register the `serde` helper attribute so field-level annotations
+//! like `#[serde(default)]` parse exactly as they do under the real crate.
 
 use proc_macro::TokenStream;
 
-/// Expands to nothing; accepts any item.
-#[proc_macro_derive(Serialize)]
+/// Expands to nothing; accepts any item and `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
-/// Expands to nothing; accepts any item.
-#[proc_macro_derive(Deserialize)]
+/// Expands to nothing; accepts any item and `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
