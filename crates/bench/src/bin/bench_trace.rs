@@ -1,0 +1,64 @@
+//! Runs the telemetry demo scenario and exports its trace.
+//!
+//! ```text
+//! bench_trace [--out <path>] [--quick] [--summary] [--timeline]
+//! ```
+//!
+//! Serves a phase-split deployment over the contended flow-level fabric
+//! with a mid-flight link fault, then writes the run's Chrome trace-event
+//! JSON to `--out` (default `trace.json`) — open it at
+//! <https://ui.perfetto.dev> — after validating it with the built-in
+//! checker. `--summary` additionally prints the compact JSON summary,
+//! `--timeline` the event timeline of the worst-latency request.
+
+use ts_bench::trace_demo;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let summary = args.iter().any(|a| a == "--summary");
+    let timeline = args.iter().any(|a| a == "--timeline");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "trace.json".into());
+
+    let demo = trace_demo::run(quick);
+    let m = &demo.metrics;
+    println!(
+        "served {} requests: {} completed, {} KV-transfer retries, {} trace events",
+        demo.num_requests,
+        m.num_completed(),
+        m.recovery().kv_transfer_retries,
+        demo.log.len(),
+    );
+
+    let json = ts_telemetry::chrome::export(&demo.log);
+    let stats = match ts_telemetry::validate_chrome_trace(&json) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("exported trace failed validation: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "wrote {out}: {} events ({} slices, {} instants, {} counter samples) \
+         — open in https://ui.perfetto.dev",
+        stats.events, stats.slices, stats.instants, stats.counters,
+    );
+
+    if summary {
+        println!("{}", demo.log.summary_json());
+    }
+    if timeline {
+        if let Some(id) = demo.worst_e2e_request() {
+            println!("{}", demo.log.render_request_timeline(id));
+        }
+    }
+}

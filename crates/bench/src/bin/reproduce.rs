@@ -2,8 +2,11 @@
 //! simulated substrate.
 //!
 //! ```text
-//! reproduce [--exp <id>] [--quick] [--list]
+//! reproduce [--exp <id>] [--quick] [--list] [--trace <path>]
 //! ```
+//!
+//! `--trace <path>` additionally runs the telemetry demo scenario and
+//! writes its Chrome trace-event JSON there (viewable in Perfetto).
 
 use std::time::Instant;
 use ts_bench::all_experiments;
@@ -15,6 +18,11 @@ fn main() {
     let exp_filter = args
         .iter()
         .position(|a| a == "--exp")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace")
         .and_then(|i| args.get(i + 1))
         .cloned();
 
@@ -44,6 +52,27 @@ fn main() {
             start.elapsed().as_secs_f64()
         );
         ran += 1;
+    }
+    if let Some(out) = trace_out {
+        let demo = ts_bench::trace_demo::run(quick);
+        let json = ts_telemetry::chrome::export(&demo.log);
+        match ts_telemetry::validate_chrome_trace(&json) {
+            Ok(stats) => {
+                if let Err(e) = std::fs::write(&out, &json) {
+                    eprintln!("cannot write {out}: {e}");
+                    std::process::exit(1);
+                }
+                println!(
+                    "trace: wrote {out} ({} events) — open in https://ui.perfetto.dev",
+                    stats.events
+                );
+            }
+            Err(e) => {
+                eprintln!("exported trace failed validation: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
     }
     if ran == 0 {
         eprintln!("no experiment matched; use --list to see ids");

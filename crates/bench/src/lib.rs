@@ -15,6 +15,7 @@
 pub mod exps;
 pub mod harness;
 pub mod table;
+pub mod trace_demo;
 
 /// One reproducible experiment.
 pub struct Experiment {

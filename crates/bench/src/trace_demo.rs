@@ -1,0 +1,137 @@
+//! The shared telemetry demonstration scenario: a phase-split deployment on
+//! the Appendix-H testbed serving under the flow-level fabric, with a
+//! mid-flight link fault so the trace shows queueing, KV retries and
+//! recovery — used by the `bench_trace` binary, by `reproduce --trace`, and
+//! exercised in CI.
+
+use ts_cluster::presets;
+use ts_common::{
+    DeploymentPlan, GpuId, GroupSpec, ModelSpec, ParallelConfig, Phase, RoutingMatrix, SimDuration,
+    SimTime, StageSpec,
+};
+use ts_sim::{FaultKind, FaultScript, Metrics, SimConfig, Simulation, TimedFault, TraceLog};
+use ts_workload::{generator::generate, spec};
+
+/// Everything the demo run produces.
+pub struct TraceDemo {
+    /// The run's metrics (identical to an untraced run of the scenario).
+    pub metrics: Metrics,
+    /// The finalized event log.
+    pub log: TraceLog,
+    /// Requests served.
+    pub num_requests: usize,
+}
+
+/// 4xA40 prefill + two 2x3090Ti decode replicas on a slow (5 Gbps) fabric,
+/// so concurrent KV transfers genuinely contend and the link series moves.
+fn testbed() -> (ts_cluster::Cluster, DeploymentPlan, SimConfig) {
+    let cluster = presets::network_case_cluster(presets::ETH_5GBPS);
+    let model = ModelSpec::llama_13b();
+    let group = |phase, ids: &[u32], tp: usize| {
+        GroupSpec::new(
+            phase,
+            ParallelConfig::new(tp, 1).unwrap(),
+            vec![StageSpec {
+                gpus: ids.iter().map(|&i| GpuId(i)).collect(),
+                layers: model.num_layers,
+            }],
+        )
+        .unwrap()
+    };
+    let plan = DeploymentPlan::new(
+        vec![
+            group(Phase::Prefill, &[0, 1, 2, 3], 4),
+            group(Phase::Decode, &[4, 5], 2),
+            group(Phase::Decode, &[6, 7], 2),
+        ],
+        RoutingMatrix::uniform(1, 2),
+    )
+    .unwrap();
+    (cluster, plan, SimConfig::new(model))
+}
+
+/// Runs the demo scenario with telemetry on. `quick` trims the horizon for
+/// CI; the fault still lands mid-run.
+///
+/// # Panics
+/// Panics if the simulation rejects the (fixed, known-good) scenario.
+pub fn run(quick: bool) -> TraceDemo {
+    let (cluster, plan, cfg) = testbed();
+    let horizon = SimDuration::from_secs(if quick { 20 } else { 60 });
+    let fault_at = if quick { 6.0 } else { 18.0 };
+    let reqs = generate(&spec::fixed(1024, 48, 2.0), horizon, 41);
+    let script = FaultScript::new(
+        vec![
+            TimedFault {
+                at: SimTime::from_secs_f64(fault_at),
+                kind: FaultKind::LinkDown {
+                    prefill: 0,
+                    decode: 0,
+                },
+            },
+            TimedFault {
+                at: SimTime::from_secs_f64(fault_at + 3.0),
+                kind: FaultKind::LinkUp {
+                    prefill: 0,
+                    decode: 0,
+                },
+            },
+        ],
+        SimDuration::from_millis(100),
+    );
+    let mut sim = Simulation::new(
+        &cluster,
+        &plan,
+        cfg.with_network_contention(true).with_telemetry(true),
+    )
+    .expect("demo scenario must build");
+    let metrics = sim
+        .run_with_faults(&reqs, &script)
+        .expect("demo scenario must run");
+    let log = sim.take_trace().expect("telemetry was enabled");
+    TraceDemo {
+        metrics,
+        log,
+        num_requests: reqs.len(),
+    }
+}
+
+impl TraceDemo {
+    /// The completed request with the worst end-to-end latency.
+    pub fn worst_e2e_request(&self) -> Option<ts_common::RequestId> {
+        self.metrics
+            .records()
+            .iter()
+            .max_by_key(|r| (r.e2e(), r.request.id))
+            .map(|r| r.request.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_telemetry::TraceKind;
+
+    #[test]
+    fn quick_demo_produces_a_meaningful_trace() {
+        let demo = run(true);
+        assert_eq!(demo.metrics.num_completed(), demo.num_requests);
+        assert!(!demo.log.is_empty());
+        // The link fault must leave its mark: retries in the counters and
+        // retry events in the log.
+        assert!(demo.metrics.recovery().kv_transfer_retries > 0);
+        let retries = demo
+            .log
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::KvRetry { .. }))
+            .count();
+        assert_eq!(retries, demo.metrics.recovery().kv_transfer_retries);
+        // The fabric sampled link utilization.
+        assert!(!demo.log.links().is_empty());
+        // And the export round-trips through the validator.
+        let json = ts_telemetry::chrome::export(&demo.log);
+        let stats = ts_telemetry::validate_chrome_trace(&json).expect("valid Chrome trace");
+        assert!(stats.events > 0);
+    }
+}

@@ -34,6 +34,7 @@ pub mod plan_io;
 pub mod request;
 pub mod rng;
 pub mod slo;
+pub mod stats;
 pub mod time;
 
 pub use error::{Error, Result};
@@ -46,4 +47,5 @@ pub use plan::{DeploymentPlan, GroupSpec, RoutingMatrix, StageSpec};
 pub use request::Request;
 pub use rng::{derive_seed, seeded_rng};
 pub use slo::{SloKind, SloSpec};
+pub use stats::percentile;
 pub use time::{SimDuration, SimTime};

@@ -18,7 +18,7 @@
 
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Resolves a `num_threads` knob to a concrete worker count: `0` means one
 /// worker per available CPU, any other value is taken literally.
@@ -172,6 +172,11 @@ where
 #[derive(Debug)]
 pub struct ShardedCache<V> {
     shards: Vec<RwLock<HashMap<u64, V>>>,
+    // Observability only (relaxed ordering): lookup outcomes never influence
+    // cached values, so racing updates cannot perturb results — exact counts
+    // may differ across thread counts, the values themselves never do.
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl<V: Clone> ShardedCache<V> {
@@ -181,6 +186,8 @@ impl<V: Clone> ShardedCache<V> {
         let n = num_shards.max(1).next_power_of_two();
         ShardedCache {
             shards: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
     }
 
@@ -188,9 +195,19 @@ impl<V: Clone> ShardedCache<V> {
         &self.shards[(key as usize) & (self.shards.len() - 1)]
     }
 
+    fn lookup(&self, key: u64) -> Option<V> {
+        let v = self.shard(key).read().get(&key).cloned();
+        if v.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        v
+    }
+
     /// Returns a clone of the cached value for `key`, if present.
     pub fn get(&self, key: u64) -> Option<V> {
-        self.shard(key).read().get(&key).cloned()
+        self.lookup(key)
     }
 
     /// Returns the cached value for `key`, computing and inserting it with
@@ -198,7 +215,7 @@ impl<V: Clone> ShardedCache<V> {
     /// run redundantly under a race; the first inserted value wins and is
     /// what every caller receives.
     pub fn get_or_insert_with<F: FnOnce() -> V>(&self, key: u64, compute: F) -> V {
-        if let Some(v) = self.get(key) {
+        if let Some(v) = self.lookup(key) {
             return v;
         }
         let computed = compute();
@@ -207,6 +224,30 @@ impl<V: Clone> ShardedCache<V> {
             .entry(key)
             .or_insert(computed)
             .clone()
+    }
+
+    /// Lookups that found a cached value. Counts are approximate under
+    /// concurrent races (a redundant recompute records an extra miss) but
+    /// exact for serial use.
+    pub fn hit_count(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing cached.
+    pub fn miss_count(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of lookups answered from the cache (`0.0` before any
+    /// lookup).
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hit_count();
+        let m = self.miss_count();
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
     }
 
     /// Total number of cached entries across shards.
@@ -315,6 +356,19 @@ mod tests {
         assert_eq!(c.get_or_insert_with(42, || 9), 7);
         assert_eq!(c.get(42), Some(7));
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn cache_counts_hits_and_misses() {
+        let c: ShardedCache<u64> = ShardedCache::default();
+        assert_eq!(c.hit_rate(), 0.0);
+        assert_eq!(c.get(1), None); // miss
+        c.get_or_insert_with(1, || 10); // miss + insert
+        c.get_or_insert_with(1, || 99); // hit
+        assert_eq!(c.get(1), Some(10)); // hit
+        assert_eq!(c.hit_count(), 2);
+        assert_eq!(c.miss_count(), 2);
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
     }
 
     #[test]

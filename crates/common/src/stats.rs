@@ -1,0 +1,49 @@
+//! Small statistics helpers shared by metrics and benchmark tables.
+
+use crate::time::SimDuration;
+
+/// `p`-quantile of `values` by nearest-rank over a sorted copy, or `None`
+/// for an empty slice. `p` is clamped to `[0, 1]`; the selected index is
+/// `round((len - 1) * p)`, matching the quantile convention used throughout
+/// the workspace's metric tables (e.g. `p99` of 100 evenly spaced samples is
+/// the 99th larger one, not an interpolation).
+pub fn percentile(values: &[SimDuration], p: f64) -> Option<SimDuration> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut v = values.to_vec();
+    v.sort_unstable();
+    let idx = ((v.len() as f64 - 1.0) * p.clamp(0.0, 1.0)).round() as usize;
+    Some(v[idx])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_none() {
+        assert_eq!(percentile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn nearest_rank_selection() {
+        let v: Vec<SimDuration> = (1..=100).map(SimDuration::from_millis).collect();
+        assert_eq!(percentile(&v, 0.0), Some(SimDuration::from_millis(1)));
+        assert_eq!(percentile(&v, 0.99), Some(SimDuration::from_millis(99)));
+        assert_eq!(percentile(&v, 1.0), Some(SimDuration::from_millis(100)));
+        // out-of-range p clamps rather than panicking
+        assert_eq!(percentile(&v, -3.0), Some(SimDuration::from_millis(1)));
+        assert_eq!(percentile(&v, 7.0), Some(SimDuration::from_millis(100)));
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let v = vec![
+            SimDuration::from_millis(30),
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(20),
+        ];
+        assert_eq!(percentile(&v, 0.5), Some(SimDuration::from_millis(20)));
+    }
+}

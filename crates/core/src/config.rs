@@ -50,6 +50,13 @@ pub struct SchedulerConfig {
     /// ([`ts_sim::config::SimConfig::kv_congestion_factor`]); 1.0 (the
     /// default) keeps the uncongested arithmetic bit-identical.
     pub kv_congestion_factor: f64,
+    /// Search introspection: when true, [`crate::tabu::TabuSearch::search`]
+    /// and [`crate::reschedule::lightweight_reschedule`] record one
+    /// [`ts_telemetry::SearchStep`] row per step (neighbours generated,
+    /// tabu/cache/duplicate filtering, evaluations, winner score, per-step
+    /// wall-clock). Off by default; the trace observes the search — plans,
+    /// scores and trajectories are bit-identical either way.
+    pub search_trace: bool,
 }
 
 impl Default for SchedulerConfig {
@@ -70,6 +77,7 @@ impl Default for SchedulerConfig {
             num_threads: 0,
             network_contention: false,
             kv_congestion_factor: 1.0,
+            search_trace: false,
         }
     }
 }
@@ -114,5 +122,10 @@ mod tests {
         let c = SchedulerConfig::default();
         assert!(!c.network_contention);
         assert_eq!(c.kv_congestion_factor, 1.0);
+    }
+
+    #[test]
+    fn search_trace_defaults_off() {
+        assert!(!SchedulerConfig::default().search_trace);
     }
 }

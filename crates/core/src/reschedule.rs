@@ -17,6 +17,7 @@ use ts_common::{
     seeded_rng, DeploymentPlan, Error, GroupSpec, ModelSpec, Phase, Result, SimDuration, SloSpec,
 };
 use ts_costmodel::replica::{ReplicaCostModel, DISK_BANDWIDTH};
+use ts_telemetry::{SearchStep, SearchTrace};
 use ts_workload::WorkloadSpec;
 
 /// Result of a rescheduling operation.
@@ -31,6 +32,10 @@ pub struct RescheduleOutcome {
     /// Modeled service interruption for weight (re)loading. Zero for
     /// lightweight rescheduling — phases flip in place, no weights move.
     pub reload_time: SimDuration,
+    /// Per-step introspection of the flip-only (lightweight) or full tabu
+    /// search, when [`SchedulerConfig::search_trace`] is on. Always `None`
+    /// for [`no_reschedule`] — it performs no search.
+    pub search_trace: Option<SearchTrace>,
 }
 
 /// Lightweight rescheduling: drops groups that lost GPUs, then runs a
@@ -90,11 +95,14 @@ pub fn lightweight_reschedule(
     let mut eval_cache: HashMap<Vec<Phase>, Option<f64>> = HashMap::new();
     eval_cache.insert(x.iter().map(|g| g.phase).collect(), init_score);
 
+    let mut search_trace = cfg.search_trace.then(SearchTrace::default);
+    let mut prev_elapsed = 0.0f64;
+
     // One worker pool spans all steps (thread startup paid once); jobs are
     // owned clones because pool workers outlive any single step.
     let eval = |groups: &Vec<GroupSpec>| evaluate(groups);
     ts_common::with_worker_pool(cfg.num_threads, &eval, |run| {
-        for _ in 0..cfg.n_step.min(40) {
+        for step in 0..cfg.n_step.min(40) {
             // Draw all flip choices before evaluating anything.
             let neighbors: Vec<(Vec<Phase>, Vec<GroupSpec>)> = (0..cfg.n_nghb)
                 .map(|_| {
@@ -118,6 +126,29 @@ pub fn lightweight_reschedule(
                 .filter(|(_, (phases, _))| scheduled.insert(phases))
                 .map(|(i, (_, n))| (i, n.clone()))
                 .unzip();
+            // Introspection mirrors the filter chain above; counts are taken
+            // before this step's results land in `eval_cache`.
+            let mut row = search_trace.as_ref().map(|_| {
+                let mut row = SearchStep {
+                    step,
+                    evaluated: batch.len(),
+                    ..SearchStep::default()
+                };
+                let mut seen: HashSet<&Vec<Phase>> = HashSet::new();
+                for (phases, n) in &neighbors {
+                    row.generated += 1;
+                    if tabu_set.contains(phases) {
+                        row.tabu_filtered += 1;
+                    } else if !has_both_phases(n) {
+                        row.infeasible += 1;
+                    } else if eval_cache.contains_key(phases) {
+                        row.cache_hits += 1;
+                    } else if !seen.insert(phases) {
+                        row.duplicates += 1;
+                    }
+                }
+                row
+            });
             let outcomes = run(jobs);
             for (&i, score) in batch.iter().zip(&outcomes) {
                 eval_cache.insert(neighbors[i].0.clone(), *score);
@@ -150,6 +181,13 @@ pub fn lightweight_reschedule(
                 }
                 x = n;
             }
+            if let (Some(tr), Some(mut row)) = (search_trace.as_mut(), row.take()) {
+                let elapsed = start.elapsed().as_secs_f64();
+                row.winner_score = step_best.map(|(s, _)| s);
+                row.wall_s = elapsed - prev_elapsed;
+                prev_elapsed = elapsed;
+                tr.steps.push(row);
+            }
         }
     });
 
@@ -159,6 +197,7 @@ pub fn lightweight_reschedule(
         estimated_attainment: orch.score,
         search_time: start.elapsed().as_secs_f64(),
         reload_time: SimDuration::ZERO,
+        search_trace,
     })
 }
 
@@ -190,6 +229,7 @@ pub fn full_reschedule(
         estimated_attainment: result.estimated_attainment,
         search_time: start.elapsed().as_secs_f64(),
         reload_time,
+        search_trace: result.search_trace,
     })
 }
 
@@ -264,6 +304,7 @@ pub fn no_reschedule(
         estimated_attainment: est.overall,
         search_time: 0.0,
         reload_time: SimDuration::ZERO,
+        search_trace: None,
     })
 }
 
@@ -326,6 +367,37 @@ mod tests {
                 assert!(cluster.is_active(gpu));
             }
         }
+    }
+
+    #[test]
+    fn lightweight_search_trace_observes_without_changing_the_plan() {
+        let (mut cluster, model, plan, cfg) = schedule_cloud();
+        cluster.deactivate_node(NodeId(6)).unwrap();
+        let mut traced_cfg = cfg.clone();
+        traced_cfg.search_trace = true;
+        let w = spec::coding(2.5);
+        let plain = lightweight_reschedule(&cluster, &model, &plan, &w, &slo(), &cfg).unwrap();
+        let traced =
+            lightweight_reschedule(&cluster, &model, &plan, &w, &slo(), &traced_cfg).unwrap();
+        assert!(plain.search_trace.is_none(), "introspection defaults off");
+        let tr = traced.search_trace.expect("trace requested");
+        assert!(!tr.steps.is_empty());
+        for row in &tr.steps {
+            assert_eq!(
+                row.tabu_filtered
+                    + row.infeasible
+                    + row.cache_hits
+                    + row.duplicates
+                    + row.evaluated,
+                row.generated,
+                "filter counts must partition the neighbourhood"
+            );
+        }
+        // Flip-only neighbourhoods revisit designations constantly: the
+        // memoized orchestration cache must be doing real work.
+        assert!(tr.cache_hit_rate() > 0.0, "{}", tr.render());
+        assert_eq!(traced.plan, plain.plan);
+        assert_eq!(traced.estimated_attainment, plain.estimated_attainment);
     }
 
     #[test]

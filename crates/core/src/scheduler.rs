@@ -17,6 +17,15 @@ pub struct ScheduleResult {
     pub trajectory: Vec<TracePoint>,
     /// Lower-level evaluations performed.
     pub evaluations: usize,
+    /// Total neighbours generated across all search steps.
+    pub neighbors_generated: usize,
+    /// Hit/miss counters of the shared parallel-configuration cache.
+    pub group_cache_hits: u64,
+    /// Misses of the shared parallel-configuration cache.
+    pub group_cache_misses: u64,
+    /// Per-step search introspection, when
+    /// [`SchedulerConfig::search_trace`] is on.
+    pub search_trace: Option<ts_telemetry::SearchTrace>,
     /// Wall-clock scheduling time in seconds.
     pub elapsed: f64,
 }
@@ -64,6 +73,10 @@ impl Scheduler {
             estimated_attainment: result.best.score,
             trajectory: result.trajectory,
             evaluations: result.evaluations,
+            neighbors_generated: result.neighbors_generated,
+            group_cache_hits: result.group_cache_hits,
+            group_cache_misses: result.group_cache_misses,
+            search_trace: result.search_trace,
             elapsed: start.elapsed().as_secs_f64(),
         })
     }

@@ -61,6 +61,21 @@ fn schedule_is_bit_identical_across_thread_counts() {
                 scores(&parallel.trajectory),
                 "trajectory diverged at seed {seed}, {threads} threads"
             );
+            assert_eq!(
+                baseline.neighbors_generated, parallel.neighbors_generated,
+                "neighbourhood size diverged at seed {seed}, {threads} threads"
+            );
+            // The shared parallel-configuration cache must be earning its
+            // keep: repeat group constructions resolve without recomputing.
+            let rate = parallel.group_cache_hits as f64
+                / (parallel.group_cache_hits + parallel.group_cache_misses).max(1) as f64;
+            assert!(
+                rate > 0.0,
+                "group cache never hit at seed {seed}, {threads} threads \
+                 ({} hits / {} misses)",
+                parallel.group_cache_hits,
+                parallel.group_cache_misses
+            );
         }
     }
 }

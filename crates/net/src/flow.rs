@@ -12,7 +12,8 @@
 
 use std::collections::BTreeMap;
 
-use ts_common::{GpuId, SimDuration, SimTime};
+use ts_common::{GpuId, RequestId, SimDuration, SimTime};
+use ts_telemetry::{LinkKind, Recorder, TraceEvent, TraceKind, TraceSink};
 
 use crate::topology::FabricTopology;
 
@@ -81,6 +82,14 @@ pub struct FlowFabric {
     flows: BTreeMap<u64, FlowState>,
     now: SimTime,
     epoch_counter: u64,
+    /// Fabric-side telemetry, `Some` iff [`FlowFabric::enable_telemetry`]
+    /// was called: link-utilization samples and per-flow rate changes,
+    /// recorded at allocation boundaries. Pure observation — it never
+    /// affects rates, epochs or estimates.
+    recorder: Option<Recorder>,
+    /// Per-link used bandwidth at the last telemetry sample, so only
+    /// changed links emit events (including drops to zero as flows drain).
+    last_used: Vec<f64>,
 }
 
 impl FlowFabric {
@@ -91,6 +100,32 @@ impl FlowFabric {
             flows: BTreeMap::new(),
             now: SimTime::ZERO,
             epoch_counter: 0,
+            recorder: None,
+            last_used: Vec::new(),
+        }
+    }
+
+    /// Turns on fabric-side telemetry: every reallocation records a
+    /// [`TraceKind::LinkUtilization`] sample for each link whose used
+    /// bandwidth changed and a [`TraceKind::FlowRate`] event for each flow
+    /// whose fair-share rate changed. Idempotent.
+    pub fn enable_telemetry(&mut self) {
+        if self.recorder.is_none() {
+            self.recorder = Some(Recorder::new());
+            self.last_used = vec![0.0; self.topo.capacities().len()];
+        }
+    }
+
+    /// Takes the telemetry events recorded so far, in emission order
+    /// (empty when telemetry is off). Recording continues afterwards with
+    /// an empty buffer.
+    pub fn take_events(&mut self) -> Vec<TraceEvent> {
+        match self.recorder.take() {
+            Some(r) => {
+                self.recorder = Some(Recorder::new());
+                r.into_events()
+            }
+            None => Vec::new(),
         }
     }
 
@@ -212,21 +247,85 @@ impl FlowFabric {
     /// Recomputes the max-min allocation over all flows and re-stamps every
     /// flow with a fresh epoch and completion estimate.
     fn reallocate(&mut self) -> Vec<FlowEstimate> {
-        if self.flows.is_empty() {
-            return Vec::new();
-        }
-        self.epoch_counter += 1;
-        let epoch = self.epoch_counter;
-        let paths: Vec<Vec<usize>> = self.flows.values().map(|f| f.path.clone()).collect();
-        let rates = max_min_rates(self.topo.capacities(), &paths);
-        let now = self.now;
         let mut out = Vec::with_capacity(self.flows.len());
-        for ((&key, f), rate) in self.flows.iter_mut().zip(rates) {
-            f.rate = rate;
-            f.epoch = epoch;
-            out.push(estimate(key, f, now));
+        let mut rate_changes: Vec<(u64, f64)> = Vec::new();
+        if !self.flows.is_empty() {
+            self.epoch_counter += 1;
+            let epoch = self.epoch_counter;
+            let paths: Vec<Vec<usize>> = self.flows.values().map(|f| f.path.clone()).collect();
+            let rates = max_min_rates(self.topo.capacities(), &paths);
+            let now = self.now;
+            let telemetry_on = self.recorder.is_some();
+            for ((&key, f), rate) in self.flows.iter_mut().zip(rates) {
+                if telemetry_on && rate.is_finite() && rate != f.rate {
+                    rate_changes.push((key, rate));
+                }
+                f.rate = rate;
+                f.epoch = epoch;
+                out.push(estimate(key, f, now));
+            }
         }
+        if let Some(rec) = self.recorder.as_mut() {
+            let at = self.now;
+            for (key, rate_bps) in rate_changes {
+                rec.record(TraceEvent {
+                    at,
+                    kind: TraceKind::FlowRate {
+                        request: RequestId(key),
+                        rate_bps,
+                    },
+                });
+            }
+        }
+        self.record_utilization();
         out
+    }
+
+    /// Emits a [`TraceKind::LinkUtilization`] sample for every link whose
+    /// used bandwidth changed since the last sample. Unconstrained
+    /// (infinite-rate) flows and links with unbounded capacity are skipped:
+    /// they model free local copies, not contended bandwidth.
+    fn record_utilization(&mut self) {
+        if self.recorder.is_none() {
+            return;
+        }
+        let caps = self.topo.capacities();
+        let mut used = vec![0.0f64; caps.len()];
+        for f in self.flows.values() {
+            if !f.rate.is_finite() {
+                continue;
+            }
+            for &l in &f.path {
+                used[l] += f.rate;
+            }
+        }
+        let n = self.topo.num_nodes();
+        let at = self.now;
+        let rec = self.recorder.as_mut().expect("checked above");
+        for (l, (&u, &prev)) in used.iter().zip(self.last_used.iter()).enumerate() {
+            if u == prev || !caps[l].is_finite() {
+                continue;
+            }
+            let kind = if l < n {
+                LinkKind::Uplink(l)
+            } else if l < 2 * n {
+                LinkKind::Downlink(l - n)
+            } else if l < 3 * n {
+                LinkKind::Intra(l - 2 * n)
+            } else {
+                LinkKind::Inter
+            };
+            rec.record(TraceEvent {
+                at,
+                kind: TraceKind::LinkUtilization {
+                    link: l,
+                    kind,
+                    used_bps: u,
+                    capacity_bps: caps[l],
+                },
+            });
+        }
+        self.last_used = used;
     }
 }
 
@@ -409,6 +508,40 @@ mod tests {
             fab.poll(5, est[0].epoch, est[0].done_at),
             FlowPoll::Done(_)
         ));
+    }
+
+    #[test]
+    fn telemetry_samples_links_and_rates() {
+        let mut fab = FlowFabric::from_cluster(&cluster());
+        assert!(fab.take_events().is_empty(), "off by default");
+        fab.enable_telemetry();
+        // Both flows leave node 0 (GPU 0 and GPU 1): they share uplink 0.
+        fab.start(1, GpuId(0), GpuId(2), 1e9, SimTime::ZERO);
+        fab.start(2, GpuId(1), GpuId(4), 1e9, SimTime::ZERO);
+        fab.cancel(1, SimTime::from_secs_f64(0.5));
+        fab.cancel(2, SimTime::from_secs_f64(0.5));
+        let events = fab.take_events();
+        assert!(!events.is_empty());
+        let rates = events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::FlowRate { .. }))
+            .count();
+        assert!(rates >= 2, "each flow's rate change recorded, got {rates}");
+        let mut up0_last = None;
+        for e in &events {
+            if let TraceKind::LinkUtilization {
+                kind: LinkKind::Uplink(0),
+                used_bps,
+                capacity_bps,
+                ..
+            } = e.kind
+            {
+                assert!(used_bps <= capacity_bps + 1e-6);
+                up0_last = Some(used_bps);
+            }
+        }
+        assert_eq!(up0_last, Some(0.0), "drops back to zero when flows drain");
+        assert!(fab.take_events().is_empty(), "buffer drained by take");
     }
 
     #[test]

@@ -96,6 +96,15 @@ impl<'a> ColocatedSimulation<'a> {
     ) -> Result<Metrics> {
         self.driver.run_with_faults(requests, script)
     }
+
+    /// Takes the telemetry recorded so far, finalized into a time-sorted
+    /// [`ts_telemetry::TraceLog`]. Returns `None` unless the simulation was
+    /// built with [`SimConfig::with_telemetry`] enabled (or if the trace was
+    /// already taken). Call after [`ColocatedSimulation::run`] to get the
+    /// full run.
+    pub fn take_trace(&mut self) -> Option<ts_telemetry::TraceLog> {
+        self.driver.take_trace()
+    }
 }
 
 #[cfg(test)]

@@ -61,6 +61,14 @@ pub struct SimConfig {
     pub kv_retry_backoff_base: ts_common::SimDuration,
     /// Fault handling: upper bound on a single KV-transfer retry delay.
     pub kv_retry_backoff_cap: ts_common::SimDuration,
+    /// Request-lifecycle tracing: when true the engine records span events
+    /// (arrival, queueing, prefill, KV transfer, decode, faults) into an
+    /// in-memory [`ts_telemetry::Recorder`], retrievable after the run via
+    /// the engines' `take_trace()`. Off by default; the off path does no
+    /// telemetry work at all and keeps results bit-identical — tracing
+    /// observes the simulation, it never schedules events or draws
+    /// randomness.
+    pub telemetry: bool,
 }
 
 /// Prefill queue discipline.
@@ -94,6 +102,7 @@ impl SimConfig {
             shed_threshold: 256,
             kv_retry_backoff_base: ts_common::SimDuration::from_millis(25),
             kv_retry_backoff_cap: ts_common::SimDuration::from_millis(1600),
+            telemetry: false,
         }
     }
 
@@ -113,6 +122,12 @@ impl SimConfig {
     /// enabled (or disabled).
     pub fn with_network_contention(mut self, on: bool) -> Self {
         self.network_contention = on;
+        self
+    }
+
+    /// Returns a copy with request-lifecycle tracing enabled (or disabled).
+    pub fn with_telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
         self
     }
 
@@ -178,6 +193,14 @@ mod tests {
         assert!(c.model_kv_transfer);
         assert!(!c.network_contention);
         assert_eq!(c.kv_congestion_factor, 1.0);
+        assert!(!c.telemetry);
+    }
+
+    #[test]
+    fn telemetry_builder() {
+        let c = SimConfig::new(ModelSpec::llama_7b()).with_telemetry(true);
+        assert!(c.telemetry);
+        assert!(!c.with_telemetry(false).telemetry);
     }
 
     #[test]

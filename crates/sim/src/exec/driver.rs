@@ -37,6 +37,7 @@ use ts_costmodel::replica::{kv_route_legs, kv_transfer_time, KvRouteLeg, KvRoute
 use ts_costmodel::ReplicaCostModel;
 use ts_kvcache::codec::KvCodec;
 use ts_net::{FlowEstimate, FlowFabric, FlowPoll};
+use ts_telemetry::{Recorder, Role, TraceEvent, TraceKind, TraceLog, TraceSink};
 
 /// An in-flight KV transfer (registry entry; completion events carry an
 /// attempt number so superseded attempts are ignored).
@@ -70,6 +71,11 @@ pub(crate) struct Core {
     /// Requests affected by each fault (fault time, outstanding ids); a
     /// fault's time-to-recover is recorded when its set empties.
     affected: Vec<(SimTime, BTreeSet<RequestId>)>,
+    /// Request-lifecycle trace recorder; `Some` iff
+    /// [`SimConfig::telemetry`] is on. Instrumentation only observes —
+    /// it never schedules events, draws randomness or mutates simulation
+    /// state, so the `None` path stays bit-identical.
+    trace: Option<Recorder>,
 }
 
 /// Phase-split topology state: prefill/decode executor pools plus the KV
@@ -176,7 +182,11 @@ impl Driver {
             flow_routes.push(flow_row);
         }
         let fabric = if cfg.network_contention && cfg.model_kv_transfer {
-            Some(FlowFabric::from_cluster(cluster))
+            let mut f = FlowFabric::from_cluster(cluster);
+            if cfg.telemetry {
+                f.enable_telemetry();
+            }
+            Some(f)
         } else {
             None
         };
@@ -370,6 +380,19 @@ impl Driver {
         ))
     }
 
+    /// Takes the recorded trace of the run, finalized into a time-sorted
+    /// [`TraceLog`]; `None` when [`SimConfig::telemetry`] is off. Fabric-side
+    /// events (per-link utilization, flow rate changes) are merged here.
+    pub fn take_trace(&mut self) -> Option<TraceLog> {
+        let mut rec = self.core.trace.take()?;
+        if let Topology::Split(s) = &mut self.topo {
+            if let Some(f) = s.fabric.as_mut() {
+                rec.extend(f.take_events());
+            }
+        }
+        Some(rec.finish())
+    }
+
     /// Split topology or an "event kind in wrong engine" error.
     fn split_mut(&mut self, kind: &str) -> Result<&mut SplitState> {
         match &mut self.topo {
@@ -451,6 +474,7 @@ impl Driver {
                 kv_done_at: None,
             },
         );
+        trace(&mut self.core, TraceKind::Arrived { request: req.id });
         self.dispatch_job(PrefillJob::fresh(req));
     }
 
@@ -462,24 +486,57 @@ impl Driver {
             stall_or_shed(&mut self.core, job);
             return;
         }
+        let rid = job.req.id;
         let k = self.core.router.next();
         let Driver { core, topo } = self;
         match topo {
             Topology::Split(s) => {
                 let (i, j) = s.pair_coords[k];
-                if let Some(p) = core.pending.get_mut(&job.req.id) {
+                if let Some(p) = core.pending.get_mut(&rid) {
                     p.prefill = i;
                     p.decode = j;
                 }
                 s.prefills[i].queue.queue.push_back(job);
+                trace(
+                    core,
+                    TraceKind::Enqueued {
+                        request: rid,
+                        role: Role::Prefill,
+                        replica: i,
+                    },
+                );
+                trace(
+                    core,
+                    TraceKind::QueueDepth {
+                        role: Role::Prefill,
+                        replica: i,
+                        depth: s.prefills[i].queue.queue.len(),
+                    },
+                );
                 split_maybe_start_prefill(core, s, i);
             }
             Topology::Colocated(c) => {
-                if let Some(p) = core.pending.get_mut(&job.req.id) {
+                if let Some(p) = core.pending.get_mut(&rid) {
                     p.prefill = k;
                     p.decode = k;
                 }
                 c.replicas[k].prefill.queue.push_back(job);
+                trace(
+                    core,
+                    TraceKind::Enqueued {
+                        request: rid,
+                        role: Role::Colocated,
+                        replica: k,
+                    },
+                );
+                trace(
+                    core,
+                    TraceKind::QueueDepth {
+                        role: Role::Colocated,
+                        replica: k,
+                        depth: c.replicas[k].prefill.queue.len(),
+                    },
+                );
                 colo_maybe_start_work(core, c, k);
             }
         }
@@ -491,6 +548,7 @@ impl Driver {
     // mask + drain + requeue at detection, revive + drain at healing.
 
     fn on_fault_triggered(&mut self, index: usize) {
+        trace(&mut self.core, TraceKind::FaultTriggered { index });
         let kind = self.core.faults[index].kind;
         // Pauses are topology-agnostic.
         if let FaultKind::Pause { until } = kind {
@@ -587,6 +645,7 @@ impl Driver {
     }
 
     fn on_fault_detected(&mut self, index: usize) {
+        trace(&mut self.core, TraceKind::FaultDetected { index });
         let at = self.core.faults[index].at;
         let kind = self.core.faults[index].kind;
         let drained = match (&mut self.topo, kind) {
@@ -632,6 +691,12 @@ impl Driver {
         let mut jobs: Vec<PrefillJob> = Vec::new();
         for job in drained.prefill_jobs {
             self.core.recovery.requeued_requests += 1;
+            trace(
+                &mut self.core,
+                TraceKind::Requeued {
+                    request: job.req.id,
+                },
+            );
             jobs.push(job);
         }
         for lost in drained.lost_seqs {
@@ -639,6 +704,13 @@ impl Driver {
                 continue;
             };
             self.core.recovery.reprefilled_tokens += lost.tokens;
+            trace(
+                &mut self.core,
+                TraceKind::Reprefill {
+                    request: lost.id,
+                    tokens: lost.tokens,
+                },
+            );
             jobs.push(PrefillJob {
                 req,
                 tokens: lost.tokens,
@@ -689,12 +761,14 @@ impl Driver {
             }
         }
         self.core.paused_until = None;
+        trace(&mut self.core, TraceKind::ServiceResumed);
         self.drain_stalled();
     }
 }
 
 impl Core {
     fn new(cfg: SimConfig, router: StrideRouter) -> Self {
+        let trace = cfg.telemetry.then(Recorder::new);
         Core {
             cfg,
             router,
@@ -711,7 +785,24 @@ impl Core {
             paused_until: None,
             recovery: RecoveryCounters::default(),
             affected: Vec::new(),
+            trace,
         }
+    }
+}
+
+/// Records a trace event at the current simulation time; a single-branch
+/// no-op when telemetry is off.
+fn trace(core: &mut Core, kind: TraceKind) {
+    let at = core.now;
+    trace_at(core, at, kind);
+}
+
+/// Records a trace event stamped at `at`, which may lie in the future (a
+/// KV wire start scheduled behind a busy uplink); the recorder re-sorts by
+/// timestamp at finalization.
+fn trace_at(core: &mut Core, at: SimTime, kind: TraceKind) {
+    if let Some(rec) = core.trace.as_mut() {
+        rec.record(TraceEvent { at, kind });
     }
 }
 
@@ -719,12 +810,19 @@ impl Core {
 
 fn stall_or_shed(core: &mut Core, job: PrefillJob) {
     if core.stalled.len() < core.cfg.shed_threshold {
+        trace(
+            core,
+            TraceKind::Stalled {
+                request: job.req.id,
+            },
+        );
         core.stalled.push_back(job);
     } else {
         let id = job.req.id;
         core.pending.remove(&id);
         core.payloads.remove(&id);
         core.rejected += 1;
+        trace(core, TraceKind::Rejected { request: id });
         clear_affected(core, id);
     }
 }
@@ -733,6 +831,7 @@ fn drop_request(core: &mut Core, id: RequestId) {
     core.pending.remove(&id);
     core.payloads.remove(&id);
     core.dropped += 1;
+    trace(core, TraceKind::Dropped { request: id });
     clear_affected(core, id);
 }
 
@@ -750,12 +849,23 @@ fn clear_affected(core: &mut Core, id: RequestId) {
 }
 
 /// Applies one admission pass's decisions, in order: evictions become
-/// drops, admissions resolve fault-recovery tracking.
-fn apply_admit_outcomes(core: &mut Core, outcomes: Vec<AdmitOutcome>) {
+/// drops, admissions resolve fault-recovery tracking (and, under
+/// telemetry, mark the sequence's decode-batch join on `replica`).
+fn apply_admit_outcomes(core: &mut Core, outcomes: Vec<AdmitOutcome>, role: Role, replica: usize) {
     for o in outcomes {
         match o {
             AdmitOutcome::Dropped(id) => drop_request(core, id),
-            AdmitOutcome::Admitted(id) => clear_affected(core, id),
+            AdmitOutcome::Admitted(id) => {
+                trace(
+                    core,
+                    TraceKind::DecodeJoin {
+                        request: id,
+                        role,
+                        replica,
+                    },
+                );
+                clear_affected(core, id);
+            }
         }
     }
 }
@@ -799,6 +909,7 @@ fn finish(core: &mut Core, req: Request, at: SimTime, max_token_gap: SimDuration
         kv_wire_time,
         kv_done_at: pend.kv_done_at,
     });
+    trace_at(core, at, TraceKind::Finished { request: req.id });
     clear_affected(core, req.id);
     Ok(())
 }
@@ -855,6 +966,28 @@ fn split_maybe_start_prefill(core: &mut Core, s: &mut SplitState, i: usize) {
         let avg = total / batch.len() as u64;
         (batch, total, avg)
     };
+    if core.trace.is_some() {
+        for job in &batch {
+            trace(
+                core,
+                TraceKind::PrefillStart {
+                    request: job.req.id,
+                    role: Role::Prefill,
+                    replica: i,
+                    tokens: job.tokens,
+                },
+            );
+        }
+        let depth = p.queue.queue.len();
+        trace(
+            core,
+            TraceKind::QueueDepth {
+                role: Role::Prefill,
+                replica: i,
+                depth,
+            },
+        );
+    }
     let latency = p.cost.prefill_latency(total, avg_ctx);
     // Pipeline parallelism: the next batch may enter once the slowest
     // stage has processed this one; the batch itself completes after the
@@ -877,16 +1010,29 @@ fn split_on_prefill_done(core: &mut Core, s: &mut SplitState, i: usize) -> Resul
         .pop_front()
         .ok_or_else(|| Error::Simulation("prefill done with nothing in flight".into()))?;
     for job in batch {
+        let rid = job.req.id;
         let pend = core
             .pending
-            .get_mut(&job.req.id)
-            .ok_or_else(|| Error::Simulation(format!("unknown request {}", job.req.id)))?;
+            .get_mut(&rid)
+            .ok_or_else(|| Error::Simulation(format!("unknown request {rid}")))?;
         // Re-prefills keep their original first-token time: TTFT was
         // already paid, recovery shows up in inter-token gaps instead.
-        if pend.first_token_at.is_none() {
+        let newly_first = pend.first_token_at.is_none();
+        if newly_first {
             pend.first_token_at = Some(core.now);
         }
         let j = pend.decode;
+        trace(
+            core,
+            TraceKind::PrefillEnd {
+                request: rid,
+                role: Role::Prefill,
+                replica: i,
+            },
+        );
+        if newly_first {
+            trace(core, TraceKind::FirstToken { request: rid });
+        }
         if job.remaining == 0 {
             // Single-token output: the prefill already produced it.
             let req = job.req;
@@ -946,10 +1092,27 @@ fn split_launch_transfer(
 ) {
     let id = transfer.job.req.id;
     // First attempt stamps the enqueue time; retries keep the original.
+    let mut first_attempt = false;
     if let Some(p) = core.pending.get_mut(&id) {
         if p.kv_enqueued_at.is_none() {
             p.kv_enqueued_at = Some(core.now);
+            first_attempt = true;
         }
+    }
+    if first_attempt && core.trace.is_some() {
+        // The byte count is sized like the fabric's flow (whole route,
+        // configured wire precision); computed only under telemetry.
+        let (_, _, layers) = s.flow_routes[transfer.from][transfer.to];
+        let bytes = s.codec.wire_bytes_layers(transfer.job.tokens, layers);
+        trace(
+            core,
+            TraceKind::KvEnqueued {
+                request: id,
+                from: transfer.from,
+                to: transfer.to,
+                bytes,
+            },
+        );
     }
     if s.fabric.is_some() {
         let attempt = transfer.attempt;
@@ -987,6 +1150,14 @@ fn split_launch_transfer(
         if let Some(p) = core.pending.get_mut(&id) {
             p.kv_wire_started_at = Some(done);
         }
+        trace_at(
+            core,
+            done,
+            TraceKind::KvWireStart {
+                request: id,
+                attempt: transfer.attempt,
+            },
+        );
         core.queue.push(
             done,
             EventKind::KvTransferDone {
@@ -1007,6 +1178,14 @@ fn split_launch_transfer(
     if let Some(p) = core.pending.get_mut(&id) {
         p.kv_wire_started_at = Some(start);
     }
+    trace_at(
+        core,
+        start,
+        TraceKind::KvWireStart {
+            request: id,
+            attempt: transfer.attempt,
+        },
+    );
     core.queue.push(
         done,
         EventKind::KvTransferDone {
@@ -1032,6 +1211,13 @@ fn split_start_flow(core: &mut Core, s: &mut SplitState, request: RequestId) {
     if let Some(p) = core.pending.get_mut(&request) {
         p.kv_wire_started_at = Some(core.now);
     }
+    trace(
+        core,
+        TraceKind::KvWireStart {
+            request,
+            attempt: t.attempt,
+        },
+    );
     let estimates = fabric.start(request.0, from, to, bytes, core.now);
     schedule_flow_events(core, estimates);
 }
@@ -1118,6 +1304,13 @@ fn split_kill_link_flows(core: &mut Core, s: &mut SplitState, prefill: usize, de
         let mut t = t;
         t.attempt += 1;
         core.recovery.kv_transfer_retries += 1;
+        trace(
+            core,
+            TraceKind::KvRetry {
+                request: id,
+                attempt: t.attempt,
+            },
+        );
         let delay = retry_backoff(core, t.attempt);
         split_launch_transfer(core, s, t, delay);
     }
@@ -1158,6 +1351,13 @@ fn split_deliver_transfer(core: &mut Core, s: &mut SplitState, request: RequestI
         let mut t = t;
         t.attempt += 1;
         core.recovery.kv_transfer_retries += 1;
+        trace(
+            core,
+            TraceKind::KvRetry {
+                request,
+                attempt: t.attempt,
+            },
+        );
         let delay = retry_backoff(core, t.attempt);
         split_launch_transfer(core, s, t, delay);
         return Ok(());
@@ -1177,6 +1377,7 @@ fn split_deliver_transfer(core: &mut Core, s: &mut SplitState, request: RequestI
     if let Some(p) = core.pending.get_mut(&request) {
         p.kv_done_at = Some(core.now);
     }
+    trace(core, TraceKind::KvDone { request });
     let d = &mut s.decodes[t.to];
     d.batch.waiting.push_back(WaitingSeq {
         id: request,
@@ -1215,6 +1416,13 @@ fn split_redispatch_transfer(core: &mut Core, s: &mut SplitState, mut t: Transfe
     t.to = j2;
     t.attempt += 1;
     core.recovery.kv_transfer_retries += 1;
+    trace(
+        core,
+        TraceKind::KvRetry {
+            request: t.job.req.id,
+            attempt: t.attempt,
+        },
+    );
     split_launch_transfer(core, s, t, SimDuration::ZERO);
 }
 
@@ -1226,7 +1434,15 @@ fn split_admit_waiting(core: &mut Core, s: &mut SplitState, j: usize) {
     let outcomes = d.batch.admit(&d.cost, &core.cfg, core.now, |id| {
         core.pending.get(&id).and_then(|p| p.first_token_at)
     });
-    apply_admit_outcomes(core, outcomes);
+    apply_admit_outcomes(core, outcomes, Role::Decode, j);
+    trace(
+        core,
+        TraceKind::BatchOccupancy {
+            role: Role::Decode,
+            replica: j,
+            active: s.decodes[j].batch.active.len(),
+        },
+    );
 }
 
 fn split_maybe_start_decode_step(core: &mut Core, s: &mut SplitState, j: usize) {
@@ -1248,6 +1464,14 @@ fn split_maybe_start_decode_step(core: &mut Core, s: &mut SplitState, j: usize) 
 
 fn split_on_decode_step(core: &mut Core, s: &mut SplitState, j: usize) -> Result<()> {
     s.decodes[j].stepping = false;
+    trace(
+        core,
+        TraceKind::DecodeStep {
+            role: Role::Decode,
+            replica: j,
+            batch: s.decodes[j].batch.active.len(),
+        },
+    );
     let finished = s.decodes[j].batch.advance(core.now);
     for (id, gap) in finished {
         let req = find_request(core, id)?;
@@ -1281,8 +1505,16 @@ fn colo_maybe_start_work(core: &mut Core, c: &mut ColoState, ri: usize) {
         let outcomes = r.batch.admit(&r.cost, &core.cfg, core.now, |id| {
             core.pending.get(&id).and_then(|p| p.first_token_at)
         });
-        apply_admit_outcomes(core, outcomes);
+        apply_admit_outcomes(core, outcomes, Role::Colocated, ri);
     }
+    trace(
+        core,
+        TraceKind::BatchOccupancy {
+            role: Role::Colocated,
+            replica: ri,
+            active: c.replicas[ri].batch.active.len(),
+        },
+    );
     let budget = core.cfg.max_prefill_batch_tokens;
     let r = &mut c.replicas[ri];
     if r.current.is_some() {
@@ -1297,6 +1529,14 @@ fn colo_maybe_start_work(core: &mut Core, c: &mut ColoState, ri: usize) {
     };
     if run_decode {
         let batch = r.batch.active.len() as u64;
+        trace(
+            core,
+            TraceKind::DecodeStep {
+                role: Role::Colocated,
+                replica: ri,
+                batch: batch as usize,
+            },
+        );
         let latency = r.cost.decode_step_latency(batch, r.batch.avg_context());
         r.current = Some(Work::DecodeStep);
         r.decode_turn = false;
@@ -1317,6 +1557,28 @@ fn colo_maybe_start_work(core: &mut Core, c: &mut ColoState, ri: usize) {
             // Whole-request batch up to the token budget, under the
             // configured queue discipline (FCFS by default).
             let (batch, total) = r.prefill.take_batch(budget, core.cfg.prefill_policy);
+            if core.trace.is_some() {
+                for job in &batch {
+                    trace(
+                        core,
+                        TraceKind::PrefillStart {
+                            request: job.req.id,
+                            role: Role::Colocated,
+                            replica: ri,
+                            tokens: job.tokens,
+                        },
+                    );
+                }
+                let depth = r.prefill.queue.len();
+                trace(
+                    core,
+                    TraceKind::QueueDepth {
+                        role: Role::Colocated,
+                        replica: ri,
+                        depth,
+                    },
+                );
+            }
             let avg = total / batch.len() as u64;
             let latency = r.cost.prefill_latency(total, avg);
             r.current = Some(Work::Prefill { finishing: batch });
@@ -1332,6 +1594,28 @@ fn colo_maybe_start_work(core: &mut Core, c: &mut ColoState, ri: usize) {
             // Process up to chunk_tokens of the queue head(s); requests
             // whose prompts finish within this chunk complete prefill.
             let (finishing, tokens) = r.prefill.take_chunk(chunk_tokens);
+            if core.trace.is_some() {
+                for job in &finishing {
+                    trace(
+                        core,
+                        TraceKind::PrefillStart {
+                            request: job.req.id,
+                            role: Role::Colocated,
+                            replica: ri,
+                            tokens: job.tokens,
+                        },
+                    );
+                }
+                let depth = r.prefill.queue.len();
+                trace(
+                    core,
+                    TraceKind::QueueDepth {
+                        role: Role::Colocated,
+                        replica: ri,
+                        depth,
+                    },
+                );
+            }
             let avg = finishing
                 .first()
                 .map(|f| f.tokens)
@@ -1358,14 +1642,27 @@ fn colo_on_work_done(core: &mut Core, c: &mut ColoState, ri: usize) -> Result<()
     match work {
         Work::Prefill { finishing } => {
             for job in finishing {
+                let rid = job.req.id;
                 let pend = core
                     .pending
-                    .get_mut(&job.req.id)
-                    .ok_or_else(|| Error::Simulation(format!("unknown request {}", job.req.id)))?;
+                    .get_mut(&rid)
+                    .ok_or_else(|| Error::Simulation(format!("unknown request {rid}")))?;
                 // Re-prefills keep their original first-token time (fault
                 // recovery); fresh prefills set it now.
-                if pend.first_token_at.is_none() {
+                let newly_first = pend.first_token_at.is_none();
+                if newly_first {
                     pend.first_token_at = Some(core.now);
+                }
+                trace(
+                    core,
+                    TraceKind::PrefillEnd {
+                        request: rid,
+                        role: Role::Colocated,
+                        replica: ri,
+                    },
+                );
+                if newly_first {
+                    trace(core, TraceKind::FirstToken { request: rid });
                 }
                 if job.remaining == 0 {
                     finish(core, job.req, core.now, SimDuration::ZERO)?;

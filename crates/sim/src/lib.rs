@@ -73,3 +73,4 @@ pub use engine::Simulation;
 pub use estimate::{estimate_attainment, AttainmentEstimate};
 pub use fault::{FaultKind, FaultScript, TimedFault};
 pub use metrics::{Metrics, RecoveryCounters, RequestRecord};
+pub use ts_telemetry::{RequestSpan, TraceLog};

@@ -305,25 +305,15 @@ impl Metrics {
     /// `p`-quantile of the per-request maximum inter-token gap, or `None`
     /// with no completions.
     pub fn itl_percentile(&self, p: f64) -> Option<SimDuration> {
-        if self.records.is_empty() {
-            return None;
-        }
-        let mut v: Vec<SimDuration> = self.records.iter().map(|r| r.max_token_gap).collect();
-        v.sort_unstable();
-        let idx = ((v.len() as f64 - 1.0) * p.clamp(0.0, 1.0)).round() as usize;
-        Some(v[idx])
+        let v: Vec<SimDuration> = self.records.iter().map(|r| r.max_token_gap).collect();
+        ts_common::percentile(&v, p)
     }
 
     /// `p`-quantile of latency under `kind` (e.g. 0.99), or `None` with no
     /// completions.
     pub fn latency_percentile(&self, kind: SloKind, p: f64) -> Option<SimDuration> {
-        if self.records.is_empty() {
-            return None;
-        }
-        let mut v: Vec<SimDuration> = self.records.iter().map(|r| r.latency(kind)).collect();
-        v.sort_unstable();
-        let idx = ((v.len() as f64 - 1.0) * p.clamp(0.0, 1.0)).round() as usize;
-        Some(v[idx])
+        let v: Vec<SimDuration> = self.records.iter().map(|r| r.latency(kind)).collect();
+        ts_common::percentile(&v, p)
     }
 
     /// Mean latency under `kind`, or `None` with no completions.

@@ -1,0 +1,732 @@
+//! Chrome trace-event JSON export (Perfetto / `chrome://tracing`) and a
+//! small structural validator for the exported format.
+//!
+//! The export writes the classic `{"traceEvents": [...]}` container:
+//!
+//! * **pid 1 "requests"** — one thread per request, complete (`X`) slices
+//!   for each lifecycle phase (`queue`, `prefill`, `kv queue`, `kv wire`,
+//!   `decode`) plus instant (`i`) markers for first token, retries and
+//!   recovery events;
+//! * **pid 2 "prefill replicas" / pid 3 "decode replicas"** — one thread
+//!   per replica, a slice per prefill launch / per decode residency;
+//! * **pid 4 "counters"** — counter (`C`) tracks for queue depth, batch
+//!   occupancy, in-flight KV bytes and per-link utilization, plus global
+//!   instant markers for faults.
+//!
+//! The workspace's serde shim has no serializer backend, so both the
+//! exporter and [`validate_chrome_trace`]'s parser are hand-rolled; the
+//! validator exists precisely so the hand-rolled exporter cannot silently
+//! rot (it runs in CI against `bench_trace` output).
+
+use crate::event::{Role, TraceKind};
+use crate::log::TraceLog;
+use ts_common::{RequestId, SimTime};
+
+const PID_REQUESTS: u64 = 1;
+const PID_PREFILL: u64 = 2;
+const PID_DECODE: u64 = 3;
+const PID_COUNTERS: u64 = 4;
+
+fn push_meta(out: &mut String, pid: u64, tid: Option<u64>, key: &str, name: &str) {
+    let tid_s = tid.unwrap_or(0);
+    out.push_str(&format!(
+        "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid_s},\"ts\":0,\"name\":\"{key}\",\
+         \"args\":{{\"name\":\"{name}\"}}}},\n"
+    ));
+}
+
+fn push_slice(
+    out: &mut String,
+    pid: u64,
+    tid: u64,
+    name: &str,
+    cat: &str,
+    start: SimTime,
+    end: SimTime,
+) {
+    let ts = start.as_micros();
+    let dur = end.saturating_since(start).as_micros();
+    out.push_str(&format!(
+        "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\"dur\":{dur},\
+         \"name\":\"{name}\",\"cat\":\"{cat}\"}},\n"
+    ));
+}
+
+fn push_instant(out: &mut String, pid: u64, tid: u64, name: &str, cat: &str, at: SimTime) {
+    out.push_str(&format!(
+        "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":{tid},\"ts\":{},\"name\":\"{name}\",\
+         \"cat\":\"{cat}\",\"s\":\"t\"}},\n",
+        at.as_micros()
+    ));
+}
+
+fn push_counter(out: &mut String, tid: u64, name: &str, at: SimTime, value: f64) {
+    out.push_str(&format!(
+        "{{\"ph\":\"C\",\"pid\":{PID_COUNTERS},\"tid\":{tid},\"ts\":{},\"name\":\"{name}\",\
+         \"args\":{{\"value\":{value:.6}}}}},\n",
+        at.as_micros()
+    ));
+}
+
+/// Per-request phase slices: walks the request's events pairing starts
+/// with their closing events.
+fn export_request(out: &mut String, log: &TraceLog, request: RequestId) {
+    let events = log.request_events(request);
+    let tid = request.0;
+    let mut queue_open: Option<SimTime> = None;
+    let mut prefill_open: Option<SimTime> = None;
+    let mut kv_enq: Option<SimTime> = None;
+    let mut wire_open: Option<SimTime> = None;
+    let mut decode_open: Option<SimTime> = None;
+    for e in &events {
+        match e.kind {
+            TraceKind::Enqueued { .. } => queue_open = Some(e.at),
+            TraceKind::PrefillStart { .. } => {
+                if let Some(start) = queue_open.take() {
+                    push_slice(out, PID_REQUESTS, tid, "queue", "lifecycle", start, e.at);
+                }
+                prefill_open = Some(e.at);
+            }
+            TraceKind::PrefillEnd { .. } => {
+                if let Some(start) = prefill_open.take() {
+                    push_slice(out, PID_REQUESTS, tid, "prefill", "lifecycle", start, e.at);
+                }
+            }
+            TraceKind::KvEnqueued { .. } => kv_enq = Some(e.at),
+            TraceKind::KvWireStart { .. } => {
+                if let Some(start) = kv_enq.take() {
+                    push_slice(out, PID_REQUESTS, tid, "kv queue", "kv", start, e.at);
+                }
+                wire_open = Some(e.at);
+            }
+            TraceKind::KvDone { .. } => {
+                if let Some(start) = wire_open.take() {
+                    push_slice(out, PID_REQUESTS, tid, "kv wire", "kv", start, e.at);
+                }
+            }
+            TraceKind::DecodeJoin { .. } => decode_open = Some(e.at),
+            TraceKind::Finished { .. } => {
+                if let Some(start) = decode_open.take() {
+                    push_slice(out, PID_REQUESTS, tid, "decode", "lifecycle", start, e.at);
+                }
+                push_instant(out, PID_REQUESTS, tid, "finished", "lifecycle", e.at);
+            }
+            TraceKind::FirstToken { .. } => {
+                push_instant(out, PID_REQUESTS, tid, "first token", "lifecycle", e.at)
+            }
+            TraceKind::KvRetry { .. } => {
+                push_instant(out, PID_REQUESTS, tid, "kv retry", "kv", e.at)
+            }
+            TraceKind::Requeued { .. } => {
+                push_instant(out, PID_REQUESTS, tid, "requeued", "recovery", e.at)
+            }
+            TraceKind::Reprefill { .. } => {
+                push_instant(out, PID_REQUESTS, tid, "re-prefill", "recovery", e.at)
+            }
+            TraceKind::Dropped { .. } => {
+                push_instant(out, PID_REQUESTS, tid, "dropped", "lifecycle", e.at)
+            }
+            TraceKind::Rejected { .. } => {
+                push_instant(out, PID_REQUESTS, tid, "rejected", "lifecycle", e.at)
+            }
+            TraceKind::Stalled { .. } => {
+                push_instant(out, PID_REQUESTS, tid, "stalled", "recovery", e.at)
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Per-replica slices on the role tracks.
+fn export_replica_tracks(out: &mut String, log: &TraceLog) {
+    // Prefill launches: pair each request's PrefillStart with its next
+    // PrefillEnd on the same replica.
+    let mut open: Vec<(RequestId, usize, SimTime)> = Vec::new();
+    for e in log.events() {
+        match e.kind {
+            TraceKind::PrefillStart {
+                request, replica, ..
+            } => open.push((request, replica, e.at)),
+            TraceKind::PrefillEnd {
+                request, replica, ..
+            } => {
+                if let Some(pos) = open
+                    .iter()
+                    .position(|&(r, i, _)| r == request && i == replica)
+                {
+                    let (_, _, start) = open.swap_remove(pos);
+                    push_slice(
+                        out,
+                        PID_PREFILL,
+                        replica as u64,
+                        &format!("r{}", request.0),
+                        "prefill",
+                        start,
+                        e.at,
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+    // Decode residency: DecodeJoin → Finished/Dropped (or a later re-join
+    // after recovery, whichever comes first).
+    let mut joined: Vec<(RequestId, usize, SimTime)> = Vec::new();
+    for e in log.events() {
+        match e.kind {
+            TraceKind::DecodeJoin {
+                request, replica, ..
+            } => {
+                if let Some(pos) = joined.iter().position(|&(r, _, _)| r == request) {
+                    let (_, i, start) = joined.swap_remove(pos);
+                    push_slice(
+                        out,
+                        PID_DECODE,
+                        i as u64,
+                        &format!("r{}", request.0),
+                        "decode",
+                        start,
+                        e.at,
+                    );
+                }
+                joined.push((request, replica, e.at));
+            }
+            TraceKind::Finished { request } | TraceKind::Dropped { request } => {
+                if let Some(pos) = joined.iter().position(|&(r, _, _)| r == request) {
+                    let (_, i, start) = joined.swap_remove(pos);
+                    push_slice(
+                        out,
+                        PID_DECODE,
+                        i as u64,
+                        &format!("r{}", request.0),
+                        "decode",
+                        start,
+                        e.at,
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Counter tracks and global fault markers.
+fn export_counters(out: &mut String, log: &TraceLog) {
+    let mut counter_tid = 0u64;
+    for (role, replica) in log.replicas() {
+        let queue = log.queue_depth_series(role, replica);
+        if !queue.is_empty() {
+            let name = format!("queue depth {role}[{replica}]");
+            for &(at, v) in queue.points() {
+                push_counter(out, counter_tid, &name, at, v);
+            }
+            counter_tid += 1;
+        }
+        let batch = log.batch_occupancy_series(role, replica);
+        if !batch.is_empty() {
+            let name = format!("batch {role}[{replica}]");
+            for &(at, v) in batch.points() {
+                push_counter(out, counter_tid, &name, at, v);
+            }
+            counter_tid += 1;
+        }
+    }
+    let kv = log.inflight_kv_bytes_series();
+    if !kv.is_empty() {
+        for &(at, v) in kv.points() {
+            push_counter(out, counter_tid, "inflight kv bytes", at, v);
+        }
+        counter_tid += 1;
+    }
+    for (link, kind, _) in log.links() {
+        let util = log.link_utilization_series(link);
+        let name = format!("link {link} {kind} util");
+        for &(at, v) in util.points() {
+            push_counter(out, counter_tid, &name, at, v);
+        }
+        counter_tid += 1;
+    }
+    for e in log.events() {
+        match e.kind {
+            TraceKind::FaultTriggered { index } => push_instant(
+                out,
+                PID_COUNTERS,
+                0,
+                &format!("fault {index} triggered"),
+                "fault",
+                e.at,
+            ),
+            TraceKind::FaultDetected { index } => push_instant(
+                out,
+                PID_COUNTERS,
+                0,
+                &format!("fault {index} detected"),
+                "fault",
+                e.at,
+            ),
+            _ => {}
+        }
+    }
+}
+
+/// Exports the log as Chrome trace-event JSON.
+pub fn export(log: &TraceLog) -> String {
+    let mut body = String::new();
+    push_meta(&mut body, PID_REQUESTS, None, "process_name", "requests");
+    push_meta(
+        &mut body,
+        PID_PREFILL,
+        None,
+        "process_name",
+        "prefill replicas",
+    );
+    push_meta(
+        &mut body,
+        PID_DECODE,
+        None,
+        "process_name",
+        "decode replicas",
+    );
+    push_meta(&mut body, PID_COUNTERS, None, "process_name", "counters");
+    for (role, replica) in log.replicas() {
+        let pid = match role {
+            Role::Prefill => PID_PREFILL,
+            Role::Decode | Role::Colocated => PID_DECODE,
+        };
+        push_meta(
+            &mut body,
+            pid,
+            Some(replica as u64),
+            "thread_name",
+            &format!("{role} {replica}"),
+        );
+    }
+    for request in log.request_ids() {
+        push_meta(
+            &mut body,
+            PID_REQUESTS,
+            Some(request.0),
+            "thread_name",
+            &format!("request {}", request.0),
+        );
+        export_request(&mut body, log, request);
+    }
+    export_replica_tracks(&mut body, log);
+    export_counters(&mut body, log);
+    let body = body.trim_end().trim_end_matches(',').to_string();
+    format!("{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n{body}\n]}}\n")
+}
+
+/// Structural statistics of a validated Chrome trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChromeTraceStats {
+    /// Total events in `traceEvents`.
+    pub events: usize,
+    /// Complete (`X`) slices.
+    pub slices: usize,
+    /// Counter (`C`) samples.
+    pub counters: usize,
+    /// Instant (`i`) markers.
+    pub instants: usize,
+}
+
+/// Validates Chrome trace-event JSON structurally: the document parses,
+/// `traceEvents` is a non-empty array, and every event has a string `ph`
+/// plus numeric `pid`/`tid`/`ts` (and numeric `dur` on `X` slices).
+pub fn validate_chrome_trace(json: &str) -> Result<ChromeTraceStats, String> {
+    let doc = json::parse(json)?;
+    let root = doc
+        .as_object()
+        .ok_or_else(|| "root is not an object".to_string())?;
+    let events = root
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .map(|(_, v)| v)
+        .ok_or_else(|| "missing traceEvents".to_string())?;
+    let events = events
+        .as_array()
+        .ok_or_else(|| "traceEvents is not an array".to_string())?;
+    if events.is_empty() {
+        return Err("traceEvents is empty".into());
+    }
+    let mut stats = ChromeTraceStats {
+        events: events.len(),
+        slices: 0,
+        counters: 0,
+        instants: 0,
+    };
+    for (i, e) in events.iter().enumerate() {
+        let obj = e
+            .as_object()
+            .ok_or_else(|| format!("event {i} is not an object"))?;
+        let field = |name: &str| obj.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        let ph = field("ph")
+            .and_then(json::Value::as_str)
+            .ok_or_else(|| format!("event {i}: ph missing or not a string"))?;
+        for key in ["pid", "tid", "ts"] {
+            let ok = field(key).map(|v| v.as_number().is_some()).unwrap_or(false);
+            if !ok {
+                return Err(format!(
+                    "event {i} (ph={ph}): {key} missing or not a number"
+                ));
+            }
+        }
+        match ph {
+            "X" => {
+                if field("dur").and_then(json::Value::as_number).is_none() {
+                    return Err(format!("event {i}: X slice without numeric dur"));
+                }
+                stats.slices += 1;
+            }
+            "C" => stats.counters += 1,
+            "i" => stats.instants += 1,
+            "M" | "B" | "E" => {}
+            other => return Err(format!("event {i}: unknown phase {other:?}")),
+        }
+        if field("name").and_then(json::Value::as_str).is_none() && ph != "i" {
+            return Err(format!("event {i}: name missing or not a string"));
+        }
+    }
+    Ok(stats)
+}
+
+/// A minimal recursive-descent JSON parser — just enough to validate the
+/// hand-rolled exporter (the workspace serde shim has no parser either).
+mod json {
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any JSON number.
+        Number(f64),
+        /// A string.
+        String(String),
+        /// An array.
+        Array(Vec<Value>),
+        /// An object, in document order.
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// The string payload, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The numeric payload, if this is a number.
+        pub fn as_number(&self) -> Option<f64> {
+            match self {
+                Value::Number(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// The members, if this is an object.
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Object(m) => Some(m),
+                _ => None,
+            }
+        }
+
+        /// The elements, if this is an array.
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(v) => Some(v),
+                _ => None,
+            }
+        }
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    /// Parses a complete JSON document.
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        fn peek(&mut self) -> Result<u8, String> {
+            self.skip_ws();
+            self.bytes
+                .get(self.pos)
+                .copied()
+                .ok_or_else(|| "unexpected end of input".to_string())
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), String> {
+            if self.peek()? == b {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!("expected {:?} at byte {}", b as char, self.pos))
+            }
+        }
+
+        fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                Ok(v)
+            } else {
+                Err(format!("invalid literal at byte {}", self.pos))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            match self.peek()? {
+                b'{' => self.object(),
+                b'[' => self.array(),
+                b'"' => Ok(Value::String(self.string()?)),
+                b't' => self.literal("true", Value::Bool(true)),
+                b'f' => self.literal("false", Value::Bool(false)),
+                b'n' => self.literal("null", Value::Null),
+                b'-' | b'0'..=b'9' => self.number(),
+                other => Err(format!(
+                    "unexpected {:?} at byte {}",
+                    other as char, self.pos
+                )),
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect(b'{')?;
+            let mut members = Vec::new();
+            if self.peek()? == b'}' {
+                self.pos += 1;
+                return Ok(Value::Object(members));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.expect(b':')?;
+                members.push((key, self.value()?));
+                match self.peek()? {
+                    b',' => self.pos += 1,
+                    b'}' => {
+                        self.pos += 1;
+                        return Ok(Value::Object(members));
+                    }
+                    other => {
+                        return Err(format!(
+                            "expected ',' or '}}', got {:?} at byte {}",
+                            other as char, self.pos
+                        ))
+                    }
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            if self.peek()? == b']' {
+                self.pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(self.value()?);
+                match self.peek()? {
+                    b',' => self.pos += 1,
+                    b']' => {
+                        self.pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    other => {
+                        return Err(format!(
+                            "expected ',' or ']', got {:?} at byte {}",
+                            other as char, self.pos
+                        ))
+                    }
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                let b = *self
+                    .bytes
+                    .get(self.pos)
+                    .ok_or_else(|| "unterminated string".to_string())?;
+                self.pos += 1;
+                match b {
+                    b'"' => return Ok(out),
+                    b'\\' => {
+                        let esc = *self
+                            .bytes
+                            .get(self.pos)
+                            .ok_or_else(|| "unterminated escape".to_string())?;
+                        self.pos += 1;
+                        match esc {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b't' => out.push('\t'),
+                            b'r' => out.push('\r'),
+                            b'b' => out.push('\u{8}'),
+                            b'f' => out.push('\u{c}'),
+                            b'u' => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos..self.pos + 4)
+                                    .ok_or_else(|| "truncated \\u escape".to_string())?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex)
+                                        .map_err(|_| "bad \\u escape".to_string())?,
+                                    16,
+                                )
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                                self.pos += 4;
+                                out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            }
+                            other => {
+                                return Err(format!("bad escape \\{}", other as char));
+                            }
+                        }
+                    }
+                    _ => out.push(b as char),
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            std::str::from_utf8(&self.bytes[start..self.pos])
+                .ok()
+                .and_then(|s| s.parse::<f64>().ok())
+                .map(Value::Number)
+                .ok_or_else(|| format!("invalid number at byte {start}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+    use crate::sink::{Recorder, TraceSink};
+
+    fn tiny_log() -> TraceLog {
+        let r = RequestId(3);
+        let mut rec = Recorder::new();
+        let ev = |us: u64, kind: TraceKind| TraceEvent {
+            at: SimTime::from_micros(us),
+            kind,
+        };
+        rec.record(ev(0, TraceKind::Arrived { request: r }));
+        rec.record(ev(
+            0,
+            TraceKind::Enqueued {
+                request: r,
+                role: Role::Prefill,
+                replica: 0,
+            },
+        ));
+        rec.record(ev(
+            5,
+            TraceKind::PrefillStart {
+                request: r,
+                role: Role::Prefill,
+                replica: 0,
+                tokens: 64,
+            },
+        ));
+        rec.record(ev(
+            9,
+            TraceKind::PrefillEnd {
+                request: r,
+                role: Role::Prefill,
+                replica: 0,
+            },
+        ));
+        rec.record(ev(9, TraceKind::FirstToken { request: r }));
+        rec.record(ev(
+            20,
+            TraceKind::DecodeJoin {
+                request: r,
+                role: Role::Decode,
+                replica: 1,
+            },
+        ));
+        rec.record(ev(
+            21,
+            TraceKind::BatchOccupancy {
+                role: Role::Decode,
+                replica: 1,
+                active: 1,
+            },
+        ));
+        rec.record(ev(40, TraceKind::Finished { request: r }));
+        rec.finish()
+    }
+
+    #[test]
+    fn export_validates_round_trip() {
+        let json = export(&tiny_log());
+        let stats = validate_chrome_trace(&json).expect("exported trace must validate");
+        assert!(stats.events > 0);
+        assert!(stats.slices >= 3, "queue + prefill + decode slices");
+        assert!(stats.counters >= 1, "batch occupancy counter");
+        assert!(stats.instants >= 2, "first token + finished markers");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":[]}").is_err());
+        assert!(
+            validate_chrome_trace("{\"traceEvents\":[{\"ph\":\"X\",\"pid\":1}]}").is_err(),
+            "missing tid/ts must fail"
+        );
+        assert!(validate_chrome_trace(
+            "{\"traceEvents\":[{\"ph\":\"X\",\"pid\":1,\"tid\":\"a\",\"ts\":0}]}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn validator_accepts_minimal_wellformed_trace() {
+        let ok = "{\"traceEvents\":[{\"ph\":\"i\",\"pid\":1,\"tid\":2,\"ts\":3,\"s\":\"g\"}]}";
+        let stats = validate_chrome_trace(ok).unwrap();
+        assert_eq!(stats.events, 1);
+        assert_eq!(stats.instants, 1);
+    }
+}

@@ -1,0 +1,401 @@
+//! The trace-event taxonomy.
+//!
+//! One [`TraceEvent`] records one fact at one simulated instant. Request
+//! lifecycle events follow the journey
+//! `Arrived → Enqueued → PrefillStart/End → KvEnqueued → KvWireStart →
+//! KvDone → DecodeJoin → Finished`, with fault/recovery detours
+//! (`KvRetry`, `Requeued`, `Reprefill`, `Stalled`, `Dropped`, `Rejected`).
+//! Sampling events (`QueueDepth`, `BatchOccupancy`, `LinkUtilization`,
+//! `FlowRate`) carry instantaneous values from which [`crate::TraceLog`]
+//! derives step-function [`crate::UtilizationSeries`].
+
+use std::fmt;
+use ts_common::{RequestId, SimTime};
+
+/// Which serving role a replica plays in the emitting engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Role {
+    /// A disaggregated prefill replica.
+    Prefill,
+    /// A disaggregated decode replica.
+    Decode,
+    /// A colocated replica serving both phases.
+    Colocated,
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Role::Prefill => write!(f, "prefill"),
+            Role::Decode => write!(f, "decode"),
+            Role::Colocated => write!(f, "colocated"),
+        }
+    }
+}
+
+/// The class of a fabric link in a [`TraceKind::LinkUtilization`] sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LinkKind {
+    /// NIC uplink of the given node.
+    Uplink(usize),
+    /// NIC downlink of the given node.
+    Downlink(usize),
+    /// Intra-node bus (PCIe/NVLink) of the given node.
+    Intra(usize),
+    /// An inter-node fabric link (identified by its link index alone).
+    Inter,
+}
+
+impl fmt::Display for LinkKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkKind::Uplink(n) => write!(f, "uplink(node {n})"),
+            LinkKind::Downlink(n) => write!(f, "downlink(node {n})"),
+            LinkKind::Intra(n) => write!(f, "intra(node {n})"),
+            LinkKind::Inter => write!(f, "inter"),
+        }
+    }
+}
+
+/// One timestamped trace fact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// When the fact holds, in simulated time.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// What a [`TraceEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceKind {
+    /// A request entered the system.
+    Arrived {
+        /// The request.
+        request: RequestId,
+    },
+    /// A request was routed onto a replica's prefill queue.
+    Enqueued {
+        /// The request.
+        request: RequestId,
+        /// Serving role of the target replica.
+        role: Role,
+        /// Index of the target replica within its role.
+        replica: usize,
+    },
+    /// A request's prompt entered a prefill launch.
+    PrefillStart {
+        /// The request.
+        request: RequestId,
+        /// Serving role of the executing replica.
+        role: Role,
+        /// Index of the executing replica.
+        replica: usize,
+        /// Prompt (or re-prefilled context) tokens processed.
+        tokens: u64,
+    },
+    /// A request's prefill launch completed.
+    PrefillEnd {
+        /// The request.
+        request: RequestId,
+        /// Serving role of the executing replica.
+        role: Role,
+        /// Index of the executing replica.
+        replica: usize,
+    },
+    /// The request's first output token was produced (set once; re-prefills
+    /// keep the original instant).
+    FirstToken {
+        /// The request.
+        request: RequestId,
+    },
+    /// A KV transfer was enqueued on the sender (first attempt only).
+    KvEnqueued {
+        /// The request whose KV is moving.
+        request: RequestId,
+        /// Sending prefill replica.
+        from: usize,
+        /// Receiving decode replica.
+        to: usize,
+        /// Wire bytes of the full transfer.
+        bytes: u64,
+    },
+    /// KV bytes started moving on the wire (re-stamped by retries).
+    KvWireStart {
+        /// The request whose KV is moving.
+        request: RequestId,
+        /// Transfer attempt number (1 = first).
+        attempt: u32,
+    },
+    /// The KV cache arrived at the decode replica.
+    KvDone {
+        /// The request whose KV arrived.
+        request: RequestId,
+    },
+    /// A KV transfer failed (link fault / dead target) and was re-launched.
+    KvRetry {
+        /// The affected request.
+        request: RequestId,
+        /// The new attempt number.
+        attempt: u32,
+    },
+    /// A sequence joined a decode replica's continuous batch.
+    DecodeJoin {
+        /// The request.
+        request: RequestId,
+        /// Serving role of the admitting replica.
+        role: Role,
+        /// Index of the admitting replica.
+        replica: usize,
+    },
+    /// A decode step over the active batch completed.
+    DecodeStep {
+        /// Serving role of the stepping replica.
+        role: Role,
+        /// Index of the stepping replica.
+        replica: usize,
+        /// Batch size the step ran with.
+        batch: usize,
+    },
+    /// The request completed successfully.
+    Finished {
+        /// The request.
+        request: RequestId,
+    },
+    /// The request was lost mid-service (unrecovered fault, KV eviction).
+    Dropped {
+        /// The request.
+        request: RequestId,
+    },
+    /// The request was shed at admission (stall queue overflow).
+    Rejected {
+        /// The request.
+        request: RequestId,
+    },
+    /// The request stalled in the coordinator: no live route existed.
+    Stalled {
+        /// The request.
+        request: RequestId,
+    },
+    /// Fault recovery re-queued the request's prefill work onto survivors.
+    Requeued {
+        /// The request.
+        request: RequestId,
+    },
+    /// Fault recovery re-prefilled the request's lost context.
+    Reprefill {
+        /// The request.
+        request: RequestId,
+        /// Context tokens re-prefilled.
+        tokens: u64,
+    },
+    /// A scripted fault fired.
+    FaultTriggered {
+        /// Index of the fault in the script.
+        index: usize,
+    },
+    /// The coordinator detected a scripted fault (heartbeat timeout).
+    FaultDetected {
+        /// Index of the fault in the script.
+        index: usize,
+    },
+    /// A service pause ended.
+    ServiceResumed,
+    /// Prefill queue depth of a replica after a queue transition.
+    QueueDepth {
+        /// Serving role of the replica.
+        role: Role,
+        /// Index of the replica.
+        replica: usize,
+        /// Queued jobs after the transition.
+        depth: usize,
+    },
+    /// Active continuous-batch size of a replica after a batch transition.
+    BatchOccupancy {
+        /// Serving role of the replica.
+        role: Role,
+        /// Index of the replica.
+        replica: usize,
+        /// Sequences in the active batch.
+        active: usize,
+    },
+    /// Instantaneous utilization of one fabric link (emitted when the
+    /// link's aggregate flow rate changes).
+    LinkUtilization {
+        /// Stable link index within the fabric topology.
+        link: usize,
+        /// The link's class (and owning node, where applicable).
+        kind: LinkKind,
+        /// Aggregate rate of flows crossing the link, bytes/s.
+        used_bps: f64,
+        /// Link capacity, bytes/s.
+        capacity_bps: f64,
+    },
+    /// A fabric flow's max-min fair rate changed.
+    FlowRate {
+        /// The request whose flow this is (flows are keyed by request).
+        request: RequestId,
+        /// The new rate, bytes/s.
+        rate_bps: f64,
+    },
+}
+
+impl TraceKind {
+    /// The request this event concerns, if it is request-scoped.
+    pub fn request(&self) -> Option<RequestId> {
+        match *self {
+            TraceKind::Arrived { request }
+            | TraceKind::Enqueued { request, .. }
+            | TraceKind::PrefillStart { request, .. }
+            | TraceKind::PrefillEnd { request, .. }
+            | TraceKind::FirstToken { request }
+            | TraceKind::KvEnqueued { request, .. }
+            | TraceKind::KvWireStart { request, .. }
+            | TraceKind::KvDone { request }
+            | TraceKind::KvRetry { request, .. }
+            | TraceKind::DecodeJoin { request, .. }
+            | TraceKind::Finished { request }
+            | TraceKind::Dropped { request }
+            | TraceKind::Rejected { request }
+            | TraceKind::Stalled { request }
+            | TraceKind::Requeued { request }
+            | TraceKind::Reprefill { request, .. }
+            | TraceKind::FlowRate { request, .. } => Some(request),
+            _ => None,
+        }
+    }
+
+    /// A short stable label for this event kind (used in summaries).
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceKind::Arrived { .. } => "arrived",
+            TraceKind::Enqueued { .. } => "enqueued",
+            TraceKind::PrefillStart { .. } => "prefill_start",
+            TraceKind::PrefillEnd { .. } => "prefill_end",
+            TraceKind::FirstToken { .. } => "first_token",
+            TraceKind::KvEnqueued { .. } => "kv_enqueued",
+            TraceKind::KvWireStart { .. } => "kv_wire_start",
+            TraceKind::KvDone { .. } => "kv_done",
+            TraceKind::KvRetry { .. } => "kv_retry",
+            TraceKind::DecodeJoin { .. } => "decode_join",
+            TraceKind::DecodeStep { .. } => "decode_step",
+            TraceKind::Finished { .. } => "finished",
+            TraceKind::Dropped { .. } => "dropped",
+            TraceKind::Rejected { .. } => "rejected",
+            TraceKind::Stalled { .. } => "stalled",
+            TraceKind::Requeued { .. } => "requeued",
+            TraceKind::Reprefill { .. } => "reprefill",
+            TraceKind::FaultTriggered { .. } => "fault_triggered",
+            TraceKind::FaultDetected { .. } => "fault_detected",
+            TraceKind::ServiceResumed => "service_resumed",
+            TraceKind::QueueDepth { .. } => "queue_depth",
+            TraceKind::BatchOccupancy { .. } => "batch_occupancy",
+            TraceKind::LinkUtilization { .. } => "link_utilization",
+            TraceKind::FlowRate { .. } => "flow_rate",
+        }
+    }
+}
+
+impl fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TraceKind::Arrived { .. } => write!(f, "arrived"),
+            TraceKind::Enqueued { role, replica, .. } => {
+                write!(f, "enqueued on {role} replica {replica}")
+            }
+            TraceKind::PrefillStart {
+                role,
+                replica,
+                tokens,
+                ..
+            } => write!(
+                f,
+                "prefill start on {role} replica {replica} ({tokens} tokens)"
+            ),
+            TraceKind::PrefillEnd { role, replica, .. } => {
+                write!(f, "prefill end on {role} replica {replica}")
+            }
+            TraceKind::FirstToken { .. } => write!(f, "first token"),
+            TraceKind::KvEnqueued {
+                from, to, bytes, ..
+            } => write!(f, "kv enqueued {from} -> {to} ({bytes} B)"),
+            TraceKind::KvWireStart { attempt, .. } => {
+                write!(f, "kv wire start (attempt {attempt})")
+            }
+            TraceKind::KvDone { .. } => write!(f, "kv delivered"),
+            TraceKind::KvRetry { attempt, .. } => write!(f, "kv retry (attempt {attempt})"),
+            TraceKind::DecodeJoin { role, replica, .. } => {
+                write!(f, "joined decode batch on {role} replica {replica}")
+            }
+            TraceKind::DecodeStep {
+                role,
+                replica,
+                batch,
+            } => write!(f, "decode step on {role} replica {replica} (batch {batch})"),
+            TraceKind::Finished { .. } => write!(f, "finished"),
+            TraceKind::Dropped { .. } => write!(f, "dropped"),
+            TraceKind::Rejected { .. } => write!(f, "rejected"),
+            TraceKind::Stalled { .. } => write!(f, "stalled (no live route)"),
+            TraceKind::Requeued { .. } => write!(f, "requeued after fault"),
+            TraceKind::Reprefill { tokens, .. } => {
+                write!(f, "re-prefill of {tokens} lost context tokens")
+            }
+            TraceKind::FaultTriggered { index } => write!(f, "fault #{index} triggered"),
+            TraceKind::FaultDetected { index } => write!(f, "fault #{index} detected"),
+            TraceKind::ServiceResumed => write!(f, "service resumed"),
+            TraceKind::QueueDepth {
+                role,
+                replica,
+                depth,
+            } => write!(f, "queue depth {depth} on {role} replica {replica}"),
+            TraceKind::BatchOccupancy {
+                role,
+                replica,
+                active,
+            } => write!(f, "batch occupancy {active} on {role} replica {replica}"),
+            TraceKind::LinkUtilization {
+                link,
+                kind,
+                used_bps,
+                capacity_bps,
+            } => write!(
+                f,
+                "link {link} [{kind}] at {:.1}% ({used_bps:.0}/{capacity_bps:.0} B/s)",
+                100.0 * used_bps / capacity_bps.max(1.0)
+            ),
+            TraceKind::FlowRate { rate_bps, .. } => write!(f, "flow rate {rate_bps:.0} B/s"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_extraction_covers_lifecycle_kinds() {
+        let r = RequestId(7);
+        assert_eq!(TraceKind::Arrived { request: r }.request(), Some(r));
+        assert_eq!(TraceKind::Finished { request: r }.request(), Some(r));
+        assert_eq!(
+            TraceKind::DecodeStep {
+                role: Role::Decode,
+                replica: 0,
+                batch: 3
+            }
+            .request(),
+            None
+        );
+        assert_eq!(TraceKind::ServiceResumed.request(), None);
+    }
+
+    #[test]
+    fn display_is_humane() {
+        let k = TraceKind::KvRetry {
+            request: RequestId(1),
+            attempt: 3,
+        };
+        assert_eq!(k.to_string(), "kv retry (attempt 3)");
+        assert_eq!(k.label(), "kv_retry");
+    }
+}

@@ -1,0 +1,38 @@
+//! # ts-telemetry
+//!
+//! The observability layer of the simulator stack: a typed event taxonomy
+//! for request lifecycles, network flows and scheduler search steps, a
+//! [`TraceSink`] abstraction with a buffering [`Recorder`], derived
+//! per-replica/per-link [`UtilizationSeries`], and exporters (Chrome
+//! trace-event JSON viewable in Perfetto, plus a compact JSON summary).
+//!
+//! Design constraints, in order of importance:
+//!
+//! 1. **Zero cost when off.** Instrumented code holds an
+//!    `Option<Recorder>`; the disabled path is a `None` check and must keep
+//!    simulation outputs bit-identical (the same discipline
+//!    `SimConfig::network_contention` follows). Instrumentation *observes*
+//!    at event-handler boundaries — it never schedules events, draws
+//!    randomness, or otherwise perturbs the simulation.
+//! 2. **Events are facts, series are views.** The engines emit raw
+//!    [`TraceEvent`]s only; occupancy/queue-depth/in-flight-bytes series
+//!    are derived afterwards by [`TraceLog`], so the hot path stays free of
+//!    tally state.
+//! 3. **Time-sorted at finalization.** A few producers stamp events at
+//!    *future* simulated times (e.g. a KV wire start scheduled behind a
+//!    busy uplink); [`Recorder::finish`] stably sorts by timestamp so every
+//!    consumer sees a monotone log.
+
+pub mod chrome;
+pub mod event;
+pub mod log;
+pub mod search;
+pub mod series;
+pub mod sink;
+
+pub use chrome::{validate_chrome_trace, ChromeTraceStats};
+pub use event::{LinkKind, Role, TraceEvent, TraceKind};
+pub use log::{RequestSpan, TraceLog};
+pub use search::{SearchStep, SearchTrace};
+pub use series::UtilizationSeries;
+pub use sink::{NoopSink, Recorder, TraceSink};

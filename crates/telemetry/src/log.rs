@@ -1,0 +1,526 @@
+//! The finalized, time-sorted event log and everything derived from it:
+//! per-request spans, per-replica/per-link utilization series, timelines
+//! and the compact JSON summary.
+
+use crate::event::{LinkKind, Role, TraceEvent, TraceKind};
+use crate::series::UtilizationSeries;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use ts_common::{RequestId, SimDuration, SimTime};
+
+/// A time-sorted trace, produced by [`crate::Recorder::finish`].
+#[derive(Debug, Default, Clone)]
+pub struct TraceLog {
+    events: Vec<TraceEvent>,
+    end: SimTime,
+}
+
+/// The landmark instants of one request's journey, extracted from its
+/// events. `kv_wire_start`/`kv_done` keep the *last* occurrence (retries
+/// re-stamp the wire start; only the successful attempt delivers), while
+/// `kv_enqueued` keeps the first — exactly the accounting the engine's
+/// `RequestRecord` uses, so span-derived latencies reconcile bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestSpan {
+    /// The request.
+    pub request: RequestId,
+    /// Arrival instant.
+    pub arrived: SimTime,
+    /// First output token, if prefill completed.
+    pub first_token: Option<SimTime>,
+    /// Completion instant, if the request finished.
+    pub finished: Option<SimTime>,
+    /// First KV-transfer enqueue on the sender, if any transfer ran.
+    pub kv_enqueued: Option<SimTime>,
+    /// Last wire start (the successful attempt's).
+    pub kv_wire_start: Option<SimTime>,
+    /// Last KV delivery at the decode replica.
+    pub kv_done: Option<SimTime>,
+    /// KV transfer retries observed.
+    pub kv_retries: u32,
+    /// Fault-recovery requeues observed.
+    pub requeues: u32,
+    /// Fault-recovery re-prefills observed.
+    pub reprefills: u32,
+}
+
+impl RequestSpan {
+    /// Time to first token, if produced.
+    pub fn ttft(&self) -> Option<SimDuration> {
+        self.first_token.map(|t| t.saturating_since(self.arrived))
+    }
+
+    /// End-to-end latency, if the request finished.
+    pub fn e2e(&self) -> Option<SimDuration> {
+        self.finished.map(|t| t.saturating_since(self.arrived))
+    }
+
+    /// Sender-side queue wait of the KV transfer (zero when no transfer
+    /// ran), matching `RequestRecord::kv_queue_wait`.
+    pub fn kv_queue_wait(&self) -> SimDuration {
+        match (self.kv_enqueued, self.kv_wire_start) {
+            (Some(enq), Some(wire)) => wire.saturating_since(enq),
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    /// Wire time of the (successful) KV transfer attempt, matching
+    /// `RequestRecord::kv_wire_time`.
+    pub fn kv_wire_time(&self) -> SimDuration {
+        match (self.kv_wire_start, self.kv_done) {
+            (Some(wire), Some(done)) => done.saturating_since(wire),
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    /// Total KV overhead (queue wait + wire time).
+    pub fn kv_overhead(&self) -> SimDuration {
+        self.kv_queue_wait() + self.kv_wire_time()
+    }
+}
+
+impl TraceLog {
+    /// Wraps a time-sorted event vector.
+    pub(crate) fn new(events: Vec<TraceEvent>) -> Self {
+        let end = events.last().map(|e| e.at).unwrap_or(SimTime::ZERO);
+        TraceLog { events, end }
+    }
+
+    /// Every event, sorted by timestamp (stable in emission order).
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events in the log.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Timestamp of the last event (the origin for an empty log).
+    pub fn end(&self) -> SimTime {
+        self.end
+    }
+
+    /// Every request id appearing in the log, ascending.
+    pub fn request_ids(&self) -> Vec<RequestId> {
+        let ids: BTreeSet<RequestId> = self
+            .events
+            .iter()
+            .filter_map(|e| e.kind.request())
+            .collect();
+        ids.into_iter().collect()
+    }
+
+    /// Request ids that finished successfully, ascending.
+    pub fn completed_requests(&self) -> Vec<RequestId> {
+        let ids: BTreeSet<RequestId> = self
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceKind::Finished { request } => Some(request),
+                _ => None,
+            })
+            .collect();
+        ids.into_iter().collect()
+    }
+
+    /// The events concerning one request, in time order.
+    pub fn request_events(&self, request: RequestId) -> Vec<&TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| e.kind.request() == Some(request))
+            .collect()
+    }
+
+    /// The landmark span of one request, or `None` if the log never saw it
+    /// arrive.
+    pub fn request_span(&self, request: RequestId) -> Option<RequestSpan> {
+        let mut span: Option<RequestSpan> = None;
+        for e in &self.events {
+            if e.kind.request() != Some(request) {
+                continue;
+            }
+            if span.is_none() {
+                if let TraceKind::Arrived { .. } = e.kind {
+                    span = Some(RequestSpan {
+                        request,
+                        arrived: e.at,
+                        first_token: None,
+                        finished: None,
+                        kv_enqueued: None,
+                        kv_wire_start: None,
+                        kv_done: None,
+                        kv_retries: 0,
+                        requeues: 0,
+                        reprefills: 0,
+                    });
+                }
+                continue;
+            }
+            let s = span.as_mut().unwrap();
+            match e.kind {
+                TraceKind::FirstToken { .. } => s.first_token = Some(e.at),
+                TraceKind::Finished { .. } => s.finished = Some(e.at),
+                TraceKind::KvEnqueued { .. } if s.kv_enqueued.is_none() => {
+                    s.kv_enqueued = Some(e.at);
+                }
+                TraceKind::KvWireStart { .. } => s.kv_wire_start = Some(e.at),
+                TraceKind::KvDone { .. } => s.kv_done = Some(e.at),
+                TraceKind::KvRetry { .. } => s.kv_retries += 1,
+                TraceKind::Requeued { .. } => s.requeues += 1,
+                TraceKind::Reprefill { .. } => s.reprefills += 1,
+                _ => {}
+            }
+        }
+        span
+    }
+
+    /// The `(role, replica)` pairs observed anywhere in the log, ascending.
+    pub fn replicas(&self) -> Vec<(Role, usize)> {
+        let mut set = BTreeSet::new();
+        for e in &self.events {
+            match e.kind {
+                TraceKind::Enqueued { role, replica, .. }
+                | TraceKind::PrefillStart { role, replica, .. }
+                | TraceKind::PrefillEnd { role, replica, .. }
+                | TraceKind::DecodeJoin { role, replica, .. }
+                | TraceKind::DecodeStep { role, replica, .. }
+                | TraceKind::QueueDepth { role, replica, .. }
+                | TraceKind::BatchOccupancy { role, replica, .. } => {
+                    set.insert((role, replica));
+                }
+                _ => {}
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    /// Prefill queue depth of one replica over time.
+    pub fn queue_depth_series(&self, role: Role, replica: usize) -> UtilizationSeries {
+        let mut s = UtilizationSeries::new();
+        for e in &self.events {
+            if let TraceKind::QueueDepth {
+                role: r,
+                replica: i,
+                depth,
+            } = e.kind
+            {
+                if r == role && i == replica {
+                    s.push(e.at, depth as f64);
+                }
+            }
+        }
+        s
+    }
+
+    /// Active continuous-batch occupancy of one replica over time.
+    pub fn batch_occupancy_series(&self, role: Role, replica: usize) -> UtilizationSeries {
+        let mut s = UtilizationSeries::new();
+        for e in &self.events {
+            if let TraceKind::BatchOccupancy {
+                role: r,
+                replica: i,
+                active,
+            } = e.kind
+            {
+                if r == role && i == replica {
+                    s.push(e.at, active as f64);
+                }
+            }
+        }
+        s
+    }
+
+    /// Total KV bytes in flight over time, derived from enqueue/delivery/
+    /// drop events (no engine-side tally exists).
+    pub fn inflight_kv_bytes_series(&self) -> UtilizationSeries {
+        let mut s = UtilizationSeries::new();
+        let mut inflight: HashMap<RequestId, u64> = HashMap::new();
+        let mut total = 0u64;
+        for e in &self.events {
+            match e.kind {
+                TraceKind::KvEnqueued { request, bytes, .. }
+                    if !inflight.contains_key(&request) =>
+                {
+                    inflight.insert(request, bytes);
+                    total += bytes;
+                    s.push(e.at, total as f64);
+                }
+                TraceKind::KvDone { request } | TraceKind::Dropped { request } => {
+                    if let Some(bytes) = inflight.remove(&request) {
+                        total -= bytes;
+                        s.push(e.at, total as f64);
+                    }
+                }
+                _ => {}
+            }
+        }
+        s
+    }
+
+    /// The fabric links sampled in this log: `(link index, kind, capacity)`,
+    /// ascending by index. Empty unless the flow-level fabric ran with
+    /// telemetry on.
+    pub fn links(&self) -> Vec<(usize, LinkKind, f64)> {
+        let mut map: BTreeMap<usize, (LinkKind, f64)> = BTreeMap::new();
+        for e in &self.events {
+            if let TraceKind::LinkUtilization {
+                link,
+                kind,
+                capacity_bps,
+                ..
+            } = e.kind
+            {
+                map.entry(link).or_insert((kind, capacity_bps));
+            }
+        }
+        map.into_iter().map(|(l, (k, c))| (l, k, c)).collect()
+    }
+
+    /// Utilization of one fabric link over time, as a fraction of capacity
+    /// in `[0, 1]`.
+    pub fn link_utilization_series(&self, link: usize) -> UtilizationSeries {
+        let mut s = UtilizationSeries::new();
+        for e in &self.events {
+            if let TraceKind::LinkUtilization {
+                link: l,
+                used_bps,
+                capacity_bps,
+                ..
+            } = e.kind
+            {
+                if l == link {
+                    s.push(e.at, used_bps / capacity_bps.max(f64::MIN_POSITIVE));
+                }
+            }
+        }
+        s
+    }
+
+    /// A human-readable timeline of one request's events, one line per
+    /// event with absolute time and offset since arrival.
+    pub fn render_request_timeline(&self, request: RequestId) -> String {
+        let events = self.request_events(request);
+        let Some(first) = events.first() else {
+            return format!("request {request}: no events\n");
+        };
+        let arrival = first.at;
+        let mut out = format!("request {request} timeline ({} events):\n", events.len());
+        for e in events {
+            out.push_str(&format!(
+                "  t={:>12.6}s  (+{:>10.6}s)  {}\n",
+                e.at.as_secs_f64(),
+                e.at.saturating_since(arrival).as_secs_f64(),
+                e.kind,
+            ));
+        }
+        out
+    }
+
+    /// A compact JSON summary of the log: event counts per kind, request
+    /// outcomes, and time-weighted mean / peak of every derived series.
+    pub fn summary_json(&self) -> String {
+        let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for e in &self.events {
+            *counts.entry(e.kind.label()).or_insert(0) += 1;
+        }
+        let end = self.end;
+        let mut json = String::new();
+        json.push_str("{\n");
+        json.push_str(&format!("  \"events\": {},\n", self.events.len()));
+        json.push_str(&format!("  \"end_s\": {:.6},\n", end.as_secs_f64()));
+        json.push_str(&format!("  \"requests\": {},\n", self.request_ids().len()));
+        json.push_str(&format!(
+            "  \"completed\": {},\n",
+            self.completed_requests().len()
+        ));
+        json.push_str("  \"event_counts\": {");
+        for (i, (label, n)) in counts.iter().enumerate() {
+            if i > 0 {
+                json.push_str(", ");
+            }
+            json.push_str(&format!("\"{label}\": {n}"));
+        }
+        json.push_str("},\n");
+        json.push_str("  \"replicas\": [\n");
+        let replicas = self.replicas();
+        for (i, &(role, idx)) in replicas.iter().enumerate() {
+            let queue = self.queue_depth_series(role, idx);
+            let batch = self.batch_occupancy_series(role, idx);
+            json.push_str(&format!(
+                "    {{\"role\": \"{role}\", \"replica\": {idx}, \
+                 \"queue_mean\": {:.4}, \"queue_peak\": {:.1}, \
+                 \"batch_mean\": {:.4}, \"batch_peak\": {:.1}}}{}\n",
+                queue.time_weighted_mean(end),
+                queue.peak(),
+                batch.time_weighted_mean(end),
+                batch.peak(),
+                if i + 1 == replicas.len() { "" } else { "," }
+            ));
+        }
+        json.push_str("  ],\n");
+        let kv = self.inflight_kv_bytes_series();
+        json.push_str(&format!(
+            "  \"inflight_kv_bytes\": {{\"mean\": {:.1}, \"peak\": {:.1}}},\n",
+            kv.time_weighted_mean(end),
+            kv.peak()
+        ));
+        json.push_str("  \"links\": [\n");
+        let links = self.links();
+        for (i, &(link, kind, capacity)) in links.iter().enumerate() {
+            let util = self.link_utilization_series(link);
+            json.push_str(&format!(
+                "    {{\"link\": {link}, \"kind\": \"{kind}\", \"capacity_bps\": {capacity:.0}, \
+                 \"util_mean\": {:.6}, \"util_peak\": {:.6}}}{}\n",
+                util.time_weighted_mean(end),
+                util.peak(),
+                if i + 1 == links.len() { "" } else { "," }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        json
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{Recorder, TraceSink};
+
+    fn ev(us: u64, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            at: SimTime::from_micros(us),
+            kind,
+        }
+    }
+
+    fn sample_log() -> TraceLog {
+        let r = RequestId(1);
+        let mut rec = Recorder::new();
+        for e in [
+            ev(0, TraceKind::Arrived { request: r }),
+            ev(
+                0,
+                TraceKind::Enqueued {
+                    request: r,
+                    role: Role::Prefill,
+                    replica: 0,
+                },
+            ),
+            ev(
+                0,
+                TraceKind::QueueDepth {
+                    role: Role::Prefill,
+                    replica: 0,
+                    depth: 1,
+                },
+            ),
+            ev(
+                10,
+                TraceKind::PrefillStart {
+                    request: r,
+                    role: Role::Prefill,
+                    replica: 0,
+                    tokens: 512,
+                },
+            ),
+            ev(
+                50,
+                TraceKind::PrefillEnd {
+                    request: r,
+                    role: Role::Prefill,
+                    replica: 0,
+                },
+            ),
+            ev(50, TraceKind::FirstToken { request: r }),
+            ev(
+                50,
+                TraceKind::KvEnqueued {
+                    request: r,
+                    from: 0,
+                    to: 0,
+                    bytes: 1000,
+                },
+            ),
+            ev(
+                60,
+                TraceKind::KvWireStart {
+                    request: r,
+                    attempt: 1,
+                },
+            ),
+            ev(
+                70,
+                TraceKind::KvRetry {
+                    request: r,
+                    attempt: 2,
+                },
+            ),
+            ev(
+                80,
+                TraceKind::KvWireStart {
+                    request: r,
+                    attempt: 2,
+                },
+            ),
+            ev(95, TraceKind::KvDone { request: r }),
+            ev(
+                95,
+                TraceKind::DecodeJoin {
+                    request: r,
+                    role: Role::Decode,
+                    replica: 1,
+                },
+            ),
+            ev(200, TraceKind::Finished { request: r }),
+        ] {
+            rec.record(e);
+        }
+        rec.finish()
+    }
+
+    #[test]
+    fn span_reconciles_landmarks() {
+        let log = sample_log();
+        let s = log.request_span(RequestId(1)).unwrap();
+        assert_eq!(s.ttft(), Some(SimDuration::from_micros(50)));
+        assert_eq!(s.e2e(), Some(SimDuration::from_micros(200)));
+        // Queue wait uses first enqueue and LAST wire start.
+        assert_eq!(s.kv_queue_wait(), SimDuration::from_micros(30));
+        assert_eq!(s.kv_wire_time(), SimDuration::from_micros(15));
+        assert_eq!(s.kv_retries, 1);
+        assert_eq!(log.completed_requests(), vec![RequestId(1)]);
+    }
+
+    #[test]
+    fn inflight_bytes_rise_and_fall() {
+        let log = sample_log();
+        let s = log.inflight_kv_bytes_series();
+        assert_eq!(s.value_at(SimTime::from_micros(55)), 1000.0);
+        assert_eq!(s.value_at(SimTime::from_micros(100)), 0.0);
+        assert_eq!(s.peak(), 1000.0);
+    }
+
+    #[test]
+    fn replicas_and_timeline_render() {
+        let log = sample_log();
+        assert_eq!(log.replicas(), vec![(Role::Prefill, 0), (Role::Decode, 1)]);
+        let text = log.render_request_timeline(RequestId(1));
+        assert!(text.contains("kv retry (attempt 2)"));
+        assert!(text.contains("finished"));
+        let missing = log.render_request_timeline(RequestId(99));
+        assert!(missing.contains("no events"));
+    }
+
+    #[test]
+    fn summary_json_mentions_counts() {
+        let log = sample_log();
+        let json = log.summary_json();
+        assert!(json.contains("\"completed\": 1"));
+        assert!(json.contains("\"kv_retry\": 1"));
+    }
+}

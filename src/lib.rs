@@ -22,6 +22,8 @@
 //! * [`workload`] — synthetic coding/conversation workloads and profiling;
 //! * [`solver`] — LP, transportation, clustering and routing-DP primitives;
 //! * [`sim`] — the discrete-event serving simulator standing in for GPUs;
+//! * [`telemetry`] — request-lifecycle tracing, utilization time series and
+//!   Chrome-trace export;
 //! * [`baselines`] — vLLM-like, DistServe-like and HexGen-like planners;
 //! * [`runtime`] — the online serving runtime and live task coordinator.
 //!
@@ -58,6 +60,7 @@ pub use ts_kvcache as kvcache;
 pub use ts_runtime as runtime;
 pub use ts_sim as sim;
 pub use ts_solver as solver;
+pub use ts_telemetry as telemetry;
 pub use ts_workload as workload;
 
 pub use ts_common::{Error, Result};

@@ -1,0 +1,252 @@
+//! Telemetry contract tests: tracing observes the simulation without
+//! perturbing it, and what it records reconciles exactly with the metrics.
+//!
+//! Three properties are pinned here:
+//! 1. **Bit-identity off↔on** — enabling telemetry changes no `Metrics`
+//!    output, on the legacy KV path, under the flow-level fabric, under
+//!    faults, and on the colocated engine.
+//! 2. **Span reconciliation** — per-request landmarks derived from the
+//!    event log (TTFT, E2E, KV queue wait / wire time / overhead) equal the
+//!    corresponding `RequestRecord` fields exactly, and fault counters sum
+//!    to the run's `RecoveryCounters`.
+//! 3. **Well-formed spans** — each completed request's events are monotone
+//!    in time, start with its arrival, end with its finish, and keep
+//!    prefill start/end balanced and properly nested.
+
+use thunderserve::prelude::*;
+use thunderserve::sim::{ColocatedSimulation, FaultKind, FaultScript, TimedFault, TraceLog};
+use thunderserve::telemetry::TraceKind;
+use thunderserve::workload::{generator::generate, spec};
+use ts_cluster::presets;
+use ts_common::{
+    GpuId, GroupSpec, ParallelConfig, Phase, Request, RoutingMatrix, SimTime, StageSpec,
+};
+
+/// 4xA40 prefill + two 2x3090Ti decode replicas (the engine fault testbed).
+fn testbed() -> (ts_cluster::Cluster, DeploymentPlan, SimConfig) {
+    let cluster = presets::network_case_cluster(presets::ETH_40GBPS);
+    let model = ModelSpec::llama_13b();
+    let group = |phase, ids: &[u32], tp: usize| {
+        GroupSpec::new(
+            phase,
+            ParallelConfig::new(tp, 1).unwrap(),
+            vec![StageSpec {
+                gpus: ids.iter().map(|&i| GpuId(i)).collect(),
+                layers: model.num_layers,
+            }],
+        )
+        .unwrap()
+    };
+    let plan = DeploymentPlan::new(
+        vec![
+            group(Phase::Prefill, &[0, 1, 2, 3], 4),
+            group(Phase::Decode, &[4, 5], 2),
+            group(Phase::Decode, &[6, 7], 2),
+        ],
+        RoutingMatrix::uniform(1, 2),
+    )
+    .unwrap();
+    (cluster, plan, SimConfig::new(model))
+}
+
+fn link_blip_script() -> FaultScript {
+    let fault = |at_s: f64, kind| TimedFault {
+        at: SimTime::from_secs_f64(at_s),
+        kind,
+    };
+    FaultScript::new(
+        vec![
+            fault(
+                10.0,
+                FaultKind::LinkDown {
+                    prefill: 0,
+                    decode: 0,
+                },
+            ),
+            fault(
+                14.0,
+                FaultKind::LinkUp {
+                    prefill: 0,
+                    decode: 0,
+                },
+            ),
+        ],
+        SimDuration::from_millis(100),
+    )
+}
+
+fn run_traced(
+    cfg: SimConfig,
+    reqs: &[Request],
+    script: &FaultScript,
+) -> (Metrics, Option<TraceLog>) {
+    let (cluster, plan, _) = testbed();
+    let mut sim = Simulation::new(&cluster, &plan, cfg).unwrap();
+    let m = sim.run_with_faults(reqs, script).unwrap();
+    (m, sim.take_trace())
+}
+
+#[test]
+fn metrics_are_bit_identical_with_tracing_on() {
+    let (_, _, cfg) = testbed();
+    let reqs = generate(&spec::coding(1.5), SimDuration::from_secs(40), 51);
+    let none = FaultScript::none();
+    let blip = link_blip_script();
+    for (label, cfg, script) in [
+        ("legacy", cfg.clone(), &none),
+        ("fabric", cfg.clone().with_network_contention(true), &none),
+        ("legacy+fault", cfg.clone(), &blip),
+        (
+            "fabric+fault",
+            cfg.clone().with_network_contention(true),
+            &blip,
+        ),
+    ] {
+        let (off, trace_off) = run_traced(cfg.clone(), &reqs, script);
+        let (on, trace_on) = run_traced(cfg.with_telemetry(true), &reqs, script);
+        assert!(trace_off.is_none(), "{label}: telemetry defaults off");
+        assert!(trace_on.is_some(), "{label}: telemetry requested");
+        assert_eq!(off, on, "{label}: tracing must not perturb metrics");
+    }
+}
+
+#[test]
+fn colocated_metrics_are_bit_identical_and_traced() {
+    let cluster = presets::paper_inhouse_cluster();
+    let model = ModelSpec::llama_30b();
+    let group = |ids: [u32; 2]| {
+        GroupSpec::new(
+            Phase::Prefill,
+            ParallelConfig::new(2, 1).unwrap(),
+            vec![StageSpec {
+                gpus: ids.iter().map(|&i| GpuId(i)).collect(),
+                layers: model.num_layers,
+            }],
+        )
+        .unwrap()
+    };
+    let groups = vec![group([0, 1]), group([2, 3])];
+    let cfg = SimConfig::new(model);
+    let reqs = generate(&spec::conversation(1.0), SimDuration::from_secs(40), 52);
+    let run = |cfg: SimConfig| {
+        let mut sim = ColocatedSimulation::new(&cluster, &groups, cfg).unwrap();
+        let m = sim.run(&reqs).unwrap();
+        (m, sim.take_trace())
+    };
+    let (off, trace_off) = run(cfg.clone());
+    let (on, trace_on) = run(cfg.with_telemetry(true));
+    assert!(trace_off.is_none());
+    let log = trace_on.expect("telemetry requested");
+    assert_eq!(off, on, "tracing must not perturb colocated metrics");
+    assert_eq!(
+        log.completed_requests().len(),
+        on.num_completed(),
+        "every completion must be traced"
+    );
+    // Colocated replicas appear under their own role.
+    assert!(log
+        .replicas()
+        .iter()
+        .all(|&(role, _)| role == thunderserve::telemetry::Role::Colocated));
+}
+
+#[test]
+fn spans_reconcile_exactly_with_request_records() {
+    let (_, _, cfg) = testbed();
+    let reqs = generate(&spec::fixed(1024, 32, 1.5), SimDuration::from_secs(40), 53);
+    let blip = link_blip_script();
+    for (label, cfg, script) in [
+        (
+            "plain",
+            cfg.clone().with_telemetry(true),
+            FaultScript::none(),
+        ),
+        (
+            "fabric+fault",
+            cfg.with_telemetry(true).with_network_contention(true),
+            blip,
+        ),
+    ] {
+        let (m, trace) = run_traced(cfg, &reqs, &script);
+        let log = trace.expect("telemetry requested");
+        assert_eq!(m.num_completed(), reqs.len(), "{label}");
+        let mut retries = 0usize;
+        for r in m.records() {
+            let span = log
+                .request_span(r.request.id)
+                .unwrap_or_else(|| panic!("{label}: no span for {}", r.request.id));
+            assert_eq!(span.arrived, r.request.arrival, "{label}");
+            assert_eq!(span.ttft(), Some(r.ttft()), "{label}: {}", r.request.id);
+            assert_eq!(span.e2e(), Some(r.e2e()), "{label}: {}", r.request.id);
+            assert_eq!(
+                span.kv_queue_wait(),
+                r.kv_queue_wait,
+                "{label}: {}",
+                r.request.id
+            );
+            assert_eq!(
+                span.kv_wire_time(),
+                r.kv_wire_time,
+                "{label}: {}",
+                r.request.id
+            );
+            assert_eq!(
+                span.kv_overhead(),
+                r.kv_overhead(),
+                "{label}: {}",
+                r.request.id
+            );
+            assert_eq!(span.kv_done, r.kv_done_at, "{label}: {}", r.request.id);
+            retries += span.kv_retries as usize;
+        }
+        assert_eq!(
+            retries,
+            m.recovery().kv_transfer_retries,
+            "{label}: span retries must sum to the recovery counter"
+        );
+        if label == "fabric+fault" {
+            assert!(retries > 0, "the link blip must force retries");
+        }
+    }
+}
+
+#[test]
+fn completed_request_spans_are_monotone_and_nested() {
+    let (_, _, cfg) = testbed();
+    let reqs = generate(&spec::coding(1.5), SimDuration::from_secs(40), 54);
+    let (m, trace) = run_traced(cfg.with_telemetry(true), &reqs, &FaultScript::none());
+    let log = trace.expect("telemetry requested");
+    assert_eq!(m.num_completed(), reqs.len());
+    for r in m.records() {
+        let events = log.request_events(r.request.id);
+        assert!(
+            matches!(events.first().unwrap().kind, TraceKind::Arrived { .. }),
+            "first event must be the arrival"
+        );
+        assert!(
+            matches!(events.last().unwrap().kind, TraceKind::Finished { .. }),
+            "last event must be the finish"
+        );
+        let mut prev = SimTime::ZERO;
+        let mut open_prefills = 0i64;
+        let mut first_tokens = 0usize;
+        for e in &events {
+            assert!(e.at >= prev, "events must be monotone in time");
+            prev = e.at;
+            match e.kind {
+                TraceKind::PrefillStart { .. } => open_prefills += 1,
+                TraceKind::PrefillEnd { .. } => {
+                    open_prefills -= 1;
+                    assert!(open_prefills >= 0, "prefill end without a start");
+                }
+                TraceKind::FirstToken { .. } => first_tokens += 1,
+                TraceKind::KvDone { .. } => {
+                    assert_eq!(open_prefills, 0, "KV delivered mid-prefill")
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(open_prefills, 0, "prefill spans must close");
+        assert_eq!(first_tokens, 1, "exactly one first token per completion");
+    }
+}
