@@ -16,7 +16,16 @@ use ts_common::{Error, GpuId, NodeId, Result, SimTime};
 use crate::topology::Cluster;
 
 /// What changed.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// The `*Down`/`*Up` kinds flip the cluster's availability mask (crash-stop
+/// failures). The degradation kinds — [`EventKind::NodeSlow`],
+/// [`EventKind::LinkDegraded`] and [`EventKind::HeartbeatFlaky`] — describe
+/// *gray* failures: capacity that stays online but underperforms. They do
+/// not touch the availability mask (the resource is still schedulable);
+/// engines consume them by projecting onto replica-level degradation faults
+/// (`ts_sim::FaultScript::from_cluster_events`). A degradation factor of
+/// exactly 1 (or a loss probability of 0) means "healed".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum EventKind {
     /// A whole node went offline (heartbeat timeout).
     NodeDown(NodeId),
@@ -26,10 +35,19 @@ pub enum EventKind {
     GpusDown(Vec<GpuId>),
     /// Specific GPUs came (back) online.
     GpusUp(Vec<GpuId>),
+    /// A node became a straggler: compute on it runs `factor`× slower
+    /// (factor ≥ 1; 1 heals).
+    NodeSlow(NodeId, f64),
+    /// The network path between two nodes lost bandwidth: transfers run
+    /// `factor`× slower (factor ≥ 1; 1 heals).
+    LinkDegraded(NodeId, NodeId, f64),
+    /// A node's heartbeats are lost with the given probability per beat
+    /// (0 ≤ p ≤ 1; 0 heals), flapping it in and out of routing.
+    HeartbeatFlaky(NodeId, f64),
 }
 
 /// A timestamped availability change.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterEvent {
     /// When the change is observed.
     pub at: SimTime,
@@ -43,16 +61,27 @@ impl ClusterEvent {
         ClusterEvent { at, kind }
     }
 
-    /// Applies this event to a cluster's availability mask.
+    /// Applies this event to a cluster's availability mask. Degradation
+    /// events leave the mask untouched (the resource stays schedulable);
+    /// they only validate their node ids.
     ///
     /// # Errors
     /// Propagates [`ts_common::Error::InvalidConfig`] for unknown ids.
     pub fn apply(&self, cluster: &mut Cluster) -> Result<()> {
+        let check_node = |n: NodeId| {
+            if (n.0 as usize) < cluster.nodes().len() {
+                Ok(())
+            } else {
+                Err(Error::InvalidConfig(format!("unknown node {}", n.0)))
+            }
+        };
         match &self.kind {
             EventKind::NodeDown(n) => cluster.deactivate_node(*n),
             EventKind::NodeUp(n) => cluster.activate_node(*n),
             EventKind::GpusDown(ids) => cluster.deactivate_gpus(ids),
             EventKind::GpusUp(ids) => cluster.activate_gpus(ids),
+            EventKind::NodeSlow(n, _) | EventKind::HeartbeatFlaky(n, _) => check_node(*n),
+            EventKind::LinkDegraded(a, b, _) => check_node(*a).and_then(|()| check_node(*b)),
         }
     }
 }
@@ -86,6 +115,15 @@ pub fn script_to_text(events: &[ClusterEvent]) -> String {
             EventKind::GpusUp(ids) => {
                 let _ = writeln!(out, "gpus-up {}", join_ids(ids));
             }
+            EventKind::NodeSlow(n, f) => {
+                let _ = writeln!(out, "node-slow {} {}", n.0, f);
+            }
+            EventKind::LinkDegraded(a, b, f) => {
+                let _ = writeln!(out, "link-degraded {} {} {}", a.0, b.0, f);
+            }
+            EventKind::HeartbeatFlaky(n, p) => {
+                let _ = writeln!(out, "heartbeat-flaky {} {}", n.0, p);
+            }
         }
     }
     out
@@ -117,12 +155,14 @@ pub fn script_from_text(text: &str) -> Result<Vec<ClusterEvent>> {
         let kind = parts
             .next()
             .ok_or_else(|| bad(format!("missing kind in {line:?}")))?;
-        let arg = parts
-            .next()
-            .ok_or_else(|| bad(format!("missing argument in {line:?}")))?;
-        if parts.next().is_some() {
-            return Err(bad(format!("trailing tokens in {line:?}")));
-        }
+        let args: Vec<&str> = parts.collect();
+        let want = |n: usize| -> Result<()> {
+            match args.len().cmp(&n) {
+                std::cmp::Ordering::Less => Err(bad(format!("missing argument in {line:?}"))),
+                std::cmp::Ordering::Greater => Err(bad(format!("trailing tokens in {line:?}"))),
+                std::cmp::Ordering::Equal => Ok(()),
+            }
+        };
         let parse_node = |v: &str| {
             v.parse::<u32>()
                 .map(NodeId)
@@ -137,11 +177,64 @@ pub fn script_from_text(text: &str) -> Result<Vec<ClusterEvent>> {
                 })
                 .collect()
         };
+        // Degradation factors are slowdown multipliers: a factor below 1
+        // would be a speed-up and a factor of 0 or less is meaningless, so
+        // both are rejected (exactly 1 means "healed").
+        let parse_factor = |v: &str| -> Result<f64> {
+            let f: f64 = v
+                .parse()
+                .map_err(|_| bad(format!("bad degradation factor {v:?}")))?;
+            if f.is_finite() && f >= 1.0 {
+                Ok(f)
+            } else {
+                Err(bad(format!(
+                    "degradation factor must be >= 1 (got {v}; 1 heals)"
+                )))
+            }
+        };
+        let parse_prob = |v: &str| -> Result<f64> {
+            let p: f64 = v
+                .parse()
+                .map_err(|_| bad(format!("bad loss probability {v:?}")))?;
+            if p.is_finite() && (0.0..=1.0).contains(&p) {
+                Ok(p)
+            } else {
+                Err(bad(format!("loss probability must be in [0, 1] (got {v})")))
+            }
+        };
         let kind = match kind {
-            "node-down" => EventKind::NodeDown(parse_node(arg)?),
-            "node-up" => EventKind::NodeUp(parse_node(arg)?),
-            "gpus-down" => EventKind::GpusDown(parse_gpus(arg)?),
-            "gpus-up" => EventKind::GpusUp(parse_gpus(arg)?),
+            "node-down" => {
+                want(1)?;
+                EventKind::NodeDown(parse_node(args[0])?)
+            }
+            "node-up" => {
+                want(1)?;
+                EventKind::NodeUp(parse_node(args[0])?)
+            }
+            "gpus-down" => {
+                want(1)?;
+                EventKind::GpusDown(parse_gpus(args[0])?)
+            }
+            "gpus-up" => {
+                want(1)?;
+                EventKind::GpusUp(parse_gpus(args[0])?)
+            }
+            "node-slow" => {
+                want(2)?;
+                EventKind::NodeSlow(parse_node(args[0])?, parse_factor(args[1])?)
+            }
+            "link-degraded" => {
+                want(3)?;
+                EventKind::LinkDegraded(
+                    parse_node(args[0])?,
+                    parse_node(args[1])?,
+                    parse_factor(args[2])?,
+                )
+            }
+            "heartbeat-flaky" => {
+                want(2)?;
+                EventKind::HeartbeatFlaky(parse_node(args[0])?, parse_prob(args[1])?)
+            }
             other => return Err(bad(format!("unknown event kind {other:?}"))),
         };
         events.push(ClusterEvent::new(SimTime::from_micros(at), kind));
@@ -248,5 +341,79 @@ mod tests {
         assert!(script_from_text("event 5 node-up 1 junk").is_err());
         assert!(script_from_text("not-an-event 5 node-up 1").is_err());
         assert!(script_from_text("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn text_round_trips_degradation_kinds() {
+        let script = vec![
+            ClusterEvent::new(
+                SimTime::from_micros(1_000_000),
+                EventKind::NodeSlow(NodeId(0), 3.5),
+            ),
+            ClusterEvent::new(
+                SimTime::from_micros(2_000_000),
+                EventKind::LinkDegraded(NodeId(0), NodeId(1), 8.0),
+            ),
+            ClusterEvent::new(
+                SimTime::from_micros(3_000_000),
+                EventKind::HeartbeatFlaky(NodeId(1), 0.25),
+            ),
+            // Healing forms round-trip too.
+            ClusterEvent::new(
+                SimTime::from_micros(4_000_000),
+                EventKind::NodeSlow(NodeId(0), 1.0),
+            ),
+            ClusterEvent::new(
+                SimTime::from_micros(5_000_000),
+                EventKind::HeartbeatFlaky(NodeId(1), 0.0),
+            ),
+        ];
+        let text = script_to_text(&script);
+        assert!(text.contains("event 1000000 node-slow 0 3.5"));
+        assert!(text.contains("event 2000000 link-degraded 0 1 8"));
+        assert!(text.contains("event 3000000 heartbeat-flaky 1 0.25"));
+        let back = script_from_text(&text).unwrap();
+        assert_eq!(script, back);
+    }
+
+    #[test]
+    fn text_rejects_malformed_factors() {
+        for bad in [
+            "event 5 node-slow 0 0",       // factor of zero
+            "event 5 node-slow 0 -2",      // negative factor
+            "event 5 node-slow 0 0.5",     // < 1 is a speed-up, not a fault
+            "event 5 link-degraded 0 1 0", // zero bandwidth factor
+            "event 5 link-degraded 0 1 nan",
+            "event 5 heartbeat-flaky 0 1.5", // probability > 1
+            "event 5 heartbeat-flaky 0 -0.1",
+            "event 5 node-slow 0",           // missing factor
+            "event 5 link-degraded 0 1 2 9", // trailing token
+        ] {
+            let err = script_from_text(bad).expect_err(bad).to_string();
+            assert!(
+                err.contains("factor")
+                    || err.contains("probability")
+                    || err.contains("tokens")
+                    || err.contains("argument"),
+                "unhelpful message for {bad:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn degradation_events_leave_the_mask_alone() {
+        let mut c = cluster();
+        for kind in [
+            EventKind::NodeSlow(NodeId(0), 4.0),
+            EventKind::LinkDegraded(NodeId(0), NodeId(1), 2.0),
+            EventKind::HeartbeatFlaky(NodeId(1), 0.5),
+        ] {
+            ClusterEvent::new(SimTime::ZERO, kind)
+                .apply(&mut c)
+                .unwrap();
+        }
+        assert_eq!(c.num_gpus(), 4, "degradation must not deactivate capacity");
+        let e = ClusterEvent::new(SimTime::ZERO, EventKind::NodeSlow(NodeId(9), 2.0));
+        assert!(e.apply(&mut c).is_err(), "unknown node must be rejected");
     }
 }

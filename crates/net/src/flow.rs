@@ -213,6 +213,29 @@ impl FlowFabric {
         self.reallocate()
     }
 
+    /// Degrades (or heals, with `factor` 1) every link on the `from → to`
+    /// path to `healthy capacity / factor` and re-fair-shares the fabric
+    /// live: bytes already moved at the old rates stay moved, and every
+    /// in-flight flow gets a fresh epoch and completion estimate under the
+    /// new capacities. Returns the fresh estimates (empty if no flow is in
+    /// flight).
+    ///
+    /// # Panics
+    /// Panics if `factor` is not finite or below 1.
+    pub fn degrade_path(
+        &mut self,
+        from: GpuId,
+        to: GpuId,
+        factor: f64,
+        now: SimTime,
+    ) -> Vec<FlowEstimate> {
+        self.advance(now);
+        for link in self.topo.path(from, to) {
+            self.topo.set_degradation(link, factor);
+        }
+        self.reallocate()
+    }
+
     /// Drains every flow's remaining bytes up to `now` under the rates of
     /// the *current* allocation.
     fn advance(&mut self, now: SimTime) {
@@ -542,6 +565,35 @@ mod tests {
         }
         assert_eq!(up0_last, Some(0.0), "drops back to zero when flows drain");
         assert!(fab.take_events().is_empty(), "buffer drained by take");
+    }
+
+    #[test]
+    fn degrade_path_refair_shares_in_flight_flows() {
+        let mut fab = FlowFabric::from_cluster(&cluster());
+        // 1 GB over the 1 GB/s node0 → node1 path: solo finish at ~1s.
+        let est = fab.start(1, GpuId(0), GpuId(2), 1e9, SimTime::ZERO);
+        let healthy_done = done_of(&est, 1);
+        // Halfway through, the path loses 4× bandwidth. 0.5 GB already
+        // moved stays moved; the rest drains at 0.25 GB/s → ~2s more.
+        let t_half = SimTime::from_micros(300) + SimDuration::from_millis(500);
+        let est = fab.degrade_path(GpuId(0), GpuId(2), 4.0, t_half);
+        assert_eq!(est.len(), 1, "in-flight flow re-estimated");
+        let degraded_done = done_of(&est, 1);
+        assert!(
+            degraded_done > healthy_done,
+            "{degraded_done} !> {healthy_done}"
+        );
+        assert_eq!(degraded_done, t_half + SimDuration::from_secs(2));
+        // The old estimate's epoch is stale now.
+        assert!(matches!(fab.poll(1, 1, healthy_done), FlowPoll::Stale));
+        // Healing mid-flight speeds the remainder back up.
+        let est = fab.degrade_path(GpuId(0), GpuId(2), 1.0, t_half + SimDuration::from_secs(1));
+        let healed_done = done_of(&est, 1);
+        assert!(healed_done < degraded_done);
+        assert!(matches!(
+            fab.poll(1, est[0].epoch, healed_done),
+            FlowPoll::Done(_)
+        ));
     }
 
     #[test]

@@ -23,10 +23,14 @@ use ts_common::{GpuId, NodeId, SimDuration};
 /// The capacitated link graph of one cluster, with stable link indices.
 #[derive(Debug, Clone)]
 pub struct FabricTopology {
-    /// Capacity per link in bytes/s (uplinks, then downlinks, then
-    /// intra-node buses, then inter-node fabric links in lexicographic
-    /// `(a, b)` order with `a < b`).
+    /// Effective capacity per link in bytes/s (uplinks, then downlinks,
+    /// then intra-node buses, then inter-node fabric links in lexicographic
+    /// `(a, b)` order with `a < b`) — the healthy capacity divided by the
+    /// link's current degradation factor.
     capacity: Vec<f64>,
+    /// Healthy (undegraded) capacity per link, the denominator baseline for
+    /// [`FabricTopology::set_degradation`].
+    base_capacity: Vec<f64>,
     /// Hosting node per GPU id.
     gpu_node: Vec<usize>,
     /// `inter_index[a][b]`: link index of the (a, b) fabric link.
@@ -75,6 +79,7 @@ impl FabricTopology {
             .map(|i| cluster.node(NodeId(i as u32)).intra_latency)
             .collect();
         FabricTopology {
+            base_capacity: capacity.clone(),
             capacity,
             gpu_node,
             inter_index,
@@ -85,9 +90,25 @@ impl FabricTopology {
     }
 
     /// Link capacities, indexable by the link ids [`FabricTopology::path`]
-    /// returns.
+    /// returns. Reflects any degradation set via
+    /// [`FabricTopology::set_degradation`].
     pub fn capacities(&self) -> &[f64] {
         &self.capacity
+    }
+
+    /// Sets one link's degradation factor: its effective capacity becomes
+    /// the healthy capacity divided by `factor`. A factor of exactly 1
+    /// restores full capacity; factors are absolute, not cumulative.
+    ///
+    /// # Panics
+    /// Panics if `factor` is not finite or below 1, or `link` is out of
+    /// range.
+    pub fn set_degradation(&mut self, link: usize, factor: f64) {
+        assert!(
+            factor >= 1.0 && factor.is_finite(),
+            "degradation factor must be finite and >= 1, got {factor}"
+        );
+        self.capacity[link] = self.base_capacity[link] / factor;
     }
 
     /// Number of nodes in the underlying cluster.
@@ -190,6 +211,26 @@ mod tests {
         assert_eq!(rev[0], t.uplink(1));
         assert_eq!(rev[2], t.downlink(0));
         assert_eq!(fwd[1], rev[1]);
+    }
+
+    #[test]
+    fn degradation_scales_and_heals_absolutely() {
+        let mut t = FabricTopology::from_cluster(&cluster());
+        let up0 = t.uplink(0);
+        t.set_degradation(up0, 4.0);
+        assert_eq!(t.capacities()[up0], 5e9 / 4.0);
+        // Factors are absolute against healthy capacity, not cumulative.
+        t.set_degradation(up0, 2.0);
+        assert_eq!(t.capacities()[up0], 5e9 / 2.0);
+        t.set_degradation(up0, 1.0);
+        assert_eq!(t.capacities()[up0], 5e9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn degradation_below_one_rejected() {
+        let mut t = FabricTopology::from_cluster(&cluster());
+        t.set_degradation(0, 0.5);
     }
 
     #[test]

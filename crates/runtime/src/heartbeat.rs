@@ -31,17 +31,27 @@ impl HeartbeatMonitor {
         }
     }
 
-    /// Registers a node so silence counts against it from `now`.
+    /// Registers a node so silence counts against it from `now`. This is
+    /// also the **only** path back from a reported outage: re-registering a
+    /// dead node clears its flag (cloud capacity explicitly returning).
     pub fn register(&mut self, node: NodeId, now: SimTime) {
         self.last_seen.insert(node, now);
         self.reported.insert(node, false);
     }
 
-    /// Records a heartbeat. Unknown nodes are registered implicitly. A node
-    /// that had been declared dead is resurrected (cloud capacity returning).
-    pub fn beat(&mut self, node: NodeId, now: SimTime) {
+    /// Records a heartbeat and returns whether it was accepted.
+    ///
+    /// Beats from unknown nodes are ignored (no implicit registration), and
+    /// beats from nodes in a reported outage are ignored too: a flapping
+    /// node cannot silently bounce back into the alive set on a stray beat —
+    /// the control plane must re-admit it via [`HeartbeatMonitor::register`]
+    /// once it considers the node healthy again.
+    pub fn beat(&mut self, node: NodeId, now: SimTime) -> bool {
+        if !self.last_seen.contains_key(&node) || self.is_dead(node) {
+            return false;
+        }
         self.last_seen.insert(node, now);
-        self.reported.insert(node, false);
+        true
     }
 
     /// Nodes whose last heartbeat is older than the timeout at `now`,
@@ -70,7 +80,7 @@ impl HeartbeatMonitor {
     }
 
     /// Number of nodes currently believed alive: registered and not flagged
-    /// dead. Nodes in a reported outage don't count until they beat again.
+    /// dead. Nodes in a reported outage don't count until re-registered.
     pub fn num_tracked(&self) -> usize {
         self.last_seen
             .keys()
@@ -112,14 +122,50 @@ mod tests {
     }
 
     #[test]
-    fn beat_resurrects() {
+    fn dead_node_needs_explicit_reregistration() {
         let mut m = HeartbeatMonitor::new(SimDuration::from_secs(5));
         m.register(NodeId(3), t(0));
         assert_eq!(m.expired(t(6)), vec![NodeId(3)]);
-        m.beat(NodeId(3), t(7));
+        // A stray beat from the flagged node does NOT resurrect it.
+        assert!(!m.beat(NodeId(3), t(7)));
+        assert!(m.is_dead(NodeId(3)));
+        assert_eq!(m.num_tracked(), 0);
+        // Explicit re-registration is the only way back in.
+        m.register(NodeId(3), t(7));
         assert!(!m.is_dead(NodeId(3)));
         assert!(m.expired(t(11)).is_empty());
         assert_eq!(m.expired(t(13)), vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn unknown_node_beats_are_ignored() {
+        let mut m = HeartbeatMonitor::new(SimDuration::from_secs(5));
+        assert!(!m.beat(NodeId(9), t(1)), "no implicit registration");
+        assert_eq!(m.num_tracked(), 0);
+        assert!(m.expired(t(100)).is_empty());
+    }
+
+    #[test]
+    fn flapping_node_reports_once_per_admitted_outage() {
+        // A node that flaps — beats, goes silent, expires, emits a stray
+        // beat, is re-admitted, goes silent again — is reported exactly once
+        // per outage the control plane actually admitted it for, and the
+        // stray beats in between never short-circuit an outage.
+        let mut m = HeartbeatMonitor::new(SimDuration::from_secs(5));
+        m.register(NodeId(0), t(0));
+        assert!(m.beat(NodeId(0), t(2)));
+        // first outage
+        assert_eq!(m.expired(t(8)), vec![NodeId(0)]);
+        assert!(!m.beat(NodeId(0), t(9)), "flap: stray beat while dead");
+        assert!(m.expired(t(10)).is_empty(), "still the same outage");
+        assert!(m.is_dead(NodeId(0)));
+        // control plane re-admits it
+        m.register(NodeId(0), t(12));
+        assert!(m.beat(NodeId(0), t(14)));
+        assert!(m.expired(t(15)).is_empty());
+        // second outage reports again
+        assert_eq!(m.expired(t(20)), vec![NodeId(0)]);
+        assert!(m.expired(t(25)).is_empty(), "reported once per outage");
     }
 
     #[test]
@@ -159,7 +205,7 @@ mod tests {
         m.beat(NodeId(0), t(4));
         assert_eq!(m.expired(t(6)), vec![NodeId(1)]);
         assert_eq!(m.num_tracked(), 1);
-        m.beat(NodeId(1), t(7)); // resurrection counts again
+        m.register(NodeId(1), t(7)); // re-admission counts again
         assert_eq!(m.num_tracked(), 2);
     }
 

@@ -254,9 +254,17 @@ impl ServingRuntime {
                 EventKind::NodeDown(n) => silent.push(*n),
                 EventKind::NodeUp(n) => {
                     silent.retain(|m| m != n);
-                    monitor.beat(*n, ev.at);
+                    // Returning capacity is an explicit control-plane event:
+                    // re-register rather than beat, since a beat alone can no
+                    // longer resurrect a node flagged dead.
+                    monitor.register(*n, ev.at);
                 }
                 EventKind::GpusDown(_) | EventKind::GpusUp(_) => gpu_level_change = true,
+                // Gray degradations leave the availability mask (and thus
+                // the plan's feasibility) untouched: no reschedule trigger.
+                EventKind::NodeSlow(..)
+                | EventKind::LinkDegraded(..)
+                | EventKind::HeartbeatFlaky(..) => {}
             }
         }
         if let Some(last) = sorted.last() {

@@ -69,6 +69,53 @@ pub struct SimConfig {
     /// observes the simulation, it never schedules events or draws
     /// randomness.
     pub telemetry: bool,
+    /// Gray-failure mitigation: hedged re-dispatch timeout. When set, a
+    /// request whose first token has not appeared this long after dispatch
+    /// gets a duplicate prefill launched on an alternate replica pair
+    /// (first completion wins, the loser is cancelled); a request whose KV
+    /// transfer is still on the wire gets the transfer cancelled and
+    /// re-dispatched. `None` (the default) disables hedging and keeps
+    /// results bit-identical.
+    pub hedge_timeout: Option<ts_common::SimDuration>,
+    /// Gray-failure mitigation: per-request KV-transfer retry *budget*.
+    /// When set, a transfer that has already been retried this many times
+    /// is dropped instead of retried again (counted in
+    /// `RecoveryCounters::retry_budget_exhausted`). `None` (the default)
+    /// retries without bound, as before.
+    pub kv_retry_budget: Option<u32>,
+    /// Gray-failure mitigation: retry-backoff jitter fraction in `[0, 1]`.
+    /// When positive, each retry delay is stretched by a uniformly drawn
+    /// factor in `[1, 1 + jitter]` from the seeded fault RNG, decorrelating
+    /// retry storms. Zero (the default) draws nothing and keeps results
+    /// bit-identical.
+    pub kv_retry_jitter: f64,
+    /// Gray-failure mitigation: straggler quarantine threshold on the
+    /// observed-vs-expected iteration-time ratio (EWMA). A replica whose
+    /// ratio stays at or above this for
+    /// [`SimConfig::straggler_min_samples`] iterations is removed from
+    /// routing and readmitted optimistically after
+    /// [`SimConfig::straggler_readmit_after`]. `None` (the default)
+    /// disables detection.
+    pub straggler_threshold: Option<f64>,
+    /// Iterations a replica must look slow before quarantine kicks in.
+    pub straggler_min_samples: u32,
+    /// How long a quarantined replica sits out before optimistic
+    /// readmission (it re-quarantines if still slow).
+    pub straggler_readmit_after: ts_common::SimDuration,
+    /// Gray-failure mitigation: SLO-class-aware load shedding. When set, a
+    /// request is shed (rejected, `DeadlineShed`) instead of dispatched if
+    /// its TTFT deadline — `arrival + slo.ttft × deadline_scale` — has
+    /// already passed while it waited, which only happens under overload.
+    /// `None` (the default) never deadline-sheds.
+    pub deadline_slo: Option<ts_common::SloSpec>,
+    /// Deadline slack multiplier applied to the SLO targets when deriving
+    /// per-request deadlines (1 = shed exactly at the SLO).
+    pub deadline_scale: f64,
+    /// Seed for the engine's fault/mitigation RNG (flaky-heartbeat draws,
+    /// retry jitter). The RNG is only consulted when a gray fault or a
+    /// jitter knob actually needs randomness, so the default path stays
+    /// bit-identical regardless of this value.
+    pub fault_seed: u64,
 }
 
 /// Prefill queue discipline.
@@ -103,6 +150,15 @@ impl SimConfig {
             kv_retry_backoff_base: ts_common::SimDuration::from_millis(25),
             kv_retry_backoff_cap: ts_common::SimDuration::from_millis(1600),
             telemetry: false,
+            hedge_timeout: None,
+            kv_retry_budget: None,
+            kv_retry_jitter: 0.0,
+            straggler_threshold: None,
+            straggler_min_samples: 3,
+            straggler_readmit_after: ts_common::SimDuration::from_secs(5),
+            deadline_slo: None,
+            deadline_scale: 1.0,
+            fault_seed: 0x7453_4752_4159,
         }
     }
 
@@ -180,6 +236,74 @@ impl SimConfig {
         self.kv_retry_backoff_cap = cap;
         self
     }
+
+    /// Returns a copy with hedged re-dispatch of stuck prefills / KV
+    /// transfers after `timeout`.
+    pub fn with_hedging(mut self, timeout: ts_common::SimDuration) -> Self {
+        self.hedge_timeout = Some(timeout);
+        self
+    }
+
+    /// Returns a copy with a per-request KV-transfer retry budget.
+    pub fn with_kv_retry_budget(mut self, retries: u32) -> Self {
+        self.kv_retry_budget = Some(retries);
+        self
+    }
+
+    /// Returns a copy with the given retry-backoff jitter fraction.
+    ///
+    /// # Panics
+    /// Panics if `jitter` is not in `[0, 1]`.
+    pub fn with_kv_retry_jitter(mut self, jitter: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&jitter),
+            "retry jitter must be in [0, 1], got {jitter}"
+        );
+        self.kv_retry_jitter = jitter;
+        self
+    }
+
+    /// Returns a copy with straggler quarantine at the given
+    /// observed-vs-expected iteration-time ratio.
+    ///
+    /// # Panics
+    /// Panics if `threshold` is not finite or not above 1 (a healthy
+    /// replica's ratio is exactly 1).
+    pub fn with_straggler_detection(mut self, threshold: f64) -> Self {
+        assert!(
+            threshold > 1.0 && threshold.is_finite(),
+            "straggler threshold must be finite and > 1, got {threshold}"
+        );
+        self.straggler_threshold = Some(threshold);
+        self
+    }
+
+    /// Returns a copy with the given quarantine readmission delay.
+    pub fn with_straggler_readmit_after(mut self, after: ts_common::SimDuration) -> Self {
+        self.straggler_readmit_after = after;
+        self
+    }
+
+    /// Returns a copy with SLO-derived per-request deadlines (deadline
+    /// shedding) at the given SLO targets and slack scale.
+    ///
+    /// # Panics
+    /// Panics if `scale` is not finite and positive.
+    pub fn with_deadlines(mut self, slo: ts_common::SloSpec, scale: f64) -> Self {
+        assert!(
+            scale > 0.0 && scale.is_finite(),
+            "deadline scale must be finite and positive, got {scale}"
+        );
+        self.deadline_slo = Some(slo);
+        self.deadline_scale = scale;
+        self
+    }
+
+    /// Returns a copy with the given fault/mitigation RNG seed.
+    pub fn with_fault_seed(mut self, seed: u64) -> Self {
+        self.fault_seed = seed;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -250,5 +374,54 @@ mod tests {
         assert_eq!(c.shed_threshold, 8);
         assert_eq!(c.kv_retry_backoff_base, base);
         assert_eq!(c.kv_retry_backoff_cap, cap);
+    }
+
+    #[test]
+    fn mitigation_knobs_default_off() {
+        let c = SimConfig::new(ModelSpec::llama_7b());
+        assert_eq!(c.hedge_timeout, None);
+        assert_eq!(c.kv_retry_budget, None);
+        assert_eq!(c.kv_retry_jitter, 0.0);
+        assert_eq!(c.straggler_threshold, None);
+        assert_eq!(c.deadline_slo, None);
+        let slo = ts_common::SloSpec::new(
+            ts_common::SimDuration::from_millis(500),
+            ts_common::SimDuration::from_millis(50),
+            ts_common::SimDuration::from_secs(20),
+        );
+        let c = c
+            .with_hedging(ts_common::SimDuration::from_millis(900))
+            .with_kv_retry_budget(4)
+            .with_kv_retry_jitter(0.5)
+            .with_straggler_detection(2.0)
+            .with_straggler_readmit_after(ts_common::SimDuration::from_secs(3))
+            .with_deadlines(slo, 2.0)
+            .with_fault_seed(7);
+        assert_eq!(
+            c.hedge_timeout,
+            Some(ts_common::SimDuration::from_millis(900))
+        );
+        assert_eq!(c.kv_retry_budget, Some(4));
+        assert_eq!(c.kv_retry_jitter, 0.5);
+        assert_eq!(c.straggler_threshold, Some(2.0));
+        assert_eq!(
+            c.straggler_readmit_after,
+            ts_common::SimDuration::from_secs(3)
+        );
+        assert_eq!(c.deadline_slo, Some(slo));
+        assert_eq!(c.deadline_scale, 2.0);
+        assert_eq!(c.fault_seed, 7);
+    }
+
+    #[test]
+    #[should_panic]
+    fn straggler_threshold_at_or_below_one_rejected() {
+        let _ = SimConfig::new(ModelSpec::llama_7b()).with_straggler_detection(1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn retry_jitter_above_one_rejected() {
+        let _ = SimConfig::new(ModelSpec::llama_7b()).with_kv_retry_jitter(1.5);
     }
 }

@@ -937,3 +937,508 @@ mod fabric_tests {
         assert_eq!(fabric, again);
     }
 }
+
+#[cfg(test)]
+mod gray_failure_tests {
+    use super::*;
+    use crate::fault::{FaultKind, FaultScript, TimedFault};
+    use ts_cluster::presets;
+    use ts_common::{
+        GpuId, GroupSpec, ModelSpec, ParallelConfig, Phase, RoutingMatrix, SloKind, SloSpec,
+        StageSpec,
+    };
+    use ts_workload::{generator::generate, spec};
+
+    fn group(model: &ModelSpec, phase: Phase, ids: &[u32], tp: usize) -> GroupSpec {
+        GroupSpec::new(
+            phase,
+            ParallelConfig::new(tp, 1).unwrap(),
+            vec![StageSpec {
+                gpus: ids.iter().map(|&i| GpuId(i)).collect(),
+                layers: model.num_layers,
+            }],
+        )
+        .unwrap()
+    }
+
+    /// One tp=4 prefill replica + two tp=2 decode replicas: the shape used
+    /// by the hard-failure tests, reused here for decode-side gray faults.
+    fn gray_testbed() -> (ts_cluster::Cluster, DeploymentPlan, SimConfig) {
+        let cluster = presets::network_case_cluster(presets::ETH_40GBPS);
+        let model = ModelSpec::llama_13b();
+        let plan = DeploymentPlan::new(
+            vec![
+                group(&model, Phase::Prefill, &[0, 1, 2, 3], 4),
+                group(&model, Phase::Decode, &[4, 5], 2),
+                group(&model, Phase::Decode, &[6, 7], 2),
+            ],
+            RoutingMatrix::uniform(1, 2),
+        )
+        .unwrap();
+        (cluster, plan, SimConfig::new(model))
+    }
+
+    /// Two tp=2 prefill replicas + two tp=2 decode replicas, so a stuck
+    /// prefill has somewhere to hedge to.
+    fn hedge_testbed() -> (ts_cluster::Cluster, DeploymentPlan, SimConfig) {
+        let cluster = presets::network_case_cluster(presets::ETH_40GBPS);
+        let model = ModelSpec::llama_13b();
+        let plan = DeploymentPlan::new(
+            vec![
+                group(&model, Phase::Prefill, &[0, 1], 2),
+                group(&model, Phase::Prefill, &[2, 3], 2),
+                group(&model, Phase::Decode, &[4, 5], 2),
+                group(&model, Phase::Decode, &[6, 7], 2),
+            ],
+            RoutingMatrix::uniform(2, 2),
+        )
+        .unwrap();
+        (cluster, plan, SimConfig::new(model))
+    }
+
+    fn fault(at_s: f64, kind: FaultKind) -> TimedFault {
+        TimedFault {
+            at: SimTime::from_secs_f64(at_s),
+            kind,
+        }
+    }
+
+    fn conserved(m: &Metrics, n: usize) {
+        assert_eq!(
+            m.num_completed() + m.num_dropped() + m.num_rejected(),
+            n,
+            "request conservation violated: {:?}",
+            m.recovery()
+        );
+    }
+
+    #[test]
+    fn default_knobs_stay_bit_identical() {
+        // Acceptance gate: with no gray faults and no mitigation knobs the
+        // new layer must be invisible — bit-identical metrics regardless of
+        // the fault seed, on both the legacy and the fabric engine.
+        let (cluster, plan, cfg) = gray_testbed();
+        let reqs = generate(&spec::coding(1.0), SimDuration::from_secs(40), 41);
+        for fabric in [false, true] {
+            let base = cfg.clone().with_network_contention(fabric);
+            let plain = Simulation::new(&cluster, &plan, base.clone())
+                .unwrap()
+                .run(&reqs)
+                .unwrap();
+            let reseeded = Simulation::new(&cluster, &plan, base.with_fault_seed(0xDEAD_BEEF))
+                .unwrap()
+                .run_with_faults(&reqs, &FaultScript::none())
+                .unwrap();
+            assert_eq!(plain, reseeded, "fabric={fabric}");
+            assert_eq!(plain.recovery().quarantines, 0);
+            assert_eq!(plain.recovery().hedges_launched, 0);
+            assert_eq!(plain.recovery().deadline_shed, 0);
+        }
+    }
+
+    #[test]
+    fn slowdown_stretches_latency_without_mitigation() {
+        // A decode straggler with no detector configured: everything still
+        // completes, just slower — the degradation alone changes no counts.
+        let (cluster, plan, cfg) = gray_testbed();
+        let reqs = generate(&spec::fixed(512, 128, 1.5), SimDuration::from_secs(60), 42);
+        let script = FaultScript::new(
+            vec![fault(0.01, FaultKind::DecodeSlow(0, 4.0))],
+            SimDuration::from_millis(500),
+        );
+        let slow = Simulation::new(&cluster, &plan, cfg.clone())
+            .unwrap()
+            .run_with_faults(&reqs, &script)
+            .unwrap();
+        let healthy = Simulation::new(&cluster, &plan, cfg)
+            .unwrap()
+            .run(&reqs)
+            .unwrap();
+        assert_eq!(slow.num_completed(), reqs.len());
+        let e = |m: &Metrics| m.mean_latency(SloKind::E2e).unwrap();
+        assert!(
+            e(&slow) > e(&healthy),
+            "straggler must hurt E2E: {} <= {}",
+            e(&slow),
+            e(&healthy)
+        );
+        assert_eq!(slow.recovery().quarantines, 0, "no detector configured");
+    }
+
+    #[test]
+    fn straggler_is_quarantined_then_readmitted() {
+        let (cluster, plan, cfg) = gray_testbed();
+        let cfg = cfg
+            .with_straggler_detection(2.0)
+            .with_straggler_readmit_after(SimDuration::from_secs(4));
+        let reqs = generate(&spec::fixed(512, 128, 1.5), SimDuration::from_secs(60), 43);
+        // Decode 0 runs 6x slow from t=5 and heals at t=30: the detector
+        // must quarantine it, probe it while still slow (re-quarantine), and
+        // finally readmit it for good.
+        let script = FaultScript::new(
+            vec![
+                fault(5.0, FaultKind::DecodeSlow(0, 6.0)),
+                fault(30.0, FaultKind::DecodeSlow(0, 1.0)),
+            ],
+            SimDuration::from_millis(500),
+        );
+        let run = || {
+            Simulation::new(&cluster, &plan, cfg.clone())
+                .unwrap()
+                .run_with_faults(&reqs, &script)
+                .unwrap()
+        };
+        let m = run();
+        assert!(
+            m.recovery().quarantines > 0,
+            "detector must trip: {:?}",
+            m.recovery()
+        );
+        assert!(
+            m.recovery().readmissions > 0,
+            "healed replica must be readmitted: {:?}",
+            m.recovery()
+        );
+        conserved(&m, reqs.len());
+        assert_eq!(m.num_completed(), reqs.len(), "quarantine loses no work");
+        assert_eq!(m, run(), "mitigation must stay deterministic");
+    }
+
+    #[test]
+    fn quarantine_improves_tail_latency_under_straggler() {
+        let (cluster, plan, cfg) = gray_testbed();
+        let reqs = generate(&spec::fixed(512, 128, 1.5), SimDuration::from_secs(90), 44);
+        let script = FaultScript::new(
+            vec![fault(5.0, FaultKind::DecodeSlow(0, 8.0))],
+            SimDuration::from_millis(500),
+        );
+        let run = |c: SimConfig| {
+            Simulation::new(&cluster, &plan, c)
+                .unwrap()
+                .run_with_faults(&reqs, &script)
+                .unwrap()
+        };
+        let unmitigated = run(cfg.clone());
+        let mitigated = run(cfg
+            .with_straggler_detection(2.0)
+            .with_straggler_readmit_after(SimDuration::from_secs(60)));
+        let p99 = |m: &Metrics| m.latency_percentile(SloKind::E2e, 0.99).unwrap();
+        assert!(
+            p99(&mitigated) < p99(&unmitigated),
+            "routing away from the straggler must help the tail: {} >= {}",
+            p99(&mitigated),
+            p99(&unmitigated)
+        );
+        assert!(mitigated.recovery().quarantines > 0);
+    }
+
+    #[test]
+    fn hedging_rescues_stuck_prefills() {
+        let (cluster, plan, cfg) = hedge_testbed();
+        let reqs = generate(&spec::coding(1.5), SimDuration::from_secs(60), 45);
+        // Prefill 0 becomes a deep straggler: requests stuck behind it wait
+        // tens of seconds unless hedged onto prefill 1.
+        let script = FaultScript::new(
+            vec![fault(5.0, FaultKind::PrefillSlow(0, 40.0))],
+            SimDuration::from_millis(500),
+        );
+        let run = |c: SimConfig| {
+            Simulation::new(&cluster, &plan, c)
+                .unwrap()
+                .run_with_faults(&reqs, &script)
+                .unwrap()
+        };
+        let unhedged = run(cfg.clone());
+        let hedged = run(cfg.clone().with_hedging(SimDuration::from_millis(400)));
+        assert!(
+            hedged.recovery().hedges_launched > 0,
+            "stuck prefills must hedge: {:?}",
+            hedged.recovery()
+        );
+        assert!(
+            hedged.recovery().hedges_won > 0,
+            "the healthy duplicate must win: {:?}",
+            hedged.recovery()
+        );
+        conserved(&hedged, reqs.len());
+        assert_eq!(
+            hedged.num_completed(),
+            reqs.len(),
+            "hedging must not lose or double-complete requests"
+        );
+        let p99 = |m: &Metrics| m.latency_percentile(SloKind::Ttft, 0.99).unwrap();
+        assert!(
+            p99(&hedged) < p99(&unhedged),
+            "hedging must cut tail TTFT: {} >= {}",
+            p99(&hedged),
+            p99(&unhedged)
+        );
+        // Deterministic across identical runs.
+        let again = run(cfg.with_hedging(SimDuration::from_millis(400)));
+        assert_eq!(hedged, again);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_drops_instead_of_looping() {
+        // A link that never heals: an unbounded retry loop would spin
+        // forever, a budget of 1 drops the affected transfers and the run
+        // terminates with exact conservation.
+        let (cluster, plan, cfg) = gray_testbed();
+        let cfg = cfg.with_kv_retry_budget(1);
+        let reqs = generate(&spec::fixed(512, 32, 1.0), SimDuration::from_secs(40), 46);
+        let script = FaultScript::new(
+            vec![fault(
+                5.0,
+                FaultKind::LinkDown {
+                    prefill: 0,
+                    decode: 0,
+                },
+            )],
+            SimDuration::from_millis(100),
+        );
+        let run = || {
+            Simulation::new(&cluster, &plan, cfg.clone())
+                .unwrap()
+                .run_with_faults(&reqs, &script)
+                .unwrap()
+        };
+        let m = run();
+        assert!(
+            m.recovery().retry_budget_exhausted > 0,
+            "transfers on the dead link must exhaust their budget: {:?}",
+            m.recovery()
+        );
+        assert!(m.num_dropped() >= m.recovery().retry_budget_exhausted);
+        assert!(
+            m.recovery().kv_transfer_retries > 0,
+            "the budget allows one retry before giving up"
+        );
+        conserved(&m, reqs.len());
+        assert_eq!(m, run());
+    }
+
+    #[test]
+    fn retry_jitter_decorrelates_but_conserves() {
+        // With jitter on, retry delays stretch by a seeded random factor:
+        // results stay deterministic per seed and conservation is exact.
+        let (cluster, plan, cfg) = gray_testbed();
+        let reqs = generate(&spec::fixed(512, 32, 1.5), SimDuration::from_secs(40), 47);
+        let script = FaultScript::new(
+            vec![
+                fault(
+                    5.0,
+                    FaultKind::LinkDown {
+                        prefill: 0,
+                        decode: 0,
+                    },
+                ),
+                fault(
+                    9.0,
+                    FaultKind::LinkUp {
+                        prefill: 0,
+                        decode: 0,
+                    },
+                ),
+            ],
+            SimDuration::from_millis(100),
+        );
+        let run = |c: SimConfig| {
+            Simulation::new(&cluster, &plan, c)
+                .unwrap()
+                .run_with_faults(&reqs, &script)
+                .unwrap()
+        };
+        let jittered = run(cfg.clone().with_kv_retry_jitter(0.5));
+        assert!(jittered.recovery().kv_transfer_retries > 0);
+        conserved(&jittered, reqs.len());
+        assert_eq!(jittered.num_completed(), reqs.len());
+        assert_eq!(
+            jittered,
+            run(cfg.with_kv_retry_jitter(0.5)),
+            "jitter draws must be reproducible per seed"
+        );
+    }
+
+    #[test]
+    fn deadline_shed_fires_only_under_stall() {
+        // A service pause holds arrivals past their TTFT deadline: with
+        // deadline shedding on, the coordinator rejects them at resume
+        // instead of running prefills whose SLO is already blown.
+        let (cluster, plan, cfg) = gray_testbed();
+        let slo = SloSpec::new(
+            SimDuration::from_millis(800),
+            SimDuration::from_millis(80),
+            SimDuration::from_secs(8),
+        );
+        let cfg = cfg.with_deadlines(slo, 1.0);
+        let reqs = generate(&spec::coding(1.0), SimDuration::from_secs(60), 48);
+        let script = FaultScript::new(
+            vec![fault(
+                20.0,
+                FaultKind::Pause {
+                    until: SimTime::from_secs_f64(28.0),
+                },
+            )],
+            SimDuration::ZERO,
+        );
+        let m = Simulation::new(&cluster, &plan, cfg.clone())
+            .unwrap()
+            .run_with_faults(&reqs, &script)
+            .unwrap();
+        assert!(
+            m.recovery().deadline_shed > 0,
+            "blackout arrivals must shed: {:?}",
+            m.recovery()
+        );
+        assert!(m.num_rejected() >= m.recovery().deadline_shed);
+        conserved(&m, reqs.len());
+        // Without any stall the same knobs shed nothing: deadlines only
+        // bite when dispatch actually lags arrival.
+        let calm = Simulation::new(&cluster, &plan, cfg)
+            .unwrap()
+            .run(&reqs)
+            .unwrap();
+        assert_eq!(calm.recovery().deadline_shed, 0);
+        assert_eq!(calm.num_completed(), reqs.len());
+    }
+
+    #[test]
+    fn flaky_heartbeat_masks_routing_and_conserves() {
+        let (cluster, plan, cfg) = gray_testbed();
+        let reqs = generate(&spec::fixed(512, 64, 1.5), SimDuration::from_secs(60), 49);
+        // Decode replica 0 lives on host 1 (hosts count prefills first).
+        // Its heartbeats drop 70% of windows from t=5 until the flap heals
+        // at t=40; masking is a routing-only false positive, so no work is
+        // lost — only shifted to the peer while masked.
+        let script = FaultScript::new(
+            vec![
+                fault(5.0, FaultKind::HeartbeatFlaky(1, 0.7)),
+                fault(40.0, FaultKind::HeartbeatFlaky(1, 0.0)),
+            ],
+            SimDuration::from_millis(500),
+        );
+        let run = || {
+            Simulation::new(&cluster, &plan, cfg.clone())
+                .unwrap()
+                .run_with_faults(&reqs, &script)
+                .unwrap()
+        };
+        let m = run();
+        assert!(
+            m.recovery().quarantines > 0,
+            "lost beats must mask the node: {:?}",
+            m.recovery()
+        );
+        assert!(
+            m.recovery().readmissions > 0,
+            "recovered beats must readmit the node: {:?}",
+            m.recovery()
+        );
+        assert_eq!(m.num_completed(), reqs.len(), "{:?}", m.recovery());
+        assert_eq!(m, run(), "flaky draws must be reproducible per seed");
+        // A different fault seed flips different beats but still conserves.
+        let reseeded = Simulation::new(&cluster, &plan, cfg.clone().with_fault_seed(99))
+            .unwrap()
+            .run_with_faults(&reqs, &script)
+            .unwrap();
+        assert_eq!(reseeded.num_completed(), reqs.len());
+    }
+
+    #[test]
+    fn flaky_heartbeat_requires_detection_window() {
+        let (cluster, plan, cfg) = gray_testbed();
+        let script = FaultScript::new(
+            vec![fault(1.0, FaultKind::HeartbeatFlaky(1, 0.5))],
+            SimDuration::ZERO,
+        );
+        let err = Simulation::new(&cluster, &plan, cfg)
+            .unwrap()
+            .run_with_faults(&[], &script);
+        assert!(err.is_err(), "zero beat window must be rejected");
+    }
+
+    #[test]
+    fn degraded_link_stretches_wire_time_on_both_models() {
+        let (cluster, plan, cfg) = gray_testbed();
+        let reqs = generate(&spec::fixed(1024, 16, 1.0), SimDuration::from_secs(40), 50);
+        // Degrade both outgoing links of the single prefill replica so every
+        // post-fault transfer is hit, on the legacy serialization model and
+        // the flow fabric alike.
+        let script = FaultScript::new(
+            vec![
+                fault(
+                    0.01,
+                    FaultKind::LinkDegraded {
+                        prefill: 0,
+                        decode: 0,
+                        factor: 4.0,
+                    },
+                ),
+                fault(
+                    0.01,
+                    FaultKind::LinkDegraded {
+                        prefill: 0,
+                        decode: 1,
+                        factor: 4.0,
+                    },
+                ),
+            ],
+            SimDuration::from_millis(100),
+        );
+        for fabric in [false, true] {
+            let c = cfg.clone().with_network_contention(fabric);
+            let degraded = Simulation::new(&cluster, &plan, c.clone())
+                .unwrap()
+                .run_with_faults(&reqs, &script)
+                .unwrap();
+            let healthy = Simulation::new(&cluster, &plan, c)
+                .unwrap()
+                .run(&reqs)
+                .unwrap();
+            let wire = |m: &Metrics| {
+                let moved: Vec<_> = m
+                    .records()
+                    .iter()
+                    .filter(|r| r.kv_done_at.is_some())
+                    .collect();
+                assert!(!moved.is_empty());
+                moved
+                    .iter()
+                    .map(|r| r.kv_wire_time.as_secs_f64())
+                    .sum::<f64>()
+                    / moved.len() as f64
+            };
+            assert!(
+                wire(&degraded) > wire(&healthy),
+                "fabric={fabric}: degraded link must slow transfers: {} <= {}",
+                wire(&degraded),
+                wire(&healthy)
+            );
+            assert_eq!(degraded.num_completed(), reqs.len());
+        }
+    }
+
+    #[test]
+    fn gray_faults_reject_bad_indices_and_factors() {
+        let (cluster, plan, cfg) = gray_testbed();
+        let bad = [
+            FaultKind::DecodeSlow(7, 2.0),
+            FaultKind::PrefillSlow(0, 0.5),
+            FaultKind::DecodeSlow(0, f64::NAN),
+            FaultKind::LinkDegraded {
+                prefill: 0,
+                decode: 9,
+                factor: 2.0,
+            },
+            FaultKind::HeartbeatFlaky(0, 1.5),
+            FaultKind::HeartbeatFlaky(9, 0.5),
+        ];
+        for kind in bad {
+            let script = FaultScript::new(vec![fault(1.0, kind)], SimDuration::from_millis(500));
+            let err = Simulation::new(&cluster, &plan, cfg.clone())
+                .unwrap()
+                .run_with_faults(&[], &script);
+            assert!(err.is_err(), "{kind:?} must be rejected");
+        }
+    }
+}

@@ -108,6 +108,35 @@ pub enum EventKind {
     /// A service pause (reload blackout) ended; stalled arrivals re-enter
     /// the coordinator.
     ServiceResumed,
+    /// The hedging timer for `request` matured: if its prefill or KV
+    /// transfer is still outstanding, the engine launches a duplicate on an
+    /// alternate replica pair (first completion wins). Only scheduled when
+    /// [`crate::config::SimConfig::hedge_timeout`] is set.
+    HedgeCheck {
+        /// The request whose progress the timer inspects.
+        request: RequestId,
+    },
+    /// A heartbeat window elapsed for a node with flaky heartbeats
+    /// ([`crate::fault::FaultKind::HeartbeatFlaky`]): the engine draws from
+    /// the seeded fault RNG to decide whether this beat was lost, masking or
+    /// readmitting the node in routing accordingly. Self-reschedules while
+    /// the node's loss probability is above zero.
+    FlakyBeat {
+        /// Host index (prefill replicas first, then decode replicas; plain
+        /// replica index for colocated engines).
+        node: usize,
+    },
+    /// A quarantine probation period ended: the straggler detector
+    /// re-admits the replica into routing (optimistically; it re-quarantines
+    /// if still slow). Stale probes — scheduled before a later re-quarantine
+    /// — are discarded by comparing against the recorded quarantine expiry.
+    ReadmitProbe {
+        /// Whether the replica is a prefill (`true`) or decode (`false`)
+        /// replica; ignored for colocated engines.
+        prefill: bool,
+        /// Index into the respective replica list.
+        replica: usize,
+    },
 }
 
 /// A scheduled event.

@@ -28,10 +28,13 @@ use crate::event::{EventKind, EventQueue};
 use crate::fault::{FaultKind, FaultScript, TimedFault};
 use crate::metrics::{Metrics, RecoveryCounters, RequestRecord};
 use crate::router::StrideRouter;
+use rand::rngs::StdRng;
+use rand::Rng;
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use ts_cluster::Cluster;
 use ts_common::{
-    DeploymentPlan, Error, GpuId, GroupSpec, Request, RequestId, Result, SimDuration, SimTime,
+    derive_seed, seeded_rng, DeploymentPlan, Error, GpuId, GroupSpec, Request, RequestId, Result,
+    SimDuration, SimTime,
 };
 use ts_costmodel::replica::{kv_route_legs, kv_transfer_time, KvRouteLeg, KvRouteSegment};
 use ts_costmodel::ReplicaCostModel;
@@ -76,6 +79,70 @@ pub(crate) struct Core {
     /// it never schedules events, draws randomness or mutates simulation
     /// state, so the `None` path stays bit-identical.
     trace: Option<Recorder>,
+    /// Gray-failure state, indexed by *host*: prefill replicas first, then
+    /// decode replicas (colocated: the replica index). The RNG is drawn
+    /// from only when a gray fault or a jitter knob is active, so the
+    /// default path stays bit-identical.
+    gray: GrayState,
+}
+
+/// Per-host gray-failure bookkeeping: flaky-heartbeat masking, straggler
+/// detection EWMAs and quarantine state, plus the seeded RNG every
+/// stochastic mitigation decision (beat loss, retry jitter) draws from.
+struct GrayState {
+    /// Seeded RNG for beat-loss draws and retry jitter; deterministic per
+    /// [`SimConfig::fault_seed`].
+    rng: StdRng,
+    /// Number of prefill hosts — decode replica `j` is host
+    /// `prefill_hosts + j` (colocated: every replica is its own host and
+    /// this equals the replica count).
+    prefill_hosts: usize,
+    /// Per-host heartbeat loss probability (0 = healthy).
+    flaky: Vec<f64>,
+    /// Hosts currently masked out of routing by a missed beat.
+    flaky_dead: Vec<bool>,
+    /// Hosts with a pending [`EventKind::FlakyBeat`] event (beats stop
+    /// rescheduling when no requests are outstanding, and restart on the
+    /// next arrival, so the event queue always drains).
+    flaky_scheduled: Vec<bool>,
+    /// Whether any host has a nonzero loss probability (cheap arrival-path
+    /// guard).
+    flaky_any: bool,
+    /// Hosts quarantined by the straggler detector.
+    quarantined: Vec<bool>,
+    /// Earliest readmission time per quarantined host; probes scheduled
+    /// before a later re-quarantine see a larger value and go stale.
+    quarantine_until: Vec<Option<SimTime>>,
+    /// EWMA of the observed/expected iteration-time ratio per host.
+    slow_ewma: Vec<f64>,
+    /// Completed-iteration samples feeding the EWMA per host.
+    slow_samples: Vec<u32>,
+    /// Heartbeat window, copied from the fault script at run start (one
+    /// [`EventKind::FlakyBeat`] fires per window).
+    beat_period: SimDuration,
+}
+
+impl GrayState {
+    fn new(seed: u64, prefill_hosts: usize, total_hosts: usize) -> Self {
+        GrayState {
+            rng: seeded_rng(derive_seed(seed, 0x6772_6179)),
+            prefill_hosts,
+            flaky: vec![0.0; total_hosts],
+            flaky_dead: vec![false; total_hosts],
+            flaky_scheduled: vec![false; total_hosts],
+            flaky_any: false,
+            quarantined: vec![false; total_hosts],
+            quarantine_until: vec![None; total_hosts],
+            slow_ewma: vec![1.0; total_hosts],
+            slow_samples: vec![0; total_hosts],
+            beat_period: SimDuration::ZERO,
+        }
+    }
+
+    /// Whether routing must avoid `host` (missed beat or quarantine).
+    fn masked(&self, host: usize) -> bool {
+        self.flaky_dead[host] || self.quarantined[host]
+    }
 }
 
 /// Phase-split topology state: prefill/decode executor pools plus the KV
@@ -92,6 +159,12 @@ pub(crate) struct SplitState {
     sender_free_at: Vec<SimTime>,
     /// Link availability per (prefill, decode) pair.
     link_down: Vec<Vec<bool>>,
+    /// Bandwidth-degradation factor per (prefill, decode) pair (1 =
+    /// healthy). Legacy modeled transfers multiply their wire time by it;
+    /// under the flow fabric the degradation is applied to the pair's
+    /// physical links instead and this matrix only records the script
+    /// state.
+    link_factor: Vec<Vec<f64>>,
     /// The coordinator's belief about replica liveness: updated at fault
     /// *detection* (downs) and immediately on healing (ups). Routing masks
     /// follow beliefs, not ground truth — that is the detection window.
@@ -193,10 +266,12 @@ impl Driver {
         let codec = KvCodec::new(cfg.model.clone(), cfg.kv_precision);
         let sender_free_at = vec![SimTime::ZERO; prefills.len()];
         let link_down = vec![vec![false; decodes.len()]; prefills.len()];
+        let link_factor = vec![vec![1.0; decodes.len()]; prefills.len()];
         let believed_dead_prefill = vec![false; prefills.len()];
         let believed_dead_decode = vec![false; decodes.len()];
+        let (np, nd) = (prefills.len(), decodes.len());
         Ok(Driver {
-            core: Core::new(cfg, router),
+            core: Core::new(cfg, router, np, np + nd),
             topo: Topology::Split(SplitState {
                 prefills,
                 decodes,
@@ -204,6 +279,7 @@ impl Driver {
                 routes,
                 sender_free_at,
                 link_down,
+                link_factor,
                 believed_dead_prefill,
                 believed_dead_decode,
                 transfers: HashMap::new(),
@@ -237,8 +313,9 @@ impl Driver {
             replicas.push(ColocatedExecutor::new(cost, policy));
         }
         let believed_dead = vec![false; replicas.len()];
+        let n = replicas.len();
         Ok(Driver {
-            core: Core::new(cfg, StrideRouter::new(weights)?),
+            core: Core::new(cfg, StrideRouter::new(weights)?, n, n),
             topo: Topology::Colocated(ColoState {
                 replicas,
                 believed_dead,
@@ -256,6 +333,7 @@ impl Driver {
         self.validate_script(script)?;
         self.core.faults = script.faults.clone();
         self.core.recovery_enabled = script.recovery;
+        self.core.gray.beat_period = script.detection_delay;
 
         for r in requests {
             self.core.queue.push(r.arrival, EventKind::Arrival(*r));
@@ -353,6 +431,18 @@ impl Driver {
                 EventKind::FaultTriggered { index } => self.on_fault_triggered(index),
                 EventKind::FaultDetected { index } => self.on_fault_detected(index),
                 EventKind::ServiceResumed => self.on_service_resumed(),
+                EventKind::HedgeCheck { request } => {
+                    self.split_mut("HedgeCheck")?;
+                    let Driver { core, topo } = self;
+                    let Topology::Split(s) = topo else {
+                        unreachable!()
+                    };
+                    split_on_hedge_check(core, s, request);
+                }
+                EventKind::FlakyBeat { node } => self.on_flaky_beat(node),
+                EventKind::ReadmitProbe { prefill, replica } => {
+                    self.on_readmit_probe(prefill, replica)
+                }
             }
         }
         // Anything still in the system when events run dry was lost to a
@@ -414,6 +504,18 @@ impl Driver {
     }
 
     fn validate_script(&self, script: &FaultScript) -> Result<()> {
+        let factor_ok = |f: f64| f.is_finite() && f >= 1.0;
+        let prob_ok = |p: f64| p.is_finite() && (0.0..=1.0).contains(&p);
+        // Flaky heartbeats fire one beat event per detection window; a zero
+        // window would self-reschedule at the same instant forever.
+        let flaky_needs_window = |p: f64| -> Result<()> {
+            if p > 0.0 && script.detection_delay == SimDuration::ZERO {
+                return Err(Error::InvalidConfig(
+                    "HeartbeatFlaky requires a nonzero detection_delay (the beat window)".into(),
+                ));
+            }
+            Ok(())
+        };
         match &self.topo {
             Topology::Split(s) => {
                 let np = s.prefills.len();
@@ -425,10 +527,22 @@ impl Driver {
                         FaultKind::LinkDown { prefill, decode }
                         | FaultKind::LinkUp { prefill, decode } => prefill < np && decode < nd,
                         FaultKind::Pause { .. } => true,
+                        FaultKind::PrefillSlow(i, factor) => i < np && factor_ok(factor),
+                        FaultKind::DecodeSlow(j, factor) => j < nd && factor_ok(factor),
+                        FaultKind::LinkDegraded {
+                            prefill,
+                            decode,
+                            factor,
+                        } => prefill < np && decode < nd && factor_ok(factor),
+                        FaultKind::HeartbeatFlaky(h, p) => {
+                            flaky_needs_window(p)?;
+                            h < np + nd && prob_ok(p)
+                        }
                     };
                     if !ok {
                         return Err(Error::InvalidConfig(format!(
-                            "fault references a replica outside the plan: {:?}",
+                            "fault references a replica outside the plan \
+                             or carries an invalid factor: {:?}",
                             f.kind
                         )));
                     }
@@ -442,16 +556,26 @@ impl Driver {
                         | FaultKind::PrefillUp(i)
                         | FaultKind::DecodeDown(i)
                         | FaultKind::DecodeUp(i) => i < n,
-                        FaultKind::LinkDown { .. } | FaultKind::LinkUp { .. } => {
+                        FaultKind::LinkDown { .. }
+                        | FaultKind::LinkUp { .. }
+                        | FaultKind::LinkDegraded { .. } => {
                             return Err(Error::InvalidConfig(
                                 "colocated replicas have no inter-replica links to fault".into(),
                             ))
                         }
                         FaultKind::Pause { .. } => true,
+                        FaultKind::PrefillSlow(i, factor) | FaultKind::DecodeSlow(i, factor) => {
+                            i < n && factor_ok(factor)
+                        }
+                        FaultKind::HeartbeatFlaky(h, p) => {
+                            flaky_needs_window(p)?;
+                            h < n && prob_ok(p)
+                        }
                     };
                     if !ok {
                         return Err(Error::InvalidConfig(format!(
-                            "fault references a replica outside the plan: {:?}",
+                            "fault references a replica outside the plan \
+                             or carries an invalid factor: {:?}",
                             f.kind
                         )));
                     }
@@ -463,18 +587,19 @@ impl Driver {
 
     fn on_arrival(&mut self, req: Request) {
         self.core.payloads.insert(req.id, req);
-        self.core.pending.insert(
-            req.id,
-            Pending {
-                prefill: 0,
-                decode: 0,
-                first_token_at: None,
-                kv_enqueued_at: None,
-                kv_wire_started_at: None,
-                kv_done_at: None,
-            },
-        );
+        self.core.pending.insert(req.id, Pending::new(0, 0));
         trace(&mut self.core, TraceKind::Arrived { request: req.id });
+        // Flaky heartbeat beats pause while no requests are outstanding (so
+        // the event queue can drain); restart them with the new work.
+        if self.core.gray.flaky_any {
+            for node in 0..self.core.gray.flaky.len() {
+                if self.core.gray.flaky[node] > 0.0 && !self.core.gray.flaky_scheduled[node] {
+                    self.core.gray.flaky_scheduled[node] = true;
+                    let at = self.core.now + self.core.gray.beat_period;
+                    self.core.queue.push(at, EventKind::FlakyBeat { node });
+                }
+            }
+        }
         self.dispatch_job(PrefillJob::fresh(req));
     }
 
@@ -482,6 +607,32 @@ impl Driver {
     /// `Split`, a replica under `Colocated`), or stalls/sheds it if the
     /// service is paused or no live route exists.
     fn dispatch_job(&mut self, job: PrefillJob) {
+        // SLO-class-aware shedding: a request whose TTFT deadline already
+        // passed before its prefill could even be dispatched (it sat
+        // stalled through a pause or dead-router window, or is being
+        // requeued after a fault) is not worth serving. Fires only for
+        // delayed dispatches — at arrival `now == arrival`, so an
+        // on-time request is never shed. Re-prefills of sequences that
+        // already produced their first token are exempt: their TTFT was
+        // met.
+        if let Some(slo) = self.core.cfg.deadline_slo {
+            let ttft_met = self
+                .core
+                .pending
+                .get(&job.req.id)
+                .is_some_and(|p| p.first_token_at.is_some());
+            let deadline = job.req.arrival + slo.ttft.mul_f64(self.core.cfg.deadline_scale);
+            if !ttft_met && self.core.now > deadline {
+                let id = job.req.id;
+                self.core.pending.remove(&id);
+                self.core.payloads.remove(&id);
+                self.core.rejected += 1;
+                self.core.recovery.deadline_shed += 1;
+                trace(&mut self.core, TraceKind::DeadlineShed { request: id });
+                clear_affected(&mut self.core, id);
+                return;
+            }
+        }
         if self.core.paused_until.is_some() || self.core.router.num_enabled() == 0 {
             stall_or_shed(&mut self.core, job);
             return;
@@ -514,6 +665,10 @@ impl Driver {
                     },
                 );
                 split_maybe_start_prefill(core, s, i);
+                if let Some(timeout) = core.cfg.hedge_timeout {
+                    core.queue
+                        .push(core.now + timeout, EventKind::HedgeCheck { request: rid });
+                }
             }
             Topology::Colocated(c) => {
                 if let Some(p) = core.pending.get_mut(&rid) {
@@ -556,6 +711,12 @@ impl Driver {
                 self.core.paused_until = Some(until);
                 self.core.queue.push(until, EventKind::ServiceResumed);
             }
+            return;
+        }
+        // So are flaky heartbeats (the host index already encodes the
+        // prefill/decode split).
+        if let FaultKind::HeartbeatFlaky(node, p) = kind {
+            self.set_flaky(node, p);
             return;
         }
         match &mut self.topo {
@@ -617,7 +778,33 @@ impl Driver {
                 FaultKind::LinkUp { prefill, decode } => {
                     s.link_down[prefill][decode] = false;
                 }
-                FaultKind::Pause { .. } => unreachable!(),
+                FaultKind::PrefillSlow(i, factor) => s.prefills[i].slow_factor = factor,
+                FaultKind::DecodeSlow(j, factor) => s.decodes[j].slow_factor = factor,
+                FaultKind::LinkDegraded {
+                    prefill,
+                    decode,
+                    factor,
+                } => {
+                    s.link_factor[prefill][decode] = factor;
+                    // Under the fabric the degradation applies to the
+                    // pair's physical links, re-fair-sharing every
+                    // in-flight flow live (other pairs sharing those links
+                    // feel it too, as on a real network).
+                    if s.fabric.is_some() {
+                        let now = self.core.now;
+                        let Driver { core, topo } = self;
+                        let Topology::Split(s) = topo else {
+                            unreachable!()
+                        };
+                        let (from, to, _) = s.flow_routes[prefill][decode];
+                        let estimates = match s.fabric.as_mut() {
+                            Some(f) => f.degrade_path(from, to, factor, now),
+                            None => unreachable!(),
+                        };
+                        schedule_flow_events(core, estimates);
+                    }
+                }
+                FaultKind::Pause { .. } | FaultKind::HeartbeatFlaky(..) => unreachable!(),
             },
             Topology::Colocated(c) => match kind {
                 // A colocated replica hosts both phases: either phase's
@@ -636,10 +823,17 @@ impl Driver {
                         self.drop_drained(drained);
                     }
                 }
-                FaultKind::LinkDown { .. } | FaultKind::LinkUp { .. } => {
+                // A colocated replica hosts both phases, so either slow
+                // kind slows the whole replica.
+                FaultKind::PrefillSlow(i, factor) | FaultKind::DecodeSlow(i, factor) => {
+                    c.replicas[i].slow_factor = factor
+                }
+                FaultKind::LinkDown { .. }
+                | FaultKind::LinkUp { .. }
+                | FaultKind::LinkDegraded { .. } => {
                     unreachable!("rejected by validate_script")
                 }
-                FaultKind::Pause { .. } => unreachable!(),
+                FaultKind::Pause { .. } | FaultKind::HeartbeatFlaky(..) => unreachable!(),
             },
         }
     }
@@ -724,6 +918,15 @@ impl Driver {
                 self.core.affected.push((at, ids));
             }
         }
+        for job in &jobs {
+            // A requeued/re-prefilled job must be able to launch its KV
+            // transfer again: clear the hedging duplicate-launch guard, or
+            // the recovered prefill's completion would be discarded.
+            if let Some(p) = self.core.pending.get_mut(&job.req.id) {
+                p.kv_launched = false;
+                p.hedge = None;
+            }
+        }
         for job in jobs {
             self.dispatch_job(job);
         }
@@ -764,11 +967,120 @@ impl Driver {
         trace(&mut self.core, TraceKind::ServiceResumed);
         self.drain_stalled();
     }
+
+    // --- gray-failure mitigation layer -----------------------------------
+
+    /// The telemetry (role, replica) of host `node` under this topology.
+    fn host_role(&self, node: usize) -> (Role, usize) {
+        match &self.topo {
+            Topology::Split(_) => self.core.split_host_role(node),
+            Topology::Colocated(_) => (Role::Colocated, node),
+        }
+    }
+
+    /// Re-derives the routing mask (liveness beliefs + gray masking).
+    fn refresh_router(&mut self) {
+        let Driver { core, topo } = self;
+        match topo {
+            Topology::Split(s) => split_refresh_router(core, s),
+            Topology::Colocated(c) => colo_refresh_router(core, c),
+        }
+    }
+
+    /// Applies a [`FaultKind::HeartbeatFlaky`] trigger: records the loss
+    /// probability, starts the beat clock if needed, and — on healing —
+    /// readmits a host stuck masked by a false positive.
+    fn set_flaky(&mut self, node: usize, p: f64) {
+        self.core.gray.flaky[node] = p;
+        if p > 0.0 {
+            self.core.gray.flaky_any = true;
+            if !self.core.gray.flaky_scheduled[node] {
+                self.core.gray.flaky_scheduled[node] = true;
+                let at = self.core.now + self.core.gray.beat_period;
+                self.core.queue.push(at, EventKind::FlakyBeat { node });
+            }
+        } else {
+            self.core.gray.flaky_any = self.core.gray.flaky.iter().any(|&q| q > 0.0);
+            if self.core.gray.flaky_dead[node] {
+                self.readmit_flaky(node);
+            }
+        }
+    }
+
+    /// One heartbeat window elapsed for `node`: draw whether the beat was
+    /// lost and mask/readmit accordingly, then reschedule while requests
+    /// remain (beats pause on an idle system so the event queue drains;
+    /// [`Driver::on_arrival`] restarts them).
+    fn on_flaky_beat(&mut self, node: usize) {
+        let p = self.core.gray.flaky[node];
+        if p <= 0.0 {
+            self.core.gray.flaky_scheduled[node] = false;
+            return;
+        }
+        let lost = self.core.gray.rng.gen_range(0.0..1.0) < p;
+        if lost && !self.core.gray.flaky_dead[node] {
+            self.core.gray.flaky_dead[node] = true;
+            self.core.recovery.quarantines += 1;
+            let (role, replica) = self.host_role(node);
+            trace(&mut self.core, TraceKind::Quarantined { role, replica });
+            self.refresh_router();
+        } else if !lost && self.core.gray.flaky_dead[node] {
+            self.readmit_flaky(node);
+        }
+        if self.core.pending.is_empty() {
+            self.core.gray.flaky_scheduled[node] = false;
+            return;
+        }
+        let at = self.core.now + self.core.gray.beat_period;
+        self.core.queue.push(at, EventKind::FlakyBeat { node });
+    }
+
+    /// A delivered beat (or a healing fault) readmits a host masked by a
+    /// flaky-heartbeat false positive.
+    fn readmit_flaky(&mut self, node: usize) {
+        self.core.gray.flaky_dead[node] = false;
+        self.core.recovery.readmissions += 1;
+        let (role, replica) = self.host_role(node);
+        trace(&mut self.core, TraceKind::Readmitted { role, replica });
+        self.refresh_router();
+        if self.core.recovery_enabled {
+            self.drain_stalled();
+        }
+    }
+
+    /// A quarantine probation ended: readmit the replica unless a later
+    /// re-quarantine pushed its expiry out (stale probe). The straggler
+    /// detector restarts from scratch — if the replica is still slow it
+    /// re-quarantines after `straggler_min_samples` fresh iterations.
+    fn on_readmit_probe(&mut self, prefill: bool, replica: usize) {
+        let host = match &self.topo {
+            Topology::Split(_) => self.core.host_of(prefill, replica),
+            Topology::Colocated(_) => replica,
+        };
+        let Some(until) = self.core.gray.quarantine_until[host] else {
+            return;
+        };
+        if self.core.now < until {
+            return; // superseded by a re-quarantine
+        }
+        self.core.gray.quarantined[host] = false;
+        self.core.gray.quarantine_until[host] = None;
+        self.core.gray.slow_ewma[host] = 1.0;
+        self.core.gray.slow_samples[host] = 0;
+        self.core.recovery.readmissions += 1;
+        let (role, replica) = self.host_role(host);
+        trace(&mut self.core, TraceKind::Readmitted { role, replica });
+        self.refresh_router();
+        if self.core.recovery_enabled {
+            self.drain_stalled();
+        }
+    }
 }
 
 impl Core {
-    fn new(cfg: SimConfig, router: StrideRouter) -> Self {
+    fn new(cfg: SimConfig, router: StrideRouter, prefill_hosts: usize, total_hosts: usize) -> Self {
         let trace = cfg.telemetry.then(Recorder::new);
+        let gray = GrayState::new(cfg.fault_seed, prefill_hosts, total_hosts);
         Core {
             cfg,
             router,
@@ -786,6 +1098,27 @@ impl Core {
             recovery: RecoveryCounters::default(),
             affected: Vec::new(),
             trace,
+            gray,
+        }
+    }
+
+    /// The host index of a replica (prefills first, then decodes; the
+    /// `prefill` flag is meaningless for colocated drivers, whose hosts and
+    /// replicas coincide).
+    fn host_of(&self, prefill: bool, replica: usize) -> usize {
+        if prefill {
+            replica
+        } else {
+            self.gray.prefill_hosts + replica
+        }
+    }
+
+    /// The telemetry (role, replica) of host `node` for a split driver.
+    fn split_host_role(&self, node: usize) -> (Role, usize) {
+        if node < self.gray.prefill_hosts {
+            (Role::Prefill, node)
+        } else {
+            (Role::Decode, node - self.gray.prefill_hosts)
         }
     }
 }
@@ -915,18 +1248,45 @@ fn finish(core: &mut Core, req: Request, at: SimTime, max_token_gap: SimDuration
 }
 
 /// Exponential backoff for transfer attempt `attempt` (2 = first retry):
-/// `base * 2^(attempt-2)`, capped.
-fn retry_backoff(core: &Core, attempt: u32) -> SimDuration {
+/// `base * 2^(attempt-2)`, capped — then stretched by a seeded jitter draw
+/// in `[1, 1 + kv_retry_jitter]` when the jitter knob is on (the RNG is
+/// untouched at the default of 0, preserving bit-identity).
+fn retry_backoff(core: &mut Core, attempt: u32) -> SimDuration {
     let base = core.cfg.kv_retry_backoff_base;
     let cap = core.cfg.kv_retry_backoff_cap;
     let mut delay = base;
     for _ in 2..attempt {
         delay = delay + delay;
         if delay >= cap {
-            return cap;
+            delay = cap;
+            break;
         }
     }
-    delay.min(cap)
+    delay = delay.min(cap);
+    let jitter = core.cfg.kv_retry_jitter;
+    if jitter > 0.0 {
+        let stretch = 1.0 + core.gray.rng.gen_range(0.0..1.0) * jitter;
+        delay = delay.mul_f64(stretch);
+    }
+    delay
+}
+
+/// Checks the per-request retry budget for a transfer about to run
+/// `attempt` (already incremented). Returns `true` — after dropping the
+/// request and counting the exhaustion — when the budget is spent.
+/// Attempt 1 is the initial send, so a budget of `b` allows attempts up to
+/// `b + 1`.
+fn retry_budget_spent(core: &mut Core, s: &mut SplitState, id: RequestId, attempt: u32) -> bool {
+    let Some(budget) = core.cfg.kv_retry_budget else {
+        return false;
+    };
+    if attempt <= budget + 1 {
+        return false;
+    }
+    s.transfers.remove(&id);
+    core.recovery.retry_budget_exhausted += 1;
+    drop_request(core, id);
+    true
 }
 
 // --- split-topology handlers ---------------------------------------------
@@ -988,11 +1348,18 @@ fn split_maybe_start_prefill(core: &mut Core, s: &mut SplitState, i: usize) {
             },
         );
     }
-    let latency = p.cost.prefill_latency(total, avg_ctx);
+    let mut latency = p.cost.prefill_latency(total, avg_ctx);
     // Pipeline parallelism: the next batch may enter once the slowest
     // stage has processed this one; the batch itself completes after the
     // full pipeline latency.
-    let bottleneck = p.cost.prefill_bottleneck(total, avg_ctx);
+    let mut bottleneck = p.cost.prefill_bottleneck(total, avg_ctx);
+    // Straggler fault: iteration times stretch. Skipped entirely at the
+    // healthy factor of exactly 1 so the default path never rounds
+    // through the multiply.
+    if p.slow_factor != 1.0 {
+        latency = latency.mul_f64(p.slow_factor);
+        bottleneck = bottleneck.mul_f64(p.slow_factor);
+    }
     p.next_free = core.now + bottleneck;
     p.in_flight.push_back(batch);
     core.queue.push(
@@ -1009,19 +1376,46 @@ fn split_on_prefill_done(core: &mut Core, s: &mut SplitState, i: usize) -> Resul
         .in_flight
         .pop_front()
         .ok_or_else(|| Error::Simulation("prefill done with nothing in flight".into()))?;
+    if core.cfg.straggler_threshold.is_some() {
+        split_observe_straggler(core, s, true, i);
+    }
     for job in batch {
         let rid = job.req.id;
-        let pend = core
-            .pending
-            .get_mut(&rid)
-            .ok_or_else(|| Error::Simulation(format!("unknown request {rid}")))?;
-        // Re-prefills keep their original first-token time: TTFT was
-        // already paid, recovery shows up in inter-token gaps instead.
-        let newly_first = pend.first_token_at.is_none();
-        if newly_first {
-            pend.first_token_at = Some(core.now);
-        }
-        let j = pend.decode;
+        // Hedged duplicates race, first completion wins: the loser finds
+        // the request finished (single-token outputs) or its KV transfer
+        // already launched, and is discarded here.
+        let (newly_first, j, loser) = {
+            let Some(pend) = core.pending.get_mut(&rid) else {
+                continue;
+            };
+            if pend.kv_launched {
+                continue;
+            }
+            // Re-prefills keep their original first-token time: TTFT was
+            // already paid, recovery shows up in inter-token gaps instead.
+            let newly_first = pend.first_token_at.is_none();
+            if newly_first {
+                pend.first_token_at = Some(core.now);
+            }
+            // The winner of a hedge race fixes the (prefill, decode) pair;
+            // the loser's still-queued copy is cancelled below (an
+            // in-flight copy is discarded at its own completion instead).
+            let mut loser = None;
+            if let Some((hp, hd)) = pend.hedge.take() {
+                if hp == i {
+                    core.recovery.hedges_won += 1;
+                    loser = Some(pend.prefill);
+                    pend.prefill = hp;
+                    pend.decode = hd;
+                } else {
+                    loser = Some(hp);
+                }
+            }
+            if job.remaining != 0 {
+                pend.kv_launched = true;
+            }
+            (newly_first, pend.decode, loser)
+        };
         trace(
             core,
             TraceKind::PrefillEnd {
@@ -1032,6 +1426,11 @@ fn split_on_prefill_done(core: &mut Core, s: &mut SplitState, i: usize) -> Resul
         );
         if newly_first {
             trace(core, TraceKind::FirstToken { request: rid });
+        }
+        if let Some(li) = loser {
+            if li != i {
+                s.prefills[li].queue.remove(rid);
+            }
         }
         if job.remaining == 0 {
             // Single-token output: the prefill already produced it.
@@ -1130,7 +1529,7 @@ fn split_launch_transfer(
         }
         return;
     }
-    let dur = if core.cfg.model_kv_transfer {
+    let mut dur = if core.cfg.model_kv_transfer {
         let ratio = core.cfg.kv_precision.ratio_vs_f16();
         kv_transfer_time(
             &core.cfg.model,
@@ -1141,6 +1540,13 @@ fn split_launch_transfer(
     } else {
         SimDuration::ZERO
     };
+    // Gray link fault: the legacy model stretches the wire time by the
+    // pair's degradation factor (the fabric path applies it to link
+    // capacities instead). Skipped at the healthy factor of exactly 1.
+    let link_factor = s.link_factor[transfer.from][transfer.to];
+    if link_factor != 1.0 {
+        dur = dur.mul_f64(link_factor);
+    }
     // A transfer that occupies the wire for zero time must not serialize on
     // the uplink — and, crucially, must not push `sender_free_at` out to
     // `now + delay`, which would make *modeled* transfers behind it queue
@@ -1303,6 +1709,9 @@ fn split_kill_link_flows(core: &mut Core, s: &mut SplitState, prefill: usize, de
         }
         let mut t = t;
         t.attempt += 1;
+        if retry_budget_spent(core, s, id, t.attempt) {
+            continue;
+        }
         core.recovery.kv_transfer_retries += 1;
         trace(
             core,
@@ -1350,6 +1759,9 @@ fn split_deliver_transfer(core: &mut Core, s: &mut SplitState, request: RequestI
         }
         let mut t = t;
         t.attempt += 1;
+        if retry_budget_spent(core, s, request, t.attempt) {
+            return Ok(());
+        }
         core.recovery.kv_transfer_retries += 1;
         trace(
             core,
@@ -1451,7 +1863,10 @@ fn split_maybe_start_decode_step(core: &mut Core, s: &mut SplitState, j: usize) 
         return;
     }
     let batch = d.batch.active.len() as u64;
-    let latency = d.cost.decode_step_latency(batch, d.batch.avg_context());
+    let mut latency = d.cost.decode_step_latency(batch, d.batch.avg_context());
+    if d.slow_factor != 1.0 {
+        latency = latency.mul_f64(d.slow_factor);
+    }
     d.stepping = true;
     core.queue.push(
         core.now + latency,
@@ -1464,6 +1879,9 @@ fn split_maybe_start_decode_step(core: &mut Core, s: &mut SplitState, j: usize) 
 
 fn split_on_decode_step(core: &mut Core, s: &mut SplitState, j: usize) -> Result<()> {
     s.decodes[j].stepping = false;
+    if core.cfg.straggler_threshold.is_some() {
+        split_observe_straggler(core, s, false, j);
+    }
     trace(
         core,
         TraceKind::DecodeStep {
@@ -1482,14 +1900,226 @@ fn split_on_decode_step(core: &mut Core, s: &mut SplitState, j: usize) -> Result
     Ok(())
 }
 
+/// The split routing mask from believed liveness plus gray-failure masking
+/// (flaky-heartbeat false positives and straggler quarantine). `extra`
+/// additionally masks one host — used to test whether a prospective
+/// quarantine would leave the router empty, without committing it.
+fn split_router_mask(core: &Core, s: &SplitState, extra: Option<usize>) -> Vec<bool> {
+    let p = core.gray.prefill_hosts;
+    let masked = |h: usize| core.gray.masked(h) || extra == Some(h);
+    s.pair_coords
+        .iter()
+        .map(|&(i, j)| {
+            !s.believed_dead_prefill[i]
+                && !s.believed_dead_decode[j]
+                && !masked(i)
+                && !masked(p + j)
+        })
+        .collect()
+}
+
 /// Re-derives the routing mask from believed replica liveness.
 fn split_refresh_router(core: &mut Core, s: &SplitState) {
-    let mask: Vec<bool> = s
-        .pair_coords
-        .iter()
-        .map(|&(i, j)| !s.believed_dead_prefill[i] && !s.believed_dead_decode[j])
-        .collect();
+    let mask = split_router_mask(core, s, None);
     core.router.apply_mask(&mask);
+}
+
+// --- straggler detection & hedging ----------------------------------------
+
+/// Feeds one completed iteration's observed/expected time ratio into the
+/// per-host EWMA. Returns `true` when the detector trips (enough samples
+/// and the EWMA at or above the threshold); the caller still applies the
+/// never-empty-router guard before quarantining.
+fn straggler_observe(core: &mut Core, host: usize, ratio: f64) -> bool {
+    let Some(threshold) = core.cfg.straggler_threshold else {
+        return false;
+    };
+    if core.gray.quarantined[host] {
+        return false;
+    }
+    const ALPHA: f64 = 0.5;
+    let g = &mut core.gray;
+    g.slow_ewma[host] = if g.slow_samples[host] == 0 {
+        ratio
+    } else {
+        ALPHA * ratio + (1.0 - ALPHA) * g.slow_ewma[host]
+    };
+    g.slow_samples[host] = g.slow_samples[host].saturating_add(1);
+    g.slow_samples[host] >= core.cfg.straggler_min_samples && g.slow_ewma[host] >= threshold
+}
+
+/// Quarantines `host`: masks it out of routing, counts it, and schedules
+/// the readmission probe at `now + straggler_readmit_after`. The caller
+/// refreshes the router.
+fn quarantine_host(core: &mut Core, host: usize, role: Role, replica: usize, prefill: bool) {
+    core.gray.quarantined[host] = true;
+    let until = core.now + core.cfg.straggler_readmit_after;
+    core.gray.quarantine_until[host] = Some(until);
+    core.recovery.quarantines += 1;
+    trace(core, TraceKind::Quarantined { role, replica });
+    core.queue
+        .push(until, EventKind::ReadmitProbe { prefill, replica });
+}
+
+/// Samples the straggler detector at a split-replica batch completion and
+/// quarantines the replica when it trips — unless doing so would leave the
+/// router with no live pair (a degraded replica still beats no replica).
+fn split_observe_straggler(core: &mut Core, s: &SplitState, prefill: bool, idx: usize) {
+    let (host, ratio) = if prefill {
+        (idx, s.prefills[idx].slow_factor)
+    } else {
+        (core.gray.prefill_hosts + idx, s.decodes[idx].slow_factor)
+    };
+    if !straggler_observe(core, host, ratio) {
+        return;
+    }
+    let mask = split_router_mask(core, s, Some(host));
+    if !mask.iter().any(|&m| m) {
+        return;
+    }
+    let role = if prefill { Role::Prefill } else { Role::Decode };
+    quarantine_host(core, host, role, idx, prefill);
+    split_refresh_router(core, s);
+}
+
+/// The colocated arm of [`split_observe_straggler`].
+fn colo_observe_straggler(core: &mut Core, c: &ColoState, ri: usize) {
+    let ratio = c.replicas[ri].slow_factor;
+    if !straggler_observe(core, ri, ratio) {
+        return;
+    }
+    let mask = colo_router_mask(core, c, Some(ri));
+    if !mask.iter().any(|&m| m) {
+        return;
+    }
+    quarantine_host(core, ri, Role::Colocated, ri, true);
+    colo_refresh_router(core, c);
+}
+
+/// The hedge timer for `request` matured. If the request is still waiting
+/// on prefill, launch a duplicate prefill on an alternate pair
+/// (first completion wins); if its KV transfer is stuck in flight, cancel
+/// and re-send it. No-op when the request already delivered its KV,
+/// finished, or was hedged once before.
+fn split_on_hedge_check(core: &mut Core, s: &mut SplitState, request: RequestId) {
+    let Some(p) = core.pending.get(&request) else {
+        return; // finished, shed or dropped
+    };
+    if p.kv_done_at.is_some() || p.hedge.is_some() {
+        return;
+    }
+    if p.kv_launched {
+        split_hedge_transfer(core, s, request);
+    } else {
+        split_hedge_prefill(core, s, request);
+    }
+}
+
+/// Launches a duplicate prefill for a stuck request on an alternate
+/// (prefill, decode) pair drawn from the router. The duplicate carries the
+/// same work unit (a re-prefill covers more than the prompt). Ties are
+/// broken deterministically: route draws advance the stride router in its
+/// usual order, and the first live pair with a *different* prefill replica
+/// wins.
+fn split_hedge_prefill(core: &mut Core, s: &mut SplitState, request: RequestId) {
+    let Some(primary) = core.pending.get(&request).map(|p| p.prefill) else {
+        return;
+    };
+    let job = s.prefills[primary]
+        .queue
+        .queue
+        .iter()
+        .find(|j| j.req.id == request)
+        .copied()
+        .or_else(|| {
+            s.prefills[primary]
+                .in_flight
+                .iter()
+                .flatten()
+                .find(|j| j.req.id == request)
+                .copied()
+        });
+    let Some(job) = job else {
+        return; // a fault moved it; the requeue already acted as a retry
+    };
+    let mut alt = None;
+    for _ in 0..s.pair_coords.len() {
+        if core.router.num_enabled() == 0 {
+            break;
+        }
+        let k = core.router.next();
+        let (i, j) = s.pair_coords[k];
+        if i != primary && s.prefills[i].is_alive() && !s.believed_dead_prefill[i] {
+            alt = Some((i, j));
+            break;
+        }
+    }
+    let Some((hi, hj)) = alt else {
+        return; // no live alternative prefill replica
+    };
+    if let Some(p) = core.pending.get_mut(&request) {
+        p.hedge = Some((hi, hj));
+    }
+    core.recovery.hedges_launched += 1;
+    trace(
+        core,
+        TraceKind::HedgeLaunched {
+            request,
+            role: Role::Prefill,
+            replica: hi,
+        },
+    );
+    s.prefills[hi].queue.queue.push_back(job);
+    split_maybe_start_prefill(core, s, hi);
+}
+
+/// Cancels a stuck KV transfer and re-sends it (attempt + 1) to the live
+/// decode replica with the most free KV memory — possibly the same one.
+/// The superseded attempt's completion goes stale via its attempt number,
+/// so a duplicate delivery is impossible.
+fn split_hedge_transfer(core: &mut Core, s: &mut SplitState, request: RequestId) {
+    let Some(&t) = s.transfers.get(&request) else {
+        return; // completion already delivered
+    };
+    if let Some(f) = s.fabric.as_mut() {
+        if f.contains(request.0) {
+            let estimates = f.cancel(request.0, core.now);
+            schedule_flow_events(core, estimates);
+        }
+    }
+    let mut t = t;
+    t.attempt += 1;
+    // Mirror the death-re-dispatch target policy: most free KV, ties to
+    // the lowest index.
+    if let Some(j2) = s
+        .decodes
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| d.is_alive())
+        .max_by_key(|(j, d)| {
+            (
+                d.batch.kv_capacity.saturating_sub(d.batch.kv_used),
+                std::cmp::Reverse(*j),
+            )
+        })
+        .map(|(j, _)| j)
+    {
+        t.to = j2;
+    }
+    if let Some(p) = core.pending.get_mut(&request) {
+        p.decode = t.to;
+        p.hedge = Some((t.from, t.to));
+    }
+    core.recovery.hedges_launched += 1;
+    trace(
+        core,
+        TraceKind::HedgeLaunched {
+            request,
+            role: Role::Decode,
+            replica: t.to,
+        },
+    );
+    split_launch_transfer(core, s, t, SimDuration::ZERO);
 }
 
 // --- colocated-topology handlers -----------------------------------------
@@ -1537,7 +2167,10 @@ fn colo_maybe_start_work(core: &mut Core, c: &mut ColoState, ri: usize) {
                 batch: batch as usize,
             },
         );
-        let latency = r.cost.decode_step_latency(batch, r.batch.avg_context());
+        let mut latency = r.cost.decode_step_latency(batch, r.batch.avg_context());
+        if r.slow_factor != 1.0 {
+            latency = latency.mul_f64(r.slow_factor);
+        }
         r.current = Some(Work::DecodeStep);
         r.decode_turn = false;
         core.queue.push(
@@ -1580,7 +2213,10 @@ fn colo_maybe_start_work(core: &mut Core, c: &mut ColoState, ri: usize) {
                 );
             }
             let avg = total / batch.len() as u64;
-            let latency = r.cost.prefill_latency(total, avg);
+            let mut latency = r.cost.prefill_latency(total, avg);
+            if r.slow_factor != 1.0 {
+                latency = latency.mul_f64(r.slow_factor);
+            }
             r.current = Some(Work::Prefill { finishing: batch });
             core.queue.push(
                 core.now + latency,
@@ -1620,7 +2256,10 @@ fn colo_maybe_start_work(core: &mut Core, c: &mut ColoState, ri: usize) {
                 .first()
                 .map(|f| f.tokens)
                 .unwrap_or_else(|| tokens.max(1));
-            let latency = r.cost.prefill_latency(tokens.max(1), avg);
+            let mut latency = r.cost.prefill_latency(tokens.max(1), avg);
+            if r.slow_factor != 1.0 {
+                latency = latency.mul_f64(r.slow_factor);
+            }
             r.current = Some(Work::Prefill { finishing });
             r.decode_turn = true;
             core.queue.push(
@@ -1635,6 +2274,9 @@ fn colo_maybe_start_work(core: &mut Core, c: &mut ColoState, ri: usize) {
 }
 
 fn colo_on_work_done(core: &mut Core, c: &mut ColoState, ri: usize) -> Result<()> {
+    if core.cfg.straggler_threshold.is_some() {
+        colo_observe_straggler(core, c, ri);
+    }
     let work = c.replicas[ri]
         .current
         .take()
@@ -1689,9 +2331,18 @@ fn colo_on_work_done(core: &mut Core, c: &mut ColoState, ri: usize) -> Result<()
     Ok(())
 }
 
+/// The colocated routing mask (see [`split_router_mask`]).
+fn colo_router_mask(core: &Core, c: &ColoState, extra: Option<usize>) -> Vec<bool> {
+    c.believed_dead
+        .iter()
+        .enumerate()
+        .map(|(i, &dead)| !dead && !core.gray.masked(i) && extra != Some(i))
+        .collect()
+}
+
 /// Re-derives the routing mask from believed replica liveness.
 fn colo_refresh_router(core: &mut Core, c: &ColoState) {
-    let mask: Vec<bool> = c.believed_dead.iter().map(|&dead| !dead).collect();
+    let mask = colo_router_mask(core, c, None);
     core.router.apply_mask(&mask);
 }
 
@@ -1731,17 +2382,7 @@ mod tests {
     fn seed_request(core: &mut Core, id: u64) -> Request {
         let req = Request::new(RequestId(id), SimTime::ZERO, 512, 16);
         core.payloads.insert(req.id, req);
-        core.pending.insert(
-            req.id,
-            Pending {
-                prefill: 0,
-                decode: 0,
-                first_token_at: None,
-                kv_enqueued_at: None,
-                kv_wire_started_at: None,
-                kv_done_at: None,
-            },
-        );
+        core.pending.insert(req.id, Pending::new(0, 0));
         req
     }
 

@@ -135,6 +135,10 @@ pub struct PrefillExecutor {
     pub next_free: SimTime,
     /// Whether a slot-free wakeup is already scheduled.
     pub wakeup_scheduled: bool,
+    /// Gray-failure straggler factor: batch iteration times multiply by
+    /// this (exactly 1.0 = healthy; the driver skips the multiply then so
+    /// the healthy path stays bit-identical).
+    pub slow_factor: f64,
     alive: bool,
     epoch: u64,
 }
@@ -148,6 +152,7 @@ impl PrefillExecutor {
             in_flight: VecDeque::new(),
             next_free: SimTime::ZERO,
             wakeup_scheduled: false,
+            slow_factor: 1.0,
             alive: true,
             epoch: 0,
         }
@@ -197,6 +202,10 @@ pub struct DecodeExecutor {
     pub batch: BatchCore,
     /// Whether a decode step is currently running.
     pub stepping: bool,
+    /// Gray-failure straggler factor: decode step times multiply by this
+    /// (exactly 1.0 = healthy; the driver skips the multiply then so the
+    /// healthy path stays bit-identical).
+    pub slow_factor: f64,
     alive: bool,
     epoch: u64,
 }
@@ -209,6 +218,7 @@ impl DecodeExecutor {
             cost,
             batch: BatchCore::new(kv_capacity),
             stepping: false,
+            slow_factor: 1.0,
             alive: true,
             epoch: 0,
         }
@@ -287,6 +297,10 @@ pub struct ColocatedExecutor {
     pub decode_turn: bool,
     /// Prefill-priority or chunked scheduling.
     pub policy: ColocatedPolicy,
+    /// Gray-failure straggler factor applied to both phases' iteration
+    /// times (a colocated replica slows down as a whole; exactly 1.0 =
+    /// healthy, skipped by the driver).
+    pub slow_factor: f64,
     alive: bool,
     epoch: u64,
 }
@@ -302,6 +316,7 @@ impl ColocatedExecutor {
             current: None,
             decode_turn: false,
             policy,
+            slow_factor: 1.0,
             alive: true,
             epoch: 0,
         }

@@ -38,6 +38,31 @@ pub struct Pending {
     pub kv_wire_started_at: Option<SimTime>,
     /// When the KV cache was delivered to the decode replica.
     pub kv_done_at: Option<SimTime>,
+    /// Whether a prefill completion already launched this request's KV
+    /// transfer. Guards against duplicate launches when a hedged prefill
+    /// copy finishes second (first completion wins); reset when a fault
+    /// forces a re-prefill.
+    pub kv_launched: bool,
+    /// The (prefill, decode) pair of an in-flight hedged duplicate, if one
+    /// was launched; `None` until the hedge timer fires and again once the
+    /// race resolves.
+    pub hedge: Option<(usize, usize)>,
+}
+
+impl Pending {
+    /// Fresh bookkeeping for a request routed to `(prefill, decode)`.
+    pub fn new(prefill: usize, decode: usize) -> Self {
+        Pending {
+            prefill,
+            decode,
+            first_token_at: None,
+            kv_enqueued_at: None,
+            kv_wire_started_at: None,
+            kv_done_at: None,
+            kv_launched: false,
+            hedge: None,
+        }
+    }
 }
 
 /// Decode-side progress carried across a fault: a re-prefilled sequence
@@ -305,5 +330,19 @@ impl PrefillQueue {
     pub fn drain_all(&mut self) -> Vec<PrefillJob> {
         self.head_progress = 0;
         self.queue.drain(..).collect()
+    }
+
+    /// Removes one queued job by request id (hedge-loser cancellation).
+    /// Chunk progress resets if the head is removed — the partial work is
+    /// abandoned with it. Returns whether a job was found.
+    pub fn remove(&mut self, id: RequestId) -> bool {
+        let Some(pos) = self.queue.iter().position(|j| j.req.id == id) else {
+            return false;
+        };
+        if pos == 0 {
+            self.head_progress = 0;
+        }
+        self.queue.remove(pos);
+        true
     }
 }

@@ -31,7 +31,14 @@ use ts_cluster::Cluster;
 use ts_common::{DeploymentPlan, GpuId, SimDuration, SimTime};
 
 /// A single injected fault.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// The crash-stop kinds (`*Down`/`*Up`, `LinkDown`/`LinkUp`, `Pause`) kill
+/// or restore capacity outright. The *gray* kinds (`PrefillSlow`,
+/// `DecodeSlow`, `LinkDegraded`, `HeartbeatFlaky`) model capacity that
+/// stays online but underperforms — the dominant failure mode on cloud
+/// GPUs. Degradation factors are slowdown multipliers (≥ 1; exactly 1
+/// heals), so carrying them makes `FaultKind` `PartialEq` but not `Eq`.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FaultKind {
     /// Prefill replica (engine index) dies: its queued and in-flight batches
     /// are lost until detection, then re-routed to survivors.
@@ -66,10 +73,39 @@ pub enum FaultKind {
         /// When the service resumes.
         until: SimTime,
     },
+    /// Prefill replica becomes a straggler: its batch iteration times
+    /// multiply by `factor` (≥ 1; exactly 1 heals it). On colocated
+    /// engines, like `PrefillDown`, the index names the whole replica and
+    /// both phases slow down.
+    PrefillSlow(usize, f64),
+    /// Decode replica becomes a straggler: its decode step times multiply
+    /// by `factor` (≥ 1; exactly 1 heals it). Colocated: same semantics as
+    /// [`FaultKind::PrefillSlow`].
+    DecodeSlow(usize, f64),
+    /// The prefill→decode transfer path of a replica pair loses bandwidth:
+    /// legacy modeled transfers take `factor`× longer, and under
+    /// `network_contention` the fabric links along the pair's KV route have
+    /// their capacity divided by `factor` with in-flight flows re-fair-
+    /// shared live. Factor ≥ 1; exactly 1 heals.
+    LinkDegraded {
+        /// Engine index of the sending prefill replica.
+        prefill: usize,
+        /// Engine index of the receiving decode replica.
+        decode: usize,
+        /// Slowdown multiplier (≥ 1; 1 heals).
+        factor: f64,
+    },
+    /// A replica host's heartbeats are lost with probability `loss_prob`
+    /// per beat window (the script's `detection_delay`), drawn from the
+    /// engine's seeded fault RNG. A missed beat masks the replica out of
+    /// routing as a false positive; the next delivered beat readmits it.
+    /// `loss_prob` of 0 heals. The host index counts prefill replicas
+    /// first, then decode replicas (colocated: the replica index).
+    HeartbeatFlaky(usize, f64),
 }
 
 /// A fault and the time it takes effect.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimedFault {
     /// When the fault strikes (capacity changes immediately).
     pub at: SimTime,
@@ -153,6 +189,16 @@ impl FaultScript {
         let mut decode_dead = vec![false; decodes.len()];
         let mut faults = Vec::new();
 
+        let node_gpus = |n: ts_common::NodeId| -> BTreeSet<GpuId> {
+            cluster.node(n).gpus.iter().copied().collect()
+        };
+        let on_node = |sets: &[BTreeSet<GpuId>], gpus: &BTreeSet<GpuId>| -> Vec<usize> {
+            sets.iter()
+                .enumerate()
+                .filter(|(_, s)| !s.is_disjoint(gpus))
+                .map(|(i, _)| i)
+                .collect()
+        };
         for ev in &events {
             match &ev.kind {
                 ClusterEventKind::NodeDown(n) => {
@@ -167,6 +213,53 @@ impl FaultScript {
                 ClusterEventKind::GpusUp(ids) => {
                     for g in ids {
                         down.remove(g);
+                    }
+                }
+                // Gray kinds don't change the availability mask: project
+                // them straight onto the replicas hosted by the node(s).
+                ClusterEventKind::NodeSlow(n, f) => {
+                    let gpus = node_gpus(*n);
+                    for i in on_node(&prefills, &gpus) {
+                        faults.push(TimedFault {
+                            at: ev.at,
+                            kind: FaultKind::PrefillSlow(i, *f),
+                        });
+                    }
+                    for j in on_node(&decodes, &gpus) {
+                        faults.push(TimedFault {
+                            at: ev.at,
+                            kind: FaultKind::DecodeSlow(j, *f),
+                        });
+                    }
+                }
+                ClusterEventKind::LinkDegraded(a, b, f) => {
+                    let (ga, gb) = (node_gpus(*a), node_gpus(*b));
+                    for i in on_node(&prefills, &ga) {
+                        for j in on_node(&decodes, &gb) {
+                            faults.push(TimedFault {
+                                at: ev.at,
+                                kind: FaultKind::LinkDegraded {
+                                    prefill: i,
+                                    decode: j,
+                                    factor: *f,
+                                },
+                            });
+                        }
+                    }
+                }
+                ClusterEventKind::HeartbeatFlaky(n, p) => {
+                    let gpus = node_gpus(*n);
+                    for i in on_node(&prefills, &gpus) {
+                        faults.push(TimedFault {
+                            at: ev.at,
+                            kind: FaultKind::HeartbeatFlaky(i, *p),
+                        });
+                    }
+                    for j in on_node(&decodes, &gpus) {
+                        faults.push(TimedFault {
+                            at: ev.at,
+                            kind: FaultKind::HeartbeatFlaky(prefills.len() + j, *p),
+                        });
                     }
                 }
             }
@@ -308,6 +401,52 @@ mod tests {
         assert_eq!(
             s.faults.iter().map(|f| f.kind).collect::<Vec<_>>(),
             vec![FaultKind::DecodeDown(0), FaultKind::DecodeDown(1)]
+        );
+    }
+
+    #[test]
+    fn gray_cluster_events_project_onto_replicas() {
+        let (cluster, plan) = testbed();
+        // Node a (GPUs 0,1) hosts the prefill replica; node b (GPUs 2,3)
+        // hosts both decode replicas.
+        let events = vec![
+            ClusterEvent::new(
+                SimTime::from_secs_f64(1.0),
+                ClusterEventKind::NodeSlow(NodeId(1), 4.0),
+            ),
+            ClusterEvent::new(
+                SimTime::from_secs_f64(2.0),
+                ClusterEventKind::LinkDegraded(NodeId(0), NodeId(1), 8.0),
+            ),
+            ClusterEvent::new(
+                SimTime::from_secs_f64(3.0),
+                ClusterEventKind::HeartbeatFlaky(NodeId(0), 0.5),
+            ),
+        ];
+        let s = FaultScript::from_cluster_events(
+            &cluster,
+            &plan,
+            &events,
+            SimDuration::from_millis(50),
+        );
+        assert_eq!(
+            s.faults.iter().map(|f| f.kind).collect::<Vec<_>>(),
+            vec![
+                FaultKind::DecodeSlow(0, 4.0),
+                FaultKind::DecodeSlow(1, 4.0),
+                FaultKind::LinkDegraded {
+                    prefill: 0,
+                    decode: 0,
+                    factor: 8.0
+                },
+                FaultKind::LinkDegraded {
+                    prefill: 0,
+                    decode: 1,
+                    factor: 8.0
+                },
+                // Host indices count prefills first: prefill 0 -> host 0.
+                FaultKind::HeartbeatFlaky(0, 0.5),
+            ]
         );
     }
 

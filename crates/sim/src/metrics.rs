@@ -112,6 +112,28 @@ pub struct RecoveryCounters {
     /// Per-fault time from the fault taking effect until every affected
     /// request was either re-admitted to decoding, completed, or shed.
     pub recovery_times: Vec<SimDuration>,
+    /// Hedged duplicates launched for stuck prefills / KV transfers
+    /// (gray-failure mitigation).
+    #[serde(default)]
+    pub hedges_launched: usize,
+    /// Hedges whose duplicate beat the original (first-completion-wins).
+    #[serde(default)]
+    pub hedges_won: usize,
+    /// Replicas removed from routing by straggler detection or a
+    /// flaky-heartbeat false positive (each quarantine episode counts once).
+    #[serde(default)]
+    pub quarantines: usize,
+    /// Quarantined (or spuriously dead) replicas returned to routing.
+    #[serde(default)]
+    pub readmissions: usize,
+    /// Requests shed because their SLO-derived deadline had already passed
+    /// before service could start (counted in `Metrics::num_rejected`).
+    #[serde(default)]
+    pub deadline_shed: usize,
+    /// KV transfers dropped after exhausting their retry budget (counted in
+    /// `Metrics::num_dropped`).
+    #[serde(default)]
+    pub retry_budget_exhausted: usize,
 }
 
 impl RecoveryCounters {
@@ -121,6 +143,11 @@ impl RecoveryCounters {
             || self.reprefilled_tokens > 0
             || self.kv_transfer_retries > 0
             || !self.recovery_times.is_empty()
+            || self.hedges_launched > 0
+            || self.quarantines > 0
+            || self.readmissions > 0
+            || self.deadline_shed > 0
+            || self.retry_budget_exhausted > 0
     }
 
     /// Longest time-to-recover across faults, or `None` if no fault
@@ -450,6 +477,7 @@ mod tests {
             reprefilled_tokens: 640,
             kv_transfer_retries: 1,
             recovery_times: vec![SimDuration::from_millis(80), SimDuration::from_millis(30)],
+            ..RecoveryCounters::default()
         };
         let m = Metrics::with_recovery(
             vec![record(0.0, 0.3, 1.0, 8), record(0.0, 0.3, 1.0, 8)],

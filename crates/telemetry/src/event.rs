@@ -4,7 +4,9 @@
 //! lifecycle events follow the journey
 //! `Arrived → Enqueued → PrefillStart/End → KvEnqueued → KvWireStart →
 //! KvDone → DecodeJoin → Finished`, with fault/recovery detours
-//! (`KvRetry`, `Requeued`, `Reprefill`, `Stalled`, `Dropped`, `Rejected`).
+//! (`KvRetry`, `Requeued`, `Reprefill`, `Stalled`, `Dropped`, `Rejected`)
+//! and gray-failure mitigation detours (`HedgeLaunched`, `Quarantined`,
+//! `Readmitted`, `DeadlineShed`).
 //! Sampling events (`QueueDepth`, `BatchOccupancy`, `LinkUtilization`,
 //! `FlowRate`) carry instantaneous values from which [`crate::TraceLog`]
 //! derives step-function [`crate::UtilizationSeries`].
@@ -238,6 +240,37 @@ pub enum TraceKind {
         /// The new rate, bytes/s.
         rate_bps: f64,
     },
+    /// A hedged duplicate of a stuck prefill (or a re-dispatch of a stuck
+    /// KV transfer) was launched on an alternate replica.
+    HedgeLaunched {
+        /// The hedged request.
+        request: RequestId,
+        /// Serving role of the replica the hedge runs on.
+        role: Role,
+        /// Index of the replica the hedge runs on.
+        replica: usize,
+    },
+    /// A replica was removed from routing — straggler quarantine or a
+    /// flaky-heartbeat false positive.
+    Quarantined {
+        /// Serving role of the quarantined replica.
+        role: Role,
+        /// Index of the quarantined replica.
+        replica: usize,
+    },
+    /// A quarantined (or spuriously dead) replica rejoined routing.
+    Readmitted {
+        /// Serving role of the readmitted replica.
+        role: Role,
+        /// Index of the readmitted replica.
+        replica: usize,
+    },
+    /// The request was shed because its SLO-derived deadline had already
+    /// passed before service could start.
+    DeadlineShed {
+        /// The shed request.
+        request: RequestId,
+    },
 }
 
 impl TraceKind {
@@ -260,7 +293,9 @@ impl TraceKind {
             | TraceKind::Stalled { request }
             | TraceKind::Requeued { request }
             | TraceKind::Reprefill { request, .. }
-            | TraceKind::FlowRate { request, .. } => Some(request),
+            | TraceKind::FlowRate { request, .. }
+            | TraceKind::HedgeLaunched { request, .. }
+            | TraceKind::DeadlineShed { request } => Some(request),
             _ => None,
         }
     }
@@ -292,6 +327,10 @@ impl TraceKind {
             TraceKind::BatchOccupancy { .. } => "batch_occupancy",
             TraceKind::LinkUtilization { .. } => "link_utilization",
             TraceKind::FlowRate { .. } => "flow_rate",
+            TraceKind::HedgeLaunched { .. } => "hedge_launched",
+            TraceKind::Quarantined { .. } => "quarantined",
+            TraceKind::Readmitted { .. } => "readmitted",
+            TraceKind::DeadlineShed { .. } => "deadline_shed",
         }
     }
 }
@@ -364,6 +403,16 @@ impl fmt::Display for TraceKind {
                 100.0 * used_bps / capacity_bps.max(1.0)
             ),
             TraceKind::FlowRate { rate_bps, .. } => write!(f, "flow rate {rate_bps:.0} B/s"),
+            TraceKind::HedgeLaunched { role, replica, .. } => {
+                write!(f, "hedge launched on {role} replica {replica}")
+            }
+            TraceKind::Quarantined { role, replica } => {
+                write!(f, "{role} replica {replica} quarantined")
+            }
+            TraceKind::Readmitted { role, replica } => {
+                write!(f, "{role} replica {replica} readmitted")
+            }
+            TraceKind::DeadlineShed { .. } => write!(f, "shed past deadline"),
         }
     }
 }

@@ -41,6 +41,8 @@ pub struct RequestSpan {
     pub requeues: u32,
     /// Fault-recovery re-prefills observed.
     pub reprefills: u32,
+    /// Hedged duplicate launches observed (gray-failure mitigation).
+    pub hedges: u32,
 }
 
 impl RequestSpan {
@@ -157,6 +159,7 @@ impl TraceLog {
                         kv_retries: 0,
                         requeues: 0,
                         reprefills: 0,
+                        hedges: 0,
                     });
                 }
                 continue;
@@ -173,6 +176,7 @@ impl TraceLog {
                 TraceKind::KvRetry { .. } => s.kv_retries += 1,
                 TraceKind::Requeued { .. } => s.requeues += 1,
                 TraceKind::Reprefill { .. } => s.reprefills += 1,
+                TraceKind::HedgeLaunched { .. } => s.hedges += 1,
                 _ => {}
             }
         }
@@ -190,7 +194,10 @@ impl TraceLog {
                 | TraceKind::DecodeJoin { role, replica, .. }
                 | TraceKind::DecodeStep { role, replica, .. }
                 | TraceKind::QueueDepth { role, replica, .. }
-                | TraceKind::BatchOccupancy { role, replica, .. } => {
+                | TraceKind::BatchOccupancy { role, replica, .. }
+                | TraceKind::HedgeLaunched { role, replica, .. }
+                | TraceKind::Quarantined { role, replica }
+                | TraceKind::Readmitted { role, replica } => {
                     set.insert((role, replica));
                 }
                 _ => {}

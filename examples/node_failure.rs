@@ -205,5 +205,81 @@ fn main() -> thunderserve::Result<()> {
          behaviour is directly comparable between phase-split serving and the \
          colocated baselines."
     );
+
+    // ── Gray-failure variant ────────────────────────────────────────────
+    // The failures above are crash-stop: capacity disappears and heartbeats
+    // say so. The dominant cloud failure mode is *gray* — here a decode
+    // replica degrades to 6x iteration time at t=30s without dying, so no
+    // heartbeat ever fires and rescheduling never engages. Only the
+    // mitigation layer (straggler quarantine + hedged re-dispatch) sees it.
+    println!("\nGray failure (one decode replica runs 6x slow from t=30s, nobody dies):");
+    {
+        use thunderserve::common::{RoutingMatrix, StageSpec};
+        use thunderserve::sim::engine::Simulation;
+        use thunderserve::sim::fault::{FaultKind, FaultScript, TimedFault};
+
+        let cluster = thunderserve::cluster::presets::network_case_cluster(
+            thunderserve::cluster::presets::ETH_40GBPS,
+        );
+        let model = ModelSpec::llama_13b();
+        let group = |phase, ids: &[u32]| -> thunderserve::Result<GroupSpec> {
+            GroupSpec::new(
+                phase,
+                ParallelConfig::new(2, 1)?,
+                vec![StageSpec {
+                    gpus: ids.iter().map(|&i| GpuId(i)).collect(),
+                    layers: model.num_layers,
+                }],
+            )
+        };
+        let plan = DeploymentPlan::new(
+            vec![
+                group(Phase::Prefill, &[0, 1])?,
+                group(Phase::Prefill, &[2, 3])?,
+                group(Phase::Decode, &[4, 5])?,
+                group(Phase::Decode, &[6, 7])?,
+            ],
+            RoutingMatrix::uniform(2, 2),
+        )?;
+        let reqs = generate(&spec::coding(1.5), SimDuration::from_secs(120), 5);
+        let script = FaultScript::new(
+            vec![TimedFault {
+                at: SimTime::ZERO + SimDuration::from_secs(30),
+                kind: FaultKind::DecodeSlow(0, 6.0),
+            }],
+            SimDuration::from_millis(500),
+        );
+        let mut p99s = Vec::new();
+        for (name, mitigate) in [("hedging off    ", false), ("hedging on     ", true)] {
+            let cfg = SimConfig::new(model.clone());
+            let cfg = if mitigate {
+                cfg.with_straggler_detection(1.5)
+                    .with_hedging(SimDuration::from_millis(400))
+            } else {
+                cfg
+            };
+            let m = Simulation::new(&cluster, &plan, cfg)?.run_with_faults(&reqs, &script)?;
+            let p99 = m
+                .latency_percentile(SloKind::E2e, 0.99)
+                .expect("completions exist");
+            println!(
+                "{name}: completed {}/{} | p99 E2E {} | quarantines {} | hedges {} (won {})",
+                m.num_completed(),
+                reqs.len(),
+                p99,
+                m.recovery().quarantines,
+                m.recovery().hedges_launched,
+                m.recovery().hedges_won,
+            );
+            p99s.push(p99.as_secs_f64());
+        }
+        println!(
+            "\nMitigation cuts the p99 E2E tail by {:.1}x: quarantine routes new \
+             work away from the straggler while hedged re-dispatch rescues the \
+             requests already stuck behind it — a failure class the crash-stop \
+             machinery above is structurally blind to.",
+            p99s[0] / p99s[1].max(1e-9),
+        );
+    }
     Ok(())
 }

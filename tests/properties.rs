@@ -423,6 +423,160 @@ fn colocated_simulator_conserves_requests() {
     }
 }
 
+/// Gray failures never break request conservation: under stragglers, flaky
+/// heartbeats, degraded links and exhausted retry budgets — with hedging,
+/// quarantine and deadline shedding all armed — every submitted request is
+/// exactly one of completed, dropped or rejected, and identical runs are
+/// bit-identical.
+#[test]
+fn gray_failures_conserve_requests() {
+    use thunderserve::sim::config::SimConfig;
+    use thunderserve::sim::engine::Simulation;
+    use thunderserve::sim::fault::{FaultKind, FaultScript, TimedFault};
+    let cluster = thunderserve::cluster::presets::network_case_cluster(
+        thunderserve::cluster::presets::ETH_40GBPS,
+    );
+    let model = thunderserve::common::ModelSpec::llama_13b();
+    let plan = {
+        use thunderserve::common::{
+            DeploymentPlan, GroupSpec, ParallelConfig, RoutingMatrix, StageSpec,
+        };
+        let g = |phase, ids: &[u32], tp: usize| {
+            GroupSpec::new(
+                phase,
+                ParallelConfig::new(tp, 1).unwrap(),
+                vec![StageSpec {
+                    gpus: ids.iter().map(|&i| GpuId(i)).collect(),
+                    layers: model.num_layers,
+                }],
+            )
+            .unwrap()
+        };
+        DeploymentPlan::new(
+            vec![
+                g(Phase::Prefill, &[0, 1, 2, 3], 4),
+                g(Phase::Decode, &[4, 5], 2),
+                g(Phase::Decode, &[6, 7], 2),
+            ],
+            RoutingMatrix::uniform(1, 2),
+        )
+        .unwrap()
+    };
+    for case in 0..CASES {
+        let mut rng = seeded_rng(derive_seed(0x6E47, case));
+        let n_reqs = rng.gen_range(1usize..40);
+        let mut reqs: Vec<Request> = (0..n_reqs)
+            .map(|i| {
+                Request::new(
+                    RequestId(i as u64),
+                    SimTime::from_secs_f64(rng.gen_range(0.0..30.0)),
+                    rng.gen_range(1..3000),
+                    rng.gen_range(1..200),
+                )
+            })
+            .collect();
+        reqs.sort_by_key(|r| r.arrival);
+        let fault = |at: f64, kind| TimedFault {
+            at: SimTime::from_secs_f64(at),
+            kind,
+        };
+        // One arm per case: a decode straggler under quarantine, a flaky
+        // heartbeat flapping through the run, a dead link with a tight
+        // retry budget, or everything at once with hedging and deadlines.
+        let (script, cfg) = match case % 4 {
+            0 => (
+                FaultScript::new(
+                    vec![fault(
+                        rng.gen_range(1.0..15.0),
+                        FaultKind::DecodeSlow(0, rng.gen_range(2.0..10.0)),
+                    )],
+                    SimDuration::from_millis(500),
+                ),
+                SimConfig::new(model.clone())
+                    .with_straggler_detection(1.5)
+                    .with_straggler_readmit_after(SimDuration::from_secs(3)),
+            ),
+            1 => (
+                FaultScript::new(
+                    vec![fault(
+                        rng.gen_range(1.0..15.0),
+                        FaultKind::HeartbeatFlaky(1, rng.gen_range(0.2..0.9)),
+                    )],
+                    SimDuration::from_millis(rng.gen_range(200..2000)),
+                ),
+                SimConfig::new(model.clone()),
+            ),
+            2 => (
+                FaultScript::new(
+                    vec![fault(
+                        rng.gen_range(1.0..15.0),
+                        FaultKind::LinkDown {
+                            prefill: 0,
+                            decode: 0,
+                        },
+                    )],
+                    SimDuration::from_millis(100),
+                ),
+                SimConfig::new(model.clone()).with_kv_retry_budget(rng.gen_range(0..3)),
+            ),
+            _ => (
+                FaultScript::new(
+                    vec![
+                        fault(
+                            rng.gen_range(1.0..10.0),
+                            FaultKind::DecodeSlow(1, rng.gen_range(2.0..8.0)),
+                        ),
+                        fault(
+                            rng.gen_range(1.0..10.0),
+                            FaultKind::LinkDegraded {
+                                prefill: 0,
+                                decode: 0,
+                                factor: rng.gen_range(1.5..6.0),
+                            },
+                        ),
+                        fault(
+                            rng.gen_range(10.0..20.0),
+                            FaultKind::HeartbeatFlaky(2, rng.gen_range(0.2..0.8)),
+                        ),
+                    ],
+                    SimDuration::from_millis(rng.gen_range(200..1000)),
+                ),
+                SimConfig::new(model.clone())
+                    .with_straggler_detection(1.5)
+                    .with_hedging(SimDuration::from_millis(rng.gen_range(200..800)))
+                    .with_kv_retry_budget(2)
+                    .with_kv_retry_jitter(0.5)
+                    .with_deadlines(
+                        thunderserve::common::SloSpec::new(
+                            SimDuration::from_millis(rng.gen_range(300..2000)),
+                            SimDuration::from_millis(80),
+                            SimDuration::from_secs(20),
+                        ),
+                        rng.gen_range(1.0..4.0),
+                    ),
+            ),
+        };
+        let run = || {
+            Simulation::new(&cluster, &plan, cfg.clone())
+                .unwrap()
+                .run_with_faults(&reqs, &script)
+                .unwrap()
+        };
+        let metrics = run();
+        assert_eq!(
+            metrics.num_completed() + metrics.num_dropped() + metrics.num_rejected(),
+            reqs.len(),
+            "case {case}: conservation violated ({:?})",
+            metrics.recovery()
+        );
+        for r in metrics.records() {
+            assert!(r.finished_at >= r.first_token_at);
+            assert!(r.first_token_at >= r.request.arrival);
+        }
+        assert_eq!(metrics, run(), "case {case}: run must be bit-identical");
+    }
+}
+
 /// SLO scaling is monotone: a looser deadline never reduces attainment.
 #[test]
 fn slo_scaling_monotone() {

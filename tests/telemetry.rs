@@ -210,6 +210,171 @@ fn spans_reconcile_exactly_with_request_records() {
     }
 }
 
+/// Gray-failure mitigation events reconcile with the metrics and nest
+/// inside the request spans they concern: every `HedgeLaunched` lands
+/// between its request's arrival and finish (and sums to the recovery
+/// counter), every `DeadlineShed` terminates its request's span, and
+/// `Quarantined`/`Readmitted` pair up per replica — while telemetry stays
+/// a pure observer (bit-identical metrics off↔on) even with the whole
+/// mitigation layer armed.
+#[test]
+fn gray_mitigation_events_nest_inside_request_spans() {
+    // Two tp=2 prefill replicas so a stuck prefill has somewhere to hedge.
+    let cluster = presets::network_case_cluster(presets::ETH_40GBPS);
+    let model = ModelSpec::llama_13b();
+    let group = |phase, ids: &[u32], tp: usize| {
+        GroupSpec::new(
+            phase,
+            ParallelConfig::new(tp, 1).unwrap(),
+            vec![StageSpec {
+                gpus: ids.iter().map(|&i| GpuId(i)).collect(),
+                layers: model.num_layers,
+            }],
+        )
+        .unwrap()
+    };
+    let plan = DeploymentPlan::new(
+        vec![
+            group(Phase::Prefill, &[0, 1], 2),
+            group(Phase::Prefill, &[2, 3], 2),
+            group(Phase::Decode, &[4, 5], 2),
+            group(Phase::Decode, &[6, 7], 2),
+        ],
+        RoutingMatrix::uniform(2, 2),
+    )
+    .unwrap();
+    let cfg = SimConfig::new(model)
+        .with_hedging(SimDuration::from_millis(400))
+        .with_straggler_detection(2.0)
+        .with_straggler_readmit_after(SimDuration::from_secs(4));
+    let reqs = generate(&spec::coding(1.5), SimDuration::from_secs(60), 55);
+    let fault = |at_s: f64, kind| TimedFault {
+        at: SimTime::from_secs_f64(at_s),
+        kind,
+    };
+    // Prefill 0 stalls (hedging kicks in) and decode 0 drags (quarantine
+    // trips, then the heal at t=30 lets the probe readmit it).
+    let script = FaultScript::new(
+        vec![
+            fault(5.0, FaultKind::PrefillSlow(0, 40.0)),
+            fault(5.0, FaultKind::DecodeSlow(0, 6.0)),
+            fault(30.0, FaultKind::DecodeSlow(0, 1.0)),
+        ],
+        SimDuration::from_millis(500),
+    );
+    let run = |cfg: SimConfig| {
+        let mut sim = Simulation::new(&cluster, &plan, cfg).unwrap();
+        let m = sim.run_with_faults(&reqs, &script).unwrap();
+        (m, sim.take_trace())
+    };
+    let (off, trace_off) = run(cfg.clone());
+    let (m, trace) = run(cfg.with_telemetry(true));
+    assert!(trace_off.is_none());
+    assert_eq!(off, m, "tracing must not perturb mitigated runs");
+    let log = trace.expect("telemetry requested");
+
+    // Hedge launches nest inside their request's span and sum to the
+    // recovery counter.
+    let mut hedges = 0usize;
+    for r in m.records() {
+        let span = log.request_span(r.request.id).expect("span exists");
+        hedges += span.hedges as usize;
+        let events = log.request_events(r.request.id);
+        for e in &events {
+            if let TraceKind::HedgeLaunched { .. } = e.kind {
+                assert!(e.at >= r.request.arrival, "hedge before arrival");
+                assert!(e.at <= r.finished_at, "hedge after finish");
+            }
+        }
+    }
+    assert!(
+        m.recovery().hedges_launched > 0,
+        "the stalled prefill must force hedges: {:?}",
+        m.recovery()
+    );
+    assert_eq!(
+        hedges,
+        m.recovery().hedges_launched,
+        "span hedges must sum to the recovery counter"
+    );
+
+    // Quarantine/readmission events reconcile with their counters, and no
+    // replica is readmitted before it was ever quarantined.
+    let mut quarantined = 0usize;
+    let mut readmitted = 0usize;
+    let mut out = std::collections::BTreeSet::new();
+    for e in log.events() {
+        match e.kind {
+            TraceKind::Quarantined { role, replica } => {
+                quarantined += 1;
+                out.insert((role, replica));
+            }
+            TraceKind::Readmitted { role, replica } => {
+                readmitted += 1;
+                assert!(
+                    out.contains(&(role, replica)),
+                    "{role} replica {replica} readmitted without quarantine"
+                );
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(quarantined, m.recovery().quarantines);
+    assert_eq!(readmitted, m.recovery().readmissions);
+    assert!(quarantined > 0, "the decode straggler must be quarantined");
+    assert!(readmitted > 0, "the healed straggler must be readmitted");
+}
+
+/// Deadline sheds terminate the request's span: the `DeadlineShed` event is
+/// the last one recorded for the request, and shed requests never produce
+/// a first token.
+#[test]
+fn deadline_shed_terminates_the_span() {
+    let (_, _, cfg) = testbed();
+    let slo = SloSpec::new(
+        SimDuration::from_millis(800),
+        SimDuration::from_millis(80),
+        SimDuration::from_secs(8),
+    );
+    let cfg = cfg.with_deadlines(slo, 1.0).with_telemetry(true);
+    let reqs = generate(&spec::coding(1.0), SimDuration::from_secs(60), 56);
+    let fault = |at_s: f64, kind| TimedFault {
+        at: SimTime::from_secs_f64(at_s),
+        kind,
+    };
+    // A pause holds arrivals past their TTFT deadline; they shed at resume.
+    let script = FaultScript::new(
+        vec![fault(
+            20.0,
+            FaultKind::Pause {
+                until: SimTime::from_secs_f64(28.0),
+            },
+        )],
+        SimDuration::ZERO,
+    );
+    let (m, trace) = run_traced(cfg, &reqs, &script);
+    let log = trace.expect("telemetry requested");
+    assert!(m.recovery().deadline_shed > 0, "{:?}", m.recovery());
+    let mut shed_seen = 0usize;
+    for e in log.events() {
+        if let TraceKind::DeadlineShed { request } = e.kind {
+            shed_seen += 1;
+            let events = log.request_events(request);
+            assert!(
+                matches!(events.last().unwrap().kind, TraceKind::DeadlineShed { .. }),
+                "shed must be the request's final event"
+            );
+            assert!(
+                !events
+                    .iter()
+                    .any(|e| matches!(e.kind, TraceKind::FirstToken { .. })),
+                "a shed request must not have produced tokens"
+            );
+        }
+    }
+    assert_eq!(shed_seen, m.recovery().deadline_shed);
+}
+
 #[test]
 fn completed_request_spans_are_monotone_and_nested() {
     let (_, _, cfg) = testbed();
