@@ -1,0 +1,95 @@
+//! Records the multi-model shared-pool numbers to `BENCH_mm.json`.
+//!
+//! Two tenants — a LLaMA-7B conversation service (60% traffic share) and a
+//! LLaMA-13B coding service (40%) — rent the same 12×A5000 pool. The
+//! partitioned baseline carves the pool by contract share and schedules each
+//! tenant alone in its slice; the shared arm runs `schedule_multi` over the
+//! whole pool. Everything is simulated time, bit-reproducible.
+//!
+//! The properties this extension exists for are asserted before the JSON is
+//! written, so CI's `--quick` run fails if a regression flattens them:
+//! share-weighted joint attainment on the shared pool must be at least the
+//! partitioned baseline's, at equal or lower $/hr, and every tenant must
+//! complete work in both arms.
+//!
+//! Usage: `cargo run --release -p ts-bench --bin bench_mm [--quick] [out.json]`
+
+use ts_bench::exps::mm;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_mm.json".to_string());
+
+    let r = mm::measure(quick);
+    for arm in [&r.partitioned, &r.shared] {
+        for t in &arm.tenants {
+            println!(
+                "{:>11}  {}  attainment {:>6.3}  completed {:>4}/{:<4}",
+                arm.name, t.model, t.attainment, t.completed, t.submitted
+            );
+            assert!(
+                t.submitted > 0,
+                "{}: {} submitted nothing",
+                arm.name,
+                t.model
+            );
+            assert!(
+                t.completed > 0,
+                "{}: {} completed nothing",
+                arm.name,
+                t.model
+            );
+        }
+        println!(
+            "{:>11}  weighted attainment {:.3}  cost ${:.2}/hr",
+            arm.name, arm.weighted_attainment, arm.cost_per_hour
+        );
+    }
+    assert!(
+        r.shared.weighted_attainment + 1e-9 >= r.partitioned.weighted_attainment,
+        "sharing the pool must not lose weighted attainment: {} < {}",
+        r.shared.weighted_attainment,
+        r.partitioned.weighted_attainment
+    );
+    assert!(
+        r.shared.cost_per_hour <= r.partitioned.cost_per_hour + 1e-9,
+        "the shared pool must not cost more: ${}/hr > ${}/hr",
+        r.shared.cost_per_hour,
+        r.partitioned.cost_per_hour
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"multi-model serving: two tenants (LLaMA-7B conversation at 60% share, LLaMA-13B coding at 40%) on one 12xA5000 pool, shared schedule_multi plan vs contract-share static partition (8+4 GPUs)\",\n");
+    json.push_str("  \"note\": \"simulated time (deterministic). attainment = joint SLO attainment under each tenant's own SLO; weighted = traffic-share-weighted across tenants; cost = hourly price of the GPUs each arm's plan(s) occupy. The 13B coding tenant starves in its 4-GPU slice while the 7B tenant strands capacity; sharing moves the stranded GPUs across the tenant boundary.\",\n");
+    json.push_str("  \"arms\": [\n");
+    let arms = [&r.partitioned, &r.shared];
+    for (i, a) in arms.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"arm\": \"{}\", \"weighted_attainment\": {:.6}, \"cost_per_hour\": {:.3}, \"tenants\": [\n",
+            a.name, a.weighted_attainment, a.cost_per_hour
+        ));
+        for (j, t) in a.tenants.iter().enumerate() {
+            json.push_str(&format!(
+                "      {{\"model\": \"{}\", \"attainment\": {:.6}, \"completed\": {}, \"submitted\": {}}}{}\n",
+                t.model,
+                t.attainment,
+                t.completed,
+                t.submitted,
+                if j + 1 == a.tenants.len() { "" } else { "," }
+            ));
+        }
+        json.push_str(&format!(
+            "    ]}}{}\n",
+            if i + 1 == arms.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, json).expect("write benchmark output");
+    println!("wrote {out}");
+}

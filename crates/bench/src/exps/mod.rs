@@ -11,6 +11,7 @@ pub mod comm_precision;
 pub mod convergence;
 pub mod failure;
 pub mod gqa;
+pub mod mm;
 pub mod net_contention;
 pub mod network;
 pub mod price;

@@ -117,6 +117,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             run: exps::comm_precision::run,
         },
         Experiment {
+            id: "mm",
+            title: "Extension: multi-model shared pool vs static partition",
+            run: exps::mm::run,
+        },
+        Experiment {
             id: "netc",
             title: "Extension: KV-transfer contention under the flow-level fabric",
             run: exps::net_contention::run,

@@ -62,6 +62,15 @@ id_type!(
     RequestId,
     u64
 );
+id_type!(
+    /// Identifies a served model within a multi-model deployment.
+    ///
+    /// `ModelId(0)` is the default identity: every pre-multi-model artifact
+    /// (plans, requests, records) deserializes to it, and single-model
+    /// deployments leave it implicit everywhere.
+    ModelId,
+    u32
+);
 
 #[cfg(test)]
 mod tests {

@@ -23,6 +23,7 @@
 //! assert_eq!(Phase::Prefill.opposite(), Phase::Decode);
 //! ```
 
+pub mod catalog;
 pub mod error;
 pub mod ids;
 pub mod model;
@@ -37,13 +38,14 @@ pub mod slo;
 pub mod stats;
 pub mod time;
 
+pub use catalog::{validate_catalog, ServedModel};
 pub use error::{Error, Result};
-pub use ids::{GpuId, GroupId, NodeId, RequestId};
+pub use ids::{GpuId, GroupId, ModelId, NodeId, RequestId};
 pub use model::{DType, ModelSpec};
 pub use par::{parallel_map, resolve_threads, with_worker_pool, ShardedCache};
 pub use parallel::ParallelConfig;
 pub use phase::Phase;
-pub use plan::{DeploymentPlan, GroupSpec, RoutingMatrix, StageSpec};
+pub use plan::{DeploymentPlan, GroupSpec, ModelRouting, RoutingMatrix, StageSpec};
 pub use request::Request;
 pub use rng::{derive_seed, seeded_rng};
 pub use slo::{SloKind, SloSpec};

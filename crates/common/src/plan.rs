@@ -10,9 +10,17 @@
 //! 4. **Orchestration** — the routing matrix dispatching request flow across
 //!    (prefill, decode) replica pairs.
 
+use crate::ids::ModelId;
 use crate::{Error, GpuId, ParallelConfig, Phase, Result};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
+
+// Referenced by `#[serde(skip_serializing_if)]`; the offline serde shim
+// ignores serde attributes, so the compiler cannot see that use.
+#[allow(dead_code)]
+fn is_default_model(m: &ModelId) -> bool {
+    *m == ModelId(0)
+}
 
 /// One pipeline stage: the tensor-parallel set of GPUs executing a contiguous
 /// slice of layers.
@@ -34,6 +42,11 @@ pub struct GroupSpec {
     /// Pipeline stages in execution order. `stages.len() == parallel.pp()`
     /// and each stage holds `parallel.tp()` GPUs.
     pub stages: Vec<StageSpec>,
+    /// The model this replica serves. [`ModelId`]`(0)` — the default — is
+    /// the single-model identity, kept implicit in serialized form so plans
+    /// written before multi-model support round-trip unchanged.
+    #[serde(default, skip_serializing_if = "is_default_model")]
+    pub model: ModelId,
 }
 
 impl GroupSpec {
@@ -73,7 +86,15 @@ impl GroupSpec {
             phase,
             parallel,
             stages,
+            model: ModelId(0),
         })
+    }
+
+    /// The same group serving `model` (builder style; `new` defaults to the
+    /// single-model identity `ModelId(0)`).
+    pub fn with_model(mut self, model: ModelId) -> Self {
+        self.model = model;
+        self
     }
 
     /// All GPUs of the group, stage by stage.
@@ -196,6 +217,22 @@ impl RoutingMatrix {
     }
 }
 
+/// Per-model orchestration inside a multi-model plan: one model's routing
+/// over *its own* (prefill, decode) groups, plus its share of the aggregate
+/// request stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelRouting {
+    /// The model this routing belongs to.
+    pub model: ModelId,
+    /// Routing over the model's own replicas: row `i` / column `j` follow
+    /// [`DeploymentPlan::prefill_indices_for`] /
+    /// [`DeploymentPlan::decode_indices_for`] for this model.
+    pub routing: RoutingMatrix,
+    /// Fraction of the aggregate request stream addressed to this model
+    /// (the tenant's traffic share); shares sum to 1 across the plan.
+    pub share: f64,
+}
+
 /// A complete deployment plan.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DeploymentPlan {
@@ -203,7 +240,18 @@ pub struct DeploymentPlan {
     pub groups: Vec<GroupSpec>,
     /// Orchestration across (prefill, decode) pairs. Row/column order follows
     /// [`DeploymentPlan::prefill_indices`] / [`DeploymentPlan::decode_indices`].
+    ///
+    /// For a multi-model plan this is the *aggregate* matrix: cell `(i, j)`
+    /// is `share_m * routing_m[i_m][j_m]` when prefill group `i` and decode
+    /// group `j` both belong to model `m`, and 0 across models — a
+    /// block-diagonal layout (up to group interleaving) that still sums to 1,
+    /// so every consumer of the aggregate view keeps working.
     pub routing: RoutingMatrix,
+    /// Per-model routing for multi-model plans. Empty — and omitted from
+    /// serialized form — for single-model plans, which therefore serialize
+    /// byte-identically to plans written before multi-model support.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub model_routing: Vec<ModelRouting>,
 }
 
 impl DeploymentPlan {
@@ -238,7 +286,187 @@ impl DeploymentPlan {
                 }
             }
         }
-        Ok(DeploymentPlan { groups, routing })
+        Ok(DeploymentPlan {
+            groups,
+            routing,
+            model_routing: Vec::new(),
+        })
+    }
+
+    /// Builds a multi-model plan from model-tagged groups and one
+    /// [`ModelRouting`] per served model. The aggregate
+    /// [`DeploymentPlan::routing`] is derived block-wise
+    /// (`share_m * routing_m`, zero across models).
+    ///
+    /// A single entry for the default model `ModelId(0)` collapses to the
+    /// legacy single-model representation (empty `model_routing`), so the
+    /// one-model case stays bit- and byte-identical to [`DeploymentPlan::new`].
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidConfig`] on GPU reuse, duplicate/unknown
+    /// models, mismatched per-model routing dimensions, or shares not
+    /// summing to 1 (±1e-6); [`Error::Infeasible`] if any model lacks a
+    /// phase.
+    pub fn new_multi(groups: Vec<GroupSpec>, per_model: Vec<ModelRouting>) -> Result<Self> {
+        if per_model.is_empty() {
+            return Err(Error::InvalidConfig("no model routing entries".into()));
+        }
+        if per_model.len() == 1 && per_model[0].model == ModelId(0) {
+            let entry = per_model.into_iter().next().expect("one entry");
+            if (entry.share - 1.0).abs() > 1e-6 {
+                return Err(Error::InvalidConfig(format!(
+                    "single-model share is {}, expected 1",
+                    entry.share
+                )));
+            }
+            return DeploymentPlan::new(groups, entry.routing);
+        }
+        let mut share_total = 0.0;
+        let mut models = BTreeSet::new();
+        for mr in &per_model {
+            if !models.insert(mr.model) {
+                return Err(Error::InvalidConfig(format!(
+                    "duplicate routing entry for {}",
+                    mr.model
+                )));
+            }
+            if !mr.share.is_finite() || mr.share < 0.0 {
+                return Err(Error::InvalidConfig(format!(
+                    "bad traffic share {} for {}",
+                    mr.share, mr.model
+                )));
+            }
+            share_total += mr.share;
+        }
+        if (share_total - 1.0).abs() > 1e-6 {
+            return Err(Error::InvalidConfig(format!(
+                "traffic shares sum to {share_total}, expected 1"
+            )));
+        }
+        for g in &groups {
+            if !models.contains(&g.model) {
+                return Err(Error::InvalidConfig(format!(
+                    "group serves {} which has no routing entry",
+                    g.model
+                )));
+            }
+        }
+        // Per-model local (prefill, decode) orders within the global group
+        // list, then the block-diagonal aggregate.
+        let phase_indices = |phase: Phase, model: ModelId| -> Vec<usize> {
+            groups
+                .iter()
+                .enumerate()
+                .filter(|(_, g)| g.phase == phase && g.model == model)
+                .map(|(i, _)| i)
+                .collect()
+        };
+        let global_prefill: Vec<usize> = groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.phase == Phase::Prefill)
+            .map(|(i, _)| i)
+            .collect();
+        let global_decode: Vec<usize> = groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.phase == Phase::Decode)
+            .map(|(i, _)| i)
+            .collect();
+        let mut rates = vec![vec![0.0f64; global_decode.len().max(1)]; global_prefill.len().max(1)];
+        for mr in &per_model {
+            let pre = phase_indices(Phase::Prefill, mr.model);
+            let dec = phase_indices(Phase::Decode, mr.model);
+            if pre.is_empty() || dec.is_empty() {
+                return Err(Error::Infeasible(format!(
+                    "{} needs both phases, got {} prefill / {} decode groups",
+                    mr.model,
+                    pre.len(),
+                    dec.len()
+                )));
+            }
+            if mr.routing.num_prefill() != pre.len() || mr.routing.num_decode() != dec.len() {
+                return Err(Error::InvalidConfig(format!(
+                    "routing for {} is {}x{}, its phases are {}x{}",
+                    mr.model,
+                    mr.routing.num_prefill(),
+                    mr.routing.num_decode(),
+                    pre.len(),
+                    dec.len()
+                )));
+            }
+            for (li, &gi) in pre.iter().enumerate() {
+                let row = global_prefill.iter().position(|&x| x == gi).expect("row");
+                for (lj, &gj) in dec.iter().enumerate() {
+                    let col = global_decode.iter().position(|&x| x == gj).expect("col");
+                    rates[row][col] = mr.share * mr.routing.rate(li, lj);
+                }
+            }
+        }
+        let routing = RoutingMatrix::new(rates)?;
+        let mut plan = DeploymentPlan::new(groups, routing)?;
+        plan.model_routing = per_model;
+        Ok(plan)
+    }
+
+    /// Whether this plan serves more than the single default model.
+    pub fn is_multi_model(&self) -> bool {
+        !self.model_routing.is_empty()
+    }
+
+    /// The served models: entries of `model_routing`, or the single-model
+    /// identity `[ModelId(0)]` for a legacy plan.
+    pub fn models(&self) -> Vec<ModelId> {
+        if self.model_routing.is_empty() {
+            vec![ModelId(0)]
+        } else {
+            self.model_routing.iter().map(|mr| mr.model).collect()
+        }
+    }
+
+    /// The routing of `model` over its own groups: its `model_routing` entry,
+    /// or the aggregate matrix for `ModelId(0)` on a legacy plan.
+    pub fn routing_for(&self, model: ModelId) -> Option<&RoutingMatrix> {
+        if self.model_routing.is_empty() {
+            return (model == ModelId(0)).then_some(&self.routing);
+        }
+        self.model_routing
+            .iter()
+            .find(|mr| mr.model == model)
+            .map(|mr| &mr.routing)
+    }
+
+    /// `model`'s share of the aggregate request stream (1 for the single
+    /// model of a legacy plan, 0 for models the plan does not serve).
+    pub fn share_for(&self, model: ModelId) -> f64 {
+        if self.model_routing.is_empty() {
+            return if model == ModelId(0) { 1.0 } else { 0.0 };
+        }
+        self.model_routing
+            .iter()
+            .find(|mr| mr.model == model)
+            .map_or(0.0, |mr| mr.share)
+    }
+
+    /// Indices (into `groups`) of `model`'s prefill replicas, in the row
+    /// order of [`DeploymentPlan::routing_for`]`(model)`.
+    pub fn prefill_indices_for(&self, model: ModelId) -> Vec<usize> {
+        self.indices_of_model(Phase::Prefill, model)
+    }
+
+    /// Indices (into `groups`) of `model`'s decode replicas, in the column
+    /// order of [`DeploymentPlan::routing_for`]`(model)`.
+    pub fn decode_indices_for(&self, model: ModelId) -> Vec<usize> {
+        self.indices_of_model(Phase::Decode, model)
+    }
+
+    fn indices_of_model(&self, phase: Phase, model: ModelId) -> Vec<usize> {
+        self.groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.phase == phase && g.model == model)
+            .map(|(i, _)| i)
+            .collect()
     }
 
     /// Indices (into `groups`) of the prefill replicas, in routing-row order.
@@ -359,6 +587,111 @@ mod tests {
         ];
         let err = DeploymentPlan::new(groups, RoutingMatrix::uniform(1, 1));
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn multi_model_plan_builds_block_diagonal_aggregate() {
+        let groups = vec![
+            group(Phase::Prefill, 1, 1, 0, 32).with_model(ModelId(1)),
+            group(Phase::Decode, 1, 1, 1, 32).with_model(ModelId(1)),
+            group(Phase::Prefill, 1, 1, 2, 48).with_model(ModelId(2)),
+            group(Phase::Decode, 1, 1, 3, 48).with_model(ModelId(2)),
+            group(Phase::Decode, 1, 1, 4, 48).with_model(ModelId(2)),
+        ];
+        let per_model = vec![
+            ModelRouting {
+                model: ModelId(1),
+                routing: RoutingMatrix::uniform(1, 1),
+                share: 0.25,
+            },
+            ModelRouting {
+                model: ModelId(2),
+                routing: RoutingMatrix::new(vec![vec![0.5, 0.5]]).unwrap(),
+                share: 0.75,
+            },
+        ];
+        let plan = DeploymentPlan::new_multi(groups, per_model).unwrap();
+        assert!(plan.is_multi_model());
+        assert_eq!(plan.models(), vec![ModelId(1), ModelId(2)]);
+        assert_eq!(plan.prefill_indices_for(ModelId(1)), vec![0]);
+        assert_eq!(plan.decode_indices_for(ModelId(2)), vec![3, 4]);
+        // aggregate: rows = prefill groups [0, 2], cols = decode groups [1, 3, 4]
+        assert!((plan.routing.rate(0, 0) - 0.25).abs() < 1e-12);
+        assert_eq!(plan.routing.rate(0, 1), 0.0); // cross-model cell
+        assert!((plan.routing.rate(1, 1) - 0.375).abs() < 1e-12);
+        assert!((plan.routing.rate(1, 2) - 0.375).abs() < 1e-12);
+        assert!((plan.share_for(ModelId(2)) - 0.75).abs() < 1e-12);
+        assert_eq!(plan.share_for(ModelId(9)), 0.0);
+        assert_eq!(
+            plan.routing_for(ModelId(2)).unwrap().rate(0, 0),
+            0.5,
+            "per-model routing is over the model's own groups"
+        );
+    }
+
+    #[test]
+    fn single_default_model_collapses_to_legacy_plan() {
+        let groups = vec![
+            group(Phase::Prefill, 1, 1, 0, 32),
+            group(Phase::Decode, 1, 1, 1, 32),
+        ];
+        let plan = DeploymentPlan::new_multi(
+            groups.clone(),
+            vec![ModelRouting {
+                model: ModelId(0),
+                routing: RoutingMatrix::uniform(1, 1),
+                share: 1.0,
+            }],
+        )
+        .unwrap();
+        let legacy = DeploymentPlan::new(groups, RoutingMatrix::uniform(1, 1)).unwrap();
+        assert_eq!(plan, legacy);
+        assert!(!plan.is_multi_model());
+        assert_eq!(plan.models(), vec![ModelId(0)]);
+        assert_eq!(plan.routing_for(ModelId(0)).unwrap(), &plan.routing);
+        assert_eq!(plan.share_for(ModelId(0)), 1.0);
+    }
+
+    #[test]
+    fn multi_model_plan_requires_both_phases_per_model() {
+        let groups = vec![
+            group(Phase::Prefill, 1, 1, 0, 32).with_model(ModelId(1)),
+            group(Phase::Decode, 1, 1, 1, 32).with_model(ModelId(1)),
+            group(Phase::Prefill, 1, 1, 2, 48).with_model(ModelId(2)),
+        ];
+        let mk = |m: u32, p: usize, d: usize, share| ModelRouting {
+            model: ModelId(m),
+            routing: RoutingMatrix::uniform(p.max(1), d.max(1)),
+            share,
+        };
+        let err = DeploymentPlan::new_multi(groups, vec![mk(1, 1, 1, 0.5), mk(2, 1, 1, 0.5)]);
+        assert!(matches!(err, Err(Error::Infeasible(_))));
+    }
+
+    #[test]
+    fn multi_model_plan_validates_shares() {
+        let groups = vec![
+            group(Phase::Prefill, 1, 1, 0, 32).with_model(ModelId(1)),
+            group(Phase::Decode, 1, 1, 1, 32).with_model(ModelId(1)),
+            group(Phase::Prefill, 1, 1, 2, 48).with_model(ModelId(2)),
+            group(Phase::Decode, 1, 1, 3, 48).with_model(ModelId(2)),
+        ];
+        let mk = |share_a: f64, share_b: f64| {
+            vec![
+                ModelRouting {
+                    model: ModelId(1),
+                    routing: RoutingMatrix::uniform(1, 1),
+                    share: share_a,
+                },
+                ModelRouting {
+                    model: ModelId(2),
+                    routing: RoutingMatrix::uniform(1, 1),
+                    share: share_b,
+                },
+            ]
+        };
+        assert!(DeploymentPlan::new_multi(groups.clone(), mk(0.6, 0.6)).is_err());
+        assert!(DeploymentPlan::new_multi(groups, mk(0.6, 0.4)).is_ok());
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //! 1
 //! ```
 
+use crate::ids::ModelId;
+use crate::plan::ModelRouting;
 use crate::{
     DeploymentPlan, Error, GpuId, GroupSpec, ParallelConfig, Phase, Result, RoutingMatrix,
     StageSpec,
@@ -25,18 +27,27 @@ use std::fmt::Write as _;
 pub const HEADER: &str = "thunderserve-plan v1";
 
 /// Renders a plan to the text format.
+///
+/// Single-model plans render exactly as before multi-model support: the
+/// `model=<id>` group token and the trailing per-model `model … routing`
+/// sections only appear on multi-model plans, so legacy plans stay
+/// byte-stable and legacy files parse unchanged.
 pub fn to_text(plan: &DeploymentPlan) -> String {
     let mut out = String::new();
     out.push_str(HEADER);
     out.push('\n');
     for g in &plan.groups {
-        let _ = writeln!(
+        let _ = write!(
             out,
             "group {} tp={} pp={}",
             g.phase,
             g.parallel.tp(),
             g.parallel.pp()
         );
+        if g.model != ModelId(0) {
+            let _ = write!(out, " model={}", g.model.0);
+        }
+        out.push('\n');
         for st in &g.stages {
             let gpus = st
                 .gpus
@@ -47,8 +58,16 @@ pub fn to_text(plan: &DeploymentPlan) -> String {
             let _ = writeln!(out, "stage layers={} gpus={}", st.layers, gpus);
         }
     }
-    let r = &plan.routing;
-    let _ = writeln!(out, "routing {}x{}", r.num_prefill(), r.num_decode());
+    write_matrix(&mut out, "routing", &plan.routing);
+    for mr in &plan.model_routing {
+        let header = format!("model {} share={:.12} routing", mr.model.0, mr.share);
+        write_matrix(&mut out, &header, &mr.routing);
+    }
+    out
+}
+
+fn write_matrix(out: &mut String, header: &str, r: &RoutingMatrix) {
+    let _ = writeln!(out, "{header} {}x{}", r.num_prefill(), r.num_decode());
     for i in 0..r.num_prefill() {
         let row = (0..r.num_decode())
             .map(|j| format!("{:.12}", r.rate(i, j)))
@@ -57,7 +76,6 @@ pub fn to_text(plan: &DeploymentPlan) -> String {
         out.push_str(&row);
         out.push('\n');
     }
-    out
 }
 
 /// Parses a plan from the text format.
@@ -74,14 +92,20 @@ pub fn from_text(text: &str) -> Result<DeploymentPlan> {
     }
 
     let mut groups: Vec<GroupSpec> = Vec::new();
-    let mut current: Option<(Phase, usize, usize, Vec<StageSpec>)> = None;
+    let mut current: Option<(Phase, usize, usize, ModelId, Vec<StageSpec>)> = None;
     let mut routing: Option<RoutingMatrix> = None;
+    // (model, share) whose matrix rows are currently being collected, and
+    // finished per-model entries.
+    let mut pending_model: Option<(ModelId, f64)> = None;
+    let mut model_routing: Vec<ModelRouting> = Vec::new();
 
-    let finish_group = |g: Option<(Phase, usize, usize, Vec<StageSpec>)>,
+    let finish_group = |g: Option<(Phase, usize, usize, ModelId, Vec<StageSpec>)>,
                         groups: &mut Vec<GroupSpec>|
      -> Result<()> {
-        if let Some((phase, tp, pp, stages)) = g {
-            groups.push(GroupSpec::new(phase, ParallelConfig::new(tp, pp)?, stages)?);
+        if let Some((phase, tp, pp, model, stages)) = g {
+            groups.push(
+                GroupSpec::new(phase, ParallelConfig::new(tp, pp)?, stages)?.with_model(model),
+            );
         }
         Ok(())
     };
@@ -105,7 +129,15 @@ pub fn from_text(text: &str) -> Result<DeploymentPlan> {
             rows.push(row);
             rows_needed -= 1;
             if rows_needed == 0 {
-                routing = Some(RoutingMatrix::new(std::mem::take(&mut rows))?);
+                let matrix = RoutingMatrix::new(std::mem::take(&mut rows))?;
+                match pending_model.take() {
+                    Some((model, share)) => model_routing.push(ModelRouting {
+                        model,
+                        routing: matrix,
+                        share,
+                    }),
+                    None => routing = Some(matrix),
+                }
             }
             continue;
         }
@@ -120,10 +152,20 @@ pub fn from_text(text: &str) -> Result<DeploymentPlan> {
                 };
                 let tp = parse_kv(parts.next(), "tp").map_err(bad)?;
                 let pp = parse_kv(parts.next(), "pp").map_err(bad)?;
-                current = Some((phase, tp, pp, Vec::new()));
+                // Optional model tag; absent on (and before) single-model
+                // plans, where the default identity ModelId(0) applies.
+                let model = match parts.next() {
+                    Some(tok) => ModelId(
+                        tok.strip_prefix("model=")
+                            .and_then(|v| v.parse().ok())
+                            .ok_or_else(|| bad(format!("expected model=<n>, got {tok:?}")))?,
+                    ),
+                    None => ModelId(0),
+                };
+                current = Some((phase, tp, pp, model, Vec::new()));
             }
             Some("stage") => {
-                let (_, _, _, stages) = current
+                let (_, _, _, _, stages) = current
                     .as_mut()
                     .ok_or_else(|| bad("stage before any group".into()))?;
                 let layers = parse_kv(parts.next(), "layers").map_err(bad)?;
@@ -143,17 +185,29 @@ pub fn from_text(text: &str) -> Result<DeploymentPlan> {
             }
             Some("routing") => {
                 finish_group(current.take(), &mut groups)?;
-                let dims = parts
-                    .next()
-                    .ok_or_else(|| bad("routing missing dims".into()))?;
-                let (m, n) = dims
-                    .split_once('x')
-                    .ok_or_else(|| bad(format!("bad routing dims {dims:?}")))?;
-                rows_needed = m.parse().map_err(|_| bad(format!("bad rows {m:?}")))?;
-                cols = n.parse().map_err(|_| bad(format!("bad cols {n:?}")))?;
-                if rows_needed == 0 || cols == 0 {
-                    return Err(bad("routing dims must be positive".into()));
+                if routing.is_some() {
+                    return Err(bad("duplicate aggregate routing section".into()));
                 }
+                (rows_needed, cols) = parse_dims(parts.next()).map_err(bad)?;
+            }
+            Some("model") => {
+                if routing.is_none() {
+                    return Err(bad("model routing before aggregate routing".into()));
+                }
+                let id: u32 = parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad("model missing id".into()))?;
+                let share: f64 = parts
+                    .next()
+                    .and_then(|t| t.strip_prefix("share="))
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad("model missing share=".into()))?;
+                if parts.next() != Some("routing") {
+                    return Err(bad("model line missing routing section".into()));
+                }
+                pending_model = Some((ModelId(id), share));
+                (rows_needed, cols) = parse_dims(parts.next()).map_err(bad)?;
             }
             other => return Err(bad(format!("unexpected token {other:?}"))),
         }
@@ -162,7 +216,34 @@ pub fn from_text(text: &str) -> Result<DeploymentPlan> {
         return Err(bad("truncated routing matrix".into()));
     }
     let routing = routing.ok_or_else(|| bad("missing routing section".into()))?;
-    DeploymentPlan::new(groups, routing)
+    let mut plan = DeploymentPlan::new(groups, routing)?;
+    for mr in &model_routing {
+        let pre = plan.prefill_indices_for(mr.model).len();
+        let dec = plan.decode_indices_for(mr.model).len();
+        if mr.routing.num_prefill() != pre || mr.routing.num_decode() != dec {
+            return Err(bad(format!(
+                "routing for {} is {}x{}, its phases are {pre}x{dec}",
+                mr.model,
+                mr.routing.num_prefill(),
+                mr.routing.num_decode()
+            )));
+        }
+    }
+    plan.model_routing = model_routing;
+    Ok(plan)
+}
+
+fn parse_dims(token: Option<&str>) -> std::result::Result<(usize, usize), String> {
+    let dims = token.ok_or("routing missing dims")?;
+    let (m, n) = dims
+        .split_once('x')
+        .ok_or_else(|| format!("bad routing dims {dims:?}"))?;
+    let rows: usize = m.parse().map_err(|_| format!("bad rows {m:?}"))?;
+    let cols: usize = n.parse().map_err(|_| format!("bad cols {n:?}"))?;
+    if rows == 0 || cols == 0 {
+        return Err("routing dims must be positive".into());
+    }
+    Ok((rows, cols))
 }
 
 fn parse_kv(token: Option<&str>, key: &str) -> std::result::Result<usize, String> {
@@ -255,5 +336,99 @@ mod tests {
         assert!(text.contains("group prefill tp=2 pp=2"));
         assert!(text.contains("stage layers=25 gpus=0,1"));
         assert!(text.contains("routing 1x1"));
+    }
+
+    /// A plan file written before multi-model support (no `model=` tokens,
+    /// no per-model sections) must parse with every group on the default
+    /// `ModelId(0)` — and single-model plans must keep writing that exact
+    /// shape.
+    #[test]
+    fn legacy_fixture_parses_to_default_model() {
+        let fixture = "thunderserve-plan v1\n\
+            group prefill tp=2 pp=2\n\
+            stage layers=25 gpus=0,1\n\
+            stage layers=15 gpus=2,3\n\
+            group decode tp=4 pp=1\n\
+            stage layers=40 gpus=4,5,6,7\n\
+            routing 1x1\n\
+            1.000000000000\n";
+        let plan = from_text(fixture).unwrap();
+        assert!(!plan.is_multi_model());
+        assert!(plan.groups.iter().all(|g| g.model == ModelId(0)));
+        assert_eq!(plan.models(), vec![ModelId(0)]);
+        // The legacy byte shape is also what we still write for this plan.
+        assert_eq!(to_text(&plan), fixture);
+    }
+
+    fn multi_plan() -> DeploymentPlan {
+        let stage = |id: u32| StageSpec {
+            gpus: vec![GpuId(id)],
+            layers: 40,
+        };
+        let g = |phase, id, model| {
+            GroupSpec::new(phase, ParallelConfig::SINGLE, vec![stage(id)])
+                .unwrap()
+                .with_model(ModelId(model))
+        };
+        DeploymentPlan::new_multi(
+            vec![
+                g(Phase::Prefill, 0, 1),
+                g(Phase::Decode, 1, 1),
+                g(Phase::Prefill, 2, 2),
+                g(Phase::Decode, 3, 2),
+                g(Phase::Decode, 4, 2),
+            ],
+            vec![
+                ModelRouting {
+                    model: ModelId(1),
+                    routing: RoutingMatrix::uniform(1, 1),
+                    share: 0.25,
+                },
+                ModelRouting {
+                    model: ModelId(2),
+                    routing: RoutingMatrix::new(vec![vec![0.125, 0.875]]).unwrap(),
+                    share: 0.75,
+                },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn multi_model_plan_round_trips() {
+        let plan = multi_plan();
+        let text = to_text(&plan);
+        assert!(text.contains("group prefill tp=1 pp=1 model=1"));
+        assert!(text.contains("model 2 share=0.750000000000 routing 1x2"));
+        let back = from_text(&text).unwrap();
+        assert_eq!(plan.groups, back.groups);
+        assert_eq!(plan.model_routing.len(), back.model_routing.len());
+        for (a, b) in plan.model_routing.iter().zip(&back.model_routing) {
+            assert_eq!(a.model, b.model);
+            assert!((a.share - b.share).abs() < 1e-9);
+            for i in 0..a.routing.num_prefill() {
+                for j in 0..a.routing.num_decode() {
+                    assert!((a.routing.rate(i, j) - b.routing.rate(i, j)).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_model_sections() {
+        let good = to_text(&multi_plan());
+        // bad model token on a group line
+        assert!(from_text(&good.replace("model=1", "model=x")).is_err());
+        // per-model section with wrong dimensions
+        assert!(from_text(&good.replace(
+            "share=0.750000000000 routing 1x2",
+            "share=0.750000000000 routing 2x2\n0.5 0.5"
+        ))
+        .is_err());
+        // per-model section before the aggregate routing
+        assert!(from_text(&format!(
+            "{HEADER}\ngroup prefill tp=1 pp=1\nstage layers=1 gpus=0\nmodel 1 share=1.0 routing 1x1\n1\n"
+        ))
+        .is_err());
     }
 }

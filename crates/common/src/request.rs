@@ -1,7 +1,15 @@
 //! Inference requests.
 
+use crate::ids::ModelId;
 use crate::{RequestId, SimTime};
 use serde::{Deserialize, Serialize};
+
+// Referenced by `#[serde(skip_serializing_if)]`; the offline serde shim
+// ignores serde attributes, so the compiler cannot see that use.
+#[allow(dead_code)]
+fn is_default_model(m: &ModelId) -> bool {
+    *m == ModelId(0)
+}
 
 /// A single serving request: a prompt of `prompt_len` tokens arriving at
 /// `arrival`, for which `output_len` tokens must be generated.
@@ -26,6 +34,12 @@ pub struct Request {
     /// Number of tokens to generate. Always at least 1 (the first token is
     /// produced by prefill; subsequent ones by decode).
     pub output_len: u32,
+    /// The model this request is addressed to. Defaults to [`ModelId`]`(0)`
+    /// (the single-model identity) so requests serialized before multi-model
+    /// support deserialize unchanged, and single-model requests serialize
+    /// byte-identically to before.
+    #[serde(default, skip_serializing_if = "is_default_model")]
+    pub model: ModelId,
 }
 
 impl Request {
@@ -36,7 +50,14 @@ impl Request {
             arrival,
             prompt_len: prompt_len.max(1),
             output_len: output_len.max(1),
+            model: ModelId(0),
         }
+    }
+
+    /// The same request addressed to `model` (builder style).
+    pub fn with_model(mut self, model: ModelId) -> Self {
+        self.model = model;
+        self
     }
 
     /// Prompt plus generated tokens.

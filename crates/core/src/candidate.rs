@@ -10,7 +10,7 @@ use rand::Rng;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use ts_cluster::Cluster;
-use ts_common::{GpuId, Phase};
+use ts_common::{GpuId, ModelId, Phase};
 
 /// One serving group of a candidate solution.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -19,18 +19,35 @@ pub struct CandidateGroup {
     pub gpus: Vec<GpuId>,
     /// Designated phase.
     pub phase: Phase,
+    /// The served model this group is assigned to (`ModelId(0)` — the
+    /// default — in single-model searches).
+    pub model: ModelId,
 }
 
 impl CandidateGroup {
-    /// Creates a group, sorting its GPUs.
+    /// Creates a group, sorting its GPUs. The group serves the default
+    /// model; multi-model searches tag it with
+    /// [`CandidateGroup::with_model`].
     pub fn new(mut gpus: Vec<GpuId>, phase: Phase) -> Self {
         gpus.sort_unstable();
-        CandidateGroup { gpus, phase }
+        CandidateGroup {
+            gpus,
+            phase,
+            model: ModelId(0),
+        }
     }
 
-    /// Canonical `u64` identity of `(gpus, phase)`, used as the key of the
-    /// scheduler's parallel-configuration cache (avoids cloning the GPU list
-    /// into the map on every lookup).
+    /// The same group assigned to `model` (builder style).
+    pub fn with_model(mut self, model: ModelId) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Canonical `u64` identity of `(gpus, phase, model)`, used as the key
+    /// of the scheduler's parallel-configuration cache (avoids cloning the
+    /// GPU list into the map on every lookup). The model participates
+    /// because the cached parallel configuration is deduced from the model's
+    /// weights and layer count.
     pub fn group_hash(&self) -> u64 {
         let mut h = DefaultHasher::new();
         self.hash(&mut h);
@@ -72,12 +89,29 @@ impl Candidate {
         p > 0 && d > 0
     }
 
+    /// Whether *every* listed model has both phases among its own groups —
+    /// the multi-model feasibility gate (a tenant without a prefill or
+    /// decode replica cannot serve at all).
+    pub fn has_both_phases_for(&self, models: &[ModelId]) -> bool {
+        models.iter().all(|&m| {
+            let p = self
+                .groups
+                .iter()
+                .any(|g| g.model == m && g.phase == Phase::Prefill);
+            let d = self
+                .groups
+                .iter()
+                .any(|g| g.model == m && g.phase == Phase::Decode);
+            p && d
+        })
+    }
+
     /// Canonical hash (order-independent) for the tabu list.
     pub fn canonical_hash(&self) -> u64 {
-        let mut keys: Vec<(Vec<GpuId>, Phase)> = self
+        let mut keys: Vec<(Vec<GpuId>, Phase, ModelId)> = self
             .groups
             .iter()
-            .map(|g| (g.gpus.clone(), g.phase))
+            .map(|g| (g.gpus.clone(), g.phase, g.model))
             .collect();
         keys.sort();
         let mut h = DefaultHasher::new();
@@ -122,28 +156,46 @@ impl Candidate {
             return None;
         }
         let (a, b) = ordered.split_at(cut);
+        let model = g.model;
         let mut c = self.clone();
-        c.groups[idx] = CandidateGroup::new(a.to_vec(), random_phase(rng));
+        c.groups[idx] = CandidateGroup::new(a.to_vec(), random_phase(rng)).with_model(model);
         c.groups
-            .push(CandidateGroup::new(b.to_vec(), random_phase(rng)));
+            .push(CandidateGroup::new(b.to_vec(), random_phase(rng)).with_model(model));
         Some(c)
     }
 
     /// Merges groups `a` and `b` (the "merging two groups into one" move).
-    /// Returns `None` if `a == b`.
+    /// Returns `None` if `a == b` or the groups serve different models (a
+    /// merged replica can only load one model's weights).
     ///
     /// # Panics
     /// Panics if either index is out of bounds.
     pub fn merge<R: Rng>(&self, a: usize, b: usize, rng: &mut R) -> Option<Candidate> {
-        if a == b {
+        if a == b || self.groups[a].model != self.groups[b].model {
             return None;
         }
         let mut c = self.clone();
         let (lo, hi) = (a.min(b), a.max(b));
+        let model = c.groups[lo].model;
         let removed = c.groups.remove(hi);
         let mut gpus = c.groups[lo].gpus.clone();
         gpus.extend(removed.gpus);
-        c.groups[lo] = CandidateGroup::new(gpus, random_phase(rng));
+        c.groups[lo] = CandidateGroup::new(gpus, random_phase(rng)).with_model(model);
+        Some(c)
+    }
+
+    /// Reassigns group `idx` to serve `model` (the multi-model
+    /// "reassign-model" move: shifts a whole replica's capacity to another
+    /// tenant). Returns `None` if the group already serves `model`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of bounds.
+    pub fn reassign_model(&self, idx: usize, model: ModelId) -> Option<Candidate> {
+        if self.groups[idx].model == model {
+            return None;
+        }
+        let mut c = self.clone();
+        c.groups[idx].model = model;
         Some(c)
     }
 
@@ -186,10 +238,12 @@ impl Candidate {
                 .filter(|id| !moved.contains(id))
                 .collect(),
             g.phase,
-        );
+        )
+        .with_model(g.model);
         let mut to_gpus = c.groups[to].gpus.clone();
         to_gpus.extend(moved);
-        c.groups[to] = CandidateGroup::new(to_gpus, c.groups[to].phase);
+        c.groups[to] =
+            CandidateGroup::new(to_gpus, c.groups[to].phase).with_model(c.groups[to].model);
         Some(c)
     }
 
@@ -319,5 +373,51 @@ mod tests {
     fn phase_counts() {
         assert_eq!(base().phase_counts(), (1, 1));
         assert!(base().has_both_phases());
+    }
+
+    #[test]
+    fn reassign_model_moves_a_replica_between_tenants() {
+        let c = Candidate::new(vec![
+            CandidateGroup::new(ids(&[0, 1]), Phase::Prefill).with_model(ModelId(1)),
+            CandidateGroup::new(ids(&[2, 3]), Phase::Decode).with_model(ModelId(1)),
+            CandidateGroup::new(ids(&[4, 5]), Phase::Prefill).with_model(ModelId(2)),
+            CandidateGroup::new(ids(&[6, 7]), Phase::Decode).with_model(ModelId(2)),
+        ]);
+        let both = [ModelId(1), ModelId(2)];
+        assert!(c.has_both_phases_for(&both));
+        let moved = c.reassign_model(3, ModelId(1)).unwrap();
+        assert!(!moved.has_both_phases_for(&both), "model 2 lost its decode");
+        assert!(moved.is_partition_of(&ids(&[0, 1, 2, 3, 4, 5, 6, 7])));
+        assert_ne!(moved.canonical_hash(), c.canonical_hash());
+        assert!(c.reassign_model(3, ModelId(2)).is_none(), "no-op reassign");
+    }
+
+    #[test]
+    fn merge_refuses_cross_model_groups() {
+        let mut rng = seeded_rng(5);
+        let c = Candidate::new(vec![
+            CandidateGroup::new(ids(&[0, 1]), Phase::Prefill).with_model(ModelId(1)),
+            CandidateGroup::new(ids(&[2, 3]), Phase::Decode).with_model(ModelId(2)),
+        ]);
+        assert!(c.merge(0, 1, &mut rng).is_none());
+    }
+
+    #[test]
+    fn split_and_moves_preserve_model_tags() {
+        let cl = cluster();
+        let mut rng = seeded_rng(6);
+        let c = Candidate::new(vec![
+            CandidateGroup::new(ids(&[0, 1, 2, 3]), Phase::Prefill).with_model(ModelId(7)),
+            CandidateGroup::new(ids(&[4, 5, 6, 7]), Phase::Decode).with_model(ModelId(8)),
+        ]);
+        let s = c.split(&cl, 0, 0.5, &mut rng).unwrap();
+        assert!(s.groups[0].model == ModelId(7) && s.groups[2].model == ModelId(7));
+        let m = c.move_gpus(&cl, 0, 1, &mut rng).unwrap();
+        assert_eq!(m.groups[0].model, ModelId(7));
+        assert_eq!(m.groups[1].model, ModelId(8));
+        // group_hash distinguishes models on identical (gpus, phase)
+        let a = CandidateGroup::new(ids(&[0, 1]), Phase::Prefill).with_model(ModelId(1));
+        let b = CandidateGroup::new(ids(&[0, 1]), Phase::Prefill).with_model(ModelId(2));
+        assert_ne!(a.group_hash(), b.group_hash());
     }
 }

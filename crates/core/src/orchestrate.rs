@@ -39,6 +39,30 @@ pub fn orchestrate(
     slo: &SloSpec,
     cfg: &SchedulerConfig,
 ) -> Result<OrchestratedPlan> {
+    orchestrate_with_link_share(cluster, model, groups, workload, slo, cfg, 1.0)
+}
+
+/// [`orchestrate`] with a fractional claim on sender uplinks.
+///
+/// In multi-model serving the transportation problem is solved once per model
+/// over that model's own groups, but the node uplinks carrying KV transfers
+/// are shared by every co-scheduled model. `link_share` scales the tiered
+/// link-headroom budgets so each model only claims its fair fraction of the
+/// shared fabric (its traffic share). `link_share == 1.0` reproduces the
+/// single-model behaviour exactly (the budgets are multiplied by 1.0, an
+/// identity in IEEE-754).
+///
+/// # Errors
+/// Same as [`orchestrate`].
+pub fn orchestrate_with_link_share(
+    cluster: &Cluster,
+    model: &ModelSpec,
+    groups: Vec<GroupSpec>,
+    workload: &WorkloadSpec,
+    slo: &SloSpec,
+    cfg: &SchedulerConfig,
+    link_share: f64,
+) -> Result<OrchestratedPlan> {
     let prefill_idx: Vec<usize> = groups
         .iter()
         .enumerate()
@@ -83,7 +107,9 @@ pub fn orchestrate(
             &est.row_cap,
             &est.col_cap,
             headroom.map(|_| est.kv_seconds.as_slice()),
-            headroom.map(|h| h / workload.rate).unwrap_or(0.0),
+            headroom
+                .map(|h| h * link_share / workload.rate)
+                .unwrap_or(0.0),
         )?;
         let full = cand.mass >= 0.999;
         orch = Some(cand);
@@ -303,6 +329,46 @@ mod tests {
         let o = orchestrate(&cluster, &model, vec![g1, g2], &w, &slo(), &cfg).unwrap();
         assert!(o.score > 0.0 && o.score <= 1.0, "score {}", o.score);
         assert_eq!(o.plan.phase_ratio(), (1, 1));
+    }
+
+    #[test]
+    fn full_link_share_is_the_identity() {
+        let cluster = presets::network_case_cluster(presets::ETH_40GBPS);
+        let model = ModelSpec::llama_13b();
+        let cfg = SchedulerConfig::default();
+        let w = spec::coding(1.0);
+        let g1 = deduce_parallel_config(
+            &cluster,
+            &model,
+            &ids(&[0, 1, 2, 3]),
+            Phase::Prefill,
+            &w,
+            &cfg,
+        )
+        .unwrap();
+        let g2 = deduce_parallel_config(
+            &cluster,
+            &model,
+            &ids(&[4, 5, 6, 7]),
+            Phase::Decode,
+            &w,
+            &cfg,
+        )
+        .unwrap();
+        let base = orchestrate(
+            &cluster,
+            &model,
+            vec![g1.clone(), g2.clone()],
+            &w,
+            &slo(),
+            &cfg,
+        )
+        .unwrap();
+        let shared =
+            orchestrate_with_link_share(&cluster, &model, vec![g1, g2], &w, &slo(), &cfg, 1.0)
+                .unwrap();
+        assert_eq!(base.plan, shared.plan);
+        assert_eq!(base.score, shared.score);
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! The top-level scheduler facade.
 
 use crate::config::SchedulerConfig;
-use crate::tabu::{TabuSearch, TracePoint};
+use crate::orchestrate::sim_config;
+use crate::tabu::{MultiTabuSearch, TabuSearch, TracePoint};
 use ts_cluster::Cluster;
-use ts_common::{DeploymentPlan, ModelSpec, Result, SloSpec};
+use ts_common::{DeploymentPlan, Error, ModelId, ModelSpec, Result, ServedModel, SloSpec};
+use ts_sim::estimate::estimate_attainment;
 use ts_workload::WorkloadSpec;
 
 /// Output of a full scheduling run.
@@ -28,6 +30,28 @@ pub struct ScheduleResult {
     pub search_trace: Option<ts_telemetry::SearchTrace>,
     /// Wall-clock scheduling time in seconds.
     pub elapsed: f64,
+}
+
+/// Per-model attainment estimate inside a multi-model schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelEstimate {
+    /// The served model.
+    pub model: ModelId,
+    /// Estimated joint SLO attainment for this model's traffic, under its
+    /// own [`ts_common::SloSpec`].
+    pub estimated_attainment: f64,
+}
+
+/// Output of a multi-model scheduling run: the shared-pool plan plus the
+/// per-tenant attainment estimates behind its weighted objective.
+#[derive(Debug, Clone)]
+pub struct MultiScheduleResult {
+    /// The shared scheduling output (plan, trajectory, counters). For a
+    /// one-entry default-model catalog this is byte-identical to what
+    /// [`Scheduler::schedule`] returns.
+    pub schedule: ScheduleResult,
+    /// One estimate per catalog entry, in catalog order.
+    pub per_model: Vec<ModelEstimate>,
 }
 
 /// The ThunderServe scheduler: wraps the two-level optimization behind a
@@ -80,6 +104,89 @@ impl Scheduler {
             elapsed: start.elapsed().as_secs_f64(),
         })
     }
+
+    /// Produces one deployment plan serving every model in `models` on the
+    /// same shared GPU pool. `workloads[i]` is the arrival process of
+    /// `models[i]`.
+    ///
+    /// A one-entry catalog with the default [`ModelId`]`(0)` delegates to
+    /// [`Scheduler::schedule`] — the single-model path is the exact special
+    /// case, plan and counters byte-identical. Otherwise the multi-tenant
+    /// tabu search runs: the upper level also decides which model each group
+    /// serves, and the lower level solves one transportation problem per
+    /// model with traffic-share claims on the shared uplinks.
+    ///
+    /// # Errors
+    /// Returns [`ts_common::Error::InvalidConfig`] on a malformed catalog
+    /// (empty, duplicate ids, shares not summing to 1, length mismatch with
+    /// `workloads`) and [`ts_common::Error::Infeasible`] when the pool
+    /// cannot host two replicas of every model.
+    pub fn schedule_multi(
+        &self,
+        cluster: &Cluster,
+        models: &[ServedModel],
+        workloads: &[WorkloadSpec],
+    ) -> Result<MultiScheduleResult> {
+        if models.len() == 1 && models[0].id == ModelId(0) {
+            if workloads.len() != 1 {
+                return Err(Error::InvalidConfig(format!(
+                    "catalog has 1 model but {} workloads were given",
+                    workloads.len()
+                )));
+            }
+            let m = &models[0];
+            let schedule = self.schedule(cluster, &m.spec, &workloads[0], &m.slo)?;
+            let per_model = vec![ModelEstimate {
+                model: m.id,
+                estimated_attainment: schedule.estimated_attainment,
+            }];
+            return Ok(MultiScheduleResult {
+                schedule,
+                per_model,
+            });
+        }
+
+        let start = std::time::Instant::now();
+        let search = MultiTabuSearch::new(cluster, models, workloads, &self.cfg);
+        let result = search.search()?;
+        let plan = result.best.plan;
+        // Per-tenant estimates: each model's slice of the shared plan is a
+        // self-contained single-model plan (its groups, its routing), priced
+        // under its own spec, workload and SLO.
+        let mut per_model = Vec::with_capacity(models.len());
+        for (m, w) in models.iter().zip(workloads) {
+            let mut idxs = plan.prefill_indices_for(m.id);
+            idxs.extend(plan.decode_indices_for(m.id));
+            let groups: Vec<_> = idxs.into_iter().map(|gi| plan.groups[gi].clone()).collect();
+            let routing = plan
+                .routing_for(m.id)
+                .ok_or_else(|| {
+                    Error::Infeasible(format!("plan has no routing for model {}", m.id))
+                })?
+                .clone();
+            let sub = DeploymentPlan::new(groups, routing)?;
+            let sc = sim_config(&m.spec, &self.cfg);
+            let est = estimate_attainment(cluster, &sub, &sc, w, &m.slo)?;
+            per_model.push(ModelEstimate {
+                model: m.id,
+                estimated_attainment: est.overall,
+            });
+        }
+        Ok(MultiScheduleResult {
+            schedule: ScheduleResult {
+                plan,
+                estimated_attainment: result.best.score,
+                trajectory: result.trajectory,
+                evaluations: result.evaluations,
+                neighbors_generated: result.neighbors_generated,
+                group_cache_hits: result.group_cache_hits,
+                group_cache_misses: result.group_cache_misses,
+                search_trace: result.search_trace,
+                elapsed: start.elapsed().as_secs_f64(),
+            },
+            per_model,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -97,6 +204,75 @@ mod tests {
             SimDuration::from_millis(300),
             SimDuration::from_secs(60),
         )
+    }
+
+    #[test]
+    fn schedule_multi_single_default_model_delegates_to_schedule() {
+        let cluster = presets::a5000_cluster(8);
+        let model = ModelSpec::llama_13b();
+        let w = spec::coding(2.0);
+        let mut cfg = SchedulerConfig::fast();
+        cfg.seed = 5;
+        let s = Scheduler::new(cfg);
+        let single = s.schedule(&cluster, &model, &w, &slo()).unwrap();
+        let catalog = vec![ServedModel::single(model.clone(), slo())];
+        let multi = s
+            .schedule_multi(&cluster, &catalog, std::slice::from_ref(&w))
+            .unwrap();
+        assert_eq!(single.plan, multi.schedule.plan);
+        assert_eq!(
+            single.estimated_attainment,
+            multi.schedule.estimated_attainment
+        );
+        assert_eq!(single.evaluations, multi.schedule.evaluations);
+        assert!(!multi.schedule.plan.is_multi_model());
+        assert_eq!(
+            multi.per_model,
+            vec![ModelEstimate {
+                model: ModelId(0),
+                estimated_attainment: single.estimated_attainment,
+            }]
+        );
+    }
+
+    #[test]
+    fn schedule_multi_places_two_tenants_on_one_pool() {
+        let cluster = presets::a5000_cluster(12);
+        let catalog = vec![
+            ServedModel::llama_7b_chat(ModelId(1), 0.6).unwrap(),
+            ServedModel::llama_13b_chat(ModelId(2), 0.4).unwrap(),
+        ];
+        let workloads = vec![spec::conversation(2.0), spec::coding(1.0)];
+        let mut cfg = SchedulerConfig::fast();
+        cfg.seed = 7;
+        let s = Scheduler::new(cfg);
+        let r = s.schedule_multi(&cluster, &catalog, &workloads).unwrap();
+        assert!(r.schedule.plan.is_multi_model());
+        assert_eq!(r.per_model.len(), 2);
+        for (est, m) in r.per_model.iter().zip(&catalog) {
+            assert_eq!(est.model, m.id);
+            assert!(
+                (0.0..=1.0).contains(&est.estimated_attainment),
+                "attainment {} for {}",
+                est.estimated_attainment,
+                est.model
+            );
+        }
+        // The share-weighted per-model estimates bound the search objective
+        // from above: the objective counts unserved mass as missed, while
+        // the per-model estimate prices the (rescaled) routed traffic.
+        let weighted: f64 = r
+            .per_model
+            .iter()
+            .zip(&catalog)
+            .map(|(e, m)| m.traffic_share * e.estimated_attainment)
+            .sum();
+        assert!(
+            weighted + 1e-6 >= r.schedule.estimated_attainment,
+            "weighted {} vs objective {}",
+            weighted,
+            r.schedule.estimated_attainment
+        );
     }
 
     #[test]

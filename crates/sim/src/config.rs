@@ -1,14 +1,21 @@
 //! Simulation configuration.
 
-use ts_common::ModelSpec;
+use ts_common::{ModelId, ModelSpec, ServedModel, SloSpec};
 use ts_costmodel::ModelParams;
 use ts_kvcache::codec::KvWirePrecision;
 
 /// Knobs controlling a simulation run.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
-    /// The served model.
+    /// The served model. For multi-model runs this remains the *default*
+    /// model — the spec used for any group or request whose [`ModelId`] is
+    /// absent from [`SimConfig::models`] — so every single-model code path
+    /// is untouched by the catalog.
     pub model: ModelSpec,
+    /// The served-model catalog of a multi-tenant run. Empty (the default)
+    /// means single-model serving: every request and group resolves to
+    /// [`SimConfig::model`] exactly as before the catalog existed.
+    pub models: Vec<ServedModel>,
     /// Cost-model efficiency parameters.
     pub params: ModelParams,
     /// Wire precision of prefill→decode KV transfers.
@@ -136,6 +143,7 @@ impl SimConfig {
     pub fn new(model: ModelSpec) -> Self {
         SimConfig {
             model,
+            models: Vec::new(),
             params: ModelParams::default(),
             kv_precision: KvWirePrecision::DEFAULT_COMPRESSED,
             max_prefill_batch_tokens: 4096,
@@ -160,6 +168,27 @@ impl SimConfig {
             deadline_scale: 1.0,
             fault_seed: 0x7453_4752_4159,
         }
+    }
+
+    /// Returns a copy serving the given model catalog (multi-tenant mode).
+    /// An empty catalog restores single-model behaviour.
+    pub fn with_catalog(mut self, models: Vec<ServedModel>) -> Self {
+        self.models = models;
+        self
+    }
+
+    /// The spec serving `model`: its catalog entry, or the default
+    /// [`SimConfig::model`] when the catalog is empty or does not list it.
+    pub fn spec_for(&self, model: ModelId) -> &ModelSpec {
+        self.models
+            .iter()
+            .find(|m| m.id == model)
+            .map_or(&self.model, |m| &m.spec)
+    }
+
+    /// The SLO of `model`'s tenant, if the catalog lists one.
+    pub fn slo_for(&self, model: ModelId) -> Option<&SloSpec> {
+        self.models.iter().find(|m| m.id == model).map(|m| &m.slo)
     }
 
     /// Returns a copy with uncompressed (fp16) KV transfers.
@@ -318,6 +347,20 @@ mod tests {
         assert!(!c.network_contention);
         assert_eq!(c.kv_congestion_factor, 1.0);
         assert!(!c.telemetry);
+    }
+
+    #[test]
+    fn catalog_resolution_defaults_to_the_single_model() {
+        let c = SimConfig::new(ModelSpec::llama_13b());
+        assert!(c.models.is_empty());
+        assert_eq!(c.spec_for(ModelId(0)), &ModelSpec::llama_13b());
+        assert!(c.slo_for(ModelId(0)).is_none());
+        let c = c.with_catalog(vec![ServedModel::llama_7b_chat(ModelId(1), 1.0).unwrap()]);
+        assert_eq!(c.spec_for(ModelId(1)), &ModelSpec::llama_7b());
+        assert!(c.slo_for(ModelId(1)).is_some());
+        // Unknown ids still resolve to the default model.
+        assert_eq!(c.spec_for(ModelId(9)), &ModelSpec::llama_13b());
+        assert!(c.slo_for(ModelId(9)).is_none());
     }
 
     #[test]

@@ -26,15 +26,15 @@ use super::seq::{AdmitOutcome, Pending, PrefillJob, WaitingSeq};
 use crate::config::SimConfig;
 use crate::event::{EventKind, EventQueue};
 use crate::fault::{FaultKind, FaultScript, TimedFault};
-use crate::metrics::{Metrics, RecoveryCounters, RequestRecord};
+use crate::metrics::{Metrics, ModelConservation, RecoveryCounters, RequestRecord};
 use crate::router::StrideRouter;
 use rand::rngs::StdRng;
 use rand::Rng;
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use ts_cluster::Cluster;
 use ts_common::{
-    derive_seed, seeded_rng, DeploymentPlan, Error, GpuId, GroupSpec, Request, RequestId, Result,
-    SimDuration, SimTime,
+    derive_seed, seeded_rng, DeploymentPlan, Error, GpuId, GroupSpec, ModelId, Request, RequestId,
+    Result, SimDuration, SimTime,
 };
 use ts_costmodel::replica::{kv_route_legs, kv_transfer_time, KvRouteLeg, KvRouteSegment};
 use ts_costmodel::ReplicaCostModel;
@@ -84,6 +84,15 @@ pub(crate) struct Core {
     /// from only when a gray fault or a jitter knob is active, so the
     /// default path stays bit-identical.
     gray: GrayState,
+    /// Whether per-model conservation is tracked — true iff the catalog
+    /// ([`SimConfig::models`]) is non-empty, so single-model runs carry
+    /// zero extra bookkeeping and their [`RecoveryCounters`] stay
+    /// byte-identical.
+    track_models: bool,
+    /// Per-model (dropped, rejected) counts, folded into
+    /// [`RecoveryCounters::per_model`] at the end of the run. Untouched
+    /// when `track_models` is off.
+    model_losses: HashMap<ModelId, (usize, usize)>,
 }
 
 /// Per-host gray-failure bookkeeping: flaky-heartbeat masking, straggler
@@ -145,6 +154,18 @@ impl GrayState {
     }
 }
 
+/// One tenant's routing state under [`Topology::Split`]: the model draws
+/// its (prefill, decode) pair from its own stride router over its own
+/// replicas, so tenants on a shared pool never leak requests into each
+/// other's executors.
+pub(crate) struct ModelRoute {
+    model: ModelId,
+    router: StrideRouter,
+    /// (prefill, decode) replica coordinates per router index, in the
+    /// *global* replica numbering of the plan.
+    pairs: Vec<(usize, usize)>,
+}
+
 /// Phase-split topology state: prefill/decode executor pools plus the KV
 /// transfer fabric between them.
 pub(crate) struct SplitState {
@@ -187,6 +208,27 @@ pub(crate) struct SplitState {
     flow_routes: Vec<Vec<(GpuId, GpuId, usize)>>,
     /// Wire codec sizing fabric flows (model × configured KV precision).
     codec: KvCodec,
+    /// Per-model routing for a multi-model plan, in [`DeploymentPlan::models`]
+    /// order. Empty for single-model plans, which keeps every legacy
+    /// dispatch, mask and hedging path untouched.
+    model_routes: Vec<ModelRoute>,
+    /// Model served by each prefill replica (plan group order).
+    prefill_model: Vec<ModelId>,
+    /// Model served by each decode replica.
+    decode_model: Vec<ModelId>,
+    /// Wire codecs per catalog model; searched only on multi-model plans
+    /// (the default-model fallback is [`SplitState::codec`]).
+    codecs: Vec<(ModelId, KvCodec)>,
+}
+
+impl SplitState {
+    /// The wire codec for `model`, falling back to the default-model codec.
+    fn codec_for(&self, model: ModelId) -> &KvCodec {
+        self.codecs
+            .iter()
+            .find(|(m, _)| *m == model)
+            .map_or(&self.codec, |(_, c)| c)
+    }
 }
 
 /// Colocated topology state: one executor pool serving both phases, with
@@ -222,11 +264,14 @@ impl Driver {
     pub fn new_split(cluster: &Cluster, plan: &DeploymentPlan, cfg: SimConfig) -> Result<Self> {
         let prefill_idx = plan.prefill_indices();
         let decode_idx = plan.decode_indices();
+        // Each group is priced with its own model's spec; on single-model
+        // plans every group carries ModelId(0) and the catalog is empty, so
+        // `spec_for` resolves to `cfg.model` exactly as before.
         let mut prefills = Vec::with_capacity(prefill_idx.len());
         for &gi in &prefill_idx {
             prefills.push(PrefillExecutor::new(ReplicaCostModel::new(
                 cluster,
-                &cfg.model,
+                cfg.spec_for(plan.groups[gi].model),
                 &plan.groups[gi],
                 &cfg.params,
             )?));
@@ -235,12 +280,48 @@ impl Driver {
         for &gi in &decode_idx {
             decodes.push(DecodeExecutor::new(ReplicaCostModel::new(
                 cluster,
-                &cfg.model,
+                cfg.spec_for(plan.groups[gi].model),
                 &plan.groups[gi],
                 &cfg.params,
             )?));
         }
+        let prefill_model: Vec<ModelId> = prefill_idx
+            .iter()
+            .map(|&gi| plan.groups[gi].model)
+            .collect();
+        let decode_model: Vec<ModelId> =
+            decode_idx.iter().map(|&gi| plan.groups[gi].model).collect();
         let (router, pair_coords) = StrideRouter::from_matrix(plan.routing.rates())?;
+        let mut model_routes = Vec::new();
+        if plan.is_multi_model() {
+            for m in plan.models() {
+                let Some(routing) = plan.routing_for(m) else {
+                    continue;
+                };
+                let (mr, local) = StrideRouter::from_matrix(routing.rates())?;
+                let pidx = plan.prefill_indices_for(m);
+                let didx = plan.decode_indices_for(m);
+                let to_global = |own: &[usize], all: &[usize], li: usize| -> Result<usize> {
+                    all.iter().position(|&g| g == own[li]).ok_or_else(|| {
+                        Error::InvalidConfig(format!(
+                            "model {m} routes over a group not in the plan"
+                        ))
+                    })
+                };
+                let mut pairs = Vec::with_capacity(local.len());
+                for &(li, lj) in &local {
+                    pairs.push((
+                        to_global(&pidx, &prefill_idx, li)?,
+                        to_global(&didx, &decode_idx, lj)?,
+                    ));
+                }
+                model_routes.push(ModelRoute {
+                    model: m,
+                    router: mr,
+                    pairs,
+                });
+            }
+        }
         let mut routes = Vec::with_capacity(prefills.len());
         let mut flow_routes = Vec::with_capacity(prefills.len());
         for p in &prefills {
@@ -264,6 +345,14 @@ impl Driver {
             None
         };
         let codec = KvCodec::new(cfg.model.clone(), cfg.kv_precision);
+        let codecs: Vec<(ModelId, KvCodec)> = if plan.is_multi_model() {
+            cfg.models
+                .iter()
+                .map(|m| (m.id, KvCodec::new(m.spec.clone(), cfg.kv_precision)))
+                .collect()
+        } else {
+            Vec::new()
+        };
         let sender_free_at = vec![SimTime::ZERO; prefills.len()];
         let link_down = vec![vec![false; decodes.len()]; prefills.len()];
         let link_factor = vec![vec![1.0; decodes.len()]; prefills.len()];
@@ -287,6 +376,10 @@ impl Driver {
                 fabric,
                 flow_routes,
                 codec,
+                model_routes,
+                prefill_model,
+                decode_model,
+                codecs,
             }),
         })
     }
@@ -306,7 +399,7 @@ impl Driver {
         let mut replicas = Vec::with_capacity(groups.len());
         let mut weights = Vec::with_capacity(groups.len());
         for g in groups {
-            let cost = ReplicaCostModel::new(cluster, &cfg.model, g, &cfg.params)?;
+            let cost = ReplicaCostModel::new(cluster, cfg.spec_for(g.model), g, &cfg.params)?;
             let kv_capacity = cost.kv_capacity_tokens();
             // Route proportional to steady decode throughput at batch 32.
             weights.push(cost.decode_throughput(32.min(kv_capacity / 1024).max(1), 1024));
@@ -448,6 +541,12 @@ impl Driver {
         // Anything still in the system when events run dry was lost to a
         // fault it never recovered from (stalled, parked, frozen on a dead
         // replica).
+        if self.core.track_models {
+            let leftovers: Vec<RequestId> = self.core.pending.keys().copied().collect();
+            for id in leftovers {
+                note_model_loss(&mut self.core, id, false);
+            }
+        }
         self.core.dropped += self.core.pending.len();
         self.core.pending.clear();
         self.core.payloads.clear();
@@ -459,6 +558,40 @@ impl Driver {
                 self.core.rejected,
                 submitted
             )));
+        }
+        if self.core.track_models {
+            // The aggregate identity must also hold tenant by tenant: no
+            // request may complete as one model and be dropped as another.
+            let mut per: BTreeMap<ModelId, ModelConservation> = BTreeMap::new();
+            let blank = |m: ModelId| ModelConservation {
+                model: m,
+                ..ModelConservation::default()
+            };
+            for r in requests {
+                per.entry(r.model)
+                    .or_insert_with(|| blank(r.model))
+                    .submitted += 1;
+            }
+            for rec in &self.core.records {
+                let m = rec.request.model;
+                per.entry(m).or_insert_with(|| blank(m)).completed += 1;
+            }
+            for (&m, &(dropped, rejected)) in &self.core.model_losses {
+                let c = per.entry(m).or_insert_with(|| blank(m));
+                c.dropped += dropped;
+                c.rejected += rejected;
+            }
+            for c in per.values() {
+                if !c.balanced() {
+                    return Err(Error::Simulation(format!(
+                        "per-model conservation violated for {}: {} completed + {} dropped \
+                         + {} rejected != {} submitted",
+                        c.model, c.completed, c.dropped, c.rejected, c.submitted
+                    )));
+                }
+            }
+            self.core.recovery.per_model = per.into_values().collect();
+            self.core.model_losses.clear();
         }
         let horizon = self.core.now.saturating_since(SimTime::ZERO);
         Ok(Metrics::with_recovery(
@@ -589,6 +722,15 @@ impl Driver {
         self.core.payloads.insert(req.id, req);
         self.core.pending.insert(req.id, Pending::new(0, 0));
         trace(&mut self.core, TraceKind::Arrived { request: req.id });
+        if self.core.track_models {
+            trace(
+                &mut self.core,
+                TraceKind::ModelTag {
+                    request: req.id,
+                    model: req.model,
+                },
+            );
+        }
         // Flaky heartbeat beats pause while no requests are outstanding (so
         // the event queue can drain); restart them with the new work.
         if self.core.gray.flaky_any {
@@ -624,6 +766,7 @@ impl Driver {
             let deadline = job.req.arrival + slo.ttft.mul_f64(self.core.cfg.deadline_scale);
             if !ttft_met && self.core.now > deadline {
                 let id = job.req.id;
+                note_model_loss(&mut self.core, id, true);
                 self.core.pending.remove(&id);
                 self.core.payloads.remove(&id);
                 self.core.rejected += 1;
@@ -633,16 +776,45 @@ impl Driver {
                 return;
             }
         }
-        if self.core.paused_until.is_some() || self.core.router.num_enabled() == 0 {
+        if self.core.paused_until.is_some() {
             stall_or_shed(&mut self.core, job);
             return;
         }
+        // Multi-model plans route by the request's model through that
+        // tenant's own router, so a tenant never lands on another tenant's
+        // executors; single-model plans, colocated engines, and requests
+        // for a model the plan does not serve use the global router.
+        let route = match &self.topo {
+            Topology::Split(s) if !s.model_routes.is_empty() => {
+                s.model_routes.iter().position(|r| r.model == job.req.model)
+            }
+            _ => None,
+        };
         let rid = job.req.id;
-        let k = self.core.router.next();
         let Driver { core, topo } = self;
+        let (i, j) = match (route, &mut *topo) {
+            (Some(ri), Topology::Split(s)) => {
+                let r = &mut s.model_routes[ri];
+                if r.router.num_enabled() == 0 {
+                    stall_or_shed(core, job);
+                    return;
+                }
+                r.pairs[r.router.next()]
+            }
+            _ => {
+                if core.router.num_enabled() == 0 {
+                    stall_or_shed(core, job);
+                    return;
+                }
+                let k = core.router.next();
+                match &*topo {
+                    Topology::Split(s) => s.pair_coords[k],
+                    Topology::Colocated(_) => (k, k),
+                }
+            }
+        };
         match topo {
             Topology::Split(s) => {
-                let (i, j) = s.pair_coords[k];
                 if let Some(p) = core.pending.get_mut(&rid) {
                     p.prefill = i;
                     p.decode = j;
@@ -672,27 +844,27 @@ impl Driver {
             }
             Topology::Colocated(c) => {
                 if let Some(p) = core.pending.get_mut(&rid) {
-                    p.prefill = k;
-                    p.decode = k;
+                    p.prefill = i;
+                    p.decode = i;
                 }
-                c.replicas[k].prefill.queue.push_back(job);
+                c.replicas[i].prefill.queue.push_back(job);
                 trace(
                     core,
                     TraceKind::Enqueued {
                         request: rid,
                         role: Role::Colocated,
-                        replica: k,
+                        replica: i,
                     },
                 );
                 trace(
                     core,
                     TraceKind::QueueDepth {
                         role: Role::Colocated,
-                        replica: k,
-                        depth: c.replicas[k].prefill.queue.len(),
+                        replica: i,
+                        depth: c.replicas[i].prefill.queue.len(),
                     },
                 );
-                colo_maybe_start_work(core, c, k);
+                colo_maybe_start_work(core, c, i);
             }
         }
     }
@@ -1081,6 +1253,7 @@ impl Core {
     fn new(cfg: SimConfig, router: StrideRouter, prefill_hosts: usize, total_hosts: usize) -> Self {
         let trace = cfg.telemetry.then(Recorder::new);
         let gray = GrayState::new(cfg.fault_seed, prefill_hosts, total_hosts);
+        let track_models = !cfg.models.is_empty();
         Core {
             cfg,
             router,
@@ -1099,6 +1272,8 @@ impl Core {
             affected: Vec::new(),
             trace,
             gray,
+            track_models,
+            model_losses: HashMap::new(),
         }
     }
 
@@ -1141,6 +1316,22 @@ fn trace_at(core: &mut Core, at: SimTime, kind: TraceKind) {
 
 // --- topology-agnostic helpers (free functions over Core) ----------------
 
+/// Attributes a loss (drop or rejection) to the request's model for the
+/// per-tenant conservation ledger; a single-branch no-op unless the
+/// catalog is non-empty. Must run while the payload is still registered.
+fn note_model_loss(core: &mut Core, id: RequestId, rejected: bool) {
+    if !core.track_models {
+        return;
+    }
+    let model = core.payloads.get(&id).map_or(ModelId(0), |r| r.model);
+    let e = core.model_losses.entry(model).or_default();
+    if rejected {
+        e.1 += 1;
+    } else {
+        e.0 += 1;
+    }
+}
+
 fn stall_or_shed(core: &mut Core, job: PrefillJob) {
     if core.stalled.len() < core.cfg.shed_threshold {
         trace(
@@ -1152,6 +1343,7 @@ fn stall_or_shed(core: &mut Core, job: PrefillJob) {
         core.stalled.push_back(job);
     } else {
         let id = job.req.id;
+        note_model_loss(core, id, true);
         core.pending.remove(&id);
         core.payloads.remove(&id);
         core.rejected += 1;
@@ -1161,6 +1353,7 @@ fn stall_or_shed(core: &mut Core, job: PrefillJob) {
 }
 
 fn drop_request(core: &mut Core, id: RequestId) {
+    note_model_loss(core, id, false);
     core.pending.remove(&id);
     core.payloads.remove(&id);
     core.dropped += 1;
@@ -1502,7 +1695,9 @@ fn split_launch_transfer(
         // The byte count is sized like the fabric's flow (whole route,
         // configured wire precision); computed only under telemetry.
         let (_, _, layers) = s.flow_routes[transfer.from][transfer.to];
-        let bytes = s.codec.wire_bytes_layers(transfer.job.tokens, layers);
+        let bytes = s
+            .codec_for(s.prefill_model[transfer.from])
+            .wire_bytes_layers(transfer.job.tokens, layers);
         trace(
             core,
             TraceKind::KvEnqueued {
@@ -1531,8 +1726,10 @@ fn split_launch_transfer(
     }
     let mut dur = if core.cfg.model_kv_transfer {
         let ratio = core.cfg.kv_precision.ratio_vs_f16();
+        // Priced with the sending replica's model (the default-model spec
+        // on single-model plans, where every group carries ModelId(0)).
         kv_transfer_time(
-            &core.cfg.model,
+            core.cfg.spec_for(s.prefill_model[transfer.from]),
             &s.routes[transfer.from][transfer.to],
             transfer.job.tokens,
             ratio,
@@ -1609,11 +1806,16 @@ fn split_start_flow(core: &mut Core, s: &mut SplitState, request: RequestId) {
     let Some(&t) = s.transfers.get(&request) else {
         return; // dropped while the launch was in flight
     };
-    let Some(fabric) = s.fabric.as_mut() else {
+    if s.fabric.is_none() {
         return;
-    };
+    }
     let (from, to, layers) = s.flow_routes[t.from][t.to];
-    let bytes = s.codec.wire_bytes_layers(t.job.tokens, layers) as f64;
+    let bytes = s
+        .codec_for(s.prefill_model[t.from])
+        .wire_bytes_layers(t.job.tokens, layers) as f64;
+    let Some(fabric) = s.fabric.as_mut() else {
+        unreachable!()
+    };
     if let Some(p) = core.pending.get_mut(&request) {
         p.kv_wire_started_at = Some(core.now);
     }
@@ -1804,13 +2006,15 @@ fn split_deliver_transfer(core: &mut Core, s: &mut SplitState, request: RequestI
 
 /// Re-targets a transfer whose decode replica died: picks the live replica
 /// with the most free KV memory (lowest index breaks ties), or parks the
-/// transfer until one comes back.
+/// transfer until one comes back. Multi-model plans only consider decode
+/// replicas serving the sender's model — KV caches are model-specific.
 fn split_redispatch_transfer(core: &mut Core, s: &mut SplitState, mut t: Transfer) {
+    let model = (!s.model_routes.is_empty()).then(|| s.prefill_model[t.from]);
     let target = s
         .decodes
         .iter()
         .enumerate()
-        .filter(|(_, d)| d.is_alive())
+        .filter(|(j, d)| d.is_alive() && (model.is_none() || model == Some(s.decode_model[*j])))
         .max_by_key(|(j, d)| {
             (
                 d.batch.kv_capacity.saturating_sub(d.batch.kv_used),
@@ -1900,28 +2104,38 @@ fn split_on_decode_step(core: &mut Core, s: &mut SplitState, j: usize) -> Result
     Ok(())
 }
 
-/// The split routing mask from believed liveness plus gray-failure masking
-/// (flaky-heartbeat false positives and straggler quarantine). `extra`
-/// additionally masks one host — used to test whether a prospective
-/// quarantine would leave the router empty, without committing it.
-fn split_router_mask(core: &Core, s: &SplitState, extra: Option<usize>) -> Vec<bool> {
+/// Whether the (prefill `i`, decode `j`) pair is routable under current
+/// liveness beliefs and gray-failure masking (flaky-heartbeat false
+/// positives and straggler quarantine). `extra` additionally masks one
+/// host — used to test whether a prospective quarantine would leave a
+/// router empty, without committing it.
+fn split_pair_live(core: &Core, s: &SplitState, i: usize, j: usize, extra: Option<usize>) -> bool {
     let p = core.gray.prefill_hosts;
     let masked = |h: usize| core.gray.masked(h) || extra == Some(h);
+    !s.believed_dead_prefill[i] && !s.believed_dead_decode[j] && !masked(i) && !masked(p + j)
+}
+
+/// The split routing mask over the global pair space.
+fn split_router_mask(core: &Core, s: &SplitState, extra: Option<usize>) -> Vec<bool> {
     s.pair_coords
         .iter()
-        .map(|&(i, j)| {
-            !s.believed_dead_prefill[i]
-                && !s.believed_dead_decode[j]
-                && !masked(i)
-                && !masked(p + j)
-        })
+        .map(|&(i, j)| split_pair_live(core, s, i, j, extra))
         .collect()
 }
 
-/// Re-derives the routing mask from believed replica liveness.
-fn split_refresh_router(core: &mut Core, s: &SplitState) {
+/// Re-derives the routing masks from believed replica liveness: the global
+/// router always, plus every tenant's own router on multi-model plans.
+fn split_refresh_router(core: &mut Core, s: &mut SplitState) {
     let mask = split_router_mask(core, s, None);
     core.router.apply_mask(&mask);
+    for ri in 0..s.model_routes.len() {
+        let mask: Vec<bool> = s.model_routes[ri]
+            .pairs
+            .iter()
+            .map(|&(i, j)| split_pair_live(core, s, i, j, None))
+            .collect();
+        s.model_routes[ri].router.apply_mask(&mask);
+    }
 }
 
 // --- straggler detection & hedging ----------------------------------------
@@ -1963,8 +2177,9 @@ fn quarantine_host(core: &mut Core, host: usize, role: Role, replica: usize, pre
 
 /// Samples the straggler detector at a split-replica batch completion and
 /// quarantines the replica when it trips — unless doing so would leave the
-/// router with no live pair (a degraded replica still beats no replica).
-fn split_observe_straggler(core: &mut Core, s: &SplitState, prefill: bool, idx: usize) {
+/// router with no live pair, or empty any tenant's (model, role) replica
+/// set on a multi-model plan (a degraded replica still beats no replica).
+fn split_observe_straggler(core: &mut Core, s: &mut SplitState, prefill: bool, idx: usize) {
     let (host, ratio) = if prefill {
         (idx, s.prefills[idx].slow_factor)
     } else {
@@ -1975,6 +2190,13 @@ fn split_observe_straggler(core: &mut Core, s: &SplitState, prefill: bool, idx: 
     }
     let mask = split_router_mask(core, s, Some(host));
     if !mask.iter().any(|&m| m) {
+        return;
+    }
+    if s.model_routes.iter().any(|r| {
+        !r.pairs
+            .iter()
+            .any(|&(i, j)| split_pair_live(core, s, i, j, Some(host)))
+    }) {
         return;
     }
     let role = if prefill { Role::Prefill } else { Role::Decode };
@@ -2042,16 +2264,33 @@ fn split_hedge_prefill(core: &mut Core, s: &mut SplitState, request: RequestId) 
     let Some(job) = job else {
         return; // a fault moved it; the requeue already acted as a retry
     };
+    // Multi-model plans draw the alternate from the request's own tenant
+    // router, so a hedge never lands on another model's replicas.
+    let route = s.model_routes.iter().position(|r| r.model == job.req.model);
     let mut alt = None;
-    for _ in 0..s.pair_coords.len() {
-        if core.router.num_enabled() == 0 {
-            break;
+    if let Some(ri) = route {
+        for _ in 0..s.model_routes[ri].pairs.len() {
+            if s.model_routes[ri].router.num_enabled() == 0 {
+                break;
+            }
+            let k = s.model_routes[ri].router.next();
+            let (i, j) = s.model_routes[ri].pairs[k];
+            if i != primary && s.prefills[i].is_alive() && !s.believed_dead_prefill[i] {
+                alt = Some((i, j));
+                break;
+            }
         }
-        let k = core.router.next();
-        let (i, j) = s.pair_coords[k];
-        if i != primary && s.prefills[i].is_alive() && !s.believed_dead_prefill[i] {
-            alt = Some((i, j));
-            break;
+    } else {
+        for _ in 0..s.pair_coords.len() {
+            if core.router.num_enabled() == 0 {
+                break;
+            }
+            let k = core.router.next();
+            let (i, j) = s.pair_coords[k];
+            if i != primary && s.prefills[i].is_alive() && !s.believed_dead_prefill[i] {
+                alt = Some((i, j));
+                break;
+            }
         }
     }
     let Some((hi, hj)) = alt else {
@@ -2090,12 +2329,14 @@ fn split_hedge_transfer(core: &mut Core, s: &mut SplitState, request: RequestId)
     let mut t = t;
     t.attempt += 1;
     // Mirror the death-re-dispatch target policy: most free KV, ties to
-    // the lowest index.
+    // the lowest index — restricted to the sender's model on multi-model
+    // plans.
+    let model = (!s.model_routes.is_empty()).then(|| s.prefill_model[t.from]);
     if let Some(j2) = s
         .decodes
         .iter()
         .enumerate()
-        .filter(|(_, d)| d.is_alive())
+        .filter(|(j, d)| d.is_alive() && (model.is_none() || model == Some(s.decode_model[*j])))
         .max_by_key(|(j, d)| {
             (
                 d.batch.kv_capacity.saturating_sub(d.batch.kv_used),
@@ -2350,7 +2591,10 @@ fn colo_refresh_router(core: &mut Core, c: &ColoState) {
 mod tests {
     use super::*;
     use ts_cluster::presets;
-    use ts_common::{GpuId, ModelSpec, ParallelConfig, Phase, RoutingMatrix, StageSpec};
+    use ts_common::{
+        GpuId, ModelRouting, ModelSpec, ParallelConfig, Phase, RoutingMatrix, ServedModel,
+        StageSpec,
+    };
 
     fn testbed(cfg_edit: impl FnOnce(&mut SimConfig)) -> Driver {
         let cluster = presets::network_case_cluster(presets::ETH_5GBPS);
@@ -2476,6 +2720,153 @@ mod tests {
         assert!(!flags(false, true), "legacy default has no fabric");
         assert!(!flags(true, false), "unmodeled transfers need no fabric");
         assert!(flags(true, true));
+    }
+
+    /// Two tenants (both llama-7b, so memory trivially fits) partitioning
+    /// the 8-GPU network-case cluster: model 1 on groups 0/2, model 2 on
+    /// groups 1/3.
+    fn multi_testbed_with(tweak: impl FnOnce(&mut SimConfig)) -> Driver {
+        let cluster = presets::network_case_cluster(presets::ETH_5GBPS);
+        let model = ModelSpec::llama_7b();
+        let group = |phase, m: ModelId, ids: [u32; 2]| {
+            GroupSpec::new(
+                phase,
+                ParallelConfig::new(2, 1).unwrap(),
+                vec![StageSpec {
+                    gpus: ids.iter().map(|&i| GpuId(i)).collect(),
+                    layers: model.num_layers,
+                }],
+            )
+            .unwrap()
+            .with_model(m)
+        };
+        let plan = DeploymentPlan::new_multi(
+            vec![
+                group(Phase::Prefill, ModelId(1), [0, 1]),
+                group(Phase::Prefill, ModelId(2), [2, 3]),
+                group(Phase::Decode, ModelId(1), [4, 5]),
+                group(Phase::Decode, ModelId(2), [6, 7]),
+            ],
+            vec![
+                ModelRouting {
+                    model: ModelId(1),
+                    routing: RoutingMatrix::uniform(1, 1),
+                    share: 0.5,
+                },
+                ModelRouting {
+                    model: ModelId(2),
+                    routing: RoutingMatrix::uniform(1, 1),
+                    share: 0.5,
+                },
+            ],
+        )
+        .unwrap();
+        let mut cfg = SimConfig::new(model).with_catalog(vec![
+            ServedModel::llama_7b_chat(ModelId(1), 0.5).unwrap(),
+            ServedModel::llama_7b_chat(ModelId(2), 0.5).unwrap(),
+        ]);
+        tweak(&mut cfg);
+        Driver::new_split(&cluster, &plan, cfg).unwrap()
+    }
+
+    fn multi_testbed() -> Driver {
+        multi_testbed_with(|_| {})
+    }
+
+    #[test]
+    fn single_model_plan_builds_no_model_routes() {
+        let d = testbed(|_| {});
+        let Topology::Split(s) = &d.topo else {
+            unreachable!()
+        };
+        assert!(s.model_routes.is_empty(), "legacy plans stay single-router");
+        assert!(s.codecs.is_empty());
+        assert_eq!(s.prefill_model, vec![ModelId(0)]);
+        assert_eq!(s.decode_model, vec![ModelId(0)]);
+        assert!(!d.core.track_models);
+    }
+
+    #[test]
+    fn multi_model_plan_routes_each_tenant_to_its_own_replicas() {
+        let mut d = multi_testbed();
+        {
+            let Topology::Split(s) = &d.topo else {
+                unreachable!()
+            };
+            assert_eq!(s.model_routes.len(), 2);
+            assert_eq!(s.model_routes[0].pairs, vec![(0, 0)]);
+            assert_eq!(s.model_routes[1].pairs, vec![(1, 1)]);
+            assert_eq!(s.prefill_model, vec![ModelId(1), ModelId(2)]);
+            assert_eq!(s.decode_model, vec![ModelId(1), ModelId(2)]);
+        }
+        let reqs: Vec<Request> = (0..8)
+            .map(|i| {
+                Request::new(
+                    RequestId(i),
+                    SimTime::from_secs_f64(i as f64 * 0.05),
+                    256,
+                    8,
+                )
+                .with_model(ModelId(1 + (i % 2) as u32))
+            })
+            .collect();
+        let m = d.run_with_faults(&reqs, &FaultScript::none()).unwrap();
+        assert_eq!(m.num_completed(), 8);
+        for r in m.records() {
+            let expect = match r.request.model {
+                ModelId(1) => 0,
+                ModelId(2) => 1,
+                other => panic!("unexpected model {other}"),
+            };
+            assert_eq!(r.prefill_replica, expect, "prefill crossed tenants");
+            assert_eq!(r.decode_replica, expect, "decode crossed tenants");
+        }
+        let per = &m.recovery().per_model;
+        assert_eq!(per.len(), 2);
+        for c in per {
+            assert!(c.balanced());
+            assert_eq!(c.submitted, 4);
+            assert_eq!(c.completed, 4);
+        }
+        // the per-model views add back up to the aggregate
+        let m1 = m.for_model(ModelId(1));
+        let m2 = m.for_model(ModelId(2));
+        assert_eq!(m1.num_completed() + m2.num_completed(), m.num_completed());
+    }
+
+    #[test]
+    fn traces_tag_requests_with_their_model_only_when_tracking() {
+        let mut d = multi_testbed_with(|cfg| cfg.telemetry = true);
+        let reqs: Vec<Request> = (0..4)
+            .map(|i| {
+                Request::new(
+                    RequestId(i),
+                    SimTime::from_secs_f64(i as f64 * 0.05),
+                    256,
+                    8,
+                )
+                .with_model(ModelId(1 + (i % 2) as u32))
+            })
+            .collect();
+        d.run_with_faults(&reqs, &FaultScript::none()).unwrap();
+        let log = d.take_trace().expect("telemetry was on");
+        let tags = log.model_tags();
+        assert_eq!(tags.len(), 4, "every arrival carries exactly one tag");
+        for r in &reqs {
+            assert_eq!(tags.get(&r.id), Some(&r.model));
+        }
+        assert_eq!(log.requests_for_model(ModelId(1)).len(), 2);
+        assert_eq!(log.requests_for_model(ModelId(2)).len(), 2);
+
+        // Single-model runs emit no tags at all, keeping traces identical to
+        // pre-catalog builds.
+        let mut legacy = testbed(|cfg| cfg.telemetry = true);
+        let req = Request::new(RequestId(0), SimTime::ZERO, 256, 8);
+        legacy
+            .run_with_faults(&[req], &FaultScript::none())
+            .unwrap();
+        let log = legacy.take_trace().expect("telemetry was on");
+        assert!(log.model_tags().is_empty());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! tokens/s.
 
 use serde::{Deserialize, Serialize};
-use ts_common::{Request, SimDuration, SimTime, SloKind, SloSpec};
+use ts_common::{ModelId, Request, SimDuration, SimTime, SloKind, SloSpec};
 
 /// Timing record for one completed request.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -88,6 +88,32 @@ impl RequestRecord {
     }
 }
 
+/// Per-model request conservation for one tenant of a multi-model run:
+/// every submitted request must end up exactly once in `completed`,
+/// `dropped`, or `rejected`. The engines assert this identity per
+/// [`ModelId`] at the end of every run with a non-empty catalog.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelConservation {
+    /// The tenant these counts belong to.
+    pub model: ModelId,
+    /// Requests of this model handed to the engine.
+    pub submitted: usize,
+    /// Requests of this model that finished all output tokens.
+    pub completed: usize,
+    /// Requests of this model that entered service but never finished.
+    pub dropped: usize,
+    /// Requests of this model refused admission.
+    pub rejected: usize,
+}
+
+impl ModelConservation {
+    /// Whether the conservation identity
+    /// `completed + dropped + rejected == submitted` holds.
+    pub fn balanced(&self) -> bool {
+        self.completed + self.dropped + self.rejected == self.submitted
+    }
+}
+
 /// Recovery bookkeeping accumulated by a fault-injected simulation run.
 ///
 /// All counters are zero for a run without faults, so `Metrics` equality
@@ -134,6 +160,12 @@ pub struct RecoveryCounters {
     /// `Metrics::num_dropped`).
     #[serde(default)]
     pub retry_budget_exhausted: usize,
+    /// Per-model request-conservation counts, sorted by [`ModelId`]. Empty
+    /// for single-model runs (an empty [`crate::SimConfig::models`]
+    /// catalog), which keeps legacy `Metrics` values — and their serialized
+    /// form — byte-identical.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub per_model: Vec<ModelConservation>,
 }
 
 impl RecoveryCounters {
@@ -329,6 +361,50 @@ impl Metrics {
         }
     }
 
+    /// Distinct models appearing in the run, sorted by id: every tenant
+    /// tracked by the per-model conservation counters plus any model seen
+    /// among completed records. A single-model run reports `[ModelId(0)]`
+    /// when it completed anything, `[]` otherwise.
+    pub fn models(&self) -> Vec<ModelId> {
+        let mut ids: Vec<ModelId> = self.recovery.per_model.iter().map(|c| c.model).collect();
+        ids.extend(self.records.iter().map(|r| r.request.model));
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Per-model view of the run: records filtered to `model`, with
+    /// dropped/rejected counts taken from the per-model conservation
+    /// counters (zero when the run did not track this model). All the
+    /// aggregate accessors — attainment, throughput, percentiles — then
+    /// report that tenant alone, so per-tenant SLOs can be checked against
+    /// per-tenant deadlines.
+    pub fn for_model(&self, model: ModelId) -> Metrics {
+        let records: Vec<RequestRecord> = self
+            .records
+            .iter()
+            .filter(|r| r.request.model == model)
+            .copied()
+            .collect();
+        let conservation = self
+            .recovery
+            .per_model
+            .iter()
+            .copied()
+            .find(|c| c.model == model);
+        let recovery = RecoveryCounters {
+            per_model: conservation.into_iter().collect(),
+            ..RecoveryCounters::default()
+        };
+        Metrics {
+            records,
+            dropped: conservation.map_or(0, |c| c.dropped),
+            rejected: conservation.map_or(0, |c| c.rejected),
+            horizon: self.horizon,
+            recovery,
+        }
+    }
+
     /// `p`-quantile of the per-request maximum inter-token gap, or `None`
     /// with no completions.
     pub fn itl_percentile(&self, p: f64) -> Option<SimDuration> {
@@ -499,6 +575,74 @@ mod tests {
         let w = m.windowed(SimTime::ZERO, SimTime::from_secs_f64(5.0));
         assert_eq!(w.num_rejected(), 0);
         assert!(!w.recovery().any());
+    }
+
+    #[test]
+    fn per_model_breakdown_filters_records_and_counters() {
+        let mut fast = record(0.0, 0.3, 1.0, 8);
+        fast.request = fast.request.with_model(ModelId(1));
+        let mut slow = record(0.0, 0.9, 4.0, 8);
+        slow.request = slow.request.with_model(ModelId(2));
+        let rec = RecoveryCounters {
+            per_model: vec![
+                ModelConservation {
+                    model: ModelId(1),
+                    submitted: 2,
+                    completed: 1,
+                    dropped: 1,
+                    rejected: 0,
+                },
+                ModelConservation {
+                    model: ModelId(2),
+                    submitted: 1,
+                    completed: 1,
+                    dropped: 0,
+                    rejected: 0,
+                },
+            ],
+            ..RecoveryCounters::default()
+        };
+        let m = Metrics::with_recovery(vec![fast, slow], 1, 0, SimDuration::from_secs(10), rec);
+        assert_eq!(m.models(), vec![ModelId(1), ModelId(2)]);
+        assert!(m.recovery().per_model.iter().all(|c| c.balanced()));
+
+        let m1 = m.for_model(ModelId(1));
+        assert_eq!(m1.num_completed(), 1);
+        assert_eq!(m1.num_dropped(), 1);
+        // tenant 1: one hit of two submitted
+        assert_eq!(m1.slo_attainment(&slo(), SloKind::Ttft), 0.5);
+
+        let m2 = m.for_model(ModelId(2));
+        assert_eq!(m2.num_completed(), 1);
+        assert_eq!(m2.num_dropped(), 0);
+        // tenant 2's single request misses the 500ms TTFT deadline
+        assert_eq!(m2.slo_attainment(&slo(), SloKind::Ttft), 0.0);
+
+        // untracked model: empty, vacuously perfect
+        let m9 = m.for_model(ModelId(9));
+        assert_eq!(m9.num_completed(), 0);
+        assert_eq!(m9.joint_attainment(&slo()), 1.0);
+    }
+
+    #[test]
+    fn per_model_counters_stay_out_of_legacy_recovery() {
+        // an empty catalog must leave RecoveryCounters (and thus Metrics
+        // equality) exactly as before the multi-model work
+        let rec = RecoveryCounters::default();
+        assert!(rec.per_model.is_empty());
+        assert!(!rec.any());
+        let tracked = RecoveryCounters {
+            per_model: vec![ModelConservation {
+                model: ModelId(1),
+                submitted: 0,
+                completed: 0,
+                dropped: 0,
+                rejected: 0,
+            }],
+            ..RecoveryCounters::default()
+        };
+        // conservation tracking alone is bookkeeping, not a recovery action
+        assert!(!tracked.any());
     }
 
     #[test]

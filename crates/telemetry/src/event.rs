@@ -12,7 +12,7 @@
 //! derives step-function [`crate::UtilizationSeries`].
 
 use std::fmt;
-use ts_common::{RequestId, SimTime};
+use ts_common::{ModelId, RequestId, SimTime};
 
 /// Which serving role a replica plays in the emitting engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -271,6 +271,15 @@ pub enum TraceKind {
         /// The shed request.
         request: RequestId,
     },
+    /// The request belongs to the given served model. Emitted once at
+    /// arrival, and only on multi-model runs (a non-empty catalog) — single
+    /// model traces carry no tags and stay byte-identical to older builds.
+    ModelTag {
+        /// The tagged request.
+        request: RequestId,
+        /// The served model it targets.
+        model: ModelId,
+    },
 }
 
 impl TraceKind {
@@ -295,7 +304,8 @@ impl TraceKind {
             | TraceKind::Reprefill { request, .. }
             | TraceKind::FlowRate { request, .. }
             | TraceKind::HedgeLaunched { request, .. }
-            | TraceKind::DeadlineShed { request } => Some(request),
+            | TraceKind::DeadlineShed { request }
+            | TraceKind::ModelTag { request, .. } => Some(request),
             _ => None,
         }
     }
@@ -331,6 +341,7 @@ impl TraceKind {
             TraceKind::Quarantined { .. } => "quarantined",
             TraceKind::Readmitted { .. } => "readmitted",
             TraceKind::DeadlineShed { .. } => "deadline_shed",
+            TraceKind::ModelTag { .. } => "model_tag",
         }
     }
 }
@@ -413,6 +424,7 @@ impl fmt::Display for TraceKind {
                 write!(f, "{role} replica {replica} readmitted")
             }
             TraceKind::DeadlineShed { .. } => write!(f, "shed past deadline"),
+            TraceKind::ModelTag { model, .. } => write!(f, "serves {model}"),
         }
     }
 }

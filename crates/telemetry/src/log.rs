@@ -5,7 +5,7 @@
 use crate::event::{LinkKind, Role, TraceEvent, TraceKind};
 use crate::series::UtilizationSeries;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use ts_common::{RequestId, SimDuration, SimTime};
+use ts_common::{ModelId, RequestId, SimDuration, SimTime};
 
 /// A time-sorted trace, produced by [`crate::Recorder::finish`].
 #[derive(Debug, Default, Clone)]
@@ -128,6 +128,28 @@ impl TraceLog {
             })
             .collect();
         ids.into_iter().collect()
+    }
+
+    /// The served model each tagged request targets, keyed by request id.
+    ///
+    /// Tags only appear on multi-model runs; a single-model trace yields an
+    /// empty map.
+    pub fn model_tags(&self) -> BTreeMap<RequestId, ModelId> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceKind::ModelTag { request, model } => Some((request, model)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Request ids tagged to the given model, ascending.
+    pub fn requests_for_model(&self, model: ModelId) -> Vec<RequestId> {
+        self.model_tags()
+            .into_iter()
+            .filter_map(|(r, m)| (m == model).then_some(r))
+            .collect()
     }
 
     /// The events concerning one request, in time order.
@@ -501,6 +523,35 @@ mod tests {
         assert_eq!(s.kv_wire_time(), SimDuration::from_micros(15));
         assert_eq!(s.kv_retries, 1);
         assert_eq!(log.completed_requests(), vec![RequestId(1)]);
+    }
+
+    #[test]
+    fn model_tags_index_requests_by_tenant() {
+        let mut rec = Recorder::new();
+        for (id, m) in [(1u64, 1u32), (2, 2), (3, 1)] {
+            rec.record(ev(
+                id,
+                TraceKind::Arrived {
+                    request: RequestId(id),
+                },
+            ));
+            rec.record(ev(
+                id,
+                TraceKind::ModelTag {
+                    request: RequestId(id),
+                    model: ModelId(m),
+                },
+            ));
+        }
+        let log = rec.finish();
+        assert_eq!(log.model_tags().len(), 3);
+        assert_eq!(
+            log.requests_for_model(ModelId(1)),
+            vec![RequestId(1), RequestId(3)]
+        );
+        assert_eq!(log.requests_for_model(ModelId(2)), vec![RequestId(2)]);
+        // Untagged logs (single-model runs) carry no tags at all.
+        assert!(sample_log().model_tags().is_empty());
     }
 
     #[test]

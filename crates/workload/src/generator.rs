@@ -7,7 +7,7 @@
 
 use crate::spec::WorkloadSpec;
 use rand::Rng;
-use ts_common::{seeded_rng, Request, RequestId, SimDuration, SimTime};
+use ts_common::{seeded_rng, ModelId, Request, RequestId, SimDuration, SimTime};
 
 /// Generates a Poisson-arrival trace for `spec` over `[0, horizon)`.
 ///
@@ -153,6 +153,40 @@ pub fn generate_mixture(specs: &[WorkloadSpec], horizon: SimDuration, seed: u64)
     all
 }
 
+/// Generates a multi-tenant trace: one independent Poisson stream per
+/// `(model, workload)` tenant, each request tagged with its tenant's
+/// [`ModelId`], merged into a single arrival-ordered trace with globally
+/// reassigned ids. This is the request stream a shared multi-model pool
+/// serves — per-tenant rates are free to differ, matching the asymmetric
+/// traffic shares of a [`ts_common::ServedModel`] catalog.
+///
+/// Deterministic for a given `(tenants, horizon, seed)`; each tenant's
+/// stream is salted independently, so adding a tenant never perturbs the
+/// others' arrivals.
+pub fn generate_multi_tenant(
+    tenants: &[(ModelId, WorkloadSpec)],
+    horizon: SimDuration,
+    seed: u64,
+) -> Vec<Request> {
+    let mut all: Vec<Request> = Vec::new();
+    for (i, (model, spec)) in tenants.iter().enumerate() {
+        all.extend(
+            generate(
+                spec,
+                horizon,
+                ts_common::rng::derive_seed(seed, 0x4D54 + i as u64),
+            )
+            .into_iter()
+            .map(|r| r.with_model(*model)),
+        );
+    }
+    all.sort_by_key(|r| (r.arrival, r.prompt_len, r.output_len));
+    for (i, r) in all.iter_mut().enumerate() {
+        r.id = RequestId(i as u64);
+    }
+    all
+}
+
 /// Generates a bursty trace via a two-state Markov-modulated Poisson
 /// process: the arrival rate alternates between `burst_factor × rate` and
 /// `rate / burst_factor`, with exponentially distributed state dwell times
@@ -236,6 +270,52 @@ mod mixture_tests {
         // both short- and long-output requests present
         assert!(reqs.iter().any(|r| r.output_len <= 16));
         assert!(reqs.iter().any(|r| r.output_len >= 64));
+    }
+
+    #[test]
+    fn multi_tenant_tags_and_merges_streams() {
+        let tenants = [
+            (ModelId(1), spec::conversation(3.0)),
+            (ModelId(2), spec::coding(1.0)),
+        ];
+        let reqs = generate_multi_tenant(&tenants, SimDuration::from_secs(300), 7);
+        for (i, w) in reqs.windows(2).enumerate() {
+            assert!(w[0].arrival <= w[1].arrival, "unsorted at {i}");
+        }
+        for (i, r) in reqs.iter().enumerate() {
+            assert_eq!(r.id.0, i as u64);
+        }
+        let n1 = reqs.iter().filter(|r| r.model == ModelId(1)).count();
+        let n2 = reqs.iter().filter(|r| r.model == ModelId(2)).count();
+        assert_eq!(n1 + n2, reqs.len(), "every request carries a tenant tag");
+        // 3:1 rate asymmetry survives the merge
+        let ratio = n1 as f64 / n2 as f64;
+        assert!((2.0..=4.5).contains(&ratio), "tenant ratio {ratio}");
+    }
+
+    #[test]
+    fn multi_tenant_streams_are_independent_of_tenant_count() {
+        // adding a tenant must not perturb the first tenant's arrivals
+        let one = generate_multi_tenant(
+            &[(ModelId(1), spec::coding(2.0))],
+            SimDuration::from_secs(100),
+            11,
+        );
+        let two = generate_multi_tenant(
+            &[
+                (ModelId(1), spec::coding(2.0)),
+                (ModelId(2), spec::conversation(2.0)),
+            ],
+            SimDuration::from_secs(100),
+            11,
+        );
+        let only_m1: Vec<SimTime> = two
+            .iter()
+            .filter(|r| r.model == ModelId(1))
+            .map(|r| r.arrival)
+            .collect();
+        let arrivals: Vec<SimTime> = one.iter().map(|r| r.arrival).collect();
+        assert_eq!(arrivals, only_m1);
     }
 
     #[test]

@@ -39,6 +39,9 @@ pub mod spec;
 pub mod trace;
 
 pub use distribution::LengthDistribution;
-pub use generator::{generate, generate_bursty, generate_mixture, generate_phased, WorkloadPhase};
+pub use generator::{
+    generate, generate_bursty, generate_mixture, generate_multi_tenant, generate_phased,
+    WorkloadPhase,
+};
 pub use profiler::{WorkloadProfiler, WorkloadStats};
 pub use spec::WorkloadSpec;

@@ -41,12 +41,10 @@ fn pick_failed_node(cluster: &thunderserve::cluster::Cluster, plan: &DeploymentP
 }
 
 fn main() -> thunderserve::Result<()> {
-    let model = ModelSpec::llama_30b();
-    let slo = SloSpec::new(
-        SimDuration::from_millis(3200),
-        SimDuration::from_millis(240),
-        SimDuration::from_secs(48),
-    );
+    // The catalog's LLaMA-30B coding preset bundles the model with the
+    // paper's long-form SLO.
+    let tenant = ServedModel::llama_30b_coding(ModelId(0), 1.0)?;
+    let (model, slo) = (tenant.spec, tenant.slo);
     let workload = spec::coding(3.0);
 
     for (name, policy) in [

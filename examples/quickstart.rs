@@ -19,14 +19,12 @@ fn main() -> thunderserve::Result<()> {
         cluster.price_per_hour()
     );
 
-    // 2. Pick the model, workload and SLO.
-    let model = ModelSpec::llama_30b();
+    // 2. Pick the model, workload and SLO. The catalog's LLaMA-30B coding
+    //    preset bundles the model with the paper's long-form SLO (TTFT
+    //    3200ms, TPOT 240ms, E2E 48s).
+    let tenant = ServedModel::llama_30b_coding(ModelId(0), 1.0)?;
+    let (model, slo) = (tenant.spec, tenant.slo);
     let workload = thunderserve::workload::spec::coding(2.5);
-    let slo = SloSpec::new(
-        SimDuration::from_millis(3200), // TTFT
-        SimDuration::from_millis(240),  // TPOT
-        SimDuration::from_secs(48),     // E2E
-    );
 
     // 3. Run the two-level scheduler (tabu search over group construction &
     //    phase designation; parallel-config deduction + orchestration below).

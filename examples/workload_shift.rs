@@ -15,12 +15,10 @@ use thunderserve::workload::spec;
 
 fn main() -> thunderserve::Result<()> {
     let cluster = thunderserve::cluster::presets::paper_cloud_cluster();
-    let model = ModelSpec::llama_30b();
-    let slo = SloSpec::new(
-        SimDuration::from_millis(3200),
-        SimDuration::from_millis(240),
-        SimDuration::from_secs(48),
-    );
+    // The catalog's LLaMA-30B coding preset bundles the model with the
+    // paper's long-form SLO.
+    let tenant = ServedModel::llama_30b_coding(ModelId(0), 1.0)?;
+    let (model, slo) = (tenant.spec, tenant.slo);
     let mut cfg = SchedulerConfig::default();
     cfg.seed = 11;
     cfg.n_step = 50;

@@ -70,8 +70,8 @@ pub mod prelude {
     pub use thunderserve_core::{ScheduleResult, Scheduler, SchedulerConfig};
     pub use ts_cluster::{Cluster, ClusterBuilder, GpuModel};
     pub use ts_common::{
-        DeploymentPlan, GpuId, GroupSpec, ModelSpec, ParallelConfig, Phase, Request, RequestId,
-        SimDuration, SimTime, SloKind, SloSpec,
+        DeploymentPlan, GpuId, GroupSpec, ModelId, ModelSpec, ParallelConfig, Phase, Request,
+        RequestId, ServedModel, SimDuration, SimTime, SloKind, SloSpec,
     };
     pub use ts_sim::{config::SimConfig, engine::Simulation, metrics::Metrics};
     pub use ts_workload::WorkloadSpec;

@@ -6,11 +6,8 @@ use thunderserve::workload::generator::generate;
 use thunderserve::workload::spec;
 
 fn slo() -> SloSpec {
-    SloSpec::new(
-        SimDuration::from_millis(3200),
-        SimDuration::from_millis(240),
-        SimDuration::from_secs(48),
-    )
+    // The catalog's LLaMA-30B coding preset is the paper's long-form SLO.
+    ServedModel::llama_30b_coding(ModelId(0), 1.0).unwrap().slo
 }
 
 #[test]
@@ -104,11 +101,7 @@ fn tighter_slo_never_increases_attainment() {
     let workload = spec::coding(1.5);
     let mut cfg = SchedulerConfig::fast();
     cfg.seed = 9;
-    let base = SloSpec::new(
-        SimDuration::from_millis(1600),
-        SimDuration::from_millis(120),
-        SimDuration::from_secs(24),
-    );
+    let base = ServedModel::llama_13b_chat(ModelId(0), 1.0).unwrap().slo;
     let plan = Scheduler::new(cfg)
         .schedule(&cluster, &model, &workload, &base)
         .unwrap()

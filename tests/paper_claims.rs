@@ -8,11 +8,8 @@ use thunderserve::workload::generator::generate;
 use thunderserve::workload::spec;
 
 fn slo() -> SloSpec {
-    SloSpec::new(
-        SimDuration::from_millis(3200),
-        SimDuration::from_millis(240),
-        SimDuration::from_secs(48),
-    )
+    // The catalog's LLaMA-30B coding preset is the paper's long-form SLO.
+    ServedModel::llama_30b_coding(ModelId(0), 1.0).unwrap().slo
 }
 
 /// §5.2/Appendix H: with adequate inter-instance bandwidth, phase splitting

@@ -666,6 +666,258 @@ fn plan_text_round_trips() {
     }
 }
 
+/// The single-model scheduling path is the exact special case of the
+/// multi-model one: a one-entry default catalog through `schedule_multi`
+/// yields a byte-identical plan and identical search counters to `schedule`,
+/// across seeds.
+#[test]
+fn single_model_schedule_is_bit_identical_through_multi_path() {
+    use thunderserve::common::{ModelId, ModelSpec, ServedModel, SloSpec};
+    use thunderserve::scheduler::{Scheduler, SchedulerConfig};
+    use thunderserve::workload::spec;
+    let cluster = thunderserve::cluster::presets::a5000_cluster(8);
+    let model = ModelSpec::llama_13b();
+    let slo = SloSpec::new(
+        SimDuration::from_secs(5),
+        SimDuration::from_millis(300),
+        SimDuration::from_secs(60),
+    );
+    for (case, w) in [spec::coding(2.0), spec::conversation(2.0)]
+        .into_iter()
+        .enumerate()
+    {
+        let mut cfg = SchedulerConfig::fast();
+        cfg.seed = 8 + case as u64;
+        let s = Scheduler::new(cfg);
+        let single = s.schedule(&cluster, &model, &w, &slo).unwrap();
+        let multi = s
+            .schedule_multi(
+                &cluster,
+                &[ServedModel::single(model.clone(), slo)],
+                std::slice::from_ref(&w),
+            )
+            .unwrap();
+        assert_eq!(single.plan, multi.schedule.plan, "case {case}: plan drift");
+        assert!(!multi.schedule.plan.is_multi_model());
+        assert_eq!(multi.schedule.plan.models(), vec![ModelId(0)]);
+        assert_eq!(
+            single.estimated_attainment.to_bits(),
+            multi.schedule.estimated_attainment.to_bits(),
+            "case {case}: attainment drift"
+        );
+        assert_eq!(single.evaluations, multi.schedule.evaluations);
+        assert_eq!(
+            single.neighbors_generated,
+            multi.schedule.neighbors_generated
+        );
+    }
+}
+
+/// A catalog with only the default model leaves single-model simulation
+/// untouched: the run through the model-tracking machinery produces records
+/// and recovery counters identical to the untracked run (modulo the new
+/// per-model ledger itself, which must balance), on both engines, with and
+/// without faults.
+#[test]
+fn single_model_metrics_survive_the_catalog_bit_identically() {
+    use thunderserve::common::{
+        DeploymentPlan, GroupSpec, ModelId, ParallelConfig, RoutingMatrix, ServedModel, StageSpec,
+    };
+    use thunderserve::sim::colocated::ColocatedSimulation;
+    use thunderserve::sim::config::SimConfig;
+    use thunderserve::sim::engine::Simulation;
+    use thunderserve::sim::fault::{FaultKind, FaultScript, TimedFault};
+    let cluster = thunderserve::cluster::presets::network_case_cluster(
+        thunderserve::cluster::presets::ETH_40GBPS,
+    );
+    let tenant = ServedModel::llama_13b_chat(ModelId(0), 1.0).unwrap();
+    let (model, slo) = (tenant.spec.clone(), tenant.slo);
+    let g = |phase, ids: &[u32], tp: usize| {
+        GroupSpec::new(
+            phase,
+            ParallelConfig::new(tp, 1).unwrap(),
+            vec![StageSpec {
+                gpus: ids.iter().map(|&i| GpuId(i)).collect(),
+                layers: model.num_layers,
+            }],
+        )
+        .unwrap()
+    };
+    let plan = DeploymentPlan::new(
+        vec![
+            g(Phase::Prefill, &[0, 1], 2),
+            g(Phase::Prefill, &[2, 3], 2),
+            g(Phase::Decode, &[4, 5], 2),
+            g(Phase::Decode, &[6, 7], 2),
+        ],
+        RoutingMatrix::uniform(2, 2),
+    )
+    .unwrap();
+    let colo_groups = vec![g(Phase::Prefill, &[0, 1], 2), g(Phase::Prefill, &[2, 3], 2)];
+    for case in 0..CASES {
+        let mut rng = seeded_rng(derive_seed(0xB17, case));
+        let n_reqs = rng.gen_range(1usize..40);
+        let mut reqs: Vec<Request> = (0..n_reqs)
+            .map(|i| {
+                Request::new(
+                    RequestId(i as u64),
+                    SimTime::from_secs_f64(rng.gen_range(0.0..30.0)),
+                    rng.gen_range(1..3000),
+                    rng.gen_range(1..200),
+                )
+            })
+            .collect();
+        reqs.sort_by_key(|r| r.arrival);
+        let script = match case % 3 {
+            0 => FaultScript::none(),
+            1 => FaultScript::new(
+                vec![TimedFault {
+                    at: SimTime::from_secs_f64(rng.gen_range(1.0..20.0)),
+                    kind: FaultKind::DecodeDown(0),
+                }],
+                SimDuration::from_millis(rng.gen_range(50..2000)),
+            ),
+            _ => FaultScript::new(
+                vec![TimedFault {
+                    at: SimTime::from_secs_f64(rng.gen_range(1.0..15.0)),
+                    kind: FaultKind::DecodeSlow(0, rng.gen_range(2.0..8.0)),
+                }],
+                SimDuration::from_millis(500),
+            ),
+        };
+        let base = || {
+            let mut c = SimConfig::new(model.clone());
+            if case % 3 == 2 {
+                c = c
+                    .with_straggler_detection(1.5)
+                    .with_hedging(SimDuration::from_millis(400));
+            }
+            c
+        };
+        let tagged = || base().with_catalog(vec![ServedModel::single(model.clone(), slo)]);
+        let check = |plain: thunderserve::sim::metrics::Metrics,
+                     with_catalog: thunderserve::sim::metrics::Metrics| {
+            assert_eq!(
+                plain.records(),
+                with_catalog.records(),
+                "case {case}: records drifted under the catalog"
+            );
+            assert_eq!(plain.num_dropped(), with_catalog.num_dropped());
+            assert_eq!(plain.num_rejected(), with_catalog.num_rejected());
+            assert!(plain.recovery().per_model.is_empty());
+            let per = &with_catalog.recovery().per_model;
+            assert_eq!(per.len(), 1, "case {case}: one tenant, one ledger entry");
+            assert!(per[0].balanced());
+            assert_eq!(per[0].submitted, reqs.len());
+            let mut scrubbed = with_catalog.recovery().clone();
+            scrubbed.per_model.clear();
+            assert_eq!(
+                &scrubbed,
+                plain.recovery(),
+                "case {case}: recovery counters drifted under the catalog"
+            );
+        };
+        check(
+            Simulation::new(&cluster, &plan, base())
+                .unwrap()
+                .run_with_faults(&reqs, &script)
+                .unwrap(),
+            Simulation::new(&cluster, &plan, tagged())
+                .unwrap()
+                .run_with_faults(&reqs, &script)
+                .unwrap(),
+        );
+        // Colocated engine: skip the split-only fault arms' replica indices
+        // when they exceed the two colocated replicas (they don't here).
+        check(
+            ColocatedSimulation::new(&cluster, &colo_groups, base())
+                .unwrap()
+                .run_with_faults(&reqs, &script)
+                .unwrap(),
+            ColocatedSimulation::new(&cluster, &colo_groups, tagged())
+                .unwrap()
+                .run_with_faults(&reqs, &script)
+                .unwrap(),
+        );
+    }
+}
+
+/// A two-tenant plan from `schedule_multi` serves tagged traffic end to end
+/// on one shared pool: both models complete work, the per-model conservation
+/// ledger balances for each, and identical runs are bit-identical.
+#[test]
+fn multi_model_plan_serves_both_tenants_end_to_end() {
+    use thunderserve::common::{ModelId, ServedModel};
+    use thunderserve::scheduler::{Scheduler, SchedulerConfig};
+    use thunderserve::sim::config::SimConfig;
+    use thunderserve::sim::engine::Simulation;
+    use thunderserve::workload::generator::generate_multi_tenant;
+    use thunderserve::workload::spec;
+    let cluster = thunderserve::cluster::presets::a5000_cluster(12);
+    let catalog = vec![
+        ServedModel::llama_7b_chat(ModelId(1), 0.6).unwrap(),
+        ServedModel::llama_13b_chat(ModelId(2), 0.4).unwrap(),
+    ];
+    let workloads = [spec::conversation(1.5), spec::coding(1.0)];
+    let mut cfg = SchedulerConfig::fast();
+    cfg.seed = 21;
+    let r = Scheduler::new(cfg)
+        .schedule_multi(&cluster, &catalog, &workloads)
+        .unwrap();
+    let plan = &r.schedule.plan;
+    assert!(plan.is_multi_model());
+    for m in &catalog {
+        assert!(
+            !plan.prefill_indices_for(m.id).is_empty(),
+            "{} has no prefill groups",
+            m.id
+        );
+        assert!(
+            !plan.decode_indices_for(m.id).is_empty(),
+            "{} has no decode groups",
+            m.id
+        );
+    }
+    let reqs = generate_multi_tenant(
+        &[
+            (ModelId(1), workloads[0].clone()),
+            (ModelId(2), workloads[1].clone()),
+        ],
+        SimDuration::from_secs(20),
+        97,
+    );
+    assert!(!reqs.is_empty());
+    let sim_cfg = SimConfig::new(catalog[0].spec.clone()).with_catalog(catalog.clone());
+    let run = || {
+        Simulation::new(&cluster, plan, sim_cfg.clone())
+            .unwrap()
+            .run(&reqs)
+            .unwrap()
+    };
+    let m = run();
+    let per = &m.recovery().per_model;
+    assert_eq!(per.len(), 2);
+    for c in per {
+        assert!(c.balanced(), "unbalanced ledger for {}: {c:?}", c.model);
+        assert!(c.submitted > 0);
+    }
+    for id in [ModelId(1), ModelId(2)] {
+        let view = m.for_model(id);
+        assert!(
+            view.num_completed() > 0,
+            "tenant {id} completed nothing on the shared pool"
+        );
+        for rec in view.records() {
+            assert_eq!(rec.request.model, id);
+        }
+    }
+    assert_eq!(
+        m.for_model(ModelId(1)).num_completed() + m.for_model(ModelId(2)).num_completed(),
+        m.num_completed()
+    );
+    assert_eq!(m, run(), "multi-model run must be bit-identical");
+}
+
 /// Per-request invariants of the engine's latency metrics: the largest
 /// inter-token gap is at least the mean gap (TPOT) and at most E2E.
 #[test]
