@@ -70,5 +70,45 @@ fn bench_event_loop(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_event_loop);
+/// Day-trace-scale arm: 100k requests through a 64-replica split plan —
+/// the same shape as `bench_sim`'s 100k arm (paired routing, thin decode
+/// batches), as a tracked criterion benchmark with requests/sec
+/// throughput. Large enough that slab reuse, plan recycling and the
+/// indexed queue's steady state all engage.
+fn bench_event_loop_100k(c: &mut Criterion) {
+    let cluster = presets::a5000_cluster(64);
+    let model = ModelSpec::llama_7b();
+    let layers = model.num_layers;
+    let reqs = generate(&spec::fixed(256, 64, 40.0), SimDuration::from_secs(2500), 1);
+    let half = 32usize;
+    // Paired routing: prefill i feeds decode i, the shape KV-transfer-aware
+    // orchestration produces at scale.
+    let mut rates = vec![vec![0.0; half]; half];
+    for (p, row) in rates.iter_mut().enumerate() {
+        row[p] = 1.0 / half as f64;
+    }
+    let split_plan = DeploymentPlan::new(
+        (0..half as u32)
+            .map(|g| replica(Phase::Prefill, g, layers))
+            .chain((0..half as u32).map(|g| replica(Phase::Decode, half as u32 + g, layers)))
+            .collect(),
+        RoutingMatrix::new(rates).unwrap(),
+    )
+    .unwrap();
+
+    let mut group = c.benchmark_group("event_loop_100k_64rep");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(reqs.len() as u64));
+    group.bench_function("split_32p32d", |b| {
+        b.iter(|| {
+            Simulation::new(&cluster, &split_plan, SimConfig::new(model.clone()))
+                .unwrap()
+                .run(&reqs)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_loop, bench_event_loop_100k);
 criterion_main!(benches);

@@ -34,6 +34,7 @@ pub mod plan;
 pub mod plan_io;
 pub mod request;
 pub mod rng;
+pub mod slab;
 pub mod slo;
 pub mod stats;
 pub mod time;
@@ -48,6 +49,7 @@ pub use phase::Phase;
 pub use plan::{DeploymentPlan, GroupSpec, ModelRouting, RoutingMatrix, StageSpec};
 pub use request::Request;
 pub use rng::{derive_seed, seeded_rng};
+pub use slab::{Slab, SlabKey};
 pub use slo::{SloKind, SloSpec};
 pub use stats::percentile;
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,325 @@
+//! A generational slab: dense, reusable storage indexed by small handles.
+//!
+//! The simulator keeps per-request state alive from arrival to completion
+//! and touches it on every event. Keying that state by [`crate::RequestId`]
+//! in a `HashMap` costs a hash and a probe per touch; a slab turns the same
+//! lookup into one array index. Slots are recycled through a free list, and
+//! every slot carries a *generation* so a stale handle (one outliving its
+//! entry, e.g. carried by an event that fires after the request finished)
+//! is detected instead of silently reading the slot's next tenant.
+//!
+//! ```
+//! use ts_common::slab::Slab;
+//! let mut slab = Slab::new();
+//! let a = slab.insert("alpha");
+//! let b = slab.insert("beta");
+//! assert_eq!(slab[a], "alpha");
+//! assert_eq!(slab.remove(a), Some("alpha"));
+//! assert_eq!(slab.get(a), None); // stale handle, not `beta`'s slot
+//! let c = slab.insert("gamma"); // recycles the slot under a new generation
+//! assert_eq!(slab[c], "gamma");
+//! assert_eq!(slab.get(a), None);
+//! assert_eq!(slab.len(), 2);
+//! let _ = b;
+//! ```
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A handle into a [`Slab`]: slot index plus the generation it was issued
+/// under. 8 bytes, `Copy`, order- and hash-friendly, and convertible to a
+/// single `u64` for subsystems that key by integers (e.g. network-flow
+/// tables).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SlabKey {
+    index: u32,
+    gen: u32,
+}
+
+impl SlabKey {
+    /// Packs the handle into one integer (`index` in the high half).
+    #[inline]
+    pub fn as_u64(self) -> u64 {
+        (u64::from(self.index) << 32) | u64::from(self.gen)
+    }
+
+    /// Unpacks a handle produced by [`SlabKey::as_u64`].
+    #[inline]
+    pub fn from_u64(v: u64) -> Self {
+        SlabKey {
+            index: (v >> 32) as u32,
+            gen: v as u32,
+        }
+    }
+
+    /// The slot index (dense, `<` the slab's capacity).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.index as usize
+    }
+}
+
+impl fmt::Display for SlabKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}v{}", self.index, self.gen)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Slot<T> {
+    gen: u32,
+    value: Option<T>,
+}
+
+/// A generational slab allocator. See the module docs for the contract.
+#[derive(Debug, Clone)]
+pub struct Slab<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    pub fn new() -> Self {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// An empty slab with room for `cap` entries before reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        Slab {
+            slots: Vec::with_capacity(cap),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of live entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the slab holds no live entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Stores `value`, returning its handle. Recycles the most recently
+    /// freed slot if one exists.
+    pub fn insert(&mut self, value: T) -> SlabKey {
+        self.len += 1;
+        if let Some(index) = self.free.pop() {
+            let slot = &mut self.slots[index as usize];
+            debug_assert!(slot.value.is_none(), "free list pointed at a live slot");
+            slot.value = Some(value);
+            SlabKey {
+                index,
+                gen: slot.gen,
+            }
+        } else {
+            let index = u32::try_from(self.slots.len()).expect("slab capacity exceeds u32");
+            self.slots.push(Slot {
+                gen: 0,
+                value: Some(value),
+            });
+            SlabKey { index, gen: 0 }
+        }
+    }
+
+    #[inline]
+    fn slot(&self, key: SlabKey) -> Option<&Slot<T>> {
+        self.slots.get(key.index as usize).filter(|s| {
+            // A generation match on a vacant slot cannot happen (removal
+            // bumps the generation), so the gen check alone decides.
+            debug_assert!(s.gen != key.gen || s.value.is_some());
+            s.gen == key.gen
+        })
+    }
+
+    /// The entry under `key`, or `None` if the handle is stale.
+    #[inline]
+    pub fn get(&self, key: SlabKey) -> Option<&T> {
+        self.slot(key).and_then(|s| s.value.as_ref())
+    }
+
+    /// Mutable access to the entry under `key`, or `None` if stale.
+    #[inline]
+    pub fn get_mut(&mut self, key: SlabKey) -> Option<&mut T> {
+        self.slots
+            .get_mut(key.index as usize)
+            .filter(|s| s.gen == key.gen)
+            .and_then(|s| s.value.as_mut())
+    }
+
+    /// Whether `key` refers to a live entry.
+    #[inline]
+    pub fn contains(&self, key: SlabKey) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Removes and returns the entry under `key`; `None` if stale. The slot
+    /// is recycled under a new generation.
+    pub fn remove(&mut self, key: SlabKey) -> Option<T> {
+        let slot = self
+            .slots
+            .get_mut(key.index as usize)
+            .filter(|s| s.gen == key.gen)?;
+        let value = slot.value.take()?;
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(key.index);
+        self.len -= 1;
+        debug_assert!(self.free.len() + self.len == self.slots.len());
+        Some(value)
+    }
+
+    /// Live entries in slot-index order (deterministic, *not* insertion
+    /// order once slots recycle).
+    pub fn iter(&self) -> impl Iterator<Item = (SlabKey, &T)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| {
+            s.value.as_ref().map(|v| {
+                (
+                    SlabKey {
+                        index: i as u32,
+                        gen: s.gen,
+                    },
+                    v,
+                )
+            })
+        })
+    }
+
+    /// Drains every live entry in slot-index order, leaving the slab empty
+    /// (generations keep advancing, so old handles stay stale).
+    pub fn drain(&mut self) -> Vec<(SlabKey, T)> {
+        let mut out = Vec::with_capacity(self.len);
+        for (i, s) in self.slots.iter_mut().enumerate() {
+            if let Some(v) = s.value.take() {
+                out.push((
+                    SlabKey {
+                        index: i as u32,
+                        gen: s.gen,
+                    },
+                    v,
+                ));
+                s.gen = s.gen.wrapping_add(1);
+                self.free.push(i as u32);
+            }
+        }
+        self.len = 0;
+        out
+    }
+}
+
+impl<T> Index<SlabKey> for Slab<T> {
+    type Output = T;
+
+    /// # Panics
+    /// Panics on a stale handle — indexing asserts liveness.
+    #[inline]
+    fn index(&self, key: SlabKey) -> &T {
+        self.get(key).expect("stale slab key")
+    }
+}
+
+impl<T> IndexMut<SlabKey> for Slab<T> {
+    #[inline]
+    fn index_mut(&mut self, key: SlabKey) -> &mut T {
+        self.get_mut(key).expect("stale slab key")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut s = Slab::new();
+        let k = s.insert(42);
+        assert_eq!(s.get(k), Some(&42));
+        assert_eq!(s.len(), 1);
+        *s.get_mut(k).unwrap() = 43;
+        assert_eq!(s.remove(k), Some(43));
+        assert!(s.is_empty());
+        assert_eq!(s.remove(k), None, "double remove is a stale no-op");
+    }
+
+    #[test]
+    fn stale_keys_never_alias_recycled_slots() {
+        let mut s = Slab::new();
+        let a = s.insert("a");
+        s.remove(a).unwrap();
+        let b = s.insert("b");
+        assert_eq!(a.index(), b.index(), "slot must be recycled");
+        assert_eq!(s.get(a), None);
+        assert_eq!(s.get(b), Some(&"b"));
+        assert!(!s.contains(a));
+        assert!(s.contains(b));
+    }
+
+    #[test]
+    fn u64_roundtrip_is_lossless_and_unique_per_generation() {
+        let mut s = Slab::new();
+        let a = s.insert(1);
+        s.remove(a).unwrap();
+        let b = s.insert(2);
+        assert_eq!(SlabKey::from_u64(a.as_u64()), a);
+        assert_eq!(SlabKey::from_u64(b.as_u64()), b);
+        assert_ne!(a.as_u64(), b.as_u64());
+    }
+
+    #[test]
+    fn iter_walks_index_order() {
+        let mut s = Slab::new();
+        let keys: Vec<_> = (0..5).map(|i| s.insert(i * 10)).collect();
+        s.remove(keys[2]).unwrap();
+        let seen: Vec<_> = s.iter().map(|(k, &v)| (k.index(), v)).collect();
+        assert_eq!(seen, vec![(0, 0), (1, 10), (3, 30), (4, 40)]);
+    }
+
+    #[test]
+    fn drain_empties_and_staleifies() {
+        let mut s = Slab::new();
+        let a = s.insert(1);
+        let b = s.insert(2);
+        let drained = s.drain();
+        assert_eq!(drained, vec![(a, 1), (b, 2)]);
+        assert!(s.is_empty());
+        assert_eq!(s.get(a), None);
+        assert_eq!(s.get(b), None);
+        let c = s.insert(3);
+        assert_eq!(s.get(c), Some(&3));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn interleaved_churn_conserves_len() {
+        let mut s = Slab::new();
+        let mut live = Vec::new();
+        for round in 0u32..100 {
+            let k = s.insert(round);
+            live.push((k, round));
+            if round % 3 == 0 {
+                let (k, v) = live.remove((round as usize * 7) % live.len());
+                assert_eq!(s.remove(k), Some(v));
+            }
+            assert_eq!(s.len(), live.len());
+        }
+        for (k, v) in &live {
+            assert_eq!(s.get(*k), Some(v));
+        }
+        assert_eq!(s.iter().count(), live.len());
+    }
+}

@@ -10,6 +10,25 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
+/// `x.round()` for non-negative `x`, without the libm call.
+///
+/// On baseline x86-64 (no SSE4.1 `roundsd`) `f64::round` compiles to a call
+/// into libm, and the simulator converts floats to timestamps millions of
+/// times per run — it shows up in profiles. For `x < 2^53` every integer in
+/// play is exactly representable, so truncate-and-compare reproduces
+/// round-half-away-from-zero bit-for-bit with three inline instructions;
+/// larger values (285+ simulated years in microseconds) take the slow path.
+#[inline]
+fn round_nonneg(x: f64) -> u64 {
+    const EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+    if x < EXACT {
+        let i = x as u64; // truncation; exact since x < 2^53
+        i + (x - i as f64 >= 0.5) as u64
+    } else {
+        x.round() as u64
+    }
+}
+
 /// An instant in simulated time (microseconds since simulation start).
 ///
 /// ```
@@ -53,7 +72,7 @@ impl SimTime {
     #[inline]
     pub fn from_secs_f64(secs: f64) -> Self {
         assert!(secs.is_finite() && secs >= 0.0, "invalid time: {secs}");
-        SimTime((secs * 1e6).round() as u64)
+        SimTime(round_nonneg(secs * 1e6))
     }
 
     /// Raw microsecond count.
@@ -106,7 +125,7 @@ impl SimDuration {
     #[inline]
     pub fn from_secs_f64(secs: f64) -> Self {
         assert!(secs.is_finite() && secs >= 0.0, "invalid duration: {secs}");
-        SimDuration((secs * 1e6).round() as u64)
+        SimDuration(round_nonneg(secs * 1e6))
     }
 
     /// Raw microsecond count.
@@ -143,7 +162,7 @@ impl SimDuration {
             factor.is_finite() && factor >= 0.0,
             "invalid factor: {factor}"
         );
-        SimDuration((self.0 as f64 * factor).round() as u64)
+        SimDuration(round_nonneg(self.0 as f64 * factor))
     }
 }
 
@@ -250,6 +269,36 @@ impl fmt::Display for SimDuration {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn round_nonneg_matches_libm_round() {
+        // Adversarial cases: exact halves (round half away from zero), the
+        // largest double below 0.5 (where the naive `floor(x + 0.5)` trick
+        // breaks), values straddling the 2^53 exactness cliff, and a sweep
+        // of awkward fractions at realistic microsecond magnitudes.
+        let mut cases = vec![
+            0.0,
+            0.25,
+            0.49999999999999994, // nextbelow(0.5): rounds to 0, x+0.5 would give 1
+            0.5,
+            0.75,
+            1.5,
+            2.5,
+            9_007_199_254_740_991.0, // 2^53 - 1
+            9_007_199_254_740_992.0, // 2^53 (slow path)
+            9_007_199_254_740_994.0,
+            1.8e16,
+        ];
+        let mut x = 0.1;
+        while x < 1e12 {
+            cases.push(x);
+            cases.push(x + 0.5);
+            x = x * 9.7 + 0.3;
+        }
+        for &c in &cases {
+            assert_eq!(round_nonneg(c), c.round() as u64, "diverged at {c}");
+        }
+    }
 
     #[test]
     fn arithmetic_round_trips() {

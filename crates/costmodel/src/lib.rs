@@ -41,8 +41,8 @@ pub mod replica;
 pub mod roofline;
 
 pub use alphabeta::{allreduce_time, transfer_time, CommCost};
-pub use replica::{KvRouteLeg, KvRouteSegment, ReplicaCostModel};
-pub use roofline::{decode_step_time, prefill_time, StageHardware};
+pub use replica::{DecodeStepSeries, KvRouteLeg, KvRouteSegment, ReplicaCostModel};
+pub use roofline::{decode_step_time, prefill_time, DecodeStageSeries, StageHardware};
 
 use serde::{Deserialize, Serialize};
 use ts_common::SimDuration;

@@ -105,6 +105,13 @@ impl<'a> ColocatedSimulation<'a> {
     pub fn take_trace(&mut self) -> Option<ts_telemetry::TraceLog> {
         self.driver.take_trace()
     }
+
+    /// Total number of discrete events dispatched so far (across every run
+    /// on this simulation). The benchmark harness divides by wall time for
+    /// an events/sec figure.
+    pub fn events_processed(&self) -> u64 {
+        self.driver.events_processed()
+    }
 }
 
 #[cfg(test)]

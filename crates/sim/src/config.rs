@@ -123,6 +123,16 @@ pub struct SimConfig {
     /// jitter knob actually needs randomness, so the default path stays
     /// bit-identical regardless of this value.
     pub fault_seed: u64,
+    /// Decode-step coalescing on disaggregated decode replicas: schedule
+    /// one event per planned multi-step decode run instead of one per step,
+    /// materializing the intermediate steps retroactively when anything
+    /// needs to observe the batch mid-run. Output-bit-identical to the
+    /// per-step schedule (the regression suite pins this) and roughly a
+    /// mean-batch-size reduction in event volume. `false` forces the
+    /// per-step path — the compatibility arm the bit-identity tests compare
+    /// against; straggler detection (which samples per-step timings)
+    /// disables coalescing on its own.
+    pub decode_coalescing: bool,
 }
 
 /// Prefill queue discipline.
@@ -167,6 +177,7 @@ impl SimConfig {
             deadline_slo: None,
             deadline_scale: 1.0,
             fault_seed: 0x7453_4752_4159,
+            decode_coalescing: true,
         }
     }
 
@@ -331,6 +342,14 @@ impl SimConfig {
     /// Returns a copy with the given fault/mitigation RNG seed.
     pub fn with_fault_seed(mut self, seed: u64) -> Self {
         self.fault_seed = seed;
+        self
+    }
+
+    /// Returns a copy with decode-step coalescing enabled or disabled (see
+    /// [`SimConfig::decode_coalescing`]; `false` is the per-step
+    /// compatibility path).
+    pub fn with_decode_coalescing(mut self, on: bool) -> Self {
+        self.decode_coalescing = on;
         self
     }
 }

@@ -17,14 +17,42 @@
 //! written once against the [`ReplicaExecutor`] trait, which is how the
 //! colocated baselines get fault injection and [`RecoveryCounters`] for
 //! free.
+//!
+//! # Performance architecture
+//!
+//! Three structural decisions keep the loop fast on day-scale traces
+//! without changing a single output bit:
+//!
+//! * **Slab-allocated request state.** All per-request bookkeeping (the
+//!   payload, routing/timing state, and any in-flight KV transfer) lives
+//!   in one [`Slab`] entry; events and jobs carry the dense generational
+//!   [`SlabKey`] instead of hashing a [`RequestId`] per touch.
+//! * **Lazy arrival merge.** Arrivals are never heap entries: the sorted
+//!   arrival vector is merged against the event queue head ([`NextEvent`]),
+//!   so a 1M-request trace starts with an empty heap instead of a 1M-entry
+//!   one. Arrivals won setup-time seqs under the old scheme (pushed first,
+//!   before fault events), so the merge breaks `at` ties in favour of
+//!   arrivals — bit-identical event order.
+//! * **Decode-step coalescing.** One [`EventKind::DecodeStepDone`] is
+//!   scheduled per planned decode *run* (a [`DecodePlan`]) instead of one
+//!   per step; intermediate step boundaries are materialized retroactively
+//!   (in bulk when telemetry is off) when an interrupt or the finish
+//!   boundary needs the batch state. The plan's *virtual push time*
+//!   (`prev_boundary`, and [`plan_vpush`] for the in-progress step)
+//!   reproduces the per-step schedule's `(at, seq, pushed_at)` ordering
+//!   against genuinely simultaneous rival events, so the coalesced loop
+//!   replays the exact same event interleaving the per-step loop would
+//!   have. The per-step path survives as a compatibility mode
+//!   ([`crate::config::SimConfig::decode_coalescing`] off, or a straggler
+//!   threshold active — the straggler detector needs per-step samples).
 
 use super::executor::{
-    ColocatedExecutor, ColocatedPolicy, DecodeExecutor, DrainedWork, PrefillExecutor,
+    ColocatedExecutor, ColocatedPolicy, DecodeExecutor, DecodePlan, DrainedWork, PrefillExecutor,
     ReplicaExecutor, Work,
 };
 use super::seq::{AdmitOutcome, Pending, PrefillJob, WaitingSeq};
-use crate::config::SimConfig;
-use crate::event::{EventKind, EventQueue};
+use crate::config::{PrefillPolicy, SimConfig};
+use crate::event::{Event, EventKind, EventQueue};
 use crate::fault::{FaultKind, FaultScript, TimedFault};
 use crate::metrics::{Metrics, ModelConservation, RecoveryCounters, RequestRecord};
 use crate::router::StrideRouter;
@@ -34,16 +62,16 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use ts_cluster::Cluster;
 use ts_common::{
     derive_seed, seeded_rng, DeploymentPlan, Error, GpuId, GroupSpec, ModelId, Request, RequestId,
-    Result, SimDuration, SimTime,
+    Result, SimDuration, SimTime, Slab, SlabKey,
 };
 use ts_costmodel::replica::{kv_route_legs, kv_transfer_time, KvRouteLeg, KvRouteSegment};
-use ts_costmodel::ReplicaCostModel;
+use ts_costmodel::{DecodeStageSeries, DecodeStepSeries, ReplicaCostModel};
 use ts_kvcache::codec::KvCodec;
 use ts_net::{FlowEstimate, FlowFabric, FlowPoll};
 use ts_telemetry::{Recorder, Role, TraceEvent, TraceKind, TraceLog, TraceSink};
 
-/// An in-flight KV transfer (registry entry; completion events carry an
-/// attempt number so superseded attempts are ignored).
+/// An in-flight KV transfer (completion events carry an attempt number so
+/// superseded attempts are ignored).
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct Transfer {
     from: usize,
@@ -52,14 +80,43 @@ pub(crate) struct Transfer {
     attempt: u32,
 }
 
+/// All driver-side state of one in-flight request, slab-resident: the
+/// payload, routing/timing bookkeeping, and the KV transfer registry slot
+/// (split topology only). One slab entry exists per live request; events
+/// and jobs address it by [`SlabKey`].
+pub(crate) struct ReqState {
+    req: Request,
+    pend: Pending,
+    /// The request's in-flight KV transfer, if any.
+    transfer: Option<Transfer>,
+}
+
+impl ReqState {
+    fn new(req: Request) -> Self {
+        ReqState {
+            req,
+            pend: Pending::new(0, 0),
+            transfer: None,
+        }
+    }
+}
+
+/// The next simulation occurrence: a trace arrival (merged lazily from the
+/// sorted arrival vector) or a queued event.
+enum NextEvent {
+    Arrival(Request),
+    Queued(Event),
+}
+
 /// Topology-agnostic driver state: event queue, routing, per-request
 /// bookkeeping, shed policy and fault/recovery accounting.
 pub(crate) struct Core {
     cfg: SimConfig,
     router: StrideRouter,
     queue: EventQueue,
-    pending: HashMap<RequestId, Pending>,
-    payloads: HashMap<RequestId, Request>,
+    /// Per-request state, slab-allocated; an entry lives from arrival to
+    /// completion/drop/rejection.
+    reqs: Slab<ReqState>,
     records: Vec<RequestRecord>,
     dropped: usize,
     rejected: usize,
@@ -93,6 +150,27 @@ pub(crate) struct Core {
     /// [`RecoveryCounters::per_model`] at the end of the run. Untouched
     /// when `track_models` is off.
     model_losses: HashMap<ModelId, (usize, usize)>,
+    /// The run's arrival trace, sorted by `(arrival, original order)`;
+    /// merged lazily against the event queue instead of being heap
+    /// entries.
+    arrivals: Vec<Request>,
+    /// Cursor into `arrivals`.
+    next_arrival: usize,
+    /// Count of occurrences dispatched (arrivals + queued events) — the
+    /// denominator of the events/sec benchmark.
+    events_processed: u64,
+    /// `pushed_at` stamp of the occurrence being dispatched (zero for
+    /// arrivals); consulted by the coalesced-decode tie rule.
+    event_pushed_at: SimTime,
+    /// Latest fire time folded in from cancelled decode-plan events. The
+    /// per-step loop popped those events and advanced `now` even when they
+    /// were stale; the coalesced loop cancels them instead, so the final
+    /// horizon folds this in to stay identical.
+    phantom_horizon: SimTime,
+    /// Coalesced decode finish events deferred behind a same-instant rival
+    /// (replica, original seq, original pushed_at), newest last. A stack,
+    /// not an `Option`: a rival dispatched inline may itself defer.
+    held_decode: Vec<(usize, u64, SimTime)>,
 }
 
 /// Per-host gray-failure bookkeeping: flaky-heartbeat masking, straggler
@@ -174,6 +252,12 @@ pub(crate) struct SplitState {
     pair_coords: Vec<(usize, usize)>,
     /// KV route per (prefill, decode) pair.
     routes: Vec<Vec<Vec<KvRouteSegment>>>,
+    /// One-entry memo per (prefill, decode) pair: `tokens ->` modeled
+    /// wire time. The route, the sender's model spec and the wire
+    /// precision are all fixed after construction, so
+    /// [`kv_transfer_time`] is pure in the token count — fixed-length
+    /// day traces hit the cache on nearly every transfer.
+    kv_memo: Vec<Vec<Option<(u64, SimDuration)>>>,
     /// Per-sender (prefill replica) uplink availability for KV transfer
     /// queuing: one replica's outbound transfers serialize on its NIC,
     /// whichever decode replica they target.
@@ -191,8 +275,6 @@ pub(crate) struct SplitState {
     /// follow beliefs, not ground truth — that is the detection window.
     believed_dead_prefill: Vec<bool>,
     believed_dead_decode: Vec<bool>,
-    /// In-flight KV transfers by request.
-    transfers: HashMap<RequestId, Transfer>,
     /// Transfers whose target died with no live alternative; re-dispatched
     /// when a decode replica comes back.
     parked: Vec<Transfer>,
@@ -259,22 +341,36 @@ pub(crate) struct Driver {
     topo: Topology,
 }
 
+/// Whether coalesced decode plans are active: the config knob is on and no
+/// straggler threshold demands per-step iteration samples.
+fn coalescing_active(core: &Core) -> bool {
+    core.cfg.decode_coalescing && core.cfg.straggler_threshold.is_none()
+}
+
 impl Driver {
     /// Builds a phase-split driver for `plan` on `cluster`.
     pub fn new_split(cluster: &Cluster, plan: &DeploymentPlan, cfg: SimConfig) -> Result<Self> {
         let prefill_idx = plan.prefill_indices();
         let decode_idx = plan.decode_indices();
+        // Insertion-sorted prefill queues replace the per-batch re-sort
+        // under pure shortest-first scheduling; chunked prefill keeps FCFS
+        // queues (take_chunk needs arrival order).
+        let sjf = cfg.prefill_policy == PrefillPolicy::ShortestFirst
+            && cfg.prefill_chunk_tokens.is_none();
         // Each group is priced with its own model's spec; on single-model
         // plans every group carries ModelId(0) and the catalog is empty, so
         // `spec_for` resolves to `cfg.model` exactly as before.
         let mut prefills = Vec::with_capacity(prefill_idx.len());
         for &gi in &prefill_idx {
-            prefills.push(PrefillExecutor::new(ReplicaCostModel::new(
-                cluster,
-                cfg.spec_for(plan.groups[gi].model),
-                &plan.groups[gi],
-                &cfg.params,
-            )?));
+            prefills.push(PrefillExecutor::new(
+                ReplicaCostModel::new(
+                    cluster,
+                    cfg.spec_for(plan.groups[gi].model),
+                    &plan.groups[gi],
+                    &cfg.params,
+                )?,
+                sjf,
+            ));
         }
         let mut decodes = Vec::with_capacity(decode_idx.len());
         for &gi in &decode_idx {
@@ -365,13 +461,13 @@ impl Driver {
                 prefills,
                 decodes,
                 pair_coords,
+                kv_memo: vec![vec![None; routes.first().map_or(0, Vec::len)]; routes.len()],
                 routes,
                 sender_free_at,
                 link_down,
                 link_factor,
                 believed_dead_prefill,
                 believed_dead_decode,
-                transfers: HashMap::new(),
                 parked: Vec::new(),
                 fabric,
                 flow_routes,
@@ -396,6 +492,12 @@ impl Driver {
         if groups.is_empty() {
             return Err(Error::Infeasible("no replicas".into()));
         }
+        // Chunked colocated scheduling interleaves take_chunk with decode
+        // turns and needs FCFS order; prefill-priority scheduling under
+        // shortest-first keeps its queue insertion-sorted instead of
+        // re-sorting per batch.
+        let sjf = cfg.prefill_policy == PrefillPolicy::ShortestFirst
+            && matches!(policy, ColocatedPolicy::PrefillPriority);
         let mut replicas = Vec::with_capacity(groups.len());
         let mut weights = Vec::with_capacity(groups.len());
         for g in groups {
@@ -403,7 +505,7 @@ impl Driver {
             let kv_capacity = cost.kv_capacity_tokens();
             // Route proportional to steady decode throughput at batch 32.
             weights.push(cost.decode_throughput(32.min(kv_capacity / 1024).max(1), 1024));
-            replicas.push(ColocatedExecutor::new(cost, policy));
+            replicas.push(ColocatedExecutor::new(cost, policy, sjf));
         }
         let believed_dead = vec![false; replicas.len()];
         let n = replicas.len();
@@ -414,6 +516,12 @@ impl Driver {
                 believed_dead,
             }),
         })
+    }
+
+    /// Total occurrences (arrivals + queued events) dispatched so far — the
+    /// denominator of the events/sec benchmark.
+    pub fn events_processed(&self) -> u64 {
+        self.core.events_processed
     }
 
     /// Runs the trace with mid-flight fault injection. With an empty
@@ -428,9 +536,12 @@ impl Driver {
         self.core.recovery_enabled = script.recovery;
         self.core.gray.beat_period = script.detection_delay;
 
-        for r in requests {
-            self.core.queue.push(r.arrival, EventKind::Arrival(*r));
-        }
+        // Arrivals are merged lazily from this sorted vector instead of
+        // being heap entries. The stable sort keeps submission order among
+        // simultaneous arrivals — the seq order the eager pushes gave them.
+        self.core.arrivals = requests.to_vec();
+        self.core.arrivals.sort_by_key(|r| r.arrival);
+        self.core.next_arrival = 0;
         for (idx, f) in self.core.faults.iter().enumerate() {
             self.core
                 .queue
@@ -447,109 +558,23 @@ impl Driver {
             }
         }
         let submitted = requests.len();
-        while let Some(ev) = self.core.queue.pop() {
-            debug_assert!(ev.at >= self.core.now, "event time went backwards");
-            self.core.now = ev.at;
-            match ev.kind {
-                EventKind::Arrival(req) => self.on_arrival(req),
-                EventKind::PrefillDone { replica, epoch } => {
-                    let s = self.split_mut("PrefillDone")?;
-                    if s.prefills[replica].event_is_current(epoch) {
-                        let Driver { core, topo } = self;
-                        let Topology::Split(s) = topo else {
-                            unreachable!()
-                        };
-                        split_on_prefill_done(core, s, replica)?;
-                    }
-                }
-                EventKind::PrefillSlotFree { replica, epoch } => {
-                    let s = self.split_mut("PrefillSlotFree")?;
-                    if s.prefills[replica].event_is_current(epoch) {
-                        s.prefills[replica].wakeup_scheduled = false;
-                        let Driver { core, topo } = self;
-                        let Topology::Split(s) = topo else {
-                            unreachable!()
-                        };
-                        split_maybe_start_prefill(core, s, replica);
-                    }
-                }
-                EventKind::KvTransferDone {
-                    replica,
-                    request,
-                    attempt,
-                } => {
-                    self.split_mut("KvTransferDone")?;
-                    let Driver { core, topo } = self;
-                    let Topology::Split(s) = topo else {
-                        unreachable!()
-                    };
-                    split_on_transfer_done(core, s, replica, request, attempt)?;
-                }
-                EventKind::KvFlowLaunch { request, attempt } => {
-                    self.split_mut("KvFlowLaunch")?;
-                    let Driver { core, topo } = self;
-                    let Topology::Split(s) = topo else {
-                        unreachable!()
-                    };
-                    split_on_flow_launch(core, s, request, attempt);
-                }
-                EventKind::KvFlowDone { request, epoch } => {
-                    self.split_mut("KvFlowDone")?;
-                    let Driver { core, topo } = self;
-                    let Topology::Split(s) = topo else {
-                        unreachable!()
-                    };
-                    split_on_flow_done(core, s, request, epoch)?;
-                }
-                EventKind::DecodeStepDone { replica, epoch } => {
-                    let s = self.split_mut("DecodeStepDone")?;
-                    if s.decodes[replica].event_is_current(epoch) {
-                        let Driver { core, topo } = self;
-                        let Topology::Split(s) = topo else {
-                            unreachable!()
-                        };
-                        split_on_decode_step(core, s, replica)?;
-                    }
-                }
-                EventKind::WorkDone { replica, epoch } => {
-                    let c = self.colocated_mut()?;
-                    if c.replicas[replica].event_is_current(epoch) {
-                        let Driver { core, topo } = self;
-                        let Topology::Colocated(c) = topo else {
-                            unreachable!()
-                        };
-                        colo_on_work_done(core, c, replica)?;
-                    }
-                }
-                EventKind::FaultTriggered { index } => self.on_fault_triggered(index),
-                EventKind::FaultDetected { index } => self.on_fault_detected(index),
-                EventKind::ServiceResumed => self.on_service_resumed(),
-                EventKind::HedgeCheck { request } => {
-                    self.split_mut("HedgeCheck")?;
-                    let Driver { core, topo } = self;
-                    let Topology::Split(s) = topo else {
-                        unreachable!()
-                    };
-                    split_on_hedge_check(core, s, request);
-                }
-                EventKind::FlakyBeat { node } => self.on_flaky_beat(node),
-                EventKind::ReadmitProbe { prefill, replica } => {
-                    self.on_readmit_probe(prefill, replica)
-                }
+        while let Some(next) = self.core.next_event() {
+            match next {
+                NextEvent::Arrival(req) => self.on_arrival(req),
+                NextEvent::Queued(ev) => self.dispatch_event(ev)?,
             }
         }
         // Anything still in the system when events run dry was lost to a
         // fault it never recovered from (stalled, parked, frozen on a dead
         // replica).
+        let leftovers = self.core.reqs.drain();
         if self.core.track_models {
-            let leftovers: Vec<RequestId> = self.core.pending.keys().copied().collect();
-            for id in leftovers {
-                note_model_loss(&mut self.core, id, false);
+            for (_, st) in &leftovers {
+                self.core.model_losses.entry(st.req.model).or_default().0 += 1;
             }
         }
-        self.core.dropped += self.core.pending.len();
-        self.core.pending.clear();
-        self.core.payloads.clear();
+        self.core.dropped += leftovers.len();
+        drop(leftovers);
         if self.core.records.len() + self.core.dropped + self.core.rejected != submitted {
             return Err(Error::Simulation(format!(
                 "conservation violated: {} completed + {} dropped + {} rejected != {} submitted",
@@ -593,7 +618,14 @@ impl Driver {
             self.core.recovery.per_model = per.into_values().collect();
             self.core.model_losses.clear();
         }
-        let horizon = self.core.now.saturating_since(SimTime::ZERO);
+        // The per-step loop popped (and advanced `now` past) decode events
+        // made stale by a replica death; the coalesced loop cancels them
+        // instead and folds their fire times into the phantom horizon.
+        let horizon = self
+            .core
+            .now
+            .max(self.core.phantom_horizon)
+            .saturating_since(SimTime::ZERO);
         Ok(Metrics::with_recovery(
             std::mem::take(&mut self.core.records),
             self.core.dropped,
@@ -601,6 +633,91 @@ impl Driver {
             horizon,
             std::mem::take(&mut self.core.recovery),
         ))
+    }
+
+    /// Dispatches one queued event to its handler.
+    fn dispatch_event(&mut self, ev: Event) -> Result<()> {
+        match ev.kind {
+            EventKind::PrefillDone { replica, epoch } => {
+                let s = self.split_mut("PrefillDone")?;
+                if s.prefills[replica].event_is_current(epoch) {
+                    let Driver { core, topo } = self;
+                    let Topology::Split(s) = topo else {
+                        unreachable!()
+                    };
+                    split_on_prefill_done(core, s, replica)?;
+                }
+            }
+            EventKind::PrefillSlotFree { replica, epoch } => {
+                let s = self.split_mut("PrefillSlotFree")?;
+                if s.prefills[replica].event_is_current(epoch) {
+                    s.prefills[replica].wakeup_scheduled = false;
+                    let Driver { core, topo } = self;
+                    let Topology::Split(s) = topo else {
+                        unreachable!()
+                    };
+                    split_maybe_start_prefill(core, s, replica);
+                }
+            }
+            EventKind::KvTransferDone {
+                replica,
+                request,
+                attempt,
+            } => {
+                self.split_mut("KvTransferDone")?;
+                let Driver { core, topo } = self;
+                let Topology::Split(s) = topo else {
+                    unreachable!()
+                };
+                split_on_transfer_done(core, s, replica, request, attempt)?;
+            }
+            EventKind::KvFlowLaunch { request, attempt } => {
+                self.split_mut("KvFlowLaunch")?;
+                let Driver { core, topo } = self;
+                let Topology::Split(s) = topo else {
+                    unreachable!()
+                };
+                split_on_flow_launch(core, s, request, attempt);
+            }
+            EventKind::KvFlowDone { request, epoch } => {
+                self.split_mut("KvFlowDone")?;
+                let Driver { core, topo } = self;
+                let Topology::Split(s) = topo else {
+                    unreachable!()
+                };
+                split_on_flow_done(core, s, request, epoch)?;
+            }
+            EventKind::DecodeStepDone { replica, epoch } => {
+                let s = self.split_mut("DecodeStepDone")?;
+                if s.decodes[replica].event_is_current(epoch) {
+                    self.on_decode_finish(replica, ev)?;
+                }
+            }
+            EventKind::WorkDone { replica, epoch } => {
+                let c = self.colocated_mut()?;
+                if c.replicas[replica].event_is_current(epoch) {
+                    let Driver { core, topo } = self;
+                    let Topology::Colocated(c) = topo else {
+                        unreachable!()
+                    };
+                    colo_on_work_done(core, c, replica)?;
+                }
+            }
+            EventKind::FaultTriggered { index } => self.on_fault_triggered(index),
+            EventKind::FaultDetected { index } => self.on_fault_detected(index),
+            EventKind::ServiceResumed => self.on_service_resumed(),
+            EventKind::HedgeCheck { request } => {
+                self.split_mut("HedgeCheck")?;
+                let Driver { core, topo } = self;
+                let Topology::Split(s) = topo else {
+                    unreachable!()
+                };
+                split_on_hedge_check(core, s, request);
+            }
+            EventKind::FlakyBeat { node } => self.on_flaky_beat(node),
+            EventKind::ReadmitProbe { prefill, replica } => self.on_readmit_probe(prefill, replica),
+        }
+        Ok(())
     }
 
     /// Takes the recorded trace of the run, finalized into a time-sorted
@@ -719,17 +836,11 @@ impl Driver {
     }
 
     fn on_arrival(&mut self, req: Request) {
-        self.core.payloads.insert(req.id, req);
-        self.core.pending.insert(req.id, Pending::new(0, 0));
-        trace(&mut self.core, TraceKind::Arrived { request: req.id });
+        let (id, model) = (req.id, req.model);
+        let key = self.core.reqs.insert(ReqState::new(req));
+        trace(&mut self.core, TraceKind::Arrived { request: id });
         if self.core.track_models {
-            trace(
-                &mut self.core,
-                TraceKind::ModelTag {
-                    request: req.id,
-                    model: req.model,
-                },
-            );
+            trace(&mut self.core, TraceKind::ModelTag { request: id, model });
         }
         // Flaky heartbeat beats pause while no requests are outstanding (so
         // the event queue can drain); restart them with the new work.
@@ -742,13 +853,18 @@ impl Driver {
                 }
             }
         }
-        self.dispatch_job(PrefillJob::fresh(req));
+        let job = PrefillJob::fresh(key, &self.core.reqs[key].req);
+        self.dispatch_job(job);
     }
 
     /// Routes a job to a live destination (a (prefill, decode) pair under
     /// `Split`, a replica under `Colocated`), or stalls/sheds it if the
     /// service is paused or no live route exists.
     fn dispatch_job(&mut self, job: PrefillJob) {
+        let Some(st) = self.core.reqs.get(job.key) else {
+            return;
+        };
+        let (rid, model, arrival) = (st.req.id, st.req.model, st.req.arrival);
         // SLO-class-aware shedding: a request whose TTFT deadline already
         // passed before its prefill could even be dispatched (it sat
         // stalled through a pause or dead-router window, or is being
@@ -758,21 +874,13 @@ impl Driver {
         // already produced their first token are exempt: their TTFT was
         // met.
         if let Some(slo) = self.core.cfg.deadline_slo {
-            let ttft_met = self
-                .core
-                .pending
-                .get(&job.req.id)
-                .is_some_and(|p| p.first_token_at.is_some());
-            let deadline = job.req.arrival + slo.ttft.mul_f64(self.core.cfg.deadline_scale);
+            let ttft_met = st.pend.first_token_at.is_some();
+            let deadline = arrival + slo.ttft.mul_f64(self.core.cfg.deadline_scale);
             if !ttft_met && self.core.now > deadline {
-                let id = job.req.id;
-                note_model_loss(&mut self.core, id, true);
-                self.core.pending.remove(&id);
-                self.core.payloads.remove(&id);
-                self.core.rejected += 1;
+                reject_request(&mut self.core, job.key);
                 self.core.recovery.deadline_shed += 1;
-                trace(&mut self.core, TraceKind::DeadlineShed { request: id });
-                clear_affected(&mut self.core, id);
+                trace(&mut self.core, TraceKind::DeadlineShed { request: rid });
+                clear_affected(&mut self.core, rid);
                 return;
             }
         }
@@ -786,11 +894,10 @@ impl Driver {
         // for a model the plan does not serve use the global router.
         let route = match &self.topo {
             Topology::Split(s) if !s.model_routes.is_empty() => {
-                s.model_routes.iter().position(|r| r.model == job.req.model)
+                s.model_routes.iter().position(|r| r.model == model)
             }
             _ => None,
         };
-        let rid = job.req.id;
         let Driver { core, topo } = self;
         let (i, j) = match (route, &mut *topo) {
             (Some(ri), Topology::Split(s)) => {
@@ -815,11 +922,12 @@ impl Driver {
         };
         match topo {
             Topology::Split(s) => {
-                if let Some(p) = core.pending.get_mut(&rid) {
-                    p.prefill = i;
-                    p.decode = j;
+                if let Some(st) = core.reqs.get_mut(job.key) {
+                    st.pend.prefill = i;
+                    st.pend.decode = j;
                 }
-                s.prefills[i].queue.queue.push_back(job);
+                let key = job.key;
+                s.prefills[i].queue.enqueue(job);
                 trace(
                     core,
                     TraceKind::Enqueued {
@@ -839,15 +947,15 @@ impl Driver {
                 split_maybe_start_prefill(core, s, i);
                 if let Some(timeout) = core.cfg.hedge_timeout {
                     core.queue
-                        .push(core.now + timeout, EventKind::HedgeCheck { request: rid });
+                        .push(core.now + timeout, EventKind::HedgeCheck { request: key });
                 }
             }
             Topology::Colocated(c) => {
-                if let Some(p) = core.pending.get_mut(&rid) {
-                    p.prefill = i;
-                    p.decode = i;
+                if let Some(st) = core.reqs.get_mut(job.key) {
+                    st.pend.prefill = i;
+                    st.pend.decode = i;
                 }
-                c.replicas[i].prefill.queue.push_back(job);
+                c.replicas[i].prefill.enqueue(job);
                 trace(
                     core,
                     TraceKind::Enqueued {
@@ -870,9 +978,6 @@ impl Driver {
     }
 
     // --- fault layer ------------------------------------------------------
-    //
-    // Written once against the ReplicaExecutor contract: kill at trigger,
-    // mask + drain + requeue at detection, revive + drain at healing.
 
     fn on_fault_triggered(&mut self, index: usize) {
         trace(&mut self.core, TraceKind::FaultTriggered { index });
@@ -894,7 +999,23 @@ impl Driver {
         match &mut self.topo {
             Topology::Split(s) => match kind {
                 FaultKind::PrefillDown(i) => s.prefills[i].kill(),
-                FaultKind::DecodeDown(j) => s.decodes[j].kill(),
+                FaultKind::DecodeDown(j) => {
+                    // The batch must freeze at its materially-advanced
+                    // state: step boundaries strictly before the fault did
+                    // complete under the per-step loop (their events were
+                    // pre-death and current). The in-flight step dies with
+                    // the replica; its scheduled fire time is folded into
+                    // the phantom horizon because the per-step loop would
+                    // still have popped (and advanced `now` past) the
+                    // stale event.
+                    let Driver { core, topo } = self;
+                    let Topology::Split(s) = topo else {
+                        unreachable!()
+                    };
+                    split_catch_up_decode(core, s, j);
+                    split_cancel_decode_plan(core, s, j);
+                    s.decodes[j].kill();
+                }
                 FaultKind::PrefillUp(i) => {
                     let now = self.core.now;
                     // Work frozen at death never re-runs on its own (its
@@ -914,10 +1035,19 @@ impl Driver {
                 FaultKind::DecodeUp(j) => {
                     let now = self.core.now;
                     // Sequences frozen at death lost their KV either way.
+                    // Healing an *alive* replica (an Up without a Down)
+                    // still bumps the epoch and clears the plan, so settle
+                    // the plan first exactly as a death would.
+                    let Driver { core, topo } = self;
+                    let Topology::Split(s) = topo else {
+                        unreachable!()
+                    };
+                    split_catch_up_decode(core, s, j);
+                    split_cancel_decode_plan(core, s, j);
                     s.decodes[j].revive(now);
                     let drained = s.decodes[j].drain_lost();
                     s.believed_dead_decode[j] = false;
-                    split_refresh_router(&mut self.core, s);
+                    split_refresh_router(core, s);
                     if self.core.recovery_enabled {
                         self.recover_drained(drained, None);
                         let Driver { core, topo } = self;
@@ -951,7 +1081,22 @@ impl Driver {
                     s.link_down[prefill][decode] = false;
                 }
                 FaultKind::PrefillSlow(i, factor) => s.prefills[i].slow_factor = factor,
-                FaultKind::DecodeSlow(j, factor) => s.decodes[j].slow_factor = factor,
+                FaultKind::DecodeSlow(j, factor) => {
+                    // A coalesced plan priced its remaining boundaries at
+                    // the old speed; the per-step loop would have priced
+                    // every step after the in-flight one at the new speed.
+                    // Catch up, apply the factor, and re-plan carrying the
+                    // already-committed in-flight boundary.
+                    let Driver { core, topo } = self;
+                    let Topology::Split(s) = topo else {
+                        unreachable!()
+                    };
+                    split_catch_up_decode(core, s, j);
+                    s.decodes[j].slow_factor = factor;
+                    if coalescing_active(core) && s.decodes[j].plan.is_some() {
+                        split_replan_decode(core, s, j);
+                    }
+                }
                 FaultKind::LinkDegraded {
                     prefill,
                     decode,
@@ -1052,40 +1197,45 @@ impl Driver {
     /// Recovers drained work onto survivors: queued/in-flight prefill jobs
     /// are requeued as-is, lost decode sequences are re-prefilled over
     /// their full context. `fault_at` registers the affected set for
-    /// time-to-recover accounting (detection path only).
+    /// time-to-recover accounting (detection path only). Jobs whose slab
+    /// entry is gone (a hedge ghost of a request that already resolved)
+    /// are dropped on the floor.
     fn recover_drained(&mut self, drained: DrainedWork, fault_at: Option<SimTime>) {
         let mut jobs: Vec<PrefillJob> = Vec::new();
         for job in drained.prefill_jobs {
+            let Some(st) = self.core.reqs.get(job.key) else {
+                continue;
+            };
+            let rid = st.req.id;
             self.core.recovery.requeued_requests += 1;
-            trace(
-                &mut self.core,
-                TraceKind::Requeued {
-                    request: job.req.id,
-                },
-            );
+            trace(&mut self.core, TraceKind::Requeued { request: rid });
             jobs.push(job);
         }
         for lost in drained.lost_seqs {
-            let Some(&req) = self.core.payloads.get(&lost.id) else {
+            let Some(st) = self.core.reqs.get(lost.key) else {
                 continue;
             };
+            let rid = st.req.id;
             self.core.recovery.reprefilled_tokens += lost.tokens;
             trace(
                 &mut self.core,
                 TraceKind::Reprefill {
-                    request: lost.id,
+                    request: rid,
                     tokens: lost.tokens,
                 },
             );
             jobs.push(PrefillJob {
-                req,
+                key: lost.key,
                 tokens: lost.tokens,
                 remaining: lost.remaining,
                 resume: lost.resume,
             });
         }
         if let Some(at) = fault_at {
-            let ids: BTreeSet<RequestId> = jobs.iter().map(|j| j.req.id).collect();
+            let ids: BTreeSet<RequestId> = jobs
+                .iter()
+                .filter_map(|j| self.core.reqs.get(j.key).map(|st| st.req.id))
+                .collect();
             if !ids.is_empty() {
                 self.core.affected.push((at, ids));
             }
@@ -1094,9 +1244,9 @@ impl Driver {
             // A requeued/re-prefilled job must be able to launch its KV
             // transfer again: clear the hedging duplicate-launch guard, or
             // the recovered prefill's completion would be discarded.
-            if let Some(p) = self.core.pending.get_mut(&job.req.id) {
-                p.kv_launched = false;
-                p.hedge = None;
+            if let Some(st) = self.core.reqs.get_mut(job.key) {
+                st.pend.kv_launched = false;
+                st.pend.hedge = None;
             }
         }
         for job in jobs {
@@ -1108,11 +1258,11 @@ impl Driver {
     /// healing event: the work was lost for good).
     fn drop_drained(&mut self, drained: DrainedWork) {
         for job in drained.prefill_jobs {
-            drop_request(&mut self.core, job.req.id);
+            drop_request(&mut self.core, job.key);
         }
         for lost in drained.lost_seqs {
-            if self.core.payloads.contains_key(&lost.id) {
-                drop_request(&mut self.core, lost.id);
+            if self.core.reqs.contains(lost.key) {
+                drop_request(&mut self.core, lost.key);
             }
         }
     }
@@ -1199,7 +1349,7 @@ impl Driver {
         } else if !lost && self.core.gray.flaky_dead[node] {
             self.readmit_flaky(node);
         }
-        if self.core.pending.is_empty() {
+        if self.core.reqs.is_empty() {
             self.core.gray.flaky_scheduled[node] = false;
             return;
         }
@@ -1258,8 +1408,7 @@ impl Core {
             cfg,
             router,
             queue: EventQueue::new(),
-            pending: HashMap::new(),
-            payloads: HashMap::new(),
+            reqs: Slab::new(),
             records: Vec::new(),
             dropped: 0,
             rejected: 0,
@@ -1274,7 +1423,55 @@ impl Core {
             gray,
             track_models,
             model_losses: HashMap::new(),
+            arrivals: Vec::new(),
+            next_arrival: 0,
+            events_processed: 0,
+            event_pushed_at: SimTime::ZERO,
+            phantom_horizon: SimTime::ZERO,
+            held_decode: Vec::new(),
         }
+    }
+
+    /// Pops the next occurrence — the cursor arrival or the queue head,
+    /// whichever is earlier — advancing the clock and stamping
+    /// [`Core::event_pushed_at`]. Ties go to the arrival: under the eager
+    /// scheme arrivals were pushed at setup, before any simulation event,
+    /// so they carried the smaller sequence numbers.
+    fn next_event(&mut self) -> Option<NextEvent> {
+        let arrival = self.arrivals.get(self.next_arrival).map(|r| r.arrival);
+        let queued = self.queue.peek().map(|e| e.at);
+        let take_arrival = match (arrival, queued) {
+            (Some(a), Some(q)) => a <= q,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => return None,
+        };
+        if take_arrival {
+            let req = self.arrivals[self.next_arrival];
+            self.next_arrival += 1;
+            debug_assert!(req.arrival >= self.now, "arrival in the past");
+            self.now = req.arrival;
+            self.queue.set_now(self.now);
+            self.event_pushed_at = SimTime::ZERO;
+            self.events_processed += 1;
+            Some(NextEvent::Arrival(req))
+        } else {
+            let ev = self.queue.pop()?;
+            debug_assert!(ev.at >= self.now, "event in the past");
+            self.now = ev.at;
+            self.queue.set_now(self.now);
+            self.event_pushed_at = ev.pushed_at;
+            self.events_processed += 1;
+            Some(NextEvent::Queued(ev))
+        }
+    }
+
+    /// Removes and returns the deferred decode-finish stamp for replica
+    /// `j`, if one is held.
+    fn take_held_decode(&mut self, j: usize) -> Option<(u64, SimTime)> {
+        let pos = self.held_decode.iter().position(|h| h.0 == j)?;
+        let (_, seq, pushed_at) = self.held_decode.swap_remove(pos);
+        Some((seq, pushed_at))
     }
 
     /// The host index of a replica (prefills first, then decodes; the
@@ -1316,54 +1513,60 @@ fn trace_at(core: &mut Core, at: SimTime, kind: TraceKind) {
 
 // --- topology-agnostic helpers (free functions over Core) ----------------
 
-/// Attributes a loss (drop or rejection) to the request's model for the
-/// per-tenant conservation ledger; a single-branch no-op unless the
-/// catalog is non-empty. Must run while the payload is still registered.
-fn note_model_loss(core: &mut Core, id: RequestId, rejected: bool) {
-    if !core.track_models {
+/// Removes `key` from the slab and books the loss as a rejection (counted
+/// per-model when the catalog is non-empty). The trace event and any
+/// policy-specific accounting stay with the caller, which knows *why* the
+/// request was rejected. A dead key is a no-op: the loss was already
+/// booked when the entry went away.
+fn reject_request(core: &mut Core, key: SlabKey) {
+    let Some(st) = core.reqs.remove(key) else {
         return;
+    };
+    if core.track_models {
+        core.model_losses.entry(st.req.model).or_default().1 += 1;
     }
-    let model = core.payloads.get(&id).map_or(ModelId(0), |r| r.model);
-    let e = core.model_losses.entry(model).or_default();
-    if rejected {
-        e.1 += 1;
-    } else {
-        e.0 += 1;
-    }
+    core.rejected += 1;
 }
 
 fn stall_or_shed(core: &mut Core, job: PrefillJob) {
     if core.stalled.len() < core.cfg.shed_threshold {
-        trace(
-            core,
-            TraceKind::Stalled {
-                request: job.req.id,
-            },
-        );
+        if core.trace.is_some() {
+            let rid = core.reqs[job.key].req.id;
+            trace(core, TraceKind::Stalled { request: rid });
+        }
         core.stalled.push_back(job);
     } else {
-        let id = job.req.id;
-        note_model_loss(core, id, true);
-        core.pending.remove(&id);
-        core.payloads.remove(&id);
-        core.rejected += 1;
-        trace(core, TraceKind::Rejected { request: id });
-        clear_affected(core, id);
+        let rid = core.reqs.get(job.key).map(|st| st.req.id);
+        reject_request(core, job.key);
+        if let Some(rid) = rid {
+            trace(core, TraceKind::Rejected { request: rid });
+            clear_affected(core, rid);
+        }
     }
 }
 
-fn drop_request(core: &mut Core, id: RequestId) {
-    note_model_loss(core, id, false);
-    core.pending.remove(&id);
-    core.payloads.remove(&id);
+/// Removes `key` from the slab and books the loss as a drop. A dead key
+/// (a hedge ghost of a request that already resolved) is a no-op.
+fn drop_request(core: &mut Core, key: SlabKey) {
+    let Some(st) = core.reqs.remove(key) else {
+        return;
+    };
+    let id = st.req.id;
+    if core.track_models {
+        core.model_losses.entry(st.req.model).or_default().0 += 1;
+    }
     core.dropped += 1;
     trace(core, TraceKind::Dropped { request: id });
     clear_affected(core, id);
 }
 
 /// Marks `id` no longer waiting on fault recovery; records a fault's
-/// time-to-recover when its last affected request resolves.
+/// time-to-recover when its last affected request resolves. The empty
+/// check keeps the fault-free fast path allocation-free.
 fn clear_affected(core: &mut Core, id: RequestId) {
+    if core.affected.is_empty() {
+        return;
+    }
     let now = core.now;
     let mut recovered_at = Vec::new();
     for (at, set) in &mut core.affected {
@@ -1377,40 +1580,43 @@ fn clear_affected(core: &mut Core, id: RequestId) {
 /// Applies one admission pass's decisions, in order: evictions become
 /// drops, admissions resolve fault-recovery tracking (and, under
 /// telemetry, mark the sequence's decode-batch join on `replica`).
-fn apply_admit_outcomes(core: &mut Core, outcomes: Vec<AdmitOutcome>, role: Role, replica: usize) {
+/// Returns whether anything was admitted.
+fn apply_admit_outcomes(
+    core: &mut Core,
+    outcomes: Vec<AdmitOutcome>,
+    role: Role,
+    replica: usize,
+) -> bool {
+    let mut admitted = false;
     for o in outcomes {
         match o {
-            AdmitOutcome::Dropped(id) => drop_request(core, id),
-            AdmitOutcome::Admitted(id) => {
-                trace(
-                    core,
-                    TraceKind::DecodeJoin {
-                        request: id,
-                        role,
-                        replica,
-                    },
-                );
-                clear_affected(core, id);
+            AdmitOutcome::Dropped(key) => drop_request(core, key),
+            AdmitOutcome::Admitted(key) => {
+                admitted = true;
+                if let Some(st) = core.reqs.get(key) {
+                    let rid = st.req.id;
+                    trace(
+                        core,
+                        TraceKind::DecodeJoin {
+                            request: rid,
+                            role,
+                            replica,
+                        },
+                    );
+                    clear_affected(core, rid);
+                }
             }
         }
     }
+    admitted
 }
 
-/// Reconstructs the request payload for a live id (we stash the original
-/// request in the record path).
-fn find_request(core: &Core, id: RequestId) -> Result<Request> {
-    core.payloads
-        .get(&id)
-        .copied()
-        .ok_or_else(|| Error::Simulation(format!("lost request {id}")))
-}
-
-fn finish(core: &mut Core, req: Request, at: SimTime, max_token_gap: SimDuration) -> Result<()> {
-    core.payloads.remove(&req.id);
-    let pend = core
-        .pending
-        .remove(&req.id)
-        .ok_or_else(|| Error::Simulation(format!("finish without pending: {}", req.id)))?;
+fn finish(core: &mut Core, key: SlabKey, at: SimTime, max_token_gap: SimDuration) -> Result<()> {
+    let st = core
+        .reqs
+        .remove(key)
+        .ok_or_else(|| Error::Simulation(format!("finish without request state: {key}")))?;
+    let (req, pend) = (st.req, st.pend);
     let first = pend
         .first_token_at
         .ok_or_else(|| Error::Simulation(format!("finish before prefill: {}", req.id)))?;
@@ -1469,16 +1675,15 @@ fn retry_backoff(core: &mut Core, attempt: u32) -> SimDuration {
 /// request and counting the exhaustion — when the budget is spent.
 /// Attempt 1 is the initial send, so a budget of `b` allows attempts up to
 /// `b + 1`.
-fn retry_budget_spent(core: &mut Core, s: &mut SplitState, id: RequestId, attempt: u32) -> bool {
+fn retry_budget_spent(core: &mut Core, key: SlabKey, attempt: u32) -> bool {
     let Some(budget) = core.cfg.kv_retry_budget else {
         return false;
     };
     if attempt <= budget + 1 {
         return false;
     }
-    s.transfers.remove(&id);
     core.recovery.retry_budget_exhausted += 1;
-    drop_request(core, id);
+    drop_request(core, key);
     true
 }
 
@@ -1513,23 +1718,33 @@ fn split_maybe_start_prefill(core: &mut Core, s: &mut SplitState, i: usize) {
             .unwrap_or_else(|| tokens.max(1));
         (batch, tokens.max(1), avg)
     } else {
-        let (batch, total) = p
-            .queue
-            .take_batch(core.cfg.max_prefill_batch_tokens, core.cfg.prefill_policy);
+        // Recycle a retired batch buffer so steady-state launches do not
+        // allocate.
+        let mut batch = p.spare_batches.pop().unwrap_or_default();
+        let total = p.queue.take_batch_into(
+            core.cfg.max_prefill_batch_tokens,
+            core.cfg.prefill_policy,
+            &mut batch,
+        );
         let avg = total / batch.len() as u64;
         (batch, total, avg)
     };
     if core.trace.is_some() {
         for job in &batch {
-            trace(
-                core,
-                TraceKind::PrefillStart {
-                    request: job.req.id,
-                    role: Role::Prefill,
-                    replica: i,
-                    tokens: job.tokens,
-                },
-            );
+            // A hedge ghost (its request already resolved) prefills without
+            // a slab entry; it has no id to trace.
+            if let Some(st) = core.reqs.get(job.key) {
+                let rid = st.req.id;
+                trace(
+                    core,
+                    TraceKind::PrefillStart {
+                        request: rid,
+                        role: Role::Prefill,
+                        replica: i,
+                        tokens: job.tokens,
+                    },
+                );
+            }
         }
         let depth = p.queue.queue.len();
         trace(
@@ -1541,11 +1756,21 @@ fn split_maybe_start_prefill(core: &mut Core, s: &mut SplitState, i: usize) {
             },
         );
     }
-    let mut latency = p.cost.prefill_latency(total, avg_ctx);
-    // Pipeline parallelism: the next batch may enter once the slowest
-    // stage has processed this one; the batch itself completes after the
-    // full pipeline latency.
-    let mut bottleneck = p.cost.prefill_bottleneck(total, avg_ctx);
+    // Batch pricing goes through the executor's one-entry memo: traces
+    // with repeated prompt lengths form the same batch shape over and
+    // over, and both pricing functions are pure in `(total, avg_ctx)`.
+    let (mut latency, mut bottleneck) = match p.price_memo {
+        Some((t, c, lat, bot)) if t == total && c == avg_ctx => (lat, bot),
+        _ => {
+            let lat = p.cost.prefill_latency(total, avg_ctx);
+            // Pipeline parallelism: the next batch may enter once the
+            // slowest stage has processed this one; the batch itself
+            // completes after the full pipeline latency.
+            let bot = p.cost.prefill_bottleneck(total, avg_ctx);
+            p.price_memo = Some((total, avg_ctx, lat, bot));
+            (lat, bot)
+        }
+    };
     // Straggler fault: iteration times stretch. Skipped entirely at the
     // healthy factor of exactly 1 so the default path never rounds
     // through the multiply.
@@ -1572,15 +1797,18 @@ fn split_on_prefill_done(core: &mut Core, s: &mut SplitState, i: usize) -> Resul
     if core.cfg.straggler_threshold.is_some() {
         split_observe_straggler(core, s, true, i);
     }
-    for job in batch {
-        let rid = job.req.id;
+    let now = core.now;
+    let mut batch = batch;
+    for job in batch.drain(..) {
         // Hedged duplicates race, first completion wins: the loser finds
         // the request finished (single-token outputs) or its KV transfer
         // already launched, and is discarded here.
-        let (newly_first, j, loser) = {
-            let Some(pend) = core.pending.get_mut(&rid) else {
+        let (rid, newly_first, jdec, loser) = {
+            let Some(st) = core.reqs.get_mut(job.key) else {
                 continue;
             };
+            let rid = st.req.id;
+            let pend = &mut st.pend;
             if pend.kv_launched {
                 continue;
             }
@@ -1588,7 +1816,7 @@ fn split_on_prefill_done(core: &mut Core, s: &mut SplitState, i: usize) -> Resul
             // already paid, recovery shows up in inter-token gaps instead.
             let newly_first = pend.first_token_at.is_none();
             if newly_first {
-                pend.first_token_at = Some(core.now);
+                pend.first_token_at = Some(now);
             }
             // The winner of a hedge race fixes the (prefill, decode) pair;
             // the loser's still-queued copy is cancelled below (an
@@ -1607,7 +1835,7 @@ fn split_on_prefill_done(core: &mut Core, s: &mut SplitState, i: usize) -> Resul
             if job.remaining != 0 {
                 pend.kv_launched = true;
             }
-            (newly_first, pend.decode, loser)
+            (rid, newly_first, pend.decode, loser)
         };
         trace(
             core,
@@ -1622,13 +1850,12 @@ fn split_on_prefill_done(core: &mut Core, s: &mut SplitState, i: usize) -> Resul
         }
         if let Some(li) = loser {
             if li != i {
-                s.prefills[li].queue.remove(rid);
+                s.prefills[li].queue.remove(job.key);
             }
         }
         if job.remaining == 0 {
             // Single-token output: the prefill already produced it.
-            let req = job.req;
-            finish(core, req, core.now, SimDuration::ZERO)?;
+            finish(core, job.key, now, SimDuration::ZERO)?;
             continue;
         }
         split_launch_transfer(
@@ -1636,13 +1863,15 @@ fn split_on_prefill_done(core: &mut Core, s: &mut SplitState, i: usize) -> Resul
             s,
             Transfer {
                 from: i,
-                to: j,
+                to: jdec,
                 job,
                 attempt: 1,
             },
             SimDuration::ZERO,
         );
     }
+    // Return the emptied batch buffer to the pool for the next launch.
+    s.prefills[i].spare_batches.push(batch);
     split_maybe_start_prefill(core, s, i);
     Ok(())
 }
@@ -1667,7 +1896,7 @@ fn flow_endpoints(legs: &[KvRouteLeg]) -> (GpuId, GpuId, usize) {
 }
 
 /// Schedules (or re-schedules) a KV transfer after an optional backoff
-/// delay and registers it. Three paths:
+/// delay and registers it in the request's slab entry. Three paths:
 ///
 /// * fabric on — the transfer becomes a flow in the `ts-net` fabric
 ///   (immediately, or via a [`EventKind::KvFlowLaunch`] event after the
@@ -1682,15 +1911,19 @@ fn split_launch_transfer(
     transfer: Transfer,
     delay: SimDuration,
 ) {
-    let id = transfer.job.req.id;
+    let key = transfer.job.key;
+    let now = core.now;
+    let Some(st) = core.reqs.get_mut(key) else {
+        return; // resolved while a retry or parked re-dispatch was pending
+    };
+    let rid = st.req.id;
     // First attempt stamps the enqueue time; retries keep the original.
     let mut first_attempt = false;
-    if let Some(p) = core.pending.get_mut(&id) {
-        if p.kv_enqueued_at.is_none() {
-            p.kv_enqueued_at = Some(core.now);
-            first_attempt = true;
-        }
+    if st.pend.kv_enqueued_at.is_none() {
+        st.pend.kv_enqueued_at = Some(now);
+        first_attempt = true;
     }
+    st.transfer = Some(transfer);
     if first_attempt && core.trace.is_some() {
         // The byte count is sized like the fabric's flow (whole route,
         // configured wire precision); computed only under telemetry.
@@ -1701,7 +1934,7 @@ fn split_launch_transfer(
         trace(
             core,
             TraceKind::KvEnqueued {
-                request: id,
+                request: rid,
                 from: transfer.from,
                 to: transfer.to,
                 bytes,
@@ -1709,31 +1942,38 @@ fn split_launch_transfer(
         );
     }
     if s.fabric.is_some() {
-        let attempt = transfer.attempt;
-        s.transfers.insert(id, transfer);
         if delay == SimDuration::ZERO {
-            split_start_flow(core, s, id);
+            split_start_flow(core, s, key);
         } else {
             core.queue.push(
-                core.now + delay,
+                now + delay,
                 EventKind::KvFlowLaunch {
-                    request: id,
-                    attempt,
+                    request: key,
+                    attempt: transfer.attempt,
                 },
             );
         }
         return;
     }
     let mut dur = if core.cfg.model_kv_transfer {
-        let ratio = core.cfg.kv_precision.ratio_vs_f16();
-        // Priced with the sending replica's model (the default-model spec
-        // on single-model plans, where every group carries ModelId(0)).
-        kv_transfer_time(
-            core.cfg.spec_for(s.prefill_model[transfer.from]),
-            &s.routes[transfer.from][transfer.to],
-            transfer.job.tokens,
-            ratio,
-        )
+        // Memoized per pair: everything but the token count is fixed.
+        match s.kv_memo[transfer.from][transfer.to] {
+            Some((tokens, wire)) if tokens == transfer.job.tokens => wire,
+            _ => {
+                let ratio = core.cfg.kv_precision.ratio_vs_f16();
+                // Priced with the sending replica's model (the
+                // default-model spec on single-model plans, where every
+                // group carries ModelId(0)).
+                let wire = kv_transfer_time(
+                    core.cfg.spec_for(s.prefill_model[transfer.from]),
+                    &s.routes[transfer.from][transfer.to],
+                    transfer.job.tokens,
+                    ratio,
+                );
+                s.kv_memo[transfer.from][transfer.to] = Some((transfer.job.tokens, wire));
+                wire
+            }
+        }
     } else {
         SimDuration::ZERO
     };
@@ -1749,15 +1989,15 @@ fn split_launch_transfer(
     // `now + delay`, which would make *modeled* transfers behind it queue
     // on a link nothing ever used.
     if dur == SimDuration::ZERO {
-        let done = core.now + delay;
-        if let Some(p) = core.pending.get_mut(&id) {
-            p.kv_wire_started_at = Some(done);
+        let done = now + delay;
+        if let Some(st) = core.reqs.get_mut(key) {
+            st.pend.kv_wire_started_at = Some(done);
         }
         trace_at(
             core,
             done,
             TraceKind::KvWireStart {
-                request: id,
+                request: rid,
                 attempt: transfer.attempt,
             },
         );
@@ -1765,27 +2005,26 @@ fn split_launch_transfer(
             done,
             EventKind::KvTransferDone {
                 replica: transfer.to,
-                request: id,
+                request: key,
                 attempt: transfer.attempt,
             },
         );
-        s.transfers.insert(id, transfer);
         return;
     }
     // Serialize transfers on the sender's uplink; the sequence only
     // becomes admissible at the decode replica once its own KV transfer
     // completes (see split_on_transfer_done).
-    let start = s.sender_free_at[transfer.from].max(core.now + delay);
+    let start = s.sender_free_at[transfer.from].max(now + delay);
     let done = start + dur;
     s.sender_free_at[transfer.from] = done;
-    if let Some(p) = core.pending.get_mut(&id) {
-        p.kv_wire_started_at = Some(start);
+    if let Some(st) = core.reqs.get_mut(key) {
+        st.pend.kv_wire_started_at = Some(start);
     }
     trace_at(
         core,
         start,
         TraceKind::KvWireStart {
-            request: id,
+            request: rid,
             attempt: transfer.attempt,
         },
     );
@@ -1793,40 +2032,42 @@ fn split_launch_transfer(
         done,
         EventKind::KvTransferDone {
             replica: transfer.to,
-            request: id,
+            request: key,
             attempt: transfer.attempt,
         },
     );
-    s.transfers.insert(id, transfer);
 }
 
 /// Starts the fabric flow for a registered transfer and schedules the
 /// refreshed completion estimates of every active flow.
-fn split_start_flow(core: &mut Core, s: &mut SplitState, request: RequestId) {
-    let Some(&t) = s.transfers.get(&request) else {
+fn split_start_flow(core: &mut Core, s: &mut SplitState, key: SlabKey) {
+    let Some(st) = core.reqs.get_mut(key) else {
         return; // dropped while the launch was in flight
+    };
+    let Some(t) = st.transfer else {
+        return;
     };
     if s.fabric.is_none() {
         return;
     }
+    let rid = st.req.id;
+    st.pend.kv_wire_started_at = Some(core.now);
     let (from, to, layers) = s.flow_routes[t.from][t.to];
     let bytes = s
         .codec_for(s.prefill_model[t.from])
         .wire_bytes_layers(t.job.tokens, layers) as f64;
-    let Some(fabric) = s.fabric.as_mut() else {
-        unreachable!()
-    };
-    if let Some(p) = core.pending.get_mut(&request) {
-        p.kv_wire_started_at = Some(core.now);
-    }
     trace(
         core,
         TraceKind::KvWireStart {
-            request,
+            request: rid,
             attempt: t.attempt,
         },
     );
-    let estimates = fabric.start(request.0, from, to, bytes, core.now);
+    let now = core.now;
+    let Some(fabric) = s.fabric.as_mut() else {
+        unreachable!()
+    };
+    let estimates = fabric.start(key.as_u64(), from, to, bytes, now);
     schedule_flow_events(core, estimates);
 }
 
@@ -1836,7 +2077,7 @@ fn schedule_flow_events(core: &mut Core, estimates: Vec<FlowEstimate>) {
         core.queue.push(
             e.done_at,
             EventKind::KvFlowDone {
-                request: RequestId(e.key),
+                request: SlabKey::from_u64(e.key),
                 epoch: e.epoch,
             },
         );
@@ -1845,8 +2086,8 @@ fn schedule_flow_events(core: &mut Core, estimates: Vec<FlowEstimate>) {
 
 /// A delayed (backed-off) flow launch fired; start the flow unless a newer
 /// attempt superseded it.
-fn split_on_flow_launch(core: &mut Core, s: &mut SplitState, request: RequestId, attempt: u32) {
-    let Some(&t) = s.transfers.get(&request) else {
+fn split_on_flow_launch(core: &mut Core, s: &mut SplitState, request: SlabKey, attempt: u32) {
+    let Some(t) = core.reqs.get(request).and_then(|st| st.transfer) else {
         return;
     };
     if t.attempt != attempt {
@@ -1861,13 +2102,13 @@ fn split_on_flow_launch(core: &mut Core, s: &mut SplitState, request: RequestId,
 fn split_on_flow_done(
     core: &mut Core,
     s: &mut SplitState,
-    request: RequestId,
+    request: SlabKey,
     epoch: u64,
 ) -> Result<()> {
     let Some(fabric) = s.fabric.as_mut() else {
         return Ok(());
     };
-    match fabric.poll(request.0, epoch, core.now) {
+    match fabric.poll(request.as_u64(), epoch, core.now) {
         FlowPoll::Stale => Ok(()),
         FlowPoll::InFlight(e) => {
             schedule_flow_events(core, vec![e]);
@@ -1888,37 +2129,40 @@ fn split_kill_link_flows(core: &mut Core, s: &mut SplitState, prefill: usize, de
     let Some(fabric) = s.fabric.as_ref() else {
         return;
     };
-    let mut victims: Vec<RequestId> = s
-        .transfers
+    let mut victims: Vec<(RequestId, SlabKey)> = core
+        .reqs
         .iter()
-        .filter(|(id, t)| t.from == prefill && t.to == decode && fabric.contains(id.0))
-        .map(|(&id, _)| id)
+        .filter_map(|(key, st)| {
+            let t = st.transfer?;
+            (t.from == prefill && t.to == decode && fabric.contains(key.as_u64()))
+                .then_some((st.req.id, key))
+        })
         .collect();
     victims.sort_unstable();
-    for id in victims {
+    for (rid, key) in victims {
+        let now = core.now;
         let estimates = match s.fabric.as_mut() {
-            Some(f) => f.cancel(id.0, core.now),
+            Some(f) => f.cancel(key.as_u64(), now),
             None => unreachable!(),
         };
         schedule_flow_events(core, estimates);
-        let Some(&t) = s.transfers.get(&id) else {
+        let Some(t) = core.reqs.get(key).and_then(|st| st.transfer) else {
             continue;
         };
         if !core.recovery_enabled {
-            s.transfers.remove(&id);
-            drop_request(core, id);
+            drop_request(core, key);
             continue;
         }
         let mut t = t;
         t.attempt += 1;
-        if retry_budget_spent(core, s, id, t.attempt) {
+        if retry_budget_spent(core, key, t.attempt) {
             continue;
         }
         core.recovery.kv_transfer_retries += 1;
         trace(
             core,
             TraceKind::KvRetry {
-                request: id,
+                request: rid,
                 attempt: t.attempt,
             },
         );
@@ -1931,10 +2175,10 @@ fn split_on_transfer_done(
     core: &mut Core,
     s: &mut SplitState,
     replica: usize,
-    request: RequestId,
+    request: SlabKey,
     attempt: u32,
 ) -> Result<()> {
-    let Some(&t) = s.transfers.get(&request) else {
+    let Some(t) = core.reqs.get(request).and_then(|st| st.transfer) else {
         return Ok(()); // superseded or dropped
     };
     if t.attempt != attempt || t.to != replica {
@@ -1946,8 +2190,8 @@ fn split_on_transfer_done(
 /// The bytes of `request`'s KV transfer arrived (legacy or fabric path):
 /// retry if the link died underneath it, re-target if the decode replica
 /// died, otherwise hand the sequence to the decode replica.
-fn split_deliver_transfer(core: &mut Core, s: &mut SplitState, request: RequestId) -> Result<()> {
-    let Some(&t) = s.transfers.get(&request) else {
+fn split_deliver_transfer(core: &mut Core, s: &mut SplitState, key: SlabKey) -> Result<()> {
+    let Some(t) = core.reqs.get(key).and_then(|st| st.transfer) else {
         return Ok(());
     };
     if s.link_down[t.from][t.to] {
@@ -1955,20 +2199,20 @@ fn split_deliver_transfer(core: &mut Core, s: &mut SplitState, request: RequestI
         // after a capped exponential backoff; without, the request is
         // lost.
         if !core.recovery_enabled {
-            s.transfers.remove(&request);
-            drop_request(core, request);
+            drop_request(core, key);
             return Ok(());
         }
         let mut t = t;
         t.attempt += 1;
-        if retry_budget_spent(core, s, request, t.attempt) {
+        if retry_budget_spent(core, key, t.attempt) {
             return Ok(());
         }
         core.recovery.kv_transfer_retries += 1;
+        let rid = core.reqs[key].req.id;
         trace(
             core,
             TraceKind::KvRetry {
-                request,
+                request: rid,
                 attempt: t.attempt,
             },
         );
@@ -1978,29 +2222,37 @@ fn split_deliver_transfer(core: &mut Core, s: &mut SplitState, request: RequestI
     }
     if !s.decodes[t.to].is_alive() {
         // Target died while the bytes were in flight.
-        s.transfers.remove(&request);
+        if let Some(st) = core.reqs.get_mut(key) {
+            st.transfer = None;
+        }
         if !core.recovery_enabled {
-            drop_request(core, request);
+            drop_request(core, key);
             return Ok(());
         }
         split_redispatch_transfer(core, s, t);
         return Ok(());
     }
     // Delivered.
-    s.transfers.remove(&request);
-    if let Some(p) = core.pending.get_mut(&request) {
-        p.kv_done_at = Some(core.now);
-    }
-    trace(core, TraceKind::KvDone { request });
-    let d = &mut s.decodes[t.to];
-    d.batch.waiting.push_back(WaitingSeq {
-        id: request,
+    let now = core.now;
+    let st = core
+        .reqs
+        .get_mut(key)
+        .expect("delivered transfer without request state");
+    st.transfer = None;
+    st.pend.kv_done_at = Some(now);
+    let rid = st.req.id;
+    trace(core, TraceKind::KvDone { request: rid });
+    // Step boundaries owed before this instant must land before the
+    // admission pass reads KV occupancy and batch size.
+    split_catch_up_decode(core, s, t.to);
+    s.decodes[t.to].batch.waiting.push_back(WaitingSeq {
+        key,
         tokens: t.job.tokens,
         remaining: t.job.remaining,
         resume: t.job.resume,
     });
-    split_admit_waiting(core, s, t.to);
-    split_maybe_start_decode_step(core, s, t.to);
+    let admitted = split_admit_waiting(core, s, t.to);
+    split_kick_decode(core, s, t.to, admitted);
     Ok(())
 }
 
@@ -2009,6 +2261,9 @@ fn split_deliver_transfer(core: &mut Core, s: &mut SplitState, request: RequestI
 /// transfer until one comes back. Multi-model plans only consider decode
 /// replicas serving the sender's model — KV caches are model-specific.
 fn split_redispatch_transfer(core: &mut Core, s: &mut SplitState, mut t: Transfer) {
+    // The free-KV scan reads every decode batch; their owed boundaries
+    // must land first.
+    split_catch_up_all_decodes(core, s);
     let model = (!s.model_routes.is_empty()).then(|| s.prefill_model[t.from]);
     let target = s
         .decodes
@@ -2026,31 +2281,41 @@ fn split_redispatch_transfer(core: &mut Core, s: &mut SplitState, mut t: Transfe
         s.parked.push(t);
         return;
     };
-    if let Some(p) = core.pending.get_mut(&t.job.req.id) {
-        p.decode = j2;
-    }
+    let Some(st) = core.reqs.get_mut(t.job.key) else {
+        return; // resolved while parked
+    };
+    st.pend.decode = j2;
+    let rid = st.req.id;
     t.to = j2;
     t.attempt += 1;
     core.recovery.kv_transfer_retries += 1;
     trace(
         core,
         TraceKind::KvRetry {
-            request: t.job.req.id,
+            request: rid,
             attempt: t.attempt,
         },
     );
     split_launch_transfer(core, s, t, SimDuration::ZERO);
 }
 
-fn split_admit_waiting(core: &mut Core, s: &mut SplitState, j: usize) {
+// --- decode planning / coalescing ----------------------------------------
+
+/// Admits waiting sequences on decode replica `j` and applies the
+/// outcomes. Returns whether anything was admitted (a grown batch obliges
+/// a re-plan under coalescing).
+fn split_admit_waiting(core: &mut Core, s: &mut SplitState, j: usize) -> bool {
     let d = &mut s.decodes[j];
     if !d.is_alive() {
-        return;
+        return false;
     }
-    let outcomes = d.batch.admit(&d.cost, &core.cfg, core.now, |id| {
-        core.pending.get(&id).and_then(|p| p.first_token_at)
-    });
-    apply_admit_outcomes(core, outcomes, Role::Decode, j);
+    let outcomes = {
+        let reqs = &core.reqs;
+        d.batch.admit(&d.cost, &core.cfg, core.now, |key| {
+            reqs.get(key).and_then(|st| st.pend.first_token_at)
+        })
+    };
+    let admitted = apply_admit_outcomes(core, outcomes, Role::Decode, j);
     trace(
         core,
         TraceKind::BatchOccupancy {
@@ -2059,50 +2324,575 @@ fn split_admit_waiting(core: &mut Core, s: &mut SplitState, j: usize) {
             active: s.decodes[j].batch.active.len(),
         },
     );
+    admitted
 }
 
-fn split_maybe_start_decode_step(core: &mut Core, s: &mut SplitState, j: usize) {
-    let d = &mut s.decodes[j];
-    if !d.is_alive() || d.stepping || d.batch.active.is_empty() {
+/// Starts or extends decode work on replica `j` after its batch state
+/// changed. With a plan already in flight, a grown batch forces a re-plan
+/// under coalescing (the per-step compatibility path just waits for the
+/// in-flight step, exactly like the old `stepping` guard); with no plan
+/// and a non-empty batch, a fresh run is planned.
+fn split_kick_decode(core: &mut Core, s: &mut SplitState, j: usize, admitted: bool) {
+    let d = &s.decodes[j];
+    if !d.is_alive() || d.batch.active.is_empty() {
         return;
     }
-    let batch = d.batch.active.len() as u64;
-    let mut latency = d.cost.decode_step_latency(batch, d.batch.avg_context());
-    if d.slow_factor != 1.0 {
-        latency = latency.mul_f64(d.slow_factor);
+    if d.plan.is_some() {
+        if admitted && coalescing_active(core) {
+            split_replan_decode(core, s, j);
+        }
+        return;
     }
-    d.stepping = true;
-    core.queue.push(
-        core.now + latency,
+    split_plan_decode(core, s, j);
+}
+
+/// Picks the pricing source for a decode run on `d` at `batch` size: the
+/// memoized single-stage series when it matches (replicas revisit the
+/// same few batch sizes all trace long), a freshly built — and memoized —
+/// series when `hoist` says more than one boundary needs pricing, or
+/// neither, in which case the caller prices boundaries directly through
+/// `decode_step_latency`. All three sources produce bit-identical
+/// boundary times (`decode_step_series_is_bit_identical` pins this).
+fn decode_pricing(
+    d: &mut DecodeExecutor,
+    batch: u64,
+    hoist: bool,
+) -> (Option<DecodeStageSeries>, Option<DecodeStepSeries>) {
+    if let Some((b, stage)) = d.step_series_memo {
+        if b == batch {
+            return (Some(stage), None);
+        }
+    }
+    if !hoist {
+        return (None, None);
+    }
+    let built = d.cost.decode_step_series(batch);
+    match built.single_stage() {
+        Some(stage) => {
+            d.step_series_memo = Some((batch, stage));
+            (Some(stage), None)
+        }
+        None => (None, Some(built)),
+    }
+}
+
+/// Prices `count` consecutive decode boundaries starting from `at` with
+/// integer average context `ctx`, appending each boundary time to
+/// `steps`, and returns the final boundary. The pricing source and the
+/// straggler check are hoisted out of the loop so the common case — a
+/// single-stage replica at full speed — runs a tight monomorphic loop
+/// with no per-boundary branching. Every specialization performs the
+/// exact same float operations per boundary, so the times stay
+/// bit-identical across paths.
+#[allow(clippy::too_many_arguments)]
+fn price_boundaries(
+    steps: &mut VecDeque<SimTime>,
+    mut at: SimTime,
+    mut ctx: u64,
+    count: u64,
+    single: Option<DecodeStageSeries>,
+    series: Option<&DecodeStepSeries>,
+    cost: &ReplicaCostModel,
+    batch: u64,
+    slow: f64,
+) -> SimTime {
+    if let Some(stage) = single {
+        if slow == 1.0 {
+            // Unrolled 4-wide: the four step times are independent (only
+            // the running boundary `at` is serial, and that chain is
+            // integer adds), so the per-step float divisions pipeline
+            // instead of serializing. Each boundary's value is computed
+            // by exactly the same operations as the 1-wide loop.
+            //
+            // When the memory roofline provably dominates over the whole
+            // context range (the usual thin-batch decode regime —
+            // `mem_bound_over` is a monotonicity argument, see its doc),
+            // each boundary needs only the memory-side division; the
+            // compute side is certified once for the plan.
+            if count > 0 && stage.mem_bound_over(ctx, ctx + (count - 1)) {
+                let mut rem = count;
+                while rem >= 4 {
+                    let l0 = stage.step_time_mem(ctx);
+                    let l1 = stage.step_time_mem(ctx + 1);
+                    let l2 = stage.step_time_mem(ctx + 2);
+                    let l3 = stage.step_time_mem(ctx + 3);
+                    at += l0;
+                    steps.push_back(at);
+                    at += l1;
+                    steps.push_back(at);
+                    at += l2;
+                    steps.push_back(at);
+                    at += l3;
+                    steps.push_back(at);
+                    ctx += 4;
+                    rem -= 4;
+                }
+                for _ in 0..rem {
+                    at += stage.step_time_mem(ctx);
+                    steps.push_back(at);
+                    ctx += 1;
+                }
+                return at;
+            }
+            let mut rem = count;
+            while rem >= 4 {
+                let l0 = stage.step_time(ctx);
+                let l1 = stage.step_time(ctx + 1);
+                let l2 = stage.step_time(ctx + 2);
+                let l3 = stage.step_time(ctx + 3);
+                at += l0;
+                steps.push_back(at);
+                at += l1;
+                steps.push_back(at);
+                at += l2;
+                steps.push_back(at);
+                at += l3;
+                steps.push_back(at);
+                ctx += 4;
+                rem -= 4;
+            }
+            for _ in 0..rem {
+                at += stage.step_time(ctx);
+                steps.push_back(at);
+                ctx += 1;
+            }
+        } else {
+            for _ in 0..count {
+                at += stage.step_time(ctx).mul_f64(slow);
+                steps.push_back(at);
+                ctx += 1;
+            }
+        }
+        return at;
+    }
+    for _ in 0..count {
+        let mut latency = if let Some(series) = series {
+            series.latency(ctx)
+        } else {
+            cost.decode_step_latency(batch, ctx)
+        };
+        if slow != 1.0 {
+            latency = latency.mul_f64(slow);
+        }
+        at += latency;
+        steps.push_back(at);
+        ctx += 1;
+    }
+    at
+}
+
+/// Plans a decode run for replica `j` starting now and schedules its
+/// run-end event. Under coalescing the run extends to the earliest finish
+/// boundary (the batch is constant until then, so every boundary is
+/// priced exactly as the per-step loop would: the integer average context
+/// grows by exactly 1 per step); the compatibility path plans one step.
+fn split_plan_decode(core: &mut Core, s: &mut SplitState, j: usize) {
+    let d = &mut s.decodes[j];
+    debug_assert!(d.plan.is_none(), "planning over a live plan");
+    let batch = d.batch.active.len() as u64;
+    let steps_to_finish = if coalescing_active(core) {
+        d.batch
+            .active
+            .iter()
+            .map(|a| a.remaining)
+            .min()
+            .unwrap_or(1)
+            .max(1)
+    } else {
+        1
+    };
+    let slow = d.slow_factor;
+    let (single, series) = decode_pricing(d, batch, steps_to_finish > 1);
+    let mut steps = std::mem::take(&mut d.spare_steps);
+    steps.clear();
+    steps.reserve(steps_to_finish as usize);
+    let at = price_boundaries(
+        &mut steps,
+        core.now,
+        d.batch.avg_context(),
+        steps_to_finish as u64,
+        single,
+        series.as_ref(),
+        &d.cost,
+        batch,
+        slow,
+    );
+    let token = core.queue.push_cancellable(
+        at,
         EventKind::DecodeStepDone {
             replica: j,
             epoch: d.epoch(),
         },
     );
+    d.plan = Some(DecodePlan {
+        steps,
+        prev_boundary: core.now,
+        token,
+    });
 }
 
-fn split_on_decode_step(core: &mut Core, s: &mut SplitState, j: usize) -> Result<()> {
-    s.decodes[j].stepping = false;
-    if core.cfg.straggler_threshold.is_some() {
-        split_observe_straggler(core, s, false, j);
+/// Re-plans replica `j`'s coalesced run after its batch grew or its speed
+/// changed. The in-progress step's end boundary was committed when that
+/// step began (the per-step loop fixed its latency then, and newly
+/// admitted sequences receive their first token at it, because the
+/// per-step advance covers the whole batch at a step's end) and is
+/// carried verbatim; boundaries after it are re-priced against the new
+/// batch and straggler factor. The scheduled event moves to the new final
+/// boundary, keeping its original `(seq, pushed_at)` stamps.
+fn split_replan_decode(core: &mut Core, s: &mut SplitState, j: usize) {
+    let d = &mut s.decodes[j];
+    let Some(mut old) = d.plan.take() else {
+        return;
+    };
+    let first = *old.steps.front().expect("plan with no boundaries");
+    debug_assert!(first >= core.now, "carried boundary in the past");
+    let batch = d.batch.active.len() as u64;
+    let steps_to_finish = d
+        .batch
+        .active
+        .iter()
+        .map(|a| a.remaining)
+        .min()
+        .unwrap_or(1)
+        .max(1);
+    let slow = d.slow_factor;
+    // The carried boundary is free; re-pricing starts at the second.
+    let (single, series) = decode_pricing(d, batch, steps_to_finish > 2);
+    // Reuse the old plan's buffer: its front IS the carried boundary, so
+    // truncating to one entry both keeps it and avoids a fresh allocation.
+    let mut steps = std::mem::take(&mut old.steps);
+    steps.truncate(1);
+    debug_assert_eq!(steps.front(), Some(&first));
+    steps.reserve(steps_to_finish as usize);
+    // Context as of the carried boundary's end: the whole (new) batch
+    // gains one token there.
+    let at = price_boundaries(
+        &mut steps,
+        first,
+        d.batch.avg_context() + 1,
+        (steps_to_finish - 1) as u64,
+        single,
+        series.as_ref(),
+        &d.cost,
+        batch,
+        slow,
+    );
+    let kind = EventKind::DecodeStepDone {
+        replica: j,
+        epoch: d.epoch(),
+    };
+    let token = match core.queue.reschedule(old.token, at, kind) {
+        Some(tok) => tok,
+        None => {
+            // The run-end event was already popped and is being held
+            // behind a same-instant rival (this re-plan runs inside that
+            // rival's inline dispatch): re-queue it with its original
+            // stamps so it pops again in the right order.
+            match core.take_held_decode(j) {
+                Some((seq, pushed_at)) => core.queue.reinsert(at, kind, seq, pushed_at),
+                None => core.queue.push_cancellable(at, kind),
+            }
+        }
+    };
+    d.plan = Some(DecodePlan {
+        steps,
+        prev_boundary: old.prev_boundary,
+        token,
+    });
+}
+
+/// Cancels replica `j`'s scheduled run-end event and clears the plan,
+/// ahead of a kill/revive (both of which reset the plan without touching
+/// the queue). The per-step loop always had exactly one decode event in
+/// flight — the in-progress step's end — and popped it (advancing `now`
+/// past it) even once stale; its fire time folds into the phantom horizon
+/// so the reported makespan stays identical.
+fn split_cancel_decode_plan(core: &mut Core, s: &mut SplitState, j: usize) {
+    let Some(plan) = s.decodes[j].plan.as_ref() else {
+        return;
+    };
+    let in_progress_end = *plan.steps.front().expect("plan with no boundaries");
+    core.phantom_horizon = core.phantom_horizon.max(in_progress_end);
+    core.queue.cancel(plan.token);
+    s.decodes[j].plan = None;
+}
+
+/// Materializes every plan boundary of replica `j` that has elapsed:
+/// boundaries strictly before `now`, plus a boundary exactly at `now`
+/// when the event being dispatched was pushed after that step began (the
+/// per-step loop would have popped the step's own event first — smaller
+/// sequence number). The final boundary never catches up here; it is the
+/// scheduled event's fire time and is handled by
+/// [`Driver::on_decode_finish`].
+fn split_catch_up_decode(core: &mut Core, s: &mut SplitState, j: usize) {
+    let now = core.now;
+    let Some(plan) = s.decodes[j].plan.as_ref() else {
+        return;
+    };
+    let mut m = 0usize;
+    while m + 1 < plan.steps.len() && plan.steps[m] < now {
+        m += 1;
     }
-    trace(
+    if m + 1 < plan.steps.len() && plan.steps[m] == now {
+        let prev = if m == 0 {
+            plan.prev_boundary
+        } else {
+            plan.steps[m - 1]
+        };
+        if core.event_pushed_at > prev {
+            m += 1;
+        }
+    }
+    if m > 0 {
+        split_materialize(core, s, j, m);
+    }
+}
+
+/// Catches up every decode replica (paths that scan cross-replica batch
+/// state: transfer re-dispatch, hedging probes).
+fn split_catch_up_all_decodes(core: &mut Core, s: &mut SplitState) {
+    for j in 0..s.decodes.len() {
+        split_catch_up_decode(core, s, j);
+    }
+}
+
+/// Materializes the front `m` boundaries of replica `j`'s plan. With
+/// telemetry off this is one arithmetic pass — batch membership is
+/// constant across a plan, so per sequence only the first gap differs and
+/// the remaining gaps share one maximum; with telemetry on each boundary
+/// replays individually to emit its retroactive trace events.
+fn split_materialize(core: &mut Core, s: &mut SplitState, j: usize, m: usize) {
+    if core.trace.is_none() {
+        let d = &mut s.decodes[j];
+        let plan = d.plan.as_mut().expect("materialize without plan");
+        debug_assert!(m < plan.steps.len(), "materializing the final boundary");
+        let first = plan.steps[0];
+        let mut shared_max = SimDuration::ZERO;
+        for i in 1..m {
+            shared_max = shared_max.max(plan.steps[i].saturating_since(plan.steps[i - 1]));
+        }
+        let last = plan.steps[m - 1];
+        let mk = m as u64;
+        let batch = d.batch.active.len() as u64;
+        for a in &mut d.batch.active {
+            debug_assert!(
+                u64::from(a.remaining) > mk,
+                "an intermediate coalesced boundary must not finish a sequence"
+            );
+            a.context += mk;
+            a.remaining -= m as u32;
+            let first_gap = first.saturating_since(a.last_token_at);
+            a.max_gap = a.max_gap.max(first_gap).max(shared_max);
+            a.last_token_at = last;
+        }
+        d.batch.kv_used += batch * mk;
+        for _ in 0..m {
+            let b = plan.steps.pop_front().expect("boundary count");
+            plan.prev_boundary = b;
+        }
+    } else {
+        for _ in 0..m {
+            let b = {
+                let plan = s.decodes[j]
+                    .plan
+                    .as_mut()
+                    .expect("materialize without plan");
+                debug_assert!(plan.steps.len() > 1, "materializing the final boundary");
+                let b = plan.steps.pop_front().expect("boundary count");
+                plan.prev_boundary = b;
+                b
+            };
+            split_materialize_boundary(core, s, j, b);
+        }
+    }
+}
+
+/// Retroactively replays one coalesced intermediate step that ended at
+/// `at`, emitting the trace events the per-step loop would have: the step
+/// record, the batch update, then the (unchanged) occupancy the no-op
+/// admission pass reported.
+fn split_materialize_boundary(core: &mut Core, s: &mut SplitState, j: usize, at: SimTime) {
+    let d = &mut s.decodes[j];
+    trace_at(
         core,
+        at,
         TraceKind::DecodeStep {
             role: Role::Decode,
             replica: j,
-            batch: s.decodes[j].batch.active.len(),
+            batch: d.batch.active.len(),
         },
     );
-    let finished = s.decodes[j].batch.advance(core.now);
-    for (id, gap) in finished {
-        let req = find_request(core, id)?;
-        finish(core, req, core.now, gap)?;
-    }
-    split_admit_waiting(core, s, j);
-    split_maybe_start_decode_step(core, s, j);
-    Ok(())
+    d.batch.materialize_step(at);
+    trace_at(
+        core,
+        at,
+        TraceKind::BatchOccupancy {
+            role: Role::Decode,
+            replica: j,
+            active: d.batch.active.len(),
+        },
+    );
 }
+
+/// The virtual push time of a plan's scheduled run-end event: the per-step
+/// loop would have pushed the final step's event when the previous step
+/// ended — the penultimate boundary, or the in-progress step's start for
+/// a single-step plan.
+fn plan_vpush(plan: &DecodePlan) -> SimTime {
+    let n = plan.steps.len();
+    if n >= 2 {
+        plan.steps[n - 2]
+    } else {
+        plan.prev_boundary
+    }
+}
+
+/// Discards a held (deferred) decode-finish stamp for replica `j`.
+fn drop_held_decode(core: &mut Core, j: usize, seq: u64) {
+    core.held_decode.retain(|h| !(h.0 == j && h.1 == seq));
+}
+
+impl Driver {
+    /// Handles a decode run-end event for `replica`. The coalesced event's
+    /// heap stamps date from plan creation, but the per-step loop would
+    /// have pushed the final step's event at the penultimate boundary (the
+    /// plan's *virtual* push time) — so any same-instant rival the
+    /// per-step loop would have popped first is dispatched first, with
+    /// this finish held. A held finish can be re-queued (a rival re-plans
+    /// this replica) or invalidated (a rival kills/revives it); otherwise
+    /// the finish boundary runs: materialize intermediates, advance the
+    /// batch, record finishes, admit, and plan the next run.
+    fn on_decode_finish(&mut self, replica: usize, ev: Event) -> Result<()> {
+        let seq = ev.seq;
+        loop {
+            let vpush = {
+                let Topology::Split(s) = &self.topo else {
+                    return Err(Error::Simulation(
+                        "DecodeStepDone event in colocated engine".into(),
+                    ));
+                };
+                let Some(plan) = s.decodes[replica].plan.as_ref() else {
+                    // A rival dispatched below killed or revived the
+                    // replica, cancelling the plan: this pop is stale.
+                    drop_held_decode(&mut self.core, replica, seq);
+                    return Ok(());
+                };
+                if ev.token() != Some(plan.token) {
+                    // A rival's re-plan consumed the held stamp and
+                    // re-queued the run-end event: this pop is obsolete.
+                    drop_held_decode(&mut self.core, replica, seq);
+                    return Ok(());
+                }
+                plan_vpush(plan)
+            };
+            if ev.pushed_at == vpush {
+                // The stamps are real (a per-step-schedule push): the heap
+                // already ordered this event correctly.
+                break;
+            }
+            let Some(rival) = self.qualifying_rival(replica, vpush) else {
+                break;
+            };
+            if !self
+                .core
+                .held_decode
+                .iter()
+                .any(|h| h.0 == replica && h.1 == seq)
+            {
+                self.core.held_decode.push((replica, seq, ev.pushed_at));
+            }
+            self.dispatch_event(rival)?;
+            if !self
+                .core
+                .held_decode
+                .iter()
+                .any(|h| h.0 == replica && h.1 == seq)
+            {
+                return Ok(()); // consumed: re-queued by a rival's re-plan
+            }
+        }
+        drop_held_decode(&mut self.core, replica, seq);
+        let Driver { core, topo } = self;
+        let Topology::Split(s) = topo else {
+            unreachable!()
+        };
+        let pending = s.decodes[replica]
+            .plan
+            .as_ref()
+            .map_or(0, |p| p.steps.len());
+        if pending > 1 {
+            split_materialize(core, s, replica, pending - 1);
+        }
+        let plan = s.decodes[replica].plan.take().expect("checked above");
+        debug_assert_eq!(plan.steps.len(), 1, "intermediates drained");
+        debug_assert_eq!(
+            plan.steps.front(),
+            Some(&core.now),
+            "finish boundary mismatch"
+        );
+        // Recycle the retired plan's buffer for the next planning pass.
+        s.decodes[replica].spare_steps = plan.steps;
+        if core.cfg.straggler_threshold.is_some() {
+            split_observe_straggler(core, s, false, replica);
+        }
+        trace(
+            core,
+            TraceKind::DecodeStep {
+                role: Role::Decode,
+                replica,
+                batch: s.decodes[replica].batch.active.len(),
+            },
+        );
+        let finished = s.decodes[replica].batch.advance(core.now);
+        for (key, gap) in finished {
+            finish(core, key, core.now, gap)?;
+        }
+        split_admit_waiting(core, s, replica);
+        split_kick_decode(core, s, replica, false);
+        Ok(())
+    }
+
+    /// The next queued event, popped, when it shares this instant with the
+    /// decode finish being dispatched and the per-step loop would have
+    /// fired it first: its effective push time (its own stamp, or the
+    /// virtual push time of another replica's live plan) is no later than
+    /// `vpush`. Deferring to an epoch-stale rival is harmless — its
+    /// dispatch is a no-op.
+    fn qualifying_rival(&mut self, replica: usize, vpush: SimTime) -> Option<Event> {
+        let now = self.core.now;
+        debug_assert!(
+            self.core
+                .arrivals
+                .get(self.core.next_arrival)
+                .is_none_or(|r| r.arrival > now),
+            "same-instant arrivals drain before queued events"
+        );
+        let _ = replica;
+        let head = *self.core.queue.peek()?;
+        if head.at != now {
+            return None;
+        }
+        let eff = match head.kind {
+            EventKind::DecodeStepDone { replica: r2, .. } => {
+                let Topology::Split(s) = &self.topo else {
+                    return None;
+                };
+                match s.decodes[r2].plan.as_ref() {
+                    Some(p) if head.token() == Some(p.token) => plan_vpush(p),
+                    _ => head.pushed_at,
+                }
+            }
+            _ => head.pushed_at,
+        };
+        if eff <= vpush {
+            self.core.queue.pop()
+        } else {
+            None
+        }
+    }
+}
+
+// --- routing masks ---------------------------------------------------------
 
 /// Whether the (prefill `i`, decode `j`) pair is routable under current
 /// liveness beliefs and gray-failure masking (flaky-heartbeat false
@@ -2223,10 +3013,11 @@ fn colo_observe_straggler(core: &mut Core, c: &ColoState, ri: usize) {
 /// (first completion wins); if its KV transfer is stuck in flight, cancel
 /// and re-send it. No-op when the request already delivered its KV,
 /// finished, or was hedged once before.
-fn split_on_hedge_check(core: &mut Core, s: &mut SplitState, request: RequestId) {
-    let Some(p) = core.pending.get(&request) else {
+fn split_on_hedge_check(core: &mut Core, s: &mut SplitState, request: SlabKey) {
+    let Some(st) = core.reqs.get(request) else {
         return; // finished, shed or dropped
     };
+    let p = &st.pend;
     if p.kv_done_at.is_some() || p.hedge.is_some() {
         return;
     }
@@ -2243,22 +3034,25 @@ fn split_on_hedge_check(core: &mut Core, s: &mut SplitState, request: RequestId)
 /// broken deterministically: route draws advance the stride router in its
 /// usual order, and the first live pair with a *different* prefill replica
 /// wins.
-fn split_hedge_prefill(core: &mut Core, s: &mut SplitState, request: RequestId) {
-    let Some(primary) = core.pending.get(&request).map(|p| p.prefill) else {
+fn split_hedge_prefill(core: &mut Core, s: &mut SplitState, request: SlabKey) {
+    let Some(st) = core.reqs.get(request) else {
         return;
     };
+    let primary = st.pend.prefill;
+    let rid = st.req.id;
+    let model = st.req.model;
     let job = s.prefills[primary]
         .queue
         .queue
         .iter()
-        .find(|j| j.req.id == request)
+        .find(|j| j.key == request)
         .copied()
         .or_else(|| {
             s.prefills[primary]
                 .in_flight
                 .iter()
                 .flatten()
-                .find(|j| j.req.id == request)
+                .find(|j| j.key == request)
                 .copied()
         });
     let Some(job) = job else {
@@ -2266,7 +3060,7 @@ fn split_hedge_prefill(core: &mut Core, s: &mut SplitState, request: RequestId) 
     };
     // Multi-model plans draw the alternate from the request's own tenant
     // router, so a hedge never lands on another model's replicas.
-    let route = s.model_routes.iter().position(|r| r.model == job.req.model);
+    let route = s.model_routes.iter().position(|r| r.model == model);
     let mut alt = None;
     if let Some(ri) = route {
         for _ in 0..s.model_routes[ri].pairs.len() {
@@ -2296,19 +3090,19 @@ fn split_hedge_prefill(core: &mut Core, s: &mut SplitState, request: RequestId) 
     let Some((hi, hj)) = alt else {
         return; // no live alternative prefill replica
     };
-    if let Some(p) = core.pending.get_mut(&request) {
-        p.hedge = Some((hi, hj));
+    if let Some(st) = core.reqs.get_mut(request) {
+        st.pend.hedge = Some((hi, hj));
     }
     core.recovery.hedges_launched += 1;
     trace(
         core,
         TraceKind::HedgeLaunched {
-            request,
+            request: rid,
             role: Role::Prefill,
             replica: hi,
         },
     );
-    s.prefills[hi].queue.queue.push_back(job);
+    s.prefills[hi].queue.enqueue(job);
     split_maybe_start_prefill(core, s, hi);
 }
 
@@ -2316,16 +3110,19 @@ fn split_hedge_prefill(core: &mut Core, s: &mut SplitState, request: RequestId) 
 /// decode replica with the most free KV memory — possibly the same one.
 /// The superseded attempt's completion goes stale via its attempt number,
 /// so a duplicate delivery is impossible.
-fn split_hedge_transfer(core: &mut Core, s: &mut SplitState, request: RequestId) {
-    let Some(&t) = s.transfers.get(&request) else {
+fn split_hedge_transfer(core: &mut Core, s: &mut SplitState, request: SlabKey) {
+    let Some(t) = core.reqs.get(request).and_then(|st| st.transfer) else {
         return; // completion already delivered
     };
     if let Some(f) = s.fabric.as_mut() {
-        if f.contains(request.0) {
-            let estimates = f.cancel(request.0, core.now);
+        if f.contains(request.as_u64()) {
+            let estimates = f.cancel(request.as_u64(), core.now);
             schedule_flow_events(core, estimates);
         }
     }
+    // Free-KV capacity is read at `now`, so every coalesced batch must be
+    // materialized up to `now` first.
+    split_catch_up_all_decodes(core, s);
     let mut t = t;
     t.attempt += 1;
     // Mirror the death-re-dispatch target policy: most free KV, ties to
@@ -2347,15 +3144,18 @@ fn split_hedge_transfer(core: &mut Core, s: &mut SplitState, request: RequestId)
     {
         t.to = j2;
     }
-    if let Some(p) = core.pending.get_mut(&request) {
-        p.decode = t.to;
-        p.hedge = Some((t.from, t.to));
-    }
+    let rid = if let Some(st) = core.reqs.get_mut(request) {
+        st.pend.decode = t.to;
+        st.pend.hedge = Some((t.from, t.to));
+        st.req.id
+    } else {
+        return;
+    };
     core.recovery.hedges_launched += 1;
     trace(
         core,
         TraceKind::HedgeLaunched {
-            request,
+            request: rid,
             role: Role::Decode,
             replica: t.to,
         },
@@ -2373,9 +3173,12 @@ fn colo_maybe_start_work(core: &mut Core, c: &mut ColoState, ri: usize) {
         if !r.is_alive() {
             return;
         }
-        let outcomes = r.batch.admit(&r.cost, &core.cfg, core.now, |id| {
-            core.pending.get(&id).and_then(|p| p.first_token_at)
-        });
+        let outcomes = {
+            let reqs = &core.reqs;
+            r.batch.admit(&r.cost, &core.cfg, core.now, |key| {
+                reqs.get(key).and_then(|st| st.pend.first_token_at)
+            })
+        };
         apply_admit_outcomes(core, outcomes, Role::Colocated, ri);
     }
     trace(
@@ -2433,10 +3236,14 @@ fn colo_maybe_start_work(core: &mut Core, c: &mut ColoState, ri: usize) {
             let (batch, total) = r.prefill.take_batch(budget, core.cfg.prefill_policy);
             if core.trace.is_some() {
                 for job in &batch {
+                    let Some(st) = core.reqs.get(job.key) else {
+                        continue;
+                    };
+                    let request = st.req.id;
                     trace(
                         core,
                         TraceKind::PrefillStart {
-                            request: job.req.id,
+                            request,
                             role: Role::Colocated,
                             replica: ri,
                             tokens: job.tokens,
@@ -2473,10 +3280,14 @@ fn colo_maybe_start_work(core: &mut Core, c: &mut ColoState, ri: usize) {
             let (finishing, tokens) = r.prefill.take_chunk(chunk_tokens);
             if core.trace.is_some() {
                 for job in &finishing {
+                    let Some(st) = core.reqs.get(job.key) else {
+                        continue;
+                    };
+                    let request = st.req.id;
                     trace(
                         core,
                         TraceKind::PrefillStart {
-                            request: job.req.id,
+                            request,
                             role: Role::Colocated,
                             replica: ri,
                             tokens: job.tokens,
@@ -2525,17 +3336,20 @@ fn colo_on_work_done(core: &mut Core, c: &mut ColoState, ri: usize) -> Result<()
     match work {
         Work::Prefill { finishing } => {
             for job in finishing {
-                let rid = job.req.id;
-                let pend = core
-                    .pending
-                    .get_mut(&rid)
-                    .ok_or_else(|| Error::Simulation(format!("unknown request {rid}")))?;
-                // Re-prefills keep their original first-token time (fault
-                // recovery); fresh prefills set it now.
-                let newly_first = pend.first_token_at.is_none();
-                if newly_first {
-                    pend.first_token_at = Some(core.now);
-                }
+                let now = core.now;
+                let (rid, newly_first) = {
+                    let st = core
+                        .reqs
+                        .get_mut(job.key)
+                        .ok_or_else(|| Error::Simulation(format!("unknown request {}", job.key)))?;
+                    // Re-prefills keep their original first-token time
+                    // (fault recovery); fresh prefills set it now.
+                    let newly_first = st.pend.first_token_at.is_none();
+                    if newly_first {
+                        st.pend.first_token_at = Some(now);
+                    }
+                    (st.req.id, newly_first)
+                };
                 trace(
                     core,
                     TraceKind::PrefillEnd {
@@ -2548,11 +3362,11 @@ fn colo_on_work_done(core: &mut Core, c: &mut ColoState, ri: usize) -> Result<()
                     trace(core, TraceKind::FirstToken { request: rid });
                 }
                 if job.remaining == 0 {
-                    finish(core, job.req, core.now, SimDuration::ZERO)?;
+                    finish(core, job.key, now, SimDuration::ZERO)?;
                 } else {
                     // KV is already local: straight to the waiting queue.
                     c.replicas[ri].batch.waiting.push_back(WaitingSeq {
-                        id: job.req.id,
+                        key: job.key,
                         tokens: job.tokens,
                         remaining: job.remaining,
                         resume: job.resume,
@@ -2562,9 +3376,8 @@ fn colo_on_work_done(core: &mut Core, c: &mut ColoState, ri: usize) -> Result<()
         }
         Work::DecodeStep => {
             let finished = c.replicas[ri].batch.advance(core.now);
-            for (id, gap) in finished {
-                let req = find_request(core, id)?;
-                finish(core, req, core.now, gap)?;
+            for (key, gap) in finished {
+                finish(core, key, core.now, gap)?;
             }
         }
     }
@@ -2623,11 +3436,10 @@ mod tests {
         Driver::new_split(&cluster, &plan, cfg).unwrap()
     }
 
-    fn seed_request(core: &mut Core, id: u64) -> Request {
+    fn seed_request(core: &mut Core, id: u64) -> (Request, SlabKey) {
         let req = Request::new(RequestId(id), SimTime::ZERO, 512, 16);
-        core.payloads.insert(req.id, req);
-        core.pending.insert(req.id, Pending::new(0, 0));
-        req
+        let key = core.reqs.insert(ReqState::new(req));
+        (req, key)
     }
 
     #[test]
@@ -2640,7 +3452,7 @@ mod tests {
         let Topology::Split(s) = topo else {
             unreachable!()
         };
-        let req = seed_request(core, 7);
+        let (req, key) = seed_request(core, 7);
         core.now = SimTime::from_secs_f64(5.0);
         let busy_until = SimTime::from_secs_f64(30.0);
         s.sender_free_at[0] = busy_until;
@@ -2650,7 +3462,7 @@ mod tests {
             Transfer {
                 from: 0,
                 to: 0,
-                job: PrefillJob::fresh(req),
+                job: PrefillJob::fresh(key, &req),
                 attempt: 2,
             },
             SimDuration::from_millis(50),
@@ -2665,7 +3477,7 @@ mod tests {
             SimTime::from_secs_f64(5.0) + SimDuration::from_millis(50),
             "completes after the backoff alone, not behind the uplink queue"
         );
-        let p = &core.pending[&req.id];
+        let p = &core.reqs[key].pend;
         assert_eq!(p.kv_enqueued_at, Some(SimTime::from_secs_f64(5.0)));
         assert_eq!(p.kv_wire_started_at, Some(ev.at));
     }
@@ -2677,7 +3489,7 @@ mod tests {
         let Topology::Split(s) = topo else {
             unreachable!()
         };
-        let req = seed_request(core, 8);
+        let (req, key) = seed_request(core, 8);
         core.now = SimTime::from_secs_f64(5.0);
         let busy_until = SimTime::from_secs_f64(10.0);
         s.sender_free_at[0] = busy_until;
@@ -2687,7 +3499,7 @@ mod tests {
             Transfer {
                 from: 0,
                 to: 0,
-                job: PrefillJob::fresh(req),
+                job: PrefillJob::fresh(key, &req),
                 attempt: 1,
             },
             SimDuration::ZERO,
@@ -2697,7 +3509,7 @@ mod tests {
             "a modeled transfer occupies the uplink past the queue head"
         );
         assert_eq!(
-            core.pending[&req.id].kv_wire_started_at,
+            core.reqs[key].pend.kv_wire_started_at,
             Some(busy_until),
             "wire time starts when the uplink frees, not at enqueue"
         );

@@ -13,9 +13,10 @@
 //!   scheduling ([`ColocatedPolicy`]).
 
 use super::seq::{BatchCore, PrefillJob, PrefillQueue, ResumeState};
+use crate::event::EventToken;
 use std::collections::VecDeque;
-use ts_common::{RequestId, SimTime};
-use ts_costmodel::ReplicaCostModel;
+use ts_common::{SimDuration, SimTime, SlabKey};
+use ts_costmodel::{DecodeStageSeries, ReplicaCostModel};
 
 /// Scheduling policy of a colocated replica.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,8 +51,8 @@ pub enum Work {
 /// recovery).
 #[derive(Debug, Clone, Copy)]
 pub struct LostSeq {
-    /// The request id.
-    pub id: RequestId,
+    /// Slab handle of the request.
+    pub key: SlabKey,
     /// Context tokens that must be re-prefilled (prompt + generated).
     pub tokens: u64,
     /// Decode steps still to run.
@@ -77,6 +78,31 @@ impl DrainedWork {
     pub fn is_empty(&self) -> bool {
         self.prefill_jobs.is_empty() && self.lost_seqs.is_empty()
     }
+}
+
+/// A planned decode run on a decode-capable replica: the step boundaries
+/// the continuous batch will cross if nothing interrupts it, ending at the
+/// first boundary where at least one sequence finishes.
+///
+/// Under decode-step coalescing the driver schedules **one** event (at the
+/// final boundary) per run instead of one per step; the intermediate
+/// boundaries are materialized lazily — retroactively, in batches — when an
+/// interrupt or the finish boundary needs the batch state. Under the
+/// per-step compatibility path a plan holds exactly one step.
+#[derive(Debug)]
+pub struct DecodePlan {
+    /// Step-end boundaries, ascending. Already-materialized boundaries are
+    /// popped from the front; the last entry is the scheduled event's fire
+    /// time and the first boundary at which a sequence can finish.
+    pub steps: VecDeque<SimTime>,
+    /// The virtual push time of the in-progress (front) step: the sim time
+    /// at which the per-step scheduler would have pushed that step's event
+    /// (the previous boundary, or the plan's creation time). Used to order
+    /// coalesced events against genuinely simultaneous rivals exactly as
+    /// the per-step schedule would have.
+    pub prev_boundary: SimTime,
+    /// Cancellation token of the scheduled run-end event.
+    pub token: EventToken,
 }
 
 /// The liveness/epoch/drain contract every replica executor implements;
@@ -139,20 +165,33 @@ pub struct PrefillExecutor {
     /// this (exactly 1.0 = healthy; the driver skips the multiply then so
     /// the healthy path stays bit-identical).
     pub slow_factor: f64,
+    /// One-entry memo of `(total_tokens, avg_context) -> (latency,
+    /// bottleneck)` for batch pricing. Day traces with fixed-length
+    /// prompts price the same batch shape hundreds of thousands of
+    /// times, and both pricing functions are pure in these arguments
+    /// over an immutable cost model, so replaying the cached pair is
+    /// exact.
+    pub price_memo: Option<(u64, u64, SimDuration, SimDuration)>,
+    /// Retired batch buffers, recycled by batch formation so steady-state
+    /// prefill launches do not allocate per batch.
+    pub spare_batches: Vec<Vec<PrefillJob>>,
     alive: bool,
     epoch: u64,
 }
 
 impl PrefillExecutor {
-    /// A fresh, live executor over `cost`.
-    pub fn new(cost: ReplicaCostModel) -> Self {
+    /// A fresh, live executor over `cost`; `sjf` keeps its queue
+    /// insertion-sorted for shortest-first scheduling.
+    pub fn new(cost: ReplicaCostModel, sjf: bool) -> Self {
         PrefillExecutor {
             cost,
-            queue: PrefillQueue::default(),
+            queue: PrefillQueue::new(sjf),
             in_flight: VecDeque::new(),
             next_free: SimTime::ZERO,
             wakeup_scheduled: false,
             slow_factor: 1.0,
+            price_memo: None,
+            spare_batches: Vec::new(),
             alive: true,
             epoch: 0,
         }
@@ -200,12 +239,24 @@ pub struct DecodeExecutor {
     pub cost: ReplicaCostModel,
     /// KV memory accounting, active batch and admission queue.
     pub batch: BatchCore,
-    /// Whether a decode step is currently running.
-    pub stepping: bool,
+    /// The planned decode run currently in progress, if any. The driver
+    /// cancels the plan's scheduled event before any path that clears this
+    /// through [`ReplicaExecutor::kill`] / [`ReplicaExecutor::revive`].
+    pub plan: Option<DecodePlan>,
     /// Gray-failure straggler factor: decode step times multiply by this
     /// (exactly 1.0 = healthy; the driver skips the multiply then so the
     /// healthy path stays bit-identical).
     pub slow_factor: f64,
+    /// Retired plan step buffer, recycled by the planner so the hot loop
+    /// (roughly one plan per served request) does not allocate per plan.
+    pub spare_steps: VecDeque<SimTime>,
+    /// One-entry memo of `batch size -> ` the hoisted single-stage step
+    /// series at that size. Replicas see a handful of distinct batch
+    /// sizes over a whole day trace, and the series is a pure function
+    /// of the immutable cost model and the batch size, so replaying the
+    /// cached copy is exact. `None` until the first single-stage plan
+    /// (multi-stage pipelines never populate it).
+    pub step_series_memo: Option<(u64, DecodeStageSeries)>,
     alive: bool,
     epoch: u64,
 }
@@ -217,8 +268,10 @@ impl DecodeExecutor {
         DecodeExecutor {
             cost,
             batch: BatchCore::new(kv_capacity),
-            stepping: false,
+            plan: None,
             slow_factor: 1.0,
+            spare_steps: VecDeque::new(),
+            step_series_memo: None,
             alive: true,
             epoch: 0,
         }
@@ -237,7 +290,7 @@ impl ReplicaExecutor for DecodeExecutor {
     fn kill(&mut self) {
         self.alive = false;
         self.epoch += 1;
-        self.stepping = false;
+        self.plan = None;
         // KV cache and batches are lost, but the coordinator keeps routing
         // here until detection.
     }
@@ -245,7 +298,7 @@ impl ReplicaExecutor for DecodeExecutor {
     fn revive(&mut self, _now: SimTime) {
         self.alive = true;
         self.epoch += 1;
-        self.stepping = false;
+        self.plan = None;
     }
 
     fn drain_lost(&mut self) -> DrainedWork {
@@ -255,7 +308,7 @@ impl ReplicaExecutor for DecodeExecutor {
         let mut lost_seqs = Vec::new();
         for a in active {
             lost_seqs.push(LostSeq {
-                id: a.id,
+                key: a.key,
                 tokens: a.context,
                 remaining: a.remaining,
                 resume: Some(ResumeState {
@@ -266,7 +319,7 @@ impl ReplicaExecutor for DecodeExecutor {
         }
         for w in waiting {
             lost_seqs.push(LostSeq {
-                id: w.id,
+                key: w.key,
                 tokens: w.tokens,
                 remaining: w.remaining,
                 resume: w.resume,
@@ -306,12 +359,14 @@ pub struct ColocatedExecutor {
 }
 
 impl ColocatedExecutor {
-    /// A fresh, live executor over `cost` with the given policy.
-    pub fn new(cost: ReplicaCostModel, policy: ColocatedPolicy) -> Self {
+    /// A fresh, live executor over `cost` with the given policy; `sjf`
+    /// keeps the prefill queue insertion-sorted for shortest-first
+    /// scheduling.
+    pub fn new(cost: ReplicaCostModel, policy: ColocatedPolicy, sjf: bool) -> Self {
         let kv_capacity = cost.kv_capacity_tokens();
         ColocatedExecutor {
             cost,
-            prefill: PrefillQueue::default(),
+            prefill: PrefillQueue::new(sjf),
             batch: BatchCore::new(kv_capacity),
             current: None,
             decode_turn: false,
@@ -358,7 +413,7 @@ impl ReplicaExecutor for ColocatedExecutor {
         let mut lost_seqs = Vec::new();
         for a in active {
             lost_seqs.push(LostSeq {
-                id: a.id,
+                key: a.key,
                 tokens: a.context,
                 remaining: a.remaining,
                 resume: Some(ResumeState {
@@ -369,7 +424,7 @@ impl ReplicaExecutor for ColocatedExecutor {
         }
         for w in waiting {
             lost_seqs.push(LostSeq {
-                id: w.id,
+                key: w.key,
                 tokens: w.tokens,
                 remaining: w.remaining,
                 resume: w.resume,

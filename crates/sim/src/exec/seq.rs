@@ -11,10 +11,16 @@
 //! 3. admission turns it into an [`ActiveSeq`] inside a [`BatchCore`],
 //!    which tracks KV memory and per-token gap statistics until the
 //!    sequence finishes.
+//!
+//! All of these carry the request's dense [`SlabKey`] into the driver's
+//! request slab rather than the request payload or its id: the structs stay
+//! `Copy` and 8-byte-keyed, and every per-event lookup is an array index
+//! instead of a hash probe. The id (for traces and records) and the payload
+//! live in the slab entry.
 
 use crate::config::{PrefillPolicy, SimConfig};
 use std::collections::VecDeque;
-use ts_common::{Request, RequestId, SimDuration, SimTime};
+use ts_common::{Request, SimDuration, SimTime, SlabKey};
 use ts_costmodel::ReplicaCostModel;
 
 /// Per-request routing decision and timing bookkeeping held by the driver.
@@ -80,8 +86,8 @@ pub struct ResumeState {
 /// sequence being re-prefilled over its full lost context.
 #[derive(Debug, Clone, Copy)]
 pub struct PrefillJob {
-    /// The request being served.
-    pub req: Request,
+    /// Slab handle of the request being served.
+    pub key: SlabKey,
     /// Tokens to prefill: the prompt for fresh requests, the whole lost
     /// context (prompt + generated) for recovered ones.
     pub tokens: u64,
@@ -92,10 +98,10 @@ pub struct PrefillJob {
 }
 
 impl PrefillJob {
-    /// A fresh (non-recovery) job for `req`.
-    pub fn fresh(req: Request) -> Self {
+    /// A fresh (non-recovery) job for the request stored under `key`.
+    pub fn fresh(key: SlabKey, req: &Request) -> Self {
         PrefillJob {
-            req,
+            key,
             tokens: req.prompt_len as u64,
             remaining: req.decode_steps(),
             resume: None,
@@ -107,8 +113,8 @@ impl PrefillJob {
 /// the continuous decode batch.
 #[derive(Debug, Clone, Copy)]
 pub struct WaitingSeq {
-    /// The request id.
-    pub id: RequestId,
+    /// Slab handle of the request.
+    pub key: SlabKey,
     /// Context tokens whose KV is resident (prompt, or full re-prefilled
     /// context for recovered sequences).
     pub tokens: u64,
@@ -121,8 +127,8 @@ pub struct WaitingSeq {
 /// A sequence inside the continuous decode batch.
 #[derive(Debug, Clone, Copy)]
 pub struct ActiveSeq {
-    /// The request id.
-    pub id: RequestId,
+    /// Slab handle of the request.
+    pub key: SlabKey,
     /// Tokens currently in this sequence's KV cache (prompt + generated).
     pub context: u64,
     /// Decode steps still to run.
@@ -137,9 +143,9 @@ pub struct ActiveSeq {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AdmitOutcome {
     /// The sequence joined the active batch.
-    Admitted(RequestId),
+    Admitted(SlabKey),
     /// The sequence can never fit in KV memory and was evicted.
-    Dropped(RequestId),
+    Dropped(SlabKey),
 }
 
 /// The continuous-batching core of a decode-capable replica: KV memory
@@ -178,7 +184,7 @@ impl BatchCore {
         cost: &ReplicaCostModel,
         cfg: &SimConfig,
         now: SimTime,
-        first_token_at: impl Fn(RequestId) -> Option<SimTime>,
+        first_token_at: impl Fn(SlabKey) -> Option<SimTime>,
     ) -> Vec<AdmitOutcome> {
         let mut out = Vec::new();
         loop {
@@ -190,7 +196,7 @@ impl BatchCore {
             if total_need > self.kv_capacity {
                 // can never fit: drop
                 self.waiting.pop_front();
-                out.push(AdmitOutcome::Dropped(front.id));
+                out.push(AdmitOutcome::Dropped(front.key));
                 continue;
             }
             if self.active.len() as u64 >= cfg.max_decode_batch
@@ -211,27 +217,27 @@ impl BatchCore {
             }
             self.waiting.pop_front();
             self.kv_used += need;
-            let first = first_token_at(front.id).unwrap_or(now);
+            let first = first_token_at(front.key).unwrap_or(now);
             let (last_token_at, max_gap) = match front.resume {
                 Some(r) => (r.last_token_at, r.max_gap),
                 None => (first, SimDuration::ZERO),
             };
             self.active.push(ActiveSeq {
-                id: front.id,
+                key: front.key,
                 context: need,
                 remaining: front.remaining,
                 last_token_at,
                 max_gap,
             });
-            out.push(AdmitOutcome::Admitted(front.id));
+            out.push(AdmitOutcome::Admitted(front.key));
         }
     }
 
     /// Runs one decode step over the active batch at time `now`: every
     /// sequence gains one token of context, KV grows, inter-token gaps are
     /// tracked, and finished sequences are removed. Returns
-    /// `(id, max_token_gap)` for each sequence that finished.
-    pub fn advance(&mut self, now: SimTime) -> Vec<(RequestId, SimDuration)> {
+    /// `(key, max_token_gap)` for each sequence that finished.
+    pub fn advance(&mut self, now: SimTime) -> Vec<(SlabKey, SimDuration)> {
         let mut finished = Vec::new();
         let mut idx = 0;
         while idx < self.active.len() {
@@ -245,12 +251,32 @@ impl BatchCore {
             if a.remaining == 0 {
                 let done = self.active.swap_remove(idx);
                 self.kv_used -= done.context;
-                finished.push((done.id, done.max_gap));
+                finished.push((done.key, done.max_gap));
             } else {
                 idx += 1;
             }
         }
         finished
+    }
+
+    /// Retroactively applies one coalesced intermediate decode step that
+    /// ended at `at`: identical to [`BatchCore::advance`] except that no
+    /// sequence may finish — the decode-step coalescer plans runs up to the
+    /// first finish boundary, so intermediate steps only grow context and
+    /// gap statistics.
+    pub fn materialize_step(&mut self, at: SimTime) {
+        debug_assert!(
+            self.active.iter().all(|a| a.remaining > 1),
+            "an intermediate coalesced step must not finish a sequence"
+        );
+        for a in &mut self.active {
+            a.context += 1;
+            a.remaining -= 1;
+            self.kv_used += 1;
+            let gap = at.saturating_since(a.last_token_at);
+            a.max_gap = a.max_gap.max(gap);
+            a.last_token_at = at;
+        }
     }
 
     /// Mean context length of the active batch (caller must ensure the
@@ -265,16 +291,42 @@ impl BatchCore {
 /// prefill and colocated executors.
 #[derive(Debug, Default)]
 pub struct PrefillQueue {
-    /// Queued jobs, FCFS (re-ordered in place under SJF).
+    /// Queued jobs: FCFS arrival order, or kept sorted by prompt length
+    /// (ties in arrival order) when `sjf` is set.
     pub queue: VecDeque<PrefillJob>,
     /// Prompt tokens of the queue head already processed by earlier chunks.
     pub head_progress: u64,
+    /// Whether the queue maintains shortest-job-first order at insertion.
+    /// Set when the replica's policy is [`PrefillPolicy::ShortestFirst`]
+    /// and prefills are not chunked: insertion is a binary search instead
+    /// of an O(n log n) re-sort of the whole queue on every batch launch.
+    sjf: bool,
 }
 
 impl PrefillQueue {
+    /// An empty queue; `sjf` keeps it insertion-sorted by prompt length.
+    pub fn new(sjf: bool) -> Self {
+        PrefillQueue {
+            sjf,
+            ..Default::default()
+        }
+    }
+
     /// Whether no work is queued.
     pub fn is_empty(&self) -> bool {
         self.queue.is_empty()
+    }
+
+    /// Enqueues `job`: appended under FCFS, binary-inserted after the last
+    /// job with the same or a shorter prompt under SJF — exactly the
+    /// position a stable sort by token count would give it.
+    pub fn enqueue(&mut self, job: PrefillJob) {
+        if self.sjf {
+            let pos = self.queue.partition_point(|j| j.tokens <= job.tokens);
+            self.queue.insert(pos, job);
+        } else {
+            self.queue.push_back(job);
+        }
     }
 
     /// Takes a whole-request batch under the token `budget`: FCFS (or
@@ -282,12 +334,29 @@ impl PrefillQueue {
     /// the next job would exceed the budget. At least one job is always
     /// taken. Returns the batch and its total token count.
     pub fn take_batch(&mut self, budget: u64, policy: PrefillPolicy) -> (Vec<PrefillJob>, u64) {
-        if policy == PrefillPolicy::ShortestFirst {
+        let mut batch = Vec::new();
+        let total = self.take_batch_into(budget, policy, &mut batch);
+        (batch, total)
+    }
+
+    /// [`PrefillQueue::take_batch`] into a caller-provided buffer (cleared
+    /// first), so steady-state batch formation can recycle one allocation
+    /// per replica instead of allocating per batch. Returns the total
+    /// prompt tokens taken.
+    pub fn take_batch_into(
+        &mut self,
+        budget: u64,
+        policy: PrefillPolicy,
+        batch: &mut Vec<PrefillJob>,
+    ) -> u64 {
+        if policy == PrefillPolicy::ShortestFirst && !self.sjf {
             // Stable sort keeps arrival order among equal prompt lengths.
+            // (Executors built with the SJF flag maintain this order at
+            // insertion instead and skip the sort.)
             self.queue.make_contiguous().sort_by_key(|j| j.tokens);
         }
+        batch.clear();
         let mut total = 0u64;
-        let mut batch = Vec::new();
         while let Some(front) = self.queue.front() {
             let t = front.tokens;
             if !batch.is_empty() && total + t > budget {
@@ -296,7 +365,7 @@ impl PrefillQueue {
             total += t;
             batch.push(self.queue.pop_front().unwrap());
         }
-        (batch, total)
+        total
     }
 
     /// Takes up to `chunk_tokens` of the queue head(s), Sarathi-style: jobs
@@ -332,11 +401,11 @@ impl PrefillQueue {
         self.queue.drain(..).collect()
     }
 
-    /// Removes one queued job by request id (hedge-loser cancellation).
+    /// Removes one queued job by request key (hedge-loser cancellation).
     /// Chunk progress resets if the head is removed — the partial work is
     /// abandoned with it. Returns whether a job was found.
-    pub fn remove(&mut self, id: RequestId) -> bool {
-        let Some(pos) = self.queue.iter().position(|j| j.req.id == id) else {
+    pub fn remove(&mut self, key: SlabKey) -> bool {
+        let Some(pos) = self.queue.iter().position(|j| j.key == key) else {
             return false;
         };
         if pos == 0 {

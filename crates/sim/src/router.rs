@@ -20,6 +20,11 @@ pub struct StrideRouter {
     credit: Vec<f64>,
     enabled: Vec<bool>,
     total: f64,
+    /// `weights[i] / total`, refreshed whenever `total` changes: `next`
+    /// runs once per routed request over every enabled option, and float
+    /// division is expensive enough to show up there. Precomputing the
+    /// exact same quotient keeps the credit arithmetic bit-identical.
+    stride: Vec<f64>,
 }
 
 impl StrideRouter {
@@ -43,11 +48,13 @@ impl StrideRouter {
             return Err(Error::InvalidConfig("all routing weights are zero".into()));
         }
         let n = weights.len();
+        let stride = weights.iter().map(|w| w / total).collect();
         Ok(StrideRouter {
             weights,
             credit: vec![0.0; n],
             enabled: vec![true; n],
             total,
+            stride,
         })
     }
 
@@ -80,19 +87,22 @@ impl StrideRouter {
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> usize {
         assert!(self.total > 0.0, "all routing options are disabled");
-        for (i, c) in self.credit.iter_mut().enumerate() {
-            if self.enabled[i] {
-                *c += self.weights[i] / self.total;
+        // One fused pass: top up every enabled option's credit and track the
+        // arg-max as we go. `>=` keeps the *last* maximum, matching the
+        // two-pass `max_by(partial_cmp)` tie-breaking this replaced.
+        let mut best = None;
+        let mut best_credit = f64::NEG_INFINITY;
+        for i in 0..self.credit.len() {
+            if !self.enabled[i] {
+                continue;
+            }
+            self.credit[i] += self.stride[i];
+            if self.weights[i] > 0.0 && self.credit[i] >= best_credit {
+                best_credit = self.credit[i];
+                best = Some(i);
             }
         }
-        let best = self
-            .credit
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| self.enabled[*i] && self.weights[*i] > 0.0)
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .map(|(i, _)| i)
-            .expect("router has an enabled option");
+        let best = best.expect("router has an enabled option");
         self.credit[best] -= 1.0;
         best
     }
@@ -113,6 +123,9 @@ impl StrideRouter {
             .filter(|(_, &e)| e)
             .map(|(w, _)| w)
             .sum();
+        for (s, w) in self.stride.iter_mut().zip(&self.weights) {
+            *s = w / self.total;
+        }
     }
 
     /// Applies a full enable mask: option `i` ends up enabled iff
