@@ -1,0 +1,110 @@
+//! Autoscaler tuning knobs.
+
+use ts_common::SimDuration;
+
+/// Configuration of the [`crate::AutoscaleController`] and harness.
+///
+/// Thresholds are deliberately hysteretic: the scale-up trigger
+/// (`attainment_floor` / `queue_depth_high`) and the scale-down trigger
+/// (`attainment_ceiling` + `occupancy_low`) leave a dead band in between,
+/// and `cooldown_segments` rate-limits consecutive actions, so the fleet
+/// does not thrash on workload noise. Preemption drains bypass both — an
+/// announced reclaim does not wait for a cooldown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutoscaleConfig {
+    /// Scale up when segment SLO attainment falls below this.
+    pub attainment_floor: f64,
+    /// Consider scale-down only when attainment is at least this.
+    pub attainment_ceiling: f64,
+    /// Scale up when the worse per-role mean queue depth exceeds this
+    /// (requests waiting per replica — leading indicator that fires before
+    /// attainment visibly sags).
+    pub queue_depth_high: f64,
+    /// Consider scale-down when the busier role's mean batch occupancy is
+    /// below this fraction of capacity.
+    pub occupancy_low: f64,
+    /// Minimum number of segments between voluntary scale actions.
+    pub cooldown_segments: usize,
+    /// How far ahead of the announced reclaim a held node is drained. A
+    /// warning whose reclaim is further out than this is remembered but not
+    /// acted on yet.
+    pub warning_lead_time: SimDuration,
+    /// Maximum nodes acquired in one control step.
+    pub max_acquire_per_step: usize,
+    /// Maximum nodes released in one control step (drains are exempt).
+    pub max_release_per_step: usize,
+    /// Fraction of the active fleet a delta may touch before the runtime
+    /// escalates to a full re-plan (see
+    /// [`ts_runtime::ServingRuntime::apply_fleet_delta`]).
+    pub full_replan_fraction: f64,
+    /// Heartbeat timeout used when serving segments with fault scripts.
+    pub heartbeat_timeout: SimDuration,
+}
+
+impl Default for AutoscaleConfig {
+    fn default() -> Self {
+        AutoscaleConfig {
+            attainment_floor: 0.85,
+            attainment_ceiling: 0.95,
+            queue_depth_high: 4.0,
+            occupancy_low: 0.35,
+            cooldown_segments: 1,
+            warning_lead_time: SimDuration::from_secs(120),
+            max_acquire_per_step: 2,
+            max_release_per_step: 1,
+            full_replan_fraction: 0.5,
+            heartbeat_timeout: SimDuration::from_secs(1),
+        }
+    }
+}
+
+impl AutoscaleConfig {
+    /// Validates threshold ordering (floor below ceiling, sane fractions).
+    ///
+    /// # Panics
+    /// Panics on inconsistent thresholds; called by the harness up front so
+    /// misconfiguration fails loudly rather than producing a quietly absurd
+    /// trajectory.
+    pub fn validate(&self) {
+        assert!(
+            self.attainment_floor < self.attainment_ceiling,
+            "attainment floor {} must lie below ceiling {}",
+            self.attainment_floor,
+            self.attainment_ceiling
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.attainment_floor)
+                && (0.0..=1.0).contains(&self.attainment_ceiling),
+            "attainment thresholds must be fractions"
+        );
+        assert!(
+            self.occupancy_low >= 0.0 && self.queue_depth_high >= 0.0,
+            "utilization thresholds must be non-negative"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.full_replan_fraction),
+            "full_replan_fraction must be a fraction"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        AutoscaleConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "floor")]
+    fn inverted_thresholds_panic() {
+        let cfg = AutoscaleConfig {
+            attainment_floor: 0.99,
+            attainment_ceiling: 0.9,
+            ..AutoscaleConfig::default()
+        };
+        cfg.validate();
+    }
+}

@@ -1,0 +1,144 @@
+//! Distilling a served segment into the controller's inputs.
+
+use ts_common::{NodeId, SimTime, SloSpec};
+use ts_sim::metrics::Metrics;
+use ts_telemetry::{Role, TraceLog, UtilizationSeries};
+
+/// What the control loop sees after one serving segment: a handful of
+/// scalars derived from the segment's [`Metrics`] and telemetry
+/// [`TraceLog`], plus the spot preemption warnings currently outstanding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentObservation {
+    /// Joint SLO attainment of the segment.
+    pub attainment: f64,
+    /// Time-weighted mean queue depth per prefill replica.
+    pub prefill_queue: f64,
+    /// Time-weighted mean queue depth per decode replica.
+    pub decode_queue: f64,
+    /// Mean batch-occupancy *duty*: time-weighted mean over peak, averaged
+    /// across prefill replicas. 1.0 means every replica ran at its own
+    /// segment peak the whole time; near 0 means the fleet idled.
+    pub prefill_duty: f64,
+    /// Same duty measure over decode replicas.
+    pub decode_duty: f64,
+    /// Nodes with an announced spot reclaim the controller has not yet
+    /// drained, paired with the announced reclaim time.
+    pub warned: Vec<(NodeId, SimTime)>,
+}
+
+impl SegmentObservation {
+    /// The busier role's queue pressure.
+    pub fn peak_queue(&self) -> f64 {
+        self.prefill_queue.max(self.decode_queue)
+    }
+
+    /// The busier role's duty cycle (scale-down looks at the busier role so
+    /// it never cuts capacity a hot pool still needs).
+    pub fn peak_duty(&self) -> f64 {
+        self.prefill_duty.max(self.decode_duty)
+    }
+}
+
+/// Duty cycle of one utilization series: time-weighted mean over peak,
+/// 0.0 for an empty/flat-zero series.
+fn duty(series: &UtilizationSeries, end: SimTime) -> f64 {
+    let peak = series.peak();
+    if peak <= 0.0 {
+        return 0.0;
+    }
+    series.time_weighted_mean(end) / peak
+}
+
+/// Mean of `f` over the replicas of `role` present in the trace.
+fn role_mean(trace: &TraceLog, role: Role, f: impl Fn(usize) -> f64) -> f64 {
+    let replicas: Vec<usize> = trace
+        .replicas()
+        .into_iter()
+        .filter(|(r, _)| *r == role)
+        .map(|(_, i)| i)
+        .collect();
+    if replicas.is_empty() {
+        return 0.0;
+    }
+    replicas.iter().map(|&i| f(i)).sum::<f64>() / replicas.len() as f64
+}
+
+/// Builds the controller's observation of one served segment.
+///
+/// `warned` carries the preemption warnings outstanding at the segment
+/// boundary (node, announced reclaim time); the caller tracks them across
+/// segments because a warning observed in segment *i* is acted on at the
+/// *i*+1 boundary. Without a trace (telemetry off) the queue/duty signals
+/// are zero and the controller falls back to attainment alone.
+pub fn observe_segment(
+    metrics: &Metrics,
+    trace: Option<&TraceLog>,
+    slo: &SloSpec,
+    warned: Vec<(NodeId, SimTime)>,
+) -> SegmentObservation {
+    let end = SimTime::ZERO + metrics.horizon();
+    let (pq, dq, pd, dd) = match trace {
+        Some(t) => (
+            role_mean(t, Role::Prefill, |i| {
+                t.queue_depth_series(Role::Prefill, i)
+                    .time_weighted_mean(end)
+            }),
+            role_mean(t, Role::Decode, |i| {
+                t.queue_depth_series(Role::Decode, i)
+                    .time_weighted_mean(end)
+            }),
+            role_mean(t, Role::Prefill, |i| {
+                duty(&t.batch_occupancy_series(Role::Prefill, i), end)
+            }),
+            role_mean(t, Role::Decode, |i| {
+                duty(&t.batch_occupancy_series(Role::Decode, i), end)
+            }),
+        ),
+        None => (0.0, 0.0, 0.0, 0.0),
+    };
+    SegmentObservation {
+        attainment: metrics.joint_attainment(slo),
+        prefill_queue: pq,
+        decode_queue: dq,
+        prefill_duty: pd,
+        decode_duty: dd,
+        warned,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_common::SimDuration;
+
+    fn series(points: &[(u64, f64)]) -> UtilizationSeries {
+        let mut s = UtilizationSeries::new();
+        for &(t, v) in points {
+            s.push(SimTime::from_micros(t), v);
+        }
+        s
+    }
+
+    #[test]
+    fn duty_normalizes_by_peak() {
+        // Half the window at 8, half at 0: mean 4, peak 8 → duty 0.5.
+        let s = series(&[(0, 8.0), (500_000, 0.0)]);
+        let d = duty(&s, SimTime::from_micros(1_000_000));
+        assert!((d - 0.5).abs() < 1e-9, "duty {d}");
+        assert_eq!(duty(&UtilizationSeries::new(), SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn observation_without_trace_uses_attainment_only() {
+        let metrics = Metrics::new(Vec::new(), 0, SimDuration::from_secs(1));
+        let slo = SloSpec::new(
+            SimDuration::from_secs(5),
+            SimDuration::from_millis(300),
+            SimDuration::from_secs(60),
+        );
+        let obs = observe_segment(&metrics, None, &slo, vec![(NodeId(3), SimTime::ZERO)]);
+        assert_eq!(obs.peak_queue(), 0.0);
+        assert_eq!(obs.peak_duty(), 0.0);
+        assert_eq!(obs.warned, vec![(NodeId(3), SimTime::ZERO)]);
+    }
+}

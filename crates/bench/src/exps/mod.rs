@@ -1,6 +1,7 @@
 //! Experiment implementations, one module per paper artifact.
 
 pub mod ablation;
+pub mod autoscale;
 pub mod bandwidth_matrix;
 pub mod batching;
 pub mod budget_slo;

@@ -122,6 +122,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             run: exps::mm::run,
         },
         Experiment {
+            id: "auto",
+            title: "Extension: coordinated autoscaling over a spot-priced elastic fleet",
+            run: exps::autoscale::run,
+        },
+        Experiment {
             id: "netc",
             title: "Extension: KV-transfer contention under the flow-level fabric",
             run: exps::net_contention::run,

@@ -44,6 +44,21 @@ pub enum EventKind {
     /// A node's heartbeats are lost with the given probability per beat
     /// (0 ≤ p ≤ 1; 0 heals), flapping it in and out of routing.
     HeartbeatFlaky(NodeId, f64),
+    /// The fleet deliberately acquired this node (autoscaler scale-up or a
+    /// spot grant). Activates the node like [`EventKind::NodeUp`], but marks
+    /// the change as *intentional*: the runtime registers heartbeats rather
+    /// than treating it as an outage ending.
+    ScaleUp(NodeId),
+    /// The fleet deliberately released this node (autoscaler scale-down or
+    /// a spot reclaim firing). Deactivates the node like
+    /// [`EventKind::NodeDown`], but the control plane deregisters its
+    /// heartbeats instead of waiting for a timeout.
+    ScaleDown(NodeId),
+    /// The provider announced it will reclaim this spot node soon. The
+    /// availability mask is untouched — the node still serves — but an
+    /// autoscaler with enough warning lead time drains it proactively
+    /// instead of paying crash recovery when the `scale-down` lands.
+    PreemptionWarning(NodeId),
 }
 
 /// A timestamped availability change.
@@ -76,11 +91,13 @@ impl ClusterEvent {
             }
         };
         match &self.kind {
-            EventKind::NodeDown(n) => cluster.deactivate_node(*n),
-            EventKind::NodeUp(n) => cluster.activate_node(*n),
+            EventKind::NodeDown(n) | EventKind::ScaleDown(n) => cluster.deactivate_node(*n),
+            EventKind::NodeUp(n) | EventKind::ScaleUp(n) => cluster.activate_node(*n),
             EventKind::GpusDown(ids) => cluster.deactivate_gpus(ids),
             EventKind::GpusUp(ids) => cluster.activate_gpus(ids),
-            EventKind::NodeSlow(n, _) | EventKind::HeartbeatFlaky(n, _) => check_node(*n),
+            EventKind::NodeSlow(n, _)
+            | EventKind::HeartbeatFlaky(n, _)
+            | EventKind::PreemptionWarning(n) => check_node(*n),
             EventKind::LinkDegraded(a, b, _) => check_node(*a).and_then(|()| check_node(*b)),
         }
     }
@@ -123,6 +140,15 @@ pub fn script_to_text(events: &[ClusterEvent]) -> String {
             }
             EventKind::HeartbeatFlaky(n, p) => {
                 let _ = writeln!(out, "heartbeat-flaky {} {}", n.0, p);
+            }
+            EventKind::ScaleUp(n) => {
+                let _ = writeln!(out, "scale-up {}", n.0);
+            }
+            EventKind::ScaleDown(n) => {
+                let _ = writeln!(out, "scale-down {}", n.0);
+            }
+            EventKind::PreemptionWarning(n) => {
+                let _ = writeln!(out, "preemption-warning {}", n.0);
             }
         }
     }
@@ -234,6 +260,18 @@ pub fn script_from_text(text: &str) -> Result<Vec<ClusterEvent>> {
             "heartbeat-flaky" => {
                 want(2)?;
                 EventKind::HeartbeatFlaky(parse_node(args[0])?, parse_prob(args[1])?)
+            }
+            "scale-up" => {
+                want(1)?;
+                EventKind::ScaleUp(parse_node(args[0])?)
+            }
+            "scale-down" => {
+                want(1)?;
+                EventKind::ScaleDown(parse_node(args[0])?)
+            }
+            "preemption-warning" => {
+                want(1)?;
+                EventKind::PreemptionWarning(parse_node(args[0])?)
             }
             other => return Err(bad(format!("unknown event kind {other:?}"))),
         };
@@ -397,6 +435,67 @@ mod tests {
                     || err.contains("argument"),
                 "unhelpful message for {bad:?}: {err}"
             );
+        }
+    }
+
+    #[test]
+    fn text_round_trips_fleet_lifecycle_kinds() {
+        // The extended vocabulary (scale-up / scale-down / preemption-
+        // warning) must survive the text serde round trip like every other
+        // kind, preserving order, timestamps and node ids exactly.
+        let script = vec![
+            ClusterEvent::new(
+                SimTime::from_micros(1_000_000),
+                EventKind::PreemptionWarning(NodeId(1)),
+            ),
+            ClusterEvent::new(
+                SimTime::from_micros(2_000_000),
+                EventKind::ScaleDown(NodeId(1)),
+            ),
+            ClusterEvent::new(
+                SimTime::from_micros(3_000_000),
+                EventKind::ScaleUp(NodeId(0)),
+            ),
+        ];
+        let text = script_to_text(&script);
+        assert!(text.contains("event 1000000 preemption-warning 1"));
+        assert!(text.contains("event 2000000 scale-down 1"));
+        assert!(text.contains("event 3000000 scale-up 0"));
+        let back = script_from_text(&text).unwrap();
+        assert_eq!(script, back);
+        // Malformed forms are rejected with the usual diagnostics.
+        assert!(script_from_text("event 5 scale-up").is_err());
+        assert!(script_from_text("event 5 scale-down x").is_err());
+        assert!(script_from_text("event 5 preemption-warning 0 junk").is_err());
+    }
+
+    #[test]
+    fn fleet_lifecycle_events_move_the_mask_deliberately() {
+        let mut c = cluster();
+        ClusterEvent::new(SimTime::ZERO, EventKind::ScaleDown(NodeId(1)))
+            .apply(&mut c)
+            .unwrap();
+        assert_eq!(c.num_gpus(), 2, "scale-down releases the node");
+        // A preemption warning is advisory: the node keeps serving.
+        ClusterEvent::new(
+            SimTime::from_micros(1),
+            EventKind::PreemptionWarning(NodeId(0)),
+        )
+        .apply(&mut c)
+        .unwrap();
+        assert_eq!(c.num_gpus(), 2, "warning must not deactivate capacity");
+        ClusterEvent::new(SimTime::from_micros(2), EventKind::ScaleUp(NodeId(1)))
+            .apply(&mut c)
+            .unwrap();
+        assert_eq!(c.num_gpus(), 4, "scale-up re-acquires the node");
+        // Unknown nodes are rejected for all three kinds.
+        for kind in [
+            EventKind::ScaleUp(NodeId(9)),
+            EventKind::ScaleDown(NodeId(9)),
+            EventKind::PreemptionWarning(NodeId(9)),
+        ] {
+            let e = ClusterEvent::new(SimTime::ZERO, kind);
+            assert!(e.apply(&mut c).is_err());
         }
     }
 

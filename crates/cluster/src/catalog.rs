@@ -5,6 +5,30 @@ use std::fmt;
 
 const GIB: u64 = 1 << 30;
 
+/// How an instance is billed.
+///
+/// On-demand capacity is held until released and billed at the catalog rate
+/// ([`GpuSpec::price_per_hour`]); spot capacity is billed at a steep
+/// discount ([`GpuModel::spot_price_per_hour`]) but can be reclaimed by the
+/// provider with little warning (a `preemption-warning` availability event
+/// followed by a `scale-down`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PricingTier {
+    /// Provider-guaranteed capacity at the full catalog rate.
+    OnDemand,
+    /// Preemptible capacity at the discounted spot rate.
+    Spot,
+}
+
+impl fmt::Display for PricingTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PricingTier::OnDemand => f.write_str("on-demand"),
+            PricingTier::Spot => f.write_str("spot"),
+        }
+    }
+}
+
 /// The GPU models used in the paper's evaluation (Table 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum GpuModel {
@@ -69,6 +93,30 @@ impl GpuModel {
                 memory_bytes: 24 * GIB,
                 price_per_hour: 0.307,
             },
+        }
+    }
+
+    /// Spot-market rental price in USD per GPU-hour.
+    ///
+    /// Roughly 40% of the on-demand rate, matching the discount the paper's
+    /// cloud provider advertises for preemptible capacity. The trade-off is
+    /// reclamation risk: spot instances receive a `preemption-warning`
+    /// availability event and are pulled shortly after.
+    pub const fn spot_price_per_hour(self) -> f64 {
+        match self {
+            GpuModel::A100 => 0.701,
+            GpuModel::A6000 => 0.193,
+            GpuModel::A5000 => 0.089,
+            GpuModel::A40 => 0.161,
+            GpuModel::Rtx3090Ti => 0.123,
+        }
+    }
+
+    /// Rental price in USD per GPU-hour at the given billing tier.
+    pub const fn price_per_hour(self, tier: PricingTier) -> f64 {
+        match tier {
+            PricingTier::OnDemand => self.spec().price_per_hour,
+            PricingTier::Spot => self.spot_price_per_hour(),
         }
     }
 
@@ -151,6 +199,22 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn spot_prices_discount_every_model() {
+        for m in GpuModel::ALL {
+            let od = m.price_per_hour(PricingTier::OnDemand);
+            let spot = m.price_per_hour(PricingTier::Spot);
+            assert_eq!(od, m.spec().price_per_hour);
+            assert_eq!(spot, m.spot_price_per_hour());
+            assert!(spot > 0.0, "{m}: spot price must be positive");
+            let discount = spot / od;
+            assert!(
+                (0.3..=0.5).contains(&discount),
+                "{m}: spot should be a steep discount, got {discount:.2}x"
+            );
+        }
     }
 
     #[test]

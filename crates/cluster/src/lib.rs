@@ -27,5 +27,6 @@ pub mod presets;
 pub mod topology;
 
 pub use availability::{ClusterEvent, EventKind};
-pub use catalog::{GpuModel, GpuSpec};
+pub use catalog::{GpuModel, GpuSpec, PricingTier};
+pub use presets::ElasticPool;
 pub use topology::{Cluster, ClusterBuilder, Gpu, LinkClass, Node};

@@ -1,8 +1,9 @@
-//! The paper's experimental environments (§5.1 and Appendices C/H).
+//! The paper's experimental environments (§5.1 and Appendices C/H), plus
+//! the elastic spot-market pool used by the autoscaling experiments.
 
-use crate::catalog::GpuModel;
+use crate::catalog::{GpuModel, PricingTier};
 use crate::topology::{Cluster, ClusterBuilder};
-use ts_common::SimDuration;
+use ts_common::{NodeId, SimDuration};
 
 /// NVLink bandwidth for the in-house A100 server (bytes/s).
 pub const NVLINK_BW: f64 = 600e9;
@@ -107,6 +108,114 @@ pub fn network_case_cluster(inter_bw: f64) -> Cluster {
         .expect("network case preset is valid")
 }
 
+/// An elastic cloud pool: every instance the fleet *could* hold, split into
+/// a permanently held on-demand base and a spot-market expansion set.
+///
+/// The [`ElasticPool::cluster`] is built with every node active (the full
+/// static fleet); an autoscaler deactivates the spot nodes it does not
+/// currently hold and re-activates them on acquisition. Billing follows the
+/// tier: base nodes at the catalog on-demand rate, spot nodes at the
+/// discounted (preemptible) spot rate — see [`ElasticPool::node_price`].
+#[derive(Debug, Clone)]
+pub struct ElasticPool {
+    /// The full provisionable topology, all nodes active.
+    pub cluster: Cluster,
+    /// Nodes held on demand for the whole trace (never released).
+    pub base: Vec<NodeId>,
+    /// Spot-market nodes the autoscaler may acquire and release.
+    pub spot: Vec<NodeId>,
+}
+
+impl ElasticPool {
+    /// The billing tier of a node in this pool.
+    pub fn tier(&self, node: NodeId) -> PricingTier {
+        if self.spot.contains(&node) {
+            PricingTier::Spot
+        } else {
+            PricingTier::OnDemand
+        }
+    }
+
+    /// Hourly price of one node at its tier (sum over its GPUs).
+    pub fn node_price(&self, node: NodeId) -> f64 {
+        let tier = self.tier(node);
+        self.cluster
+            .node(node)
+            .gpus
+            .iter()
+            .map(|&g| self.cluster.gpu(g).model.price_per_hour(tier))
+            .sum()
+    }
+
+    /// Hourly price of the full pool if every node were held at the
+    /// *on-demand* rate — what a peak-provisioned static fleet pays.
+    pub fn static_price_per_hour(&self) -> f64 {
+        self.cluster
+            .nodes()
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                let n = NodeId(i as u32);
+                self.cluster
+                    .node(n)
+                    .gpus
+                    .iter()
+                    .map(|&g| {
+                        self.cluster
+                            .gpu(g)
+                            .model
+                            .price_per_hour(PricingTier::OnDemand)
+                    })
+                    .sum::<f64>()
+            })
+            .sum()
+    }
+}
+
+/// The elastic pool of the autoscaling experiments: a 2-node on-demand base
+/// (4×A40 + 4×3090Ti — one prefill-friendly and one decode-friendly
+/// instance, enough to serve the overnight trough) plus six spot-market
+/// nodes (2×4×A40, 2×4×3090Ti, 2×4×A5000) the controller can grab when the
+/// diurnal ramp or a flash crowd needs them. 32 GPUs fully provisioned.
+///
+/// Node indices: 0 A40 base, 1 3090Ti base, 2-3 A40 spot, 4-5 3090Ti spot,
+/// 6-7 A5000 spot.
+pub fn elastic_cloud_pool() -> ElasticPool {
+    let b = ClusterBuilder::new()
+        .default_inter_link(ETH_40GBPS, ETH_LAT)
+        .node_with_intra("a40-base", GpuModel::A40, 4, CLOUD_PCIE_BW, INTRA_LAT)
+        .node_with_intra(
+            "3090ti-base",
+            GpuModel::Rtx3090Ti,
+            4,
+            CLOUD_PCIE_BW,
+            INTRA_LAT,
+        )
+        .node_with_intra("a40-spot-0", GpuModel::A40, 4, CLOUD_PCIE_BW, INTRA_LAT)
+        .node_with_intra("a40-spot-1", GpuModel::A40, 4, CLOUD_PCIE_BW, INTRA_LAT)
+        .node_with_intra(
+            "3090ti-spot-0",
+            GpuModel::Rtx3090Ti,
+            4,
+            CLOUD_PCIE_BW,
+            INTRA_LAT,
+        )
+        .node_with_intra(
+            "3090ti-spot-1",
+            GpuModel::Rtx3090Ti,
+            4,
+            CLOUD_PCIE_BW,
+            INTRA_LAT,
+        )
+        .node_with_intra("a5000-spot-0", GpuModel::A5000, 4, CLOUD_PCIE_BW, INTRA_LAT)
+        .node_with_intra("a5000-spot-1", GpuModel::A5000, 4, CLOUD_PCIE_BW, INTRA_LAT);
+    ElasticPool {
+        cluster: b.build().expect("elastic pool preset is valid"),
+        base: vec![NodeId(0), NodeId(1)],
+        spot: (2..8).map(NodeId).collect(),
+    }
+}
+
 /// The §4 KV-compression testbed: two A5000 GPUs on separate instances with a
 /// 40 Gbps link.
 pub fn a5000_pair_40gbps() -> Cluster {
@@ -174,6 +283,26 @@ mod tests {
     #[should_panic]
     fn a5000_cluster_rejects_non_multiple() {
         let _ = a5000_cluster(6);
+    }
+
+    #[test]
+    fn elastic_pool_prices_base_on_demand_and_spot_discounted() {
+        let pool = elastic_cloud_pool();
+        assert_eq!(pool.cluster.num_gpus(), 32);
+        assert_eq!(pool.base.len() + pool.spot.len(), pool.cluster.num_nodes());
+        // Base nodes bill at the catalog rate.
+        assert_eq!(pool.tier(NodeId(0)), PricingTier::OnDemand);
+        let a40_od = GpuModel::A40.spec().price_per_hour;
+        assert!((pool.node_price(NodeId(0)) - 4.0 * a40_od).abs() < 1e-9);
+        // Spot nodes bill at the discount.
+        assert_eq!(pool.tier(NodeId(2)), PricingTier::Spot);
+        let a40_spot = GpuModel::A40.spot_price_per_hour();
+        assert!((pool.node_price(NodeId(2)) - 4.0 * a40_spot).abs() < 1e-9);
+        assert!(pool.node_price(NodeId(2)) < pool.node_price(NodeId(0)));
+        // A peak-provisioned static fleet pays on-demand for everything,
+        // which costs strictly more than the same pool with spot discounts.
+        let all_spot_priced: f64 = (0..8).map(|i| pool.node_price(NodeId(i))).sum();
+        assert!(pool.static_price_per_hour() > all_spot_priced);
     }
 
     #[test]

@@ -9,12 +9,14 @@
 
 use crate::config::SchedulerConfig;
 use crate::orchestrate::{orchestrate, phase_affinity};
+use crate::parallel::deduce_parallel_config;
 use crate::scheduler::Scheduler;
 use rand::Rng;
 use std::collections::{HashMap, HashSet, VecDeque};
 use ts_cluster::Cluster;
 use ts_common::{
-    seeded_rng, DeploymentPlan, Error, GroupSpec, ModelSpec, Phase, Result, SimDuration, SloSpec,
+    seeded_rng, DeploymentPlan, Error, GpuId, GroupSpec, ModelSpec, NodeId, Phase, Result,
+    SimDuration, SloSpec,
 };
 use ts_costmodel::replica::{ReplicaCostModel, DISK_BANDWIDTH};
 use ts_telemetry::{SearchStep, SearchTrace};
@@ -67,7 +69,22 @@ pub fn lightweight_reschedule(
             surviving.len()
         )));
     }
+    flip_search(cluster, model, surviving, workload, slo, cfg, start)
+}
 
+/// The shared flip-only tabu search over a fixed group construction —
+/// the lower half of [`lightweight_reschedule`], also reused by
+/// [`fleet_reschedule`] after it has edited the group list for a deliberate
+/// fleet change. `start` is the wall-clock origin for `search_time`.
+fn flip_search(
+    cluster: &Cluster,
+    model: &ModelSpec,
+    surviving: Vec<GroupSpec>,
+    workload: &WorkloadSpec,
+    slo: &SloSpec,
+    cfg: &SchedulerConfig,
+    start: std::time::Instant,
+) -> Result<RescheduleOutcome> {
     // Flip-only tabu search (the other move kinds are disabled in
     // lightweight mode). Mirrors the upper-level search's parallel step
     // shape: draw the whole neighbourhood from the RNG up front, evaluate
@@ -199,6 +216,136 @@ pub fn lightweight_reschedule(
         reload_time: SimDuration::ZERO,
         search_trace,
     })
+}
+
+/// A deliberate fleet change between serving segments: which nodes the
+/// autoscaler acquired and which it released (or lost to a spot reclaim).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FleetDelta {
+    /// Nodes that joined the fleet (already activated in the cluster mask).
+    pub acquired: Vec<NodeId>,
+    /// Nodes that left the fleet (already deactivated in the cluster mask).
+    pub released: Vec<NodeId>,
+}
+
+impl FleetDelta {
+    /// Whether the delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.acquired.is_empty() && self.released.is_empty()
+    }
+
+    /// Number of GPUs on the nodes this delta touches.
+    pub fn gpus_touched(&self, cluster: &Cluster) -> usize {
+        self.acquired
+            .iter()
+            .chain(&self.released)
+            .map(|&n| cluster.node(n).gpus.len())
+            .sum()
+    }
+}
+
+/// Rescheduling for a *deliberate* fleet change (§3.4 extended to
+/// elasticity): groups on released nodes are dropped, one new group per
+/// acquired node is constructed with [`deduce_parallel_config`] — seeded
+/// with the phase that keeps the plan's prefill:decode GPU ratio where the
+/// scheduler put it, so both pools scale in a coordinated ratio — and the
+/// flip-only tabu search plus re-orchestration then refines the phase
+/// designations for the observed workload.
+///
+/// Surviving replicas keep their weights, so like lightweight rescheduling
+/// the adjustment carries **zero reload blackout**: freshly acquired nodes
+/// load weights in the background while the old fleet keeps serving, and
+/// join at the next segment boundary. Only when the delta touches more than
+/// `full_replan_fraction` of the active fleet does the change escalate to
+/// [`full_reschedule`], paying the weight-reload blackout for a globally
+/// re-optimized plan.
+///
+/// The cluster's availability mask must already reflect the new fleet
+/// (acquired nodes active, released nodes inactive).
+///
+/// # Errors
+/// Returns [`Error::Infeasible`] if fewer than two groups exist after the
+/// edit; propagates orchestration and (on escalation) scheduler failures.
+#[allow(clippy::too_many_arguments)]
+pub fn fleet_reschedule(
+    cluster: &Cluster,
+    model: &ModelSpec,
+    current: &DeploymentPlan,
+    delta: &FleetDelta,
+    workload: &WorkloadSpec,
+    slo: &SloSpec,
+    cfg: &SchedulerConfig,
+    full_replan_fraction: f64,
+) -> Result<RescheduleOutcome> {
+    let start = std::time::Instant::now();
+    let active = cluster.num_gpus();
+    let touched = delta.gpus_touched(cluster);
+    if active == 0 {
+        return Err(Error::Infeasible("no active GPUs in the fleet".into()));
+    }
+    if touched as f64 > full_replan_fraction * active as f64 {
+        // The fleet moved too much for local edits to stay near-optimal:
+        // re-plan from scratch and pay the blackout.
+        return full_reschedule(cluster, model, workload, slo, cfg);
+    }
+
+    // Drop groups that lost any GPU (covers the released nodes).
+    let mut groups: Vec<GroupSpec> = current
+        .groups
+        .iter()
+        .filter(|g| g.gpus().all(|id| cluster.is_active(id)))
+        .cloned()
+        .collect();
+
+    // Coordinated scaling: keep the prefill:decode GPU ratio where the
+    // two-level search put it for this workload, instead of growing one
+    // pool and starving the other.
+    let (cur_p, cur_d) = current.phase_ratio();
+    let target_prefill = cur_p as f64 / (cur_p + cur_d).max(1) as f64;
+    let mut acquired = delta.acquired.clone();
+    acquired.sort_unstable();
+    for &node in &acquired {
+        let gpus: Vec<GpuId> = cluster
+            .node(node)
+            .gpus
+            .iter()
+            .copied()
+            .filter(|&g| cluster.is_active(g))
+            .collect();
+        if gpus.is_empty() {
+            continue;
+        }
+        let prefill_gpus: usize = groups
+            .iter()
+            .filter(|g| g.phase == Phase::Prefill)
+            .map(GroupSpec::num_gpus)
+            .sum();
+        let total_gpus: usize = groups.iter().map(GroupSpec::num_gpus).sum();
+        let frac = prefill_gpus as f64 / total_gpus.max(1) as f64;
+        let preferred = if frac < target_prefill {
+            Phase::Prefill
+        } else {
+            Phase::Decode
+        };
+        // A node whose memory cannot host the phase's layout under one
+        // designation may still host the other; an infeasible node is
+        // skipped (its GPUs stay idle until a full re-plan picks them up).
+        let group = deduce_parallel_config(cluster, model, &gpus, preferred, workload, cfg)
+            .or_else(|_| {
+                deduce_parallel_config(cluster, model, &gpus, preferred.opposite(), workload, cfg)
+            });
+        if let Ok(g) = group {
+            groups.push(g);
+        }
+    }
+
+    if groups.len() < 2 {
+        return Err(Error::Infeasible(format!(
+            "only {} groups after the fleet edit; need 2",
+            groups.len()
+        )));
+    }
+    flip_search(cluster, model, groups, workload, slo, cfg, start)
 }
 
 /// Full rescheduling: rerun the entire two-level search from scratch and
@@ -455,6 +602,135 @@ mod tests {
             light_t.as_secs_f64() < full_t.as_secs_f64(),
             "lightweight {light_t:?} should beat full {full_t:?}"
         );
+    }
+
+    /// Elastic pool with only the given nodes active, plus a plan scheduled
+    /// on that sub-fleet.
+    fn elastic_fleet(active: &[u32]) -> (ts_cluster::Cluster, ModelSpec, DeploymentPlan) {
+        let mut cluster = presets::elastic_cloud_pool().cluster;
+        for n in 0..cluster.num_nodes() {
+            if !active.contains(&(n as u32)) {
+                cluster.deactivate_node(NodeId(n as u32)).unwrap();
+            }
+        }
+        let model = ModelSpec::llama_30b();
+        let mut cfg = SchedulerConfig::fast();
+        cfg.seed = 29;
+        let r = Scheduler::new(cfg.clone())
+            .schedule(&cluster, &model, &spec::coding(2.0), &slo())
+            .unwrap();
+        (cluster, model, r.plan)
+    }
+
+    #[test]
+    fn fleet_reschedule_grafts_acquired_node_without_reload() {
+        let (mut cluster, model, plan) = elastic_fleet(&[0, 1, 2, 3]);
+        cluster.activate_node(NodeId(4)).unwrap();
+        let delta = FleetDelta {
+            acquired: vec![NodeId(4)],
+            released: vec![],
+        };
+        let mut cfg = SchedulerConfig::fast();
+        cfg.seed = 29;
+        let out = fleet_reschedule(
+            &cluster,
+            &model,
+            &plan,
+            &delta,
+            &spec::coding(2.0),
+            &slo(),
+            &cfg,
+            0.5,
+        )
+        .unwrap();
+        assert!(out.reload_time.is_zero(), "small delta must not reload");
+        assert!(
+            out.plan.num_gpus() > plan.num_gpus(),
+            "acquired node's GPUs should join the plan"
+        );
+        let on_new: usize = out
+            .plan
+            .groups
+            .iter()
+            .flat_map(|g| g.gpus())
+            .filter(|&g| cluster.gpu(g).node == NodeId(4))
+            .count();
+        assert_eq!(on_new, 4, "all four GPUs of the acquired node serve");
+        let (p, d) = out.plan.phase_ratio();
+        assert!(p > 0 && d > 0, "both pools must stay populated");
+    }
+
+    #[test]
+    fn fleet_reschedule_drops_released_node_without_reload() {
+        let (mut cluster, model, plan) = elastic_fleet(&[0, 1, 2, 3]);
+        cluster.deactivate_node(NodeId(3)).unwrap();
+        let delta = FleetDelta {
+            acquired: vec![],
+            released: vec![NodeId(3)],
+        };
+        let mut cfg = SchedulerConfig::fast();
+        cfg.seed = 29;
+        let out = fleet_reschedule(
+            &cluster,
+            &model,
+            &plan,
+            &delta,
+            &spec::coding(2.0),
+            &slo(),
+            &cfg,
+            0.5,
+        )
+        .unwrap();
+        assert!(out.reload_time.is_zero());
+        for g in &out.plan.groups {
+            for gpu in g.gpus() {
+                assert_ne!(cluster.gpu(gpu).node, NodeId(3), "released node evicted");
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_reschedule_escalates_to_full_replan_on_large_delta() {
+        let (mut cluster, model, plan) = elastic_fleet(&[0, 1, 2, 3]);
+        for n in 4..8 {
+            cluster.activate_node(NodeId(n)).unwrap();
+        }
+        let delta = FleetDelta {
+            acquired: (4..8).map(NodeId).collect(),
+            released: vec![],
+        };
+        assert_eq!(delta.gpus_touched(&cluster), 16);
+        let mut cfg = SchedulerConfig::fast();
+        cfg.seed = 29;
+        let out = fleet_reschedule(
+            &cluster,
+            &model,
+            &plan,
+            &delta,
+            &spec::coding(2.0),
+            &slo(),
+            &cfg,
+            0.4,
+        )
+        .unwrap();
+        assert!(
+            out.reload_time.as_secs_f64() > 5.0,
+            "doubling the fleet must escalate to a full re-plan (reload {})",
+            out.reload_time
+        );
+    }
+
+    #[test]
+    fn fleet_delta_accounting() {
+        let pool = presets::elastic_cloud_pool();
+        let d = FleetDelta::default();
+        assert!(d.is_empty());
+        let d = FleetDelta {
+            acquired: vec![NodeId(2)],
+            released: vec![NodeId(5)],
+        };
+        assert!(!d.is_empty());
+        assert_eq!(d.gpus_touched(&pool.cluster), 8);
     }
 
     #[test]

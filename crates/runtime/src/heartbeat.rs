@@ -93,6 +93,13 @@ impl HeartbeatMonitor {
         self.reported.get(&node).copied().unwrap_or(false)
     }
 
+    /// Whether the node is registered at all (alive **or** in a reported
+    /// outage). A deregistered node is not tracked; its silence means
+    /// nothing.
+    pub fn is_tracked(&self, node: NodeId) -> bool {
+        self.last_seen.contains_key(&node)
+    }
+
     /// The configured heartbeat timeout.
     pub fn timeout(&self) -> SimDuration {
         self.timeout

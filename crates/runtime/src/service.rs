@@ -20,7 +20,8 @@
 use thunderserve_core::config::SchedulerConfig;
 use thunderserve_core::orchestrate::sim_config;
 use thunderserve_core::reschedule::{
-    full_reschedule, lightweight_reschedule, no_reschedule, RescheduleOutcome,
+    fleet_reschedule, full_reschedule, lightweight_reschedule, no_reschedule, FleetDelta,
+    RescheduleOutcome,
 };
 use thunderserve_core::Scheduler;
 use ts_cluster::availability::{sort_script, ClusterEvent, EventKind};
@@ -32,6 +33,7 @@ use ts_costmodel::replica::{ReplicaCostModel, DISK_BANDWIDTH};
 use ts_sim::engine::Simulation;
 use ts_sim::fault::{FaultKind, FaultScript, TimedFault};
 use ts_sim::metrics::Metrics;
+use ts_telemetry::TraceLog;
 use ts_workload::{WorkloadProfiler, WorkloadSpec};
 
 use crate::heartbeat::HeartbeatMonitor;
@@ -54,7 +56,21 @@ pub struct SegmentReport {
     pub metrics: Metrics,
     /// Reload blackout that applied at the start of this segment.
     pub blackout: SimDuration,
+    /// Telemetry trace of the segment, present when the runtime was put in
+    /// telemetry mode with [`ServingRuntime::set_telemetry`] (the autoscale
+    /// controller reads queue-depth and occupancy series from it).
+    pub trace: Option<TraceLog>,
 }
+
+/// Heartbeat timeout for the runtime's *persistent* fleet-membership
+/// monitor (per-segment detection timeouts are passed explicitly to
+/// [`ServingRuntime::serve_segment_with_faults`]).
+pub const DEFAULT_HEARTBEAT_TIMEOUT: SimDuration = SimDuration::from_secs(1);
+
+/// Fraction of the active fleet a [`FleetDelta`] may touch before
+/// [`ServingRuntime::apply_fleet_delta`] escalates from the zero-reload
+/// graft/prune path to a full re-plan with its weight-reload blackout.
+pub const DEFAULT_FULL_REPLAN_FRACTION: f64 = 0.5;
 
 /// The online serving runtime.
 pub struct ServingRuntime {
@@ -67,18 +83,47 @@ pub struct ServingRuntime {
     /// Blackout pending from the last full reschedule (consumed by the next
     /// segment).
     pending_blackout: SimDuration,
+    /// Persistent fleet-membership monitor: exactly the nodes currently in
+    /// the fleet are registered, so silence from a *released* node means
+    /// nothing while silence from a held node is an outage. Survives fleet
+    /// changes across segments.
+    heartbeat: HeartbeatMonitor,
+    /// Wall-clock position of the runtime: the sum of served segment
+    /// horizons. Heartbeat registrations/beats are stamped against it.
+    clock: SimTime,
+    /// Whether segments run with telemetry and hand their [`TraceLog`] back
+    /// in the [`SegmentReport`].
+    telemetry: bool,
     /// Log of rescheduling outcomes for reporting (Table 4).
     pub resched_log: Vec<(ReschedulePolicy, RescheduleOutcome)>,
 }
 
+/// Whether any of the node's GPUs is active (the node is in the fleet).
+fn node_in_fleet(cluster: &Cluster, node: NodeId) -> bool {
+    cluster
+        .node(node)
+        .gpus
+        .iter()
+        .any(|&g| cluster.is_active(g))
+}
+
 impl ServingRuntime {
-    /// Creates a runtime over a snapshot of the cluster.
+    /// Creates a runtime over a snapshot of the cluster. Every node that is
+    /// active in the snapshot is registered with the heartbeat monitor
+    /// before the first segment.
     pub fn new(
         cluster: Cluster,
         model: ModelSpec,
         slo: SloSpec,
         scheduler_cfg: SchedulerConfig,
     ) -> Self {
+        let mut heartbeat = HeartbeatMonitor::new(DEFAULT_HEARTBEAT_TIMEOUT);
+        for i in 0..cluster.num_nodes() {
+            let n = NodeId(i as u32);
+            if node_in_fleet(&cluster, n) {
+                heartbeat.register(n, SimTime::ZERO);
+            }
+        }
         ServingRuntime {
             cluster,
             model,
@@ -87,8 +132,19 @@ impl ServingRuntime {
             plan: None,
             profiler: WorkloadProfiler::new(SimDuration::from_secs(300), 2.0, 30),
             pending_blackout: SimDuration::ZERO,
+            heartbeat,
+            clock: SimTime::ZERO,
+            telemetry: false,
             resched_log: Vec::new(),
         }
+    }
+
+    /// Turns per-segment telemetry on or off. When on, segment reports carry
+    /// the [`TraceLog`] so callers (e.g. the autoscale controller) can read
+    /// queue-depth and batch-occupancy series. Telemetry observes only; the
+    /// serving outputs stay bit-identical either way.
+    pub fn set_telemetry(&mut self, on: bool) {
+        self.telemetry = on;
     }
 
     /// The current plan, if deployed.
@@ -99,6 +155,45 @@ impl ServingRuntime {
     /// The runtime's cluster view.
     pub fn cluster(&self) -> &Cluster {
         &self.cluster
+    }
+
+    /// The persistent fleet-membership heartbeat monitor.
+    pub fn heartbeat(&self) -> &HeartbeatMonitor {
+        &self.heartbeat
+    }
+
+    /// The runtime's wall-clock position (sum of served segment horizons).
+    pub fn clock(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Advances the runtime clock past a served segment and beats every
+    /// in-fleet node (they just served traffic, so they are demonstrably
+    /// alive).
+    fn tick(&mut self, elapsed: SimDuration) {
+        self.clock += elapsed;
+        for i in 0..self.cluster.num_nodes() {
+            let n = NodeId(i as u32);
+            if node_in_fleet(&self.cluster, n) {
+                self.heartbeat.beat(n, self.clock);
+            }
+        }
+    }
+
+    /// Reconciles heartbeat membership with the cluster's availability mask
+    /// after events changed it: nodes that left stop being tracked (their
+    /// silence is expected), nodes that joined are registered **before** the
+    /// next segment so their very first silent timeout counts.
+    fn sync_heartbeat_membership(&mut self) {
+        for i in 0..self.cluster.num_nodes() {
+            let n = NodeId(i as u32);
+            let in_fleet = node_in_fleet(&self.cluster, n);
+            if in_fleet && !self.heartbeat.is_tracked(n) {
+                self.heartbeat.register(n, self.clock);
+            } else if !in_fleet && self.heartbeat.is_tracked(n) {
+                self.heartbeat.deregister(n);
+            }
+        }
     }
 
     /// Runs the initial scheduling and deploys the plan.
@@ -133,10 +228,16 @@ impl ServingRuntime {
         for r in requests {
             self.profiler.observe(*r);
         }
-        let cfg = sim_config(&self.model, &self.scheduler_cfg);
+        let cfg = sim_config(&self.model, &self.scheduler_cfg).with_telemetry(self.telemetry);
         let mut sim = Simulation::new(&self.cluster, plan, cfg)?;
         let metrics = sim.run(&adjusted)?;
-        Ok(SegmentReport { metrics, blackout })
+        let trace = sim.take_trace();
+        self.tick(metrics.horizon());
+        Ok(SegmentReport {
+            metrics,
+            blackout,
+            trace,
+        })
     }
 
     /// Serves one segment while availability `events` strike **mid-flight**:
@@ -222,9 +323,10 @@ impl ServingRuntime {
             }
         }
 
-        let cfg = sim_config(&self.model, &self.scheduler_cfg);
+        let cfg = sim_config(&self.model, &self.scheduler_cfg).with_telemetry(self.telemetry);
         let mut sim = Simulation::new(&self.cluster, plan, cfg)?;
         let metrics = sim.run_with_faults(&adjusted, &script)?;
+        let trace = sim.take_trace();
 
         // Replay node-level events through a heartbeat monitor to decide
         // what the coordinator actually *detected*: healthy nodes beat at
@@ -233,14 +335,19 @@ impl ServingRuntime {
         // explicit device errors and are always known.
         let mut sorted = events.to_vec();
         sort_script(&mut sorted);
-        let nodes: Vec<NodeId> = (0..self.cluster.num_nodes())
+        // Only nodes the persistent monitor believes in the fleet are
+        // expected to beat: a node released in an earlier segment must not
+        // read as a fresh outage just because it stays silent.
+        let mut nodes: Vec<NodeId> = (0..self.cluster.num_nodes())
             .map(|i| NodeId(i as u32))
+            .filter(|&n| self.heartbeat.is_tracked(n) && !self.heartbeat.is_dead(n))
             .collect();
         let mut monitor = HeartbeatMonitor::new(heartbeat_timeout);
         for &n in &nodes {
             monitor.register(n, SimTime::ZERO);
         }
         let mut silent: Vec<NodeId> = Vec::new();
+        let mut delta = FleetDelta::default();
         let mut gpu_level_change = false;
         let mut detected = false;
         for ev in &sorted {
@@ -258,13 +365,43 @@ impl ServingRuntime {
                     // re-register rather than beat, since a beat alone can no
                     // longer resurrect a node flagged dead.
                     monitor.register(*n, ev.at);
+                    if !nodes.contains(n) {
+                        nodes.push(*n);
+                    }
+                }
+                // A reclaimed/released node goes silent *deliberately*: the
+                // control plane knows, so it is deregistered rather than
+                // left to expire as a phantom outage. The fleet delta still
+                // triggers a (zero-reload) plan edit below — unless the node
+                // was already drained out of the fleet, in which case the
+                // reclaim is a no-op by design.
+                EventKind::ScaleDown(n) => {
+                    monitor.deregister(*n);
+                    nodes.retain(|m| m != n);
+                    silent.retain(|m| m != n);
+                    if node_in_fleet(&self.cluster, *n) {
+                        delta.released.push(*n);
+                    }
+                }
+                EventKind::ScaleUp(n) => {
+                    monitor.register(*n, ev.at);
+                    if !nodes.contains(n) {
+                        nodes.push(*n);
+                    }
+                    if !node_in_fleet(&self.cluster, *n) {
+                        delta.acquired.push(*n);
+                    }
                 }
                 EventKind::GpusDown(_) | EventKind::GpusUp(_) => gpu_level_change = true,
                 // Gray degradations leave the availability mask (and thus
                 // the plan's feasibility) untouched: no reschedule trigger.
+                // Preemption warnings are advisory — the autoscaler reacts
+                // between segments by draining; mid-flight they change
+                // nothing.
                 EventKind::NodeSlow(..)
                 | EventKind::LinkDegraded(..)
-                | EventKind::HeartbeatFlaky(..) => {}
+                | EventKind::HeartbeatFlaky(..)
+                | EventKind::PreemptionWarning(..) => {}
             }
         }
         if let Some(last) = sorted.last() {
@@ -280,7 +417,18 @@ impl ServingRuntime {
         for ev in &sorted {
             ev.apply(&mut self.cluster)?;
         }
-        if detected || gpu_level_change {
+        self.tick(metrics.horizon());
+        self.sync_heartbeat_membership();
+        if !delta.is_empty() {
+            // Deliberate fleet change: graft acquired nodes / prune released
+            // ones with zero reload where possible. The same pass also drops
+            // any groups a concurrent outage killed.
+            let outcome = self.fleet_outcome(&delta, workload, DEFAULT_FULL_REPLAN_FRACTION)?;
+            self.commit_outcome(outcome);
+            if paused_mid_flight {
+                self.pending_blackout = SimDuration::ZERO;
+            }
+        } else if detected || gpu_level_change {
             match self.reschedule(workload, policy) {
                 // Under `None` a phase may have lost every replica, making
                 // even the prune infeasible; the old plan stays and the dead
@@ -294,7 +442,11 @@ impl ServingRuntime {
                 self.pending_blackout = SimDuration::ZERO;
             }
         }
-        Ok(SegmentReport { metrics, blackout })
+        Ok(SegmentReport {
+            metrics,
+            blackout,
+            trace,
+        })
     }
 
     /// Whether the profiler currently flags a workload shift.
@@ -338,6 +490,79 @@ impl ServingRuntime {
     ) -> Result<()> {
         self.cluster.deactivate_gpus(failed)?;
         self.reschedule(workload, policy)
+    }
+
+    /// Applies a deliberate fleet change between segments: released nodes
+    /// are deactivated and **deregistered** from the heartbeat monitor
+    /// (their silence is expected, not an outage), acquired nodes are
+    /// activated and registered **before** the next segment so their first
+    /// missed beat counts. The plan is then adjusted with
+    /// [`fleet_reschedule`]: zero reload for small deltas, a full re-plan
+    /// with blackout when the delta exceeds `full_replan_fraction` of the
+    /// active fleet.
+    ///
+    /// # Errors
+    /// Returns [`Error::Runtime`] if no plan is deployed; propagates
+    /// cluster-edit and rescheduling failures.
+    pub fn apply_fleet_delta(
+        &mut self,
+        delta: &FleetDelta,
+        workload: &WorkloadSpec,
+        full_replan_fraction: f64,
+    ) -> Result<()> {
+        for &n in &delta.released {
+            self.cluster.deactivate_node(n)?;
+            self.heartbeat.deregister(n);
+        }
+        for &n in &delta.acquired {
+            self.cluster.activate_node(n)?;
+            self.heartbeat.register(n, self.clock);
+        }
+        if delta.is_empty() {
+            return Ok(());
+        }
+        let outcome = self.fleet_outcome(delta, workload, full_replan_fraction)?;
+        self.commit_outcome(outcome);
+        Ok(())
+    }
+
+    /// Runs [`fleet_reschedule`] against the current plan (the cluster mask
+    /// must already reflect the delta).
+    fn fleet_outcome(
+        &self,
+        delta: &FleetDelta,
+        workload: &WorkloadSpec,
+        full_replan_fraction: f64,
+    ) -> Result<RescheduleOutcome> {
+        let current = self
+            .plan
+            .as_ref()
+            .ok_or_else(|| Error::Runtime("fleet delta before deploy".into()))?;
+        fleet_reschedule(
+            &self.cluster,
+            &self.model,
+            current,
+            delta,
+            workload,
+            &self.slo,
+            &self.scheduler_cfg,
+            full_replan_fraction,
+        )
+    }
+
+    /// Installs a reschedule outcome: plan, pending blackout, log entry
+    /// (tagged by what the edit actually cost — zero reload reads as
+    /// lightweight, a reload as full).
+    fn commit_outcome(&mut self, outcome: RescheduleOutcome) {
+        let policy = if outcome.reload_time.is_zero() {
+            ReschedulePolicy::Lightweight
+        } else {
+            ReschedulePolicy::Full
+        };
+        self.pending_blackout = outcome.reload_time;
+        self.plan = Some(outcome.plan.clone());
+        self.resched_log.push((policy, outcome));
+        self.rebaseline();
     }
 
     /// Applies a rescheduling policy to adapt the current plan to the
@@ -668,6 +893,195 @@ mod tests {
             .serve_segment(&generate(&w, SimDuration::from_secs(10), 8))
             .unwrap();
         assert!(rep.blackout.is_zero(), "reload must not be double-charged");
+    }
+
+    /// Elastic-pool runtime serving on a sub-fleet (base + first two spot
+    /// nodes), with the rest of the pool parked for later acquisition.
+    fn elastic_runtime() -> ServingRuntime {
+        let mut cluster = presets::elastic_cloud_pool().cluster;
+        for n in 4..8 {
+            cluster.deactivate_node(NodeId(n)).unwrap();
+        }
+        let mut cfg = SchedulerConfig::fast();
+        cfg.seed = 41;
+        ServingRuntime::new(cluster, ModelSpec::llama_30b(), slo(), cfg)
+    }
+
+    #[test]
+    fn heartbeat_bookkeeping_survives_scale_down_then_scale_up() {
+        let mut rt = elastic_runtime();
+        let w = spec::coding(2.0);
+        rt.deploy(&w).unwrap();
+        // Only in-fleet nodes are registered before the first segment.
+        assert_eq!(rt.heartbeat().num_tracked(), 4);
+        assert!(!rt.heartbeat().is_tracked(NodeId(5)));
+
+        // Release spot node 3, serve a segment, re-acquire the SAME node.
+        let down = FleetDelta {
+            acquired: vec![],
+            released: vec![NodeId(3)],
+        };
+        rt.apply_fleet_delta(&down, &w, DEFAULT_FULL_REPLAN_FRACTION)
+            .unwrap();
+        assert!(
+            !rt.heartbeat().is_tracked(NodeId(3)),
+            "a released node must be deregistered, not left to expire"
+        );
+        assert_eq!(rt.heartbeat().num_tracked(), 3);
+        let reqs = generate(&w, SimDuration::from_secs(30), 11);
+        let rep = rt
+            .serve_segment_with_faults(
+                &reqs,
+                &[],
+                ReschedulePolicy::Lightweight,
+                &w,
+                SimDuration::from_secs(1),
+            )
+            .unwrap();
+        // The released node's silence during the segment is NOT an outage:
+        // no failure-triggered reschedule beyond the fleet edit itself.
+        assert_eq!(rt.resched_log.len(), 1, "silence of a released node");
+        assert!(rep.metrics.num_completed() > 0);
+
+        let up = FleetDelta {
+            acquired: vec![NodeId(3)],
+            released: vec![],
+        };
+        rt.apply_fleet_delta(&up, &w, DEFAULT_FULL_REPLAN_FRACTION)
+            .unwrap();
+        // Re-acquiring the same node id re-registers it cleanly: tracked,
+        // not flagged dead from its absence.
+        assert!(rt.heartbeat().is_tracked(NodeId(3)));
+        assert!(!rt.heartbeat().is_dead(NodeId(3)));
+        assert_eq!(rt.heartbeat().num_tracked(), 4);
+        // And the plan actually uses it again.
+        let on_node: usize = rt
+            .plan()
+            .unwrap()
+            .groups
+            .iter()
+            .flat_map(|g| g.gpus())
+            .filter(|&g| rt.cluster().gpu(g).node == NodeId(3))
+            .count();
+        assert!(on_node > 0, "re-acquired node must rejoin the plan");
+        // The runtime clock advanced past the served segment, so the fresh
+        // registration is stamped at the current clock, not zero.
+        assert!(rt.clock() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn requests_conserved_across_fleet_resizes_with_faults() {
+        use ts_cluster::availability::{ClusterEvent, EventKind};
+
+        let mut rt = elastic_runtime();
+        let w = spec::coding(2.0);
+        rt.deploy(&w).unwrap();
+        let mut served = 0usize;
+        let mut completed = 0usize;
+
+        // Segment 1: mid-flight spot reclaim of a node that actually hosts
+        // a decode replica (undrained: its replicas crash-stop and in-flight
+        // work re-routes).
+        let plan = rt.plan().unwrap();
+        let replica_nodes = |indices: Vec<usize>| -> Vec<std::collections::BTreeSet<NodeId>> {
+            indices
+                .into_iter()
+                .map(|gi| {
+                    plan.groups[gi]
+                        .gpus()
+                        .map(|g| rt.cluster().gpu(g).node)
+                        .collect()
+                })
+                .collect()
+        };
+        let prefills = replica_nodes(plan.prefill_indices());
+        let decodes = replica_nodes(plan.decode_indices());
+        // A node that hosts at least one replica while BOTH phases keep a
+        // replica that avoids it entirely: the reclaim kills work but
+        // leaves survivors to re-route to.
+        let victim = (0..rt.cluster().num_nodes() as u32)
+            .map(NodeId)
+            .find(|n| {
+                let hosts = prefills.iter().chain(&decodes).any(|s| s.contains(n));
+                let p_ok = prefills.iter().any(|s| !s.contains(n));
+                let d_ok = decodes.iter().any(|s| !s.contains(n));
+                hosts && p_ok && d_ok
+            })
+            .expect("a reclaimable node that leaves both phases survivors");
+        let reqs = generate(&w, SimDuration::from_secs(45), 12);
+        let events = vec![
+            ClusterEvent::new(
+                SimTime::from_secs_f64(10.0),
+                EventKind::PreemptionWarning(victim),
+            ),
+            ClusterEvent::new(SimTime::from_secs_f64(20.0), EventKind::ScaleDown(victim)),
+        ];
+        let rep = rt
+            .serve_segment_with_faults(
+                &reqs,
+                &events,
+                ReschedulePolicy::Lightweight,
+                &w,
+                SimDuration::from_millis(500),
+            )
+            .unwrap();
+        let m = &rep.metrics;
+        assert_eq!(
+            m.num_completed() + m.num_dropped() + m.num_rejected(),
+            reqs.len(),
+            "segment 1: every request accounted for across the reclaim"
+        );
+        assert!(
+            m.recovery().any(),
+            "undrained reclaim must trigger recovery actions"
+        );
+        served += reqs.len();
+        completed += m.num_completed();
+
+        // Segment 2: scale back up mid-flight (node 4 joins).
+        let reqs = generate(&w, SimDuration::from_secs(45), 13);
+        let events = vec![ClusterEvent::new(
+            SimTime::from_secs_f64(15.0),
+            EventKind::ScaleUp(NodeId(4)),
+        )];
+        let rep = rt
+            .serve_segment_with_faults(
+                &reqs,
+                &events,
+                ReschedulePolicy::Lightweight,
+                &w,
+                SimDuration::from_millis(500),
+            )
+            .unwrap();
+        let m = &rep.metrics;
+        assert_eq!(
+            m.num_completed() + m.num_dropped() + m.num_rejected(),
+            reqs.len(),
+            "segment 2: every request accounted for across the scale-up"
+        );
+        served += reqs.len();
+        completed += m.num_completed();
+
+        // Segment 3: the grown fleet serves clean; plan covers node 4.
+        let on_new: usize = rt
+            .plan()
+            .unwrap()
+            .groups
+            .iter()
+            .flat_map(|g| g.gpus())
+            .filter(|&g| rt.cluster().gpu(g).node == NodeId(4))
+            .count();
+        assert!(on_new > 0, "scaled-up node must serve in the next segment");
+        let reqs = generate(&w, SimDuration::from_secs(30), 14);
+        let rep = rt.serve_segment(&reqs).unwrap();
+        let m = &rep.metrics;
+        assert_eq!(
+            m.num_completed() + m.num_dropped() + m.num_rejected(),
+            reqs.len()
+        );
+        served += reqs.len();
+        completed += m.num_completed();
+        assert!(completed > served / 2, "most requests should complete");
     }
 
     #[test]

@@ -201,14 +201,21 @@ impl FaultScript {
         };
         for ev in &events {
             match &ev.kind {
-                ClusterEventKind::NodeDown(n) => {
+                // A spot reclaim (`ScaleDown`) that lands while replicas
+                // still occupy the node is a crash-stop from the engine's
+                // point of view — exactly a `NodeDown`. A drained node has
+                // no replicas on it, so the projection naturally emits
+                // nothing.
+                ClusterEventKind::NodeDown(n) | ClusterEventKind::ScaleDown(n) => {
                     down.extend(cluster.node(*n).gpus.iter().copied());
                 }
-                ClusterEventKind::NodeUp(n) => {
+                ClusterEventKind::NodeUp(n) | ClusterEventKind::ScaleUp(n) => {
                     for g in &cluster.node(*n).gpus {
                         down.remove(g);
                     }
                 }
+                // Advisory: nothing fails until the reclaim itself lands.
+                ClusterEventKind::PreemptionWarning(_) => {}
                 ClusterEventKind::GpusDown(ids) => down.extend(ids.iter().copied()),
                 ClusterEventKind::GpusUp(ids) => {
                     for g in ids {

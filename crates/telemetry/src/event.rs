@@ -59,6 +59,35 @@ impl fmt::Display for LinkKind {
     }
 }
 
+/// What a [`TraceKind::ScaleAction`] did to the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ScaleKind {
+    /// A node was acquired (spot grant or on-demand scale-up).
+    Acquire,
+    /// A node was released back to the provider.
+    Release,
+    /// A node entered proactive drain after a preemption warning: it stops
+    /// taking new work and will be released before the reclaim lands.
+    Drain,
+    /// The provider announced an upcoming spot reclaim of the node.
+    PreemptionWarning,
+    /// A serving group's phase designation was flipped to rebalance the
+    /// prefill:decode ratio (the node hosts the flipped group).
+    PhaseFlip,
+}
+
+impl fmt::Display for ScaleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScaleKind::Acquire => f.write_str("acquire"),
+            ScaleKind::Release => f.write_str("release"),
+            ScaleKind::Drain => f.write_str("drain"),
+            ScaleKind::PreemptionWarning => f.write_str("preemption warning"),
+            ScaleKind::PhaseFlip => f.write_str("phase flip"),
+        }
+    }
+}
+
 /// One timestamped trace fact.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceEvent {
@@ -271,6 +300,15 @@ pub enum TraceKind {
         /// The shed request.
         request: RequestId,
     },
+    /// The autoscale control plane changed the fleet (between serving
+    /// segments): a node was acquired, drained, released, warned of
+    /// preemption, or had its group's phase flipped.
+    ScaleAction {
+        /// The node the action concerns.
+        node: usize,
+        /// What happened to it.
+        kind: ScaleKind,
+    },
     /// The request belongs to the given served model. Emitted once at
     /// arrival, and only on multi-model runs (a non-empty catalog) — single
     /// model traces carry no tags and stay byte-identical to older builds.
@@ -341,6 +379,7 @@ impl TraceKind {
             TraceKind::Quarantined { .. } => "quarantined",
             TraceKind::Readmitted { .. } => "readmitted",
             TraceKind::DeadlineShed { .. } => "deadline_shed",
+            TraceKind::ScaleAction { .. } => "scale_action",
             TraceKind::ModelTag { .. } => "model_tag",
         }
     }
@@ -424,6 +463,7 @@ impl fmt::Display for TraceKind {
                 write!(f, "{role} replica {replica} readmitted")
             }
             TraceKind::DeadlineShed { .. } => write!(f, "shed past deadline"),
+            TraceKind::ScaleAction { node, kind } => write!(f, "fleet {kind} of node {node}"),
             TraceKind::ModelTag { model, .. } => write!(f, "serves {model}"),
         }
     }
@@ -448,6 +488,22 @@ mod tests {
             None
         );
         assert_eq!(TraceKind::ServiceResumed.request(), None);
+    }
+
+    #[test]
+    fn scale_actions_are_fleet_scoped_not_request_scoped() {
+        let k = TraceKind::ScaleAction {
+            node: 3,
+            kind: ScaleKind::Drain,
+        };
+        assert_eq!(k.request(), None);
+        assert_eq!(k.label(), "scale_action");
+        assert_eq!(k.to_string(), "fleet drain of node 3");
+        let w = TraceKind::ScaleAction {
+            node: 5,
+            kind: ScaleKind::PreemptionWarning,
+        };
+        assert_eq!(w.to_string(), "fleet preemption warning of node 5");
     }
 
     #[test]

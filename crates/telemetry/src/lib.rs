@@ -31,7 +31,7 @@ pub mod series;
 pub mod sink;
 
 pub use chrome::{validate_chrome_trace, ChromeTraceStats};
-pub use event::{LinkKind, Role, TraceEvent, TraceKind};
+pub use event::{LinkKind, Role, ScaleKind, TraceEvent, TraceKind};
 pub use log::{RequestSpan, TraceLog};
 pub use search::{SearchStep, SearchTrace};
 pub use series::UtilizationSeries;

@@ -67,6 +67,118 @@ pub fn generate_phased(phases: &[WorkloadPhase], seed: u64) -> Vec<Request> {
     out
 }
 
+/// Builds the phase list of a sinusoidal diurnal cycle: the arrival rate
+/// follows `base.rate * (1 - amplitude * cos(2π t / period))`, sampled at
+/// the midpoint of each `bucket`-long phase. At `t = 0` the rate sits at
+/// its overnight trough `base.rate * (1 - amplitude)` and climbs through
+/// the morning ramp to the midday peak `base.rate * (1 + amplitude)` at
+/// `t = period / 2`. The time-weighted mean rate over a whole period stays
+/// `base.rate`.
+///
+/// The returned phases all share `base`'s length distributions — feed them
+/// to [`generate_phased`] (or splice a flash crowd in first with
+/// [`with_flash_crowd`]).
+///
+/// # Panics
+/// Panics if `period` or `bucket` is zero, or `amplitude` is outside
+/// `[0, 1)` (an amplitude of 1 would zero the trough rate).
+pub fn diurnal_phases(
+    base: &WorkloadSpec,
+    horizon: SimDuration,
+    period: SimDuration,
+    amplitude: f64,
+    bucket: SimDuration,
+) -> Vec<WorkloadPhase> {
+    assert!(!period.is_zero(), "diurnal period must be positive");
+    assert!(!bucket.is_zero(), "diurnal bucket must be positive");
+    assert!(
+        (0.0..1.0).contains(&amplitude),
+        "diurnal amplitude must be in [0, 1), got {amplitude}"
+    );
+    let period_s = period.as_secs_f64();
+    let mut phases = Vec::new();
+    let mut t = SimDuration::ZERO;
+    while t < horizon {
+        let len = bucket.min(horizon - t);
+        let mid_s = (t + len.mul_f64(0.5)).as_secs_f64();
+        let factor = 1.0 - amplitude * (std::f64::consts::TAU * mid_s / period_s).cos();
+        phases.push(WorkloadPhase {
+            spec: base.with_rate(base.rate * factor),
+            duration: len,
+        });
+        t += len;
+    }
+    phases
+}
+
+/// Splices a flash crowd into a phase list: every part of the timeline
+/// inside `[start, start + duration)` has its arrival rate multiplied by
+/// `multiplier`. Phases straddling a window edge are split at the boundary,
+/// so the total duration and everything outside the window are untouched.
+///
+/// # Panics
+/// Panics if `multiplier < 1` or `duration` is zero.
+pub fn with_flash_crowd(
+    phases: &[WorkloadPhase],
+    start: SimDuration,
+    duration: SimDuration,
+    multiplier: f64,
+) -> Vec<WorkloadPhase> {
+    assert!(multiplier >= 1.0, "flash-crowd multiplier must be >= 1");
+    assert!(!duration.is_zero(), "flash-crowd duration must be positive");
+    let end = start + duration;
+    let mut out = Vec::new();
+    let mut t = SimDuration::ZERO;
+    for phase in phases {
+        let p_start = t;
+        let p_end = t + phase.duration;
+        // Up to three slices: before, inside and after the window. The two
+        // middle cuts are the window edges clamped into the phase, so the
+        // array is already ordered and degenerate slices collapse away.
+        let cuts = [
+            p_start,
+            start.clamp(p_start, p_end),
+            end.clamp(p_start, p_end),
+            p_end,
+        ];
+        for w in cuts.windows(2) {
+            let (s, e) = (w[0], w[1]);
+            if e <= s {
+                continue;
+            }
+            let inside = s >= start && s < end;
+            let rate = if inside {
+                phase.spec.rate * multiplier
+            } else {
+                phase.spec.rate
+            };
+            out.push(WorkloadPhase {
+                spec: phase.spec.with_rate(rate),
+                duration: e - s,
+            });
+        }
+        t = p_end;
+    }
+    out
+}
+
+/// Generates a full diurnal trace: [`diurnal_phases`] fed through
+/// [`generate_phased`]. Deterministic for a given
+/// `(base, horizon, period, amplitude, bucket, seed)`.
+pub fn generate_diurnal(
+    base: &WorkloadSpec,
+    horizon: SimDuration,
+    period: SimDuration,
+    amplitude: f64,
+    bucket: SimDuration,
+    seed: u64,
+) -> Vec<Request> {
+    generate_phased(
+        &diurnal_phases(base, horizon, period, amplitude, bucket),
+        seed,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,6 +243,144 @@ mod tests {
     fn empty_horizon_gives_empty_trace() {
         let w = spec::coding(2.0);
         assert!(generate(&w, SimDuration::ZERO, 1).is_empty());
+    }
+
+    #[test]
+    fn diurnal_phases_ramp_from_trough_to_peak() {
+        let base = spec::conversation(4.0);
+        let day = SimDuration::from_secs(24 * 3600);
+        let phases = diurnal_phases(&base, day, day, 0.6, SimDuration::from_secs(3600));
+        assert_eq!(phases.len(), 24);
+        let total: SimDuration = phases
+            .iter()
+            .map(|p| p.duration)
+            .fold(SimDuration::ZERO, |a, b| a + b);
+        assert_eq!(total, day, "phases must tile the horizon exactly");
+        // t = 0 is the overnight trough; midday is the peak.
+        let trough = phases[0].spec.rate;
+        let peak = phases[12].spec.rate;
+        assert!(trough < base.rate * 0.5, "trough {trough}");
+        assert!(peak > base.rate * 1.5, "peak {peak}");
+        // The time-weighted mean rate stays near the base rate.
+        let mean: f64 = phases.iter().map(|p| p.spec.rate).sum::<f64>() / 24.0;
+        assert!((mean / base.rate - 1.0).abs() < 0.01, "mean {mean}");
+        // Shapes are untouched: only the rate varies.
+        for p in &phases {
+            assert_eq!(p.spec.prompt, base.prompt);
+            assert_eq!(p.spec.output, base.output);
+        }
+    }
+
+    #[test]
+    fn diurnal_partial_final_bucket_and_determinism() {
+        let base = spec::coding(2.0);
+        let horizon = SimDuration::from_secs(250);
+        let phases = diurnal_phases(
+            &base,
+            horizon,
+            SimDuration::from_secs(400),
+            0.4,
+            SimDuration::from_secs(100),
+        );
+        assert_eq!(phases.len(), 3);
+        assert_eq!(phases[2].duration, SimDuration::from_secs(50));
+        let a = generate_diurnal(
+            &base,
+            horizon,
+            SimDuration::from_secs(400),
+            0.4,
+            SimDuration::from_secs(100),
+            7,
+        );
+        let b = generate_diurnal(
+            &base,
+            horizon,
+            SimDuration::from_secs(400),
+            0.4,
+            SimDuration::from_secs(100),
+            7,
+        );
+        assert_eq!(a, b, "diurnal traces are bit-reproducible");
+        assert!(!a.is_empty());
+        for w in a.windows(2) {
+            assert!(w[0].id.0 < w[1].id.0, "globally increasing ids");
+            assert!(w[0].arrival <= w[1].arrival);
+        }
+    }
+
+    #[test]
+    fn flash_crowd_boosts_only_the_window() {
+        let base = spec::conversation(3.0);
+        let phases = vec![
+            WorkloadPhase {
+                spec: base.clone(),
+                duration: SimDuration::from_secs(300),
+            },
+            WorkloadPhase {
+                spec: base.clone(),
+                duration: SimDuration::from_secs(300),
+            },
+        ];
+        // Window straddles the phase boundary: 200s..400s at 5x.
+        let crowd = with_flash_crowd(
+            &phases,
+            SimDuration::from_secs(200),
+            SimDuration::from_secs(200),
+            5.0,
+        );
+        let total: SimDuration = crowd
+            .iter()
+            .map(|p| p.duration)
+            .fold(SimDuration::ZERO, |a, b| a + b);
+        assert_eq!(total, SimDuration::from_secs(600), "duration preserved");
+        // Expected slices: [0,200) 1x | [200,300) 5x | [300,400) 5x | [400,600) 1x.
+        let rates: Vec<f64> = crowd.iter().map(|p| p.spec.rate).collect();
+        assert_eq!(rates, vec![3.0, 15.0, 15.0, 3.0]);
+        // The generated trace really is denser inside the window.
+        let reqs = generate_phased(&crowd, 13);
+        let in_window = reqs
+            .iter()
+            .filter(|r| {
+                r.arrival >= SimTime::from_secs_f64(200.0)
+                    && r.arrival < SimTime::from_secs_f64(400.0)
+            })
+            .count();
+        let outside = reqs.len() - in_window;
+        assert!(
+            in_window as f64 > 2.0 * outside as f64,
+            "window {in_window} vs outside {outside}"
+        );
+    }
+
+    #[test]
+    fn flash_crowd_outside_horizon_is_identity() {
+        let base = spec::coding(1.5);
+        let phases = diurnal_phases(
+            &base,
+            SimDuration::from_secs(100),
+            SimDuration::from_secs(100),
+            0.3,
+            SimDuration::from_secs(50),
+        );
+        let spliced = with_flash_crowd(
+            &phases,
+            SimDuration::from_secs(500),
+            SimDuration::from_secs(10),
+            4.0,
+        );
+        assert_eq!(spliced, phases, "a window past the horizon changes nothing");
+    }
+
+    #[test]
+    #[should_panic]
+    fn diurnal_rejects_full_amplitude() {
+        let _ = diurnal_phases(
+            &spec::coding(1.0),
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(10),
+            1.0,
+            SimDuration::from_secs(5),
+        );
     }
 }
 

@@ -25,7 +25,9 @@
 //! * [`telemetry`] — request-lifecycle tracing, utilization time series and
 //!   Chrome-trace export;
 //! * [`baselines`] — vLLM-like, DistServe-like and HexGen-like planners;
-//! * [`runtime`] — the online serving runtime and live task coordinator.
+//! * [`runtime`] — the online serving runtime and live task coordinator;
+//! * [`autoscale`] — coordinated prefill/decode autoscaling over a
+//!   spot-priced elastic fleet, with per-segment cost accounting.
 //!
 //! # Quickstart
 //!
@@ -52,6 +54,7 @@
 //! ```
 
 pub use thunderserve_core as scheduler;
+pub use ts_autoscale as autoscale;
 pub use ts_baselines as baselines;
 pub use ts_cluster as cluster;
 pub use ts_common as common;
