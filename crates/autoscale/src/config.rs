@@ -39,6 +39,12 @@ pub struct AutoscaleConfig {
     pub full_replan_fraction: f64,
     /// Heartbeat timeout used when serving segments with fault scripts.
     pub heartbeat_timeout: SimDuration,
+    /// Consume streaming-plane SLO burn-rate signals in the control loop:
+    /// segments run with the streaming plane attached and a `Critical`
+    /// burn-rate health signal counts as scale-up pressure even before
+    /// attainment visibly sags. Off by default; when off, trajectories are
+    /// bit-identical to the pre-streaming controller.
+    pub mid_segment_signals: bool,
 }
 
 impl Default for AutoscaleConfig {
@@ -54,6 +60,7 @@ impl Default for AutoscaleConfig {
             max_release_per_step: 1,
             full_replan_fraction: 0.5,
             heartbeat_timeout: SimDuration::from_secs(1),
+            mid_segment_signals: false,
         }
     }
 }

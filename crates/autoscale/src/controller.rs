@@ -120,8 +120,18 @@ impl AutoscaleController {
             return actions;
         }
 
+        // A critical burn-rate signal from the streaming plane is a leading
+        // indicator: the SLO budget is burning even if the segment-mean
+        // attainment has not sagged below the floor yet. Only consulted when
+        // mid-segment signals are enabled (and a snapshot was taken).
+        let burning = self.cfg.mid_segment_signals
+            && obs
+                .health
+                .as_ref()
+                .is_some_and(|h| h.worst == ts_telemetry::HealthState::Critical);
         let pressure = obs.attainment < self.cfg.attainment_floor
-            || obs.peak_queue() > self.cfg.queue_depth_high;
+            || obs.peak_queue() > self.cfg.queue_depth_high
+            || burning;
         let cold = obs.attainment >= self.cfg.attainment_ceiling
             && obs.peak_duty() < self.cfg.occupancy_low
             && obs.peak_queue() < 1.0;
@@ -182,7 +192,53 @@ mod tests {
             prefill_duty: duty,
             decode_duty: duty / 2.0,
             warned: Vec::new(),
+            health: None,
         }
+    }
+
+    fn critical_health() -> ts_telemetry::HealthSummary {
+        ts_telemetry::HealthSummary {
+            worst: ts_telemetry::HealthState::Critical,
+            max_fast_burn: 30.0,
+            max_slow_burn: 5.0,
+        }
+    }
+
+    #[test]
+    fn critical_burn_is_pressure_only_when_signals_enabled() {
+        let pool = elastic_cloud_pool();
+        // Attainment and queues sit in the dead band: without the burn
+        // signal nothing happens.
+        let mut calm = obs(0.9, 1.0, 0.6);
+        calm.health = Some(critical_health());
+
+        let mut ignoring = AutoscaleController::new(AutoscaleConfig::default());
+        assert!(
+            ignoring.decide(&pool, &calm, SimTime::ZERO).is_empty(),
+            "burn signals must be inert with the knob off"
+        );
+
+        let mut heeding = AutoscaleController::new(AutoscaleConfig {
+            mid_segment_signals: true,
+            ..AutoscaleConfig::default()
+        });
+        let a = heeding.decide(&pool, &calm, SimTime::ZERO);
+        assert!(
+            a.iter().any(|x| matches!(x, FleetAction::Acquire(_))),
+            "critical burn must read as scale-up pressure: {a:?}"
+        );
+        // A warning-level (or absent) signal changes nothing.
+        let mut warn = obs(0.9, 1.0, 0.6);
+        warn.health = Some(ts_telemetry::HealthSummary {
+            worst: ts_telemetry::HealthState::Warning,
+            max_fast_burn: 3.0,
+            max_slow_burn: 0.5,
+        });
+        let mut c = AutoscaleController::new(AutoscaleConfig {
+            mid_segment_signals: true,
+            ..AutoscaleConfig::default()
+        });
+        assert!(c.decide(&pool, &warn, SimTime::ZERO).is_empty());
     }
 
     #[test]

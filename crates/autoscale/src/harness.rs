@@ -205,6 +205,12 @@ pub fn run_elastic(
     }
     let mut rt = ServingRuntime::new(cluster, model.clone(), *slo, sched_cfg.clone());
     rt.set_telemetry(true);
+    if cfg.mid_segment_signals {
+        // Attach the streaming plane so segment reports carry burn-rate
+        // health signals for the controller. Observation only: the served
+        // metrics stay bit-identical whether or not the plane is attached.
+        rt.set_streaming(Some(ts_telemetry::StreamConfig::new(*slo)));
+    }
     rt.deploy(&segments[0].workload)?;
 
     let mut controller = AutoscaleController::new(cfg.clone());
@@ -307,6 +313,7 @@ pub fn run_elastic(
         last_obs = Some(observe_segment(
             &rep.metrics,
             rep.trace.as_ref(),
+            rep.stream.as_ref(),
             slo,
             warned,
         ));
@@ -489,6 +496,36 @@ mod tests {
         assert_eq!(a.ledger.entries.len(), 4);
         // The base fleet is billed in segment 0 (spot nodes parked).
         assert_eq!(a.records[0].fleet_gpus, 8);
+        for r in &a.records {
+            assert_eq!(
+                r.completed + r.dropped + r.rejected,
+                r.submitted,
+                "segment {} must conserve requests",
+                r.segment
+            );
+        }
+    }
+
+    #[test]
+    fn mid_segment_signals_keep_the_trajectory_deterministic() {
+        let pool = elastic_cloud_pool();
+        let cfg = AutoscaleConfig {
+            mid_segment_signals: true,
+            ..AutoscaleConfig::default()
+        };
+        let run = || {
+            run_elastic(
+                &pool,
+                &ModelSpec::llama_30b(),
+                &slo(),
+                &sched(),
+                &cfg,
+                &trajectory(),
+            )
+            .unwrap()
+        };
+        let a = run();
+        assert_eq!(a, run(), "signal-driven trajectory must replay exactly");
         for r in &a.records {
             assert_eq!(
                 r.completed + r.dropped + r.rejected,

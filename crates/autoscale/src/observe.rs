@@ -2,7 +2,7 @@
 
 use ts_common::{NodeId, SimTime, SloSpec};
 use ts_sim::metrics::Metrics;
-use ts_telemetry::{Role, TraceLog, UtilizationSeries};
+use ts_telemetry::{HealthSummary, Role, StreamSnapshot, TraceLog, UtilizationSeries};
 
 /// What the control loop sees after one serving segment: a handful of
 /// scalars derived from the segment's [`Metrics`] and telemetry
@@ -24,6 +24,12 @@ pub struct SegmentObservation {
     /// Nodes with an announced spot reclaim the controller has not yet
     /// drained, paired with the announced reclaim time.
     pub warned: Vec<(NodeId, SimTime)>,
+    /// SLO burn-rate health distilled from the segment's streaming-plane
+    /// snapshot, when the runtime served with streaming enabled. `None`
+    /// when streaming is off — the controller then ignores burn signals
+    /// entirely, keeping trajectories bit-identical to the pre-streaming
+    /// behaviour.
+    pub health: Option<HealthSummary>,
 }
 
 impl SegmentObservation {
@@ -69,10 +75,13 @@ fn role_mean(trace: &TraceLog, role: Role, f: impl Fn(usize) -> f64) -> f64 {
 /// boundary (node, announced reclaim time); the caller tracks them across
 /// segments because a warning observed in segment *i* is acted on at the
 /// *i*+1 boundary. Without a trace (telemetry off) the queue/duty signals
-/// are zero and the controller falls back to attainment alone.
+/// are zero and the controller falls back to attainment alone. `stream`
+/// carries the segment's streaming-plane snapshot when available; its SLO
+/// burn-rate health is distilled into [`SegmentObservation::health`].
 pub fn observe_segment(
     metrics: &Metrics,
     trace: Option<&TraceLog>,
+    stream: Option<&StreamSnapshot>,
     slo: &SloSpec,
     warned: Vec<(NodeId, SimTime)>,
 ) -> SegmentObservation {
@@ -103,6 +112,7 @@ pub fn observe_segment(
         prefill_duty: pd,
         decode_duty: dd,
         warned,
+        health: stream.map(StreamSnapshot::health_summary),
     }
 }
 
@@ -136,9 +146,10 @@ mod tests {
             SimDuration::from_millis(300),
             SimDuration::from_secs(60),
         );
-        let obs = observe_segment(&metrics, None, &slo, vec![(NodeId(3), SimTime::ZERO)]);
+        let obs = observe_segment(&metrics, None, None, &slo, vec![(NodeId(3), SimTime::ZERO)]);
         assert_eq!(obs.peak_queue(), 0.0);
         assert_eq!(obs.peak_duty(), 0.0);
         assert_eq!(obs.warned, vec![(NodeId(3), SimTime::ZERO)]);
+        assert_eq!(obs.health, None, "no streaming snapshot, no health");
     }
 }

@@ -77,27 +77,7 @@ fn main() {
         assert_eq!(arm.ledger.entries.len(), arm.records.len());
     }
 
-    // The headline claim holds on the real 24-hour trace. The compressed
-    // quick trace is structurally harsher on a boundary-reactive controller
-    // (each segment is a sixth of the day, so one lagged boundary costs
-    // ~10x more weight), so CI only guards against collapse there.
-    let gap_bound = if quick { 0.15 } else { 0.05 };
     let gap = r.static_fleet.mean_attainment() - r.elastic.mean_attainment();
-    assert!(
-        gap <= gap_bound,
-        "autoscaler must stay within {gap_bound} of the oracle static fleet: gap {:.3} \
-         (autoscale {:.3} vs static {:.3})",
-        gap,
-        r.elastic.mean_attainment(),
-        r.static_fleet.mean_attainment()
-    );
-    assert!(
-        r.elastic.total_cost() <= 0.8 * r.static_fleet.total_cost(),
-        "autoscaling must save at least 20%: ${:.2} vs ${:.2}",
-        r.elastic.total_cost(),
-        r.static_fleet.total_cost()
-    );
-
     let again = autoscale::measure_elastic(quick);
     assert_eq!(
         r.elastic, again,
@@ -155,6 +135,20 @@ fn main() {
         ));
     }
     json.push_str("  ]\n}\n");
+
+    // The headline claims — ≥20% cost saving, attainment within the gap
+    // bound of the oracle static fleet — live in the shared gate, which CI
+    // re-checks against the committed artifact. The compressed quick trace
+    // is structurally harsher on a boundary-reactive controller (each
+    // segment is a sixth of the day, so one lagged boundary costs ~10x
+    // more weight), so quick mode gets the lax gap bound.
+    match ts_bench::gate::check("BENCH_autoscale", &json, !quick) {
+        Ok(rep) => println!("gate: {} checks held", rep.checks),
+        Err(e) => {
+            eprintln!("gate: {e}");
+            std::process::exit(1);
+        }
+    }
     std::fs::write(&out, json).expect("write benchmark output");
     println!("wrote {out}");
 }

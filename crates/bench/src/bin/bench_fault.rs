@@ -144,35 +144,6 @@ fn main() {
         }
     }
 
-    // The qualitative properties the mitigation layer exists for; fail
-    // loudly if a regression flattens them.
-    let get = |role: &str, factor: f64, mitigated: bool| {
-        arms.iter()
-            .find(|a| a.role == role && a.factor == factor && a.mitigated == mitigated)
-            .unwrap()
-    };
-    for factor in FACTORS {
-        let (off, on) = (get("prefill", factor, false), get("prefill", factor, true));
-        assert!(
-            on.p99_ttft_s < off.p99_ttft_s,
-            "hedging must cut p99 TTFT under a {factor}x prefill straggler: {} >= {}",
-            on.p99_ttft_s,
-            off.p99_ttft_s
-        );
-        assert!(on.hedges > 0, "the stalled prefill must force hedges");
-        let (off, on) = (get("decode", factor, false), get("decode", factor, true));
-        assert!(
-            on.p99_e2e_s < off.p99_e2e_s,
-            "quarantine must cut p99 E2E under a {factor}x decode straggler: {} >= {}",
-            on.p99_e2e_s,
-            off.p99_e2e_s
-        );
-        assert!(
-            on.quarantines > 0,
-            "the decode straggler must be quarantined"
-        );
-    }
-
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"benchmark\": \"gray-failure straggler sweep: one replica runs factor-x slow from t=5s on the Appendix-H testbed (2x tp2 prefill -> 2x tp2 decode, LLaMA-13B, coding workload at 1.5 req/s)\",\n");
@@ -193,6 +164,17 @@ fn main() {
         ));
     }
     json.push_str("  ]\n}\n");
+
+    // The qualitative properties the mitigation layer exists for — per-factor
+    // tail recovery with the mechanism actually firing — live in the shared
+    // gate, so CI enforces the same invariants on the committed artifact.
+    match ts_bench::gate::check("BENCH_fault", &json, !quick) {
+        Ok(r) => println!("gate: {} checks held", r.checks),
+        Err(e) => {
+            eprintln!("gate: {e}");
+            std::process::exit(1);
+        }
+    }
     std::fs::write(&out, json).expect("write benchmark output");
     println!("wrote {out}");
 }

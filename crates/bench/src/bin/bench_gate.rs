@@ -1,0 +1,116 @@
+//! CI perf-regression gate over the committed benchmark trajectory.
+//!
+//! ```text
+//! bench_gate [--dir <repo-root>] [--fresh <dir>] [--lax]
+//! ```
+//!
+//! Parses every committed `BENCH_*.json` (scheduler, net, sim, fault, mm,
+//! autoscale, obs) with the shared checker in [`ts_bench::gate`]: structural
+//! invariants and wall-clock floors per family, and — when `--fresh <dir>`
+//! points at freshly regenerated artifacts — a >15% regression comparison of
+//! every deterministic metric against the committed trajectory's last entry.
+//!
+//! Exit status is nonzero on any violation, so this replaces the ad-hoc
+//! per-binary floor asserts as the single CI gate. `--lax` applies the
+//! quick-mode wall-clock budgets (for untrusted CI machines); committed
+//! artifacts are expected to satisfy the strict ones.
+
+use std::path::{Path, PathBuf};
+use ts_bench::gate;
+
+/// Every benchmark family the gate knows, in trajectory order.
+const STEMS: &[&str] = &[
+    "BENCH_scheduler",
+    "BENCH_net",
+    "BENCH_sim",
+    "BENCH_fault",
+    "BENCH_mm",
+    "BENCH_autoscale",
+    "BENCH_obs",
+];
+
+fn arg_value(args: &[String], flag: &str) -> Option<PathBuf> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dir = arg_value(&args, "--dir").unwrap_or_else(|| PathBuf::from("."));
+    let fresh_dir = arg_value(&args, "--fresh");
+    let strict = !args.iter().any(|a| a == "--lax");
+
+    let mut failures = 0usize;
+    let mut checked = 0usize;
+    for stem in STEMS {
+        let path = dir.join(format!("{stem}.json"));
+        let Some(text) = read(&path, &mut failures) else {
+            continue;
+        };
+        match gate::check(stem, &text, strict) {
+            Ok(report) => {
+                checked += 1;
+                println!(
+                    "ok   {stem}: {} checks, {} tracked metrics",
+                    report.checks, report.metrics
+                );
+            }
+            Err(e) => {
+                failures += 1;
+                eprintln!("FAIL {stem}: {e}");
+                continue;
+            }
+        }
+        if let Some(fdir) = &fresh_dir {
+            let fpath = fdir.join(format!("{stem}.json"));
+            if !fpath.exists() {
+                println!("     {stem}: no fresh artifact, comparison skipped");
+                continue;
+            }
+            let Some(fresh) = read(&fpath, &mut failures) else {
+                continue;
+            };
+            match gate::compare(stem, &text, &fresh) {
+                Ok(regressions) if regressions.is_empty() => {
+                    println!("     {stem}: fresh run within tolerance");
+                }
+                Ok(regressions) => {
+                    failures += regressions.len();
+                    for r in &regressions {
+                        eprintln!("FAIL {stem}: {r}");
+                    }
+                }
+                Err(e) => {
+                    failures += 1;
+                    eprintln!("FAIL {stem}: comparison error: {e}");
+                }
+            }
+        }
+    }
+
+    if checked == 0 {
+        eprintln!("no BENCH_*.json found under {}", dir.display());
+        std::process::exit(1);
+    }
+    if failures > 0 {
+        eprintln!("bench_gate: {failures} failure(s)");
+        std::process::exit(1);
+    }
+    println!("bench_gate: {checked} file(s) clean");
+}
+
+/// Reads one artifact, counting (and reporting) unreadable files as
+/// failures. A *missing* committed artifact is a failure too: the gate's
+/// whole point is that the trajectory stays complete.
+fn read(path: &Path, failures: &mut usize) -> Option<String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => Some(text),
+        Err(e) => {
+            *failures += 1;
+            eprintln!("FAIL {}: {e}", path.display());
+            None
+        }
+    }
+}

@@ -2,11 +2,15 @@
 //! simulated substrate.
 //!
 //! ```text
-//! reproduce [--exp <id>] [--quick] [--list] [--trace <path>]
+//! reproduce [--exp <id>] [--quick] [--list] [--trace <path>] [--metrics <base>]
 //! ```
 //!
 //! `--trace <path>` additionally runs the telemetry demo scenario and
 //! writes its Chrome trace-event JSON there (viewable in Perfetto).
+//! `--metrics <base>` runs the same scenario with the streaming
+//! observability plane attached and writes `<base>.prom` (Prometheus text
+//! exposition, validated before writing) and `<base>.json` (compact metric
+//! dump).
 
 use std::time::Instant;
 use ts_bench::all_experiments;
@@ -23,6 +27,11 @@ fn main() {
     let trace_out = args
         .iter()
         .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let metrics_out = args
+        .iter()
+        .position(|a| a == "--metrics")
         .and_then(|i| args.get(i + 1))
         .cloned();
 
@@ -52,6 +61,33 @@ fn main() {
             start.elapsed().as_secs_f64()
         );
         ran += 1;
+    }
+    if let Some(base) = metrics_out {
+        let demo = ts_bench::trace_demo::run(quick);
+        let prom = ts_telemetry::render_prometheus(&demo.stream);
+        match ts_telemetry::validate_exposition(&prom) {
+            Ok(stats) => {
+                let prom_path = format!("{base}.prom");
+                let json_path = format!("{base}.json");
+                if let Err(e) = std::fs::write(&prom_path, &prom)
+                    .and_then(|()| std::fs::write(&json_path, demo.stream.to_json()))
+                {
+                    eprintln!("cannot write metrics: {e}");
+                    std::process::exit(1);
+                }
+                println!(
+                    "metrics: wrote {prom_path} ({} families, {} samples) and {json_path}",
+                    stats.families, stats.samples
+                );
+            }
+            Err(e) => {
+                eprintln!("exposition failed validation: {e}");
+                std::process::exit(1);
+            }
+        }
+        if trace_out.is_none() {
+            return;
+        }
     }
     if let Some(out) = trace_out {
         let demo = ts_bench::trace_demo::run(quick);

@@ -1,0 +1,929 @@
+//! Shared regression gate over the committed `BENCH_*.json` artifacts.
+//!
+//! One checker replaces the ad-hoc floor asserts that used to live in each
+//! bench binary: every binary runs [`check`] on the JSON it just wrote, and
+//! the `bench_gate` binary (wired into CI) runs the same checks over all
+//! committed artifacts plus a >15% regression comparison of freshly
+//! measured deterministic metrics against the committed trajectory's last
+//! entry.
+//!
+//! Wall-clock figures (events/sec, evals/sec) are machine-dependent, so
+//! they are guarded by *floors* in the structural checks and excluded from
+//! the percentage comparison; simulated-time figures (p99 latencies,
+//! attainment, cost, sketch errors) are deterministic and compared
+//! strictly.
+
+use std::fmt::Write as _;
+
+/// Maximum tolerated relative regression of a deterministic metric between
+/// the committed artifact and a fresh measurement.
+pub const REGRESSION_TOLERANCE: f64 = 0.15;
+
+/// Streaming-plane overhead budget on the committed (full-mode) event-loop
+/// arm at 100k requests and up: wall-clock with the plane attached may
+/// exceed the plain run by at most this fraction.
+pub const OBS_OVERHEAD_BUDGET: f64 = 0.05;
+
+/// Lax overhead budget applied to quick-mode runs on untrusted machines
+/// (CI runners) and to the small smoke arms, where runs last tens of
+/// milliseconds and timer noise dominates the ratio.
+pub const OBS_OVERHEAD_BUDGET_QUICK: f64 = 0.50;
+
+/// Arm size (requests) at which the strict overhead budget applies: below
+/// this, runs are too short for a trustworthy wall-clock ratio.
+pub const OBS_STRICT_ARM_REQUESTS: f64 = 100_000.0;
+
+/// How far (in attainment points) the autoscaler may trail the oracle
+/// static fleet on the committed 24-hour trace.
+pub const AUTOSCALE_GAP_BOUND: f64 = 0.05;
+
+/// Lax gap bound for quick-mode runs: the compressed trace is structurally
+/// harsher on a boundary-reactive controller (each segment is a sixth of
+/// the day, so one lagged boundary costs ~10x more weight).
+pub const AUTOSCALE_GAP_BOUND_QUICK: f64 = 0.15;
+
+/// Minimum cost saving the elastic fleet must deliver over the all-on-demand
+/// static fleet, as a fraction of the static cost.
+pub const AUTOSCALE_MIN_SAVING: f64 = 0.2;
+
+/// Minimal JSON value, parsed without any external dependency.
+pub mod json {
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Any number (JSON has only doubles).
+        Number(f64),
+        /// A string, unescaped.
+        String(String),
+        /// An array.
+        Array(Vec<Value>),
+        /// An object, in source order.
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// The string payload, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The numeric payload, if this is a number.
+        pub fn as_number(&self) -> Option<f64> {
+            match self {
+                Value::Number(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// The boolean payload, if this is a bool.
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
+        /// The elements, if this is an array.
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(a) => Some(a),
+                _ => None,
+            }
+        }
+
+        /// The members, if this is an object.
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Object(o) => Some(o),
+                _ => None,
+            }
+        }
+
+        /// Object member lookup (first match).
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            self.as_object()?
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+        }
+
+        /// Numeric member lookup.
+        pub fn num(&self, key: &str) -> Option<f64> {
+            self.get(key)?.as_number()
+        }
+    }
+
+    /// Parses a complete JSON document.
+    ///
+    /// # Errors
+    /// Returns a position-annotated message on malformed input.
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            None => Err("unexpected end of input".into()),
+            Some(b'{') => {
+                *pos += 1;
+                let mut members = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Object(members));
+                }
+                loop {
+                    skip_ws(b, pos);
+                    let key = parse_string(b, pos)?;
+                    skip_ws(b, pos);
+                    if b.get(*pos) != Some(&b':') {
+                        return Err(format!("expected ':' at byte {pos}"));
+                    }
+                    *pos += 1;
+                    let v = parse_value(b, pos)?;
+                    members.push((key, v));
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Object(members));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(parse_value(b, pos)?);
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                    }
+                }
+            }
+            Some(b'"') => Ok(Value::String(parse_string(b, pos)?)),
+            Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
+            Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
+            Some(b'n') => parse_lit(b, pos, "null", Value::Null),
+            Some(_) => parse_number(b, pos),
+        }
+    }
+
+    fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, String> {
+        if b[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {pos}"))
+        }
+    }
+
+    fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        }
+        let s = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+        s.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| format!("invalid number {s:?} at byte {start}"))
+    }
+
+    fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected string at byte {pos}"));
+        }
+        *pos += 1;
+        let mut out = Vec::new();
+        while let Some(&c) = b.get(*pos) {
+            *pos += 1;
+            match c {
+                b'"' => {
+                    return String::from_utf8(out).map_err(|e| e.to_string());
+                }
+                b'\\' => {
+                    let esc = b.get(*pos).ok_or("unterminated escape")?;
+                    *pos += 1;
+                    match esc {
+                        b'"' => out.push(b'"'),
+                        b'\\' => out.push(b'\\'),
+                        b'/' => out.push(b'/'),
+                        b'n' => out.push(b'\n'),
+                        b't' => out.push(b'\t'),
+                        b'r' => out.push(b'\r'),
+                        b'b' => out.push(0x08),
+                        b'f' => out.push(0x0c),
+                        b'u' => {
+                            let hex = b
+                                .get(*pos..*pos + 4)
+                                .ok_or("truncated \\u escape")
+                                .and_then(|h| std::str::from_utf8(h).map_err(|_| "bad \\u"))?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            *pos += 4;
+                            let ch = char::from_u32(code).unwrap_or('\u{FFFD}');
+                            let mut buf = [0u8; 4];
+                            out.extend_from_slice(ch.encode_utf8(&mut buf).as_bytes());
+                        }
+                        _ => return Err(format!("bad escape at byte {pos}")),
+                    }
+                }
+                _ => out.push(c),
+            }
+        }
+        Err("unterminated string".into())
+    }
+}
+
+use json::Value;
+
+/// Which direction of change is an improvement for a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Better {
+    /// Larger values are better (attainment, savings).
+    Higher,
+    /// Smaller values are better (latency, cost, error).
+    Lower,
+}
+
+/// One deterministic (simulated-time) metric extracted from an artifact.
+#[derive(Debug, Clone)]
+pub struct Metric {
+    /// Stable name, unique within the artifact.
+    pub name: String,
+    /// The measured value.
+    pub value: f64,
+    /// Improvement direction.
+    pub better: Better,
+}
+
+/// Outcome of a structural check.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// Artifact stem, e.g. `BENCH_sim`.
+    pub file: String,
+    /// Structural invariants verified.
+    pub checks: usize,
+    /// Deterministic metrics extracted (available for comparison).
+    pub metrics: usize,
+}
+
+/// A tiny helper collecting named invariant checks.
+struct Checker {
+    file: String,
+    checks: usize,
+}
+
+impl Checker {
+    fn require(&mut self, ok: bool, what: &str) -> Result<(), String> {
+        self.checks += 1;
+        if ok {
+            Ok(())
+        } else {
+            Err(format!("{}: {}", self.file, what))
+        }
+    }
+}
+
+fn arms<'a>(root: &'a Value, c: &mut Checker) -> Result<&'a [Value], String> {
+    let arms = root
+        .get("arms")
+        .and_then(Value::as_array)
+        .unwrap_or_default();
+    c.require(!arms.is_empty(), "no arms recorded")?;
+    Ok(arms)
+}
+
+fn finite_positive(v: Option<f64>) -> bool {
+    v.is_some_and(|x| x.is_finite() && x > 0.0)
+}
+
+fn fraction(v: Option<f64>) -> bool {
+    v.is_some_and(|x| (0.0..=1.0).contains(&x))
+}
+
+/// Structurally validates one artifact and enforces its committed floors.
+///
+/// `strict` applies the full-mode floors (committed artifacts are produced
+/// by full runs); quick CI reruns on weaker machines pass `strict = false`
+/// to get the lax wall-clock floors while keeping every deterministic
+/// invariant.
+///
+/// # Errors
+/// Returns `file: problem` on the first violated invariant or parse error.
+pub fn check(stem: &str, text: &str, strict: bool) -> Result<GateReport, String> {
+    let root = json::parse(text).map_err(|e| format!("{stem}: {e}"))?;
+    let mut c = Checker {
+        file: stem.to_string(),
+        checks: 0,
+    };
+    c.require(root.as_object().is_some(), "top level must be an object")?;
+    match stem {
+        "BENCH_sim" => check_sim(&root, &mut c, strict)?,
+        "BENCH_scheduler" => check_scheduler(&root, &mut c)?,
+        "BENCH_net" => check_net(&root, &mut c)?,
+        "BENCH_fault" => check_fault(&root, &mut c)?,
+        "BENCH_mm" => check_mm(&root, &mut c)?,
+        "BENCH_autoscale" => check_autoscale(&root, &mut c, strict)?,
+        "BENCH_obs" => check_obs(&root, &mut c, strict)?,
+        _ => {}
+    }
+    let metrics = metrics_of(stem, &root).len();
+    Ok(GateReport {
+        file: stem.to_string(),
+        checks: c.checks,
+        metrics,
+    })
+}
+
+fn check_sim(root: &Value, c: &mut Checker, strict: bool) -> Result<(), String> {
+    for arm in arms(root, c)? {
+        let label = format!(
+            "{}x{}",
+            arm.num("requests").unwrap_or(0.0),
+            arm.num("replicas").unwrap_or(0.0)
+        );
+        c.require(
+            finite_positive(arm.num("wall_clock_s")),
+            &format!("{label}: wall_clock_s must be positive"),
+        )?;
+        c.require(
+            finite_positive(arm.num("events_per_sec")),
+            &format!("{label}: events_per_sec must be positive"),
+        )?;
+        if let Some(speedup) = arm.num("speedup_events_per_sec") {
+            // The floor that used to be an ad-hoc assert in bench_sim:
+            // parity with the pre-refactor loop always, 5x on the 100k arm
+            // for committed (full-mode) artifacts.
+            c.require(
+                speedup >= 1.0,
+                &format!("{label}: {speedup:.2}x below the pre-refactor parity floor"),
+            )?;
+            if strict && arm.num("requests") == Some(100_000.0) {
+                c.require(
+                    speedup >= 5.0,
+                    &format!("{label}: {speedup:.2}x below the committed 5x floor"),
+                )?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_scheduler(root: &Value, c: &mut Checker) -> Result<(), String> {
+    let arms = arms(root, c)?;
+    for arm in arms {
+        c.require(
+            finite_positive(arm.num("median_s")),
+            "median_s must be positive",
+        )?;
+        c.require(
+            finite_positive(arm.num("evals_per_s")),
+            "evals_per_s must be positive",
+        )?;
+    }
+    // The search is bit-identical across thread counts: every arm on the
+    // same GPU count must report the same evaluation count and score.
+    for w in arms.windows(2) {
+        if w[0].num("gpus") == w[1].num("gpus") {
+            c.require(
+                w[0].num("evaluations") == w[1].num("evaluations")
+                    && w[0].num("score") == w[1].num("score"),
+                "search must be bit-identical across thread counts",
+            )?;
+        }
+    }
+    Ok(())
+}
+
+fn check_net(root: &Value, c: &mut Checker) -> Result<(), String> {
+    let arms = arms(root, c)?;
+    for arm in arms {
+        c.require(
+            finite_positive(arm.num("mean_transfer_s")),
+            "mean_transfer_s must be positive",
+        )?;
+        c.require(
+            arm.num("max_transfer_s") >= arm.num("mean_transfer_s"),
+            "max transfer below mean",
+        )?;
+    }
+    // Under max-min sharing, mean latency must grow with flow count (same
+    // precision), and the fp16-vs-int4 gap must widen with contention —
+    // every extra wire byte is paid at a shared rate.
+    for a in arms {
+        for b in arms {
+            let same_precision = a.get("precision") == b.get("precision");
+            if same_precision && a.num("flows") < b.num("flows") {
+                c.require(
+                    a.num("mean_transfer_s") < b.num("mean_transfer_s"),
+                    "mean transfer latency must grow as contention rises",
+                )?;
+            }
+        }
+    }
+    let mean_at = |flows: f64, precision: &str| {
+        arms.iter()
+            .find(|a| {
+                a.num("flows") == Some(flows)
+                    && a.get("precision").and_then(Value::as_str) == Some(precision)
+            })
+            .and_then(|a| a.num("mean_transfer_s"))
+    };
+    let flow_counts: Vec<f64> = arms.iter().filter_map(|a| a.num("flows")).collect();
+    let (lo, hi) = flow_counts
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &f| {
+            (lo.min(f), hi.max(f))
+        });
+    let gap = |flows: f64| match (mean_at(flows, "fp16"), mean_at(flows, "int4")) {
+        (Some(fp16), Some(int4)) => Some(fp16 - int4),
+        _ => None,
+    };
+    if let (Some(widest), Some(narrowest)) = (gap(hi), gap(lo)) {
+        if hi > lo {
+            c.require(
+                widest > narrowest,
+                "the fp16-vs-int4 gap must widen under contention",
+            )?;
+        }
+    }
+    Ok(())
+}
+
+fn check_fault(root: &Value, c: &mut Checker) -> Result<(), String> {
+    let arms = arms(root, c)?;
+    for arm in arms {
+        c.require(
+            finite_positive(arm.num("p99_ttft_s")) && finite_positive(arm.num("p99_e2e_s")),
+            "p99 latencies must be positive",
+        )?;
+        c.require(
+            fraction(arm.num("shed_rate")),
+            "shed_rate must be a fraction",
+        )?;
+    }
+    // Mitigation must recover the role-relevant tail at every committed
+    // slowdown — hedging rescues prefill TTFT, quarantine rescues decode
+    // E2E — and the mechanism must actually have fired.
+    for role in ["prefill", "decode"] {
+        let (key, counter) = if role == "prefill" {
+            ("p99_ttft_s", "hedges")
+        } else {
+            ("p99_e2e_s", "quarantines")
+        };
+        let slowdowns: Vec<f64> = arms
+            .iter()
+            .filter(|a| a.get("role").and_then(Value::as_str) == Some(role))
+            .filter_map(|a| a.num("slowdown"))
+            .collect();
+        for &slowdown in &slowdowns {
+            let at = |mitigated: bool| {
+                arms.iter().find(|a| {
+                    a.get("role").and_then(Value::as_str) == Some(role)
+                        && a.num("slowdown") == Some(slowdown)
+                        && a.get("mitigated").and_then(Value::as_bool) == Some(mitigated)
+                })
+            };
+            let (Some(off), Some(on)) = (at(false), at(true)) else {
+                continue;
+            };
+            c.require(
+                on.num(key) < off.num(key),
+                &format!("{role} mitigation must cut {key} at slowdown {slowdown}x"),
+            )?;
+            c.require(
+                on.num(counter).unwrap_or(0.0) >= 1.0,
+                &format!("{role} mitigation at slowdown {slowdown}x must record {counter}"),
+            )?;
+        }
+    }
+    Ok(())
+}
+
+fn check_mm(root: &Value, c: &mut Checker) -> Result<(), String> {
+    let arms = arms(root, c)?;
+    let weighted = |name: &str| {
+        arms.iter()
+            .find(|a| a.get("arm").and_then(Value::as_str) == Some(name))
+            .and_then(|a| a.num("weighted_attainment"))
+    };
+    for arm in arms {
+        c.require(
+            fraction(arm.num("weighted_attainment")),
+            "weighted_attainment must be a fraction",
+        )?;
+        c.require(
+            finite_positive(arm.num("cost_per_hour")),
+            "cost_per_hour must be positive",
+        )?;
+    }
+    if let (Some(shared), Some(part)) = (weighted("shared"), weighted("partitioned")) {
+        c.require(
+            shared >= part,
+            "shared plan must not lose to the static partition",
+        )?;
+    }
+    let cost = |name: &str| {
+        arms.iter()
+            .find(|a| a.get("arm").and_then(Value::as_str) == Some(name))
+            .and_then(|a| a.num("cost_per_hour"))
+    };
+    if let (Some(shared), Some(part)) = (cost("shared"), cost("partitioned")) {
+        c.require(
+            shared <= part,
+            "shared pool must not cost more than the partition",
+        )?;
+    }
+    Ok(())
+}
+
+fn check_autoscale(root: &Value, c: &mut Checker, strict: bool) -> Result<(), String> {
+    c.require(
+        fraction(root.num("saving_fraction")),
+        "saving_fraction must be a fraction",
+    )?;
+    let arms = arms(root, c)?;
+    let of = |name: &str, key: &str| {
+        arms.iter()
+            .find(|a| a.get("arm").and_then(Value::as_str) == Some(name))
+            .and_then(|a| a.num(key))
+    };
+    for arm in arms {
+        c.require(
+            fraction(arm.num("attainment")),
+            "attainment must be a fraction",
+        )?;
+        for seg in arm
+            .get("segments")
+            .and_then(Value::as_array)
+            .unwrap_or_default()
+        {
+            c.require(
+                seg.num("completed") <= seg.num("submitted"),
+                "segment completed beyond submitted",
+            )?;
+        }
+    }
+    c.require(
+        of("autoscale", "total_cost").is_some() && of("static", "total_cost").is_some(),
+        "both the autoscale and static arms must be present",
+    )?;
+    if let (Some(elastic), Some(stat)) = (of("autoscale", "total_cost"), of("static", "total_cost"))
+    {
+        c.require(
+            elastic <= (1.0 - AUTOSCALE_MIN_SAVING) * stat,
+            &format!(
+                "autoscaler must save at least {:.0}%",
+                AUTOSCALE_MIN_SAVING * 100.0
+            ),
+        )?;
+    }
+    if let (Some(elastic), Some(stat)) = (of("autoscale", "attainment"), of("static", "attainment"))
+    {
+        let bound = if strict {
+            AUTOSCALE_GAP_BOUND
+        } else {
+            AUTOSCALE_GAP_BOUND_QUICK
+        };
+        c.require(
+            stat - elastic <= bound,
+            &format!("autoscaler must stay within {bound} attainment of the static oracle"),
+        )?;
+    }
+    Ok(())
+}
+
+fn check_obs(root: &Value, c: &mut Checker, strict: bool) -> Result<(), String> {
+    for arm in arms(root, c)? {
+        // The committed 5% budget is enforced on the big (100k-request)
+        // arm, whose half-second runs give the ratio a stable denominator;
+        // smoke arms and quick-mode CI runs get the lax budget.
+        let big = arm.num("requests").unwrap_or(0.0) >= OBS_STRICT_ARM_REQUESTS;
+        let budget = if strict && big {
+            OBS_OVERHEAD_BUDGET
+        } else {
+            OBS_OVERHEAD_BUDGET_QUICK
+        };
+        c.require(
+            finite_positive(arm.num("wall_off_s")) && finite_positive(arm.num("wall_on_s")),
+            "wall clocks must be positive",
+        )?;
+        c.require(
+            finite_positive(arm.num("events_observed")),
+            "plane must have observed events",
+        )?;
+        let overhead = arm.num("overhead_fraction").unwrap_or(f64::INFINITY);
+        c.require(
+            overhead <= budget,
+            &format!("streaming overhead {overhead:.4} exceeds the {budget:.2} budget"),
+        )?;
+    }
+    if let Some(sketch) = root.get("sketch") {
+        let alpha = sketch.num("alpha").unwrap_or(0.0);
+        c.require(alpha > 0.0 && alpha < 1.0, "sketch alpha must be in (0, 1)")?;
+        for (k, v) in sketch.as_object().unwrap_or_default() {
+            if k.ends_with("_err_rel") {
+                let e = v.as_number().unwrap_or(f64::INFINITY);
+                c.require(
+                    e <= alpha + 1e-9,
+                    &format!("{k} {e:.6} exceeds the configured bound {alpha}"),
+                )?;
+            }
+        }
+    }
+    if let Some(p) = root.get("profiler") {
+        c.require(
+            finite_positive(p.num("chrome_slices")),
+            "profiler must export at least one slice",
+        )?;
+    }
+    Ok(())
+}
+
+/// Extracts the deterministic (simulated-time) metrics of an artifact.
+/// Wall-clock figures are deliberately absent: they move with the machine,
+/// not the code under test.
+pub fn metrics_of(stem: &str, root: &Value) -> Vec<Metric> {
+    let mut out = Vec::new();
+    let mut push = |name: String, value: Option<f64>, better: Better| {
+        if let Some(v) = value {
+            if v.is_finite() {
+                out.push(Metric {
+                    name,
+                    value: v,
+                    better,
+                });
+            }
+        }
+    };
+    let arms = root
+        .get("arms")
+        .and_then(Value::as_array)
+        .unwrap_or_default();
+    match stem {
+        "BENCH_net" => {
+            for a in arms {
+                let label = format!(
+                    "flows{}_{}",
+                    a.num("flows").unwrap_or(0.0),
+                    a.get("precision").and_then(Value::as_str).unwrap_or("?")
+                );
+                push(
+                    format!("{label}.mean_transfer_s"),
+                    a.num("mean_transfer_s"),
+                    Better::Lower,
+                );
+                push(
+                    format!("{label}.max_transfer_s"),
+                    a.num("max_transfer_s"),
+                    Better::Lower,
+                );
+            }
+        }
+        "BENCH_fault" => {
+            for a in arms {
+                let label = format!(
+                    "{}_x{}_{}",
+                    a.get("role").and_then(Value::as_str).unwrap_or("?"),
+                    a.num("slowdown").unwrap_or(0.0),
+                    if a.get("mitigated").and_then(Value::as_bool) == Some(true) {
+                        "mitigated"
+                    } else {
+                        "raw"
+                    }
+                );
+                push(
+                    format!("{label}.p99_ttft_s"),
+                    a.num("p99_ttft_s"),
+                    Better::Lower,
+                );
+                push(
+                    format!("{label}.p99_e2e_s"),
+                    a.num("p99_e2e_s"),
+                    Better::Lower,
+                );
+                push(
+                    format!("{label}.shed_rate"),
+                    a.num("shed_rate"),
+                    Better::Lower,
+                );
+            }
+        }
+        "BENCH_mm" => {
+            for a in arms {
+                let label = a.get("arm").and_then(Value::as_str).unwrap_or("?");
+                push(
+                    format!("{label}.weighted_attainment"),
+                    a.num("weighted_attainment"),
+                    Better::Higher,
+                );
+                push(
+                    format!("{label}.cost_per_hour"),
+                    a.num("cost_per_hour"),
+                    Better::Lower,
+                );
+            }
+        }
+        "BENCH_autoscale" => {
+            push("gap_points".into(), root.num("gap_points"), Better::Lower);
+            push(
+                "saving_fraction".into(),
+                root.num("saving_fraction"),
+                Better::Higher,
+            );
+            for a in arms {
+                let label = a.get("arm").and_then(Value::as_str).unwrap_or("?");
+                push(
+                    format!("{label}.attainment"),
+                    a.num("attainment"),
+                    Better::Higher,
+                );
+                push(
+                    format!("{label}.total_cost"),
+                    a.num("total_cost"),
+                    Better::Lower,
+                );
+            }
+        }
+        "BENCH_obs" => {
+            if let Some(sketch) = root.get("sketch") {
+                for (k, v) in sketch.as_object().unwrap_or_default() {
+                    if k.ends_with("_err_rel") {
+                        push(format!("sketch.{k}"), v.as_number(), Better::Lower);
+                    }
+                }
+            }
+        }
+        // BENCH_sim / BENCH_scheduler record wall-clock throughput only.
+        _ => {}
+    }
+    out
+}
+
+/// Compares a fresh artifact against the committed one: every deterministic
+/// metric present in the committed file must not regress by more than
+/// [`REGRESSION_TOLERANCE`] in its worse direction, and must still exist.
+///
+/// Returns human-readable regression descriptions (empty = pass).
+///
+/// # Errors
+/// Returns a parse error if either document is malformed.
+pub fn compare(stem: &str, committed: &str, fresh: &str) -> Result<Vec<String>, String> {
+    let committed = metrics_of(
+        stem,
+        &json::parse(committed).map_err(|e| format!("{stem}: {e}"))?,
+    );
+    let fresh_root = json::parse(fresh).map_err(|e| format!("{stem} (fresh): {e}"))?;
+    let fresh = metrics_of(stem, &fresh_root);
+    let mut regressions = Vec::new();
+    for m in &committed {
+        let Some(f) = fresh.iter().find(|f| f.name == m.name) else {
+            regressions.push(format!("{stem}: {} disappeared from the fresh run", m.name));
+            continue;
+        };
+        let bad = match m.better {
+            Better::Higher => f.value < m.value * (1.0 - REGRESSION_TOLERANCE) - 1e-9,
+            Better::Lower => f.value > m.value * (1.0 + REGRESSION_TOLERANCE) + 1e-9,
+        };
+        if bad {
+            let mut s = String::new();
+            let _ = write!(
+                s,
+                "{stem}: {} regressed {:.6} -> {:.6} (tolerance {:.0}%)",
+                m.name,
+                m.value,
+                f.value,
+                REGRESSION_TOLERANCE * 100.0
+            );
+            regressions.push(s);
+        }
+    }
+    Ok(regressions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_handles_the_committed_shapes() {
+        let v =
+            json::parse(r#"{"a": [1, 2.5, -3e-2], "b": {"s": "x\n\"y\"", "t": true, "n": null}}"#)
+                .unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(
+            v.get("b").unwrap().get("s").unwrap().as_str(),
+            Some("x\n\"y\"")
+        );
+        assert_eq!(v.get("b").unwrap().num("n"), None);
+        assert!(json::parse("{\"a\": }").is_err());
+        assert!(json::parse("[1, 2] trailing").is_err());
+    }
+
+    #[test]
+    fn sim_floors_trip() {
+        let ok = r#"{"arms": [{"requests": 100000, "replicas": 64,
+            "wall_clock_s": 0.2, "events_per_sec": 1e6,
+            "speedup_events_per_sec": 6.0}]}"#;
+        check("BENCH_sim", ok, true).unwrap();
+        let slow = ok.replace("6.0", "4.0");
+        assert!(check("BENCH_sim", &slow, true).is_err(), "5x floor");
+        check("BENCH_sim", &slow, false).unwrap();
+        let broken = ok.replace("6.0", "0.5");
+        assert!(check("BENCH_sim", &broken, false).is_err(), "parity floor");
+    }
+
+    #[test]
+    fn obs_overhead_budget_trips() {
+        let mk = |ov: f64| {
+            format!(
+                r#"{{"arms": [{{"requests": 100000, "wall_off_s": 1.0, "wall_on_s": {},
+                   "events_observed": 100, "overhead_fraction": {ov}}}],
+                   "sketch": {{"alpha": 0.01, "p99_ttft_err_rel": 0.004}},
+                   "profiler": {{"chrome_slices": 3}}}}"#,
+                1.0 + ov
+            )
+        };
+        check("BENCH_obs", &mk(0.03), true).unwrap();
+        assert!(check("BENCH_obs", &mk(0.08), true).is_err());
+        check("BENCH_obs", &mk(0.08), false).unwrap();
+        // Smoke arms (below the strict-arm size) get the lax budget even
+        // in strict mode.
+        check("BENCH_obs", &mk(0.08).replace("100000", "10000"), true).unwrap();
+        let bad_sketch = mk(0.01).replace("0.004", "0.02");
+        assert!(check("BENCH_obs", &bad_sketch, true).is_err());
+    }
+
+    #[test]
+    fn compare_flags_deterministic_regressions_only() {
+        let committed = r#"{"gap_points": 2.0, "saving_fraction": 0.6,
+            "arms": [{"arm": "elastic", "attainment": 0.97, "total_cost": 100.0}]}"#;
+        let same = compare("BENCH_autoscale", committed, committed).unwrap();
+        assert!(same.is_empty(), "{same:?}");
+        let worse = committed
+            .replace("\"attainment\": 0.97", "\"attainment\": 0.5")
+            .replace("\"total_cost\": 100.0", "\"total_cost\": 130.0");
+        let regs = compare("BENCH_autoscale", committed, &worse).unwrap();
+        assert_eq!(regs.len(), 2, "{regs:?}");
+        // Within tolerance: no flag.
+        let slight = committed.replace("\"total_cost\": 100.0", "\"total_cost\": 110.0");
+        assert!(compare("BENCH_autoscale", committed, &slight)
+            .unwrap()
+            .is_empty());
+        // A vanished metric is a regression.
+        let gone = r#"{"gap_points": 2.0, "saving_fraction": 0.6, "arms": []}"#;
+        assert!(!compare("BENCH_autoscale", committed, gone)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn fault_recovery_invariant_trips() {
+        let ok = r#"{"arms": [
+            {"role": "prefill", "slowdown": 8, "mitigated": false,
+             "p99_ttft_s": 20.0, "p99_e2e_s": 25.0, "shed_rate": 0.0, "hedges": 0},
+            {"role": "prefill", "slowdown": 8, "mitigated": true,
+             "p99_ttft_s": 3.0, "p99_e2e_s": 6.0, "shed_rate": 0.0, "hedges": 7}]}"#;
+        check("BENCH_fault", ok, true).unwrap();
+        let inverted = ok.replace("\"p99_ttft_s\": 3.0", "\"p99_ttft_s\": 30.0");
+        assert!(check("BENCH_fault", &inverted, true).is_err());
+        // The mechanism must actually have fired on the mitigated arm.
+        let inert = ok.replace("\"hedges\": 7", "\"hedges\": 0");
+        assert!(check("BENCH_fault", &inert, true).is_err());
+    }
+}

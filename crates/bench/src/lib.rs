@@ -13,6 +13,7 @@
 //! ```
 
 pub mod exps;
+pub mod gate;
 pub mod harness;
 pub mod table;
 pub mod trace_demo;

@@ -5,11 +5,13 @@
 //! exercised in CI.
 
 use ts_cluster::presets;
+use ts_common::SloSpec;
 use ts_common::{
     DeploymentPlan, GpuId, GroupSpec, ModelSpec, ParallelConfig, Phase, RoutingMatrix, SimDuration,
     SimTime, StageSpec,
 };
 use ts_sim::{FaultKind, FaultScript, Metrics, SimConfig, Simulation, TimedFault, TraceLog};
+use ts_telemetry::{StreamConfig, StreamSnapshot};
 use ts_workload::{generator::generate, spec};
 
 /// Everything the demo run produces.
@@ -18,8 +20,23 @@ pub struct TraceDemo {
     pub metrics: Metrics,
     /// The finalized event log.
     pub log: TraceLog,
+    /// Streaming-plane snapshot of the same run: online sketches, EWMA
+    /// gauges and SLO burn-rate signals, exportable as Prometheus text
+    /// ([`ts_telemetry::render_prometheus`]) or JSON
+    /// ([`StreamSnapshot::to_json`]).
+    pub stream: StreamSnapshot,
     /// Requests served.
     pub num_requests: usize,
+}
+
+/// The demo's nominal SLO, used by the streaming plane's burn monitors. The
+/// link fault pushes the tail past it, so the demo shows a burn episode.
+pub fn demo_slo() -> SloSpec {
+    SloSpec::new(
+        SimDuration::from_secs(2),
+        SimDuration::from_millis(100),
+        SimDuration::from_secs(20),
+    )
 }
 
 /// 4xA40 prefill + two 2x3090Ti decode replicas on a slow (5 Gbps) fabric,
@@ -82,16 +99,23 @@ pub fn run(quick: bool) -> TraceDemo {
     let mut sim = Simulation::new(
         &cluster,
         &plan,
-        cfg.with_network_contention(true).with_telemetry(true),
+        cfg.with_network_contention(true)
+            .with_telemetry(true)
+            .with_streaming(StreamConfig::new(demo_slo())),
     )
     .expect("demo scenario must build");
     let metrics = sim
         .run_with_faults(&reqs, &script)
         .expect("demo scenario must run");
     let log = sim.take_trace().expect("telemetry was enabled");
+    let stream = sim
+        .take_streaming()
+        .expect("streaming was enabled")
+        .snapshot();
     TraceDemo {
         metrics,
         log,
+        stream,
         num_requests: reqs.len(),
     }
 }
@@ -133,5 +157,12 @@ mod tests {
         let json = ts_telemetry::chrome::export(&demo.log);
         let stats = ts_telemetry::validate_chrome_trace(&json).expect("valid Chrome trace");
         assert!(stats.events > 0);
+        // The streaming snapshot ties out and exports cleanly.
+        assert_eq!(
+            demo.stream.totals.finished as usize,
+            demo.metrics.num_completed()
+        );
+        let prom = ts_telemetry::render_prometheus(&demo.stream);
+        ts_telemetry::validate_exposition(&prom).expect("valid exposition");
     }
 }

@@ -1,0 +1,60 @@
+//! Every committed `BENCH_*.json` artifact must satisfy the shared gate's
+//! structural and qualitative invariants — the same checks `bench_gate`
+//! runs in CI — and self-compare cleanly through the regression detector.
+
+use ts_bench::gate;
+
+const STEMS: &[&str] = &[
+    "BENCH_scheduler",
+    "BENCH_net",
+    "BENCH_sim",
+    "BENCH_fault",
+    "BENCH_mm",
+    "BENCH_autoscale",
+    "BENCH_obs",
+];
+
+fn committed(stem: &str) -> String {
+    let path = format!("{}/../../{stem}.json", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path} must be committed: {e}"))
+}
+
+/// The committed artifacts hold under the *strict* gate (timing budgets
+/// included): strictness applies to the recorded values, not to this
+/// machine, so the check is deterministic wherever it runs.
+#[test]
+fn committed_artifacts_pass_the_strict_gate() {
+    for stem in STEMS {
+        let report =
+            gate::check(stem, &committed(stem), true).unwrap_or_else(|e| panic!("{stem}: {e}"));
+        assert!(report.checks > 0, "{stem}: gate checked nothing");
+    }
+}
+
+/// Self-comparison must report no regressions, and every artifact with
+/// tracked deterministic metrics must actually surface them.
+#[test]
+fn committed_artifacts_self_compare_clean() {
+    let mut tracked = 0;
+    for stem in STEMS {
+        let text = committed(stem);
+        let regressions = gate::compare(stem, &text, &text).unwrap();
+        assert!(regressions.is_empty(), "{stem}: {regressions:?}");
+        let root = gate::json::parse(&text).unwrap();
+        tracked += gate::metrics_of(stem, &root).len();
+    }
+    assert!(tracked >= 50, "expected a rich metric set, got {tracked}");
+}
+
+/// A doctored artifact (worse deterministic metric) trips the comparison.
+#[test]
+fn regression_detector_trips_on_worse_values() {
+    let text = committed("BENCH_obs");
+    let worse = text.replace("\"p99_ttft_err_rel\": 0.00", "\"p99_ttft_err_rel\": 0.90");
+    assert_ne!(text, worse, "fixture must actually change");
+    let regressions = gate::compare("BENCH_obs", &text, &worse).unwrap();
+    assert!(
+        !regressions.is_empty(),
+        "a 0.9 relative error must register as a regression"
+    );
+}

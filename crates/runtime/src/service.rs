@@ -33,7 +33,7 @@ use ts_costmodel::replica::{ReplicaCostModel, DISK_BANDWIDTH};
 use ts_sim::engine::Simulation;
 use ts_sim::fault::{FaultKind, FaultScript, TimedFault};
 use ts_sim::metrics::Metrics;
-use ts_telemetry::TraceLog;
+use ts_telemetry::{StreamConfig, StreamSnapshot, TraceLog};
 use ts_workload::{WorkloadProfiler, WorkloadSpec};
 
 use crate::heartbeat::HeartbeatMonitor;
@@ -60,6 +60,11 @@ pub struct SegmentReport {
     /// telemetry mode with [`ServingRuntime::set_telemetry`] (the autoscale
     /// controller reads queue-depth and occupancy series from it).
     pub trace: Option<TraceLog>,
+    /// Streaming-plane snapshot of the segment, present when streaming
+    /// observation was enabled with [`ServingRuntime::set_streaming`]:
+    /// online TTFT/E2E sketches, EWMA pressure gauges and per-tenant SLO
+    /// burn-rate health signals, without retaining the full trace.
+    pub stream: Option<StreamSnapshot>,
 }
 
 /// Heartbeat timeout for the runtime's *persistent* fleet-membership
@@ -94,6 +99,9 @@ pub struct ServingRuntime {
     /// Whether segments run with telemetry and hand their [`TraceLog`] back
     /// in the [`SegmentReport`].
     telemetry: bool,
+    /// When set, segments run with the streaming observability plane and
+    /// hand its [`StreamSnapshot`] back in the [`SegmentReport`].
+    streaming: Option<StreamConfig>,
     /// Log of rescheduling outcomes for reporting (Table 4).
     pub resched_log: Vec<(ReschedulePolicy, RescheduleOutcome)>,
 }
@@ -135,6 +143,7 @@ impl ServingRuntime {
             heartbeat,
             clock: SimTime::ZERO,
             telemetry: false,
+            streaming: None,
             resched_log: Vec::new(),
         }
     }
@@ -145,6 +154,15 @@ impl ServingRuntime {
     /// serving outputs stay bit-identical either way.
     pub fn set_telemetry(&mut self, on: bool) {
         self.telemetry = on;
+    }
+
+    /// Enables (or disables, with `None`) the streaming observability plane
+    /// for subsequent segments. When on, segment reports carry a
+    /// [`StreamSnapshot`] with online quantile sketches and SLO burn-rate
+    /// signals. Like telemetry, streaming observes only; serving outputs
+    /// stay bit-identical either way.
+    pub fn set_streaming(&mut self, cfg: Option<StreamConfig>) {
+        self.streaming = cfg;
     }
 
     /// The current plan, if deployed.
@@ -228,16 +246,28 @@ impl ServingRuntime {
         for r in requests {
             self.profiler.observe(*r);
         }
-        let cfg = sim_config(&self.model, &self.scheduler_cfg).with_telemetry(self.telemetry);
+        let cfg = self.segment_cfg();
         let mut sim = Simulation::new(&self.cluster, plan, cfg)?;
         let metrics = sim.run(&adjusted)?;
         let trace = sim.take_trace();
+        let stream = sim.take_streaming().map(|p| p.snapshot());
         self.tick(metrics.horizon());
         Ok(SegmentReport {
             metrics,
             blackout,
             trace,
+            stream,
         })
+    }
+
+    /// The per-segment engine config: observation knobs applied on top of
+    /// the scheduler-derived base.
+    fn segment_cfg(&self) -> ts_sim::SimConfig {
+        let mut cfg = sim_config(&self.model, &self.scheduler_cfg).with_telemetry(self.telemetry);
+        if let Some(sc) = &self.streaming {
+            cfg = cfg.with_streaming(sc.clone());
+        }
+        cfg
     }
 
     /// Serves one segment while availability `events` strike **mid-flight**:
@@ -323,10 +353,11 @@ impl ServingRuntime {
             }
         }
 
-        let cfg = sim_config(&self.model, &self.scheduler_cfg).with_telemetry(self.telemetry);
+        let cfg = self.segment_cfg();
         let mut sim = Simulation::new(&self.cluster, plan, cfg)?;
         let metrics = sim.run_with_faults(&adjusted, &script)?;
         let trace = sim.take_trace();
+        let stream = sim.take_streaming().map(|p| p.snapshot());
 
         // Replay node-level events through a heartbeat monitor to decide
         // what the coordinator actually *detected*: healthy nodes beat at
@@ -446,6 +477,7 @@ impl ServingRuntime {
             metrics,
             blackout,
             trace,
+            stream,
         })
     }
 
@@ -663,6 +695,32 @@ mod tests {
             reqs.len()
         );
         assert!(rep.blackout.is_zero());
+    }
+
+    #[test]
+    fn streaming_segments_carry_snapshots_without_changing_metrics() {
+        let w = spec::coding(2.0);
+        let reqs = generate(&w, SimDuration::from_secs(60), 1);
+        let mut plain = runtime();
+        plain.deploy(&w).unwrap();
+        let base = plain.serve_segment(&reqs).unwrap();
+        assert!(base.stream.is_none(), "streaming defaults off");
+
+        let mut rt = runtime();
+        rt.deploy(&w).unwrap();
+        rt.set_streaming(Some(StreamConfig::new(slo())));
+        let rep = rt.serve_segment(&reqs).unwrap();
+        let snap = rep.stream.expect("streaming was enabled");
+        assert_eq!(
+            snap.totals.finished as usize,
+            rep.metrics.num_completed(),
+            "plane counters must tie out with segment metrics"
+        );
+        assert!(snap.ttft.count() > 0);
+        assert_eq!(
+            rep.metrics, base.metrics,
+            "streaming observation must not change serving outputs"
+        );
     }
 
     #[test]

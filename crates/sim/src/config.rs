@@ -133,6 +133,21 @@ pub struct SimConfig {
     /// against; straggler detection (which samples per-step timings)
     /// disables coalescing on its own.
     pub decode_coalescing: bool,
+    /// Streaming observability plane: when set, the engine folds every
+    /// trace event into an online [`ts_telemetry::StreamingPlane`]
+    /// (quantile sketches, fixed-window counters, SLO burn-rate monitors)
+    /// retrievable after the run via the engines' `take_streaming()`.
+    /// Independent of [`SimConfig::telemetry`]: either, both or neither
+    /// may be on. `None` (the default) does no streaming work; like the
+    /// recorder, the plane only observes, so enabling it keeps simulation
+    /// results bit-identical (the golden-digest suite pins this).
+    pub streaming: Option<ts_telemetry::StreamConfig>,
+    /// Burn-rate-gated hedging: when true (and [`SimConfig::hedge_timeout`]
+    /// and [`SimConfig::streaming`] are both set), hedged duplicates are
+    /// only launched while the streaming plane's health signal is degraded
+    /// (`Warning` or worse) — spending the duplicate-work budget only when
+    /// the SLO is actually burning. Off by default; off is bit-identical.
+    pub burn_gated_hedging: bool,
 }
 
 /// Prefill queue discipline.
@@ -178,6 +193,8 @@ impl SimConfig {
             deadline_scale: 1.0,
             fault_seed: 0x7453_4752_4159,
             decode_coalescing: true,
+            streaming: None,
+            burn_gated_hedging: false,
         }
     }
 
@@ -350,6 +367,22 @@ impl SimConfig {
     /// compatibility path).
     pub fn with_decode_coalescing(mut self, on: bool) -> Self {
         self.decode_coalescing = on;
+        self
+    }
+
+    /// Returns a copy with the streaming observability plane enabled under
+    /// the given configuration (see [`SimConfig::streaming`]).
+    pub fn with_streaming(mut self, stream: ts_telemetry::StreamConfig) -> Self {
+        self.streaming = Some(stream);
+        self
+    }
+
+    /// Returns a copy with burn-rate-gated hedging enabled or disabled
+    /// (see [`SimConfig::burn_gated_hedging`]; requires both
+    /// [`SimConfig::with_hedging`] and [`SimConfig::with_streaming`] to
+    /// have any effect).
+    pub fn with_burn_gated_hedging(mut self, on: bool) -> Self {
+        self.burn_gated_hedging = on;
         self
     }
 }

@@ -97,6 +97,20 @@ impl<'a> Simulation<'a> {
         self.driver.take_trace()
     }
 
+    /// Takes the streaming observability plane accumulated over the run
+    /// (online sketches, window counters, burn monitors). Returns `None`
+    /// unless the simulation was built with [`SimConfig::with_streaming`]
+    /// (or if the plane was already taken).
+    pub fn take_streaming(&mut self) -> Option<Box<ts_telemetry::StreamingPlane>> {
+        self.driver.take_streaming()
+    }
+
+    /// Read access to the live streaming plane, `None` unless
+    /// [`SimConfig::with_streaming`] was set.
+    pub fn streaming(&self) -> Option<&ts_telemetry::StreamingPlane> {
+        self.driver.streaming()
+    }
+
     /// Total number of discrete events dispatched so far (across every run
     /// on this simulation). The benchmark harness divides by wall time for
     /// an events/sec figure.

@@ -68,7 +68,9 @@ use ts_costmodel::replica::{kv_route_legs, kv_transfer_time, KvRouteLeg, KvRoute
 use ts_costmodel::{DecodeStageSeries, DecodeStepSeries, ReplicaCostModel};
 use ts_kvcache::codec::KvCodec;
 use ts_net::{FlowEstimate, FlowFabric, FlowPoll};
-use ts_telemetry::{Recorder, Role, TraceEvent, TraceKind, TraceLog, TraceSink};
+use ts_telemetry::{
+    HealthState, Recorder, Role, StreamingPlane, TraceEvent, TraceKind, TraceLog, TraceSink,
+};
 
 /// An in-flight KV transfer (completion events carry an attempt number so
 /// superseded attempts are ignored).
@@ -136,6 +138,12 @@ pub(crate) struct Core {
     /// it never schedules events, draws randomness or mutates simulation
     /// state, so the `None` path stays bit-identical.
     trace: Option<Recorder>,
+    /// Streaming observability plane; `Some` iff [`SimConfig::streaming`]
+    /// is set. Fed the same event stream as the recorder but folds it
+    /// online (sketches, windows, burn monitors) instead of buffering.
+    /// Boxed: the plane is a few hundred bytes of aggregation state that
+    /// would otherwise bloat every `Core` on the stack.
+    stream: Option<Box<StreamingPlane>>,
     /// Gray-failure state, indexed by *host*: prefill replicas first, then
     /// decode replicas (colocated: the replica index). The RNG is drawn
     /// from only when a gray fault or a jitter knob is active, so the
@@ -731,6 +739,21 @@ impl Driver {
             }
         }
         Some(rec.finish())
+    }
+
+    /// Takes the streaming observability plane (sketches, windows, burn
+    /// monitors) accumulated over the run; `None` when
+    /// [`SimConfig::streaming`] is off. The plane's window clock stops at
+    /// the last observed event — call
+    /// [`StreamingPlane::advance_to`] to close windows out to a horizon.
+    pub fn take_streaming(&mut self) -> Option<Box<StreamingPlane>> {
+        self.core.stream.take()
+    }
+
+    /// Read access to the live streaming plane mid-run, `None` when
+    /// [`SimConfig::streaming`] is off.
+    pub fn streaming(&self) -> Option<&StreamingPlane> {
+        self.core.stream.as_deref()
     }
 
     /// Split topology or an "event kind in wrong engine" error.
@@ -1402,6 +1425,13 @@ impl Driver {
 impl Core {
     fn new(cfg: SimConfig, router: StrideRouter, prefill_hosts: usize, total_hosts: usize) -> Self {
         let trace = cfg.telemetry.then(Recorder::new);
+        let stream = cfg.streaming.clone().map(|sc| {
+            let mut plane = StreamingPlane::new(sc);
+            for m in &cfg.models {
+                plane.register_tenant(m.id, m.slo);
+            }
+            Box::new(plane)
+        });
         let gray = GrayState::new(cfg.fault_seed, prefill_hosts, total_hosts);
         let track_models = !cfg.models.is_empty();
         Core {
@@ -1420,6 +1450,7 @@ impl Core {
             recovery: RecoveryCounters::default(),
             affected: Vec::new(),
             trace,
+            stream,
             gray,
             track_models,
             model_losses: HashMap::new(),
@@ -1497,6 +1528,7 @@ impl Core {
 
 /// Records a trace event at the current simulation time; a single-branch
 /// no-op when telemetry is off.
+#[inline]
 fn trace(core: &mut Core, kind: TraceKind) {
     let at = core.now;
     trace_at(core, at, kind);
@@ -1504,10 +1536,48 @@ fn trace(core: &mut Core, kind: TraceKind) {
 
 /// Records a trace event stamped at `at`, which may lie in the future (a
 /// KV wire start scheduled behind a busy uplink); the recorder re-sorts by
-/// timestamp at finalization.
+/// timestamp at finalization, while the streaming plane folds in event
+/// order (its window clock advances on a high-water mark, so a future
+/// stamp just opens the window early — deterministically).
+#[inline]
 fn trace_at(core: &mut Core, at: SimTime, kind: TraceKind) {
+    if let Some(plane) = core.stream.as_mut() {
+        plane.observe(at, &kind);
+    }
     if let Some(rec) = core.trace.as_mut() {
         rec.record(TraceEvent { at, kind });
+    }
+}
+
+/// Whether any event consumer (trace recorder or streaming plane) is
+/// attached — the gate instrumented hot paths check before doing
+/// observation-only work (retroactive decode materialization, queue-depth
+/// samples, per-batch byte accounting).
+fn observing(core: &Core) -> bool {
+    core.trace.is_some() || core.stream.is_some()
+}
+
+/// Whether the full trace recorder is attached. Emission sites whose
+/// events the streaming plane ignores (prefill-start markers, KV wire
+/// byte accounting, stall markers) gate on this instead of [`observing`],
+/// so a streaming-only run skips constructing them entirely — part of
+/// keeping the plane's overhead within the committed `BENCH_obs.json`
+/// budget.
+fn tracing(core: &Core) -> bool {
+    core.trace.is_some()
+}
+
+/// Whether burn-gated hedging currently *suppresses* a hedge launch: the
+/// knob is on and the streaming plane (if any) reports fully healthy SLO
+/// burn. With the knob off (the default) hedging behaviour is untouched
+/// and bit-identical.
+fn hedge_suppressed(core: &Core) -> bool {
+    if !core.cfg.burn_gated_hedging {
+        return false;
+    }
+    match core.stream.as_deref() {
+        Some(plane) => plane.global_signal().state == HealthState::Healthy,
+        None => false,
     }
 }
 
@@ -1530,7 +1600,7 @@ fn reject_request(core: &mut Core, key: SlabKey) {
 
 fn stall_or_shed(core: &mut Core, job: PrefillJob) {
     if core.stalled.len() < core.cfg.shed_threshold {
-        if core.trace.is_some() {
+        if tracing(core) {
             let rid = core.reqs[job.key].req.id;
             trace(core, TraceKind::Stalled { request: rid });
         }
@@ -1729,7 +1799,7 @@ fn split_maybe_start_prefill(core: &mut Core, s: &mut SplitState, i: usize) {
         let avg = total / batch.len() as u64;
         (batch, total, avg)
     };
-    if core.trace.is_some() {
+    if tracing(core) {
         for job in &batch {
             // A hedge ghost (its request already resolved) prefills without
             // a slab entry; it has no id to trace.
@@ -1746,6 +1816,8 @@ fn split_maybe_start_prefill(core: &mut Core, s: &mut SplitState, i: usize) {
                 );
             }
         }
+    }
+    if observing(core) {
         let depth = p.queue.queue.len();
         trace(
             core,
@@ -1924,7 +1996,7 @@ fn split_launch_transfer(
         first_attempt = true;
     }
     st.transfer = Some(transfer);
-    if first_attempt && core.trace.is_some() {
+    if first_attempt && tracing(core) {
         // The byte count is sized like the fabric's flow (whole route,
         // configured wire precision); computed only under telemetry.
         let (_, _, layers) = s.flow_routes[transfer.from][transfer.to];
@@ -2662,7 +2734,7 @@ fn split_catch_up_all_decodes(core: &mut Core, s: &mut SplitState) {
 /// the remaining gaps share one maximum; with telemetry on each boundary
 /// replays individually to emit its retroactive trace events.
 fn split_materialize(core: &mut Core, s: &mut SplitState, j: usize, m: usize) {
-    if core.trace.is_none() {
+    if !observing(core) {
         let d = &mut s.decodes[j];
         let plan = d.plan.as_mut().expect("materialize without plan");
         debug_assert!(m < plan.steps.len(), "materializing the final boundary");
@@ -3021,6 +3093,9 @@ fn split_on_hedge_check(core: &mut Core, s: &mut SplitState, request: SlabKey) {
     if p.kv_done_at.is_some() || p.hedge.is_some() {
         return;
     }
+    if hedge_suppressed(core) {
+        return; // SLO budget not burning: keep the duplicate-work budget
+    }
     if p.kv_launched {
         split_hedge_transfer(core, s, request);
     } else {
@@ -3234,7 +3309,7 @@ fn colo_maybe_start_work(core: &mut Core, c: &mut ColoState, ri: usize) {
             // Whole-request batch up to the token budget, under the
             // configured queue discipline (FCFS by default).
             let (batch, total) = r.prefill.take_batch(budget, core.cfg.prefill_policy);
-            if core.trace.is_some() {
+            if tracing(core) {
                 for job in &batch {
                     let Some(st) = core.reqs.get(job.key) else {
                         continue;
@@ -3250,6 +3325,8 @@ fn colo_maybe_start_work(core: &mut Core, c: &mut ColoState, ri: usize) {
                         },
                     );
                 }
+            }
+            if observing(core) {
                 let depth = r.prefill.queue.len();
                 trace(
                     core,
@@ -3278,7 +3355,7 @@ fn colo_maybe_start_work(core: &mut Core, c: &mut ColoState, ri: usize) {
             // Process up to chunk_tokens of the queue head(s); requests
             // whose prompts finish within this chunk complete prefill.
             let (finishing, tokens) = r.prefill.take_chunk(chunk_tokens);
-            if core.trace.is_some() {
+            if tracing(core) {
                 for job in &finishing {
                     let Some(st) = core.reqs.get(job.key) else {
                         continue;
@@ -3294,6 +3371,8 @@ fn colo_maybe_start_work(core: &mut Core, c: &mut ColoState, ri: usize) {
                         },
                     );
                 }
+            }
+            if observing(core) {
                 let depth = r.prefill.queue.len();
                 trace(
                     core,

@@ -1,0 +1,244 @@
+//! Multi-window SLO burn-rate monitors.
+//!
+//! Prometheus-alerting style: an SLO with attainment target `t` has an
+//! error budget `1 - t`; the *burn rate* of a window is its observed
+//! miss fraction divided by that budget. A burn rate of 1 spends the
+//! budget exactly at the allowed pace; a sustained burn rate of 10 spends
+//! a month of budget in three days. Alerting on a **fast** and a **slow**
+//! window simultaneously (the classic multi-window multi-burn-rate rule)
+//! keeps the monitor both responsive and resistant to blips: the fast
+//! window alone only warns, both together escalate to critical.
+//!
+//! The monitor is fed per fixed window by the streaming plane
+//! ([`crate::StreamingPlane`]) and is fully deterministic: no wall clock,
+//! no decay — just ring buffers of integer good/bad counts.
+
+use std::collections::VecDeque;
+
+use ts_common::ModelId;
+
+/// Health state distilled from the two burn windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthState {
+    /// Neither window is burning above the threshold.
+    Healthy,
+    /// The fast window burns hot but the slow window does not (a blip, or
+    /// the very start of an incident).
+    Warning,
+    /// Both windows burn above the threshold: the error budget is being
+    /// spent at an unsustainable pace right now *and* has been for a while.
+    Critical,
+}
+
+/// One tenant's (or the fleet-wide) burn-rate reading.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthSignal {
+    /// The tenant this signal describes; `None` is the fleet-wide signal.
+    pub tenant: Option<ModelId>,
+    /// Burn rate over the fast window (miss rate / error budget).
+    pub fast_burn: f64,
+    /// Burn rate over the slow window.
+    pub slow_burn: f64,
+    /// Requests judged over the slow window (good + bad).
+    pub samples: u64,
+    /// The distilled state.
+    pub state: HealthState,
+}
+
+/// Ring of per-window `(good, bad)` counts plus the open window's tally.
+#[derive(Debug, Clone)]
+struct BurnWindow {
+    ring: VecDeque<(u64, u64)>,
+    capacity: usize,
+}
+
+impl BurnWindow {
+    fn new(capacity: usize) -> Self {
+        BurnWindow {
+            ring: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    fn push(&mut self, good: u64, bad: u64) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back((good, bad));
+    }
+
+    /// `(good, bad)` totals over the ring plus the open window's counts.
+    fn totals(&self, open: (u64, u64)) -> (u64, u64) {
+        let (mut g, mut b) = open;
+        for &(rg, rb) in &self.ring {
+            g += rg;
+            b += rb;
+        }
+        (g, b)
+    }
+}
+
+/// A multi-window burn-rate monitor over one SLO.
+#[derive(Debug, Clone)]
+pub struct BurnMonitor {
+    /// Error budget: `1 - attainment target`.
+    budget: f64,
+    /// Burn-rate threshold above which a window counts as burning.
+    threshold: f64,
+    fast: BurnWindow,
+    slow: BurnWindow,
+    /// Counts of the currently open fixed window.
+    open_good: u64,
+    open_bad: u64,
+}
+
+impl BurnMonitor {
+    /// Creates a monitor for an SLO with the given attainment `target`
+    /// (e.g. 0.99), burning threshold, and window depths measured in fixed
+    /// streaming windows.
+    ///
+    /// # Panics
+    /// Panics unless `target` is in `(0, 1)`, `threshold` is positive, and
+    /// `0 < fast_windows <= slow_windows`.
+    pub fn new(target: f64, threshold: f64, fast_windows: usize, slow_windows: usize) -> Self {
+        assert!(
+            target > 0.0 && target < 1.0,
+            "attainment target must be in (0, 1), got {target}"
+        );
+        assert!(threshold > 0.0, "burn threshold must be positive");
+        assert!(
+            fast_windows > 0 && fast_windows <= slow_windows,
+            "window depths must satisfy 0 < fast ({fast_windows}) <= slow ({slow_windows})"
+        );
+        BurnMonitor {
+            budget: 1.0 - target,
+            threshold,
+            fast: BurnWindow::new(fast_windows),
+            slow: BurnWindow::new(slow_windows),
+            open_good: 0,
+            open_bad: 0,
+        }
+    }
+
+    /// Records one request outcome into the open window.
+    pub fn observe(&mut self, met_slo: bool) {
+        if met_slo {
+            self.open_good += 1;
+        } else {
+            self.open_bad += 1;
+        }
+    }
+
+    /// Closes the open fixed window, rolling its counts into both rings.
+    /// Called by the streaming plane exactly once per window boundary, so
+    /// rollover points are deterministic in simulated time.
+    pub fn roll_window(&mut self) {
+        self.fast.push(self.open_good, self.open_bad);
+        self.slow.push(self.open_good, self.open_bad);
+        self.open_good = 0;
+        self.open_bad = 0;
+    }
+
+    /// Burn rate of a `(good, bad)` total: miss fraction over budget, 0.0
+    /// with no samples.
+    fn burn(&self, (good, bad): (u64, u64)) -> f64 {
+        let n = good + bad;
+        if n == 0 {
+            return 0.0;
+        }
+        (bad as f64 / n as f64) / self.budget
+    }
+
+    /// The current reading. The open window participates in both rates so a
+    /// mid-window incident is visible before the boundary.
+    pub fn signal(&self, tenant: Option<ModelId>) -> HealthSignal {
+        let open = (self.open_good, self.open_bad);
+        let fast_burn = self.burn(self.fast.totals(open));
+        let slow_totals = self.slow.totals(open);
+        let slow_burn = self.burn(slow_totals);
+        let state = match (fast_burn >= self.threshold, slow_burn >= self.threshold) {
+            (true, true) => HealthState::Critical,
+            (true, false) | (false, true) => HealthState::Warning,
+            (false, false) => HealthState::Healthy,
+        };
+        HealthSignal {
+            tenant,
+            fast_burn,
+            slow_burn,
+            samples: slow_totals.0 + slow_totals.1,
+            state,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monitor() -> BurnMonitor {
+        // Target 0.9 → budget 0.1; threshold 2 → burning above a 20% miss
+        // rate; fast = 2 windows, slow = 5 windows.
+        BurnMonitor::new(0.9, 2.0, 2, 5)
+    }
+
+    #[test]
+    fn empty_monitor_is_healthy() {
+        let m = monitor();
+        let s = m.signal(None);
+        assert_eq!(s.state, HealthState::Healthy);
+        assert_eq!(s.fast_burn, 0.0);
+        assert_eq!(s.samples, 0);
+    }
+
+    #[test]
+    fn sustained_misses_escalate_to_critical() {
+        let mut m = monitor();
+        for _ in 0..5 {
+            for i in 0..10 {
+                m.observe(i >= 5); // 50% miss rate → burn 5
+            }
+            m.roll_window();
+        }
+        let s = m.signal(Some(ModelId(3)));
+        assert_eq!(s.state, HealthState::Critical);
+        assert_eq!(s.tenant, Some(ModelId(3)));
+        assert!((s.fast_burn - 5.0).abs() < 1e-9, "{}", s.fast_burn);
+        assert!((s.slow_burn - 5.0).abs() < 1e-9);
+        assert_eq!(s.samples, 50);
+    }
+
+    #[test]
+    fn a_blip_only_warns_and_then_clears() {
+        let mut m = monitor();
+        // Five healthy windows fill the slow ring...
+        for _ in 0..5 {
+            for _ in 0..100 {
+                m.observe(true);
+            }
+            m.roll_window();
+        }
+        // ...then one bad open window: fast (2-deep) burns, slow does not.
+        for _ in 0..100 {
+            m.observe(false);
+        }
+        let s = m.signal(None);
+        assert_eq!(s.state, HealthState::Warning, "{s:?}");
+        assert!(s.fast_burn >= 2.0 && s.slow_burn < 2.0);
+        // The blip ends; healthy windows push it out of the fast ring.
+        m.roll_window();
+        for _ in 0..2 {
+            for _ in 0..100 {
+                m.observe(true);
+            }
+            m.roll_window();
+        }
+        let s = m.signal(None);
+        assert!(s.fast_burn < 2.0, "fast ring must forget the blip: {s:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "window depths")]
+    fn fast_deeper_than_slow_rejected() {
+        let _ = BurnMonitor::new(0.9, 2.0, 6, 5);
+    }
+}

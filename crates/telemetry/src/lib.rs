@@ -23,16 +23,26 @@
 //!    busy uplink); [`Recorder::finish`] stably sorts by timestamp so every
 //!    consumer sees a monotone log.
 
+pub mod burn;
 pub mod chrome;
 pub mod event;
 pub mod log;
+pub mod profile;
+pub mod prom;
 pub mod search;
 pub mod series;
 pub mod sink;
+pub mod sketch;
+pub mod stream;
 
+pub use burn::{BurnMonitor, HealthSignal, HealthState};
 pub use chrome::{validate_chrome_trace, ChromeTraceStats};
 pub use event::{LinkKind, Role, ScaleKind, TraceEvent, TraceKind};
 pub use log::{RequestSpan, TraceLog};
+pub use profile::{ProfileEntry, ProfileReport, ScopeGuard};
+pub use prom::{render_prometheus, validate_exposition, ExpositionStats};
 pub use search::{SearchStep, SearchTrace};
 pub use series::UtilizationSeries;
 pub use sink::{NoopSink, Recorder, TraceSink};
+pub use sketch::QuantileSketch;
+pub use stream::{Ewma, HealthSummary, StreamConfig, StreamSnapshot, StreamingPlane, WindowCounts};

@@ -1,0 +1,311 @@
+//! A zero-dependency self-profiler for the simulator/scheduler hot paths.
+//!
+//! Scoped wall-clock timers ([`scope`]) accumulate into a per-thread call
+//! tree keyed by static scope names. Profiling is globally gated by an
+//! atomic flag that defaults to off, so an un-enabled scope costs one
+//! relaxed atomic load and nothing else — cheap enough to leave in
+//! release binaries. The aggregated tree renders as a hierarchical text
+//! report or as Chrome trace-event JSON (children laid out sequentially
+//! inside their parent), which the existing
+//! [`crate::validate_chrome_trace`] validator accepts.
+//!
+//! Wall-clock time never appears inside the deterministic simulation —
+//! the profiler observes host execution, not simulated time, and is only
+//! enabled by bench binaries and examples.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns profiling on (all threads).
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns profiling off.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether profiling is currently on.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+const NO_PARENT: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct Node {
+    name: &'static str,
+    children: Vec<usize>,
+    calls: u64,
+    total: Duration,
+}
+
+#[derive(Default)]
+struct Tree {
+    nodes: Vec<Node>,
+    roots: Vec<usize>,
+    stack: Vec<usize>,
+}
+
+impl Tree {
+    fn enter(&mut self, name: &'static str) -> usize {
+        let parent = self.stack.last().copied().unwrap_or(NO_PARENT);
+        let siblings = if parent == NO_PARENT {
+            &self.roots
+        } else {
+            &self.nodes[parent].children
+        };
+        let found = siblings
+            .iter()
+            .copied()
+            .find(|&i| self.nodes[i].name == name);
+        let idx = match found {
+            Some(i) => i,
+            None => {
+                let idx = self.nodes.len();
+                self.nodes.push(Node {
+                    name,
+                    children: Vec::new(),
+                    calls: 0,
+                    total: Duration::ZERO,
+                });
+                if parent == NO_PARENT {
+                    self.roots.push(idx);
+                } else {
+                    self.nodes[parent].children.push(idx);
+                }
+                idx
+            }
+        };
+        self.stack.push(idx);
+        idx
+    }
+
+    fn exit(&mut self, idx: usize, elapsed: Duration) {
+        // Guards are scoped so drops are well-nested; tolerate a mismatch
+        // (e.g. reset() between enter and drop) by searching the stack.
+        if let Some(pos) = self.stack.iter().rposition(|&i| i == idx) {
+            self.stack.truncate(pos);
+            let n = &mut self.nodes[idx];
+            n.calls += 1;
+            n.total += elapsed;
+        }
+    }
+}
+
+thread_local! {
+    static TREE: RefCell<Tree> = RefCell::new(Tree::default());
+}
+
+/// Clears this thread's accumulated profile.
+pub fn reset() {
+    TREE.with(|t| *t.borrow_mut() = Tree::default());
+}
+
+/// A scoped timer; its `Drop` charges the elapsed wall time to the scope.
+#[must_use = "a profiler scope only measures while the guard lives"]
+pub struct ScopeGuard {
+    active: Option<(usize, Instant)>,
+}
+
+/// Opens a named profiling scope on this thread. A no-op (one relaxed
+/// atomic load) while profiling is disabled.
+pub fn scope(name: &'static str) -> ScopeGuard {
+    if !is_enabled() {
+        return ScopeGuard { active: None };
+    }
+    let idx = TREE.with(|t| t.borrow_mut().enter(name));
+    ScopeGuard {
+        active: Some((idx, Instant::now())),
+    }
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        if let Some((idx, start)) = self.active.take() {
+            let elapsed = start.elapsed();
+            TREE.with(|t| t.borrow_mut().exit(idx, elapsed));
+        }
+    }
+}
+
+/// One aggregated scope in a [`ProfileReport`], depth-first order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileEntry {
+    /// Nesting depth (roots are 0).
+    pub depth: usize,
+    /// The scope name.
+    pub name: &'static str,
+    /// Completed invocations.
+    pub calls: u64,
+    /// Total wall time across invocations.
+    pub total: Duration,
+}
+
+/// An immutable snapshot of this thread's profile tree.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileReport {
+    /// Aggregated scopes in depth-first order.
+    pub entries: Vec<ProfileEntry>,
+}
+
+/// Snapshots this thread's accumulated profile.
+pub fn report() -> ProfileReport {
+    TREE.with(|t| {
+        let tree = t.borrow();
+        let mut entries = Vec::with_capacity(tree.nodes.len());
+        fn walk(tree: &Tree, idx: usize, depth: usize, out: &mut Vec<ProfileEntry>) {
+            let n = &tree.nodes[idx];
+            out.push(ProfileEntry {
+                depth,
+                name: n.name,
+                calls: n.calls,
+                total: n.total,
+            });
+            for &c in &n.children {
+                walk(tree, c, depth + 1, out);
+            }
+        }
+        for &r in &tree.roots {
+            walk(&tree, r, 0, &mut entries);
+        }
+        ProfileReport { entries }
+    })
+}
+
+impl ProfileReport {
+    /// Total wall time across root scopes.
+    pub fn root_total(&self) -> Duration {
+        self.entries
+            .iter()
+            .filter(|e| e.depth == 0)
+            .map(|e| e.total)
+            .sum()
+    }
+
+    /// Looks up an entry by name (first match in depth-first order).
+    pub fn entry(&self, name: &str) -> Option<&ProfileEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Renders an indented hierarchical report with per-scope share of the
+    /// root total.
+    pub fn to_text(&self) -> String {
+        let root = self.root_total().as_secs_f64().max(1e-12);
+        let mut out =
+            String::from("scope                                    calls      total    share\n");
+        for e in &self.entries {
+            let label = format!("{}{}", "  ".repeat(e.depth), e.name);
+            out.push_str(&format!(
+                "{label:<40} {:>6} {:>9.3}ms {:>7.2}%\n",
+                e.calls,
+                e.total.as_secs_f64() * 1e3,
+                e.total.as_secs_f64() / root * 100.0,
+            ));
+        }
+        out
+    }
+
+    /// Exports the aggregated tree as Chrome trace-event JSON: one `X`
+    /// slice per scope, children laid out sequentially from their parent's
+    /// start so the nesting is visible in Perfetto. Validated by
+    /// [`crate::validate_chrome_trace`].
+    pub fn to_chrome_trace(&self) -> String {
+        let mut body = String::new();
+        body.push_str(
+            "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"ts\":0,\"name\":\"process_name\",\
+             \"args\":{\"name\":\"profile\"}},\n",
+        );
+        // entries are depth-first, so a per-depth cursor stack suffices to
+        // lay children out inside their parent.
+        let mut cursors: Vec<u128> = vec![0];
+        for e in &self.entries {
+            cursors.truncate(e.depth + 1);
+            let start = *cursors.last().unwrap();
+            let dur = e.total.as_micros();
+            body.push_str(&format!(
+                "{{\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":{start},\"dur\":{dur},\
+                 \"name\":\"{}\",\"cat\":\"profile\"}},\n",
+                e.name
+            ));
+            *cursors.last_mut().unwrap() = start + dur;
+            cursors.push(start);
+        }
+        let body = body.trim_end().trim_end_matches(',');
+        format!("{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n{body}\n]}}\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chrome::validate_chrome_trace;
+
+    fn with_profiler<R>(f: impl FnOnce() -> R) -> R {
+        reset();
+        enable();
+        let r = f();
+        disable();
+        r
+    }
+
+    // The enable flag is process-global while trees are per-thread; the
+    // sub-cases share one test so a parallel test runner cannot flip the
+    // flag mid-case.
+    #[test]
+    fn profiler_end_to_end() {
+        disabled_scopes_record_nothing();
+        nested_scopes_build_a_tree();
+        chrome_export_validates();
+    }
+
+    fn disabled_scopes_record_nothing() {
+        reset();
+        disable();
+        {
+            let _g = scope("idle");
+        }
+        assert!(report().entries.is_empty());
+    }
+
+    fn nested_scopes_build_a_tree() {
+        let rep = with_profiler(|| {
+            for _ in 0..3 {
+                let _run = scope("run");
+                {
+                    let _step = scope("step");
+                    std::hint::black_box(0u64);
+                }
+                {
+                    let _step = scope("flush");
+                }
+            }
+            report()
+        });
+        let names: Vec<_> = rep.entries.iter().map(|e| (e.depth, e.name)).collect();
+        assert_eq!(names, vec![(0, "run"), (1, "step"), (1, "flush")]);
+        assert_eq!(rep.entry("run").unwrap().calls, 3);
+        assert_eq!(rep.entry("step").unwrap().calls, 3);
+        assert!(rep.root_total() >= rep.entry("step").unwrap().total);
+        let text = rep.to_text();
+        assert!(text.contains("run"), "{text}");
+        assert!(text.contains("  step"), "{text}");
+    }
+
+    fn chrome_export_validates() {
+        let rep = with_profiler(|| {
+            {
+                let _a = scope("outer");
+                let _b = scope("inner");
+            }
+            report()
+        });
+        let json = rep.to_chrome_trace();
+        let stats = validate_chrome_trace(&json).expect("profile trace must validate");
+        assert_eq!(stats.slices, 2);
+    }
+}

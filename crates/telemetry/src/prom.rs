@@ -1,0 +1,608 @@
+//! Prometheus text-exposition export of a [`StreamSnapshot`] and a
+//! parser-free line-format conformance validator.
+//!
+//! The workspace has no Prometheus client crate (and must not grow one),
+//! so the exporter writes exposition-format text by hand and the validator
+//! exists to keep the hand-rolled writer honest: it checks HELP/TYPE
+//! ordering, metric-name and label well-formedness, label-value escaping,
+//! histogram bucket monotonicity and the `+Inf`-bucket/`_count` identity —
+//! all by scanning lines, never by round-tripping through a parser AST.
+
+use crate::burn::HealthState;
+use crate::sketch::QuantileSketch;
+use crate::stream::StreamSnapshot;
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote and newline.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn header(out: &mut String, name: &str, help: &str, kind: &str) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+}
+
+/// Renders one sketch as a cumulative histogram family.
+fn histogram(out: &mut String, name: &str, help: &str, s: &QuantileSketch) {
+    header(out, name, help, "histogram");
+    let mut cum = 0u64;
+    for (key, count) in s.bucket_counts() {
+        cum += count;
+        let le = s.bucket_upper(key);
+        out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cum}\n"));
+    }
+    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", s.count()));
+    out.push_str(&format!("{name}_sum {:.9}\n", s.sum()));
+    out.push_str(&format!("{name}_count {}\n", s.count()));
+}
+
+fn gauge(out: &mut String, name: &str, help: &str, value: Option<f64>) {
+    header(out, name, help, "gauge");
+    if let Some(v) = value {
+        out.push_str(&format!("{name} {v:.9}\n"));
+    }
+}
+
+/// Renders a snapshot in Prometheus text exposition format.
+pub fn render_prometheus(s: &StreamSnapshot) -> String {
+    let mut out = String::new();
+    histogram(
+        &mut out,
+        "ts_ttft_seconds",
+        "Time to first token (streaming sketch).",
+        &s.ttft,
+    );
+    histogram(
+        &mut out,
+        "ts_e2e_seconds",
+        "End-to-end request latency (streaming sketch).",
+        &s.e2e,
+    );
+    histogram(
+        &mut out,
+        "ts_queue_depth_jobs",
+        "Prefill queue depth samples.",
+        &s.queue_depth,
+    );
+    histogram(
+        &mut out,
+        "ts_batch_occupancy_seqs",
+        "Decode batch occupancy samples.",
+        &s.batch_occupancy,
+    );
+
+    header(
+        &mut out,
+        "ts_requests_total",
+        "Terminal request outcomes.",
+        "counter",
+    );
+    for (outcome, n) in [
+        ("finished", s.totals.finished),
+        ("dropped", s.totals.dropped),
+        ("rejected", s.totals.rejected),
+    ] {
+        out.push_str(&format!(
+            "ts_requests_total{{outcome=\"{}\"}} {n}\n",
+            escape_label(outcome)
+        ));
+    }
+    header(
+        &mut out,
+        "ts_slo_miss_total",
+        "Completed requests that missed their SLO.",
+        "counter",
+    );
+    out.push_str(&format!("ts_slo_miss_total {}\n", s.totals.slo_miss));
+    header(
+        &mut out,
+        "ts_hedges_total",
+        "Hedged duplicate launches.",
+        "counter",
+    );
+    out.push_str(&format!("ts_hedges_total {}\n", s.totals.hedges));
+    header(
+        &mut out,
+        "ts_requeues_total",
+        "Requests requeued by fault recovery.",
+        "counter",
+    );
+    out.push_str(&format!("ts_requeues_total {}\n", s.totals.requeues));
+    header(
+        &mut out,
+        "ts_events_observed_total",
+        "Trace events folded into the streaming plane.",
+        "counter",
+    );
+    out.push_str(&format!("ts_events_observed_total {}\n", s.events_observed));
+    header(
+        &mut out,
+        "ts_windows_closed_total",
+        "Fixed aggregation windows closed.",
+        "counter",
+    );
+    out.push_str(&format!("ts_windows_closed_total {}\n", s.windows_closed));
+
+    gauge(
+        &mut out,
+        "ts_ttft_ewma_seconds",
+        "Smoothed time to first token.",
+        s.ttft_ewma,
+    );
+    gauge(
+        &mut out,
+        "ts_e2e_ewma_seconds",
+        "Smoothed end-to-end latency.",
+        s.e2e_ewma,
+    );
+    gauge(
+        &mut out,
+        "ts_queue_depth_ewma_jobs",
+        "Smoothed prefill queue depth.",
+        s.queue_depth_ewma,
+    );
+    gauge(
+        &mut out,
+        "ts_batch_occupancy_ewma_seqs",
+        "Smoothed decode batch occupancy.",
+        s.batch_occupancy_ewma,
+    );
+
+    header(
+        &mut out,
+        "ts_slo_burn_rate",
+        "SLO burn rate per tenant and window.",
+        "gauge",
+    );
+    let tenant_label =
+        |t: Option<ts_common::ModelId>| t.map_or("global".to_string(), |m| m.0.to_string());
+    for h in &s.health {
+        let t = escape_label(&tenant_label(h.tenant));
+        out.push_str(&format!(
+            "ts_slo_burn_rate{{tenant=\"{t}\",window=\"fast\"}} {:.9}\n",
+            h.fast_burn
+        ));
+        out.push_str(&format!(
+            "ts_slo_burn_rate{{tenant=\"{t}\",window=\"slow\"}} {:.9}\n",
+            h.slow_burn
+        ));
+    }
+    header(
+        &mut out,
+        "ts_health_state",
+        "Distilled health (0 healthy, 1 warning, 2 critical).",
+        "gauge",
+    );
+    for h in &s.health {
+        let v = match h.state {
+            HealthState::Healthy => 0,
+            HealthState::Warning => 1,
+            HealthState::Critical => 2,
+        };
+        out.push_str(&format!(
+            "ts_health_state{{tenant=\"{}\"}} {v}\n",
+            escape_label(&tenant_label(h.tenant))
+        ));
+    }
+    out
+}
+
+/// Structural statistics of a validated exposition document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpositionStats {
+    /// Metric families (HELP/TYPE pairs).
+    pub families: usize,
+    /// Sample lines.
+    pub samples: usize,
+    /// Histogram families.
+    pub histograms: usize,
+}
+
+fn valid_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Splits a sample line into `(metric name, label text, value text)`.
+/// The label text excludes the surrounding braces and is empty when the
+/// sample carries no labels.
+fn split_sample(line: &str) -> Result<(&str, &str, &str), String> {
+    if let Some(open) = line.find('{') {
+        let name = &line[..open];
+        let close = line
+            .rfind('}')
+            .ok_or_else(|| format!("unclosed label braces: {line:?}"))?;
+        if close < open {
+            return Err(format!("mismatched label braces: {line:?}"));
+        }
+        let labels = &line[open + 1..close];
+        let rest = line[close + 1..].trim_start();
+        Ok((name, labels, rest))
+    } else {
+        let (name, value) = line
+            .split_once(' ')
+            .ok_or_else(|| format!("sample without value: {line:?}"))?;
+        Ok((name, "", value.trim_start()))
+    }
+}
+
+/// Validates the label text of one sample, returning the value of the
+/// `le` label if present.
+fn validate_labels(labels: &str, line_no: usize) -> Result<Option<String>, String> {
+    let mut le = None;
+    let bytes = labels.as_bytes();
+    let mut pos = 0;
+    while pos < bytes.len() {
+        let rest = &labels[pos..];
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("line {line_no}: label without '='"))?;
+        let key = &rest[..eq];
+        if !valid_label_name(key) {
+            return Err(format!("line {line_no}: bad label name {key:?}"));
+        }
+        let after = &rest[eq + 1..];
+        if !after.starts_with('"') {
+            return Err(format!("line {line_no}: label value must be quoted"));
+        }
+        // Scan the quoted value, honouring escapes.
+        let mut value = String::new();
+        let mut chars = after[1..].char_indices();
+        let mut consumed = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '"' => {
+                    consumed = Some(i + 1);
+                    break;
+                }
+                '\\' => match chars.next() {
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    Some((_, 'n')) => value.push('\n'),
+                    other => {
+                        return Err(format!(
+                            "line {line_no}: bad escape in label value ({other:?})"
+                        ))
+                    }
+                },
+                '\n' => {
+                    return Err(format!("line {line_no}: raw newline in label value"));
+                }
+                _ => value.push(c),
+            }
+        }
+        let consumed =
+            consumed.ok_or_else(|| format!("line {line_no}: unterminated label value"))?;
+        if key == "le" {
+            le = Some(value);
+        }
+        pos += eq + 1 + 1 + consumed;
+        // Optional comma between labels (trailing comma is legal).
+        if labels[pos..].starts_with(',') {
+            pos += 1;
+        } else if !labels[pos..].is_empty() {
+            return Err(format!("line {line_no}: expected ',' between labels"));
+        }
+    }
+    Ok(le)
+}
+
+fn parse_value(v: &str, line_no: usize) -> Result<f64, String> {
+    match v {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        _ => v
+            .parse::<f64>()
+            .map_err(|_| format!("line {line_no}: bad sample value {v:?}")),
+    }
+}
+
+/// State of the histogram family currently being scanned.
+#[derive(Default)]
+struct HistogramCheck {
+    last_le: Option<f64>,
+    last_cum: Option<f64>,
+    inf_bucket: Option<f64>,
+    count: Option<f64>,
+}
+
+impl HistogramCheck {
+    fn finish(&self, family: &str) -> Result<(), String> {
+        match (self.inf_bucket, self.count) {
+            (Some(inf), Some(count)) if inf == count => Ok(()),
+            (Some(inf), Some(count)) => Err(format!(
+                "histogram {family}: +Inf bucket {inf} != _count {count}"
+            )),
+            (None, _) => Err(format!("histogram {family}: missing +Inf bucket")),
+            (_, None) => Err(format!("histogram {family}: missing _count")),
+        }
+    }
+}
+
+/// Validates Prometheus text-exposition output line by line.
+///
+/// Enforced rules: every sample belongs to a family announced by a
+/// preceding `# HELP`/`# TYPE` pair (in that order, exactly once per
+/// family); metric and label names are well-formed; label values are
+/// quoted with only `\\`, `\"` and `\n` escapes; sample values parse;
+/// histogram `le` buckets are strictly increasing with non-decreasing
+/// cumulative counts, ending in a `+Inf` bucket equal to `_count`.
+pub fn validate_exposition(text: &str) -> Result<ExpositionStats, String> {
+    let mut stats = ExpositionStats {
+        families: 0,
+        samples: 0,
+        histograms: 0,
+    };
+    let mut seen: Vec<String> = Vec::new();
+    let mut pending_help: Option<String> = None;
+    let mut family: Option<(String, String)> = None; // (name, type)
+    let mut hist = HistogramCheck::default();
+
+    let close_family =
+        |family: &Option<(String, String)>, hist: &HistogramCheck| -> Result<(), String> {
+            if let Some((name, kind)) = family {
+                if kind == "histogram" {
+                    hist.finish(name)?;
+                }
+            }
+            Ok(())
+        };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, _help) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("line {line_no}: HELP without docstring"))?;
+            if !valid_metric_name(name) {
+                return Err(format!("line {line_no}: bad metric name {name:?}"));
+            }
+            if seen.iter().any(|s| s == name) {
+                return Err(format!("line {line_no}: family {name} repeated"));
+            }
+            close_family(&family, &hist)?;
+            family = None;
+            hist = HistogramCheck::default();
+            pending_help = Some(name.to_string());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("line {line_no}: TYPE without a type"))?;
+            if pending_help.as_deref() != Some(name) {
+                return Err(format!(
+                    "line {line_no}: TYPE {name} must directly follow its HELP"
+                ));
+            }
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(format!("line {line_no}: unknown metric type {kind:?}"));
+            }
+            pending_help = None;
+            seen.push(name.to_string());
+            if kind == "histogram" {
+                stats.histograms += 1;
+            }
+            family = Some((name.to_string(), kind.to_string()));
+            stats.families += 1;
+            continue;
+        }
+        if line.starts_with('#') {
+            // Free-form comment.
+            continue;
+        }
+        // A sample line.
+        let (fam_name, fam_kind) = family
+            .as_ref()
+            .ok_or_else(|| format!("line {line_no}: sample before any HELP/TYPE"))?;
+        let (name, labels, value) = split_sample(line)?;
+        if !valid_metric_name(name) {
+            return Err(format!("line {line_no}: bad metric name {name:?}"));
+        }
+        let member = if fam_kind == "histogram" {
+            name == format!("{fam_name}_bucket")
+                || name == format!("{fam_name}_sum")
+                || name == format!("{fam_name}_count")
+        } else {
+            name == fam_name
+        };
+        if !member {
+            return Err(format!(
+                "line {line_no}: sample {name} outside family {fam_name}"
+            ));
+        }
+        let le = validate_labels(labels, line_no)?;
+        let v = parse_value(value, line_no)?;
+        stats.samples += 1;
+        if fam_kind == "histogram" {
+            if name.ends_with("_bucket") {
+                let le =
+                    le.ok_or_else(|| format!("line {line_no}: histogram bucket without le label"))?;
+                let le_v = parse_value(&le, line_no)?;
+                if let Some(prev) = hist.last_le {
+                    if le_v <= prev {
+                        return Err(format!(
+                            "line {line_no}: bucket le {le} not increasing (prev {prev})"
+                        ));
+                    }
+                }
+                if let Some(prev) = hist.last_cum {
+                    if v < prev {
+                        return Err(format!(
+                            "line {line_no}: bucket count {v} decreased (prev {prev})"
+                        ));
+                    }
+                }
+                hist.last_le = Some(le_v);
+                hist.last_cum = Some(v);
+                if le_v.is_infinite() {
+                    hist.inf_bucket = Some(v);
+                }
+            } else if name.ends_with("_count") {
+                hist.count = Some(v);
+            }
+        }
+    }
+    if pending_help.is_some() {
+        return Err("document ends with a HELP line missing its TYPE".into());
+    }
+    close_family(&family, &hist)?;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceKind;
+    use crate::stream::{StreamConfig, StreamingPlane};
+    use ts_common::{ModelId, RequestId, SimDuration, SimTime, SloSpec};
+
+    fn multi_tenant_snapshot() -> StreamSnapshot {
+        let slo = SloSpec::new(
+            SimDuration::from_millis(200),
+            SimDuration::from_millis(50),
+            SimDuration::from_secs(2),
+        );
+        let mut p = StreamingPlane::new(StreamConfig::new(slo));
+        p.register_tenant(ModelId(0), slo);
+        p.register_tenant(ModelId(1), slo.scaled(0.25));
+        for i in 0..40u64 {
+            let request = RequestId(i);
+            let base = SimTime::from_micros(i * 130_000);
+            p.observe(base, &TraceKind::Arrived { request });
+            p.observe(
+                base,
+                &TraceKind::ModelTag {
+                    request,
+                    model: ModelId((i % 2) as u32),
+                },
+            );
+            p.observe(
+                base + SimDuration::from_millis(90),
+                &TraceKind::FirstToken { request },
+            );
+            if i % 7 == 0 {
+                p.observe(
+                    base + SimDuration::from_millis(150),
+                    &TraceKind::Dropped { request },
+                );
+            } else {
+                p.observe(
+                    base + SimDuration::from_millis(400),
+                    &TraceKind::Finished { request },
+                );
+            }
+            p.observe(
+                base,
+                &TraceKind::QueueDepth {
+                    role: crate::Role::Prefill,
+                    replica: 0,
+                    depth: (i % 5) as usize,
+                },
+            );
+        }
+        p.snapshot()
+    }
+
+    #[test]
+    fn exporter_output_conforms_round_trip() {
+        let s = multi_tenant_snapshot();
+        let text = render_prometheus(&s);
+        let stats = validate_exposition(&text).expect("exporter must conform");
+        assert_eq!(stats.histograms, 4);
+        assert!(stats.families >= 12, "{stats:?}");
+        assert!(stats.samples > 20);
+        // Both tenants and the global signal appear.
+        assert!(text.contains("ts_slo_burn_rate{tenant=\"global\",window=\"fast\"}"));
+        assert!(text.contains("ts_health_state{tenant=\"1\"}"));
+        assert!(text.contains("ts_requests_total{outcome=\"dropped\"}"));
+    }
+
+    #[test]
+    fn validator_rejects_type_before_help() {
+        let bad = "# TYPE x counter\nx 1\n";
+        assert!(validate_exposition(bad).is_err());
+    }
+
+    #[test]
+    fn validator_rejects_non_monotone_buckets() {
+        let bad = "# HELP h d\n# TYPE h histogram\n\
+                   h_bucket{le=\"1\"} 5\nh_bucket{le=\"0.5\"} 6\n\
+                   h_bucket{le=\"+Inf\"} 6\nh_sum 1\nh_count 6\n";
+        let err = validate_exposition(bad).unwrap_err();
+        assert!(err.contains("not increasing"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_decreasing_cumulative_counts() {
+        let bad = "# HELP h d\n# TYPE h histogram\n\
+                   h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n\
+                   h_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n";
+        let err = validate_exposition(bad).unwrap_err();
+        assert!(err.contains("decreased"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_inf_count_mismatch() {
+        let bad = "# HELP h d\n# TYPE h histogram\n\
+                   h_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 6\n";
+        let err = validate_exposition(bad).unwrap_err();
+        assert!(err.contains("+Inf bucket"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_bad_escapes_and_accepts_good_ones() {
+        let good = "# HELP g d\n# TYPE g gauge\ng{a=\"x\\\\y\\\"z\\n\"} 1\n";
+        assert!(validate_exposition(good).is_ok());
+        let bad = "# HELP g d\n# TYPE g gauge\ng{a=\"x\\qy\"} 1\n";
+        assert!(validate_exposition(bad).is_err());
+    }
+
+    #[test]
+    fn validator_rejects_samples_outside_their_family() {
+        let bad = "# HELP a d\n# TYPE a counter\nb 1\n";
+        let err = validate_exposition(bad).unwrap_err();
+        assert!(err.contains("outside family"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_repeated_family() {
+        let bad = "# HELP a d\n# TYPE a counter\na 1\n# HELP a d\n# TYPE a counter\na 2\n";
+        assert!(validate_exposition(bad).is_err());
+    }
+
+    #[test]
+    fn escape_label_round_trip() {
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -1,0 +1,447 @@
+//! Mergeable streaming quantile sketch with bounded relative error.
+//!
+//! A DDSketch-style structure: values are binned into logarithmic buckets
+//! `(gamma^(k-1), gamma^k]` with `gamma = (1 + alpha) / (1 - alpha)`, so any
+//! quantile estimate is within a factor `1 ± alpha` of the true value.
+//! Buckets are plain integer counts, which makes merging two sketches an
+//! exact element-wise addition — associative and commutative, so a sketch
+//! built from shards equals one built from the concatenated stream in any
+//! order (the property the window tests pin).
+//!
+//! The bucket store is a dense `Vec` over the occupied key range rather
+//! than a map: inserts on the simulator hot path are an `ln`, an index
+//! computation and one slot increment once the range is warm.
+
+use ts_common::SimDuration;
+
+/// Values at or below this are counted in the dedicated zero bucket: for
+/// sub-nanosecond "durations" relative error is meaningless and the
+/// logarithm diverges.
+const MIN_VALUE: f64 = 1e-9;
+
+/// A mergeable quantile sketch with bounded relative error (DDSketch-style).
+///
+/// Relative accuracy `alpha` is fixed at construction; quantile estimates
+/// `q̂` satisfy `|q̂ - q| <= alpha * q` for any true quantile value `q`
+/// above the zero-bucket cutoff. Two sketches with the same `alpha` merge
+/// exactly (integer bucket addition).
+#[derive(Debug, Clone)]
+pub struct QuantileSketch {
+    /// Configured relative accuracy.
+    alpha: f64,
+    /// `1 / ln(gamma)` — multiplies `ln(v)` to a bucket key.
+    inv_ln_gamma: f64,
+    /// `ln(gamma)` kept for bucket-midpoint reconstruction.
+    ln_gamma: f64,
+    /// Key of `buckets[0]`; the dense store covers `[offset, offset + len)`.
+    offset: i32,
+    /// Dense per-key counts.
+    buckets: Vec<u64>,
+    /// Count of values at or below [`MIN_VALUE`].
+    zero: u64,
+    /// Total inserted count (zero bucket included).
+    count: u64,
+    /// Running sum of inserted values.
+    sum: f64,
+    /// Smallest inserted value (`f64::INFINITY` when empty).
+    min: f64,
+    /// Largest inserted value (`f64::NEG_INFINITY` when empty).
+    max: f64,
+    /// Value of the most recent above-cutoff insert. Latency series repeat
+    /// values rarely but the repeat-insert fast path is nearly free: a
+    /// float compare and one slot increment, no logarithm. `NAN` (the
+    /// empty state, and after a merge shifts the store) never compares
+    /// equal.
+    last_value: f64,
+    /// Dense index `last_value` mapped to.
+    last_slot: usize,
+    /// Precomputed bucket keys for small integer values (`int_keys[n]` is
+    /// `key_of(n)`); pressure series (queue depth, batch occupancy) are
+    /// small integers sampled once per simulator step, and the table turns
+    /// those inserts into a load and a slot increment. Entry 0 is unused
+    /// (zero goes to the zero bucket).
+    int_keys: Vec<i32>,
+}
+
+/// Size of the small-integer key table: covers every realistic queue depth
+/// and batch occupancy; larger values fall back to the logarithm path.
+const INT_KEYS: usize = 256;
+
+impl QuantileSketch {
+    /// Creates an empty sketch with the given relative accuracy.
+    ///
+    /// # Panics
+    /// Panics unless `alpha` lies in `(0, 1)`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "sketch relative accuracy must lie in (0, 1), got {alpha}"
+        );
+        let gamma = (1.0 + alpha) / (1.0 - alpha);
+        let ln_gamma = gamma.ln();
+        let inv_ln_gamma = 1.0 / ln_gamma;
+        let int_keys = (0..INT_KEYS)
+            .map(|n| ((n as f64).ln() * inv_ln_gamma).ceil() as i32)
+            .collect();
+        QuantileSketch {
+            alpha,
+            inv_ln_gamma,
+            ln_gamma,
+            offset: 0,
+            buckets: Vec::new(),
+            zero: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            last_value: f64::NAN,
+            last_slot: 0,
+            int_keys,
+        }
+    }
+
+    /// The configured relative accuracy.
+    pub fn relative_accuracy(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Number of inserted values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no value has been inserted yet.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of inserted values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest inserted value, `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest inserted value, `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of inserted values, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// The bucket key of a value above the zero cutoff.
+    fn key_of(&self, v: f64) -> i32 {
+        // ceil(ln(v) / ln(gamma)): v lands in (gamma^(k-1), gamma^k].
+        (v.ln() * self.inv_ln_gamma).ceil() as i32
+    }
+
+    /// Inserts one value.
+    ///
+    /// Negative values are clamped into the zero bucket (the sketch tracks
+    /// non-negative quantities: durations, depths, counts).
+    ///
+    /// # Panics
+    /// Panics on NaN or infinite input.
+    #[inline]
+    pub fn insert(&mut self, v: f64) {
+        assert!(v.is_finite(), "sketch insert must be finite, got {v}");
+        self.count += 1;
+        self.sum += v;
+        if v == self.last_value {
+            // min/max already absorbed this value the first time around.
+            self.buckets[self.last_slot] += 1;
+            return;
+        }
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        if v <= MIN_VALUE {
+            self.zero += 1;
+            return;
+        }
+        let key = self.key_of(v);
+        self.slot(key);
+        let slot = (key - self.offset) as usize;
+        self.buckets[slot] += 1;
+        self.last_value = v;
+        self.last_slot = slot;
+    }
+
+    /// Inserts a simulated duration (in seconds).
+    pub fn insert_duration(&mut self, d: SimDuration) {
+        self.insert(d.as_secs_f64());
+    }
+
+    /// Inserts a small non-negative integer (a queue depth, a batch
+    /// occupancy): identical to `insert(n as f64)` but served from the
+    /// precomputed key table on the simulator hot path — no logarithm.
+    #[inline]
+    pub fn insert_count(&mut self, n: usize) {
+        if n >= INT_KEYS {
+            self.insert(n as f64);
+            return;
+        }
+        let v = n as f64;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        if n == 0 {
+            self.zero += 1;
+            return;
+        }
+        let key = self.int_keys[n];
+        self.slot(key);
+        self.buckets[(key - self.offset) as usize] += 1;
+    }
+
+    /// Inserts `n` copies of `v` at once — bit-identical to `n` calls of
+    /// [`QuantileSketch::insert`] with `v` whenever `v * n` is exact in
+    /// `f64` (integer-valued `v`, as in the pressure histograms this
+    /// serves).
+    ///
+    /// # Panics
+    /// Panics on NaN or infinite `v`.
+    pub fn insert_n(&mut self, v: f64, n: u64) {
+        assert!(v.is_finite(), "sketch insert must be finite, got {v}");
+        if n == 0 {
+            return;
+        }
+        self.count += n;
+        self.sum += v * n as f64;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        if v <= MIN_VALUE {
+            self.zero += n;
+            return;
+        }
+        let key = self.key_of(v);
+        self.slot(key);
+        let slot = (key - self.offset) as usize;
+        self.buckets[slot] += n;
+        self.last_value = v;
+        self.last_slot = slot;
+    }
+
+    /// Grows the dense store to cover `key`.
+    fn slot(&mut self, key: i32) {
+        if self.buckets.is_empty() {
+            self.offset = key;
+            self.buckets.push(0);
+            return;
+        }
+        if key < self.offset {
+            let grow = (self.offset - key) as usize;
+            let mut fresh = vec![0u64; grow + self.buckets.len()];
+            fresh[grow..].copy_from_slice(&self.buckets);
+            self.buckets = fresh;
+            self.offset = key;
+            // Dense indices just shifted; the repeat-insert memo is stale.
+            self.last_value = f64::NAN;
+        } else if (key - self.offset) as usize >= self.buckets.len() {
+            self.buckets.resize((key - self.offset) as usize + 1, 0);
+        }
+    }
+
+    /// The estimated `q`-quantile (`q` clamped into `[0, 1]`), `None` when
+    /// empty.
+    ///
+    /// Uses the same nearest-rank convention as
+    /// [`ts_common::stats::percentile`] (`rank = round((count - 1) * q)`),
+    /// so exact-vs-sketch comparisons measure only the binning error.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((self.count - 1) as f64 * q).round() as u64;
+        if rank < self.zero {
+            return Some(0.0);
+        }
+        let mut cum = self.zero;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum > rank {
+                let key = self.offset + i as i32;
+                // Midpoint of (gamma^(k-1), gamma^k]: 2 gamma^k / (gamma+1),
+                // i.e. gamma^k * (1 - alpha-ish correction) — within alpha of
+                // every value the bucket holds.
+                let upper = (key as f64 * self.ln_gamma).exp();
+                return Some(upper * 2.0 / (1.0 + (self.ln_gamma).exp()));
+            }
+        }
+        // Rounding put the rank past the last bucket: return the max.
+        Some(self.max)
+    }
+
+    /// The estimated `q`-quantile as a [`SimDuration`], `None` when empty.
+    pub fn quantile_duration(&self, q: f64) -> Option<SimDuration> {
+        self.quantile(q).map(SimDuration::from_secs_f64)
+    }
+
+    /// Merges `other` into `self` by exact bucket addition.
+    ///
+    /// # Panics
+    /// Panics if the relative accuracies differ (the bucket grids would not
+    /// line up).
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        assert!(
+            (self.alpha - other.alpha).abs() < 1e-12,
+            "cannot merge sketches with different accuracies ({} vs {})",
+            self.alpha,
+            other.alpha
+        );
+        if other.count == 0 {
+            return;
+        }
+        // Growing the store may shift dense indices; drop the insert memo.
+        self.last_value = f64::NAN;
+        for (i, &c) in other.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let key = other.offset + i as i32;
+            self.slot(key);
+            self.buckets[(key - self.offset) as usize] += c;
+        }
+        self.zero += other.zero;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Occupied `(bucket key, count)` pairs in ascending key order, with the
+    /// zero bucket reported as key `i32::MIN`. Exposed for merge-identity
+    /// tests and the Prometheus histogram exporter.
+    pub fn bucket_counts(&self) -> Vec<(i32, u64)> {
+        let mut out = Vec::new();
+        if self.zero > 0 {
+            out.push((i32::MIN, self.zero));
+        }
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c > 0 {
+                out.push((self.offset + i as i32, c));
+            }
+        }
+        out
+    }
+
+    /// Upper edge (in value space) of the bucket with the given key.
+    pub fn bucket_upper(&self, key: i32) -> f64 {
+        if key == i32::MIN {
+            MIN_VALUE
+        } else {
+            (key as f64 * self.ln_gamma).exp()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_common::stats::percentile;
+
+    fn exact(values: &[f64], q: f64) -> f64 {
+        let ds: Vec<SimDuration> = values
+            .iter()
+            .map(|&v| SimDuration::from_secs_f64(v))
+            .collect();
+        percentile(&ds, q).unwrap().as_secs_f64()
+    }
+
+    #[test]
+    fn empty_sketch_has_no_quantiles() {
+        let s = QuantileSketch::new(0.01);
+        assert!(s.is_empty());
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.mean(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "relative accuracy")]
+    fn alpha_out_of_range_rejected() {
+        let _ = QuantileSketch::new(1.5);
+    }
+
+    #[test]
+    fn quantiles_within_relative_error() {
+        let alpha = 0.01;
+        let mut s = QuantileSketch::new(alpha);
+        // Deterministic heavy-tailed-ish sample spanning 4 decades.
+        let mut values = Vec::new();
+        let mut x = 0.000_37_f64;
+        for i in 0..5_000 {
+            x = (x * 1.003_7).min(9.5) + (i % 13) as f64 * 1e-4;
+            values.push(x);
+            s.insert(x);
+        }
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let e = exact(&values, q);
+            let a = s.quantile(q).unwrap();
+            // The exact path quantizes to whole microseconds; allow that on
+            // top of the sketch bound.
+            let tol = alpha * e + 1e-6;
+            assert!(
+                (a - e).abs() <= tol,
+                "q={q}: sketch {a} vs exact {e} (tol {tol})"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_and_negative_values_hit_the_zero_bucket() {
+        let mut s = QuantileSketch::new(0.05);
+        s.insert(0.0);
+        s.insert(-3.0);
+        s.insert(1.0);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.quantile(0.0), Some(0.0));
+        assert_eq!(s.bucket_counts()[0], (i32::MIN, 2));
+    }
+
+    #[test]
+    fn merge_is_exact_bucket_addition() {
+        let mut a = QuantileSketch::new(0.02);
+        let mut b = QuantileSketch::new(0.02);
+        let mut whole = QuantileSketch::new(0.02);
+        for i in 1..=500 {
+            let v = i as f64 * 0.003;
+            whole.insert(v);
+            if i % 2 == 0 {
+                a.insert(v);
+            } else {
+                b.insert(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.bucket_counts(), whole.bucket_counts());
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    #[should_panic(expected = "different accuracies")]
+    fn merge_rejects_mismatched_alpha() {
+        let mut a = QuantileSketch::new(0.01);
+        a.merge(&QuantileSketch::new(0.02));
+    }
+
+    #[test]
+    fn duration_round_trip() {
+        let mut s = QuantileSketch::new(0.01);
+        for ms in [10u64, 20, 30, 40, 50] {
+            s.insert_duration(SimDuration::from_millis(ms));
+        }
+        let p50 = s.quantile_duration(0.5).unwrap().as_secs_f64();
+        assert!((p50 - 0.030).abs() <= 0.030 * 0.01 + 1e-6, "p50 {p50}");
+    }
+}
